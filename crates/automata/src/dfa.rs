@@ -1,0 +1,507 @@
+//! Deterministic finite automata: subset construction, Hopcroft
+//! minimization, complement, and decision procedures for language
+//! equivalence and inclusion.
+//!
+//! The paper's constructions only need NFAs, but several of its *claims*
+//! are language equalities (normal forms preserve `L_ref`, Lemma 12's
+//! `β ≡ ⋂ᵢ L(αᵢ)`, the regex recovered by state elimination). DFAs give the
+//! test suite exact decision procedures for those equalities instead of
+//! sampling-based approximations.
+
+use crate::nfa::{Label, Nfa};
+use cxrpq_graph::Symbol;
+use std::collections::{HashMap, VecDeque};
+
+/// A complete DFA over the symbol range `0..sigma` (state 0 is the start;
+/// every state has exactly one successor per symbol — a dead state is added
+/// by the constructions when needed).
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    sigma: usize,
+    finals: Vec<bool>,
+    /// `trans[s * sigma + a]` = successor of state `s` on symbol `a`.
+    trans: Vec<u32>,
+}
+
+impl Dfa {
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.finals.len()
+    }
+
+    /// Alphabet size this DFA is complete over.
+    pub fn sigma(&self) -> usize {
+        self.sigma
+    }
+
+    /// Whether `s` is accepting.
+    pub fn is_final(&self, s: u32) -> bool {
+        self.finals[s as usize]
+    }
+
+    /// The successor of `s` on `a`.
+    pub fn next(&self, s: u32, a: Symbol) -> u32 {
+        self.trans[s as usize * self.sigma + a.index()]
+    }
+
+    /// Whether the DFA accepts `w`.
+    pub fn accepts(&self, w: &[Symbol]) -> bool {
+        let mut s = 0u32;
+        for &a in w {
+            debug_assert!(a.index() < self.sigma, "symbol outside alphabet");
+            s = self.next(s, a);
+        }
+        self.finals[s as usize]
+    }
+
+    /// Subset construction. `sigma` must cover every concrete symbol of the
+    /// NFA (its `Any` transitions expand to all of `0..sigma`).
+    pub fn from_nfa(nfa: &Nfa, sigma: usize) -> Dfa {
+        assert!(sigma > 0, "alphabet must be non-empty");
+        let start_set = nfa.start_set();
+        let mut ids: HashMap<Vec<bool>, u32> = HashMap::new();
+        let mut finals: Vec<bool> = Vec::new();
+        let mut trans: Vec<u32> = Vec::new();
+        ids.insert(start_set.clone(), 0);
+        finals.push(nfa.any_final(&start_set));
+        trans.resize(sigma, u32::MAX);
+        // `order` doubles as the worklist: `i` chases its growing tail.
+        let mut order: Vec<Vec<bool>> = vec![start_set];
+        let mut i = 0usize;
+        while i < order.len() {
+            let set = order[i].clone();
+            let sid = ids[&set];
+            for a in 0..sigma {
+                let next = nfa.step(&set, Symbol(a as u32));
+                let nid = *ids.entry(next.clone()).or_insert_with(|| {
+                    let id = finals.len() as u32;
+                    finals.push(nfa.any_final(&next));
+                    trans.resize(trans.len() + sigma, u32::MAX);
+                    order.push(next);
+                    id
+                });
+                trans[sid as usize * sigma + a] = nid;
+            }
+            i += 1;
+        }
+        Dfa {
+            sigma,
+            finals,
+            trans,
+        }
+    }
+
+    /// The complement DFA (accepts exactly the words this one rejects).
+    pub fn complement(&self) -> Dfa {
+        Dfa {
+            sigma: self.sigma,
+            finals: self.finals.iter().map(|&f| !f).collect(),
+            trans: self.trans.clone(),
+        }
+    }
+
+    /// Whether the language is empty (no accepting state reachable).
+    pub fn is_empty(&self) -> bool {
+        let mut seen = vec![false; self.state_count()];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        while let Some(s) = stack.pop() {
+            if self.finals[s as usize] {
+                return false;
+            }
+            for a in 0..self.sigma {
+                let t = self.trans[s as usize * self.sigma + a];
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// A shortest accepted word, if any.
+    pub fn shortest_word(&self) -> Option<Vec<Symbol>> {
+        let mut parent: Vec<Option<(u32, Symbol)>> = vec![None; self.state_count()];
+        let mut seen = vec![false; self.state_count()];
+        let mut queue = VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0u32);
+        while let Some(s) = queue.pop_front() {
+            if self.finals[s as usize] {
+                let mut w = Vec::new();
+                let mut cur = s;
+                while let Some((p, a)) = parent[cur as usize] {
+                    w.push(a);
+                    cur = p;
+                }
+                w.reverse();
+                return Some(w);
+            }
+            for a in 0..self.sigma {
+                let t = self.trans[s as usize * self.sigma + a];
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    parent[t as usize] = Some((s, Symbol(a as u32)));
+                    queue.push_back(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Hopcroft's partition-refinement minimization. The result is the
+    /// canonical minimal complete DFA for the language (up to state
+    /// numbering; state 0 remains the start).
+    pub fn minimize(&self) -> Dfa {
+        let n = self.state_count();
+        if n == 0 {
+            return self.clone();
+        }
+        // Inverse transition lists per symbol.
+        let mut inv: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); n]; self.sigma];
+        for s in 0..n {
+            for a in 0..self.sigma {
+                let t = self.trans[s * self.sigma + a];
+                inv[a][t as usize].push(s as u32);
+            }
+        }
+        // Initial partition: finals / non-finals.
+        let mut block_of: Vec<u32> = self
+            .finals
+            .iter()
+            .map(|&f| if f { 0 } else { 1 })
+            .collect();
+        let mut blocks: Vec<Vec<u32>> = vec![Vec::new(), Vec::new()];
+        for s in 0..n {
+            blocks[block_of[s] as usize].push(s as u32);
+        }
+        if blocks[1].is_empty() || blocks[0].is_empty() {
+            blocks.retain(|b| !b.is_empty());
+            for s in 0..n {
+                block_of[s] = 0;
+            }
+        }
+        let mut worklist: VecDeque<(usize, usize)> = VecDeque::new();
+        let smaller = if blocks.len() == 2 && blocks[1].len() < blocks[0].len() {
+            1
+        } else {
+            0
+        };
+        for a in 0..self.sigma {
+            worklist.push_back((smaller, a));
+            if blocks.len() == 2 {
+                worklist.push_back((1 - smaller, a));
+            }
+        }
+        while let Some((bi, a)) = worklist.pop_front() {
+            // X = states with an a-transition into block bi.
+            let mut x: Vec<u32> = Vec::new();
+            for &t in &blocks[bi] {
+                x.extend(inv[a][t as usize].iter().copied());
+            }
+            if x.is_empty() {
+                continue;
+            }
+            x.sort_unstable();
+            x.dedup();
+            // Split every block Y into Y ∩ X and Y \ X.
+            let mut touched: Vec<usize> = x.iter().map(|&s| block_of[s as usize] as usize).collect();
+            touched.sort_unstable();
+            touched.dedup();
+            for y in touched {
+                let in_x: Vec<u32> = blocks[y]
+                    .iter()
+                    .copied()
+                    .filter(|&s| x.binary_search(&s).is_ok())
+                    .collect();
+                if in_x.len() == blocks[y].len() || in_x.is_empty() {
+                    continue;
+                }
+                let out_x: Vec<u32> = blocks[y]
+                    .iter()
+                    .copied()
+                    .filter(|&s| x.binary_search(&s).is_err())
+                    .collect();
+                let new_id = blocks.len();
+                let (keep, moved) = if in_x.len() <= out_x.len() {
+                    (out_x, in_x)
+                } else {
+                    (in_x, out_x)
+                };
+                for &s in &moved {
+                    block_of[s as usize] = new_id as u32;
+                }
+                blocks[y] = keep;
+                blocks.push(moved);
+                for b in 0..self.sigma {
+                    worklist.push_back((new_id, b));
+                }
+            }
+        }
+        // Rebuild with the start block renumbered to 0.
+        let start_block = block_of[0] as usize;
+        let mut renum: Vec<u32> = vec![u32::MAX; blocks.len()];
+        renum[start_block] = 0;
+        let mut next_id = 1u32;
+        for (b, members) in blocks.iter().enumerate() {
+            if b != start_block && !members.is_empty() {
+                renum[b] = next_id;
+                next_id += 1;
+            }
+        }
+        let m = next_id as usize;
+        let mut finals = vec![false; m];
+        let mut trans = vec![u32::MAX; m * self.sigma];
+        for (b, members) in blocks.iter().enumerate() {
+            if members.is_empty() {
+                continue;
+            }
+            let rep = members[0] as usize;
+            let id = renum[b] as usize;
+            finals[id] = self.finals[rep];
+            for a in 0..self.sigma {
+                let t = self.trans[rep * self.sigma + a] as usize;
+                trans[id * self.sigma + a] = renum[block_of[t] as usize];
+            }
+        }
+        Dfa {
+            sigma: self.sigma,
+            finals,
+            trans,
+        }
+    }
+
+    /// Language equivalence, by BFS over the product (pairs that disagree on
+    /// acceptance witness inequivalence).
+    pub fn equivalent(a: &Dfa, b: &Dfa) -> bool {
+        assert_eq!(a.sigma, b.sigma, "alphabets must agree");
+        Self::find_difference(a, b).is_none()
+    }
+
+    /// A shortest word in the symmetric difference `L(a) Δ L(b)`, if any.
+    pub fn find_difference(a: &Dfa, b: &Dfa) -> Option<Vec<Symbol>> {
+        assert_eq!(a.sigma, b.sigma, "alphabets must agree");
+        let mut seen: HashMap<(u32, u32), Option<(u32, u32, Symbol)>> = HashMap::new();
+        let mut queue = VecDeque::new();
+        seen.insert((0, 0), None);
+        queue.push_back((0u32, 0u32));
+        while let Some((s, t)) = queue.pop_front() {
+            if a.finals[s as usize] != b.finals[t as usize] {
+                // Reconstruct the separating word.
+                let mut w = Vec::new();
+                let mut cur = (s, t);
+                while let Some((ps, pt, sym)) = seen[&cur] {
+                    w.push(sym);
+                    cur = (ps, pt);
+                }
+                w.reverse();
+                return Some(w);
+            }
+            for x in 0..a.sigma {
+                let ns = a.trans[s as usize * a.sigma + x];
+                let nt = b.trans[t as usize * b.sigma + x];
+                seen.entry((ns, nt)).or_insert_with(|| {
+                    queue.push_back((ns, nt));
+                    Some((s, t, Symbol(x as u32)))
+                });
+            }
+        }
+        None
+    }
+
+    /// Language inclusion `L(a) ⊆ L(b)`.
+    pub fn included_in(a: &Dfa, b: &Dfa) -> bool {
+        assert_eq!(a.sigma, b.sigma, "alphabets must agree");
+        let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert((0, 0));
+        queue.push_back((0u32, 0u32));
+        while let Some((s, t)) = queue.pop_front() {
+            if a.finals[s as usize] && !b.finals[t as usize] {
+                return false;
+            }
+            for x in 0..a.sigma {
+                let pair = (
+                    a.trans[s as usize * a.sigma + x],
+                    b.trans[t as usize * b.sigma + x],
+                );
+                if seen.insert(pair) {
+                    queue.push_back(pair);
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Language equivalence of two NFAs over the symbol range `0..sigma`.
+pub fn nfa_equivalent(a: &Nfa, b: &Nfa, sigma: usize) -> bool {
+    Dfa::equivalent(&Dfa::from_nfa(a, sigma), &Dfa::from_nfa(b, sigma))
+}
+
+/// Language inclusion `L(a) ⊆ L(b)` for NFAs over `0..sigma`.
+pub fn nfa_included(a: &Nfa, b: &Nfa, sigma: usize) -> bool {
+    Dfa::included_in(&Dfa::from_nfa(a, sigma), &Dfa::from_nfa(b, sigma))
+}
+
+/// The maximal concrete symbol index mentioned by an NFA (for picking a
+/// sufficient `sigma`). `Any` labels do not contribute.
+pub fn max_symbol(nfa: &Nfa) -> Option<u32> {
+    let mut max = None;
+    for s in nfa.states() {
+        for &(l, _) in nfa.transitions(s) {
+            if let Label::Sym(a) = l {
+                max = Some(max.map_or(a.0, |m: u32| m.max(a.0)));
+            }
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_regex;
+    use cxrpq_graph::Alphabet;
+
+    fn dfa_of(pattern: &str, sigma: usize) -> Dfa {
+        let mut alpha = Alphabet::from_chars("abcd");
+        let re = parse_regex(pattern, &mut alpha).unwrap();
+        Dfa::from_nfa(&Nfa::from_regex(&re), sigma)
+    }
+
+    fn w(alpha: &Alphabet, s: &str) -> Vec<Symbol> {
+        alpha.parse_word(s).unwrap()
+    }
+
+    #[test]
+    fn subset_construction_classic() {
+        let alpha = Alphabet::from_chars("abcd");
+        let d = dfa_of("(a|b)*abb", 2);
+        assert!(d.accepts(&w(&alpha, "abb")));
+        assert!(d.accepts(&w(&alpha, "aababb")));
+        assert!(!d.accepts(&w(&alpha, "ab")));
+        assert!(!d.accepts(&w(&alpha, "")));
+    }
+
+    #[test]
+    fn minimization_reaches_known_size() {
+        // (a|b)*abb has a 4-state minimal DFA (over Σ = {a,b}, complete,
+        // no dead state needed).
+        let d = dfa_of("(a|b)*abb", 2).minimize();
+        assert_eq!(d.state_count(), 4);
+        // Minimization is idempotent.
+        assert_eq!(d.minimize().state_count(), 4);
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        let alpha = Alphabet::from_chars("abcd");
+        for pat in ["(a|b)*abb", "a*b*", "(ab)+|ba", "((a|b)(a|b))*", "_"] {
+            let d = dfa_of(pat, 2);
+            let m = d.minimize();
+            assert!(Dfa::equivalent(&d, &m), "pattern {pat}");
+            assert!(m.state_count() <= d.state_count());
+            for word in ["", "a", "b", "ab", "abb", "aabb", "bababb"] {
+                assert_eq!(
+                    d.accepts(&w(&alpha, word)),
+                    m.accepts(&w(&alpha, word)),
+                    "pattern {pat}, word {word}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let alpha = Alphabet::from_chars("abcd");
+        let d = dfa_of("a*b", 2);
+        let c = d.complement();
+        for word in ["", "a", "b", "ab", "aab", "abb"] {
+            assert_ne!(d.accepts(&w(&alpha, word)), c.accepts(&w(&alpha, word)));
+        }
+        // L ∪ L̄ = Σ*: the union's complement is empty.
+        assert!(Dfa::equivalent(&d.complement().complement(), &d));
+    }
+
+    #[test]
+    fn equivalence_and_difference() {
+        let d1 = dfa_of("(ab)*", 2);
+        let d2 = dfa_of("_|(ab)+", 2); // same language, different syntax
+        assert!(Dfa::equivalent(&d1, &d2));
+        let d3 = dfa_of("(ab)+", 2);
+        assert!(!Dfa::equivalent(&d1, &d3));
+        // Shortest separating word is ε.
+        assert_eq!(Dfa::find_difference(&d1, &d3), Some(vec![]));
+    }
+
+    #[test]
+    fn inclusion_is_an_order() {
+        let small = dfa_of("ab", 2);
+        let big = dfa_of("(a|b)*", 2);
+        assert!(Dfa::included_in(&small, &big));
+        assert!(!Dfa::included_in(&big, &small));
+        assert!(Dfa::included_in(&big, &big));
+    }
+
+    #[test]
+    fn emptiness_and_shortest_word() {
+        let alpha = Alphabet::from_chars("abcd");
+        let d = dfa_of("a*bba*", 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.shortest_word(), Some(w(&alpha, "bb")));
+        // a ∩ b is empty: check via product on the NFA layer.
+        let mut a2 = Alphabet::from_chars("abcd");
+        let na = Nfa::from_regex(&parse_regex("a", &mut a2).unwrap());
+        let nb = Nfa::from_regex(&parse_regex("b", &mut a2).unwrap());
+        let inter = Nfa::intersection(&na, &nb);
+        assert!(Dfa::from_nfa(&inter, 2).is_empty());
+    }
+
+    #[test]
+    fn nfa_equivalence_bridges() {
+        let mut alpha = Alphabet::from_chars("abcd");
+        let r1 = parse_regex("(a|b)*", &mut alpha).unwrap();
+        let r2 = parse_regex("(a*b*)*", &mut alpha).unwrap();
+        assert!(nfa_equivalent(
+            &Nfa::from_regex(&r1),
+            &Nfa::from_regex(&r2),
+            2
+        ));
+        let r3 = parse_regex("(a*b)*", &mut alpha).unwrap();
+        // (a*b)* misses words ending in a.
+        assert!(!nfa_equivalent(
+            &Nfa::from_regex(&r1),
+            &Nfa::from_regex(&r3),
+            2
+        ));
+        assert!(nfa_included(
+            &Nfa::from_regex(&r3),
+            &Nfa::from_regex(&r1),
+            2
+        ));
+    }
+
+    #[test]
+    fn any_labels_expand_over_sigma() {
+        let mut alpha = Alphabet::from_chars("abcd");
+        let re = parse_regex("..", &mut alpha).unwrap(); // any two symbols
+        let d = Dfa::from_nfa(&Nfa::from_regex(&re), 4);
+        let alpha2 = Alphabet::from_chars("abcd");
+        assert!(d.accepts(&w(&alpha2, "cd")));
+        assert!(d.accepts(&w(&alpha2, "aa")));
+        assert!(!d.accepts(&w(&alpha2, "abc")));
+        // Minimal: start, after-1, accept, dead = 4 states.
+        assert_eq!(d.minimize().state_count(), 4);
+    }
+
+    #[test]
+    fn max_symbol_reports_concrete_symbols() {
+        let mut alpha = Alphabet::from_chars("abcd");
+        let re = parse_regex("a|c", &mut alpha).unwrap();
+        assert_eq!(max_symbol(&Nfa::from_regex(&re)), Some(2));
+        let any = parse_regex(".", &mut alpha).unwrap();
+        assert_eq!(max_symbol(&Nfa::from_regex(&any)), None);
+    }
+}

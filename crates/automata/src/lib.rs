@@ -1,0 +1,35 @@
+//! Classical regular expressions and nondeterministic finite automata.
+//!
+//! This crate provides the language-descriptor substrate of the paper:
+//! `RE_Σ` (classical regular expressions, Definition 3 restricted to
+//! variable-free terms) and NFAs (§2.2: "NFAs are just graph databases, the
+//! nodes of which are called states ... we allow the empty word as edge
+//! label as well").
+//!
+//! Components:
+//! - [`Regex`]: the AST, with smart constructors that keep terms flat and
+//!   `∅`-normalized, a backtracking matcher (used as an oracle against the
+//!   NFA simulation), and bounded-language enumeration;
+//! - [`parse_regex`]: a concrete syntax (`|` alternation, juxtaposition,
+//!   `*`/`+`, `.` for Σ, `()` grouping, `<name>` for long symbols);
+//! - [`Nfa`]: Thompson construction, ε-closure membership simulation,
+//!   product (intersection), union, emptiness, reachability and bounded
+//!   enumeration;
+//! - [`nfa_to_regex`]: state elimination, used by the ECRPQ^er → CXRPQ^vsf,fl
+//!   translation (Lemma 12) which needs a regular expression for
+//!   `⋂_i L(α_i)`;
+//! - [`Dfa`]: subset construction, Hopcroft minimization, complement, and
+//!   exact language equivalence / inclusion — the decision procedures behind
+//!   the test suite's language-equality checks.
+
+pub mod dfa;
+pub mod nfa;
+pub mod parser;
+pub mod regex;
+pub mod to_regex;
+
+pub use dfa::{max_symbol, nfa_equivalent, nfa_included, Dfa};
+pub use nfa::{Label, Nfa, StateId};
+pub use parser::{parse_regex, ParseError};
+pub use regex::Regex;
+pub use to_regex::nfa_to_regex;

@@ -1,0 +1,312 @@
+//! Concrete syntax for classical regular expressions.
+//!
+//! Grammar (whitespace ignored):
+//!
+//! ```text
+//! alt    := concat ('|' concat)*
+//! concat := repeat+
+//! repeat := atom ('*' | '+')*
+//! atom   := symbol | '.' | 'ε' | '_' | '∅' | '!' | '(' alt ')'
+//! symbol := any char except | * + ( ) . _ ! < > ε ∅ whitespace
+//!         | '<' name '>'            (multi-character symbol names)
+//! ```
+//!
+//! `.` is Σ (any symbol), `_`/`ε` is the empty word, `!`/`∅` the empty
+//! language. Symbols are interned into the supplied [`Alphabet`].
+
+use crate::regex::Regex;
+use cxrpq_graph::Alphabet;
+use std::fmt;
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub pos: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub(crate) struct Cursor<'a> {
+    chars: Vec<(usize, char)>,
+    pub(crate) idx: usize,
+    input: &'a str,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(input: &'a str) -> Self {
+        Self {
+            chars: input.char_indices().collect(),
+            idx: 0,
+            input,
+        }
+    }
+
+    pub(crate) fn skip_ws(&mut self) {
+        while let Some(&(_, c)) = self.chars.get(self.idx) {
+            if c.is_whitespace() {
+                self.idx += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    pub(crate) fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.idx).map(|&(_, c)| c)
+    }
+
+    pub(crate) fn bump(&mut self) -> Option<char> {
+        self.skip_ws();
+        let c = self.chars.get(self.idx).map(|&(_, c)| c);
+        if c.is_some() {
+            self.idx += 1;
+        }
+        c
+    }
+
+    pub(crate) fn pos(&self) -> usize {
+        self.chars
+            .get(self.idx)
+            .map(|&(p, _)| p)
+            .unwrap_or(self.input.len())
+    }
+
+    pub(crate) fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.pos(),
+            msg: msg.into(),
+        }
+    }
+
+    pub(crate) fn at_end(&mut self) -> bool {
+        self.peek().is_none()
+    }
+
+    /// Reads a `<name>` bracketed symbol name; assumes `<` already consumed.
+    pub(crate) fn read_bracketed(&mut self) -> Result<String, ParseError> {
+        let mut name = String::new();
+        loop {
+            match self.chars.get(self.idx).map(|&(_, c)| c) {
+                Some('>') => {
+                    self.idx += 1;
+                    if name.is_empty() {
+                        return Err(self.err("empty <> symbol name"));
+                    }
+                    return Ok(name);
+                }
+                Some(c) => {
+                    name.push(c);
+                    self.idx += 1;
+                }
+                None => return Err(self.err("unterminated <symbol>")),
+            }
+        }
+    }
+}
+
+/// Characters with reserved meaning at the regex layer.
+pub(crate) fn is_reserved(c: char) -> bool {
+    matches!(
+        c,
+        '|' | '*' | '+' | '(' | ')' | '.' | '_' | '!' | '<' | '>' | 'ε' | '∅' | '∨' | '{' | '}'
+    )
+}
+
+/// Parses a classical regular expression, interning symbols into `alphabet`.
+pub fn parse_regex(input: &str, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
+    let mut cur = Cursor::new(input);
+    let r = parse_alt(&mut cur, alphabet)?;
+    if !cur.at_end() {
+        return Err(cur.err("trailing input"));
+    }
+    Ok(r)
+}
+
+pub(crate) fn parse_alt(cur: &mut Cursor, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
+    let mut parts = vec![parse_concat(cur, alphabet)?];
+    while matches!(cur.peek(), Some('|') | Some('∨')) {
+        cur.bump();
+        parts.push(parse_concat(cur, alphabet)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().unwrap()
+    } else {
+        // Preserve user structure: no dedup here, only ∅ elimination.
+        Regex::alt(parts)
+    })
+}
+
+fn parse_concat(cur: &mut Cursor, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
+    let mut parts = Vec::new();
+    loop {
+        match cur.peek() {
+            None | Some('|') | Some('∨') | Some(')') => break,
+            _ => parts.push(parse_repeat(cur, alphabet)?),
+        }
+    }
+    if parts.is_empty() {
+        return Err(cur.err("expected expression"));
+    }
+    Ok(Regex::concat(parts))
+}
+
+fn parse_repeat(cur: &mut Cursor, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
+    let mut r = parse_atom(cur, alphabet)?;
+    loop {
+        match cur.peek() {
+            Some('*') => {
+                cur.bump();
+                r = Regex::star(r);
+            }
+            Some('+') => {
+                cur.bump();
+                r = Regex::plus(r);
+            }
+            _ => break,
+        }
+    }
+    Ok(r)
+}
+
+fn parse_atom(cur: &mut Cursor, alphabet: &mut Alphabet) -> Result<Regex, ParseError> {
+    match cur.bump() {
+        Some('(') => {
+            let r = parse_alt(cur, alphabet)?;
+            match cur.bump() {
+                Some(')') => Ok(r),
+                _ => Err(cur.err("expected ')'")),
+            }
+        }
+        Some('.') => Ok(Regex::Any),
+        Some('_') | Some('ε') => Ok(Regex::Epsilon),
+        Some('!') | Some('∅') => Ok(Regex::Empty),
+        Some('<') => {
+            let name = cur.read_bracketed()?;
+            Ok(Regex::Sym(alphabet.intern(&name)))
+        }
+        Some(c) if !is_reserved(c) => Ok(Regex::Sym(alphabet.intern(&c.to_string()))),
+        Some(c) => Err(cur.err(format!("unexpected character {c:?}"))),
+        None => Err(cur.err("unexpected end of input")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxrpq_graph::Symbol;
+
+    fn parse(s: &str) -> (Regex, Alphabet) {
+        let mut a = Alphabet::new();
+        let r = parse_regex(s, &mut a).unwrap();
+        (r, a)
+    }
+
+    #[test]
+    fn parses_symbols_and_concat() {
+        let (r, a) = parse("ab");
+        assert_eq!(
+            r,
+            Regex::Concat(vec![Regex::Sym(a.sym("a")), Regex::Sym(a.sym("b"))])
+        );
+    }
+
+    #[test]
+    fn parses_alternation_and_precedence() {
+        let (r, a) = parse("ab|c");
+        let ab = Regex::Concat(vec![Regex::Sym(a.sym("a")), Regex::Sym(a.sym("b"))]);
+        assert_eq!(r, Regex::Alt(vec![ab, Regex::Sym(a.sym("c"))]));
+    }
+
+    #[test]
+    fn parses_repetition_binding() {
+        let (r, a) = parse("ab*");
+        assert_eq!(
+            r,
+            Regex::Concat(vec![
+                Regex::Sym(a.sym("a")),
+                Regex::Star(Box::new(Regex::Sym(a.sym("b"))))
+            ])
+        );
+        let (r2, a2) = parse("(ab)+");
+        assert_eq!(
+            r2,
+            Regex::Plus(Box::new(Regex::Concat(vec![
+                Regex::Sym(a2.sym("a")),
+                Regex::Sym(a2.sym("b"))
+            ])))
+        );
+    }
+
+    #[test]
+    fn parses_special_atoms() {
+        let (r, _) = parse(".*");
+        assert_eq!(r, Regex::sigma_star());
+        let (r2, _) = parse("_");
+        assert_eq!(r2, Regex::Epsilon);
+        let (r3, _) = parse("!");
+        assert_eq!(r3, Regex::Empty);
+        let (r4, _) = parse("ε|a");
+        assert!(matches!(r4, Regex::Alt(_)));
+    }
+
+    #[test]
+    fn parses_bracketed_symbols() {
+        let (r, a) = parse("<z12><z3>");
+        assert_eq!(a.len(), 2);
+        assert_eq!(
+            r,
+            Regex::Concat(vec![Regex::Sym(Symbol(0)), Regex::Sym(Symbol(1))])
+        );
+        assert_eq!(a.name(Symbol(0)), "z12");
+    }
+
+    #[test]
+    fn parses_unicode_operators() {
+        let (r, a) = parse("a ∨ b");
+        assert_eq!(
+            r,
+            Regex::Alt(vec![Regex::Sym(a.sym("a")), Regex::Sym(a.sym("b"))])
+        );
+    }
+
+    #[test]
+    fn whitespace_is_ignored() {
+        let (r1, _) = parse("a b | c *");
+        let (r2, _) = parse("ab|c*");
+        assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut a = Alphabet::new();
+        assert!(parse_regex("a)", &mut a).is_err());
+        assert!(parse_regex("(a", &mut a).is_err());
+        assert!(parse_regex("", &mut a).is_err());
+        assert!(parse_regex("|a", &mut a).is_err());
+        assert!(parse_regex("<ab", &mut a).is_err());
+        assert!(parse_regex("<>", &mut a).is_err());
+    }
+
+    #[test]
+    fn round_trip_render_parse() {
+        let inputs = ["(a|b)a*", "ab+c", "<lbl>(a|<lbl>)*", "a(b|ε)"];
+        for s in inputs {
+            let mut alpha = Alphabet::new();
+            let r = parse_regex(s, &mut alpha).unwrap();
+            let printed = r.render(&alpha);
+            let mut alpha2 = alpha.clone();
+            let r2 = parse_regex(&printed, &mut alpha2).unwrap();
+            assert_eq!(r, r2, "round trip failed for {s} -> {printed}");
+        }
+    }
+}

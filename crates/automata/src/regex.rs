@@ -1,0 +1,540 @@
+//! Classical regular expression ASTs.
+
+use cxrpq_graph::{Alphabet, Symbol};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A classical regular expression over an interned alphabet.
+///
+/// Follows the paper's definition (§3): symbols, ε, concatenation,
+/// alternation and `+`; `r*` is kept as an AST node but is semantically
+/// `r+ ∨ ε` (footnote 1). `∅` is included "for technical reasons" —
+/// Lemma 10's specialization can produce it. `Any` denotes the predicate
+/// "any single symbol of Σ" so that `Σ` and `Σ*` stay constant-sized
+/// independently of |Σ|.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Regex {
+    /// `∅` — the empty language.
+    Empty,
+    /// `ε` — the empty word.
+    Epsilon,
+    /// A single terminal symbol.
+    Sym(Symbol),
+    /// Any single symbol of Σ.
+    Any,
+    /// Concatenation `r₁ · r₂ · … · rₙ` (n ≥ 2 after normalization).
+    Concat(Vec<Regex>),
+    /// Alternation `r₁ ∨ r₂ ∨ … ∨ rₙ` (n ≥ 2 after normalization).
+    Alt(Vec<Regex>),
+    /// `r⁺` — one or more repetitions.
+    Plus(Box<Regex>),
+    /// `r*` — zero or more repetitions (sugar for `r⁺ ∨ ε`).
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// The regex denoting a fixed word (ε for the empty word).
+    pub fn word(w: &[Symbol]) -> Regex {
+        match w.len() {
+            0 => Regex::Epsilon,
+            1 => Regex::Sym(w[0]),
+            _ => Regex::Concat(w.iter().map(|&s| Regex::Sym(s)).collect()),
+        }
+    }
+
+    /// Smart concatenation: flattens, drops ε units, absorbs ∅.
+    pub fn concat(parts: Vec<Regex>) -> Regex {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Empty => return Regex::Empty,
+                Regex::Epsilon => {}
+                Regex::Concat(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Epsilon,
+            1 => out.pop().unwrap(),
+            _ => Regex::Concat(out),
+        }
+    }
+
+    /// Smart alternation: flattens, drops ∅ alternatives, dedups.
+    pub fn alt(parts: Vec<Regex>) -> Regex {
+        let mut out: Vec<Regex> = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Regex::Empty => {}
+                Regex::Alt(inner) => {
+                    for q in inner {
+                        if !out.contains(&q) {
+                            out.push(q);
+                        }
+                    }
+                }
+                other => {
+                    if !out.contains(&other) {
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.pop().unwrap(),
+            _ => Regex::Alt(out),
+        }
+    }
+
+    /// Smart `+`: `∅⁺ = ∅`, `ε⁺ = ε`, `(r⁺)⁺ = r⁺`, `(r*)⁺ = r*`.
+    pub fn plus(r: Regex) -> Regex {
+        match r {
+            Regex::Empty => Regex::Empty,
+            Regex::Epsilon => Regex::Epsilon,
+            p @ Regex::Plus(_) => p,
+            s @ Regex::Star(_) => s,
+            other => Regex::Plus(Box::new(other)),
+        }
+    }
+
+    /// Smart `*`: `∅* = ε`, `ε* = ε`, `(r⁺)* = (r*)* = r*`.
+    pub fn star(r: Regex) -> Regex {
+        match r {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            Regex::Plus(inner) => Regex::Star(inner),
+            s @ Regex::Star(_) => s,
+            other => Regex::Star(Box::new(other)),
+        }
+    }
+
+    /// `Σ*` — all words.
+    pub fn sigma_star() -> Regex {
+        Regex::Star(Box::new(Regex::Any))
+    }
+
+    /// Size |r| — the number of AST nodes, the measure used by the paper's
+    /// blow-up bounds (Theorem 4, Lemma 8).
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Sym(_) | Regex::Any => 1,
+            Regex::Concat(ps) | Regex::Alt(ps) => 1 + ps.iter().map(Regex::size).sum::<usize>(),
+            Regex::Plus(p) | Regex::Star(p) => 1 + p.size(),
+        }
+    }
+
+    /// Whether `ε ∈ L(r)` (nullability), computed syntactically.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) | Regex::Any => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(ps) => ps.iter().all(Regex::nullable),
+            Regex::Alt(ps) => ps.iter().any(Regex::nullable),
+            Regex::Plus(p) => p.nullable(),
+        }
+    }
+
+    /// Whether `L(r) = ∅`, computed syntactically (sound and complete because
+    /// the smart constructors never bury `∅` under other operators — but this
+    /// also handles non-normalized terms).
+    pub fn is_empty_lang(&self) -> bool {
+        match self {
+            Regex::Empty => true,
+            Regex::Epsilon | Regex::Sym(_) | Regex::Any => false,
+            Regex::Concat(ps) => ps.iter().any(Regex::is_empty_lang),
+            Regex::Alt(ps) => ps.iter().all(Regex::is_empty_lang),
+            Regex::Plus(p) => p.is_empty_lang(),
+            Regex::Star(_) => false,
+        }
+    }
+
+    /// Backtracking membership test `w ∈ L(r)`.
+    ///
+    /// Implemented directly on the AST (no automaton) so it can serve as an
+    /// independent oracle against [`crate::Nfa::accepts`] in property tests.
+    /// `sigma` is needed to know what `Any` may match (only its presence
+    /// matters; any symbol in `w` is assumed to be from Σ).
+    pub fn matches(&self, w: &[Symbol]) -> bool {
+        // Match r against w[i..]; call k with every reachable end position.
+        fn go(r: &Regex, w: &[Symbol], i: usize, ends: &mut HashSet<usize>) {
+            match r {
+                Regex::Empty => {}
+                Regex::Epsilon => {
+                    ends.insert(i);
+                }
+                Regex::Sym(a) => {
+                    if i < w.len() && w[i] == *a {
+                        ends.insert(i + 1);
+                    }
+                }
+                Regex::Any => {
+                    if i < w.len() {
+                        ends.insert(i + 1);
+                    }
+                }
+                Regex::Concat(ps) => {
+                    let mut frontier: HashSet<usize> = HashSet::from([i]);
+                    for p in ps {
+                        let mut next = HashSet::new();
+                        for &j in &frontier {
+                            go(p, w, j, &mut next);
+                        }
+                        frontier = next;
+                        if frontier.is_empty() {
+                            return;
+                        }
+                    }
+                    ends.extend(frontier);
+                }
+                Regex::Alt(ps) => {
+                    for p in ps {
+                        go(p, w, i, ends);
+                    }
+                }
+                Regex::Plus(p) => {
+                    // Fixpoint of "one more iteration" starting from one copy.
+                    let mut frontier: HashSet<usize> = HashSet::new();
+                    go(p, w, i, &mut frontier);
+                    let mut all = frontier.clone();
+                    while !frontier.is_empty() {
+                        let mut next = HashSet::new();
+                        for &j in &frontier {
+                            go(p, w, j, &mut next);
+                        }
+                        frontier = next.difference(&all).copied().collect();
+                        all.extend(frontier.iter().copied());
+                    }
+                    ends.extend(all);
+                }
+                Regex::Star(p) => {
+                    ends.insert(i);
+                    go(&Regex::Plus(p.clone()), w, i, ends);
+                }
+            }
+        }
+        let mut ends = HashSet::new();
+        go(self, w, 0, &mut ends);
+        ends.contains(&w.len())
+    }
+
+    /// Enumerates all words of `L(r)` with length ≤ `max_len`.
+    ///
+    /// Used by the CXRPQ^{≤k} candidate enumerator (Theorem 6) and as a test
+    /// oracle. `sigma_size` bounds the expansion of `Any`.
+    pub fn enumerate_upto(&self, max_len: usize, sigma_size: usize) -> Vec<Vec<Symbol>> {
+        fn langs(r: &Regex, max_len: usize, sigma: usize) -> HashSet<Vec<Symbol>> {
+            match r {
+                Regex::Empty => HashSet::new(),
+                Regex::Epsilon => HashSet::from([vec![]]),
+                Regex::Sym(a) => {
+                    if max_len >= 1 {
+                        HashSet::from([vec![*a]])
+                    } else {
+                        HashSet::new()
+                    }
+                }
+                Regex::Any => {
+                    if max_len >= 1 {
+                        (0..sigma as u32).map(|i| vec![Symbol(i)]).collect()
+                    } else {
+                        HashSet::new()
+                    }
+                }
+                Regex::Concat(ps) => {
+                    let mut acc: HashSet<Vec<Symbol>> = HashSet::from([vec![]]);
+                    for p in ps {
+                        let rhs = langs(p, max_len, sigma);
+                        let mut next = HashSet::new();
+                        for l in &acc {
+                            for r in &rhs {
+                                if l.len() + r.len() <= max_len {
+                                    let mut w = l.clone();
+                                    w.extend_from_slice(r);
+                                    next.insert(w);
+                                }
+                            }
+                        }
+                        acc = next;
+                        if acc.is_empty() {
+                            break;
+                        }
+                    }
+                    acc
+                }
+                Regex::Alt(ps) => {
+                    let mut acc = HashSet::new();
+                    for p in ps {
+                        acc.extend(langs(p, max_len, sigma));
+                    }
+                    acc
+                }
+                Regex::Plus(p) | Regex::Star(p) => {
+                    let base = langs(p, max_len, sigma);
+                    let mut acc: HashSet<Vec<Symbol>> = base.clone();
+                    if matches!(r, Regex::Star(_)) {
+                        acc.insert(vec![]);
+                    }
+                    let mut frontier = base.clone();
+                    loop {
+                        let mut next = HashSet::new();
+                        for l in &frontier {
+                            for b in &base {
+                                if l.len() + b.len() <= max_len {
+                                    let mut w = l.clone();
+                                    w.extend_from_slice(b);
+                                    if !acc.contains(&w) {
+                                        next.insert(w);
+                                    }
+                                }
+                            }
+                        }
+                        if next.is_empty() {
+                            break;
+                        }
+                        acc.extend(next.iter().cloned());
+                        frontier = next;
+                    }
+                    acc
+                }
+            }
+        }
+        let mut v: Vec<Vec<Symbol>> = langs(self, max_len, sigma_size).into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Pretty-prints the regex using alphabet names.
+    pub fn render(&self, alphabet: &Alphabet) -> String {
+        fn prec(r: &Regex) -> u8 {
+            match r {
+                Regex::Alt(_) => 0,
+                Regex::Concat(_) => 1,
+                _ => 2,
+            }
+        }
+        fn go(r: &Regex, alphabet: &Alphabet, out: &mut String, min_prec: u8) {
+            let p = prec(r);
+            let parens = p < min_prec;
+            if parens {
+                out.push('(');
+            }
+            match r {
+                Regex::Empty => out.push('∅'),
+                Regex::Epsilon => out.push('ε'),
+                Regex::Sym(a) => {
+                    let name = alphabet.name(*a);
+                    if name.chars().count() == 1 {
+                        out.push_str(name);
+                    } else {
+                        out.push('<');
+                        out.push_str(name);
+                        out.push('>');
+                    }
+                }
+                Regex::Any => out.push('.'),
+                Regex::Concat(ps) => {
+                    for q in ps {
+                        go(q, alphabet, out, 2);
+                    }
+                }
+                Regex::Alt(ps) => {
+                    for (i, q) in ps.iter().enumerate() {
+                        if i > 0 {
+                            out.push('|');
+                        }
+                        go(q, alphabet, out, 1);
+                    }
+                }
+                Regex::Plus(q) => {
+                    go(q, alphabet, out, 2);
+                    out.push('+');
+                }
+                Regex::Star(q) => {
+                    go(q, alphabet, out, 2);
+                    out.push('*');
+                }
+            }
+            if parens {
+                out.push(')');
+            }
+        }
+        let mut s = String::new();
+        go(self, alphabet, &mut s, 0);
+        s
+    }
+}
+
+impl fmt::Display for Regex {
+    /// Display with raw symbol ids; prefer [`Regex::render`] with an alphabet.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut alpha = Alphabet::new();
+        let mut max = 0u32;
+        fn scan(r: &Regex, max: &mut u32) {
+            match r {
+                Regex::Sym(Symbol(i)) => *max = (*max).max(*i + 1),
+                Regex::Concat(ps) | Regex::Alt(ps) => ps.iter().for_each(|p| scan(p, max)),
+                Regex::Plus(p) | Regex::Star(p) => scan(p, max),
+                _ => {}
+            }
+        }
+        scan(self, &mut max);
+        for i in 0..max {
+            alpha.intern(&format!("s{i}"));
+        }
+        f.write_str(&self.render(&alpha))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sy(i: u32) -> Regex {
+        Regex::Sym(Symbol(i))
+    }
+
+    #[test]
+    fn smart_concat_normalizes() {
+        assert_eq!(Regex::concat(vec![]), Regex::Epsilon);
+        assert_eq!(Regex::concat(vec![sy(0)]), sy(0));
+        assert_eq!(
+            Regex::concat(vec![sy(0), Regex::Epsilon, sy(1)]),
+            Regex::Concat(vec![sy(0), sy(1)])
+        );
+        assert_eq!(Regex::concat(vec![sy(0), Regex::Empty]), Regex::Empty);
+        // Flattening.
+        assert_eq!(
+            Regex::concat(vec![Regex::Concat(vec![sy(0), sy(1)]), sy(2)]),
+            Regex::Concat(vec![sy(0), sy(1), sy(2)])
+        );
+    }
+
+    #[test]
+    fn smart_alt_normalizes() {
+        assert_eq!(Regex::alt(vec![]), Regex::Empty);
+        assert_eq!(Regex::alt(vec![sy(0), Regex::Empty]), sy(0));
+        assert_eq!(Regex::alt(vec![sy(0), sy(0)]), sy(0));
+        assert_eq!(
+            Regex::alt(vec![sy(0), Regex::Alt(vec![sy(1), sy(0)])]),
+            Regex::Alt(vec![sy(0), sy(1)])
+        );
+    }
+
+    #[test]
+    fn smart_star_plus() {
+        assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
+        assert_eq!(Regex::plus(Regex::Empty), Regex::Empty);
+        assert_eq!(Regex::star(Regex::plus(sy(0))), Regex::Star(Box::new(sy(0))));
+        assert_eq!(Regex::plus(Regex::star(sy(0))), Regex::Star(Box::new(sy(0))));
+    }
+
+    #[test]
+    fn nullable_cases() {
+        assert!(Regex::Epsilon.nullable());
+        assert!(!sy(0).nullable());
+        assert!(Regex::star(sy(0)).nullable());
+        assert!(!Regex::plus(sy(0)).nullable());
+        assert!(Regex::concat(vec![Regex::star(sy(0)), Regex::star(sy(1))]).nullable());
+        assert!(Regex::alt(vec![sy(0), Regex::Epsilon]).nullable());
+    }
+
+    #[test]
+    fn empty_lang_detection() {
+        assert!(Regex::Empty.is_empty_lang());
+        assert!(Regex::Concat(vec![sy(0), Regex::Empty]).is_empty_lang());
+        assert!(!Regex::Star(Box::new(Regex::Empty)).is_empty_lang());
+        assert!(!Regex::alt(vec![sy(0)]).is_empty_lang());
+    }
+
+    #[test]
+    fn matcher_basics() {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        // (ab)+
+        let r = Regex::plus(Regex::concat(vec![Regex::Sym(a), Regex::Sym(b)]));
+        assert!(r.matches(&[a, b]));
+        assert!(r.matches(&[a, b, a, b]));
+        assert!(!r.matches(&[]));
+        assert!(!r.matches(&[a, b, a]));
+        // a*b
+        let r2 = Regex::concat(vec![Regex::star(Regex::Sym(a)), Regex::Sym(b)]);
+        assert!(r2.matches(&[b]));
+        assert!(r2.matches(&[a, a, a, b]));
+        assert!(!r2.matches(&[a, a]));
+    }
+
+    #[test]
+    fn matcher_handles_nullable_plus_without_divergence() {
+        let a = Symbol(0);
+        // (a*)+ — naive backtracking would loop on the ε iteration.
+        let r = Regex::plus(Regex::star(Regex::Sym(a)));
+        assert!(r.matches(&[]));
+        assert!(r.matches(&[a, a]));
+    }
+
+    #[test]
+    fn matcher_any() {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let r = Regex::concat(vec![Regex::Any, Regex::Sym(b)]);
+        assert!(r.matches(&[a, b]));
+        assert!(r.matches(&[b, b]));
+        assert!(!r.matches(&[b]));
+    }
+
+    #[test]
+    fn enumerate_upto_small() {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        // (a|b)* up to length 2 over Σ = {a, b}: ε, a, b, aa, ab, ba, bb.
+        let r = Regex::star(Regex::alt(vec![Regex::Sym(a), Regex::Sym(b)]));
+        let words = r.enumerate_upto(2, 2);
+        assert_eq!(words.len(), 7);
+        // a+ up to length 3.
+        let r2 = Regex::plus(Regex::Sym(a));
+        assert_eq!(r2.enumerate_upto(3, 2).len(), 3);
+        // ∅.
+        assert!(Regex::Empty.enumerate_upto(3, 2).is_empty());
+    }
+
+    #[test]
+    fn enumerate_agrees_with_matcher() {
+        let a = Symbol(0);
+        let b = Symbol(1);
+        let r = Regex::concat(vec![
+            Regex::star(Regex::alt(vec![Regex::Sym(a), Regex::Sym(b)])),
+            Regex::Sym(a),
+        ]);
+        for w in r.enumerate_upto(4, 2) {
+            assert!(r.matches(&w), "{w:?} enumerated but not matched");
+        }
+        // Exhaustive cross-check over all words up to length 3.
+        for n in 0..=3usize {
+            for mask in 0..(1usize << n) {
+                let w: Vec<Symbol> =
+                    (0..n).map(|i| Symbol(((mask >> i) & 1) as u32)).collect();
+                let enumerated = r.enumerate_upto(3, 2).contains(&w);
+                assert_eq!(enumerated, r.matches(&w), "mismatch on {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let a = sy(0);
+        let r = Regex::Concat(vec![a.clone(), Regex::Plus(Box::new(a))]);
+        assert_eq!(r.size(), 4);
+    }
+
+    #[test]
+    fn render_round_readable() {
+        let alpha = Alphabet::from_chars("ab");
+        let a = Regex::Sym(alpha.sym("a"));
+        let b = Regex::Sym(alpha.sym("b"));
+        let r = Regex::concat(vec![
+            Regex::alt(vec![a.clone(), b.clone()]),
+            Regex::star(a.clone()),
+        ]);
+        assert_eq!(r.render(&alpha), "(a|b)a*");
+    }
+}

@@ -1,0 +1,165 @@
+//! NFA → regular expression conversion by state elimination.
+//!
+//! Needed for the ECRPQ^er → CXRPQ^vsf,fl translation (Lemma 12), which
+//! replaces the edges of an equality class by a single regular expression for
+//! `⋂ᵢ L(αᵢ)`; the intersection is computed as a product NFA and then turned
+//! back into a regular expression here.
+
+use crate::nfa::{Label, Nfa};
+use crate::regex::Regex;
+use std::collections::HashMap;
+
+fn label_to_regex(l: Label) -> Regex {
+    match l {
+        Label::Eps => Regex::Epsilon,
+        Label::Sym(a) => Regex::Sym(a),
+        Label::Any => Regex::Any,
+    }
+}
+
+/// Converts an NFA to an equivalent regular expression (state elimination on
+/// a generalized NFA). The automaton is trimmed first; an empty language
+/// yields `Regex::Empty`.
+///
+/// Output size is worst-case exponential in the number of states — this
+/// mirrors the conciseness discussion in the paper's §8 and is acceptable for
+/// the small automata arising in Lemma 12's equality classes.
+pub fn nfa_to_regex(nfa: &Nfa) -> Regex {
+    let nfa = nfa.trim();
+    if nfa.is_empty() {
+        return Regex::Empty;
+    }
+    let n = nfa.state_count();
+    // Generalized NFA edges: (from, to) -> regex. Fresh start = n, final = n + 1.
+    let start = n;
+    let fin = n + 1;
+    let mut edges: HashMap<(usize, usize), Regex> = HashMap::new();
+    let add = |edges: &mut HashMap<(usize, usize), Regex>, f: usize, t: usize, r: Regex| {
+        if r == Regex::Empty {
+            return;
+        }
+        match edges.entry((f, t)) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let old = e.get().clone();
+                *e.get_mut() = Regex::alt(vec![old, r]);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(r);
+            }
+        }
+    };
+    for s in nfa.states() {
+        for &(l, t) in nfa.transitions(s) {
+            add(&mut edges, s.index(), t.index(), label_to_regex(l));
+        }
+    }
+    add(&mut edges, start, nfa.start().index(), Regex::Epsilon);
+    for f in nfa.final_states() {
+        add(&mut edges, f.index(), fin, Regex::Epsilon);
+    }
+
+    // Eliminate original states, lowest degree first (keeps outputs smaller).
+    let mut alive: Vec<usize> = (0..n).collect();
+    while !alive.is_empty() {
+        // Pick the alive state with the fewest incident GNFA edges.
+        let (pos, &r) = alive
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &s)| {
+                edges
+                    .keys()
+                    .filter(|&&(f, t)| f == s || t == s)
+                    .count()
+            })
+            .unwrap();
+        alive.swap_remove(pos);
+
+        let self_loop = edges.remove(&(r, r));
+        let loop_star = self_loop.map(Regex::star);
+        let ins: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|(&(_, t), _)| t == r)
+            .map(|(&(f, _), re)| (f, re.clone()))
+            .collect();
+        let outs: Vec<(usize, Regex)> = edges
+            .iter()
+            .filter(|(&(f, _), _)| f == r)
+            .map(|(&(_, t), re)| (t, re.clone()))
+            .collect();
+        edges.retain(|&(f, t), _| f != r && t != r);
+        for (f, rin) in &ins {
+            for (t, rout) in &outs {
+                let mut parts = vec![rin.clone()];
+                if let Some(ls) = &loop_star {
+                    parts.push(ls.clone());
+                }
+                parts.push(rout.clone());
+                add(&mut edges, *f, *t, Regex::concat(parts));
+            }
+        }
+    }
+    edges.remove(&(start, fin)).unwrap_or(Regex::Empty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_regex;
+    use cxrpq_graph::Alphabet;
+
+    fn round_trip(s: &str) {
+        let mut alpha = Alphabet::from_chars("abc");
+        let r = parse_regex(s, &mut alpha).unwrap();
+        let m = Nfa::from_regex(&r);
+        let back = nfa_to_regex(&m);
+        let m2 = Nfa::from_regex(&back);
+        assert_eq!(
+            m.enumerate_upto(5, 3),
+            m2.enumerate_upto(5, 3),
+            "language changed for {s}: got {}",
+            back.render(&alpha)
+        );
+    }
+
+    #[test]
+    fn round_trips_preserve_language() {
+        for s in ["a", "ab", "a|b", "a*", "(ab|c)+", "a(b|c)*a", "_", "(a|ε)b*"] {
+            round_trip(s);
+        }
+    }
+
+    #[test]
+    fn empty_language_to_empty_regex() {
+        let mut alpha = Alphabet::from_chars("a");
+        let r = parse_regex("!", &mut alpha).unwrap();
+        let m = Nfa::from_regex(&r);
+        assert_eq!(nfa_to_regex(&m), Regex::Empty);
+    }
+
+    #[test]
+    fn intersection_to_regex() {
+        // L(a*b*) ∩ L((ab)*|a*) = a* ∪ {ab}.
+        let mut alpha = Alphabet::from_chars("ab");
+        let r1 = parse_regex("a*b*", &mut alpha).unwrap();
+        let r2 = parse_regex("(ab)*|a*", &mut alpha).unwrap();
+        let i = Nfa::intersection(&Nfa::from_regex(&r1), &Nfa::from_regex(&r2));
+        let back = nfa_to_regex(&i);
+        let m = Nfa::from_regex(&back);
+        let expect = |w: &str| alpha.parse_word(w).unwrap();
+        assert!(m.accepts(&expect("")));
+        assert!(m.accepts(&expect("aaa")));
+        assert!(m.accepts(&expect("ab")));
+        assert!(!m.accepts(&expect("abab")));
+        assert!(!m.accepts(&expect("bb")));
+    }
+
+    #[test]
+    fn any_labels_survive() {
+        let mut alpha = Alphabet::from_chars("ab");
+        let r = parse_regex(".*a", &mut alpha).unwrap();
+        let m = Nfa::from_regex(&r);
+        let back = nfa_to_regex(&m);
+        let m2 = Nfa::from_regex(&back);
+        assert_eq!(m.enumerate_upto(4, 2), m2.enumerate_upto(4, 2));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests: the AST backtracking matcher, the Thompson-NFA
+//! simulation, bounded enumeration, reversal and state elimination must all
+//! agree on random regular expressions.
+
+use cxrpq_automata::{nfa_equivalent, nfa_included, nfa_to_regex, Dfa, Nfa, Regex};
+use cxrpq_graph::Symbol;
+use proptest::prelude::*;
+
+const CASES: u32 = if cfg!(debug_assertions) { 32 } else { 128 };
+
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        Just(Regex::Empty),
+        (0u32..2).prop_map(|i| Regex::Sym(Symbol(i))),
+        Just(Regex::Any),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..=3).prop_map(Regex::Concat),
+            proptest::collection::vec(inner.clone(), 2..=3).prop_map(Regex::Alt),
+            inner.clone().prop_map(|r| Regex::Plus(Box::new(r))),
+            inner.prop_map(|r| Regex::Star(Box::new(r))),
+        ]
+    })
+}
+
+fn word_strategy() -> impl Strategy<Value = Vec<Symbol>> {
+    proptest::collection::vec(0u32..2, 0..=6).prop_map(|v| v.into_iter().map(Symbol).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// AST matcher ≡ NFA simulation.
+    #[test]
+    fn matcher_agrees_with_nfa(r in regex_strategy(), w in word_strategy()) {
+        let nfa = Nfa::from_regex(&r);
+        prop_assert_eq!(r.matches(&w), nfa.accepts(&w));
+    }
+
+    /// AST-level bounded enumeration ≡ NFA-level bounded enumeration.
+    #[test]
+    fn enumerations_agree(r in regex_strategy()) {
+        let nfa = Nfa::from_regex(&r);
+        prop_assert_eq!(r.enumerate_upto(4, 2), nfa.enumerate_upto(4, 2));
+    }
+
+    /// State elimination round-trips the language.
+    #[test]
+    fn state_elimination_round_trip(r in regex_strategy()) {
+        let nfa = Nfa::from_regex(&r);
+        let back = nfa_to_regex(&nfa);
+        let nfa2 = Nfa::from_regex(&back);
+        prop_assert_eq!(nfa.enumerate_upto(4, 2), nfa2.enumerate_upto(4, 2));
+    }
+
+    /// Emptiness ≡ syntactic emptiness ≡ no short witness for trim automata.
+    #[test]
+    fn emptiness_coherent(r in regex_strategy()) {
+        let nfa = Nfa::from_regex(&r);
+        prop_assert_eq!(nfa.is_empty(), r.is_empty_lang());
+        if !nfa.is_empty() {
+            prop_assert!(nfa.shortest_word(2).is_some());
+        } else {
+            prop_assert!(nfa.shortest_word(2).is_none());
+        }
+    }
+
+    /// Intersection is sound and complete on enumerated words.
+    #[test]
+    fn intersection_correct(r1 in regex_strategy(), r2 in regex_strategy()) {
+        let m1 = Nfa::from_regex(&r1);
+        let m2 = Nfa::from_regex(&r2);
+        let i = Nfa::intersection(&m1, &m2);
+        for w in i.enumerate_upto(3, 2) {
+            prop_assert!(m1.accepts(&w) && m2.accepts(&w));
+        }
+        for w in m1.enumerate_upto(3, 2) {
+            prop_assert_eq!(i.accepts(&w), m2.accepts(&w));
+        }
+    }
+
+    /// Nullability matches ε-acceptance.
+    #[test]
+    fn nullable_matches_acceptance(r in regex_strategy()) {
+        prop_assert_eq!(r.nullable(), Nfa::from_regex(&r).accepts(&[]));
+    }
+
+    /// Determinization preserves the language; minimization preserves the
+    /// DFA's language and never grows it; complement flips membership.
+    #[test]
+    fn dfa_pipeline_sound(r in regex_strategy(), w in word_strategy()) {
+        let nfa = Nfa::from_regex(&r);
+        let dfa = Dfa::from_nfa(&nfa, 2);
+        prop_assert_eq!(nfa.accepts(&w), dfa.accepts(&w));
+        let min = dfa.minimize();
+        prop_assert!(min.state_count() <= dfa.state_count());
+        prop_assert_eq!(dfa.accepts(&w), min.accepts(&w));
+        prop_assert!(Dfa::equivalent(&dfa, &min));
+        prop_assert_eq!(dfa.complement().accepts(&w), !dfa.accepts(&w));
+    }
+
+    /// State elimination is an exact language round-trip (decided by DFA
+    /// equivalence, not sampling — strictly stronger than
+    /// `state_elimination_round_trip`).
+    #[test]
+    fn state_elimination_exact(r in regex_strategy()) {
+        let nfa = Nfa::from_regex(&r);
+        let back = Nfa::from_regex(&nfa_to_regex(&nfa));
+        prop_assert!(nfa_equivalent(&nfa, &back, 2));
+    }
+
+    /// Minimization is canonical: two equivalent regexes minimize to DFAs of
+    /// the same size, and `find_difference` returns a word exactly when the
+    /// languages differ (verified against the NFA simulation).
+    #[test]
+    fn equivalence_decision_correct(r1 in regex_strategy(), r2 in regex_strategy()) {
+        let m1 = Nfa::from_regex(&r1);
+        let m2 = Nfa::from_regex(&r2);
+        let d1 = Dfa::from_nfa(&m1, 2);
+        let d2 = Dfa::from_nfa(&m2, 2);
+        match Dfa::find_difference(&d1, &d2) {
+            Some(w) => prop_assert_ne!(m1.accepts(&w), m2.accepts(&w)),
+            None => {
+                prop_assert_eq!(
+                    d1.minimize().state_count(),
+                    d2.minimize().state_count()
+                );
+                // Spot-check agreement on short words.
+                for w in m1.enumerate_upto(3, 2) {
+                    prop_assert!(m2.accepts(&w));
+                }
+            }
+        }
+        // Inclusion is consistent with intersection-emptiness of complement:
+        // L(m1) ⊆ L(m2) iff every enumerated member of m1 is in m2.
+        if nfa_included(&m1, &m2, 2) {
+            for w in m1.enumerate_upto(3, 2) {
+                prop_assert!(m2.accepts(&w));
+            }
+        }
+    }
+
+    /// Intersection via NFAs matches DFA-level conjunction of memberships —
+    /// the machinery behind the Lemma 12 translation's `β ≡ ⋂ᵢ L(αᵢ)`.
+    #[test]
+    fn intersection_exact_by_dfa(r1 in regex_strategy(), r2 in regex_strategy(), w in word_strategy()) {
+        let m1 = Nfa::from_regex(&r1);
+        let m2 = Nfa::from_regex(&r2);
+        let inter = Nfa::intersection(&m1, &m2);
+        let d = Dfa::from_nfa(&inter, 2);
+        prop_assert_eq!(d.accepts(&w), m1.accepts(&w) && m2.accepts(&w));
+    }
+}

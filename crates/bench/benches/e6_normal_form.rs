@@ -1,0 +1,33 @@
+//! Criterion bench for E6/E7 (Theorem 4, Lemma 8): normal-form
+//! construction on the exponential chain family vs. the flat family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxrpq_graph::Symbol;
+use cxrpq_xregex::normal_form::{chain_family, flat_family, normal_form};
+use cxrpq_xregex::ConjunctiveXregex;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let a = Symbol(0);
+    let mut group = c.benchmark_group("e6_normal_form");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for n in [4usize, 6, 8] {
+        let (chain, vars) = chain_family(n, a);
+        let cx = ConjunctiveXregex::new(vec![chain], vars).unwrap();
+        group.bench_with_input(BenchmarkId::new("chain", n), &cx, |b, cx| {
+            b.iter(|| std::hint::black_box(normal_form(cx).unwrap().1.output_size));
+        });
+        let (flat, vars) = flat_family(n, a);
+        let fx = ConjunctiveXregex::new(vec![flat], vars).unwrap();
+        group.bench_with_input(BenchmarkId::new("flat", n), &fx, |b, fx| {
+            b.iter(|| std::hint::black_box(normal_form(fx).unwrap().1.output_size));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

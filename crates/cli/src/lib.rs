@@ -1,0 +1,435 @@
+//! Command implementations for `cxrpq-cli`.
+//!
+//! Each command is a pure function from input *contents* (not file paths)
+//! to a rendered report, so the whole surface is unit-testable; `main.rs`
+//! only handles argument parsing and file IO.
+//!
+//! Commands:
+//!
+//! | command      | purpose                                                    |
+//! |--------------|------------------------------------------------------------|
+//! | `graph-info` | database statistics                                        |
+//! | `classify`   | §5/§6 fragment of a query + planned engine                 |
+//! | `eval`       | evaluate a query (auto / forced engine, optional witness)  |
+//! | `check`      | the Check problem for a node tuple                         |
+//! | `normal-form`| Theorem 4 normal form with per-step size accounting        |
+//! | `translate`  | Lemma 13/14 union translations with size reports           |
+//! | `sample`     | sample conjunctive matches of the query's xregex           |
+
+use cxrpq_core::engine::{AutoEvaluator, EngineKind, EvalOptions};
+use cxrpq_core::query_text::parse_query;
+use cxrpq_core::translate;
+use cxrpq_core::Cxrpq;
+use cxrpq_graph::{read_graph, Alphabet, GraphDb, NodeId};
+use cxrpq_xregex::normal_form::normal_form;
+use cxrpq_xregex::sample::{sample_conjunctive_match, SampleConfig};
+use cxrpq_xregex::classification;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// A command failure, rendered to stderr by `main`.
+pub type CmdError = String;
+
+fn parse_graph(text: &str) -> Result<(GraphDb, HashMap<String, NodeId>), CmdError> {
+    read_graph(text).map_err(|e| format!("graph: {e}"))
+}
+
+/// Parses a query against the (extensible) alphabet of `db`, so labels may
+/// intern new symbols mentioned only in the query.
+fn parse_query_for(db: &GraphDb, query_text: &str) -> Result<(Cxrpq, Alphabet), CmdError> {
+    let mut alphabet = db.alphabet().clone();
+    let q = parse_query(query_text, &mut alphabet).map_err(|e| format!("query: {e}"))?;
+    Ok((q, alphabet))
+}
+
+/// `graph-info <graph>`: node/edge counts and a per-symbol histogram.
+pub fn graph_info(graph_text: &str) -> Result<String, CmdError> {
+    let (db, _) = parse_graph(graph_text)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes:   {}", db.node_count());
+    let _ = writeln!(out, "edges:   {}", db.edge_count());
+    let _ = writeln!(out, "size |D|: {}", db.size());
+    let _ = writeln!(out, "alphabet ({} symbols):", db.alphabet().len());
+    let mut counts = vec![0usize; db.alphabet().len()];
+    for (_, a, _) in db.edges() {
+        counts[a.index()] += 1;
+    }
+    for s in db.alphabet().symbols() {
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>6} arcs",
+            db.alphabet().name(s),
+            counts[s.index()]
+        );
+    }
+    Ok(out)
+}
+
+/// `classify <query>`: fragment flags and the planner's engine choice.
+pub fn classify(query_text: &str) -> Result<String, CmdError> {
+    let mut alphabet = Alphabet::new();
+    let q = parse_query(query_text, &mut alphabet).map_err(|e| format!("query: {e}"))?;
+    let c = classification(q.conjunctive());
+    let auto = AutoEvaluator::new(&q);
+    let mut out = String::new();
+    let _ = writeln!(out, "edges:            {}", q.pattern().edge_count());
+    let _ = writeln!(out, "output arity:     {}", q.output().len());
+    let _ = writeln!(out, "string variables: {}", q.conjunctive().var_count());
+    let _ = writeln!(out, "size |q|:         {}", q.size());
+    let _ = writeln!(out, "vstar-free:       {}", c.vstar_free);
+    let _ = writeln!(out, "valt-free:        {}", c.valt_free);
+    let _ = writeln!(out, "variable-simple:  {}", c.variable_simple);
+    let _ = writeln!(out, "simple:           {}", c.simple);
+    let _ = writeln!(out, "normal form:      {}", c.normal_form);
+    let _ = writeln!(out, "flat variables:   {}", c.all_flat);
+    let _ = writeln!(out, "fragment:         {:?}", c.fragment());
+    let _ = writeln!(out, "planned engine:   {}", auto.plan());
+    let _ = writeln!(
+        out,
+        "exact:            {}",
+        if auto.is_exact() {
+            "yes"
+        } else {
+            "no (bounded-image under-approximation)"
+        }
+    );
+    Ok(out)
+}
+
+/// Options for [`eval`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvalCmdOptions {
+    /// Forced engine (None = plan by fragment).
+    pub engine: Option<EngineKind>,
+    /// Image bound for the bounded engine.
+    pub k: Option<usize>,
+    /// Print at most this many answers.
+    pub limit: Option<usize>,
+    /// Also extract and print a witness.
+    pub witness: bool,
+}
+
+/// `eval <graph> <query>`: answers (or Boolean verdict) plus provenance.
+pub fn eval(
+    graph_text: &str,
+    query_text: &str,
+    opts: EvalCmdOptions,
+) -> Result<String, CmdError> {
+    let (db, _) = parse_graph(graph_text)?;
+    let (q, _) = parse_query_for(&db, query_text)?;
+    let auto = AutoEvaluator::with_options(
+        &q,
+        EvalOptions {
+            bounded_k: opts.k.unwrap_or(3),
+            force: opts.engine,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "engine: {}", auto.plan());
+    if !auto.is_exact() {
+        let _ = writeln!(
+            out,
+            "note: general-fragment query evaluated under ⊨_{{≤{}}} (Theorem 6); \
+             answers are a sound under-approximation",
+            opts.k.unwrap_or(3)
+        );
+    }
+    if q.is_boolean() {
+        let r = auto.boolean(&db);
+        let _ = writeln!(out, "match: {}  ({:?})", r.value, r.elapsed);
+    } else {
+        let r = auto.answers(&db);
+        let _ = writeln!(out, "answers: {}  ({:?})", r.value.len(), r.elapsed);
+        let limit = opts.limit.unwrap_or(usize::MAX);
+        for tuple in r.value.iter().take(limit) {
+            let names: Vec<String> = tuple.iter().map(|&n| db.node_name(n)).collect();
+            let _ = writeln!(out, "  ({})", names.join(", "));
+        }
+        if r.value.len() > limit {
+            let _ = writeln!(out, "  … {} more", r.value.len() - limit);
+        }
+    }
+    if opts.witness {
+        match auto.witness(&db).value {
+            Some(w) => {
+                let _ = writeln!(out, "witness:");
+                for line in w.render(&db).lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+            None => {
+                let _ = writeln!(out, "witness: none (no match)");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `check <graph> <query> <node>…`: the Check problem for named nodes.
+pub fn check(
+    graph_text: &str,
+    query_text: &str,
+    node_names: &[&str],
+) -> Result<String, CmdError> {
+    let (db, names) = parse_graph(graph_text)?;
+    let (q, _) = parse_query_for(&db, query_text)?;
+    if node_names.len() != q.output().len() {
+        return Err(format!(
+            "query has output arity {}, got {} nodes",
+            q.output().len(),
+            node_names.len()
+        ));
+    }
+    let tuple: Vec<NodeId> = node_names
+        .iter()
+        .map(|n| {
+            names
+                .get(*n)
+                .copied()
+                .ok_or_else(|| format!("unknown node {n:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let auto = AutoEvaluator::new(&q);
+    let r = auto.check(&db, &tuple);
+    Ok(format!(
+        "({}) ∈ q(D): {}  [engine: {}, {:?}]\n",
+        node_names.join(", "),
+        r.value,
+        r.engine,
+        r.elapsed
+    ))
+}
+
+/// `normal-form <query>`: Theorem 4's construction with size accounting.
+pub fn normal_form_report(query_text: &str) -> Result<String, CmdError> {
+    let mut alphabet = Alphabet::new();
+    let q = parse_query(query_text, &mut alphabet).map_err(|e| format!("query: {e}"))?;
+    let (nf, stats) =
+        normal_form(q.conjunctive()).map_err(|e| format!("normal form: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "input size |ᾱ|:    {}", stats.input_size);
+    let _ = writeln!(out, "after Step 1:      {} (Lemma 4)", stats.after_step1);
+    let _ = writeln!(out, "after Step 2:      {} (Lemma 5)", stats.after_step2);
+    let _ = writeln!(out, "normal form |β̄|:   {} (Lemma 6)", stats.output_size);
+    let _ = writeln!(out, "components:");
+    for rendered in nf.render(&alphabet) {
+        let _ = writeln!(out, "  {rendered}");
+    }
+    Ok(out)
+}
+
+/// Target of a [`translate`] run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TranslateTarget {
+    /// Lemma 14: `CXRPQ^{≤k} → ∪-CRPQ` (needs `k` and `|Σ|`).
+    UnionCrpq {
+        /// The image bound.
+        k: usize,
+    },
+    /// Lemma 13: `CXRPQ^{vsf} → ∪-ECRPQ^er`.
+    UnionEcrpq,
+}
+
+/// `translate <query> --to …`: run a §7 translation and report its size.
+pub fn translate_cmd(query_text: &str, target: TranslateTarget) -> Result<String, CmdError> {
+    let mut alphabet = Alphabet::new();
+    let q = parse_query(query_text, &mut alphabet).map_err(|e| format!("query: {e}"))?;
+    let mut out = String::new();
+    match target {
+        TranslateTarget::UnionCrpq { k } => {
+            let union = translate::cxrpq_bounded_to_union(&q, k, alphabet.len().max(1));
+            let _ = writeln!(out, "Lemma 14: CXRPQ^{{≤{k}}} → ∪-CRPQ");
+            let _ = writeln!(out, "members:    {}", union.len());
+            let _ = writeln!(out, "total size: {}", union.size());
+            let _ = writeln!(out, "input size: {}", q.size());
+        }
+        TranslateTarget::UnionEcrpq => {
+            let union =
+                translate::cxrpq_vsf_to_union(&q).map_err(|e| format!("translate: {e}"))?;
+            let _ = writeln!(out, "Lemma 13: CXRPQ^vsf → ∪-ECRPQ^er");
+            let _ = writeln!(out, "members:    {}", union.len());
+            let _ = writeln!(out, "total size: {}", union.size());
+            let _ = writeln!(out, "all ECRPQ^er: {}", union.is_er());
+            let _ = writeln!(out, "input size: {}", q.size());
+        }
+    }
+    Ok(out)
+}
+
+/// `sample <query>`: random conjunctive matches of the query's xregex.
+pub fn sample(query_text: &str, count: usize, seed: u64) -> Result<String, CmdError> {
+    let mut alphabet = Alphabet::new();
+    let q = parse_query(query_text, &mut alphabet).map_err(|e| format!("query: {e}"))?;
+    let sigma = alphabet.len().max(1);
+    let cfg = SampleConfig {
+        rep_continue: 0.5,
+        max_reps: 3,
+        free_image_max: 2,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+    let mut produced = 0usize;
+    for _ in 0..count * 20 {
+        if produced == count {
+            break;
+        }
+        if let Some((words, vmap)) = sample_conjunctive_match(q.conjunctive(), sigma, &cfg, &mut rng)
+        {
+            let rendered: Vec<String> = words
+                .iter()
+                .map(|w| format!("\"{}\"", alphabet.render_word(w)))
+                .collect();
+            let images: Vec<String> = vmap
+                .iter()
+                .map(|(x, w)| {
+                    format!(
+                        "{}=\"{}\"",
+                        q.conjunctive().vars().name(*x),
+                        alphabet.render_word(w)
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "({})  [{}]", rendered.join(", "), images.join(", "));
+            produced += 1;
+        }
+    }
+    if produced == 0 {
+        let _ = writeln!(out, "no samples produced (language may be empty)");
+    }
+    Ok(out)
+}
+
+/// `dot <graph>`: Graphviz export of the database.
+pub fn graph_dot(graph_text: &str) -> Result<String, CmdError> {
+    let (db, _) = parse_graph(graph_text)?;
+    Ok(cxrpq_graph::dot::to_dot(&db, "db"))
+}
+
+/// Parses `--engine` values.
+pub fn parse_engine(name: &str) -> Result<EngineKind, CmdError> {
+    match name {
+        "simple" => Ok(EngineKind::Simple),
+        "vsf" => Ok(EngineKind::Vsf),
+        "bounded" => Ok(EngineKind::Bounded),
+        other => Err(format!(
+            "unknown engine {other:?} (expected simple|vsf|bounded)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GRAPH: &str = "\
+alphabet a b c
+edge u a m1
+edge m1 b m2
+edge m2 c m3
+edge m3 a m4
+edge m4 b v
+";
+
+    const QUERY: &str = "ans(x, y) <- (x) -[ z{(a|b)+}cz ]-> (y)";
+
+    #[test]
+    fn graph_info_reports_counts() {
+        let out = graph_info(GRAPH).unwrap();
+        assert!(out.contains("nodes:   6"));
+        assert!(out.contains("edges:   5"));
+        assert!(out.contains("alphabet (3 symbols):"));
+    }
+
+    #[test]
+    fn classify_reports_fragment_and_plan() {
+        let out = classify(QUERY).unwrap();
+        assert!(out.contains("fragment:         Simple"));
+        assert!(out.contains("planned engine:   simple"));
+        assert!(out.contains("exact:            yes"));
+    }
+
+    #[test]
+    fn eval_lists_answers() {
+        let out = eval(GRAPH, QUERY, EvalCmdOptions::default()).unwrap();
+        assert!(out.contains("answers: 1"), "{out}");
+        assert!(out.contains("(u, v)"));
+    }
+
+    #[test]
+    fn eval_with_witness_and_forced_engine() {
+        let out = eval(
+            GRAPH,
+            QUERY,
+            EvalCmdOptions {
+                engine: Some(EngineKind::Bounded),
+                k: Some(2),
+                witness: true,
+                limit: Some(10),
+            },
+        )
+        .unwrap();
+        assert!(out.contains("bounded-image"));
+        assert!(out.contains("witness:"));
+        assert!(out.contains("z = \"ab\""));
+    }
+
+    #[test]
+    fn check_resolves_node_names() {
+        let out = check(GRAPH, QUERY, &["u", "v"]).unwrap();
+        assert!(out.contains("∈ q(D): true"), "{out}");
+        let out2 = check(GRAPH, QUERY, &["u", "m1"]).unwrap();
+        assert!(out2.contains("∈ q(D): false"));
+        let err = check(GRAPH, QUERY, &["u"]).unwrap_err();
+        assert!(err.contains("arity"));
+        let err2 = check(GRAPH, QUERY, &["u", "nope"]).unwrap_err();
+        assert!(err2.contains("unknown node"));
+    }
+
+    #[test]
+    fn normal_form_reports_steps() {
+        let out =
+            normal_form_report("ans() <- (x) -[ z{ab|ba}z ]-> (y), (u) -[ z|ab ]-> (v)").unwrap();
+        assert!(out.contains("after Step 1:"));
+        assert!(out.contains("normal form"));
+    }
+
+    #[test]
+    fn translate_reports_union_sizes() {
+        let out = translate_cmd(QUERY, TranslateTarget::UnionCrpq { k: 2 }).unwrap();
+        assert!(out.contains("members:"), "{out}");
+        let out2 = translate_cmd(
+            "ans() <- (x) -[ z{ab|ba}z ]-> (y)",
+            TranslateTarget::UnionEcrpq,
+        )
+        .unwrap();
+        assert!(out2.contains("all ECRPQ^er: true"));
+    }
+
+    #[test]
+    fn sample_produces_matches() {
+        let out = sample(QUERY, 3, 42).unwrap();
+        // Every line shows the component word and the z-image.
+        assert!(out.lines().count() >= 1);
+        assert!(out.contains("z="), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(graph_info("bogus line\n").is_err());
+        assert!(classify("not a query").is_err());
+        assert!(eval(GRAPH, "ans(", EvalCmdOptions::default()).is_err());
+        assert!(parse_engine("warp").is_err());
+        assert!(parse_engine("vsf").is_ok());
+    }
+
+    #[test]
+    fn dot_export_via_cli() {
+        let out = graph_dot(GRAPH).unwrap();
+        assert!(out.starts_with("digraph db {"));
+        assert!(out.contains("label=\"u\""));
+        assert!(out.contains("label=\"a\""));
+    }
+}

@@ -1,0 +1,250 @@
+//! `cxrpq-cli` — query graph databases with conjunctive xregex path queries
+//! from the command line.
+//!
+//! ```text
+//! cxrpq-cli graph-info  <graph-file>
+//! cxrpq-cli classify    <query-file>
+//! cxrpq-cli eval        <graph-file> <query-file> [--engine simple|vsf|bounded]
+//!                       [--k N] [--limit N] [--witness]
+//! cxrpq-cli check       <graph-file> <query-file> <node>...
+//! cxrpq-cli normal-form <query-file>
+//! cxrpq-cli translate   <query-file> --to union-crpq --k N
+//! cxrpq-cli translate   <query-file> --to union-ecrpq
+//! cxrpq-cli sample      <query-file> [--count N] [--seed N]
+//! ```
+
+use cxrpq_cli::{
+    check, classify, eval, graph_dot, graph_info, normal_form_report, parse_engine, sample,
+    translate_cmd, EvalCmdOptions, TranslateTarget,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cxrpq-cli <command> ...
+  graph-info  <graph-file>
+  dot         <graph-file>
+  classify    <query-file>
+  eval        <graph-file> <query-file> [--engine simple|vsf|bounded] [--k N]
+              [--limit N] [--witness]
+  check       <graph-file> <query-file> <node>...
+  normal-form <query-file>
+  translate   <query-file> --to union-crpq --k N | --to union-ecrpq
+  sample      <query-file> [--count N] [--seed N]
+";
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let cmd = args.first().map(String::as_str).ok_or(USAGE.to_string())?;
+    match cmd {
+        "graph-info" => {
+            let path = args.get(1).ok_or("graph-info needs a graph file")?;
+            graph_info(&read(path)?)
+        }
+        "dot" => {
+            let path = args.get(1).ok_or("dot needs a graph file")?;
+            graph_dot(&read(path)?)
+        }
+        "classify" => {
+            let path = args.get(1).ok_or("classify needs a query file")?;
+            classify(&read(path)?)
+        }
+        "eval" => {
+            let graph = args.get(1).ok_or("eval needs <graph> <query>")?;
+            let query = args.get(2).ok_or("eval needs <graph> <query>")?;
+            let mut opts = EvalCmdOptions::default();
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--engine" => {
+                        i += 1;
+                        opts.engine =
+                            Some(parse_engine(args.get(i).ok_or("--engine needs a value")?)?);
+                    }
+                    "--k" => {
+                        i += 1;
+                        opts.k = Some(
+                            args.get(i)
+                                .ok_or("--k needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--k: {e}"))?,
+                        );
+                    }
+                    "--limit" => {
+                        i += 1;
+                        opts.limit = Some(
+                            args.get(i)
+                                .ok_or("--limit needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--limit: {e}"))?,
+                        );
+                    }
+                    "--witness" => opts.witness = true,
+                    other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+                }
+                i += 1;
+            }
+            eval(&read(graph)?, &read(query)?, opts)
+        }
+        "check" => {
+            let graph = args.get(1).ok_or("check needs <graph> <query> <node>...")?;
+            let query = args.get(2).ok_or("check needs <graph> <query> <node>...")?;
+            let nodes: Vec<&str> = args[3..].iter().map(String::as_str).collect();
+            check(&read(graph)?, &read(query)?, &nodes)
+        }
+        "normal-form" => {
+            let path = args.get(1).ok_or("normal-form needs a query file")?;
+            normal_form_report(&read(path)?)
+        }
+        "translate" => {
+            let path = args.get(1).ok_or("translate needs a query file")?;
+            let mut target = None;
+            let mut k = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--to" => {
+                        i += 1;
+                        target = Some(args.get(i).ok_or("--to needs a value")?.clone());
+                    }
+                    "--k" => {
+                        i += 1;
+                        k = Some(
+                            args.get(i)
+                                .ok_or("--k needs a value")?
+                                .parse::<usize>()
+                                .map_err(|e| format!("--k: {e}"))?,
+                        );
+                    }
+                    other => return Err(format!("unknown option {other:?}")),
+                }
+                i += 1;
+            }
+            let target = match target.as_deref() {
+                Some("union-crpq") => TranslateTarget::UnionCrpq {
+                    k: k.ok_or("union-crpq needs --k")?,
+                },
+                Some("union-ecrpq") => TranslateTarget::UnionEcrpq,
+                other => return Err(format!("--to must be union-crpq|union-ecrpq, got {other:?}")),
+            };
+            translate_cmd(&read(path)?, target)
+        }
+        "sample" => {
+            let path = args.get(1).ok_or("sample needs a query file")?;
+            let mut count = 5usize;
+            let mut seed = 1u64;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--count" => {
+                        i += 1;
+                        count = args
+                            .get(i)
+                            .ok_or("--count needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--count: {e}"))?;
+                    }
+                    "--seed" => {
+                        i += 1;
+                        seed = args
+                            .get(i)
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?;
+                    }
+                    other => return Err(format!("unknown option {other:?}")),
+                }
+                i += 1;
+            }
+            sample(&read(path)?, count, seed)
+        }
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage_error() {
+        assert!(run(&[]).unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&argv(&["--help"])).unwrap().contains("graph-info"));
+        assert!(run(&argv(&["help"])).unwrap().contains("translate"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let e = run(&argv(&["frobnicate"])).unwrap_err();
+        assert!(e.contains("unknown command"));
+    }
+
+    #[test]
+    fn missing_operands_rejected() {
+        assert!(run(&argv(&["eval"])).unwrap_err().contains("eval needs"));
+        assert!(run(&argv(&["translate", "/nonexistent", "--to", "bogus"]))
+            .unwrap_err()
+            .contains("union-crpq|union-ecrpq"));
+        assert!(run(&argv(&["classify", "/nonexistent-file-xyz"]))
+            .unwrap_err()
+            .contains("/nonexistent-file-xyz"));
+    }
+
+    #[test]
+    fn eval_option_errors() {
+        // Option parsing fails before any file IO for unknown options.
+        let e = run(&argv(&["eval", "/g", "/q", "--bogus"])).unwrap_err();
+        assert!(e.contains("unknown option"));
+        let e2 = run(&argv(&["eval", "/g", "/q", "--k", "xyz"])).unwrap_err();
+        assert!(e2.contains("--k"));
+        let e3 = run(&argv(&["eval", "/g", "/q", "--engine", "warp"])).unwrap_err();
+        assert!(e3.contains("unknown engine"));
+    }
+
+    #[test]
+    fn end_to_end_through_temp_files() {
+        let dir = std::env::temp_dir().join("cxrpq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = dir.join("g.graph");
+        let q = dir.join("q.cxrpq");
+        std::fs::write(&g, "edge u a v\nedge v a u\n").unwrap();
+        std::fs::write(&q, "ans(x, y) <- (x) -[ aa ]-> (y)").unwrap();
+        let out = run(&argv(&[
+            "eval",
+            g.to_str().unwrap(),
+            q.to_str().unwrap(),
+            "--limit",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("answers: 2"), "{out}");
+        let dot = run(&argv(&["dot", g.to_str().unwrap()])).unwrap();
+        assert!(dot.contains("digraph"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

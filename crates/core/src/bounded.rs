@@ -1,0 +1,523 @@
+//! Theorem 6: evaluation of `CXRPQ^{≤k}` — NP combined / NL data complexity.
+//!
+//! The algorithm of §6.1: nondeterministically guess a variable mapping
+//! `v̄ ∈ (Σ^{≤k})ⁿ`, specialize the conjunctive xregex to a tuple of
+//! classical regular expressions (Lemma 10/11), and evaluate the resulting
+//! CRPQ. Derandomized here as an enumeration of candidate mappings in
+//! ≺-topological order, with *candidate pruning*: a defined variable only
+//! ranges over `{ε} ∪ ⋃_defs L^{≤k}(γ′)` where `γ′` substitutes the images
+//! of earlier variables — every skipped mapping is one Lemma 10 would
+//! specialize to ∅. The unpruned enumeration (all `(|Σ|+1)^{nk}`-ish
+//! mappings) is kept as an ablation for experiment E8.
+
+use crate::crpq::CrpqEvaluator;
+use crate::cxrpq::Cxrpq;
+use crate::witness::QueryWitness;
+use cxrpq_automata::Nfa;
+use cxrpq_graph::{GraphDb, NodeId, Symbol};
+use cxrpq_xregex::specialize::{specialize, substituted_body, VarMapping};
+use cxrpq_xregex::{Var, Xregex};
+use std::collections::BTreeSet;
+
+/// Counters from one evaluation run (experiment E8's measurable content).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct BoundedStats {
+    /// Candidate variable mappings visited.
+    pub mappings: usize,
+    /// Mappings whose specialization was non-empty (CRPQs evaluated).
+    pub crpqs_evaluated: usize,
+    /// Product states explored across all CRPQ evaluations.
+    pub product_states: usize,
+}
+
+/// The `CXRPQ^{≤k}` engine.
+pub struct BoundedEvaluator<'q> {
+    q: &'q Cxrpq,
+    k: usize,
+    prune: bool,
+}
+
+impl<'q> BoundedEvaluator<'q> {
+    /// Evaluator for `q^{≤k}` with candidate pruning enabled.
+    pub fn new(q: &'q Cxrpq, k: usize) -> Self {
+        Self {
+            q,
+            k,
+            prune: true,
+        }
+    }
+
+    /// Disables candidate pruning (blind `(Σ^{≤k})ⁿ` enumeration) — the
+    /// ablation arm of experiment E8.
+    pub fn without_pruning(mut self) -> Self {
+        self.prune = false;
+        self
+    }
+
+    /// The image bound k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn all_words_upto(&self, sigma: usize) -> Vec<Vec<Symbol>> {
+        let mut out: Vec<Vec<Symbol>> = vec![Vec::new()];
+        let mut frontier: Vec<Vec<Symbol>> = vec![Vec::new()];
+        for _ in 0..self.k {
+            let mut next = Vec::with_capacity(frontier.len() * sigma);
+            for w in &frontier {
+                for s in 0..sigma as u32 {
+                    let mut v = w.clone();
+                    v.push(Symbol(s));
+                    next.push(v);
+                }
+            }
+            out.extend(next.iter().cloned());
+            frontier = next;
+        }
+        out
+    }
+
+    /// Definition bodies of `x` across all components.
+    fn def_bodies(&self, x: Var) -> Vec<Xregex> {
+        let mut bodies = Vec::new();
+        for c in self.q.conjunctive().components() {
+            c.walk(&mut |n| {
+                if let Xregex::VarDef(y, body) = n {
+                    if *y == x {
+                        bodies.push((**body).clone());
+                    }
+                }
+            });
+        }
+        bodies
+    }
+
+    /// Enumerates candidate mappings in ≺-topological order; `f` returns
+    /// `true` to stop.
+    fn for_each_mapping(
+        &self,
+        sigma: usize,
+        stats: &mut BoundedStats,
+        f: &mut dyn FnMut(&VarMapping, &mut BoundedStats) -> bool,
+    ) -> bool {
+        let order = self.q.conjunctive().topological_vars();
+        let mut psi = VarMapping::new();
+        self.rec(&order, 0, sigma, &mut psi, stats, f)
+    }
+
+    /// Candidate images of `x` given the images of ≺-earlier variables.
+    fn candidates_for(&self, x: Var, psi: &VarMapping, sigma: usize) -> Vec<Vec<Symbol>> {
+        let bodies = self.def_bodies(x);
+        if !self.prune || bodies.is_empty() {
+            // Undefined variables range over all of Σ^{≤k} (dummy-definition
+            // semantics); unpruned mode enumerates blindly for everyone.
+            self.all_words_upto(sigma)
+        } else {
+            let mut set: BTreeSet<Vec<Symbol>> = BTreeSet::new();
+            set.insert(Vec::new()); // ε: the never-instantiated option
+            for body in &bodies {
+                let re = substituted_body(body, psi);
+                for w in Nfa::from_regex(&re).enumerate_upto(self.k, sigma) {
+                    set.insert(w);
+                }
+            }
+            set.into_iter().collect()
+        }
+    }
+
+    fn rec(
+        &self,
+        order: &[Var],
+        idx: usize,
+        sigma: usize,
+        psi: &mut VarMapping,
+        stats: &mut BoundedStats,
+        f: &mut dyn FnMut(&VarMapping, &mut BoundedStats) -> bool,
+    ) -> bool {
+        if idx == order.len() {
+            stats.mappings += 1;
+            return f(psi, stats);
+        }
+        let x = order[idx];
+        for c in self.candidates_for(x, psi, sigma) {
+            psi.insert(x, c);
+            if self.rec(order, idx + 1, sigma, psi, stats, f) {
+                psi.remove(&x);
+                return true;
+            }
+            psi.remove(&x);
+        }
+        false
+    }
+
+    /// Boolean evaluation `D ⊨_{≤k} q`.
+    pub fn boolean(&self, db: &GraphDb) -> bool {
+        self.boolean_with_stats(db).0
+    }
+
+    /// Boolean evaluation with enumeration counters.
+    pub fn boolean_with_stats(&self, db: &GraphDb) -> (bool, BoundedStats) {
+        let sigma = db.alphabet().len();
+        let mut stats = BoundedStats::default();
+        let hit = self.for_each_mapping(sigma, &mut stats, &mut |psi, stats| {
+            let Some(regexes) = specialize(self.q.conjunctive(), psi) else {
+                return false;
+            };
+            stats.crpqs_evaluated += 1;
+            let crpq = self.q.to_crpq(&regexes);
+            let (found, states) = CrpqEvaluator::new(&crpq).boolean_with_stats(db);
+            stats.product_states += states;
+            found
+        });
+        (hit, stats)
+    }
+
+    /// The answer relation `q^{≤k}(D)` — the union of the specialized
+    /// CRPQs' answers over all candidate mappings.
+    pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
+        let sigma = db.alphabet().len();
+        let mut out = BTreeSet::new();
+        let mut stats = BoundedStats::default();
+        self.for_each_mapping(sigma, &mut stats, &mut |psi, _| {
+            if let Some(regexes) = specialize(self.q.conjunctive(), psi) {
+                let crpq = self.q.to_crpq(&regexes);
+                out.extend(CrpqEvaluator::new(&crpq).answers(db));
+            }
+            false
+        });
+        out
+    }
+
+    /// The Check problem `t̄ ∈ q^{≤k}(D)`.
+    pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> bool {
+        let sigma = db.alphabet().len();
+        let mut stats = BoundedStats::default();
+        self.for_each_mapping(sigma, &mut stats, &mut |psi, _| {
+            if let Some(regexes) = specialize(self.q.conjunctive(), psi) {
+                let crpq = self.q.to_crpq(&regexes);
+                if CrpqEvaluator::new(&crpq).check(db, tuple) {
+                    return true;
+                }
+            }
+            false
+        })
+    }
+
+    /// Evaluation under one fixed mapping: `D ⊨_{v̄} q` (used by tests and
+    /// by the Lemma 14 translation).
+    pub fn boolean_fixed(&self, db: &GraphDb, psi: &VarMapping) -> bool {
+        match specialize(self.q.conjunctive(), psi) {
+            Some(regexes) => CrpqEvaluator::new(&self.q.to_crpq(&regexes)).boolean(db),
+            None => false,
+        }
+    }
+
+    /// Boolean evaluation parallelized across candidate images of the first
+    /// ≺-variable — candidate mappings are independent, so the enumeration
+    /// splits embarrassingly (the NP guess of Theorem 6 explored in
+    /// parallel). Falls back to the serial path for variable-free queries or
+    /// `threads ≤ 1`.
+    pub fn boolean_parallel(&self, db: &GraphDb, threads: usize) -> bool {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let sigma = db.alphabet().len();
+        let order = self.q.conjunctive().topological_vars();
+        if order.is_empty() || threads <= 1 {
+            return self.boolean(db);
+        }
+        let x = order[0];
+        let candidates = self.candidates_for(x, &VarMapping::new(), sigma);
+        if candidates.is_empty() {
+            return false;
+        }
+        let found = AtomicBool::new(false);
+        let chunk_size = candidates.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for chunk in candidates.chunks(chunk_size) {
+                let found = &found;
+                let order = &order;
+                scope.spawn(move |_| {
+                    for c in chunk {
+                        if found.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let mut psi = VarMapping::new();
+                        psi.insert(x, c.clone());
+                        let mut stats = BoundedStats::default();
+                        let hit = self.rec(order, 1, sigma, &mut psi, &mut stats, &mut |psi, _| {
+                            match specialize(self.q.conjunctive(), psi) {
+                                Some(regexes) => {
+                                    CrpqEvaluator::new(&self.q.to_crpq(&regexes)).boolean(db)
+                                }
+                                None => false,
+                            }
+                        });
+                        if hit {
+                            found.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        found.load(Ordering::Relaxed)
+    }
+
+    /// The answer relation computed in parallel (same split as
+    /// [`Self::boolean_parallel`]; per-thread partial answers are merged).
+    pub fn answers_parallel(&self, db: &GraphDb, threads: usize) -> BTreeSet<Vec<NodeId>> {
+        use std::sync::Mutex;
+        let sigma = db.alphabet().len();
+        let order = self.q.conjunctive().topological_vars();
+        if order.is_empty() || threads <= 1 {
+            return self.answers(db);
+        }
+        let x = order[0];
+        let candidates = self.candidates_for(x, &VarMapping::new(), sigma);
+        if candidates.is_empty() {
+            return BTreeSet::new();
+        }
+        let merged: Mutex<BTreeSet<Vec<NodeId>>> = Mutex::new(BTreeSet::new());
+        let chunk_size = candidates.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for chunk in candidates.chunks(chunk_size) {
+                let merged = &merged;
+                let order = &order;
+                scope.spawn(move |_| {
+                    let mut local: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+                    for c in chunk {
+                        let mut psi = VarMapping::new();
+                        psi.insert(x, c.clone());
+                        let mut stats = BoundedStats::default();
+                        self.rec(order, 1, sigma, &mut psi, &mut stats, &mut |psi, _| {
+                            if let Some(regexes) = specialize(self.q.conjunctive(), psi) {
+                                let crpq = self.q.to_crpq(&regexes);
+                                local.extend(CrpqEvaluator::new(&crpq).answers(db));
+                            }
+                            false
+                        });
+                    }
+                    merged.lock().expect("poisoned").extend(local);
+                });
+            }
+        })
+        .expect("worker panicked");
+        merged.into_inner().expect("poisoned")
+    }
+
+    /// A certificate for some matching morphism under the `≤k` semantics:
+    /// the first candidate mapping whose specialized CRPQ matches supplies
+    /// the paths; the images are the mapping itself.
+    pub fn witness(&self, db: &GraphDb) -> Option<QueryWitness> {
+        self.witness_impl(db, None)
+    }
+
+    /// A certificate for `t̄ ∈ q^{≤k}(D)`.
+    pub fn witness_for(&self, db: &GraphDb, tuple: &[NodeId]) -> Option<QueryWitness> {
+        self.witness_impl(db, Some(tuple))
+    }
+
+    fn witness_impl(&self, db: &GraphDb, tuple: Option<&[NodeId]>) -> Option<QueryWitness> {
+        let sigma = db.alphabet().len();
+        let vars = self.q.conjunctive().vars();
+        let mut stats = BoundedStats::default();
+        let mut found: Option<QueryWitness> = None;
+        self.for_each_mapping(sigma, &mut stats, &mut |psi, _| {
+            let Some(regexes) = specialize(self.q.conjunctive(), psi) else {
+                return false;
+            };
+            let crpq = self.q.to_crpq(&regexes);
+            let ev = CrpqEvaluator::new(&crpq);
+            let w = match tuple {
+                Some(t) => ev.witness_for(db, t),
+                None => ev.witness(db),
+            };
+            if let Some(mut w) = w {
+                w.images = psi
+                    .iter()
+                    .map(|(x, img)| (vars.name(*x).to_string(), img.clone()))
+                    .collect();
+                found = Some(w);
+                return true;
+            }
+            false
+        });
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cxrpq::CxrpqBuilder;
+    use cxrpq_graph::Alphabet;
+    use std::sync::Arc;
+
+    fn path_db(words: &[&str]) -> (GraphDb, Vec<(NodeId, NodeId)>) {
+        let alpha = Arc::new(Alphabet::from_chars("abc#"));
+        let mut db = GraphDb::new(alpha);
+        let mut ends = Vec::new();
+        for w in words {
+            let s = db.add_node();
+            let t = db.add_node();
+            let word = db.alphabet().parse_word(w).unwrap();
+            db.add_word_path(s, &word, t);
+            ends.push((s, t));
+        }
+        (db, ends)
+    }
+
+    #[test]
+    fn single_edge_bounded_matching() {
+        let (db, ends) = path_db(&["abcab"]);
+        let mut alpha = db.alphabet().clone();
+        // z{(a|b)+} c z: needs image "ab" (k ≥ 2).
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "z{(a|b)+}cz", "y")
+            .output(&["x", "y"])
+            .build()
+            .unwrap();
+        assert!(BoundedEvaluator::new(&q, 2).check(&db, &[ends[0].0, ends[0].1]));
+        // k = 1 is too small for image "ab".
+        assert!(!BoundedEvaluator::new(&q, 1).check(&db, &[ends[0].0, ends[0].1]));
+    }
+
+    #[test]
+    fn pruned_and_unpruned_agree() {
+        let (db, _) = path_db(&["abcab", "aabaa", "cc"]);
+        let mut alpha = db.alphabet().clone();
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "z{(a|b)+}cz", "y")
+            .build()
+            .unwrap();
+        for k in 0..=3 {
+            let pruned = BoundedEvaluator::new(&q, k);
+            let blind = BoundedEvaluator::new(&q, k).without_pruning();
+            assert_eq!(pruned.boolean(&db), blind.boolean(&db), "k={k}");
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_enumeration() {
+        let (db, _) = path_db(&["abcab"]);
+        let mut alpha = db.alphabet().clone();
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "z{ab}cz", "y") // z can only be "ab" (or ε)
+            .build()
+            .unwrap();
+        let (_, s1) = BoundedEvaluator::new(&q, 3).boolean_with_stats(&db);
+        let (_, s2) = BoundedEvaluator::new(&q, 3)
+            .without_pruning()
+            .boolean_with_stats(&db);
+        assert!(
+            s1.mappings < s2.mappings,
+            "pruned {} !< blind {}",
+            s1.mappings,
+            s2.mappings
+        );
+    }
+
+    #[test]
+    fn dependent_definitions() {
+        // y{a|b}, x{yy}: x's candidates depend on y's image.
+        let (db, ends) = path_db(&["a", "aa"]);
+        let mut alpha = db.alphabet().clone();
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("p", "y{a|b}", "q")
+            .edge("r", "x{yy}", "s")
+            .output(&["p", "q", "r", "s"])
+            .build()
+            .unwrap();
+        let ev = BoundedEvaluator::new(&q, 2);
+        assert!(ev.check(&db, &[ends[0].0, ends[0].1, ends[1].0, ends[1].1]));
+        // And the wrong composition is rejected ("a" path for x).
+        assert!(!ev.check(&db, &[ends[1].0, ends[1].1, ends[0].0, ends[0].1]));
+    }
+
+    #[test]
+    fn crpq_subsumption() {
+        // A variable-free CXRPQ behaves exactly like the CRPQ (k irrelevant,
+        // CRPQ ⊆ CXRPQ^{≤k}).
+        let (db, ends) = path_db(&["abc"]);
+        let mut alpha = db.alphabet().clone();
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "a.c", "y")
+            .output(&["x", "y"])
+            .build()
+            .unwrap();
+        let ev = BoundedEvaluator::new(&q, 0);
+        assert!(ev.check(&db, &[ends[0].0, ends[0].1]));
+    }
+
+    #[test]
+    fn answers_union_over_mappings() {
+        let (db, ends) = path_db(&["aca", "bcb", "acb"]);
+        let mut alpha = db.alphabet().clone();
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "z{a|b}cz", "y")
+            .output(&["x", "y"])
+            .build()
+            .unwrap();
+        let ans = BoundedEvaluator::new(&q, 1).answers(&db);
+        assert!(ans.contains(&vec![ends[0].0, ends[0].1]));
+        assert!(ans.contains(&vec![ends[1].0, ends[1].1]));
+        assert!(!ans.contains(&vec![ends[2].0, ends[2].1]));
+    }
+
+    #[test]
+    fn parallel_agrees_with_serial() {
+        let (db, _) = path_db(&["abcab", "aabaa", "cc", "bacba"]);
+        let mut alpha = db.alphabet().clone();
+        for pat in ["z{(a|b)+}cz", "y{a|b}x{yy}cx", "z{ab}cz"] {
+            let q = CxrpqBuilder::new(&mut alpha)
+                .edge("u", pat, "v")
+                .output(&["u", "v"])
+                .build()
+                .unwrap();
+            for k in 1..=2 {
+                let ev = BoundedEvaluator::new(&q, k);
+                for threads in [1, 2, 4] {
+                    assert_eq!(
+                        ev.boolean(&db),
+                        ev.boolean_parallel(&db, threads),
+                        "{pat} k={k} threads={threads}"
+                    );
+                    assert_eq!(
+                        ev.answers(&db),
+                        ev.answers_parallel(&db, threads),
+                        "{pat} k={k} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_variable_free_queries() {
+        let (db, ends) = path_db(&["abc"]);
+        let mut alpha = db.alphabet().clone();
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "a.c", "y")
+            .output(&["x", "y"])
+            .build()
+            .unwrap();
+        let ev = BoundedEvaluator::new(&q, 1);
+        assert!(ev.boolean_parallel(&db, 4));
+        assert!(ev
+            .answers_parallel(&db, 4)
+            .contains(&vec![ends[0].0, ends[0].1]));
+    }
+
+    #[test]
+    fn unbounded_paths_with_bounded_images() {
+        // CRPQ-parts may still traverse arbitrarily long paths: a* z{b} a* z.
+        let (db, ends) = path_db(&["aaaaabaaab"]);
+        let mut alpha = db.alphabet().clone();
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "a*z{b}a*z", "y")
+            .output(&["x", "y"])
+            .build()
+            .unwrap();
+        assert!(BoundedEvaluator::new(&q, 1).check(&db, &[ends[0].0, ends[0].1]));
+    }
+}

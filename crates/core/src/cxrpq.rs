@@ -1,0 +1,306 @@
+//! Conjunctive xregex path queries — CXRPQ (Definition 5).
+//!
+//! A CXRPQ is an `<`-CPQ whose edge labels, read jointly, form a conjunctive
+//! xregex: edge `i` carries component `ᾱ[i]`, and a matching morphism must
+//! be witnessed by a *conjunctive match* `(w₁, …, w_m) ∈ L(ᾱ)` — this is
+//! what lets string variables express inter-path dependencies.
+
+use crate::crpq::Crpq;
+use crate::pattern::{GraphPattern, NodeVar};
+use cxrpq_automata::Regex;
+use cxrpq_graph::Alphabet;
+use cxrpq_xregex::conjunctive::ConjunctiveError;
+use cxrpq_xregex::{classification, ConjunctiveXregex, Fragment, XregexParseError};
+use std::fmt;
+
+/// Errors from building a CXRPQ.
+#[derive(Debug)]
+pub enum CxrpqError {
+    /// An edge label failed to parse.
+    Parse(XregexParseError),
+    /// The tuple of labels is not a conjunctive xregex (Definition 4).
+    Conjunctive(ConjunctiveError),
+    /// An output variable does not occur in the pattern.
+    UnknownOutput(String),
+}
+
+impl fmt::Display for CxrpqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CxrpqError::Parse(e) => write!(f, "{e}"),
+            CxrpqError::Conjunctive(e) => write!(f, "{e}"),
+            CxrpqError::UnknownOutput(n) => write!(f, "unknown output variable {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CxrpqError {}
+
+/// A CXRPQ `z̄ ← G_q` with conjunctive xregex `ᾱ`; edge `i` is labelled by
+/// component `ᾱ[i]`.
+#[derive(Clone, Debug)]
+pub struct Cxrpq {
+    pattern: GraphPattern<usize>,
+    cxre: ConjunctiveXregex,
+    output: Vec<NodeVar>,
+}
+
+impl Cxrpq {
+    /// Wraps pre-built parts. The pattern's edge labels must be exactly
+    /// `0..m` in edge order.
+    pub fn from_parts(
+        pattern: GraphPattern<usize>,
+        cxre: ConjunctiveXregex,
+        output: Vec<NodeVar>,
+    ) -> Self {
+        assert_eq!(pattern.edge_count(), cxre.dim(), "edge/component mismatch");
+        for (i, (_, c, _)) in pattern.edges().iter().enumerate() {
+            assert_eq!(*c, i, "edge labels must be component indices in order");
+        }
+        Self {
+            pattern,
+            cxre,
+            output,
+        }
+    }
+
+    /// The graph pattern (labels are component indices).
+    pub fn pattern(&self) -> &GraphPattern<usize> {
+        &self.pattern
+    }
+
+    /// The conjunctive xregex `ᾱ`.
+    pub fn conjunctive(&self) -> &ConjunctiveXregex {
+        &self.cxre
+    }
+
+    /// The output tuple `z̄`.
+    pub fn output(&self) -> &[NodeVar] {
+        &self.output
+    }
+
+    /// Whether the query is Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.output.is_empty()
+    }
+
+    /// Query size |q|.
+    pub fn size(&self) -> usize {
+        self.pattern.node_count() + self.cxre.size()
+    }
+
+    /// The §5 fragment of the query's conjunctive xregex.
+    pub fn fragment(&self) -> Fragment {
+        classification(&self.cxre).fragment()
+    }
+
+    /// Rebuilds the query with a different (dimension-preserving)
+    /// conjunctive xregex — Proposition 2: equal conjunctive-match languages
+    /// give equivalent queries.
+    pub fn with_conjunctive(&self, cxre: ConjunctiveXregex) -> Self {
+        assert_eq!(cxre.dim(), self.cxre.dim());
+        Self {
+            pattern: self.pattern.clone(),
+            cxre,
+            output: self.output.clone(),
+        }
+    }
+
+    /// Instantiates the pattern with classical regexes (one per component),
+    /// yielding a CRPQ — the shape produced by Lemma 11.
+    pub fn to_crpq(&self, regexes: &[Regex]) -> Crpq {
+        assert_eq!(regexes.len(), self.cxre.dim());
+        let pattern = self.pattern.map_labels(|i, _| regexes[i].clone());
+        Crpq::new(pattern, self.output.clone())
+    }
+
+    /// Semantic witness verification: the witness's paths must be
+    /// structurally valid (see [`crate::witness::QueryWitness::verify`]) and
+    /// its matching words must form a conjunctive match of the query's
+    /// conjunctive xregex, checked by the backtracking oracle under `cfg`
+    /// (exponential in general — intended for tests and auditing).
+    pub fn certifies(
+        &self,
+        db: &cxrpq_graph::GraphDb,
+        w: &crate::witness::QueryWitness,
+        cfg: &cxrpq_xregex::matcher::MatchConfig,
+    ) -> Result<(), String> {
+        w.verify(db, &self.pattern)?;
+        let words = w.matching_words();
+        if self.cxre.is_match(&words, cfg).is_none() {
+            return Err("matching words are not a conjunctive match".into());
+        }
+        Ok(())
+    }
+
+    /// Renders the query edges for display.
+    pub fn render(&self, alphabet: &Alphabet) -> Vec<String> {
+        self.pattern
+            .edges()
+            .iter()
+            .map(|(x, i, y)| {
+                format!(
+                    "({} , {} , {})",
+                    self.pattern.node_name(*x),
+                    self.cxre.component(*i).render(alphabet, self.cxre.vars()),
+                    self.pattern.node_name(*y)
+                )
+            })
+            .collect()
+    }
+}
+
+/// Builder: collect `(src, xregex, dst)` edges, then parse all labels as one
+/// conjunctive xregex (cross-component references included).
+pub struct CxrpqBuilder<'a> {
+    alphabet: &'a mut Alphabet,
+    edges: Vec<(String, String, String)>,
+    output: Vec<String>,
+    declared_vars: Vec<String>,
+}
+
+impl<'a> CxrpqBuilder<'a> {
+    /// Starts a builder over `alphabet`.
+    pub fn new(alphabet: &'a mut Alphabet) -> Self {
+        Self {
+            alphabet,
+            edges: Vec::new(),
+            output: Vec::new(),
+            declared_vars: Vec::new(),
+        }
+    }
+
+    /// Declares string-variable names up front. Needed only for variables
+    /// that never occur in a definition `name{…}` (pure multi-path equality
+    /// references).
+    pub fn declare_vars(mut self, names: &[&str]) -> Self {
+        self.declared_vars
+            .extend(names.iter().map(|s| s.to_string()));
+        self
+    }
+
+    /// Adds an edge `(src) -[xregex]-> (dst)`.
+    pub fn edge(mut self, src: &str, xregex: &str, dst: &str) -> Self {
+        self.edges
+            .push((src.to_string(), xregex.to_string(), dst.to_string()));
+        self
+    }
+
+    /// Declares the output tuple (node-variable names).
+    pub fn output(mut self, names: &[&str]) -> Self {
+        self.output = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Parses and validates the query.
+    pub fn build(self) -> Result<Cxrpq, CxrpqError> {
+        let labels: Vec<&str> = self.edges.iter().map(|(_, l, _)| l.as_str()).collect();
+        let declared: Vec<&str> = self.declared_vars.iter().map(String::as_str).collect();
+        let (comps, vars) = cxrpq_xregex::parser::parse_conjunctive_with_vars(
+            &labels,
+            &declared,
+            self.alphabet,
+        )
+        .map_err(CxrpqError::Parse)?;
+        let cxre = ConjunctiveXregex::new(comps, vars).map_err(CxrpqError::Conjunctive)?;
+        let mut pattern = GraphPattern::new();
+        for (i, (src, _, dst)) in self.edges.iter().enumerate() {
+            let s = pattern.node(src);
+            let d = pattern.node(dst);
+            pattern.add_edge(s, i, d);
+        }
+        let mut output = Vec::with_capacity(self.output.len());
+        for name in &self.output {
+            output.push(
+                pattern
+                    .node_var(name)
+                    .ok_or_else(|| CxrpqError::UnknownOutput(name.clone()))?,
+            );
+        }
+        Ok(Cxrpq::from_parts(pattern, cxre, output))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_parses_figure_2_g1() {
+        let mut alpha = Alphabet::from_chars("abc");
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("v1", "x{a|b}", "w")
+            .edge("w", "(x|c)+", "v2")
+            .output(&["v1", "v2"])
+            .build()
+            .unwrap();
+        assert_eq!(q.pattern().edge_count(), 2);
+        assert_eq!(q.conjunctive().dim(), 2);
+        assert_eq!(q.fragment(), Fragment::General); // reference under +
+        assert!(!q.is_boolean());
+    }
+
+    #[test]
+    fn builder_figure_2_g3_is_general() {
+        let mut alpha = Alphabet::from_chars("ab");
+        // G3: v1 -x{ΣΣ+}-> v2, v2 -y{ΣΣ+}-> v1, v1 -(x|y)+-> m, v2 -(x|y)+-> m
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("v1", "x{..+}", "v2")
+            .edge("v2", "y{..+}", "v1")
+            .edge("v1", "(x|y)+", "m")
+            .edge("v2", "(x|y)+", "m")
+            .build()
+            .unwrap();
+        assert_eq!(q.fragment(), Fragment::General);
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_conjunctive() {
+        let mut alpha = Alphabet::from_chars("ab");
+        // x defined in two components → not sequential.
+        let r = CxrpqBuilder::new(&mut alpha)
+            .edge("u", "x{a}", "v")
+            .edge("v", "x{b}", "w")
+            .build();
+        assert!(matches!(r, Err(CxrpqError::Conjunctive(_))));
+    }
+
+    #[test]
+    fn builder_rejects_unknown_output() {
+        let mut alpha = Alphabet::from_chars("ab");
+        let r = CxrpqBuilder::new(&mut alpha)
+            .edge("u", "a", "v")
+            .output(&["nope"])
+            .build();
+        assert!(matches!(r, Err(CxrpqError::UnknownOutput(_))));
+    }
+
+    #[test]
+    fn to_crpq_maps_labels() {
+        let mut alpha = Alphabet::from_chars("ab");
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("u", "x{a}", "v")
+            .edge("v", "x", "w")
+            .output(&["u", "w"])
+            .build()
+            .unwrap();
+        let a = alpha.sym("a");
+        let crpq = q.to_crpq(&[Regex::Sym(a), Regex::Sym(a)]);
+        assert_eq!(crpq.pattern().edge_count(), 2);
+        assert_eq!(crpq.output().len(), 2);
+    }
+
+    #[test]
+    fn render_round_trip() {
+        let mut alpha = Alphabet::from_chars("ab");
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("u", "x{(a|b)+}", "v")
+            .edge("v", "x", "w")
+            .build()
+            .unwrap();
+        let rendered = q.render(&alpha);
+        assert_eq!(rendered[0], "(u , x{(a|b)+} , v)");
+        assert_eq!(rendered[1], "(v , x , w)");
+    }
+}

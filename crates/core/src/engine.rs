@@ -1,0 +1,361 @@
+//! Fragment-driven engine selection — a small "query planner" that reads
+//! the §5/§6 classification of a CXRPQ and dispatches to the cheapest
+//! complete engine.
+//!
+//! | fragment (classify)    | engine            | exactness                  |
+//! |------------------------|-------------------|----------------------------|
+//! | `Simple`               | [`SimpleEvaluator`] | exact (Lemma 3)          |
+//! | `NormalForm`/`VstarFree*` | [`VsfEvaluator`] | exact (Theorem 2/5)       |
+//! | `General`              | [`BoundedEvaluator`] | `⊨_{≤k}` under-approx.  |
+//!
+//! Unrestricted evaluation is PSpace-hard in data complexity (Theorem 1), so
+//! for `General` queries the planner falls back to the bounded-image
+//! semantics of §6 with a caller-chosen `k` and reports `exact = false`.
+
+use crate::bounded::BoundedEvaluator;
+use crate::cxrpq::Cxrpq;
+use crate::simple_eval::SimpleEvaluator;
+use crate::vsf_eval::VsfEvaluator;
+use crate::witness::QueryWitness;
+use cxrpq_graph::{GraphDb, NodeId};
+use cxrpq_xregex::Fragment;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which evaluation engine the planner chose (or was forced to use).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    /// Lemma 3: synchronized-group product search on simple queries.
+    Simple,
+    /// Lemma 7: branch enumeration + normalization + Lemma 3.
+    Vsf,
+    /// Theorem 6: bounded-image mapping enumeration (`CXRPQ^{≤k}`).
+    Bounded,
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::Simple => write!(f, "simple (Lemma 3)"),
+            EngineKind::Vsf => write!(f, "vstar-free (Lemma 7)"),
+            EngineKind::Bounded => write!(f, "bounded-image (Theorem 6)"),
+        }
+    }
+}
+
+/// Planner options.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Image bound used when falling back to `⊨_{≤k}` on `General` queries.
+    pub bounded_k: usize,
+    /// Force a specific engine instead of planning by fragment. Forcing an
+    /// engine onto a query outside its fragment is an error at `plan` time.
+    pub force: Option<EngineKind>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self {
+            bounded_k: 3,
+            force: None,
+        }
+    }
+}
+
+/// A value plus provenance: which engine produced it and whether the result
+/// is exact for the unrestricted CXRPQ semantics.
+#[derive(Clone, Debug)]
+pub struct Evaluated<T> {
+    /// The result.
+    pub value: T,
+    /// The engine used.
+    pub engine: EngineKind,
+    /// Whether the engine decides the full semantics for this query (the
+    /// bounded fallback on `General` queries under-approximates).
+    pub exact: bool,
+    /// Wall-clock evaluation time.
+    pub elapsed: Duration,
+}
+
+/// Planning failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlanError {
+    /// A forced engine does not cover the query's fragment.
+    ForcedEngineInapplicable(EngineKind, Fragment),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::ForcedEngineInapplicable(e, frag) => {
+                write!(f, "engine {e:?} cannot evaluate a {frag:?} query")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The fragment-dispatching evaluator.
+pub struct AutoEvaluator<'q> {
+    q: &'q Cxrpq,
+    opts: EvalOptions,
+    choice: EngineKind,
+    exact: bool,
+}
+
+impl<'q> AutoEvaluator<'q> {
+    /// Plans with default options.
+    pub fn new(q: &'q Cxrpq) -> Self {
+        Self::with_options(q, EvalOptions::default()).expect("no forced engine")
+    }
+
+    /// Plans with explicit options.
+    pub fn with_options(q: &'q Cxrpq, opts: EvalOptions) -> Result<Self, PlanError> {
+        let fragment = q.fragment();
+        let choice = match opts.force {
+            Some(forced) => {
+                let applicable = match forced {
+                    EngineKind::Simple => fragment == Fragment::Simple,
+                    EngineKind::Vsf => fragment != Fragment::General,
+                    EngineKind::Bounded => true,
+                };
+                if !applicable {
+                    return Err(PlanError::ForcedEngineInapplicable(forced, fragment));
+                }
+                forced
+            }
+            None => match fragment {
+                Fragment::Simple => EngineKind::Simple,
+                Fragment::NormalForm | Fragment::VstarFreeFlat | Fragment::VstarFree => {
+                    EngineKind::Vsf
+                }
+                Fragment::General => EngineKind::Bounded,
+            },
+        };
+        // Bounded evaluation is exact only under the `≤k` reading; the other
+        // engines decide the unrestricted semantics of their fragments.
+        let exact = choice != EngineKind::Bounded;
+        Ok(Self {
+            q,
+            opts,
+            choice,
+            exact,
+        })
+    }
+
+    /// The planned engine.
+    pub fn plan(&self) -> EngineKind {
+        self.choice
+    }
+
+    /// Whether the planned evaluation is exact for the unrestricted
+    /// semantics.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    fn timed<T>(&self, f: impl FnOnce() -> T) -> Evaluated<T> {
+        let t0 = Instant::now();
+        let value = f();
+        Evaluated {
+            value,
+            engine: self.choice,
+            exact: self.exact,
+            elapsed: t0.elapsed(),
+        }
+    }
+
+    /// Boolean evaluation with provenance.
+    pub fn boolean(&self, db: &GraphDb) -> Evaluated<bool> {
+        match self.choice {
+            EngineKind::Simple => {
+                let ev = SimpleEvaluator::new(self.q).expect("planned");
+                self.timed(|| ev.boolean(db))
+            }
+            EngineKind::Vsf => {
+                let ev = VsfEvaluator::new(self.q).expect("planned");
+                self.timed(|| ev.boolean(db))
+            }
+            EngineKind::Bounded => {
+                let ev = BoundedEvaluator::new(self.q, self.opts.bounded_k);
+                self.timed(|| ev.boolean(db))
+            }
+        }
+    }
+
+    /// The answer relation with provenance.
+    pub fn answers(&self, db: &GraphDb) -> Evaluated<BTreeSet<Vec<NodeId>>> {
+        match self.choice {
+            EngineKind::Simple => {
+                let ev = SimpleEvaluator::new(self.q).expect("planned");
+                self.timed(|| ev.answers(db))
+            }
+            EngineKind::Vsf => {
+                let ev = VsfEvaluator::new(self.q).expect("planned");
+                self.timed(|| ev.answers(db))
+            }
+            EngineKind::Bounded => {
+                let ev = BoundedEvaluator::new(self.q, self.opts.bounded_k);
+                self.timed(|| ev.answers(db))
+            }
+        }
+    }
+
+    /// The Check problem with provenance.
+    pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> Evaluated<bool> {
+        match self.choice {
+            EngineKind::Simple => {
+                let ev = SimpleEvaluator::new(self.q).expect("planned");
+                self.timed(|| ev.check(db, tuple))
+            }
+            EngineKind::Vsf => {
+                let ev = VsfEvaluator::new(self.q).expect("planned");
+                self.timed(|| ev.check(db, tuple))
+            }
+            EngineKind::Bounded => {
+                let ev = BoundedEvaluator::new(self.q, self.opts.bounded_k);
+                self.timed(|| ev.check(db, tuple))
+            }
+        }
+    }
+
+    /// A witness with provenance.
+    pub fn witness(&self, db: &GraphDb) -> Evaluated<Option<QueryWitness>> {
+        match self.choice {
+            EngineKind::Simple => {
+                let ev = SimpleEvaluator::new(self.q).expect("planned");
+                self.timed(|| ev.witness(db))
+            }
+            EngineKind::Vsf => {
+                let ev = VsfEvaluator::new(self.q).expect("planned");
+                self.timed(|| ev.witness(db))
+            }
+            EngineKind::Bounded => {
+                let ev = BoundedEvaluator::new(self.q, self.opts.bounded_k);
+                self.timed(|| ev.witness(db))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cxrpq::CxrpqBuilder;
+    use cxrpq_graph::Alphabet;
+    use std::sync::Arc;
+
+    fn db_word(word: &str) -> (GraphDb, NodeId, NodeId) {
+        let alpha = Arc::new(Alphabet::from_chars("abc"));
+        let mut db = GraphDb::new(alpha);
+        let s = db.add_node();
+        let t = db.add_node();
+        let w = db.alphabet().parse_word(word).unwrap();
+        db.add_word_path(s, &w, t);
+        (db, s, t)
+    }
+
+    #[test]
+    fn plans_simple_for_simple_queries() {
+        let mut alpha = Alphabet::from_chars("abc");
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "z{(a|b)+}cz", "y")
+            .build()
+            .unwrap();
+        let auto = AutoEvaluator::new(&q);
+        assert_eq!(auto.plan(), EngineKind::Simple);
+        assert!(auto.is_exact());
+        let (db, _, _) = db_word("abcab");
+        let r = auto.boolean(&db);
+        assert!(r.value && r.exact);
+        assert_eq!(r.engine, EngineKind::Simple);
+    }
+
+    #[test]
+    fn plans_vsf_for_alternations() {
+        let mut alpha = Alphabet::from_chars("abc");
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "z{ab|ba}z", "y")
+            .edge("u", "z|ab", "v")
+            .build()
+            .unwrap();
+        let auto = AutoEvaluator::new(&q);
+        assert_eq!(auto.plan(), EngineKind::Vsf);
+        assert!(auto.is_exact());
+    }
+
+    #[test]
+    fn plans_bounded_for_general_queries() {
+        let mut alpha = Alphabet::from_chars("abc");
+        // Figure 2 G1: a reference under +.
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("v1", "x{a|b}", "w")
+            .edge("w", "(x|c)+", "v2")
+            .build()
+            .unwrap();
+        let auto = AutoEvaluator::new(&q);
+        assert_eq!(auto.plan(), EngineKind::Bounded);
+        assert!(!auto.is_exact());
+        // G1's images have length 1, so k = 3 evaluation is in fact correct.
+        let (db, _, _) = db_word("acca");
+        assert!(auto.boolean(&db).value);
+    }
+
+    #[test]
+    fn forcing_engines() {
+        let mut alpha = Alphabet::from_chars("ab");
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "z{ab}z", "y")
+            .build()
+            .unwrap();
+        // Simple query: every engine applies.
+        for force in [EngineKind::Simple, EngineKind::Vsf, EngineKind::Bounded] {
+            let auto = AutoEvaluator::with_options(
+                &q,
+                EvalOptions {
+                    bounded_k: 2,
+                    force: Some(force),
+                },
+            )
+            .unwrap();
+            let (db, _, _) = db_word("abab");
+            assert!(auto.boolean(&db).value, "{force:?}");
+        }
+        // Forcing Simple onto a non-simple query fails at plan time.
+        let mut alpha2 = Alphabet::from_chars("ab");
+        let q2 = CxrpqBuilder::new(&mut alpha2)
+            .edge("x", "z{ab|ba}z", "y")
+            .edge("u", "z|ab", "v")
+            .build()
+            .unwrap();
+        assert!(matches!(
+            AutoEvaluator::with_options(
+                &q2,
+                EvalOptions {
+                    bounded_k: 2,
+                    force: Some(EngineKind::Simple),
+                },
+            ),
+            Err(PlanError::ForcedEngineInapplicable(..))
+        ));
+    }
+
+    #[test]
+    fn engines_agree_through_the_planner() {
+        let (db, s, t) = db_word("abcab");
+        let mut alpha = db.alphabet().clone();
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "z{(a|b)+}cz", "y")
+            .output(&["x", "y"])
+            .build()
+            .unwrap();
+        let auto = AutoEvaluator::new(&q);
+        let answers = auto.answers(&db).value;
+        assert!(answers.contains(&vec![s, t]));
+        assert!(auto.check(&db, &[s, t]).value);
+        let w = auto.witness(&db).value.unwrap();
+        w.verify(&db, q.pattern()).unwrap();
+    }
+}

@@ -1,0 +1,283 @@
+//! RPQ evaluation under alternative path semantics.
+//!
+//! The paper evaluates queries under *arbitrary* path semantics (walks),
+//! and its introduction points to the line of work on simple-path and trail
+//! semantics \[34, 36, 35\] where "such semantics make the evaluation of
+//! RPQs much more difficult": arbitrary-path RPQs are NL, while simple-path
+//! and trail evaluation are NP-complete in general. This module implements
+//! all three for single-edge queries (RPQs), so the engines' default
+//! semantics can be contrasted experimentally with the restricted ones.
+//!
+//! - [`PathSemantics::Arbitrary`]: product BFS (polynomial; the default
+//!   everywhere else in this crate);
+//! - [`PathSemantics::SimplePath`]: no repeated *node* — backtracking over
+//!   the product, worst-case exponential (NP-hard in general);
+//! - [`PathSemantics::Trail`]: no repeated *edge* — same search over edge
+//!   sets.
+
+use crate::witness::edge_path;
+use cxrpq_automata::{Label, Nfa, StateId};
+use cxrpq_graph::{GraphDb, NodeId, Path, Symbol};
+use std::collections::BTreeSet;
+
+/// Which paths count as matches.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathSemantics {
+    /// Any walk (nodes and edges may repeat) — the paper's semantics.
+    Arbitrary,
+    /// Paths with pairwise-distinct nodes.
+    SimplePath,
+    /// Paths with pairwise-distinct edges.
+    Trail,
+}
+
+/// Is there a path `from →* to` labelled by a word of `L(nfa)` under the
+/// given semantics?
+pub fn rpq_holds(
+    db: &GraphDb,
+    nfa: &Nfa,
+    from: NodeId,
+    to: NodeId,
+    sem: PathSemantics,
+) -> bool {
+    rpq_witness(db, nfa, from, to, sem).is_some()
+}
+
+/// A witnessing path, if any.
+pub fn rpq_witness(
+    db: &GraphDb,
+    nfa: &Nfa,
+    from: NodeId,
+    to: NodeId,
+    sem: PathSemantics,
+) -> Option<Path> {
+    match sem {
+        PathSemantics::Arbitrary => edge_path(db, nfa, from, to),
+        PathSemantics::SimplePath | PathSemantics::Trail => {
+            let mut search = RestrictedSearch {
+                db,
+                nfa,
+                to,
+                sem,
+                visited_nodes: vec![false; db.node_count()],
+                used_edges: BTreeSet::new(),
+                path: Path::trivial(from),
+            };
+            search.visited_nodes[from.index()] = true;
+            let start_states = nfa.eps_closure_of(nfa.start());
+            for s in start_states {
+                if search.dfs(from, s) {
+                    return Some(search.path);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// All pairs `(u, v)` connected under the semantics (quadratic sweep over
+/// sources; exponential per source for the restricted semantics).
+pub fn rpq_pairs(db: &GraphDb, nfa: &Nfa, sem: PathSemantics) -> BTreeSet<(NodeId, NodeId)> {
+    let mut out = BTreeSet::new();
+    for u in db.nodes() {
+        for v in db.nodes() {
+            if rpq_holds(db, nfa, u, v, sem) {
+                out.insert((u, v));
+            }
+        }
+    }
+    out
+}
+
+struct RestrictedSearch<'a> {
+    db: &'a GraphDb,
+    nfa: &'a Nfa,
+    to: NodeId,
+    sem: PathSemantics,
+    visited_nodes: Vec<bool>,
+    used_edges: BTreeSet<(NodeId, Symbol, NodeId)>,
+    path: Path,
+}
+
+impl RestrictedSearch<'_> {
+    /// Extends the current path from `node` in NFA state `st` (already
+    /// ε-closed on entry by the caller's iteration over closures).
+    fn dfs(&mut self, node: NodeId, st: StateId) -> bool {
+        if node == self.to && self.nfa.is_final(st) {
+            return true;
+        }
+        // Collect the symbol transitions reachable through ε-closure first:
+        // (symbol-or-any, target state).
+        let mut moves: Vec<(Label, StateId)> = Vec::new();
+        for &cs in &self.nfa.eps_closure_of(st) {
+            if cs != st && self.to == node && self.nfa.is_final(cs) {
+                return true;
+            }
+            for &(l, t) in self.nfa.transitions(cs) {
+                if l != Label::Eps {
+                    moves.push((l, t));
+                }
+            }
+        }
+        for (l, t) in moves {
+            for &(b, next) in self.db.out_edges(node) {
+                if !l.reads(b) {
+                    continue;
+                }
+                match self.sem {
+                    PathSemantics::SimplePath => {
+                        if self.visited_nodes[next.index()] {
+                            continue;
+                        }
+                        self.visited_nodes[next.index()] = true;
+                        self.path.push(b, next);
+                        if self.dfs(next, t) {
+                            return true;
+                        }
+                        self.path.pop();
+                        self.visited_nodes[next.index()] = false;
+                    }
+                    PathSemantics::Trail => {
+                        let edge = (node, b, next);
+                        if self.used_edges.contains(&edge) {
+                            continue;
+                        }
+                        self.used_edges.insert(edge);
+                        self.path.push(b, next);
+                        if self.dfs(next, t) {
+                            return true;
+                        }
+                        self.path.pop();
+                        self.used_edges.remove(&edge);
+                    }
+                    PathSemantics::Arbitrary => unreachable!("handled by BFS"),
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxrpq_automata::parse_regex;
+    use cxrpq_graph::Alphabet;
+    use std::sync::Arc;
+
+    fn nfa(db: &GraphDb, pattern: &str) -> Nfa {
+        let mut a = db.alphabet().clone();
+        Nfa::from_regex(&parse_regex(pattern, &mut a).unwrap())
+    }
+
+    /// s ⇄ m plus s → t: the word aaa reaches t only by revisiting s.
+    fn lollipop() -> (GraphDb, NodeId, NodeId, NodeId) {
+        let alpha = Arc::new(Alphabet::from_chars("a"));
+        let mut db = GraphDb::new(alpha);
+        let a = db.alphabet().sym("a");
+        let s = db.add_node();
+        let m = db.add_node();
+        let t = db.add_node();
+        db.add_edge(s, a, m);
+        db.add_edge(m, a, s);
+        db.add_edge(s, a, t);
+        (db, s, m, t)
+    }
+
+    #[test]
+    fn semantics_separate_on_the_lollipop() {
+        let (db, s, _, t) = lollipop();
+        let m = nfa(&db, "aaa");
+        // Arbitrary: s→m→s→t. Trail: the three arcs are distinct. Simple: s
+        // repeats — impossible.
+        assert!(rpq_holds(&db, &m, s, t, PathSemantics::Arbitrary));
+        assert!(rpq_holds(&db, &m, s, t, PathSemantics::Trail));
+        assert!(!rpq_holds(&db, &m, s, t, PathSemantics::SimplePath));
+    }
+
+    #[test]
+    fn trail_refuses_edge_reuse() {
+        let (db, s, _, t) = lollipop();
+        // aaaaa needs the s→m→s loop twice: trail fails, arbitrary works.
+        let m = nfa(&db, "aaaaa");
+        assert!(rpq_holds(&db, &m, s, t, PathSemantics::Arbitrary));
+        assert!(!rpq_holds(&db, &m, s, t, PathSemantics::Trail));
+    }
+
+    #[test]
+    fn all_semantics_agree_on_dags() {
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let mut db = GraphDb::new(alpha);
+        let w = db.alphabet().parse_word("abab").unwrap();
+        let s = db.add_node();
+        let t = db.add_node();
+        db.add_word_path(s, &w, t);
+        let m = nfa(&db, "(ab)+");
+        for sem in [
+            PathSemantics::Arbitrary,
+            PathSemantics::SimplePath,
+            PathSemantics::Trail,
+        ] {
+            assert!(rpq_holds(&db, &m, s, t, sem), "{sem:?}");
+        }
+        let pairs_arb = rpq_pairs(&db, &m, PathSemantics::Arbitrary);
+        let pairs_simple = rpq_pairs(&db, &m, PathSemantics::SimplePath);
+        assert_eq!(pairs_arb, pairs_simple);
+    }
+
+    #[test]
+    fn witnesses_respect_their_semantics() {
+        let (db, s, _, t) = lollipop();
+        let m = nfa(&db, "a+");
+        let w_simple = rpq_witness(&db, &m, s, t, PathSemantics::SimplePath).unwrap();
+        assert!(w_simple.is_valid_in(&db));
+        let mut nodes = w_simple.nodes().to_vec();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), w_simple.nodes().len(), "nodes must be distinct");
+        let m3 = nfa(&db, "aaa");
+        let w_trail = rpq_witness(&db, &m3, s, t, PathSemantics::Trail).unwrap();
+        assert!(w_trail.is_valid_in(&db));
+        let mut edges: Vec<_> = (0..w_trail.len())
+            .map(|i| (w_trail.nodes()[i], w_trail.label()[i], w_trail.nodes()[i + 1]))
+            .collect();
+        edges.sort();
+        edges.dedup();
+        assert_eq!(edges.len(), w_trail.len(), "edges must be distinct");
+    }
+
+    #[test]
+    fn epsilon_matches_under_every_semantics() {
+        let (db, s, _, _) = lollipop();
+        let m = nfa(&db, "a*");
+        for sem in [
+            PathSemantics::Arbitrary,
+            PathSemantics::SimplePath,
+            PathSemantics::Trail,
+        ] {
+            assert!(rpq_holds(&db, &m, s, s, sem), "{sem:?}");
+        }
+    }
+
+    #[test]
+    fn restricted_pairs_are_subsets_of_arbitrary() {
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let mut db = GraphDb::new(alpha);
+        let a = db.alphabet().sym("a");
+        let b = db.alphabet().sym("b");
+        // A small tangle: triangle + chord.
+        let n: Vec<NodeId> = (0..4).map(|_| db.add_node()).collect();
+        db.add_edge(n[0], a, n[1]);
+        db.add_edge(n[1], b, n[2]);
+        db.add_edge(n[2], a, n[0]);
+        db.add_edge(n[0], b, n[3]);
+        db.add_edge(n[3], a, n[1]);
+        let m = nfa(&db, "(a|b)(a|b)+");
+        let arb = rpq_pairs(&db, &m, PathSemantics::Arbitrary);
+        let simple = rpq_pairs(&db, &m, PathSemantics::SimplePath);
+        let trail = rpq_pairs(&db, &m, PathSemantics::Trail);
+        assert!(simple.is_subset(&arb));
+        assert!(trail.is_subset(&arb));
+        assert!(simple.is_subset(&trail), "simple paths are trails");
+    }
+}

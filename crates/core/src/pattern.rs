@@ -1,0 +1,143 @@
+//! Graph patterns: the declarative core of conjunctive path queries (§2.3).
+//!
+//! An `<`-graph pattern is a directed, edge-labelled graph whose vertices are
+//! *node variables* and whose edge labels are language descriptors. All query
+//! classes in this crate share this shape; the label type varies (classical
+//! regexes for CRPQ, component indices into a conjunctive xregex for CXRPQ,
+//! regexes + relations for ECRPQ).
+
+use std::collections::HashMap;
+
+/// A node variable of a graph pattern (dense index within one query).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeVar(pub u32);
+
+impl NodeVar {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A directed graph pattern with labels of type `L`.
+#[derive(Clone, Debug)]
+pub struct GraphPattern<L> {
+    names: Vec<String>,
+    ids: HashMap<String, NodeVar>,
+    edges: Vec<(NodeVar, L, NodeVar)>,
+}
+
+impl<L> Default for GraphPattern<L> {
+    fn default() -> Self {
+        Self {
+            names: Vec::new(),
+            ids: HashMap::new(),
+            edges: Vec::new(),
+        }
+    }
+}
+
+impl<L> GraphPattern<L> {
+    /// An empty pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a node variable by name.
+    pub fn node(&mut self, name: &str) -> NodeVar {
+        if let Some(&v) = self.ids.get(name) {
+            return v;
+        }
+        let v = NodeVar(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), v);
+        v
+    }
+
+    /// Looks up a node variable by name.
+    pub fn node_var(&self, name: &str) -> Option<NodeVar> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of a node variable.
+    pub fn node_name(&self, v: NodeVar) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Adds an edge `(x, label, y)`; returns its index.
+    pub fn add_edge(&mut self, x: NodeVar, label: L, y: NodeVar) -> usize {
+        self.edges.push((x, label, y));
+        self.edges.len() - 1
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[(NodeVar, L, NodeVar)] {
+        &self.edges
+    }
+
+    /// Number of node variables.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the query is single-edge (|E_q| = 1), the shape of the
+    /// paper's hardness results (Theorems 1, 3, 7).
+    pub fn is_single_edge(&self) -> bool {
+        self.edges.len() == 1
+    }
+
+    /// Maps edge labels, preserving structure.
+    pub fn map_labels<M, F: FnMut(usize, &L) -> M>(&self, mut f: F) -> GraphPattern<M> {
+        GraphPattern {
+            names: self.names.clone(),
+            ids: self.ids.clone(),
+            edges: self
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(i, (x, l, y))| (*x, f(i, l), *y))
+                .collect(),
+        }
+    }
+
+    /// All node variables.
+    pub fn node_vars(&self) -> impl Iterator<Item = NodeVar> + '_ {
+        (0..self.names.len() as u32).map(NodeVar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_nodes() {
+        let mut p: GraphPattern<u32> = GraphPattern::new();
+        let x = p.node("x");
+        let y = p.node("y");
+        assert_eq!(p.node("x"), x);
+        assert_eq!(p.node_count(), 2);
+        p.add_edge(x, 7, y);
+        assert!(p.is_single_edge());
+        assert_eq!(p.node_name(y), "y");
+        assert_eq!(p.node_var("z"), None);
+    }
+
+    #[test]
+    fn map_labels_preserves_shape() {
+        let mut p: GraphPattern<u32> = GraphPattern::new();
+        let x = p.node("x");
+        let y = p.node("y");
+        p.add_edge(x, 1, y);
+        p.add_edge(y, 2, x);
+        let q = p.map_labels(|i, l| (i, l * 10));
+        assert_eq!(q.edges()[1], (y, (1, 20), x));
+        assert_eq!(q.node_var("x"), Some(x));
+    }
+}

@@ -1,0 +1,352 @@
+//! A concrete syntax for whole CXRPQ queries.
+//!
+//! ```text
+//! # who talks to whom through a covert channel (Figure 2, G3)
+//! strvars w                      # declare pure-equality variables
+//! ans(v1, v2) <-
+//!     (v1) -[ x{..+} ]-> (v2),
+//!     (v2) -[ y{..+} ]-> (v1),
+//!     (v1) -[ (x|y)+ ]-> (m),
+//!     (v2) -[ (x|y)+ ]-> (m)
+//! ```
+//!
+//! One rule per query: `ans(z̄) <- atom, …, atom` with atoms
+//! `(src) -[ xregex ]-> (dst)`. `ans()` gives a Boolean query. `#` starts a
+//! comment. The edge-label syntax is exactly `cxrpq-xregex`'s (which in turn
+//! extends the classical syntax of `cxrpq-automata`).
+
+use crate::cxrpq::{Cxrpq, CxrpqBuilder, CxrpqError};
+use cxrpq_graph::Alphabet;
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Debug)]
+pub enum QueryTextError {
+    /// Malformed query syntax at `(line, column)`.
+    Syntax {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Description.
+        message: String,
+    },
+    /// The atoms parsed but the query did not validate (edge-label parse
+    /// error, invalid conjunctive xregex, unknown output variable).
+    Build(CxrpqError),
+}
+
+impl fmt::Display for QueryTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryTextError::Syntax { line, col, message } => {
+                write!(f, "{line}:{col}: {message}")
+            }
+            QueryTextError::Build(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryTextError {}
+
+struct Scanner<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { text, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryTextError {
+        let consumed = &self.text[..self.pos];
+        let line = consumed.matches('\n').count() + 1;
+        let col = self.pos - consumed.rfind('\n').map_or(0, |i| i + 1) + 1;
+        QueryTextError::Syntax {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    /// Skips whitespace and `#`-comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            let rest = self.rest();
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if self.rest().starts_with('#') {
+                match self.rest().find('\n') {
+                    Some(nl) => self.pos += nl + 1,
+                    None => self.pos = self.text.len(),
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_trivia();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), QueryTextError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {token:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<&'a str, QueryTextError> {
+        self.skip_trivia();
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+            .map_or(rest.len(), |(i, _)| i);
+        if end == 0 {
+            return Err(self.error("expected an identifier"));
+        }
+        self.pos += end;
+        Ok(&rest[..end])
+    }
+
+    /// Consumes up to (excluding) the next occurrence of `delim`.
+    fn until(&mut self, delim: &str) -> Result<&'a str, QueryTextError> {
+        let rest = self.rest();
+        match rest.find(delim) {
+            Some(i) => {
+                self.pos += i + delim.len();
+                Ok(&rest[..i])
+            }
+            None => Err(self.error(format!("unterminated atom: missing {delim:?}"))),
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_trivia();
+        self.pos == self.text.len()
+    }
+}
+
+/// Parses the query syntax above into a [`Cxrpq`], interning edge-label
+/// symbols into `alphabet`.
+pub fn parse_query(text: &str, alphabet: &mut Alphabet) -> Result<Cxrpq, QueryTextError> {
+    let mut sc = Scanner::new(text);
+    let mut declared: Vec<String> = Vec::new();
+    loop {
+        sc.skip_trivia();
+        if sc.rest().starts_with("strvars") {
+            sc.pos += "strvars".len();
+            // Names to end of line.
+            let eol = sc.rest().find('\n').map_or(sc.text.len() - sc.pos, |i| i);
+            let names = &sc.rest()[..eol];
+            for name in names.split('#').next().unwrap_or("").split_whitespace() {
+                declared.push(name.to_string());
+            }
+            sc.pos += eol;
+        } else {
+            break;
+        }
+    }
+    sc.expect("ans")?;
+    sc.expect("(")?;
+    let mut output: Vec<String> = Vec::new();
+    if !sc.eat(")") {
+        loop {
+            output.push(sc.ident()?.to_string());
+            if sc.eat(")") {
+                break;
+            }
+            sc.expect(",")?;
+        }
+    }
+    sc.expect("<-")?;
+    let mut atoms: Vec<(String, String, String)> = Vec::new();
+    loop {
+        sc.expect("(")?;
+        let src = sc.ident()?.to_string();
+        sc.expect(")")?;
+        sc.expect("-[")?;
+        let label = sc.until("]->")?.trim().to_string();
+        if label.is_empty() {
+            return Err(sc.error("empty edge label"));
+        }
+        sc.expect("(")?;
+        let dst = sc.ident()?.to_string();
+        sc.expect(")")?;
+        atoms.push((src, label, dst));
+        if !sc.eat(",") {
+            break;
+        }
+    }
+    if !sc.at_end() {
+        return Err(sc.error("trailing input after query"));
+    }
+    if atoms.is_empty() {
+        return Err(sc.error("a query needs at least one atom"));
+    }
+    let mut builder = CxrpqBuilder::new(alphabet);
+    let declared_refs: Vec<&str> = declared.iter().map(String::as_str).collect();
+    builder = builder.declare_vars(&declared_refs);
+    for (src, label, dst) in &atoms {
+        builder = builder.edge(src, label, dst);
+    }
+    let outs: Vec<&str> = output.iter().map(String::as_str).collect();
+    builder = builder.output(&outs);
+    builder.build().map_err(QueryTextError::Build)
+}
+
+/// Renders a query back into the concrete syntax ([`parse_query`]'s
+/// inverse up to whitespace).
+pub fn render_query(q: &Cxrpq, alphabet: &Alphabet) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    // Pure-equality variables (no definition anywhere) need declarations.
+    let undefined = q.conjunctive().undefined_vars();
+    if !undefined.is_empty() {
+        let _ = write!(out, "strvars");
+        for x in undefined {
+            let _ = write!(out, " {}", q.conjunctive().vars().name(x));
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "ans(");
+    for (i, v) in q.output().iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, ", ");
+        }
+        let _ = write!(out, "{}", q.pattern().node_name(*v));
+    }
+    let _ = writeln!(out, ") <-");
+    let m = q.pattern().edge_count();
+    for (i, (src, comp, dst)) in q.pattern().edges().iter().enumerate() {
+        let label = q
+            .conjunctive()
+            .component(*comp)
+            .render(alphabet, q.conjunctive().vars());
+        let sep = if i + 1 < m { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    ({}) -[ {} ]-> ({}){}",
+            q.pattern().node_name(*src),
+            label,
+            q.pattern().node_name(*dst),
+            sep
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxrpq_xregex::Fragment;
+
+    #[test]
+    fn parses_figure_2_g3() {
+        let mut alpha = Alphabet::from_chars("ab");
+        let q = parse_query(
+            "# covert channels\n\
+             ans(v1, v2) <-\n\
+                 (v1) -[ x{..+} ]-> (v2),\n\
+                 (v2) -[ y{..+} ]-> (v1),\n\
+                 (v1) -[ (x|y)+ ]-> (m),\n\
+                 (v2) -[ (x|y)+ ]-> (m)\n",
+            &mut alpha,
+        )
+        .unwrap();
+        assert_eq!(q.pattern().edge_count(), 4);
+        assert_eq!(q.output().len(), 2);
+        assert_eq!(q.fragment(), Fragment::General);
+    }
+
+    #[test]
+    fn boolean_query_and_strvars() {
+        let mut alpha = Alphabet::from_chars("ab");
+        let q = parse_query(
+            "strvars w\n\
+             ans() <- (x) -[ w ]-> (y), (u) -[ w ]-> (v)",
+            &mut alpha,
+        )
+        .unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.conjunctive().var_count(), 1);
+    }
+
+    #[test]
+    fn error_positions_are_useful() {
+        let mut alpha = Alphabet::from_chars("ab");
+        let e = parse_query("ans(x <- (x) -[ a ]-> (y)", &mut alpha).unwrap_err();
+        match e {
+            QueryTextError::Syntax { line, message, .. } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("\",\""), "{message}");
+            }
+            other => panic!("unexpected {other}"),
+        }
+        let e2 = parse_query("ans() <- (x) -[ a (y)", &mut alpha).unwrap_err();
+        assert!(e2.to_string().contains("unterminated"));
+        let e3 = parse_query("ans() <- (x) -[ ]-> (y)", &mut alpha).unwrap_err();
+        assert!(e3.to_string().contains("empty edge label"));
+        let e4 = parse_query("ans() <- (x) -[ a ]-> (y) garbage", &mut alpha).unwrap_err();
+        assert!(e4.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn build_errors_surface() {
+        let mut alpha = Alphabet::from_chars("ab");
+        // x defined twice across components → conjunctive error.
+        let e = parse_query(
+            "ans() <- (u) -[ x{a} ]-> (v), (v) -[ x{b} ]-> (w)",
+            &mut alpha,
+        )
+        .unwrap_err();
+        assert!(matches!(e, QueryTextError::Build(_)));
+        // Unknown output variable.
+        let e2 = parse_query("ans(zz) <- (x) -[ a ]-> (y)", &mut alpha).unwrap_err();
+        assert!(matches!(e2, QueryTextError::Build(CxrpqError::UnknownOutput(_))));
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let mut alpha = Alphabet::from_chars("abc");
+        let text = "strvars w\n\
+                    ans(x, y) <- (x) -[ z{(a|b)+}cz ]-> (y), (y) -[ w ]-> (x), (q) -[ w ]-> (x)";
+        let q = parse_query(text, &mut alpha).unwrap();
+        let rendered = render_query(&q, &alpha);
+        let mut alpha2 = Alphabet::from_chars("abc");
+        let q2 = parse_query(&rendered, &mut alpha2).unwrap();
+        assert_eq!(render_query(&q2, &alpha2), rendered);
+        assert_eq!(q2.pattern().edge_count(), q.pattern().edge_count());
+        assert_eq!(q2.output().len(), q.output().len());
+    }
+
+    #[test]
+    fn parsed_query_evaluates() {
+        use crate::engine::AutoEvaluator;
+        use cxrpq_graph::GraphDb;
+        use std::sync::Arc;
+        let mut alpha = Alphabet::from_chars("abc");
+        let q = parse_query("ans(x, y) <- (x) -[ z{(a|b)+}cz ]-> (y)", &mut alpha).unwrap();
+        let mut db = GraphDb::new(Arc::new(alpha));
+        let s = db.add_node();
+        let t = db.add_node();
+        let w = db.alphabet().parse_word("abcab").unwrap();
+        db.add_word_path(s, &w, t);
+        let r = AutoEvaluator::new(&q).answers(&db);
+        assert!(r.value.contains(&vec![s, t]));
+    }
+}

@@ -1,0 +1,269 @@
+//! Single-walker product reachability: the `D × M` search underlying RPQ
+//! evaluation (and the NL data-complexity bound of Lemma 1 / Lemma 3).
+
+use cxrpq_automata::{Label, Nfa, StateId};
+use cxrpq_graph::{GraphDb, NodeId};
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Walk direction through the database.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Direction {
+    /// Follow out-edges (words read left to right).
+    Forward,
+    /// Follow in-edges with a reversed automaton.
+    Backward,
+}
+
+/// Counts product states explored — the measured proxy for the paper's
+/// space bounds in EXPERIMENTS.md.
+#[derive(Default, Debug)]
+pub struct ReachStats {
+    states: Cell<usize>,
+}
+
+impl ReachStats {
+    /// States explored so far.
+    pub fn states(&self) -> usize {
+        self.states.get()
+    }
+
+    pub(crate) fn bump(&self, n: usize) {
+        self.states.set(self.states.get() + n);
+    }
+
+    /// Resets the counter.
+    pub fn reset(&self) {
+        self.states.set(0);
+    }
+}
+
+/// Reverses an NFA (language reversal): fresh start ε-connected to the old
+/// finals; the old start becomes the unique final.
+pub fn reverse_nfa(nfa: &Nfa) -> Nfa {
+    let n = nfa.state_count();
+    let mut out = Nfa::with_states(n + 1);
+    let fresh = StateId(n as u32);
+    out.set_start(fresh);
+    for s in nfa.states() {
+        for &(l, t) in nfa.transitions(s) {
+            out.add_transition(t, l, s);
+        }
+    }
+    for f in nfa.final_states() {
+        out.add_transition(fresh, Label::Eps, f);
+    }
+    out.set_final(nfa.start(), true);
+    out
+}
+
+/// Nodes `v` such that some path `u →* v` is labelled by a word of `L(M)`
+/// (for `Direction::Backward`: nodes `v` with a path `v →* u` labelled by a
+/// word of the *original* language — pass a reversed automaton).
+///
+/// Runs a BFS over the product `D × M` from `(u, closure(q₀))`, visiting
+/// each `(node, state)` pair once: `O(|D| · |M|)` per call, the textbook
+/// witness of the NL data-complexity upper bound.
+pub fn reach_set(
+    db: &GraphDb,
+    nfa: &Nfa,
+    u: NodeId,
+    dir: Direction,
+    stats: Option<&ReachStats>,
+) -> HashSet<NodeId> {
+    let mut out = HashSet::new();
+    let mut visited: HashSet<(NodeId, StateId)> = HashSet::new();
+    let mut queue: VecDeque<(NodeId, StateId)> = VecDeque::new();
+    let push = |q: &mut VecDeque<(NodeId, StateId)>,
+                    visited: &mut HashSet<(NodeId, StateId)>,
+                    node: NodeId,
+                    st: StateId| {
+        if visited.insert((node, st)) {
+            q.push_back((node, st));
+        }
+    };
+    push(&mut queue, &mut visited, u, nfa.start());
+    while let Some((node, st)) = queue.pop_front() {
+        if let Some(s) = stats {
+            s.bump(1);
+        }
+        if nfa.is_final(st) {
+            out.insert(node);
+        }
+        for &(l, t) in nfa.transitions(st) {
+            match l {
+                Label::Eps => push(&mut queue, &mut visited, node, t),
+                Label::Sym(a) => {
+                    let adj = match dir {
+                        Direction::Forward => db.out_edges(node),
+                        Direction::Backward => db.in_edges(node),
+                    };
+                    for &(b, next) in adj {
+                        if b == a {
+                            push(&mut queue, &mut visited, next, t);
+                        }
+                    }
+                }
+                Label::Any => {
+                    let adj = match dir {
+                        Direction::Forward => db.out_edges(node),
+                        Direction::Backward => db.in_edges(node),
+                    };
+                    for &(_, next) in adj {
+                        push(&mut queue, &mut visited, next, t);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Memoizing wrapper around [`reach_set`] for repeated queries against the
+/// same database (one cache per `(edge automaton, direction)`).
+pub struct ReachCache {
+    nfa: Nfa,
+    rev: Nfa,
+    fwd: HashMap<NodeId, std::rc::Rc<HashSet<NodeId>>>,
+    bwd: HashMap<NodeId, std::rc::Rc<HashSet<NodeId>>>,
+    /// Exploration statistics shared by both directions.
+    pub stats: ReachStats,
+}
+
+impl ReachCache {
+    /// Builds the cache for an edge automaton.
+    pub fn new(nfa: Nfa) -> Self {
+        let rev = reverse_nfa(&nfa);
+        Self {
+            nfa,
+            rev,
+            fwd: HashMap::new(),
+            bwd: HashMap::new(),
+            stats: ReachStats::default(),
+        }
+    }
+
+    /// The underlying forward automaton.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// Targets reachable from `u` via an accepted word.
+    pub fn targets(&mut self, db: &GraphDb, u: NodeId) -> std::rc::Rc<HashSet<NodeId>> {
+        if let Some(r) = self.fwd.get(&u) {
+            return r.clone();
+        }
+        let r = std::rc::Rc::new(reach_set(db, &self.nfa, u, Direction::Forward, Some(&self.stats)));
+        self.fwd.insert(u, r.clone());
+        r
+    }
+
+    /// Sources that reach `v` via an accepted word.
+    pub fn sources(&mut self, db: &GraphDb, v: NodeId) -> std::rc::Rc<HashSet<NodeId>> {
+        if let Some(r) = self.bwd.get(&v) {
+            return r.clone();
+        }
+        let r = std::rc::Rc::new(reach_set(db, &self.rev, v, Direction::Backward, Some(&self.stats)));
+        self.bwd.insert(v, r.clone());
+        r
+    }
+
+    /// Whether some path `u →* v` is labelled by an accepted word.
+    pub fn connects(&mut self, db: &GraphDb, u: NodeId, v: NodeId) -> bool {
+        if let Some(r) = self.fwd.get(&u) {
+            return r.contains(&v);
+        }
+        if let Some(r) = self.bwd.get(&v) {
+            return r.contains(&u);
+        }
+        self.targets(db, u).contains(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxrpq_automata::parse_regex;
+    use cxrpq_graph::Alphabet;
+    use std::sync::Arc;
+
+    fn line_db(word: &str) -> (GraphDb, Vec<NodeId>) {
+        let alpha = Arc::new(Alphabet::from_chars("abc"));
+        let mut db = GraphDb::new(alpha);
+        let w = db.alphabet().parse_word(word).unwrap();
+        let nodes: Vec<NodeId> = (0..=w.len()).map(|_| db.add_node()).collect();
+        for (i, &s) in w.iter().enumerate() {
+            db.add_edge(nodes[i], s, nodes[i + 1]);
+        }
+        (db, nodes)
+    }
+
+    fn nfa_of(db: &GraphDb, s: &str) -> Nfa {
+        let mut a = db.alphabet().clone();
+        Nfa::from_regex(&parse_regex(s, &mut a).unwrap())
+    }
+
+    #[test]
+    fn forward_reach_on_line() {
+        let (db, nodes) = line_db("aabba");
+        let m = nfa_of(&db, "a*");
+        let r = reach_set(&db, &m, nodes[0], Direction::Forward, None);
+        assert_eq!(r, HashSet::from([nodes[0], nodes[1], nodes[2]]));
+        let m2 = nfa_of(&db, "a*b");
+        let r2 = reach_set(&db, &m2, nodes[0], Direction::Forward, None);
+        assert_eq!(r2, HashSet::from([nodes[3]]));
+    }
+
+    #[test]
+    fn backward_reach_matches_forward() {
+        let (db, nodes) = line_db("abcab");
+        let m = nfa_of(&db, "a(b|c)");
+        let mut cache = ReachCache::new(m);
+        // Forward from n0: {n2}; so sources of n2 must contain n0.
+        assert!(cache.targets(&db, nodes[0]).contains(&nodes[2]));
+        assert!(cache.sources(&db, nodes[2]).contains(&nodes[0]));
+        assert!(!cache.sources(&db, nodes[1]).contains(&nodes[0]));
+        assert!(cache.connects(&db, nodes[3], nodes[5])); // "ab"? n3-a->n4-b->n5 ✓
+    }
+
+    #[test]
+    fn epsilon_language_reaches_self() {
+        let (db, nodes) = line_db("ab");
+        let m = nfa_of(&db, "_");
+        let r = reach_set(&db, &m, nodes[1], Direction::Forward, None);
+        assert_eq!(r, HashSet::from([nodes[1]]));
+    }
+
+    #[test]
+    fn any_transitions_work_backwards() {
+        let (db, nodes) = line_db("abc");
+        let m = nfa_of(&db, "..");
+        let mut cache = ReachCache::new(m);
+        assert!(cache.sources(&db, nodes[2]).contains(&nodes[0]));
+        assert!(cache.sources(&db, nodes[3]).contains(&nodes[1]));
+        assert!(!cache.sources(&db, nodes[3]).contains(&nodes[0]));
+    }
+
+    #[test]
+    fn stats_count_states() {
+        let (db, nodes) = line_db("aaaa");
+        let m = nfa_of(&db, "a*");
+        let stats = ReachStats::default();
+        reach_set(&db, &m, nodes[0], Direction::Forward, Some(&stats));
+        assert!(stats.states() > 0);
+    }
+
+    #[test]
+    fn reverse_nfa_reverses_language() {
+        let alpha = Alphabet::from_chars("ab");
+        let mut a2 = alpha.clone();
+        let r = parse_regex("ab*", &mut a2).unwrap();
+        let m = Nfa::from_regex(&r);
+        let rev = reverse_nfa(&m);
+        // Reverse of a·b* is b*·a.
+        let w = |s: &str| alpha.parse_word(s).unwrap();
+        assert!(rev.accepts(&w("a")));
+        assert!(rev.accepts(&w("bba")));
+        assert!(!rev.accepts(&w("ab")));
+    }
+}

@@ -1,0 +1,396 @@
+//! Regular relations over `Σ*` of arity `s` — the relation layer of ECRPQ
+//! (Barceló et al. \[8\], recalled in §1.3 and §7 of the paper).
+//!
+//! A regular relation is recognized by an automaton over the padded tuple
+//! alphabet `(Σ ∪ {⊥})^s` where `⊥` only occurs in suffix positions (shorter
+//! components are padded at the right end). Transition labels are symbolic
+//! predicates so that equality and equal-length relations stay O(1)-sized
+//! independently of |Σ|.
+
+use cxrpq_graph::Symbol;
+
+/// One component of a tuple-transition predicate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TupComp {
+    /// This component reads the concrete symbol.
+    Sym(Symbol),
+    /// This component reads any symbol of Σ (components are independent).
+    Any,
+    /// This component is padded (`⊥`): its word has already ended.
+    Pad,
+}
+
+/// A symbolic transition label of a relation automaton.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RelLabel {
+    /// A tuple of per-component predicates.
+    Tuple(Vec<TupComp>),
+    /// All components read the *same* (arbitrary) symbol of Σ — the loop of
+    /// the equality relation, kept symbolic to avoid |Σ| blow-up.
+    AllEqualSym,
+}
+
+impl RelLabel {
+    /// Whether the label admits `tuple` (with `None` encoding ⊥).
+    pub fn matches(&self, tuple: &[Option<Symbol>]) -> bool {
+        match self {
+            RelLabel::Tuple(comps) => {
+                comps.len() == tuple.len()
+                    && comps.iter().zip(tuple).all(|(c, t)| match (c, t) {
+                        (TupComp::Sym(a), Some(b)) => a == b,
+                        (TupComp::Any, Some(_)) => true,
+                        (TupComp::Pad, None) => true,
+                        _ => false,
+                    })
+            }
+            RelLabel::AllEqualSym => {
+                tuple.iter().all(Option::is_some)
+                    && tuple.windows(2).all(|w| w[0] == w[1])
+            }
+        }
+    }
+}
+
+/// A regular relation of arity `s`, as an automaton with symbolic tuple
+/// labels.
+#[derive(Clone, Debug)]
+pub struct RegularRelation {
+    arity: usize,
+    start: u32,
+    finals: Vec<bool>,
+    trans: Vec<Vec<(RelLabel, u32)>>,
+}
+
+impl RegularRelation {
+    /// An automaton shell with `n` states (state 0 initial, none final).
+    pub fn with_states(arity: usize, n: usize) -> Self {
+        Self {
+            arity,
+            start: 0,
+            finals: vec![false; n],
+            trans: vec![Vec::new(); n],
+        }
+    }
+
+    /// The arity `s`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The initial state.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Whether `s` is final.
+    pub fn is_final(&self, s: u32) -> bool {
+        self.finals[s as usize]
+    }
+
+    /// Outgoing transitions of `s`.
+    pub fn transitions(&self, s: u32) -> &[(RelLabel, u32)] {
+        &self.trans[s as usize]
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.finals.len()
+    }
+
+    /// Marks a state final.
+    pub fn set_final(&mut self, s: u32, f: bool) {
+        self.finals[s as usize] = f;
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(&mut self, from: u32, label: RelLabel, to: u32) {
+        self.trans[from as usize].push((label, to));
+    }
+
+    /// The equality relation `{(u, …, u)}` of arity `s` (the relation class
+    /// of `ECRPQ^er`).
+    pub fn equality(arity: usize) -> Self {
+        let mut r = Self::with_states(arity, 1);
+        r.set_final(0, true);
+        r.add_transition(0, RelLabel::AllEqualSym, 0);
+        r
+    }
+
+    /// The equal-length relation `{(u₁, …, u_s) : |u₁| = … = |u_s|}` — used
+    /// by the paper's separation query `q_{aⁿbⁿ}` (Figure 6).
+    pub fn equal_length(arity: usize) -> Self {
+        let mut r = Self::with_states(arity, 1);
+        r.set_final(0, true);
+        r.add_transition(0, RelLabel::Tuple(vec![TupComp::Any; arity]), 0);
+        r
+    }
+
+    /// The prefix relation `{(u, v) : u is a prefix of v}` (an example of a
+    /// genuinely padded relation).
+    pub fn prefix() -> Self {
+        let mut r = Self::with_states(2, 2);
+        r.set_final(0, true);
+        r.set_final(1, true);
+        r.add_transition(0, RelLabel::AllEqualSym, 0);
+        r.add_transition(0, RelLabel::Tuple(vec![TupComp::Pad, TupComp::Any]), 1);
+        r.add_transition(1, RelLabel::Tuple(vec![TupComp::Pad, TupComp::Any]), 1);
+        r
+    }
+
+    /// Bounded Hamming distance: `{(u, v) : |u| = |v|, d_H(u, v) ≤ d}` —
+    /// "approximate equality", an automatic relation the paper's ECRPQ class
+    /// admits but CXRPQ cannot express (equality is the only inter-path
+    /// comparison string variables provide).
+    ///
+    /// State `i` counts mismatches. The mismatch transition reads *any* pair
+    /// of symbols; on equal symbols the equality self-loop also applies, and
+    /// nondeterministic acceptance picks the thrifty run, so the automaton
+    /// accepts exactly the pairs within distance `d`.
+    pub fn hamming_leq(d: usize) -> Self {
+        let mut r = Self::with_states(2, d + 1);
+        for i in 0..=d {
+            r.set_final(i as u32, true);
+            r.add_transition(i as u32, RelLabel::AllEqualSym, i as u32);
+            if i < d {
+                r.add_transition(
+                    i as u32,
+                    RelLabel::Tuple(vec![TupComp::Any, TupComp::Any]),
+                    (i + 1) as u32,
+                );
+            }
+        }
+        r
+    }
+
+    /// Bounded length difference: `{(u, v) : | |u| − |v| | ≤ d}` — a relaxed
+    /// equal-length relation (the `d = 0` case is [`Self::equal_length`]).
+    pub fn length_diff_leq(d: usize) -> Self {
+        // State 0: both words still running. States 1..=d: first word ended,
+        // counting the second's surplus; states d+1..=2d symmetrically.
+        let mut r = Self::with_states(2, 2 * d + 1);
+        for s in 0..(2 * d + 1) as u32 {
+            r.set_final(s, true);
+        }
+        r.add_transition(0, RelLabel::Tuple(vec![TupComp::Any, TupComp::Any]), 0);
+        for i in 0..d {
+            let (from_r, to_r) = (if i == 0 { 0 } else { i as u32 }, (i + 1) as u32);
+            r.add_transition(from_r, RelLabel::Tuple(vec![TupComp::Pad, TupComp::Any]), to_r);
+            let (from_l, to_l) = (
+                if i == 0 { 0 } else { (d + i) as u32 },
+                (d + i + 1) as u32,
+            );
+            r.add_transition(from_l, RelLabel::Tuple(vec![TupComp::Any, TupComp::Pad]), to_l);
+        }
+        r
+    }
+
+    /// Whether the relation holds for concrete words (oracle used in tests):
+    /// feeds the padded tuple word through the automaton.
+    pub fn holds(&self, words: &[Vec<Symbol>]) -> bool {
+        assert_eq!(words.len(), self.arity);
+        let max = words.iter().map(Vec::len).max().unwrap_or(0);
+        let mut states = vec![self.start];
+        for i in 0..max {
+            let tuple: Vec<Option<Symbol>> =
+                words.iter().map(|w| w.get(i).copied()).collect();
+            let mut next = Vec::new();
+            for &s in &states {
+                for (l, t) in self.transitions(s) {
+                    if l.matches(&tuple) && !next.contains(t) {
+                        next.push(*t);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            states = next;
+        }
+        states.iter().any(|&s| self.is_final(s))
+    }
+
+    /// The reversal of the relation (needed for backward synchronized
+    /// search): component words are read right-to-left, so padding moves to
+    /// the front — the caller's backward search treats "not yet started"
+    /// walkers exactly like forward "already finished" ones.
+    pub fn reversed(&self) -> Self {
+        let n = self.state_count();
+        // Fresh start state n, ε-free construction: copy reversed
+        // transitions, finals = {old start}, start connected by duplicating
+        // outgoing (reversed) transitions of every old final.
+        let mut r = Self::with_states(self.arity, n + 1);
+        r.start = n as u32;
+        for s in 0..n as u32 {
+            for (l, t) in self.transitions(s) {
+                r.add_transition(*t, l.clone(), s);
+            }
+        }
+        // Transitions out of the fresh start mirror those out of old finals.
+        let mut fresh: Vec<(RelLabel, u32)> = Vec::new();
+        for f in 0..n as u32 {
+            if self.is_final(f) {
+                for (l, t) in r.transitions(f) {
+                    fresh.push((l.clone(), *t));
+                }
+            }
+        }
+        for (l, t) in fresh {
+            r.add_transition(n as u32, l, t);
+        }
+        r.finals[self.start as usize] = true;
+        // The fresh start is final iff some original final coincides with
+        // acceptance of the empty tuple word.
+        if (0..n as u32).any(|f| self.is_final(f) && f == self.start) {
+            r.finals[n] = true;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: &str) -> Vec<Symbol> {
+        s.bytes().map(|b| Symbol((b - b'a') as u32)).collect()
+    }
+
+    #[test]
+    fn equality_relation_holds() {
+        let eq = RegularRelation::equality(3);
+        assert!(eq.holds(&[w("ab"), w("ab"), w("ab")]));
+        assert!(eq.holds(&[w(""), w(""), w("")]));
+        assert!(!eq.holds(&[w("ab"), w("ab"), w("ba")]));
+        assert!(!eq.holds(&[w("ab"), w("ab"), w("abb")]));
+    }
+
+    #[test]
+    fn equal_length_relation_holds() {
+        let el = RegularRelation::equal_length(2);
+        assert!(el.holds(&[w("ab"), w("ba")]));
+        assert!(el.holds(&[w(""), w("")]));
+        assert!(!el.holds(&[w("ab"), w("b")]));
+    }
+
+    #[test]
+    fn prefix_relation_holds() {
+        let p = RegularRelation::prefix();
+        assert!(p.holds(&[w("ab"), w("abba")]));
+        assert!(p.holds(&[w(""), w("abba")]));
+        assert!(p.holds(&[w("ab"), w("ab")]));
+        assert!(!p.holds(&[w("ba"), w("abba")]));
+        assert!(!p.holds(&[w("abba"), w("ab")]));
+    }
+
+    #[test]
+    fn reversal_of_equality_is_equality() {
+        let eq = RegularRelation::equality(2).reversed();
+        assert!(eq.holds(&[w("ab"), w("ab")]));
+        assert!(!eq.holds(&[w("ab"), w("ba")]));
+        assert!(eq.holds(&[w(""), w("")]));
+    }
+
+    /// Front-padded feed: words aligned at their ends, ⊥ in prefix
+    /// positions — the convolution a backward synchronized search produces.
+    fn holds_front(r: &RegularRelation, words: &[Vec<Symbol>]) -> bool {
+        let max = words.iter().map(Vec::len).max().unwrap_or(0);
+        let mut states = vec![r.start()];
+        for i in 0..max {
+            let tuple: Vec<Option<Symbol>> = words
+                .iter()
+                .map(|w| {
+                    let offset = max - w.len();
+                    if i < offset {
+                        None
+                    } else {
+                        Some(w[i - offset])
+                    }
+                })
+                .collect();
+            let mut next = Vec::new();
+            for &s in &states {
+                for (l, t) in r.transitions(s) {
+                    if l.matches(&tuple) && !next.contains(t) {
+                        next.push(*t);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            states = next;
+        }
+        states.iter().any(|&s| r.is_final(s))
+    }
+
+    #[test]
+    fn reversal_accepts_backward_feed() {
+        // A backward search feeds the reversed relation the front-padded
+        // convolution of the reversed words: (u, v) ∈ prefix iff the
+        // reversed automaton accepts front-padded (uᴿ, vᴿ).
+        let rev = |mut v: Vec<Symbol>| {
+            v.reverse();
+            v
+        };
+        let p_rev = RegularRelation::prefix().reversed();
+        assert!(holds_front(&p_rev, &[rev(w("ab")), rev(w("abba"))]));
+        assert!(!holds_front(&p_rev, &[rev(w("ba")), rev(w("abba"))]));
+        assert!(holds_front(&p_rev, &[rev(w("ab")), rev(w("ab"))]));
+        // Equality is its own reversal.
+        let e_rev = RegularRelation::equality(2).reversed();
+        assert!(holds_front(&e_rev, &[w("ab"), w("ab")]));
+        assert!(!holds_front(&e_rev, &[w("ab"), w("ba")]));
+    }
+
+    #[test]
+    fn hamming_relation_holds() {
+        let h0 = RegularRelation::hamming_leq(0);
+        assert!(h0.holds(&[w("abc"), w("abc")]));
+        assert!(!h0.holds(&[w("abc"), w("abd")]));
+        let h1 = RegularRelation::hamming_leq(1);
+        assert!(h1.holds(&[w("abc"), w("abd")]));
+        assert!(h1.holds(&[w("abc"), w("abc")])); // distance 0 ≤ 1
+        assert!(!h1.holds(&[w("abc"), w("add")])); // distance 2
+        assert!(!h1.holds(&[w("ab"), w("abc")])); // unequal lengths
+        let h2 = RegularRelation::hamming_leq(2);
+        assert!(h2.holds(&[w("abc"), w("add")]));
+        assert!(!h2.holds(&[w("abc"), w("ddd")]));
+        assert!(h2.holds(&[w(""), w("")]));
+    }
+
+    #[test]
+    fn length_diff_relation_holds() {
+        let d0 = RegularRelation::length_diff_leq(0);
+        assert!(d0.holds(&[w("ab"), w("dc")]));
+        assert!(!d0.holds(&[w("ab"), w("d")]));
+        let d2 = RegularRelation::length_diff_leq(2);
+        assert!(d2.holds(&[w("ab"), w("abcd")]));
+        assert!(d2.holds(&[w("abcd"), w("ab")]));
+        assert!(d2.holds(&[w(""), w("ab")]));
+        assert!(!d2.holds(&[w("a"), w("abcd")]));
+        assert!(!d2.holds(&[w("abcd"), w("a")]));
+    }
+
+    #[test]
+    fn hamming_composes_with_sync_reversal() {
+        // Reversal keeps the relation meaningful for backward search:
+        // Hamming distance is symmetric under word reversal.
+        let h1 = RegularRelation::hamming_leq(1).reversed();
+        let rev = |mut v: Vec<Symbol>| {
+            v.reverse();
+            v
+        };
+        assert!(h1.holds(&[rev(w("abc")), rev(w("abd"))]));
+        assert!(!h1.holds(&[rev(w("abc")), rev(w("add"))]));
+    }
+
+    #[test]
+    fn label_matching() {
+        let l = RelLabel::Tuple(vec![TupComp::Sym(Symbol(0)), TupComp::Pad]);
+        assert!(l.matches(&[Some(Symbol(0)), None]));
+        assert!(!l.matches(&[Some(Symbol(1)), None]));
+        assert!(!l.matches(&[Some(Symbol(0)), Some(Symbol(0))]));
+        assert!(RelLabel::AllEqualSym.matches(&[Some(Symbol(2)), Some(Symbol(2))]));
+        assert!(!RelLabel::AllEqualSym.matches(&[Some(Symbol(2)), None]));
+    }
+}

@@ -1,0 +1,547 @@
+//! A backtracking solver for conjunctive path constraints.
+//!
+//! All evaluators in this crate reduce to the same search problem: find a
+//! matching morphism `h : V_q → V_D` such that
+//!
+//! - every *free edge* `(x, M, y)` is witnessed by a path `h(x) →* h(y)`
+//!   labelled by a word of `L(M)` (single-walker product reachability), and
+//! - every *group* `((x₁…x_s), (y₁…y_s), spec)` is witnessed by a tuple of
+//!   paths `h(xᵢ) →* h(yᵢ)` whose labels jointly satisfy the group's
+//!   [`SyncSpec`] (synchronized product search).
+//!
+//! CRPQs use only free edges; simple CXRPQs (Lemma 3) add equality groups
+//! per string variable; ECRPQs add arbitrary regular-relation groups.
+
+use crate::pattern::NodeVar;
+use crate::reach::{ReachCache, ReachStats};
+use crate::sync::{sync_sources, sync_targets, SyncSearch, SyncSpec};
+use cxrpq_graph::{GraphDb, NodeId};
+use std::collections::HashMap;
+
+/// A single-walker constraint `(src) -L(M)-> (dst)`.
+pub struct FreeEdge {
+    /// Source node variable.
+    pub src: NodeVar,
+    /// Target node variable.
+    pub dst: NodeVar,
+    /// Reachability cache for the edge automaton.
+    pub cache: ReachCache,
+}
+
+/// A synchronized multi-walker constraint.
+pub struct Group {
+    /// Source node variable per walker.
+    pub srcs: Vec<NodeVar>,
+    /// Target node variable per walker.
+    pub dsts: Vec<NodeVar>,
+    /// The group specification (per-walker NFAs + relation).
+    pub spec: SyncSpec,
+    reversed: Option<SyncSpec>,
+}
+
+impl Group {
+    /// Creates a group constraint.
+    pub fn new(srcs: Vec<NodeVar>, dsts: Vec<NodeVar>, spec: SyncSpec) -> Self {
+        assert_eq!(srcs.len(), spec.arity());
+        assert_eq!(dsts.len(), spec.arity());
+        Self {
+            srcs,
+            dsts,
+            spec,
+            reversed: None,
+        }
+    }
+
+    fn reversed(&mut self) -> &SyncSpec {
+        if self.reversed.is_none() {
+            self.reversed = Some(self.spec.reversed());
+        }
+        self.reversed.as_ref().unwrap()
+    }
+}
+
+/// The constraint-solving problem.
+pub struct Problem {
+    /// Number of node variables.
+    pub node_count: usize,
+    /// Single-walker constraints.
+    pub free_edges: Vec<FreeEdge>,
+    /// Synchronized-group constraints.
+    pub groups: Vec<Group>,
+    /// Exploration statistics (product states visited across all searches).
+    pub stats: ReachStats,
+}
+
+impl Problem {
+    /// An empty problem over `node_count` node variables.
+    pub fn new(node_count: usize) -> Self {
+        Self {
+            node_count,
+            free_edges: Vec::new(),
+            groups: Vec::new(),
+            stats: ReachStats::default(),
+        }
+    }
+
+    /// Runs the solver. `pinned` pre-binds node variables (the Check
+    /// problem); `required` lists variables that must be bound in every
+    /// reported solution even when unconstrained (output variables).
+    /// `on_solution` returns `true` to stop the search.
+    pub fn solve(
+        &mut self,
+        db: &GraphDb,
+        pinned: &HashMap<NodeVar, NodeId>,
+        required: &[NodeVar],
+        on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
+    ) -> bool {
+        let mut bindings: Vec<Option<NodeId>> = vec![None; self.node_count];
+        for (&v, &n) in pinned {
+            bindings[v.index()] = Some(n);
+        }
+        let mut edge_done = vec![false; self.free_edges.len()];
+        let mut group_done = vec![false; self.groups.len()];
+        self.recurse(db, &mut bindings, &mut edge_done, &mut group_done, required, on_solution)
+    }
+
+    fn recurse(
+        &mut self,
+        db: &GraphDb,
+        bindings: &mut Vec<Option<NodeId>>,
+        edge_done: &mut Vec<bool>,
+        group_done: &mut Vec<bool>,
+        required: &[NodeVar],
+        on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
+    ) -> bool {
+        // 1. Check any fully bound free edge.
+        for i in 0..self.free_edges.len() {
+            if edge_done[i] {
+                continue;
+            }
+            let e = &mut self.free_edges[i];
+            if let (Some(u), Some(v)) = (bindings[e.src.index()], bindings[e.dst.index()]) {
+                if !e.cache.connects(db, u, v) {
+                    return false;
+                }
+                edge_done[i] = true;
+                let r = self.recurse(db, bindings, edge_done, group_done, required, on_solution);
+                edge_done[i] = false;
+                return r;
+            }
+        }
+        // 2. Check any fully bound group.
+        for i in 0..self.groups.len() {
+            if group_done[i] {
+                continue;
+            }
+            let all_bound = self.groups[i]
+                .srcs
+                .iter()
+                .chain(self.groups[i].dsts.iter())
+                .all(|v| bindings[v.index()].is_some());
+            if all_bound {
+                let starts: Vec<NodeId> = self.groups[i]
+                    .srcs
+                    .iter()
+                    .map(|v| bindings[v.index()].unwrap())
+                    .collect();
+                let ends: Vec<NodeId> = self.groups[i]
+                    .dsts
+                    .iter()
+                    .map(|v| bindings[v.index()].unwrap())
+                    .collect();
+                let ok = !SyncSearch::forward(db, &self.groups[i].spec)
+                    .run(&starts, Some(&ends), Some(&self.stats))
+                    .is_empty();
+                if !ok {
+                    return false;
+                }
+                group_done[i] = true;
+                let r = self.recurse(db, bindings, edge_done, group_done, required, on_solution);
+                group_done[i] = false;
+                return r;
+            }
+        }
+        // 3. Extend along a half-bound free edge.
+        for i in 0..self.free_edges.len() {
+            if edge_done[i] {
+                continue;
+            }
+            let (src, dst) = (self.free_edges[i].src, self.free_edges[i].dst);
+            let (bs, bd) = (bindings[src.index()], bindings[dst.index()]);
+            if bs.is_some() || bd.is_some() {
+                edge_done[i] = true;
+                let candidates: Vec<NodeId> = if let Some(u) = bs {
+                    self.free_edges[i].targets_sorted(db, u, true)
+                } else {
+                    self.free_edges[i].targets_sorted(db, bd.unwrap(), false)
+                };
+                let var = if bs.is_some() { dst } else { src };
+                for c in candidates {
+                    bindings[var.index()] = Some(c);
+                    if self.recurse(db, bindings, edge_done, group_done, required, on_solution) {
+                        bindings[var.index()] = None;
+                        edge_done[i] = false;
+                        return true;
+                    }
+                    bindings[var.index()] = None;
+                }
+                edge_done[i] = false;
+                return false;
+            }
+        }
+        // 4. Extend along a group with one side fully bound.
+        for i in 0..self.groups.len() {
+            if group_done[i] {
+                continue;
+            }
+            let srcs_bound = self.groups[i]
+                .srcs
+                .iter()
+                .all(|v| bindings[v.index()].is_some());
+            let dsts_bound = self.groups[i]
+                .dsts
+                .iter()
+                .all(|v| bindings[v.index()].is_some());
+            if srcs_bound || dsts_bound {
+                group_done[i] = true;
+                let (fixed_vars, open_vars, tuples) = if srcs_bound {
+                    let starts: Vec<NodeId> = self.groups[i]
+                        .srcs
+                        .iter()
+                        .map(|v| bindings[v.index()].unwrap())
+                        .collect();
+                    let tuples =
+                        sync_targets(db, &self.groups[i].spec, &starts, Some(&self.stats));
+                    (
+                        self.groups[i].srcs.clone(),
+                        self.groups[i].dsts.clone(),
+                        tuples,
+                    )
+                } else {
+                    let ends: Vec<NodeId> = self.groups[i]
+                        .dsts
+                        .iter()
+                        .map(|v| bindings[v.index()].unwrap())
+                        .collect();
+                    let rev = self.groups[i].reversed().clone();
+                    // Walk the database *backwards* under the reversed spec
+                    // to enumerate source tuples.
+                    let tuples = sync_sources(db, &rev, &ends, Some(&self.stats));
+                    (
+                        self.groups[i].dsts.clone(),
+                        self.groups[i].srcs.clone(),
+                        tuples,
+                    )
+                };
+                let _ = fixed_vars;
+                'tuple: for tup in tuples {
+                    // Bind open vars consistently (a variable may repeat and
+                    // may already be bound).
+                    let mut newly: Vec<NodeVar> = Vec::new();
+                    for (var, node) in open_vars.iter().zip(tup.iter()) {
+                        match bindings[var.index()] {
+                            Some(b) if b != *node => {
+                                for v in newly.drain(..) {
+                                    bindings[v.index()] = None;
+                                }
+                                continue 'tuple;
+                            }
+                            Some(_) => {}
+                            None => {
+                                bindings[var.index()] = Some(*node);
+                                newly.push(*var);
+                            }
+                        }
+                    }
+                    let hit =
+                        self.recurse(db, bindings, edge_done, group_done, required, on_solution);
+                    for v in newly {
+                        bindings[v.index()] = None;
+                    }
+                    if hit {
+                        group_done[i] = false;
+                        return true;
+                    }
+                }
+                group_done[i] = false;
+                return false;
+            }
+        }
+        // 5. Seed: bind some variable occurring in a pending constraint.
+        let seed_var = self
+            .free_edges
+            .iter()
+            .zip(edge_done.iter())
+            .filter(|(_, d)| !**d)
+            .map(|(e, _)| e.src)
+            .chain(
+                self.groups
+                    .iter()
+                    .zip(group_done.iter())
+                    .filter(|(_, d)| !**d)
+                    .flat_map(|(g, _)| g.srcs.iter().copied()),
+            )
+            .find(|v| bindings[v.index()].is_none());
+        if let Some(var) = seed_var {
+            for node in db.nodes() {
+                bindings[var.index()] = Some(node);
+                if self.recurse(db, bindings, edge_done, group_done, required, on_solution) {
+                    bindings[var.index()] = None;
+                    return true;
+                }
+                bindings[var.index()] = None;
+            }
+            return false;
+        }
+        // All constraints satisfied: bind required-but-unbound variables.
+        if let Some(&var) = required
+            .iter()
+            .find(|v| bindings[v.index()].is_none())
+        {
+            for node in db.nodes() {
+                bindings[var.index()] = Some(node);
+                if self.recurse(db, bindings, edge_done, group_done, required, on_solution) {
+                    bindings[var.index()] = None;
+                    return true;
+                }
+                bindings[var.index()] = None;
+            }
+            return false;
+        }
+        on_solution(bindings)
+    }
+}
+
+impl FreeEdge {
+    fn targets_sorted(&mut self, db: &GraphDb, from: NodeId, forward: bool) -> Vec<NodeId> {
+        let set = if forward {
+            self.cache.targets(db, from)
+        } else {
+            self.cache.sources(db, from)
+        };
+        let mut v: Vec<NodeId> = set.iter().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxrpq_automata::{parse_regex, Nfa};
+    use cxrpq_graph::Alphabet;
+    use std::sync::Arc;
+
+    fn db_cycle(word: &str) -> (GraphDb, Vec<NodeId>) {
+        let alpha = Arc::new(Alphabet::from_chars("abc"));
+        let mut db = GraphDb::new(alpha);
+        let w = db.alphabet().parse_word(word).unwrap();
+        let nodes: Vec<NodeId> = (0..w.len()).map(|_| db.add_node()).collect();
+        for (i, &s) in w.iter().enumerate() {
+            db.add_edge(nodes[i], s, nodes[(i + 1) % w.len()]);
+        }
+        (db, nodes)
+    }
+
+    fn nfa(db: &GraphDb, s: &str) -> Nfa {
+        let mut a = db.alphabet().clone();
+        Nfa::from_regex(&parse_regex(s, &mut a).unwrap())
+    }
+
+    #[test]
+    fn single_edge_boolean() {
+        let (db, _) = db_cycle("abcabc");
+        let mut p = Problem::new(2);
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(0),
+            dst: NodeVar(1),
+            cache: ReachCache::new(nfa(&db, "abca")),
+        });
+        let mut found = false;
+        p.solve(&db, &HashMap::new(), &[], &mut |_| {
+            found = true;
+            true
+        });
+        assert!(found);
+        // No path labelled "aa" on the cycle.
+        let mut p2 = Problem::new(2);
+        p2.free_edges.push(FreeEdge {
+            src: NodeVar(0),
+            dst: NodeVar(1),
+            cache: ReachCache::new(nfa(&db, "aa")),
+        });
+        let mut found2 = false;
+        p2.solve(&db, &HashMap::new(), &[], &mut |_| {
+            found2 = true;
+            true
+        });
+        assert!(!found2);
+    }
+
+    #[test]
+    fn conjunction_shares_nodes() {
+        // x -ab-> y and y -ca-> x on the cycle abcabc: y = x+2, and from y
+        // reading "ca" lands on y+2 = x+4 ≠ x… on a 6-cycle with word
+        // abcabc: positions 0..5; x=0: ab leads to 2; from 2, "ca" = c,a →
+        // 2:c->3, 3:a->4 ≠ 0. x=3: ab: 3 is 'a'? word abcabc: edge i labelled
+        // w[i]. x=3: a at 3, b at 4 → y=5; from 5: c at 5, a at 0 → 1 ≠ 3.
+        // So unsatisfiable; but x -ab-> y, y -cabc-> x is satisfiable (x=0).
+        let (db, nodes) = db_cycle("abcabc");
+        let mut p = Problem::new(2);
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(0),
+            dst: NodeVar(1),
+            cache: ReachCache::new(nfa(&db, "ab")),
+        });
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(1),
+            dst: NodeVar(0),
+            cache: ReachCache::new(nfa(&db, "ca")),
+        });
+        let mut found = false;
+        p.solve(&db, &HashMap::new(), &[], &mut |_| {
+            found = true;
+            true
+        });
+        assert!(!found);
+
+        let mut p2 = Problem::new(2);
+        p2.free_edges.push(FreeEdge {
+            src: NodeVar(0),
+            dst: NodeVar(1),
+            cache: ReachCache::new(nfa(&db, "ab")),
+        });
+        p2.free_edges.push(FreeEdge {
+            src: NodeVar(1),
+            dst: NodeVar(0),
+            cache: ReachCache::new(nfa(&db, "cabc")),
+        });
+        let mut sol = None;
+        p2.solve(&db, &HashMap::new(), &[], &mut |b| {
+            sol = Some((b[0].unwrap(), b[1].unwrap()));
+            true
+        });
+        assert_eq!(sol, Some((nodes[0], nodes[2])));
+    }
+
+    #[test]
+    fn pinned_bindings_check() {
+        let (db, nodes) = db_cycle("abcabc");
+        let mut p = Problem::new(2);
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(0),
+            dst: NodeVar(1),
+            cache: ReachCache::new(nfa(&db, "abc")),
+        });
+        let pinned: HashMap<NodeVar, NodeId> =
+            [(NodeVar(0), nodes[0]), (NodeVar(1), nodes[3])].into();
+        let mut found = false;
+        p.solve(&db, &pinned, &[], &mut |_| {
+            found = true;
+            true
+        });
+        assert!(found);
+        let pinned2: HashMap<NodeVar, NodeId> =
+            [(NodeVar(0), nodes[0]), (NodeVar(1), nodes[4])].into();
+        let mut found2 = false;
+        p.solve(&db, &pinned2, &[], &mut |_| {
+            found2 = true;
+            true
+        });
+        assert!(!found2);
+    }
+
+    #[test]
+    fn group_constraint_in_pattern() {
+        // Pattern: x -w-> y, x -w-> z with the same word w ∈ a(b|c): on a
+        // graph where only one branch exists, y = z is forced.
+        let alpha = Arc::new(Alphabet::from_chars("abc"));
+        let mut db = GraphDb::new(alpha);
+        let a = db.alphabet().sym("a");
+        let b = db.alphabet().sym("b");
+        let c = db.alphabet().sym("c");
+        let s = db.add_node();
+        let m = db.add_node();
+        let t1 = db.add_node();
+        let t2 = db.add_node();
+        db.add_edge(s, a, m);
+        db.add_edge(m, b, t1);
+        db.add_edge(m, c, t2);
+        let mut p = Problem::new(3); // x=0, y=1, z=2
+        let def = nfa(&db, "a(b|c)");
+        p.groups.push(Group::new(
+            vec![NodeVar(0), NodeVar(0)],
+            vec![NodeVar(1), NodeVar(2)],
+            SyncSpec::equality_group(Some(def), 2),
+        ));
+        let mut sols = Vec::new();
+        p.solve(&db, &HashMap::new(), &[], &mut |bnd| {
+            sols.push((bnd[0].unwrap(), bnd[1].unwrap(), bnd[2].unwrap()));
+            false
+        });
+        // Solutions: (s, t1, t1) and (s, t2, t2) — never (s, t1, t2).
+        assert!(sols.contains(&(s, t1, t1)));
+        assert!(sols.contains(&(s, t2, t2)));
+        assert!(!sols.contains(&(s, t1, t2)));
+        assert!(!sols.contains(&(s, t2, t1)));
+    }
+
+    #[test]
+    fn group_solved_backwards_from_pinned_dsts() {
+        // Regression: when only the group's *destinations* are pinned, the
+        // solver must enumerate source tuples by a backward walk (an earlier
+        // version ran the reversed spec forward and produced false
+        // negatives).
+        let alpha = Arc::new(Alphabet::from_chars("abc"));
+        let mut db = GraphDb::new(alpha);
+        let w = db.alphabet().parse_word("abc").unwrap();
+        let s1 = db.add_node();
+        let t1 = db.add_node();
+        let s2 = db.add_node();
+        let t2 = db.add_node();
+        db.add_word_path(s1, &w, t1);
+        db.add_word_path(s2, &w, t2);
+        let mut p = Problem::new(4); // x=0, y=1, u=2, v=3
+        p.groups.push(Group::new(
+            vec![NodeVar(0), NodeVar(2)],
+            vec![NodeVar(1), NodeVar(3)],
+            SyncSpec::equality_group(None, 2),
+        ));
+        // Pin the two destinations; the sources must be found backwards.
+        let pinned: HashMap<NodeVar, NodeId> =
+            [(NodeVar(1), t1), (NodeVar(3), t2)].into();
+        let mut sols = Vec::new();
+        p.solve(&db, &pinned, &[], &mut |b| {
+            sols.push((b[0].unwrap(), b[2].unwrap()));
+            false
+        });
+        assert!(sols.contains(&(s1, s2)), "missing backward-derived sources");
+        // Distinct-word destinations are rejected.
+        let w2 = db.alphabet().parse_word("acb").unwrap();
+        let s3 = db.add_node();
+        let t3 = db.add_node();
+        db.add_word_path(s3, &w2, t3);
+        let pinned2: HashMap<NodeVar, NodeId> =
+            [(NodeVar(1), t1), (NodeVar(3), t3)].into();
+        let mut sols2 = Vec::new();
+        p.solve(&db, &pinned2, &[], &mut |b| {
+            sols2.push((b[0].unwrap(), b[2].unwrap()));
+            false
+        });
+        // Short equal suffixes (e.g. ε at the sinks) are fine, but the full
+        // chains read abc vs acb and must not pair up.
+        assert!(!sols2.contains(&(s1, s3)), "abc cannot equal acb");
+    }
+
+    #[test]
+    fn required_vars_enumerated() {
+        let (db, _) = db_cycle("ab");
+        let mut p = Problem::new(1);
+        let mut count = 0;
+        p.solve(&db, &HashMap::new(), &[NodeVar(0)], &mut |_| {
+            count += 1;
+            false
+        });
+        assert_eq!(count, 2); // both cycle nodes
+    }
+}

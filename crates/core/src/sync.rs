@@ -1,0 +1,585 @@
+//! Synchronized multi-walker product search.
+//!
+//! This is the algorithmic heart of both the Lemma 3 evaluator (simple
+//! CXRPQs: all edges of a variable group must be labelled by the *same*
+//! word, i.e. an equality relation whose definition edge additionally
+//! satisfies a regular constraint) and the ECRPQ evaluator (arbitrary
+//! regular relations over tuples of paths).
+//!
+//! A [`SyncSpec`] bundles one NFA per walker plus a [`RegularRelation`] over
+//! the walkers' words. The search explores the product
+//! `V^s × 2^{Q₁} × … × 2^{Q_s} × Q_rel × 2^s` (positions, per-walker NFA
+//! state sets, relation state, finished mask) on the fly — the explicit form
+//! of the `G_{q′,D}` graph in the proof of Lemma 3, which underlies the
+//! `O(|q| log |D|)` nondeterministic space bound.
+
+use crate::reach::{reverse_nfa, Direction, ReachStats};
+use crate::relation::{RegularRelation, RelLabel, TupComp};
+use cxrpq_automata::Nfa;
+use cxrpq_graph::{GraphDb, NodeId, Symbol};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A synchronized group: per-walker automata plus a relation over their
+/// words.
+#[derive(Clone, Debug)]
+pub struct SyncSpec {
+    /// One automaton per walker (walker `i`'s path label must be accepted).
+    pub nfas: Vec<Nfa>,
+    /// The relation constraining the tuple of path labels.
+    pub relation: RegularRelation,
+}
+
+impl SyncSpec {
+    /// A spec requiring all walkers to read the same word, with walker 0
+    /// additionally constrained by `def_nfa` (the CXRPQ variable-group
+    /// shape: one definition edge + references).
+    pub fn equality_group(def_nfa: Option<Nfa>, arity: usize) -> Self {
+        let mut nfas = Vec::with_capacity(arity);
+        for i in 0..arity {
+            match (&def_nfa, i) {
+                (Some(m), 0) => nfas.push(m.clone()),
+                _ => nfas.push(sigma_star_nfa()),
+            }
+        }
+        Self {
+            nfas,
+            relation: RegularRelation::equality(arity),
+        }
+    }
+
+    /// Arity (number of walkers).
+    pub fn arity(&self) -> usize {
+        self.nfas.len()
+    }
+
+    /// The reversed spec, for backward search.
+    pub fn reversed(&self) -> Self {
+        Self {
+            nfas: self.nfas.iter().map(reverse_nfa).collect(),
+            relation: self.relation.reversed(),
+        }
+    }
+}
+
+/// A 2-state automaton for Σ*.
+pub fn sigma_star_nfa() -> Nfa {
+    let mut m = Nfa::with_states(1);
+    m.add_transition(
+        cxrpq_automata::StateId(0),
+        cxrpq_automata::Label::Any,
+        cxrpq_automata::StateId(0),
+    );
+    m.set_final(cxrpq_automata::StateId(0), true);
+    m
+}
+
+/// One configuration of the synchronized product (crate-internal: the
+/// witness extractor re-runs the search with parent tracking).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct SyncState {
+    pub(crate) positions: Vec<NodeId>,
+    pub(crate) finished: u64,
+    pub(crate) statesets: Vec<Vec<bool>>,
+    pub(crate) rstate: u32,
+}
+
+/// The synchronized product searcher.
+pub struct SyncSearch<'a> {
+    db: &'a GraphDb,
+    spec: &'a SyncSpec,
+    dir: Direction,
+}
+
+impl<'a> SyncSearch<'a> {
+    /// Forward search over `db`.
+    pub fn forward(db: &'a GraphDb, spec: &'a SyncSpec) -> Self {
+        Self {
+            db,
+            spec,
+            dir: Direction::Forward,
+        }
+    }
+
+    /// Backward search (pass a [`SyncSpec::reversed`] spec).
+    pub fn backward(db: &'a GraphDb, reversed_spec: &'a SyncSpec) -> Self {
+        Self {
+            db,
+            spec: reversed_spec,
+            dir: Direction::Backward,
+        }
+    }
+
+    pub(crate) fn spec(&self) -> &SyncSpec {
+        self.spec
+    }
+
+    fn adj(&self, p: NodeId) -> &[(Symbol, NodeId)] {
+        match self.dir {
+            Direction::Forward => self.db.out_edges(p),
+            Direction::Backward => self.db.in_edges(p),
+        }
+    }
+
+    pub(crate) fn initial(&self, starts: &[NodeId]) -> SyncState {
+        SyncState {
+            positions: starts.to_vec(),
+            finished: 0,
+            statesets: self.spec.nfas.iter().map(Nfa::start_set).collect(),
+            rstate: self.spec.relation.start(),
+        }
+    }
+
+    pub(crate) fn accepting(&self, st: &SyncState) -> bool {
+        if !self.spec.relation.is_final(st.rstate) {
+            return false;
+        }
+        (0..self.spec.arity()).all(|i| {
+            st.finished & (1 << i) != 0 || self.spec.nfas[i].any_final(&st.statesets[i])
+        })
+    }
+
+    /// All end-position tuples reachable from `starts` under the spec.
+    ///
+    /// When `ends` is given, the search prunes frozen walkers against it and
+    /// stops at the first hit (membership check).
+    pub fn run(
+        &self,
+        starts: &[NodeId],
+        ends: Option<&[NodeId]>,
+        stats: Option<&ReachStats>,
+    ) -> HashSet<Vec<NodeId>> {
+        let s = self.spec.arity();
+        assert_eq!(starts.len(), s);
+        assert!(s <= 64, "at most 64 synchronized walkers");
+        let init = self.initial(starts);
+        let mut out = HashSet::new();
+        let mut visited: HashSet<SyncState> = HashSet::new();
+        let mut queue = VecDeque::new();
+        visited.insert(init.clone());
+        queue.push_back(init);
+        while let Some(st) = queue.pop_front() {
+            if let Some(stats) = stats {
+                stats.bump(1);
+            }
+            if self.accepting(&st) {
+                match ends {
+                    Some(e) => {
+                        if st.positions == e {
+                            out.insert(st.positions.clone());
+                            return out;
+                        }
+                    }
+                    None => {
+                        out.insert(st.positions.clone());
+                    }
+                }
+            }
+            self.expand(&st, ends, &mut |next| {
+                if visited.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            });
+        }
+        out
+    }
+
+    fn expand(&self, st: &SyncState, ends: Option<&[NodeId]>, emit: &mut impl FnMut(SyncState)) {
+        self.expand_moves(st, ends, &mut |next, _| emit(next));
+    }
+
+    /// Like `expand`, but also reports the per-walker symbol consumed by
+    /// each successor (`None` = the walker padded / stayed frozen) — the
+    /// information the witness extractor needs to reconstruct paths.
+    pub(crate) fn expand_moves(
+        &self,
+        st: &SyncState,
+        ends: Option<&[NodeId]>,
+        emit: &mut impl FnMut(SyncState, &[Option<Symbol>]),
+    ) {
+        let s = self.spec.arity();
+        let rel = &self.spec.relation;
+        for (label, rnext) in rel.transitions(st.rstate) {
+            match label {
+                RelLabel::AllEqualSym => {
+                    if st.finished != 0 {
+                        continue; // all components must read a symbol
+                    }
+                    // Candidate symbols: available from every walker.
+                    let mut syms: Option<HashSet<Symbol>> = None;
+                    for i in 0..s {
+                        let here: HashSet<Symbol> =
+                            self.adj(st.positions[i]).iter().map(|&(a, _)| a).collect();
+                        syms = Some(match syms {
+                            None => here,
+                            Some(acc) => acc.intersection(&here).copied().collect(),
+                        });
+                        if syms.as_ref().unwrap().is_empty() {
+                            break;
+                        }
+                    }
+                    for a in syms.unwrap_or_default() {
+                        // Per-walker: next NFA set and successor nodes.
+                        let mut next_sets = Vec::with_capacity(s);
+                        let mut succs: Vec<Vec<NodeId>> = Vec::with_capacity(s);
+                        let mut dead = false;
+                        for i in 0..s {
+                            let ns = self.spec.nfas[i].step(&st.statesets[i], a);
+                            if ns.iter().all(|&b| !b) {
+                                dead = true;
+                                break;
+                            }
+                            next_sets.push(ns);
+                            succs.push(
+                                self.adj(st.positions[i])
+                                    .iter()
+                                    .filter(|&&(b, _)| b == a)
+                                    .map(|&(_, v)| v)
+                                    .collect(),
+                            );
+                        }
+                        if dead {
+                            continue;
+                        }
+                        self.emit_combos(st, &succs, &next_sets, st.finished, *rnext, a, emit);
+                    }
+                }
+                RelLabel::Tuple(comps) => {
+                    // Build per-walker move options.
+                    //   Pad: freeze (must be finishable), position unchanged.
+                    //   Sym/Any: advance on a compatible edge.
+                    let mut per_walker: Vec<Vec<(NodeId, Vec<bool>, bool, Option<Symbol>)>> =
+                        Vec::with_capacity(s);
+                    let mut dead = false;
+                    for i in 0..s {
+                        let already = st.finished & (1 << i) != 0;
+                        let mut opts: Vec<(NodeId, Vec<bool>, bool, Option<Symbol>)> = Vec::new();
+                        match comps[i] {
+                            TupComp::Pad => {
+                                if already {
+                                    opts.push((
+                                        st.positions[i],
+                                        st.statesets[i].clone(),
+                                        true,
+                                        None,
+                                    ));
+                                } else if self.spec.nfas[i].any_final(&st.statesets[i]) {
+                                    // Freeze now; with a known end, prune.
+                                    if ends.map(|e| e[i] == st.positions[i]).unwrap_or(true) {
+                                        opts.push((
+                                            st.positions[i],
+                                            st.statesets[i].clone(),
+                                            true,
+                                            None,
+                                        ));
+                                    }
+                                }
+                            }
+                            TupComp::Sym(a) => {
+                                if !already {
+                                    let ns = self.spec.nfas[i].step(&st.statesets[i], a);
+                                    if ns.iter().any(|&b| b) {
+                                        for &(b, v) in self.adj(st.positions[i]) {
+                                            if b == a {
+                                                opts.push((v, ns.clone(), false, Some(a)));
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            TupComp::Any => {
+                                if !already {
+                                    let mut per_sym: HashMap<Symbol, Vec<bool>> = HashMap::new();
+                                    for &(b, v) in self.adj(st.positions[i]) {
+                                        let ns = per_sym.entry(b).or_insert_with(|| {
+                                            self.spec.nfas[i].step(&st.statesets[i], b)
+                                        });
+                                        if ns.iter().any(|&x| x) {
+                                            let ns = ns.clone();
+                                            opts.push((v, ns, false, Some(b)));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        if opts.is_empty() {
+                            dead = true;
+                            break;
+                        }
+                        per_walker.push(opts);
+                    }
+                    if dead {
+                        continue;
+                    }
+                    // Cartesian combination.
+                    let mut combo: Vec<usize> = vec![0; s];
+                    loop {
+                        let mut positions = Vec::with_capacity(s);
+                        let mut statesets = Vec::with_capacity(s);
+                        let mut moves = Vec::with_capacity(s);
+                        let mut finished = 0u64;
+                        for i in 0..s {
+                            let (p, ss, fin, mv) = &per_walker[i][combo[i]];
+                            positions.push(*p);
+                            statesets.push(ss.clone());
+                            moves.push(*mv);
+                            if *fin {
+                                finished |= 1 << i;
+                            }
+                        }
+                        emit(
+                            SyncState {
+                                positions,
+                                finished,
+                                statesets,
+                                rstate: *rnext,
+                            },
+                            &moves,
+                        );
+                        // Odometer.
+                        let mut k = s;
+                        loop {
+                            if k == 0 {
+                                break;
+                            }
+                            k -= 1;
+                            combo[k] += 1;
+                            if combo[k] < per_walker[k].len() {
+                                break;
+                            }
+                            combo[k] = 0;
+                            if k == 0 {
+                                k = usize::MAX;
+                                break;
+                            }
+                        }
+                        if k == usize::MAX {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_combos(
+        &self,
+        st: &SyncState,
+        succs: &[Vec<NodeId>],
+        next_sets: &[Vec<bool>],
+        finished: u64,
+        rnext: u32,
+        shared_sym: Symbol,
+        emit: &mut impl FnMut(SyncState, &[Option<Symbol>]),
+    ) {
+        let s = succs.len();
+        if succs.iter().any(Vec::is_empty) {
+            return;
+        }
+        let moves: Vec<Option<Symbol>> = vec![Some(shared_sym); s];
+        let mut combo = vec![0usize; s];
+        loop {
+            let positions: Vec<NodeId> = (0..s).map(|i| succs[i][combo[i]]).collect();
+            emit(
+                SyncState {
+                    positions,
+                    finished,
+                    statesets: next_sets.to_vec(),
+                    rstate: rnext,
+                },
+                &moves,
+            );
+            let mut k = s;
+            loop {
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+                combo[k] += 1;
+                if combo[k] < succs[k].len() {
+                    break;
+                }
+                combo[k] = 0;
+                if k == 0 {
+                    k = usize::MAX;
+                    break;
+                }
+            }
+            if k == usize::MAX {
+                break;
+            }
+        }
+        let _ = st;
+    }
+}
+
+/// Convenience: end tuples reachable from `starts` (forward).
+pub fn sync_targets(
+    db: &GraphDb,
+    spec: &SyncSpec,
+    starts: &[NodeId],
+    stats: Option<&ReachStats>,
+) -> HashSet<Vec<NodeId>> {
+    SyncSearch::forward(db, spec).run(starts, None, stats)
+}
+
+/// Convenience: start tuples that reach `ends` (backward on a reversed spec).
+pub fn sync_sources(
+    db: &GraphDb,
+    reversed_spec: &SyncSpec,
+    ends: &[NodeId],
+    stats: Option<&ReachStats>,
+) -> HashSet<Vec<NodeId>> {
+    SyncSearch::backward(db, reversed_spec).run(ends, None, stats)
+}
+
+/// Convenience: does some tuple of identically-constrained paths connect
+/// `starts` to `ends`?
+pub fn sync_check(
+    db: &GraphDb,
+    spec: &SyncSpec,
+    starts: &[NodeId],
+    ends: &[NodeId],
+    stats: Option<&ReachStats>,
+) -> bool {
+    !SyncSearch::forward(db, spec)
+        .run(starts, Some(ends), stats)
+        .is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxrpq_automata::parse_regex;
+    use cxrpq_graph::Alphabet;
+    use std::sync::Arc;
+
+    /// Two disjoint labelled paths from fresh sources to fresh sinks.
+    fn two_path_db(w1: &str, w2: &str) -> (GraphDb, [NodeId; 4]) {
+        let alpha = Arc::new(Alphabet::from_chars("abc"));
+        let mut db = GraphDb::new(alpha);
+        let s1 = db.add_node();
+        let t1 = db.add_node();
+        let s2 = db.add_node();
+        let t2 = db.add_node();
+        let p1 = db.alphabet().parse_word(w1).unwrap();
+        let p2 = db.alphabet().parse_word(w2).unwrap();
+        db.add_word_path(s1, &p1, t1);
+        db.add_word_path(s2, &p2, t2);
+        (db, [s1, t1, s2, t2])
+    }
+
+    #[test]
+    fn equality_group_requires_equal_words() {
+        let (db, [s1, t1, s2, t2]) = two_path_db("abc", "abc");
+        let spec = SyncSpec::equality_group(None, 2);
+        assert!(sync_check(&db, &spec, &[s1, s2], &[t1, t2], None));
+        let (db2, [s1, t1, s2, t2]) = two_path_db("abc", "abb");
+        assert!(!sync_check(&db2, &spec, &[s1, s2], &[t1, t2], None));
+        // Equal prefixes of different length do not connect the sinks.
+        let (db3, [s1, t1, s2, t2]) = two_path_db("ab", "abc");
+        assert!(!sync_check(&db3, &spec, &[s1, s2], &[t1, t2], None));
+    }
+
+    #[test]
+    fn definition_constrains_the_shared_word() {
+        let (db, [s1, t1, s2, t2]) = two_path_db("aab", "aab");
+        let mut alpha = db.alphabet().clone();
+        let good = Nfa::from_regex(&parse_regex("a*b", &mut alpha).unwrap());
+        let bad = Nfa::from_regex(&parse_regex("b+", &mut alpha).unwrap());
+        let spec_good = SyncSpec::equality_group(Some(good), 2);
+        let spec_bad = SyncSpec::equality_group(Some(bad), 2);
+        assert!(sync_check(&db, &spec_good, &[s1, s2], &[t1, t2], None));
+        assert!(!sync_check(&db, &spec_bad, &[s1, s2], &[t1, t2], None));
+    }
+
+    #[test]
+    fn targets_enumerates_tuples() {
+        let (db, [s1, _, s2, _]) = two_path_db("ab", "ab");
+        let spec = SyncSpec::equality_group(None, 2);
+        let tuples = sync_targets(&db, &spec, &[s1, s2], None);
+        // Tuples after reading ε, a, ab — 3 synchronized frontier tuples.
+        assert_eq!(tuples.len(), 3);
+        assert!(tuples.contains(&vec![s1, s2]));
+    }
+
+    #[test]
+    fn backward_sources_mirror_forward() {
+        let (db, [s1, t1, s2, t2]) = two_path_db("abc", "abc");
+        let spec = SyncSpec::equality_group(None, 2);
+        let rev = spec.reversed();
+        let sources = sync_sources(&db, &rev, &[t1, t2], None);
+        assert!(sources.contains(&vec![s1, s2]));
+        // And prefix-aligned interior tuples, but never mixed-offset ones.
+        for tup in &sources {
+            // Both walkers must be at the same distance from their sinks.
+            let d = |n: NodeId, t: NodeId, db: &GraphDb| {
+                let mut cur = n;
+                let mut steps = 0;
+                while cur != t {
+                    cur = db.out_edges(cur)[0].1;
+                    steps += 1;
+                }
+                steps
+            };
+            assert_eq!(d(tup[0], t1, &db), d(tup[1], t2, &db));
+        }
+    }
+
+    #[test]
+    fn single_walker_reduces_to_reachability() {
+        let (db, [s1, t1, _, _]) = two_path_db("abc", "c");
+        let mut alpha = db.alphabet().clone();
+        let m = Nfa::from_regex(&parse_regex("abc", &mut alpha).unwrap());
+        let spec = SyncSpec {
+            nfas: vec![m],
+            relation: RegularRelation::equal_length(1),
+        };
+        assert!(sync_check(&db, &spec, &[s1], &[t1], None));
+    }
+
+    #[test]
+    fn prefix_relation_group() {
+        // Walker 1's word must be a prefix of walker 2's word.
+        let (db, [s1, t1, s2, t2]) = two_path_db("ab", "abca");
+        let spec = SyncSpec {
+            nfas: vec![sigma_star_nfa(), sigma_star_nfa()],
+            relation: RegularRelation::prefix(),
+        };
+        assert!(sync_check(&db, &spec, &[s1, s2], &[t1, t2], None));
+        let (db2, [s1, t1, s2, t2]) = two_path_db("ba", "abca");
+        assert!(!sync_check(&db2, &spec, &[s1, s2], &[t1, t2], None));
+    }
+
+    #[test]
+    fn epsilon_tuple_accepts_in_place() {
+        let (db, [s1, _, s2, _]) = two_path_db("a", "a");
+        let spec = SyncSpec::equality_group(None, 2);
+        assert!(sync_check(&db, &spec, &[s1, s2], &[s1, s2], None));
+    }
+
+    #[test]
+    fn three_walker_equality_on_branching_graph() {
+        // A diamond: s -a-> m1 -b-> t ; s -a-> m2 -c-> t. Three walkers from
+        // s must all pick the same labels.
+        let alpha = Arc::new(Alphabet::from_chars("abc"));
+        let mut db = GraphDb::new(alpha);
+        let a = db.alphabet().sym("a");
+        let b = db.alphabet().sym("b");
+        let c = db.alphabet().sym("c");
+        let s = db.add_node();
+        let m1 = db.add_node();
+        let m2 = db.add_node();
+        let t = db.add_node();
+        db.add_edge(s, a, m1);
+        db.add_edge(s, a, m2);
+        db.add_edge(m1, b, t);
+        db.add_edge(m2, c, t);
+        let spec = SyncSpec::equality_group(None, 3);
+        let tuples = sync_targets(&db, &spec, &[s, s, s], None);
+        // Walkers can diverge in position (m1 vs m2 after 'a') but words stay
+        // equal; all-at-t requires ab/ab/ab or ac/ac/ac — both fine.
+        assert!(tuples.contains(&vec![t, t, t]));
+        assert!(tuples.contains(&vec![m1, m2, m1]));
+    }
+}

@@ -1,0 +1,190 @@
+//! Interned alphabet symbols.
+//!
+//! The paper fixes a finite terminal alphabet Σ. Symbols are interned into
+//! dense `u32` ids so that automata transitions, edge labels and words are
+//! cheap to store and compare. An [`Alphabet`] owns the id ↔ name mapping and
+//! is shared by a database and the queries evaluated over it.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned alphabet symbol (a terminal letter of Σ).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The dense index of the symbol, suitable for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A finite terminal alphabet Σ with interned symbol names.
+///
+/// Cloning an `Alphabet` is cheap (`Arc`-backed name table semantics are not
+/// needed here; the struct itself is small and typically wrapped in an `Arc`
+/// by callers that share it between a database and many queries).
+#[derive(Clone, Default, Debug)]
+pub struct Alphabet {
+    names: Vec<String>,
+    ids: HashMap<String, Symbol>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet from an iterator of symbol names.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut a = Self::new();
+        for n in names {
+            a.intern(n.as_ref());
+        }
+        a
+    }
+
+    /// Creates an alphabet of single-character symbols, e.g. `"abc"` ↦ Σ = {a, b, c}.
+    pub fn from_chars(chars: &str) -> Self {
+        Self::from_names(chars.chars().map(|c| c.to_string()))
+    }
+
+    /// Interns `name`, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.ids.get(name) {
+            return s;
+        }
+        let s = Symbol(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), s);
+        s
+    }
+
+    /// Looks up an already-interned symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<Symbol> {
+        self.ids.get(name).copied()
+    }
+
+    /// Looks up an already-interned symbol by name, panicking when absent.
+    ///
+    /// Intended for tests and examples where the alphabet is fixed up front.
+    pub fn sym(&self, name: &str) -> Symbol {
+        self.symbol(name)
+            .unwrap_or_else(|| panic!("symbol {name:?} not in alphabet"))
+    }
+
+    /// The name of a symbol.
+    pub fn name(&self, s: Symbol) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Number of symbols |Σ|.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all symbols in id order.
+    pub fn symbols(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.names.len() as u32).map(Symbol)
+    }
+
+    /// Renders a word (sequence of symbols) as a string.
+    ///
+    /// Single-character symbol names are concatenated directly; longer names
+    /// are juxtaposed with `·` separators so that words remain unambiguous.
+    pub fn render_word(&self, word: &[Symbol]) -> String {
+        if word.is_empty() {
+            return "ε".to_string();
+        }
+        let all_single = word.iter().all(|s| self.name(*s).chars().count() == 1);
+        if all_single {
+            word.iter().map(|s| self.name(*s)).collect()
+        } else {
+            word.iter()
+                .map(|s| self.name(*s))
+                .collect::<Vec<_>>()
+                .join("·")
+        }
+    }
+
+    /// Parses a word of single-character symbols, e.g. `"abba"`.
+    ///
+    /// Returns `None` when a character is not an interned symbol.
+    pub fn parse_word(&self, text: &str) -> Option<Vec<Symbol>> {
+        text.chars().map(|c| self.symbol(&c.to_string())).collect()
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.names.join(", "))
+    }
+}
+
+/// A shared, immutable alphabet handle.
+pub type SharedAlphabet = Arc<Alphabet>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut a = Alphabet::new();
+        let s1 = a.intern("a");
+        let s2 = a.intern("a");
+        assert_eq!(s1, s2);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.name(s1), "a");
+    }
+
+    #[test]
+    fn from_chars_builds_singletons() {
+        let a = Alphabet::from_chars("abc");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.sym("b"), Symbol(1));
+    }
+
+    #[test]
+    fn render_word_single_chars() {
+        let a = Alphabet::from_chars("ab");
+        let w = vec![a.sym("a"), a.sym("b"), a.sym("a")];
+        assert_eq!(a.render_word(&w), "aba");
+        assert_eq!(a.render_word(&[]), "ε");
+    }
+
+    #[test]
+    fn render_word_long_names() {
+        let mut a = Alphabet::new();
+        let x = a.intern("<z1>");
+        let y = a.intern("<z2>");
+        assert_eq!(a.render_word(&[x, y]), "<z1>·<z2>");
+    }
+
+    #[test]
+    fn parse_word_round_trips() {
+        let a = Alphabet::from_chars("ab");
+        let w = a.parse_word("abba").unwrap();
+        assert_eq!(a.render_word(&w), "abba");
+        assert!(a.parse_word("abc").is_none());
+    }
+
+    #[test]
+    fn symbols_iterates_in_order() {
+        let a = Alphabet::from_chars("xyz");
+        let ids: Vec<u32> = a.symbols().map(|s| s.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,298 @@
+//! The graph-database multigraph `D = (V_D, E_D)`.
+
+use crate::alphabet::{Alphabet, Symbol};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A node (vertex) of a graph database.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Dense index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dense edge identifier (insertion order).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EdgeId(pub u32);
+
+/// A directed, edge-labelled multigraph over an interned alphabet.
+///
+/// Nodes are dense `u32` ids; edges are `(source, symbol, target)` triples.
+/// Both forward and backward adjacency lists are maintained so that product
+/// searches can run in either direction.
+///
+/// Following the paper (§2.2), *parallel* edges with distinct labels are
+/// allowed; duplicate `(u, a, v)` triples are rejected to keep `|E_D|`
+/// meaningful (a graph database is a set of arcs, not a bag).
+#[derive(Clone, Debug)]
+pub struct GraphDb {
+    alphabet: Arc<Alphabet>,
+    out: Vec<Vec<(Symbol, NodeId)>>,
+    inc: Vec<Vec<(Symbol, NodeId)>>,
+    edge_set: HashSet<(NodeId, Symbol, NodeId)>,
+    node_names: Vec<Option<String>>,
+}
+
+impl GraphDb {
+    /// Creates an empty database over `alphabet`.
+    pub fn new(alphabet: Arc<Alphabet>) -> Self {
+        Self {
+            alphabet,
+            out: Vec::new(),
+            inc: Vec::new(),
+            edge_set: HashSet::new(),
+            node_names: Vec::new(),
+        }
+    }
+
+    /// The database alphabet Σ.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// A shareable handle to the database alphabet.
+    pub fn alphabet_arc(&self) -> Arc<Alphabet> {
+        Arc::clone(&self.alphabet)
+    }
+
+    /// Adds a fresh anonymous node.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.out.len() as u32);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        self.node_names.push(None);
+        id
+    }
+
+    /// Adds a fresh named node (names are for display/debugging only).
+    pub fn add_named_node(&mut self, name: &str) -> NodeId {
+        let id = self.add_node();
+        self.node_names[id.index()] = Some(name.to_string());
+        id
+    }
+
+    /// The display name of a node (its id when unnamed).
+    pub fn node_name(&self, v: NodeId) -> String {
+        match &self.node_names[v.index()] {
+            Some(n) => n.clone(),
+            None => format!("v{}", v.0),
+        }
+    }
+
+    /// Adds the arc `(u, a, v)`. Returns `false` if it was already present.
+    pub fn add_edge(&mut self, u: NodeId, a: Symbol, v: NodeId) -> bool {
+        assert!(u.index() < self.out.len(), "unknown source node");
+        assert!(v.index() < self.out.len(), "unknown target node");
+        if !self.edge_set.insert((u, a, v)) {
+            return false;
+        }
+        self.out[u.index()].push((a, v));
+        self.inc[v.index()].push((a, u));
+        true
+    }
+
+    /// Adds a path from `u` to `v` labelled by `word`, creating
+    /// `|word| - 1` fresh intermediate nodes.
+    ///
+    /// This is the convention used throughout the paper's reductions, where
+    /// "an arc labelled with `##`" stands for a length-2 path. An empty word
+    /// is rejected (graph databases have no ε-arcs; length-0 paths exist
+    /// implicitly on every node).
+    pub fn add_word_path(&mut self, u: NodeId, word: &[Symbol], v: NodeId) {
+        assert!(!word.is_empty(), "cannot add an ε-labelled arc");
+        let mut cur = u;
+        for (i, &a) in word.iter().enumerate() {
+            let next = if i + 1 == word.len() { v } else { self.add_node() };
+            self.add_edge(cur, a, next);
+            cur = next;
+        }
+    }
+
+    /// Number of nodes |V_D|.
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of arcs |E_D|.
+    pub fn edge_count(&self) -> usize {
+        self.edge_set.len()
+    }
+
+    /// Size measure |D| = |V_D| + |E_D| used for data-complexity sweeps.
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.out.len() as u32).map(NodeId)
+    }
+
+    /// Outgoing arcs of `u` as `(label, target)` pairs.
+    #[inline]
+    pub fn out_edges(&self, u: NodeId) -> &[(Symbol, NodeId)] {
+        &self.out[u.index()]
+    }
+
+    /// Incoming arcs of `v` as `(label, source)` pairs.
+    #[inline]
+    pub fn in_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
+        &self.inc[v.index()]
+    }
+
+    /// Successors of `u` along arcs labelled `a`.
+    pub fn successors_with(&self, u: NodeId, a: Symbol) -> impl Iterator<Item = NodeId> + '_ {
+        self.out[u.index()]
+            .iter()
+            .filter(move |(s, _)| *s == a)
+            .map(|(_, v)| *v)
+    }
+
+    /// Whether the arc `(u, a, v)` exists.
+    pub fn has_edge(&self, u: NodeId, a: Symbol, v: NodeId) -> bool {
+        self.edge_set.contains(&(u, a, v))
+    }
+
+    /// All arcs, in unspecified order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, Symbol, NodeId)> + '_ {
+        self.out.iter().enumerate().flat_map(|(u, adj)| {
+            adj.iter().map(move |(a, v)| (NodeId(u as u32), *a, *v))
+        })
+    }
+
+    /// Checks whether there is a path from `u` to `v` labelled exactly `word`.
+    ///
+    /// Runs a breadth-first frontier scan over `word` (length-0 paths match
+    /// the empty word on `u == v`, per §2.2).
+    pub fn has_path_labelled(&self, u: NodeId, word: &[Symbol], v: NodeId) -> bool {
+        let mut frontier: HashSet<NodeId> = HashSet::from([u]);
+        for &a in word {
+            let mut next = HashSet::new();
+            for &n in &frontier {
+                for t in self.successors_with(n, a) {
+                    next.insert(t);
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            frontier = next;
+        }
+        frontier.contains(&v)
+    }
+
+    /// Plain (label-oblivious) reachability from `u` to `v`.
+    pub fn reachable(&self, u: NodeId, v: NodeId) -> bool {
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![u];
+        seen[u.index()] = true;
+        while let Some(n) = stack.pop() {
+            if n == v {
+                return true;
+            }
+            for &(_, t) in self.out_edges(n) {
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc_db() -> GraphDb {
+        GraphDb::new(Arc::new(Alphabet::from_chars("abc")))
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut d = abc_db();
+        let a = d.alphabet().sym("a");
+        let u = d.add_node();
+        let v = d.add_node();
+        assert!(d.add_edge(u, a, v));
+        assert!(!d.add_edge(u, a, v), "duplicate arc rejected");
+        assert_eq!(d.node_count(), 2);
+        assert_eq!(d.edge_count(), 1);
+        assert!(d.has_edge(u, a, v));
+        assert!(!d.has_edge(v, a, u));
+    }
+
+    #[test]
+    fn parallel_edges_with_distinct_labels() {
+        let mut d = abc_db();
+        let (a, b) = (d.alphabet().sym("a"), d.alphabet().sym("b"));
+        let u = d.add_node();
+        let v = d.add_node();
+        assert!(d.add_edge(u, a, v));
+        assert!(d.add_edge(u, b, v));
+        assert_eq!(d.edge_count(), 2);
+        assert_eq!(d.successors_with(u, a).collect::<Vec<_>>(), vec![v]);
+    }
+
+    #[test]
+    fn word_path_creates_intermediates() {
+        let mut d = abc_db();
+        let w = d.alphabet().parse_word("abc").unwrap();
+        let u = d.add_node();
+        let v = d.add_node();
+        d.add_word_path(u, &w, v);
+        assert_eq!(d.node_count(), 4); // u, v + 2 intermediates
+        assert!(d.has_path_labelled(u, &w, v));
+        assert!(!d.has_path_labelled(u, &w[..2], v));
+    }
+
+    #[test]
+    fn empty_word_path_matches_only_self() {
+        let mut d = abc_db();
+        let u = d.add_node();
+        let v = d.add_node();
+        assert!(d.has_path_labelled(u, &[], u));
+        assert!(!d.has_path_labelled(u, &[], v));
+    }
+
+    #[test]
+    fn reachable_follows_any_labels() {
+        let mut d = abc_db();
+        let (a, b) = (d.alphabet().sym("a"), d.alphabet().sym("b"));
+        let u = d.add_node();
+        let m = d.add_node();
+        let v = d.add_node();
+        let w = d.add_node();
+        d.add_edge(u, a, m);
+        d.add_edge(m, b, v);
+        assert!(d.reachable(u, v));
+        assert!(!d.reachable(u, w));
+        assert!(d.reachable(u, u));
+    }
+
+    #[test]
+    fn in_edges_mirror_out_edges() {
+        let mut d = abc_db();
+        let a = d.alphabet().sym("a");
+        let u = d.add_node();
+        let v = d.add_node();
+        d.add_edge(u, a, v);
+        assert_eq!(d.in_edges(v), &[(a, u)]);
+        assert_eq!(d.out_edges(u), &[(a, v)]);
+    }
+
+    #[test]
+    fn named_nodes_display() {
+        let mut d = abc_db();
+        let s = d.add_named_node("s");
+        let t = d.add_node();
+        assert_eq!(d.node_name(s), "s");
+        assert_eq!(d.node_name(t), "v1");
+    }
+}

@@ -1,0 +1,66 @@
+//! Graphviz (DOT) export of graph databases, used to reproduce the paper's
+//! figures and for debugging reductions.
+
+use crate::db::GraphDb;
+use std::fmt::Write as _;
+
+/// Renders `db` in Graphviz DOT syntax.
+pub fn to_dot(db: &GraphDb, graph_name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {graph_name} {{");
+    let _ = writeln!(s, "  rankdir=LR;");
+    for v in db.nodes() {
+        let _ = writeln!(s, "  n{} [label=\"{}\"];", v.0, escape(&db.node_name(v)));
+    }
+    for (u, a, v) in db.edges() {
+        let _ = writeln!(
+            s,
+            "  n{} -> n{} [label=\"{}\"];",
+            u.0,
+            v.0,
+            escape(db.alphabet().name(a))
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use std::sync::Arc;
+
+    #[test]
+    fn dot_contains_all_arcs() {
+        let mut db = GraphDb::new(Arc::new(Alphabet::from_chars("ab")));
+        let a = db.alphabet().sym("a");
+        let b = db.alphabet().sym("b");
+        let u = db.add_named_node("s");
+        let v = db.add_node();
+        db.add_edge(u, a, v);
+        db.add_edge(v, b, u);
+        let dot = to_dot(&db, "g");
+        assert!(dot.contains("digraph g {"));
+        assert!(dot.contains("n0 -> n1 [label=\"a\"]"));
+        assert!(dot.contains("n1 -> n0 [label=\"b\"]"));
+        assert!(dot.contains("label=\"s\""));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut alpha = Alphabet::new();
+        alpha.intern("\"q\"");
+        let mut db = GraphDb::new(Arc::new(alpha));
+        let s = db.alphabet().sym("\"q\"");
+        let u = db.add_node();
+        let v = db.add_node();
+        db.add_edge(u, s, v);
+        let dot = to_dot(&db, "g");
+        assert!(dot.contains("\\\"q\\\""));
+    }
+}

@@ -1,0 +1,233 @@
+//! A plain-text interchange format for graph databases.
+//!
+//! Line-oriented, whitespace-separated, `#` comments:
+//!
+//! ```text
+//! # optional header fixing symbol order (otherwise interned on first use)
+//! alphabet a b c
+//! # optional isolated-node declarations
+//! node idle_person
+//! # arcs: source label target (nodes created on first mention)
+//! edge alice parent bob
+//! edge bob   parent carol
+//! ```
+//!
+//! Node and symbol names are arbitrary non-whitespace tokens, so the format
+//! serves both the single-character alphabets of the paper's examples and
+//! workloads with long relation names.
+
+use crate::alphabet::Alphabet;
+use crate::db::{GraphDb, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A parse error with 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GraphIoError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+fn err(line: usize, message: impl Into<String>) -> GraphIoError {
+    GraphIoError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the text format into a database (plus a name → node index).
+pub fn read_graph(text: &str) -> Result<(GraphDb, HashMap<String, NodeId>), GraphIoError> {
+    let mut alphabet = Alphabet::new();
+    // First pass: collect symbols so the alphabet is complete before the
+    // database takes ownership of it.
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next().unwrap() {
+            "alphabet" => {
+                for tok in it {
+                    alphabet.intern(tok);
+                }
+            }
+            "edge" => {
+                let _src = it.next().ok_or_else(|| err(i + 1, "edge needs 3 fields"))?;
+                let label = it.next().ok_or_else(|| err(i + 1, "edge needs 3 fields"))?;
+                alphabet.intern(label);
+            }
+            _ => {}
+        }
+    }
+    let mut db = GraphDb::new(Arc::new(alphabet));
+    let mut names: HashMap<String, NodeId> = HashMap::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let head = it.next().unwrap();
+        match head {
+            "alphabet" => {}
+            "node" => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| err(i + 1, "node needs a name"))?;
+                if names.contains_key(name) {
+                    return Err(err(i + 1, format!("duplicate node {name:?}")));
+                }
+                let id = db.add_named_node(name);
+                names.insert(name.to_string(), id);
+            }
+            "edge" => {
+                let src = it
+                    .next()
+                    .ok_or_else(|| err(i + 1, "edge needs 3 fields"))?
+                    .to_string();
+                let label = it
+                    .next()
+                    .ok_or_else(|| err(i + 1, "edge needs 3 fields"))?;
+                let dst = it
+                    .next()
+                    .ok_or_else(|| err(i + 1, "edge needs 3 fields"))?
+                    .to_string();
+                if let Some(extra) = it.next() {
+                    return Err(err(i + 1, format!("unexpected token {extra:?}")));
+                }
+                let a = db
+                    .alphabet()
+                    .symbol(label)
+                    .expect("symbol interned in first pass");
+                let get = |db: &mut GraphDb, names: &mut HashMap<String, NodeId>, n: &str| {
+                    if let Some(&id) = names.get(n) {
+                        id
+                    } else {
+                        let id = db.add_named_node(n);
+                        names.insert(n.to_string(), id);
+                        id
+                    }
+                };
+                let s = get(&mut db, &mut names, &src);
+                let d = get(&mut db, &mut names, &dst);
+                db.add_edge(s, a, d);
+            }
+            other => {
+                return Err(err(
+                    i + 1,
+                    format!("unknown directive {other:?} (expected alphabet/node/edge)"),
+                ))
+            }
+        }
+    }
+    Ok((db, names))
+}
+
+/// Serializes a database into the text format ([`read_graph`]'s inverse up
+/// to node naming: anonymous nodes get their display names).
+pub fn write_graph(db: &GraphDb) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(out, "alphabet");
+    for s in db.alphabet().symbols() {
+        let _ = write!(out, " {}", db.alphabet().name(s));
+    }
+    let _ = writeln!(out);
+    // Nodes with no incident edges need explicit declarations.
+    let mut isolated: Vec<NodeId> = db.nodes().collect();
+    let mut touched = vec![false; db.node_count()];
+    for (u, _, v) in db.edges() {
+        touched[u.index()] = true;
+        touched[v.index()] = true;
+    }
+    isolated.retain(|n| !touched[n.index()]);
+    for n in isolated {
+        let _ = writeln!(out, "node {}", db.node_name(n));
+    }
+    for (u, a, v) in db.edges() {
+        let _ = writeln!(
+            out,
+            "edge {} {} {}",
+            db.node_name(u),
+            db.alphabet().name(a),
+            db.node_name(v)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_graph() {
+        let text = "\
+# a family
+alphabet p s
+edge alice p bob
+edge bob s carol   # supervisor
+node hermit
+";
+        let (db, names) = read_graph(text).unwrap();
+        assert_eq!(db.node_count(), 4);
+        assert_eq!(db.edge_count(), 2);
+        assert_eq!(db.alphabet().len(), 2);
+        let p = db.alphabet().sym("p");
+        assert!(db.has_edge(names["alice"], p, names["bob"]));
+        assert!(names.contains_key("hermit"));
+    }
+
+    #[test]
+    fn symbols_interned_without_header() {
+        let (db, names) = read_graph("edge x knows y\nedge y likes x\n").unwrap();
+        assert_eq!(db.alphabet().len(), 2);
+        assert!(db.has_edge(names["y"], db.alphabet().sym("likes"), names["x"]));
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "alphabet a b\nnode lonely\nedge u a v\nedge v b u\nedge u b u\n";
+        let (db, _) = read_graph(text).unwrap();
+        let (db2, names2) = read_graph(&write_graph(&db)).unwrap();
+        assert_eq!(db.node_count(), db2.node_count());
+        assert_eq!(db.edge_count(), db2.edge_count());
+        assert_eq!(db.alphabet().len(), db2.alphabet().len());
+        let a = db2.alphabet().sym("a");
+        assert!(db2.has_edge(names2["u"], a, names2["v"]));
+        assert!(names2.contains_key("lonely"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = read_graph("alphabet a\nedge u a\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("3 fields"));
+        let e2 = read_graph("nope x y z\n").unwrap_err();
+        assert_eq!(e2.line, 1);
+        assert!(e2.message.contains("unknown directive"));
+        let e3 = read_graph("node x\nnode x\n").unwrap_err();
+        assert_eq!(e3.line, 2);
+        assert!(e3.message.contains("duplicate"));
+        let e4 = read_graph("edge a b c d\n").unwrap_err();
+        assert!(e4.message.contains("unexpected token"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let (db, _) = read_graph("\n# only a comment\n\nedge a x b # trailing\n").unwrap();
+        assert_eq!(db.edge_count(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Edge-labelled graph databases — the data model of Schmid (PODS 2020), §2.2.
+//!
+//! A *graph database* over a finite alphabet Σ is a directed, edge-labelled
+//! multigraph `D = (V_D, E_D)` with `E_D ⊆ V_D × Σ × V_D`. Paths are
+//! sequences of consecutive edges; the *label* of a path is the concatenation
+//! of its edge labels, and every node has an ε-labelled path of length 0 to
+//! itself.
+//!
+//! This crate provides:
+//! - [`Symbol`] / [`Alphabet`]: interned alphabet symbols (labels may be
+//!   arbitrary strings, e.g. `<z17>` in the Hitting-Set reduction of the
+//!   paper's Theorem 7);
+//! - [`GraphDb`]: the multigraph with forward and backward adjacency;
+//! - [`Path`]: materialized paths with their labels;
+//! - [`dot`]: Graphviz export for debugging and for reproducing the paper's
+//!   figures;
+//! - [`io`]: a line-oriented text interchange format (`alphabet`/`node`/
+//!   `edge` directives) used by the `cxrpq-cli` tool.
+
+pub mod alphabet;
+pub mod db;
+pub mod dot;
+pub mod io;
+pub mod path;
+
+pub use alphabet::{Alphabet, Symbol};
+pub use db::{EdgeId, GraphDb, NodeId};
+pub use io::{read_graph, write_graph, GraphIoError};
+pub use path::Path;

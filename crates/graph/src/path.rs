@@ -1,0 +1,141 @@
+//! Materialized paths through a graph database.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::db::{GraphDb, NodeId};
+
+/// A path `(w_0, a_1, w_1, …, a_k, w_k)` through a graph database.
+///
+/// Stored as the node sequence plus the label word; the invariant
+/// `nodes.len() == label.len() + 1` always holds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    label: Vec<Symbol>,
+}
+
+impl Path {
+    /// The length-0 path sitting on `v` (labelled ε).
+    pub fn trivial(v: NodeId) -> Self {
+        Self {
+            nodes: vec![v],
+            label: Vec::new(),
+        }
+    }
+
+    /// Builds a path from its node sequence and label, checking arity.
+    pub fn new(nodes: Vec<NodeId>, label: Vec<Symbol>) -> Self {
+        assert_eq!(nodes.len(), label.len() + 1, "malformed path");
+        Self { nodes, label }
+    }
+
+    /// Extends the path by one arc.
+    pub fn push(&mut self, a: Symbol, v: NodeId) {
+        self.label.push(a);
+        self.nodes.push(v);
+    }
+
+    /// Removes the last arc (no-op on a trivial path). Returns the removed
+    /// `(symbol, endpoint)` pair.
+    pub fn pop(&mut self) -> Option<(Symbol, NodeId)> {
+        let a = self.label.pop()?;
+        let v = self.nodes.pop().expect("nodes = labels + 1");
+        Some((a, v))
+    }
+
+    /// First node of the path.
+    pub fn start(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node of the path.
+    pub fn end(&self) -> NodeId {
+        *self.nodes.last().unwrap()
+    }
+
+    /// Number of arcs.
+    pub fn len(&self) -> usize {
+        self.label.len()
+    }
+
+    /// Whether this is a length-0 path.
+    pub fn is_empty(&self) -> bool {
+        self.label.is_empty()
+    }
+
+    /// The label word of the path.
+    pub fn label(&self) -> &[Symbol] {
+        &self.label
+    }
+
+    /// The node sequence of the path.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Checks that every arc of the path exists in `db`.
+    pub fn is_valid_in(&self, db: &GraphDb) -> bool {
+        self.nodes
+            .windows(2)
+            .zip(self.label.iter())
+            .all(|(w, &a)| db.has_edge(w[0], a, w[1]))
+    }
+
+    /// Renders the path as `v0 -a-> v1 -b-> v2`.
+    pub fn render(&self, db: &GraphDb, alphabet: &Alphabet) -> String {
+        let mut s = db.node_name(self.nodes[0]);
+        for (i, &a) in self.label.iter().enumerate() {
+            s.push_str(&format!(" -{}-> {}", alphabet.name(a), db.node_name(self.nodes[i + 1])));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use std::sync::Arc;
+
+    #[test]
+    fn trivial_path_is_empty() {
+        let p = Path::trivial(NodeId(3));
+        assert!(p.is_empty());
+        assert_eq!(p.start(), p.end());
+    }
+
+    #[test]
+    fn push_and_validate() {
+        let mut db = GraphDb::new(Arc::new(Alphabet::from_chars("ab")));
+        let a = db.alphabet().sym("a");
+        let u = db.add_node();
+        let v = db.add_node();
+        db.add_edge(u, a, v);
+        let mut p = Path::trivial(u);
+        p.push(a, v);
+        assert!(p.is_valid_in(&db));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.end(), v);
+        // An arc not in the database invalidates the path.
+        let mut q = Path::trivial(v);
+        q.push(a, u);
+        assert!(!q.is_valid_in(&db));
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed path")]
+    fn new_checks_arity() {
+        let _ = Path::new(vec![NodeId(0)], vec![Symbol(0)]);
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let mut db = GraphDb::new(Arc::new(Alphabet::from_chars("ab")));
+        let a = db.alphabet().sym("a");
+        let u = db.add_named_node("s");
+        let v = db.add_named_node("t");
+        db.add_edge(u, a, v);
+        let mut p = Path::trivial(u);
+        p.push(a, v);
+        assert_eq!(p.render(&db, db.alphabet()), "s -a-> t");
+    }
+}

@@ -1,0 +1,157 @@
+//! Generic graph-database generators.
+
+use cxrpq_graph::{Alphabet, GraphDb, NodeId, Symbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A uniformly random edge-labelled multigraph with `nodes` nodes and (up
+/// to) `edges` distinct arcs over the given alphabet.
+pub fn random_labeled(alphabet: Arc<Alphabet>, nodes: usize, edges: usize, seed: u64) -> GraphDb {
+    assert!(nodes > 0 && !alphabet.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma = alphabet.len() as u32;
+    let mut db = GraphDb::new(alphabet);
+    for _ in 0..nodes {
+        db.add_node();
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < edges && attempts < edges * 10 {
+        attempts += 1;
+        let u = NodeId(rng.random_range(0..nodes as u32));
+        let v = NodeId(rng.random_range(0..nodes as u32));
+        let a = Symbol(rng.random_range(0..sigma));
+        if db.add_edge(u, a, v) {
+            added += 1;
+        }
+    }
+    db
+}
+
+/// A simple path labelled by `word`; returns `(db, source, sink)`.
+pub fn labeled_path(alphabet: Arc<Alphabet>, word: &[Symbol]) -> (GraphDb, NodeId, NodeId) {
+    let mut db = GraphDb::new(alphabet);
+    let s = db.add_node();
+    if word.is_empty() {
+        return (db, s, s);
+    }
+    let t = db.add_node();
+    db.add_word_path(s, word, t);
+    (db, s, t)
+}
+
+/// A cycle labelled by `word` (repeating).
+pub fn labeled_cycle(alphabet: Arc<Alphabet>, word: &[Symbol]) -> GraphDb {
+    assert!(!word.is_empty());
+    let mut db = GraphDb::new(alphabet);
+    let start = db.add_node();
+    if word.len() == 1 {
+        db.add_edge(start, word[0], start);
+        return db;
+    }
+    let mut prev = start;
+    for &a in &word[..word.len() - 1] {
+        let n = db.add_node();
+        db.add_edge(prev, a, n);
+        prev = n;
+    }
+    db.add_edge(prev, word[word.len() - 1], start);
+    db
+}
+
+/// The §7 two-path family: two node-disjoint labelled paths; returns the
+/// database and the endpoints `((s₁, t₁), (s₂, t₂))`.
+pub fn two_paths(
+    alphabet: Arc<Alphabet>,
+    w1: &[Symbol],
+    w2: &[Symbol],
+) -> (GraphDb, (NodeId, NodeId), (NodeId, NodeId)) {
+    let mut db = GraphDb::new(alphabet);
+    let s1 = db.add_node();
+    let t1 = db.add_node();
+    let s2 = db.add_node();
+    let t2 = db.add_node();
+    db.add_word_path(s1, w1, t1);
+    db.add_word_path(s2, w2, t2);
+    (db, (s1, t1), (s2, t2))
+}
+
+/// `D_{n,m}` of the Theorem 9/10 proofs: disjoint paths labelled `c aⁿ c`
+/// and `d bᵐ d`.
+pub fn d_anbm(n: usize, m: usize) -> (GraphDb, (NodeId, NodeId), (NodeId, NodeId)) {
+    let alphabet = Arc::new(Alphabet::from_chars("abcd"));
+    let a = alphabet.sym("a");
+    let b = alphabet.sym("b");
+    let c = alphabet.sym("c");
+    let d = alphabet.sym("d");
+    let mut w1 = vec![c];
+    w1.extend(std::iter::repeat_n(a, n));
+    w1.push(c);
+    let mut w2 = vec![d];
+    w2.extend(std::iter::repeat_n(b, m));
+    w2.push(d);
+    two_paths(alphabet, &w1, &w2)
+}
+
+/// Variant for `q_{aⁿaⁿ}`: paths `c aⁿ c` and `d aᵐ d`.
+pub fn d_anam(n: usize, m: usize) -> (GraphDb, (NodeId, NodeId), (NodeId, NodeId)) {
+    let alphabet = Arc::new(Alphabet::from_chars("abcd"));
+    let a = alphabet.sym("a");
+    let c = alphabet.sym("c");
+    let d = alphabet.sym("d");
+    let mut w1 = vec![c];
+    w1.extend(std::iter::repeat_n(a, n));
+    w1.push(c);
+    let mut w2 = vec![d];
+    w2.extend(std::iter::repeat_n(a, m));
+    w2.push(d);
+    two_paths(alphabet, &w1, &w2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_respects_limits() {
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let db = random_labeled(alpha, 50, 120, 7);
+        assert_eq!(db.node_count(), 50);
+        assert!(db.edge_count() <= 120);
+        assert!(db.edge_count() > 60, "too sparse for the requested size");
+    }
+
+    #[test]
+    fn random_graph_is_deterministic_per_seed() {
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let d1 = random_labeled(alpha.clone(), 20, 40, 42);
+        let d2 = random_labeled(alpha, 20, 40, 42);
+        let e1: std::collections::BTreeSet<_> = d1.edges().collect();
+        let e2: std::collections::BTreeSet<_> = d2.edges().collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let w = alpha.parse_word("abab").unwrap();
+        let (db, s, t) = labeled_path(alpha.clone(), &w);
+        assert!(db.has_path_labelled(s, &w, t));
+        assert_eq!(db.node_count(), 5);
+        let cyc = labeled_cycle(alpha, &w);
+        assert_eq!(cyc.node_count(), 4);
+        assert_eq!(cyc.edge_count(), 4);
+    }
+
+    #[test]
+    fn d_family_shapes() {
+        let (db, (s1, t1), (s2, t2)) = d_anbm(3, 2);
+        let alpha = db.alphabet();
+        let w1 = alpha.parse_word("caaac").unwrap();
+        let w2 = alpha.parse_word("dbbd").unwrap();
+        assert!(db.has_path_labelled(s1, &w1, t1));
+        assert!(db.has_path_labelled(s2, &w2, t2));
+        assert!(!db.reachable(s1, s2));
+    }
+}

@@ -1,0 +1,11 @@
+//! Workload generators for the CXRPQ reproduction: synthetic graph
+//! databases modelled on the paper's motivating examples, the database
+//! families constructed inside its proofs, and the hardness-reduction
+//! instance builders of Theorems 1, 3 and 7.
+
+pub mod genealogy;
+pub mod graphs;
+pub mod messages;
+pub mod rand_queries;
+pub mod reductions;
+pub mod witnesses;

@@ -1,0 +1,173 @@
+//! Random query generators for fuzzing and property tests.
+//!
+//! Validity by construction: variables are introduced in a fixed order;
+//! the definition of `xᵢ` may reference only `x_j` with `j < i` (acyclic)
+//! and each variable is defined at most once overall (sequential); no
+//! variable occurs under a repetition (vstar-free).
+
+use cxrpq_automata::Regex;
+use cxrpq_graph::Symbol;
+use cxrpq_xregex::{ConjunctiveXregex, Var, VarTable, Xregex};
+use rand::Rng;
+
+/// Shape parameters for random generation.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryShape {
+    /// Number of components (pattern edges).
+    pub dims: usize,
+    /// Number of string variables.
+    pub vars: usize,
+    /// Alphabet size |Σ|.
+    pub sigma: usize,
+    /// Probability that a component slot becomes an alternation.
+    pub alt_prob: f64,
+}
+
+impl Default for QueryShape {
+    fn default() -> Self {
+        Self {
+            dims: 2,
+            vars: 2,
+            sigma: 2,
+            alt_prob: 0.3,
+        }
+    }
+}
+
+fn random_classical<R: Rng + ?Sized>(rng: &mut R, sigma: usize, depth: usize) -> Regex {
+    let choice = if depth == 0 {
+        0
+    } else {
+        rng.random_range(0..5u32)
+    };
+    match choice {
+        0 => Regex::Sym(Symbol(rng.random_range(0..sigma as u32))),
+        1 => Regex::Epsilon,
+        2 => Regex::concat(vec![
+            random_classical(rng, sigma, depth - 1),
+            random_classical(rng, sigma, depth - 1),
+        ]),
+        3 => Regex::alt(vec![
+            random_classical(rng, sigma, depth - 1),
+            random_classical(rng, sigma, depth - 1),
+        ]),
+        _ => Regex::star(random_classical(rng, sigma, depth - 1)),
+    }
+}
+
+/// A random vstar-free conjunctive xregex with the given shape.
+///
+/// Each variable is assigned a random defining component and position;
+/// definition bodies are variable-simple over earlier variables; extra
+/// references are sprinkled across components (possibly under
+/// variable-containing alternations, exercising Step 1 of the normal form).
+pub fn random_vstar_free<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: &QueryShape,
+) -> ConjunctiveXregex {
+    let mut vars = VarTable::new();
+    let xs: Vec<Var> = (0..shape.vars)
+        .map(|i| vars.intern(&format!("x{i}")))
+        .collect();
+    // Component slots: each component is a list of items.
+    let mut slots: Vec<Vec<Xregex>> = vec![Vec::new(); shape.dims];
+    for (i, &x) in xs.iter().enumerate() {
+        // Definition body over variables x_0 … x_{i-1}.
+        let mut body_parts = vec![Xregex::from_regex(&random_classical(rng, shape.sigma, 2))];
+        if i > 0 && rng.random_bool(0.5) {
+            let r = xs[rng.random_range(0..i)];
+            body_parts.push(Xregex::VarRef(r));
+            body_parts.push(Xregex::from_regex(&random_classical(rng, shape.sigma, 1)));
+        }
+        let def = Xregex::def(x, Xregex::concat(body_parts));
+        let comp = rng.random_range(0..shape.dims);
+        let item = if rng.random_bool(shape.alt_prob) {
+            Xregex::alt(vec![
+                def,
+                Xregex::from_regex(&random_classical(rng, shape.sigma, 1)),
+            ])
+        } else {
+            def
+        };
+        slots[comp].push(item);
+    }
+    // Sprinkle references.
+    let n_refs = rng.random_range(1..=shape.vars.max(1) * 2);
+    for _ in 0..n_refs {
+        let x = xs[rng.random_range(0..xs.len())];
+        let comp = rng.random_range(0..shape.dims);
+        let item = if rng.random_bool(shape.alt_prob) {
+            Xregex::alt(vec![
+                Xregex::VarRef(x),
+                Xregex::from_regex(&random_classical(rng, shape.sigma, 1)),
+            ])
+        } else {
+            Xregex::VarRef(x)
+        };
+        slots[comp].push(item);
+    }
+    // Classical glue.
+    for slot in slots.iter_mut() {
+        slot.push(Xregex::from_regex(&random_classical(rng, shape.sigma, 1)));
+    }
+    let comps: Vec<Xregex> = slots.into_iter().map(Xregex::concat).collect();
+    ConjunctiveXregex::new(comps, vars).expect("valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxrpq_xregex::classification;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn generated_queries_are_valid_and_vstar_free() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for seed_round in 0..50 {
+            let cx = random_vstar_free(
+                &mut rng,
+                &QueryShape {
+                    dims: 2,
+                    vars: 3,
+                    sigma: 2,
+                    alt_prob: 0.4,
+                },
+            );
+            let c = classification(&cx);
+            assert!(c.vstar_free, "round {seed_round}: not vstar-free");
+        }
+    }
+
+    #[test]
+    fn normal_form_round_trip_on_random_queries() {
+        use cxrpq_xregex::matcher::MatchConfig;
+        use cxrpq_xregex::normal_form::normal_form;
+        use cxrpq_xregex::sample::{sample_conjunctive_match, SampleConfig};
+        let mut rng = StdRng::seed_from_u64(23);
+        let cfg = SampleConfig {
+            rep_continue: 0.4,
+            max_reps: 2,
+            free_image_max: 2,
+        };
+        for _ in 0..20 {
+            let cx = random_vstar_free(&mut rng, &QueryShape::default());
+            let (nf, _) = normal_form(&cx).unwrap();
+            // Sampled matches of the original are matches of the normal
+            // form (and vice versa).
+            for _ in 0..5 {
+                if let Some((words, _)) = sample_conjunctive_match(&cx, 2, &cfg, &mut rng) {
+                    assert!(
+                        nf.is_match(&words, &MatchConfig::default()).is_some(),
+                        "normal form lost a match"
+                    );
+                }
+                if let Some((words, _)) = sample_conjunctive_match(&nf, 2, &cfg, &mut rng) {
+                    assert!(
+                        cx.is_match(&words, &MatchConfig::default()).is_some(),
+                        "normal form gained a match"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! The xregex AST (`XRE_{Σ,Xs}`, Definition 3 of the paper).
+
+use cxrpq_automata::Regex;
+use cxrpq_graph::{Alphabet, Symbol};
+use std::collections::{BTreeSet, HashMap};
+
+/// An interned string variable from the set `Xs`.
+///
+/// String variables are disjoint from the terminal alphabet (`Xs ∩ Σ = ∅`);
+/// the paper writes them in sans-serif (x, y, z, …).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Dense index of the variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interning table for string-variable names.
+#[derive(Clone, Default, Debug)]
+pub struct VarTable {
+    names: Vec<String>,
+    ids: HashMap<String, Var>,
+}
+
+impl VarTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a variable name.
+    pub fn intern(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.ids.get(name) {
+            return v;
+        }
+        let v = Var(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), v);
+        v
+    }
+
+    /// Looks up a variable by name.
+    pub fn var(&self, name: &str) -> Option<Var> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of a variable.
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all variables.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.names.len() as u32).map(Var)
+    }
+
+    /// Interns a fresh variable with a name derived from `base` that does not
+    /// collide with existing names (used by the normal-form construction to
+    /// create the `u`-variables of Lemma 6).
+    pub fn fresh(&mut self, base: &str) -> Var {
+        if self.ids.contains_key(base) {
+            let mut i = 1usize;
+            loop {
+                let candidate = format!("{base}_{i}");
+                if !self.ids.contains_key(&candidate) {
+                    return self.intern(&candidate);
+                }
+                i += 1;
+            }
+        } else {
+            self.intern(base)
+        }
+    }
+}
+
+/// A regular expression with backreferences (xregex) over Σ and `Xs`.
+///
+/// Grammar per Definition 3: symbols, ε, `∅`, concatenation, alternation,
+/// `+` (with `*` as `r⁺ ∨ ε` sugar), variable references `x`, and variable
+/// definitions `x{α}` (where `x ∉ var(α)`). `Any` abbreviates the
+/// single-symbol wildcard Σ.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Xregex {
+    /// `∅` — the empty language.
+    Empty,
+    /// `ε` — the empty word.
+    Epsilon,
+    /// A terminal symbol.
+    Sym(Symbol),
+    /// Any single symbol of Σ.
+    Any,
+    /// Concatenation.
+    Concat(Vec<Xregex>),
+    /// Alternation.
+    Alt(Vec<Xregex>),
+    /// One or more repetitions.
+    Plus(Box<Xregex>),
+    /// Zero or more repetitions (`r⁺ ∨ ε`).
+    Star(Box<Xregex>),
+    /// A reference of variable `x`.
+    VarRef(Var),
+    /// A definition `x{α}`.
+    VarDef(Var, Box<Xregex>),
+}
+
+impl Xregex {
+    /// Lifts a classical regular expression into an xregex.
+    pub fn from_regex(r: &Regex) -> Xregex {
+        match r {
+            Regex::Empty => Xregex::Empty,
+            Regex::Epsilon => Xregex::Epsilon,
+            Regex::Sym(a) => Xregex::Sym(*a),
+            Regex::Any => Xregex::Any,
+            Regex::Concat(ps) => Xregex::Concat(ps.iter().map(Xregex::from_regex).collect()),
+            Regex::Alt(ps) => Xregex::Alt(ps.iter().map(Xregex::from_regex).collect()),
+            Regex::Plus(p) => Xregex::Plus(Box::new(Xregex::from_regex(p))),
+            Regex::Star(p) => Xregex::Star(Box::new(Xregex::from_regex(p))),
+        }
+    }
+
+    /// Converts back to a classical regular expression when the term contains
+    /// no variable references or definitions; `None` otherwise.
+    pub fn to_regex(&self) -> Option<Regex> {
+        Some(match self {
+            Xregex::Empty => Regex::Empty,
+            Xregex::Epsilon => Regex::Epsilon,
+            Xregex::Sym(a) => Regex::Sym(*a),
+            Xregex::Any => Regex::Any,
+            Xregex::Concat(ps) => {
+                Regex::Concat(ps.iter().map(Xregex::to_regex).collect::<Option<_>>()?)
+            }
+            Xregex::Alt(ps) => {
+                Regex::Alt(ps.iter().map(Xregex::to_regex).collect::<Option<_>>()?)
+            }
+            Xregex::Plus(p) => Regex::Plus(Box::new(p.to_regex()?)),
+            Xregex::Star(p) => Regex::Star(Box::new(p.to_regex()?)),
+            Xregex::VarRef(_) | Xregex::VarDef(..) => return None,
+        })
+    }
+
+    /// Whether the term is variable-free (a classical regular expression).
+    pub fn is_classical(&self) -> bool {
+        match self {
+            Xregex::Empty | Xregex::Epsilon | Xregex::Sym(_) | Xregex::Any => true,
+            Xregex::Concat(ps) | Xregex::Alt(ps) => ps.iter().all(Xregex::is_classical),
+            Xregex::Plus(p) | Xregex::Star(p) => p.is_classical(),
+            Xregex::VarRef(_) | Xregex::VarDef(..) => false,
+        }
+    }
+
+    /// Smart concatenation (flattens, drops ε, absorbs ∅).
+    pub fn concat(parts: Vec<Xregex>) -> Xregex {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Xregex::Empty => return Xregex::Empty,
+                Xregex::Epsilon => {}
+                Xregex::Concat(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Xregex::Epsilon,
+            1 => out.pop().unwrap(),
+            _ => Xregex::Concat(out),
+        }
+    }
+
+    /// Smart alternation (flattens, drops ∅ alternatives).
+    pub fn alt(parts: Vec<Xregex>) -> Xregex {
+        let mut out: Vec<Xregex> = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Xregex::Empty => {}
+                Xregex::Alt(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Xregex::Empty,
+            1 => out.pop().unwrap(),
+            _ => Xregex::Alt(out),
+        }
+    }
+
+    /// Smart `+`.
+    pub fn plus(r: Xregex) -> Xregex {
+        match r {
+            Xregex::Empty => Xregex::Empty,
+            Xregex::Epsilon => Xregex::Epsilon,
+            other => Xregex::Plus(Box::new(other)),
+        }
+    }
+
+    /// Smart `*`.
+    pub fn star(r: Xregex) -> Xregex {
+        match r {
+            Xregex::Empty | Xregex::Epsilon => Xregex::Epsilon,
+            other => Xregex::Star(Box::new(other)),
+        }
+    }
+
+    /// A definition `x{α}`. Panics if `x ∈ var(α)` (Definition 3 requires
+    /// `x ∉ var(α)`).
+    pub fn def(x: Var, body: Xregex) -> Xregex {
+        assert!(
+            !body.vars().contains(&x),
+            "variable cannot occur in its own definition body"
+        );
+        Xregex::VarDef(x, Box::new(body))
+    }
+
+    /// Size |α| — number of AST nodes (the measure of the blow-up bounds).
+    pub fn size(&self) -> usize {
+        match self {
+            Xregex::Empty
+            | Xregex::Epsilon
+            | Xregex::Sym(_)
+            | Xregex::Any
+            | Xregex::VarRef(_) => 1,
+            Xregex::Concat(ps) | Xregex::Alt(ps) => {
+                1 + ps.iter().map(Xregex::size).sum::<usize>()
+            }
+            Xregex::Plus(p) | Xregex::Star(p) => 1 + p.size(),
+            Xregex::VarDef(_, p) => 1 + p.size(),
+        }
+    }
+
+    /// `var(α)` — all variables occurring in the term (referenced or defined).
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<Var>) {
+        match self {
+            Xregex::Empty | Xregex::Epsilon | Xregex::Sym(_) | Xregex::Any => {}
+            Xregex::Concat(ps) | Xregex::Alt(ps) => {
+                ps.iter().for_each(|p| p.collect_vars(out))
+            }
+            Xregex::Plus(p) | Xregex::Star(p) => p.collect_vars(out),
+            Xregex::VarRef(x) => {
+                out.insert(*x);
+            }
+            Xregex::VarDef(x, p) => {
+                out.insert(*x);
+                p.collect_vars(out);
+            }
+        }
+    }
+
+    /// Variables with at least one definition in the term.
+    pub fn defined_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |n| {
+            if let Xregex::VarDef(x, _) = n {
+                out.insert(*x);
+            }
+        });
+        out
+    }
+
+    /// Variables with at least one reference in the term.
+    pub fn referenced_vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |n| {
+            if let Xregex::VarRef(x) = n {
+                out.insert(*x);
+            }
+        });
+        out
+    }
+
+    /// Number of definitions of `x` in the term (syntactic occurrences).
+    pub fn def_count(&self, x: Var) -> usize {
+        let mut n = 0;
+        self.walk(&mut |node| {
+            if matches!(node, Xregex::VarDef(y, _) if *y == x) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Number of references of `x` in the term.
+    pub fn ref_count(&self, x: Var) -> usize {
+        let mut n = 0;
+        self.walk(&mut |node| {
+            if matches!(node, Xregex::VarRef(y) if *y == x) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Pre-order traversal visiting every node.
+    pub fn walk(&self, f: &mut impl FnMut(&Xregex)) {
+        f(self);
+        match self {
+            Xregex::Concat(ps) | Xregex::Alt(ps) => ps.iter().for_each(|p| p.walk(f)),
+            Xregex::Plus(p) | Xregex::Star(p) => p.walk(f),
+            Xregex::VarDef(_, p) => p.walk(f),
+            _ => {}
+        }
+    }
+
+    /// Replaces every reference of `x` by a clone of `replacement`
+    /// (definitions of `x` are left untouched).
+    pub fn replace_refs(&self, x: Var, replacement: &Xregex) -> Xregex {
+        match self {
+            Xregex::VarRef(y) if *y == x => replacement.clone(),
+            Xregex::Concat(ps) => {
+                Xregex::Concat(ps.iter().map(|p| p.replace_refs(x, replacement)).collect())
+            }
+            Xregex::Alt(ps) => {
+                Xregex::Alt(ps.iter().map(|p| p.replace_refs(x, replacement)).collect())
+            }
+            Xregex::Plus(p) => Xregex::Plus(Box::new(p.replace_refs(x, replacement))),
+            Xregex::Star(p) => Xregex::Star(Box::new(p.replace_refs(x, replacement))),
+            Xregex::VarDef(y, p) => {
+                Xregex::VarDef(*y, Box::new(p.replace_refs(x, replacement)))
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Pretty-prints with symbol and variable names.
+    pub fn render(&self, alphabet: &Alphabet, vars: &VarTable) -> String {
+        fn prec(r: &Xregex) -> u8 {
+            match r {
+                Xregex::Alt(_) => 0,
+                Xregex::Concat(_) => 1,
+                _ => 2,
+            }
+        }
+        fn go(r: &Xregex, a: &Alphabet, vt: &VarTable, out: &mut String, min_prec: u8) {
+            let parens = prec(r) < min_prec;
+            if parens {
+                out.push('(');
+            }
+            match r {
+                Xregex::Empty => out.push('∅'),
+                Xregex::Epsilon => out.push('ε'),
+                Xregex::Sym(s) => {
+                    let name = a.name(*s);
+                    if name.chars().count() == 1 {
+                        out.push_str(name);
+                    } else {
+                        out.push('<');
+                        out.push_str(name);
+                        out.push('>');
+                    }
+                }
+                Xregex::Any => out.push('.'),
+                Xregex::Concat(ps) => {
+                    for p in ps {
+                        go(p, a, vt, out, 2);
+                    }
+                }
+                Xregex::Alt(ps) => {
+                    for (i, p) in ps.iter().enumerate() {
+                        if i > 0 {
+                            out.push('|');
+                        }
+                        go(p, a, vt, out, 1);
+                    }
+                }
+                Xregex::Plus(p) => {
+                    go(p, a, vt, out, 2);
+                    out.push('+');
+                }
+                Xregex::Star(p) => {
+                    go(p, a, vt, out, 2);
+                    out.push('*');
+                }
+                Xregex::VarRef(x) => out.push_str(vt.name(*x)),
+                Xregex::VarDef(x, p) => {
+                    out.push_str(vt.name(*x));
+                    out.push('{');
+                    go(p, a, vt, out, 0);
+                    out.push('}');
+                }
+            }
+            if parens {
+                out.push(')');
+            }
+        }
+        let mut s = String::new();
+        go(self, alphabet, vars, &mut s, 0);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sy(i: u32) -> Xregex {
+        Xregex::Sym(Symbol(i))
+    }
+
+    #[test]
+    fn var_table_interning() {
+        let mut vt = VarTable::new();
+        let x = vt.intern("x");
+        assert_eq!(vt.intern("x"), x);
+        assert_eq!(vt.name(x), "x");
+        let f = vt.fresh("x");
+        assert_ne!(f, x);
+        assert_eq!(vt.name(f), "x_1");
+        let g = vt.fresh("u");
+        assert_eq!(vt.name(g), "u");
+    }
+
+    #[test]
+    fn vars_and_defs() {
+        let mut vt = VarTable::new();
+        let x = vt.intern("x");
+        let y = vt.intern("y");
+        // x{a} (y | b) x
+        let r = Xregex::concat(vec![
+            Xregex::def(x, sy(0)),
+            Xregex::alt(vec![Xregex::VarRef(y), sy(1)]),
+            Xregex::VarRef(x),
+        ]);
+        assert_eq!(r.vars(), BTreeSet::from([x, y]));
+        assert_eq!(r.defined_vars(), BTreeSet::from([x]));
+        assert_eq!(r.referenced_vars(), BTreeSet::from([x, y]));
+        assert_eq!(r.def_count(x), 1);
+        assert_eq!(r.ref_count(x), 1);
+        assert!(!r.is_classical());
+        assert!(r.to_regex().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "own definition")]
+    fn def_rejects_self_reference() {
+        let mut vt = VarTable::new();
+        let x = vt.intern("x");
+        let _ = Xregex::def(x, Xregex::VarRef(x));
+    }
+
+    #[test]
+    fn regex_round_trip() {
+        let r = Regex::concat(vec![
+            Regex::Sym(Symbol(0)),
+            Regex::star(Regex::alt(vec![Regex::Sym(Symbol(1)), Regex::Any])),
+        ]);
+        let x = Xregex::from_regex(&r);
+        assert!(x.is_classical());
+        assert_eq!(x.to_regex().unwrap(), r);
+    }
+
+    #[test]
+    fn replace_refs_leaves_defs() {
+        let mut vt = VarTable::new();
+        let x = vt.intern("x");
+        let r = Xregex::concat(vec![Xregex::def(x, sy(0)), Xregex::VarRef(x)]);
+        let replaced = r.replace_refs(x, &sy(1));
+        assert_eq!(replaced.ref_count(x), 0);
+        assert_eq!(replaced.def_count(x), 1);
+    }
+
+    #[test]
+    fn size_counts_all_nodes() {
+        let mut vt = VarTable::new();
+        let x = vt.intern("x");
+        // x{a b} x  => concat(1) + def(1) + concat(1) + a(1) + b(1) + ref(1) = 6
+        let r = Xregex::concat(vec![
+            Xregex::def(x, Xregex::concat(vec![sy(0), sy(1)])),
+            Xregex::VarRef(x),
+        ]);
+        assert_eq!(r.size(), 6);
+    }
+
+    #[test]
+    fn render_uses_names() {
+        let alpha = Alphabet::from_chars("ab");
+        let mut vt = VarTable::new();
+        let x = vt.intern("x");
+        let r = Xregex::concat(vec![
+            Xregex::def(
+                x,
+                Xregex::star(Xregex::alt(vec![
+                    Xregex::Sym(alpha.sym("a")),
+                    Xregex::Sym(alpha.sym("b")),
+                ])),
+            ),
+            Xregex::Sym(alpha.sym("a")),
+            Xregex::VarRef(x),
+        ]);
+        assert_eq!(r.render(&alpha, &vt), "x{(a|b)*}ax");
+    }
+
+    #[test]
+    fn smart_constructors_normalize() {
+        assert_eq!(Xregex::concat(vec![]), Xregex::Epsilon);
+        assert_eq!(Xregex::alt(vec![]), Xregex::Empty);
+        assert_eq!(Xregex::concat(vec![sy(0), Xregex::Empty]), Xregex::Empty);
+        assert_eq!(Xregex::star(Xregex::Epsilon), Xregex::Epsilon);
+        assert_eq!(Xregex::plus(Xregex::Empty), Xregex::Empty);
+    }
+}

@@ -1,0 +1,282 @@
+//! The fragment hierarchy of §5: vstar-free, valt-free, variable-simple,
+//! simple, normal form, and flat variables.
+
+use crate::ast::{Var, Xregex};
+use crate::conjunctive::ConjunctiveXregex;
+
+/// Whether any variable reference or definition occurs in the term.
+fn has_vars(r: &Xregex) -> bool {
+    !r.is_classical()
+}
+
+/// *Variable-star free* (vstar-free): no variable reference or definition
+/// under a `+`/`*` operator. (Definitions under repetition are already ruled
+/// out by sequentiality; the restriction bites on references, cf. `α_ni`.)
+pub fn is_vstar_free(r: &Xregex) -> bool {
+    match r {
+        Xregex::Plus(p) | Xregex::Star(p) => !has_vars(p) && is_vstar_free(p),
+        Xregex::Concat(ps) | Xregex::Alt(ps) => ps.iter().all(is_vstar_free),
+        Xregex::VarDef(_, p) => is_vstar_free(p),
+        _ => true,
+    }
+}
+
+/// *Variable-alternation free* (valt-free): for every subexpression
+/// `(β₁ ∨ β₂)`, neither branch contains a variable definition or reference.
+pub fn is_valt_free(r: &Xregex) -> bool {
+    match r {
+        Xregex::Alt(ps) => ps.iter().all(|p| !has_vars(p) && is_valt_free(p)),
+        Xregex::Concat(ps) => ps.iter().all(is_valt_free),
+        Xregex::Plus(p) | Xregex::Star(p) => is_valt_free(p),
+        Xregex::VarDef(_, p) => is_valt_free(p),
+        _ => true,
+    }
+}
+
+/// *Variable-simple*: vstar-free and valt-free. Equivalently (§5): a
+/// concatenation `β₁β₂…β_k` where each `βᵢ` is a classical regular
+/// expression, a variable reference, or a definition `x{γ}` with `γ`
+/// variable-simple.
+pub fn is_variable_simple(r: &Xregex) -> bool {
+    is_vstar_free(r) && is_valt_free(r)
+}
+
+/// Whether a definition body is *basic*: a classical regular expression or a
+/// single variable reference.
+pub fn is_basic_body(body: &Xregex) -> bool {
+    body.is_classical() || matches!(body, Xregex::VarRef(_))
+}
+
+/// *Simple*: variable-simple and every variable definition is basic.
+pub fn is_simple(r: &Xregex) -> bool {
+    if !is_variable_simple(r) {
+        return false;
+    }
+    let mut ok = true;
+    r.walk(&mut |n| {
+        if let Xregex::VarDef(_, body) = n {
+            if !is_basic_body(body) {
+                ok = false;
+            }
+        }
+    });
+    ok
+}
+
+/// *Normal form*: an alternation `α₁ ∨ … ∨ α_m` where every `αᵢ` is simple
+/// (a single simple term counts as a 1-ary alternation).
+pub fn is_normal_form(r: &Xregex) -> bool {
+    match r {
+        Xregex::Alt(ps) => ps.iter().all(is_simple),
+        other => is_simple(other),
+    }
+}
+
+/// Whether variable `x` is *flat* in the joint term (§5.3): every definition
+/// of `x` is basic, or `x` has no reference inside any other definition.
+pub fn is_flat_var(joint: &Xregex, x: Var) -> bool {
+    let mut all_defs_basic = true;
+    let mut ref_in_other_def = false;
+    joint.walk(&mut |n| {
+        if let Xregex::VarDef(y, body) = n {
+            if *y == x && !is_basic_body(body) {
+                all_defs_basic = false;
+            }
+            if *y != x && body.ref_count(x) > 0 {
+                ref_in_other_def = true;
+            }
+        }
+    });
+    all_defs_basic || !ref_in_other_def
+}
+
+/// The fragment of a conjunctive xregex, coarsest applicable class first.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fragment {
+    /// Every component simple — evaluable by Lemma 3 directly.
+    Simple,
+    /// Every component in normal form (alternation of simple terms).
+    NormalForm,
+    /// Vstar-free with only flat variables (`CXRPQ^{vsf,fl}`, Theorem 5).
+    VstarFreeFlat,
+    /// Vstar-free (`CXRPQ^{vsf}`, Theorem 2).
+    VstarFree,
+    /// Unrestricted CXRPQ (PSpace-hard data complexity, Theorem 1).
+    General,
+}
+
+/// Full classification report for a conjunctive xregex.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Classification {
+    /// Every component vstar-free.
+    pub vstar_free: bool,
+    /// Every component valt-free.
+    pub valt_free: bool,
+    /// Every component variable-simple.
+    pub variable_simple: bool,
+    /// Every component simple.
+    pub simple: bool,
+    /// Every component in normal form.
+    pub normal_form: bool,
+    /// Every variable flat in the joint term.
+    pub all_flat: bool,
+}
+
+impl Classification {
+    /// The most specific evaluation fragment.
+    pub fn fragment(&self) -> Fragment {
+        if self.simple {
+            Fragment::Simple
+        } else if self.normal_form {
+            Fragment::NormalForm
+        } else if self.vstar_free && self.all_flat {
+            Fragment::VstarFreeFlat
+        } else if self.vstar_free {
+            Fragment::VstarFree
+        } else {
+            Fragment::General
+        }
+    }
+}
+
+/// Classifies a conjunctive xregex against the §5 hierarchy.
+pub fn classification(cx: &ConjunctiveXregex) -> Classification {
+    let comps = cx.components();
+    let joint = cx.joint();
+    let all_flat = joint.vars().into_iter().all(|x| is_flat_var(&joint, x));
+    Classification {
+        vstar_free: comps.iter().all(is_vstar_free),
+        valt_free: comps.iter().all(is_valt_free),
+        variable_simple: comps.iter().all(is_variable_simple),
+        simple: comps.iter().all(is_simple),
+        normal_form: comps.iter().all(is_normal_form),
+        all_flat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_conjunctive, parse_xregex};
+    use cxrpq_graph::Alphabet;
+
+    fn x(s: &str) -> Xregex {
+        let mut a = Alphabet::from_chars("abcd#u");
+        parse_xregex(s, &mut a).unwrap().0
+    }
+
+    #[test]
+    fn example_4_from_paper() {
+        // "x{a*}(bx(c|a))*b is not vstar-free, but valt-free."
+        let r1 = x("x{a*}(bx(c|a))*b");
+        assert!(!is_vstar_free(&r1));
+        assert!(is_valt_free(&r1));
+        // "x{a*}y((bx)|(ca))b*y is vstar-free, but not valt-free."
+        let mut a = Alphabet::from_chars("abc");
+        let (r2, _) =
+            crate::parser::parse_xregex_with_vars("x{a*}y((bx)|(ca))b*y", &["y"], &mut a)
+                .unwrap();
+        assert!(is_vstar_free(&r2));
+        assert!(!is_valt_free(&r2));
+        // "ax{(b|c)*by{dxa*}}bxa*z{d*}zy is variable-simple, but not simple"
+        // (we write the nested reference as a fresh symbol since Definition 3
+        // item 4 forbids x inside its own definition body).
+        let r3 = x("a u{(b|c)*b y{dca*}}bua*z{d*}zy");
+        assert!(is_variable_simple(&r3));
+        assert!(!is_simple(&r3)); // u's body is not basic
+        // "ax{(b|c)*da}bxa*y{z}xy is simple."
+        let r4 = x("a x{(b|c)*da}bxa* y{z{d}} x y");
+        assert!(is_variable_simple(&r4));
+        // y{z} is basic; z{d} is basic; x{(b|c)*da} is basic.
+        assert!(is_simple(&x("a x{(b|c)*da}bx")));
+    }
+
+    #[test]
+    fn figure_2_classifications() {
+        let mut a = Alphabet::from_chars("abcd");
+        // G1: x{a|b} and (x|c)+ — references under + make it non-vstar-free.
+        let (comps, vt) =
+            parse_conjunctive(&["x{a|b}", "(x|c)+"], &mut a).unwrap();
+        let g1 = ConjunctiveXregex::new(comps, vt).unwrap();
+        let c1 = classification(&g1);
+        assert!(!c1.vstar_free);
+        assert_eq!(c1.fragment(), Fragment::General);
+
+        // G2: x{aa|b}, y{(c|d)*}, x|y — vstar-free; x|y is a variable
+        // alternation so not valt-free; all variables flat.
+        let mut a2 = Alphabet::from_chars("abcd");
+        let (comps, vt) =
+            parse_conjunctive(&["x{aa|b}", "y{(c|d)*}", "x|y"], &mut a2).unwrap();
+        let g2 = ConjunctiveXregex::new(comps, vt).unwrap();
+        let c2 = classification(&g2);
+        assert!(c2.vstar_free);
+        assert!(!c2.valt_free);
+        assert!(c2.all_flat);
+        // x|y is an alternation of two simple terms (bare references), so G2
+        // is even in normal form — more specific than vsf,fl.
+        assert_eq!(c2.fragment(), Fragment::NormalForm);
+
+        // G4 contains z{x|y} ∨ z{a*} and defs referencing other defs:
+        // vstar-free but x is not flat (x{(ya*)|(b*y)} is non-basic and x is
+        // referenced inside z's definition).
+        let mut a3 = Alphabet::from_chars("abcd");
+        let (comps, vt) = parse_conjunctive(
+            &["a*(x{(ya*)|(b*y)})z", "b*(y{c*|d*})", "z{x|y}|z{a*}"],
+            &mut a3,
+        )
+        .unwrap();
+        let g4 = ConjunctiveXregex::new(comps, vt).unwrap();
+        let c4 = classification(&g4);
+        assert!(c4.vstar_free);
+        assert!(!c4.all_flat);
+        assert_eq!(c4.fragment(), Fragment::VstarFree);
+    }
+
+    #[test]
+    fn flatness_example_from_section_5_3() {
+        // α1 = ub*x{y{a*}(a|b)*zy}, α2 = u{cbz{a*(b|ca)}}ax: every variable
+        // flat. (u is referenced… u's def is non-basic but u has no reference
+        // inside another definition; x non-basic def, no refs in other defs;
+        // y, z basic defs.)
+        let mut a = Alphabet::from_chars("abc");
+        let (comps, vt) = parse_conjunctive(
+            &["ub* x{y{a*}(a|b)*zy}", "u{cb z{a*(b|ca)}}ax"],
+            &mut a,
+        )
+        .unwrap();
+        let cx = ConjunctiveXregex::new(comps, vt).unwrap();
+        let joint = cx.joint();
+        for v in joint.vars() {
+            assert!(
+                is_flat_var(&joint, v),
+                "variable {} should be flat",
+                cx.vars().name(v)
+            );
+        }
+    }
+
+    #[test]
+    fn non_flat_chain() {
+        // §5.3 blow-up family: x1{a}x2{x1x1}x3{x2x2}: x2 has a non-basic
+        // definition and a reference inside x3's definition → not flat.
+        let mut a = Alphabet::from_chars("a");
+        let (r, vt) = parse_xregex("x1{a}x2{x1x1}x3{x2x2}", &mut a).unwrap();
+        let x2 = vt.var("x2").unwrap();
+        assert!(!is_flat_var(&r, x2));
+        let x1 = vt.var("x1").unwrap();
+        assert!(is_flat_var(&r, x1)); // basic definition
+    }
+
+    #[test]
+    fn normal_form_detection() {
+        assert!(is_normal_form(&x("x{a*}bx|y{b}y")));
+        assert!(is_normal_form(&x("x{a*}bx")));
+        // Classical bodies are basic even when structured.
+        assert!(is_normal_form(&x("x{a*(b|c)}x|y{b}y")));
+        // Non-simple branch: def body mixing a definition with other factors.
+        assert!(!is_normal_form(&x("x{y{a}b}x")));
+        // An alternation above a variable is not simple, but is normal form
+        // when each branch is simple.
+        assert!(is_normal_form(&x("x{a}x|b*")));
+    }
+}

@@ -1,0 +1,218 @@
+//! Conjunctive xregex (§3.1): tuples `ᾱ = (α₁, …, α_m)` of xregex that
+//! generate tuples of words sharing one variable mapping.
+
+use crate::ast::{Var, VarTable, Xregex};
+use crate::matcher::{conjunctive_match, MatchConfig};
+use crate::validate::{is_sequential, topological_vars};
+use cxrpq_graph::{Alphabet, Symbol};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a tuple of xregex is not a valid conjunctive xregex.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConjunctiveError {
+    /// The concatenation `α₁α₂…α_m` is not sequential (Definition 4 requires
+    /// it to be an xregex, and all xregex are assumed sequential).
+    NotSequential,
+    /// The concatenation is not acyclic.
+    Cyclic,
+    /// Zero components.
+    Empty,
+}
+
+impl fmt::Display for ConjunctiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConjunctiveError::NotSequential => {
+                write!(f, "α₁…α_m is not sequential (duplicate instantiable definitions)")
+            }
+            ConjunctiveError::Cyclic => write!(f, "variable relation ≺ is cyclic"),
+            ConjunctiveError::Empty => write!(f, "a conjunctive xregex needs ≥ 1 component"),
+        }
+    }
+}
+
+impl std::error::Error for ConjunctiveError {}
+
+/// A conjunctive xregex of dimension m (Definition 4): a tuple of xregex
+/// whose concatenation is an acyclic, sequential xregex.
+#[derive(Clone, Debug)]
+pub struct ConjunctiveXregex {
+    components: Vec<Xregex>,
+    vars: VarTable,
+}
+
+impl ConjunctiveXregex {
+    /// Validates Definition 4 and constructs the tuple.
+    pub fn new(components: Vec<Xregex>, vars: VarTable) -> Result<Self, ConjunctiveError> {
+        if components.is_empty() {
+            return Err(ConjunctiveError::Empty);
+        }
+        let joint = Xregex::concat(components.clone());
+        if !is_sequential(&joint) {
+            return Err(ConjunctiveError::NotSequential);
+        }
+        if topological_vars(&joint).is_none() {
+            return Err(ConjunctiveError::Cyclic);
+        }
+        Ok(Self { components, vars })
+    }
+
+    /// Dimension m.
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The components `ᾱ[i]`.
+    pub fn components(&self) -> &[Xregex] {
+        &self.components
+    }
+
+    /// Component `ᾱ[i]`.
+    pub fn component(&self, i: usize) -> &Xregex {
+        &self.components[i]
+    }
+
+    /// The shared variable table.
+    pub fn vars(&self) -> &VarTable {
+        &self.vars
+    }
+
+    /// Number of distinct variables occurring in the tuple.
+    pub fn var_count(&self) -> usize {
+        self.joint().vars().len()
+    }
+
+    /// The concatenation `α₁α₂…α_m` (used for validation and the ≺ relation).
+    pub fn joint(&self) -> Xregex {
+        Xregex::concat(self.components.clone())
+    }
+
+    /// Total size `|ᾱ| = Σ |αᵢ|`.
+    pub fn size(&self) -> usize {
+        self.components.iter().map(Xregex::size).sum()
+    }
+
+    /// The component containing definitions of `x`, if any. At most one
+    /// component can define `x` (sequentiality), so this is well-defined.
+    pub fn defining_component(&self, x: Var) -> Option<usize> {
+        self.components
+            .iter()
+            .position(|c| c.defined_vars().contains(&x))
+    }
+
+    /// Variables with at least one definition somewhere in the tuple.
+    pub fn defined_vars(&self) -> Vec<Var> {
+        self.joint().defined_vars().into_iter().collect()
+    }
+
+    /// Variables occurring in the tuple but never defined — these range
+    /// freely over Σ* (the `x{Σ*}` dummy definitions of `⟨·⟩int`).
+    pub fn undefined_vars(&self) -> Vec<Var> {
+        let joint = self.joint();
+        let defined = joint.defined_vars();
+        joint
+            .vars()
+            .into_iter()
+            .filter(|v| !defined.contains(v))
+            .collect()
+    }
+
+    /// A ≺-topological order of the variables (minimal first).
+    pub fn topological_vars(&self) -> Vec<Var> {
+        topological_vars(&self.joint()).expect("validated at construction")
+    }
+
+    /// Conjunctive-match oracle: is `w̄ ∈ L(ᾱ)` (per `cfg`)? Returns the
+    /// witnessing variable mapping ψ.
+    pub fn is_match(
+        &self,
+        words: &[Vec<Symbol>],
+        cfg: &MatchConfig,
+    ) -> Option<BTreeMap<Var, Vec<Symbol>>> {
+        conjunctive_match(&self.components, words, self.vars.len(), cfg)
+    }
+
+    /// Renders all components.
+    pub fn render(&self, alphabet: &Alphabet) -> Vec<String> {
+        self.components
+            .iter()
+            .map(|c| c.render(alphabet, &self.vars))
+            .collect()
+    }
+
+    /// Replaces the components (for transformation pipelines); re-validates.
+    pub fn with_components(
+        &self,
+        components: Vec<Xregex>,
+        vars: VarTable,
+    ) -> Result<Self, ConjunctiveError> {
+        Self::new(components, vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_conjunctive;
+
+    fn conj(inputs: &[&str]) -> Result<ConjunctiveXregex, ConjunctiveError> {
+        let mut a = Alphabet::from_chars("abc#");
+        let (comps, vt) = parse_conjunctive(inputs, &mut a).unwrap();
+        ConjunctiveXregex::new(comps, vt)
+    }
+
+    #[test]
+    fn example_3_validity() {
+        // (α2, α4) is not a conjunctive xregex (x1 defined in both);
+        // (α3, α4) and (α1, α2, α3) are.
+        let a2 = "x1{(a|b)*}x3{c*}bx3";
+        let a4 = "x4{a*}bx4 x1{x2a}";
+        let a1 = "x2{x1|a*}b";
+        let a3 = "x2*a*x1";
+        assert!(matches!(
+            conj(&[a2, a4]),
+            Err(ConjunctiveError::NotSequential)
+        ));
+        assert!(conj(&[a3, a4]).is_ok());
+        assert!(conj(&[a1, a2, a3]).is_ok());
+    }
+
+    #[test]
+    fn defining_component_is_found() {
+        let cx = conj(&["x{a*}b", "cx"]).unwrap();
+        let x = cx.vars().var("x").unwrap();
+        assert_eq!(cx.defining_component(x), Some(0));
+        assert!(cx.undefined_vars().is_empty());
+    }
+
+    #[test]
+    fn undefined_vars_reported() {
+        let mut a = Alphabet::from_chars("ab");
+        let (comps, mut vt) = parse_conjunctive(&["ab", "ba"], &mut a).unwrap();
+        let z = vt.intern("z");
+        let mut comps = comps;
+        comps[0] = Xregex::concat(vec![comps[0].clone(), Xregex::VarRef(z)]);
+        comps[1] = Xregex::concat(vec![comps[1].clone(), Xregex::VarRef(z)]);
+        let cx = ConjunctiveXregex::new(comps, vt).unwrap();
+        assert_eq!(cx.undefined_vars(), vec![z]);
+    }
+
+    #[test]
+    fn cyclic_rejected() {
+        let mut a = Alphabet::from_chars("ab");
+        let (comps, vt) =
+            crate::parser::parse_conjunctive(&["x{y}a", "y{x}b"], &mut a).unwrap();
+        assert!(matches!(
+            ConjunctiveXregex::new(comps, vt),
+            Err(ConjunctiveError::Cyclic)
+        ));
+    }
+
+    #[test]
+    fn size_and_dim() {
+        let cx = conj(&["x{a}b", "x"]).unwrap();
+        assert_eq!(cx.dim(), 2);
+        assert_eq!(cx.size(), 5); // concat(1)+def(1)+a(1)+b(1) + ref(1)
+    }
+}

@@ -1,0 +1,44 @@
+//! Xregex — regular expressions with string variables (backreferences) — and
+//! conjunctive xregex, the edge-label formalism of CXRPQ queries.
+//!
+//! Implements §2.1 and §3 of Schmid (PODS 2020):
+//!
+//! - [`Xregex`]: the AST of `XRE_{Σ,Xs}` (Definition 3), with validation of
+//!   *sequentiality* and *acyclicity*;
+//! - [`RefWord`] and [`RefWord::deref`]: subword-marked words, the `deref`
+//!   function (Definition 2) and variable mappings;
+//! - [`ConjunctiveXregex`]: m-tuples of xregex with the shared-variable
+//!   semantics of §3.1 (including the `⟨γ⟩int` dummy-definition treatment of
+//!   undefined variables);
+//! - [`matcher`]: a backtracking membership oracle for `L(α)`, `L^{≤k}(α)`,
+//!   `L^{v̄}(ᾱ)` and conjunctive matches — the executable form of the paper's
+//!   semantics, used to validate every transformation in this workspace;
+//! - [`classify`]: the fragment hierarchy of §5 (vstar-free, valt-free,
+//!   variable-simple, simple, normal form, flat variables);
+//! - [`mod@normal_form`]: the three-step normal-form construction of §5.1
+//!   (Lemmas 4, 5, 6) with the flat-variable fast path of Lemma 8;
+//! - [`mod@specialize`]: the `L^{v̄}(ᾱ)` → classical-regex-tuple construction of
+//!   Lemma 10, the engine behind `CXRPQ^{≤k}` evaluation;
+//! - [`sample`]: random ref-word / conjunctive-match generation (the
+//!   completeness half of the property-test oracles).
+
+pub mod ast;
+pub mod classify;
+pub mod conjunctive;
+pub mod matcher;
+pub mod normal_form;
+pub mod parser;
+pub mod refword;
+pub mod sample;
+pub mod specialize;
+pub mod validate;
+
+pub use ast::{Var, VarTable, Xregex};
+pub use classify::{classification, Fragment};
+pub use conjunctive::ConjunctiveXregex;
+pub use matcher::{conjunctive_match, match_single, MatchConfig};
+pub use normal_form::{normal_form, simple_choices, NormalFormStats};
+pub use parser::{parse_conjunctive, parse_xregex, XregexParseError};
+pub use refword::{RefTok, RefWord};
+pub use specialize::specialize;
+pub use validate::{is_acyclic, is_sequential, topological_vars};

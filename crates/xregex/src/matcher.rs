@@ -1,0 +1,598 @@
+//! Backtracking membership oracles for xregex and conjunctive xregex.
+//!
+//! This module is the *executable semantics* of the paper: a direct
+//! implementation of "does `w` match `α` with some witness ref-word and
+//! variable mapping" (§3) and of conjunctive matches (§3.1), including
+//!
+//! - the rule that a variable whose definitions are present in a component
+//!   but not instantiated by the witness ref-word has image ε, and
+//! - the rule that a variable with *no* definition in any component ranges
+//!   freely over Σ* (the `⟨γ⟩int` dummy-definition semantics), which is how
+//!   CXRPQ expresses multi-path equality;
+//! - optional image-size bounds (`L^{≤k}`, §6) and pinned variable mappings
+//!   (`L^{v̄}`, §6.1).
+//!
+//! Matching xregex is NP-hard (§8), so this is exponential-time backtracking
+//! with a fuel limit — it is the *oracle* the polynomial machinery is tested
+//! against, not the evaluation engine.
+
+use crate::ast::{Var, Xregex};
+use cxrpq_graph::Symbol;
+use std::collections::BTreeMap;
+
+/// Configuration for the match oracles.
+#[derive(Clone, Debug)]
+pub struct MatchConfig {
+    /// `L^{≤k}` image bound: every variable image must have length ≤ k.
+    pub image_bound: Option<usize>,
+    /// Pinned variable images (the `v̄` of `L^{v̄}`); unmentioned variables
+    /// are free. Pinned values are exempt from `image_bound`.
+    pub pinned: BTreeMap<Var, Vec<Symbol>>,
+    /// Backtracking fuel. The oracle panics when exhausted rather than
+    /// returning an unsound "no match".
+    pub max_steps: u64,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        Self {
+            image_bound: None,
+            pinned: BTreeMap::new(),
+            max_steps: 20_000_000,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// Oracle for `L^{≤k}`.
+    pub fn bounded(k: usize) -> Self {
+        Self {
+            image_bound: Some(k),
+            ..Self::default()
+        }
+    }
+
+    /// Oracle for `L^{v̄}`.
+    pub fn pinned(pinned: BTreeMap<Var, Vec<Symbol>>) -> Self {
+        Self {
+            pinned,
+            ..Self::default()
+        }
+    }
+}
+
+enum Trail {
+    Env(u32),
+    Inst(u32),
+}
+
+struct Ctx {
+    env: Vec<Option<Vec<Symbol>>>,
+    inst: Vec<bool>,
+    trail: Vec<Trail>,
+    bound: Option<usize>,
+    steps: u64,
+    max_steps: u64,
+    exhausted: bool,
+}
+
+impl Ctx {
+    fn new(nvars: usize, cfg: &MatchConfig) -> Self {
+        let mut env = vec![None; nvars];
+        for (&v, val) in &cfg.pinned {
+            env[v.index()] = Some(val.clone());
+        }
+        Self {
+            env,
+            inst: vec![false; nvars],
+            trail: Vec::new(),
+            bound: cfg.image_bound,
+            steps: 0,
+            max_steps: cfg.max_steps,
+            exhausted: false,
+        }
+    }
+
+    fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    fn set_env(&mut self, x: Var, v: Vec<Symbol>) {
+        debug_assert!(self.env[x.index()].is_none());
+        self.env[x.index()] = Some(v);
+        self.trail.push(Trail::Env(x.0));
+    }
+
+    fn set_inst(&mut self, x: Var) {
+        debug_assert!(!self.inst[x.index()]);
+        self.inst[x.index()] = true;
+        self.trail.push(Trail::Inst(x.0));
+    }
+
+    fn undo(&mut self, to: usize) {
+        while self.trail.len() > to {
+            match self.trail.pop().unwrap() {
+                Trail::Env(i) => self.env[i as usize] = None,
+                Trail::Inst(i) => self.inst[i as usize] = false,
+            }
+        }
+    }
+
+    fn vmap(&self) -> BTreeMap<Var, Vec<Symbol>> {
+        self.env
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (Var(i as u32), v.clone().unwrap_or_default()))
+            .collect()
+    }
+}
+
+type Cont<'a> = &'a mut dyn FnMut(usize, &mut Ctx) -> bool;
+
+/// Matches `r` against `w[i..]`, invoking `k` at every reachable end
+/// position. Invariant: on a `false` return, the binding trail is restored
+/// to its state at entry (and likewise for `k`).
+fn mx(r: &Xregex, w: &[Symbol], i: usize, cx: &mut Ctx, k: Cont) -> bool {
+    cx.steps += 1;
+    if cx.steps > cx.max_steps {
+        cx.exhausted = true;
+        return false;
+    }
+    match r {
+        Xregex::Empty => false,
+        Xregex::Epsilon => k(i, cx),
+        Xregex::Sym(a) => i < w.len() && w[i] == *a && k(i + 1, cx),
+        Xregex::Any => i < w.len() && k(i + 1, cx),
+        Xregex::Concat(ps) => seq(ps, w, i, cx, k),
+        Xregex::Alt(ps) => {
+            for p in ps {
+                if mx(p, w, i, cx, &mut *k) {
+                    return true;
+                }
+            }
+            false
+        }
+        Xregex::Plus(body) => plus_m(body, w, i, cx, k),
+        Xregex::Star(body) => {
+            if k(i, cx) {
+                return true;
+            }
+            plus_m(body, w, i, cx, k)
+        }
+        Xregex::VarRef(x) => {
+            match cx.env[x.index()].clone() {
+                Some(v) => {
+                    if w[i..].starts_with(&v) {
+                        k(i + v.len(), cx)
+                    } else {
+                        false
+                    }
+                }
+                None => {
+                    // Guess the image: any prefix of the remaining input,
+                    // shortest first, respecting the image bound.
+                    let max_l = (w.len() - i).min(cx.bound.unwrap_or(usize::MAX));
+                    for l in 0..=max_l {
+                        let t0 = cx.mark();
+                        cx.set_env(*x, w[i..i + l].to_vec());
+                        if k(i + l, cx) {
+                            return true;
+                        }
+                        cx.undo(t0);
+                    }
+                    false
+                }
+            }
+        }
+        Xregex::VarDef(x, body) => {
+            let start = i;
+            let xv = *x;
+            mx(body, w, i, cx, &mut |j, cx| {
+                let image = &w[start..j];
+                if let Some(b) = cx.bound {
+                    if image.len() > b {
+                        return false;
+                    }
+                }
+                if cx.inst[xv.index()] {
+                    // A second instantiation: only reachable on
+                    // non-sequential input; reject the parse.
+                    return false;
+                }
+                let t0 = cx.mark();
+                match &cx.env[xv.index()] {
+                    Some(v) if v.as_slice() == image => {}
+                    Some(_) => return false,
+                    None => cx.set_env(xv, image.to_vec()),
+                }
+                cx.set_inst(xv);
+                if k(j, cx) {
+                    true
+                } else {
+                    cx.undo(t0);
+                    false
+                }
+            })
+        }
+    }
+}
+
+fn seq(parts: &[Xregex], w: &[Symbol], i: usize, cx: &mut Ctx, k: Cont) -> bool {
+    match parts.split_first() {
+        None => k(i, cx),
+        Some((first, rest)) => mx(first, w, i, cx, &mut |j, cx| seq(rest, w, j, cx, &mut *k)),
+    }
+}
+
+fn plus_m(body: &Xregex, w: &[Symbol], i: usize, cx: &mut Ctx, k: Cont) -> bool {
+    let t0 = cx.mark();
+    mx(body, w, i, cx, &mut |j, cx| {
+        if k(j, cx) {
+            return true;
+        }
+        // ε-progress guard: a further iteration from the same position with
+        // no new bindings cannot produce anything new.
+        if j == i && cx.trail.len() == t0 {
+            return false;
+        }
+        plus_m(body, w, j, cx, &mut *k)
+    })
+}
+
+fn finalize_uninstantiated(vars: &[Var], cx: &mut Ctx, t0: usize) -> bool {
+    for &x in vars {
+        if !cx.inst[x.index()] {
+            match &cx.env[x.index()] {
+                Some(v) if !v.is_empty() => {
+                    cx.undo(t0);
+                    return false;
+                }
+                Some(_) => {}
+                None => cx.set_env(x, Vec::new()),
+            }
+        }
+    }
+    true
+}
+
+/// Membership oracle for the (1-dimensional) xregex semantics of §3:
+/// `w ∈ L(α)` (or `L^{≤k}`/`L^{v̄}` per `cfg`). Returns a witnessing variable
+/// mapping.
+///
+/// References of variables that end up without an instantiated definition
+/// deref to ε (Definition 2, step 1) — this differs from the 1-dimensional
+/// *conjunctive* semantics, where never-defined variables range over Σ*.
+pub fn match_single(
+    r: &Xregex,
+    w: &[Symbol],
+    nvars: usize,
+    cfg: &MatchConfig,
+) -> Option<BTreeMap<Var, Vec<Symbol>>> {
+    let mut cx = Ctx::new(nvars, cfg);
+    let all_vars: Vec<Var> = (0..nvars as u32).map(Var).collect();
+    let mut result = None;
+    let found = mx(r, w, 0, &mut cx, &mut |i, cx| {
+        if i != w.len() {
+            return false;
+        }
+        let t0 = cx.mark();
+        if !finalize_uninstantiated(&all_vars, cx, t0) {
+            return false;
+        }
+        result = Some(cx.vmap());
+        true
+    });
+    if !found && cx.exhausted {
+        panic!("match oracle fuel exhausted — instance too large for the oracle");
+    }
+    result
+}
+
+/// Conjunctive-match oracle (§3.1): is `w̄ ∈ L(ᾱ)`, and if so with which
+/// shared variable mapping ψ?
+///
+/// `components`/`words` must have the same length; `nvars` is the size of
+/// the shared variable table. Semantics faithfully implemented:
+///
+/// - all components share one variable mapping ψ;
+/// - a variable whose definitions live in component i but are not
+///   instantiated by the chosen ref-word of component i has ψ(x) = ε;
+/// - a variable with no definition anywhere is unconstrained (`x{Σ*}` dummy
+///   definitions of `⟨·⟩int`).
+pub fn conjunctive_match(
+    components: &[Xregex],
+    words: &[Vec<Symbol>],
+    nvars: usize,
+    cfg: &MatchConfig,
+) -> Option<BTreeMap<Var, Vec<Symbol>>> {
+    assert_eq!(components.len(), words.len(), "dimension mismatch");
+    let defs_in: Vec<Vec<Var>> = components
+        .iter()
+        .map(|c| c.defined_vars().into_iter().collect())
+        .collect();
+    let mut cx = Ctx::new(nvars, cfg);
+    let mut result = None;
+    let found = comp_rec(components, words, &defs_in, 0, &mut cx, &mut result);
+    if !found && cx.exhausted {
+        panic!("conjunctive match oracle fuel exhausted — instance too large");
+    }
+    result
+}
+
+fn comp_rec(
+    comps: &[Xregex],
+    words: &[Vec<Symbol>],
+    defs_in: &[Vec<Var>],
+    idx: usize,
+    cx: &mut Ctx,
+    result: &mut Option<BTreeMap<Var, Vec<Symbol>>>,
+) -> bool {
+    if idx == comps.len() {
+        *result = Some(cx.vmap());
+        return true;
+    }
+    let w = &words[idx];
+    mx(&comps[idx], w, 0, cx, &mut |i, cx| {
+        if i != w.len() {
+            return false;
+        }
+        // Variables defined (syntactically) in this component but not
+        // instantiated by this parse must map to ε.
+        let t0 = cx.mark();
+        if !finalize_uninstantiated(&defs_in[idx], cx, t0) {
+            return false;
+        }
+        if comp_rec(comps, words, defs_in, idx + 1, cx, result) {
+            true
+        } else {
+            cx.undo(t0);
+            false
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_conjunctive, parse_xregex};
+    use cxrpq_graph::Alphabet;
+
+    fn single(pattern: &str, word: &str) -> Option<BTreeMap<Var, Vec<Symbol>>> {
+        single_cfg(pattern, word, &MatchConfig::default())
+    }
+
+    fn single_cfg(
+        pattern: &str,
+        word: &str,
+        cfg: &MatchConfig,
+    ) -> Option<BTreeMap<Var, Vec<Symbol>>> {
+        let mut a = Alphabet::from_chars("abcd#");
+        let (r, vt) = parse_xregex(pattern, &mut a).unwrap();
+        let w = a.parse_word(word).unwrap();
+        match_single(&r, &w, vt.len(), cfg)
+    }
+
+    #[test]
+    fn backreference_equality() {
+        // x{(a|b)+} c x — both halves must be equal.
+        assert!(single("x{(a|b)+}cx", "abcab").is_some());
+        assert!(single("x{(a|b)+}cx", "abcba").is_none());
+        assert!(single("x{(a|b)+}cx", "c").is_none()); // + forbids ε
+    }
+
+    #[test]
+    fn vmap_is_reported() {
+        let mut a = Alphabet::from_chars("abc");
+        let (r, vt) = parse_xregex("x{a+}bx", &mut a).unwrap();
+        let w = a.parse_word("aabaa").unwrap();
+        let vmap = match_single(&r, &w, vt.len(), &MatchConfig::default()).unwrap();
+        let x = vt.var("x").unwrap();
+        assert_eq!(vmap[&x], a.parse_word("aa").unwrap());
+    }
+
+    #[test]
+    fn star_of_reference() {
+        // The paper's α_ni shape: #z{(a|b)*}(##z)*###
+        let p = "#z{(a|b)*}(##z)*###";
+        assert!(single(p, "#ab###").is_some());
+        assert!(single(p, "#ab##ab##ab###").is_some());
+        assert!(single(p, "#ab##ba###").is_none());
+        assert!(single(p, "####").is_some()); // z = ε
+    }
+
+    #[test]
+    fn uninstantiated_definition_forces_epsilon() {
+        // (x{a}|b) x : choosing branch b leaves x uninstantiated => x = ε.
+        let p = "(x{a}|b)x";
+        assert!(single(p, "aa").is_some());
+        assert!(single(p, "b").is_some());
+        assert!(single(p, "ba").is_none(), "x must be ε when not instantiated");
+    }
+
+    #[test]
+    fn reference_before_definition() {
+        // A reference textually before its definition still sees the image.
+        let p = "x c x{a+}";
+        assert!(single(p, "acaa").is_none()); // images differ (a vs aa)
+        assert!(single(p, "aca").is_some());
+        assert!(single(p, "aacaa").is_some());
+    }
+
+    #[test]
+    fn single_semantics_undefined_vars_are_epsilon() {
+        // α = x (a lone reference, never defined): L(α) = {ε}.
+        let mut a = Alphabet::from_chars("ab");
+        let (r, vt) = parse_xregex_decl("x", &["x"], &mut a);
+        assert!(match_single(&r, &[], vt.len(), &MatchConfig::default()).is_some());
+        let w = a.parse_word("a").unwrap();
+        assert!(match_single(&r, &w, vt.len(), &MatchConfig::default()).is_none());
+    }
+
+    fn parse_xregex_decl(
+        s: &str,
+        vars: &[&str],
+        a: &mut Alphabet,
+    ) -> (Xregex, crate::ast::VarTable) {
+        crate::parser::parse_xregex_with_vars(s, vars, a).unwrap()
+    }
+
+    #[test]
+    fn image_bound_enforced() {
+        let p = "x{a+}bx";
+        assert!(single_cfg(p, "aabaa", &MatchConfig::bounded(2)).is_some());
+        assert!(single_cfg(p, "aaabaaa", &MatchConfig::bounded(2)).is_none());
+        assert!(single_cfg(p, "aaabaaa", &MatchConfig::bounded(3)).is_some());
+    }
+
+    #[test]
+    fn pinned_mapping() {
+        let mut a = Alphabet::from_chars("ab");
+        let (r, vt) = parse_xregex("x{(a|b)+}x", &mut a).unwrap();
+        let x = vt.var("x").unwrap();
+        let w = a.parse_word("abab").unwrap();
+        // Pin x = ab: match.
+        let cfg = MatchConfig::pinned(BTreeMap::from([(x, a.parse_word("ab").unwrap())]));
+        assert!(match_single(&r, &w, vt.len(), &cfg).is_some());
+        // Pin x = ba: no match.
+        let cfg2 = MatchConfig::pinned(BTreeMap::from([(x, a.parse_word("ba").unwrap())]));
+        assert!(match_single(&r, &w, vt.len(), &cfg2).is_none());
+    }
+
+    #[test]
+    fn example_2_from_paper() {
+        // α = a*x1{a* x2{(a|b)*} b*a*} x2*(a|b)* x1 over {a,b};
+        // w = a^4 (ba)^2 (ab)^3 (ba)^3 a ∈ L(α)  (Example 2).
+        let mut a = Alphabet::from_chars("ab");
+        let (r, vt) =
+            parse_xregex("a*x1{a*x2{(a|b)*}b*a*}x2*(a|b)*x1", &mut a).unwrap();
+        let w = a
+            .parse_word(&format!(
+                "{}{}{}{}a",
+                "aaaa",
+                "baba",
+                "ababab",
+                "bababa"
+            ))
+            .unwrap();
+        assert!(match_single(&r, &w, vt.len(), &MatchConfig::default()).is_some());
+    }
+
+    #[test]
+    fn example_2_gamma_from_paper() {
+        // γ = x1{c*(x2{a*}|x3{b*})} c x2 c x3 b x1 matches c²a²ca²cbc²a²
+        // with vmap (c²a², a², ε).
+        let mut a = Alphabet::from_chars("abc");
+        let (r, vt) = parse_xregex("x1{c*(x2{a*}|x3{b*})}cx2cx3bx1", &mut a).unwrap();
+        let w = a.parse_word("ccaacaacbccaa").unwrap();
+        let vmap = match_single(&r, &w, vt.len(), &MatchConfig::default()).unwrap();
+        assert_eq!(vmap[&vt.var("x1").unwrap()], a.parse_word("ccaa").unwrap());
+        assert_eq!(vmap[&vt.var("x2").unwrap()], a.parse_word("aa").unwrap());
+        assert_eq!(vmap[&vt.var("x3").unwrap()], Vec::<Symbol>::new());
+    }
+
+    #[test]
+    fn conjunctive_shared_variables() {
+        // γ1 = (x{a*}|b*) y, γ2 = y{xaxb} b y* — §3.1's worked example.
+        let mut a = Alphabet::from_chars("ab#");
+        let (comps, vt) =
+            parse_conjunctive(&["(x{a*}|b*)y", "y{xaxb}by*"], &mut a).unwrap();
+        // (aa·a⁵b, a⁵bb(a⁵b)²) with x = aa, y = a⁵b... the paper's example:
+        // w1 = aa a^5 b? Actually w1 = x-image + y-image = aa·a⁵b.
+        let w1 = a.parse_word("aaaaaaab").unwrap(); // aa · a⁵b
+        let w2 = a.parse_word("aaaaabbaaaaabaaaaab").unwrap(); // (a⁵b) b (a⁵b)(a⁵b)
+        let vmap = conjunctive_match(&comps, &[w1, w2], vt.len(), &MatchConfig::default());
+        // y{xaxb} with x = aa gives y = aaaaab = a⁵b... wait: x a x b = aa·a·aa·b = a⁵b. ✓
+        let vmap = vmap.expect("conjunctive match should exist");
+        assert_eq!(vmap[&vt.var("x").unwrap()], a.parse_word("aa").unwrap());
+        assert_eq!(vmap[&vt.var("y").unwrap()], a.parse_word("aaaaab").unwrap());
+    }
+
+    #[test]
+    fn conjunctive_rejects_inconsistent_mapping() {
+        // From §3.1: (a#aa, a#a³bba³b) is NOT a conjunctive match for
+        // ((x{a*}|b*)y, y{xaxb}by*) because the y images differ.
+        let mut a = Alphabet::from_chars("ab#");
+        let (comps, vt) =
+            parse_conjunctive(&["(x{a*}|b*)y", "y{xaxb}by*"], &mut a).unwrap();
+        let w1 = a.parse_word("aa").unwrap(); // x = a, y = a would need w1 = a·a
+        let w2 = a.parse_word("aabbaab").unwrap(); // y = aab = x a x b with x = a
+        // w1 = aa: x-branch gives x-image a then y must be a; but y = aab. Fail.
+        assert!(
+            conjunctive_match(&comps, &[w1, w2], vt.len(), &MatchConfig::default()).is_none()
+        );
+    }
+
+    #[test]
+    fn conjunctive_undefined_variable_is_equality() {
+        // Two components that are just references of z (never defined):
+        // matches iff the words are equal (Σ* dummy definitions).
+        let mut a = Alphabet::from_chars("ab");
+        let (mut comps, mut vt) = parse_conjunctive(&["z{a}", "z"], &mut a).unwrap();
+        // Rebuild: replace component 0 by a bare reference too.
+        let z = vt.var("z").unwrap();
+        comps[0] = Xregex::VarRef(z);
+        let w1 = a.parse_word("abab").unwrap();
+        let w2 = a.parse_word("abab").unwrap();
+        let w3 = a.parse_word("abba").unwrap();
+        assert!(conjunctive_match(
+            &comps,
+            &[w1.clone(), w2],
+            vt.len(),
+            &MatchConfig::default()
+        )
+        .is_some());
+        assert!(conjunctive_match(&comps, &[w1, w3], vt.len(), &MatchConfig::default())
+            .is_none());
+        let _ = &mut vt;
+    }
+
+    #[test]
+    fn conjunctive_example_3_negative_and_positive() {
+        // Example 3: (w1, w2, w3) = (aab, bbacbc, aa) is NOT a conjunctive
+        // match for (α1, α2, α3); (abb, abccbcc, ababaaab) IS, with
+        // ψ = (ab, ab, cc).
+        let mut a = Alphabet::from_chars("abc");
+        let (comps, vt) = parse_conjunctive(
+            &["x2{x1|a*}b", "x1{(a|b)*}x3{c*}bx3", "x2*a*x1"],
+            &mut a,
+        )
+        .unwrap();
+        let neg = [
+            a.parse_word("aab").unwrap(),
+            a.parse_word("bbacbc").unwrap(),
+            a.parse_word("aa").unwrap(),
+        ];
+        assert!(
+            conjunctive_match(&comps, &neg, vt.len(), &MatchConfig::default()).is_none()
+        );
+        let pos = [
+            a.parse_word("abb").unwrap(),
+            a.parse_word("abccbcc").unwrap(),
+            a.parse_word("ababaaab").unwrap(),
+        ];
+        let vmap =
+            conjunctive_match(&comps, &pos, vt.len(), &MatchConfig::default()).unwrap();
+        assert_eq!(vmap[&vt.var("x1").unwrap()], a.parse_word("ab").unwrap());
+        assert_eq!(vmap[&vt.var("x2").unwrap()], a.parse_word("ab").unwrap());
+        assert_eq!(vmap[&vt.var("x3").unwrap()], a.parse_word("cc").unwrap());
+    }
+
+    #[test]
+    fn classical_fragment_agrees_with_nfa() {
+        use cxrpq_automata::Nfa;
+        let mut a = Alphabet::from_chars("ab");
+        let (r, vt) = parse_xregex("(a|bb)*a", &mut a).unwrap();
+        let nfa = Nfa::from_regex(&r.to_regex().unwrap());
+        for n in 0..=4usize {
+            for mask in 0..(1u32 << n) {
+                let w: Vec<Symbol> =
+                    (0..n).map(|i| Symbol((mask >> i) & 1)).collect();
+                assert_eq!(
+                    match_single(&r, &w, vt.len(), &MatchConfig::default()).is_some(),
+                    nfa.accepts(&w),
+                    "mismatch on {w:?}"
+                );
+            }
+        }
+    }
+}

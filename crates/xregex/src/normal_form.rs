@@ -1,0 +1,666 @@
+//! The normal-form construction of §5.1 (Theorem 4), in the paper's three
+//! steps:
+//!
+//! 1. **Multiply out** alternations containing variables (Lemma 4) — each
+//!    component becomes an alternation of *variable-simple* xregex. May blow
+//!    up exponentially.
+//! 2. **Relabel** so that every variable has at most one definition in the
+//!    whole tuple (Lemma 5): definitions in different branches become fresh
+//!    variables `x⁽ʲ⁾`, references become concatenations `x⁽¹⁾…x⁽ᵗ⁾`.
+//!    Quadratic.
+//! 3. **Flatten** non-basic definitions (Lemma 6): processed in ≺-topological
+//!    order, each non-basic definition `z{γ₁…γ_p}` is replaced by a
+//!    concatenation of fresh basic definitions `u₁{γ₁}…u_p{γ_p}` and every
+//!    reference of `z` by `u₁…u_p`. Exponential in general (§5.3's chain
+//!    family), quadratic when all variables are flat (Lemma 8).
+//!
+//! The result is in *normal form*: every component is an alternation of
+//! simple xregex, evaluable by the Lemma 3 engine.
+
+use crate::ast::{Var, VarTable, Xregex};
+use crate::classify::{is_basic_body, is_vstar_free};
+use crate::conjunctive::ConjunctiveXregex;
+
+use std::fmt;
+
+/// Why the construction is inapplicable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NormalFormError {
+    /// Some component is not vstar-free (Step 1 is only language-preserving
+    /// for vstar-free input — Lemma 4's proof needs the split alternation to
+    /// not sit under a `+`).
+    NotVstarFree,
+}
+
+impl fmt::Display for NormalFormError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "normal form requires a vstar-free conjunctive xregex")
+    }
+}
+
+impl std::error::Error for NormalFormError {}
+
+/// Size accounting for the pipeline — the measurable content of Theorem 4
+/// (double-exponential worst case) and Lemma 8 (quadratic for flat input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NormalFormStats {
+    /// |ᾱ| of the input.
+    pub input_size: usize,
+    /// Total size after Step 1 (multiplying out alternations).
+    pub after_step1: usize,
+    /// Total size after Step 2 (unique definitions).
+    pub after_step2: usize,
+    /// |β̄| of the normal form.
+    pub output_size: usize,
+    /// Number of alternation branches per component after Step 1.
+    pub branches: Vec<usize>,
+    /// Fresh variables introduced by Steps 2 and 3.
+    pub fresh_vars: usize,
+}
+
+// ---------------------------------------------------------------------
+// Step 1 — Lemma 4
+// ---------------------------------------------------------------------
+
+/// Expands one vstar-free xregex into the branches of an equivalent
+/// alternation of variable-simple xregex (`L_ref` is preserved branchwise:
+/// the union of the branches' ref-languages equals `L_ref(r)`).
+pub fn expand_variable_simple(r: &Xregex) -> Result<Vec<Xregex>, NormalFormError> {
+    if !is_vstar_free(r) {
+        return Err(NormalFormError::NotVstarFree);
+    }
+    Ok(expand(r))
+}
+
+fn expand(r: &Xregex) -> Vec<Xregex> {
+    match r {
+        Xregex::Empty => Vec::new(),
+        Xregex::Epsilon | Xregex::Sym(_) | Xregex::Any | Xregex::VarRef(_) => vec![r.clone()],
+        Xregex::VarDef(x, body) => expand(body)
+            .into_iter()
+            .map(|b| Xregex::VarDef(*x, Box::new(b)))
+            .collect(),
+        Xregex::Concat(ps) => {
+            let mut acc: Vec<Xregex> = vec![Xregex::Epsilon];
+            for p in ps {
+                let choices = expand(p);
+                let mut next = Vec::with_capacity(acc.len() * choices.len());
+                for a in &acc {
+                    for c in &choices {
+                        next.push(Xregex::concat(vec![a.clone(), c.clone()]));
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        Xregex::Alt(ps) => {
+            // Variable-free branches may stay grouped (the paper only splits
+            // alternations that contain definitions or references).
+            let mut classical = Vec::new();
+            let mut out = Vec::new();
+            for p in ps {
+                if p.is_classical() {
+                    classical.push(p.clone());
+                } else {
+                    out.extend(expand(p));
+                }
+            }
+            if !classical.is_empty() {
+                out.insert(0, Xregex::alt(classical));
+            }
+            out
+        }
+        // vstar-free: repetition bodies are classical.
+        Xregex::Plus(_) | Xregex::Star(_) => vec![r.clone()],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Step 2 — Lemma 5
+// ---------------------------------------------------------------------
+
+/// Ensures every variable has at most one definition across the whole tuple
+/// of branch lists. Definitions of `x` in branches `j₁ < … < j_t` of its
+/// defining component become fresh variables; every reference of `x`
+/// anywhere becomes the concatenation of references of the fresh variables.
+fn relabel_unique_defs(
+    comps: &mut [Vec<Xregex>],
+    vars: &mut VarTable,
+    fresh_count: &mut usize,
+) {
+    let all_vars: Vec<Var> = {
+        let joint = Xregex::concat(comps.iter().flatten().cloned().collect());
+        joint.defined_vars().into_iter().collect()
+    };
+    for x in all_vars {
+        // Locate the branches containing a definition of x.
+        let mut sites: Vec<(usize, usize)> = Vec::new();
+        for (ci, branches) in comps.iter().enumerate() {
+            for (bi, b) in branches.iter().enumerate() {
+                if b.def_count(x) > 0 {
+                    sites.push((ci, bi));
+                }
+            }
+        }
+        if sites.len() <= 1 {
+            continue; // already unique
+        }
+        // Fresh variable per definition site.
+        let base_name = vars.name(x).to_string();
+        let fresh: Vec<Var> = (0..sites.len())
+            .map(|j| {
+                *fresh_count += 1;
+                vars.fresh(&format!("{base_name}_{}", j + 1))
+            })
+            .collect();
+        for (slot, &(ci, bi)) in sites.iter().enumerate() {
+            comps[ci][bi] = rename_defs(&comps[ci][bi], x, fresh[slot]);
+        }
+        // Replace all references of x by x⁽¹⁾…x⁽ᵗ⁾.
+        let replacement =
+            Xregex::concat(fresh.iter().map(|&f| Xregex::VarRef(f)).collect());
+        for branches in comps.iter_mut() {
+            for b in branches.iter_mut() {
+                *b = b.replace_refs(x, &replacement);
+            }
+        }
+    }
+}
+
+/// Renames every definition of `x` (not its references) to `nx`.
+fn rename_defs(r: &Xregex, x: Var, nx: Var) -> Xregex {
+    match r {
+        Xregex::VarDef(y, body) => {
+            let nb = Box::new(rename_defs(body, x, nx));
+            Xregex::VarDef(if *y == x { nx } else { *y }, nb)
+        }
+        Xregex::Concat(ps) => {
+            Xregex::Concat(ps.iter().map(|p| rename_defs(p, x, nx)).collect())
+        }
+        Xregex::Alt(ps) => Xregex::Alt(ps.iter().map(|p| rename_defs(p, x, nx)).collect()),
+        Xregex::Plus(p) => Xregex::Plus(Box::new(rename_defs(p, x, nx))),
+        Xregex::Star(p) => Xregex::Star(Box::new(rename_defs(p, x, nx))),
+        other => other.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Step 3 — Lemma 6
+// ---------------------------------------------------------------------
+
+/// Replaces a definition of `x` (unique by Step 2) by `replacement`.
+fn replace_def(r: &Xregex, x: Var, replacement: &Xregex) -> Xregex {
+    match r {
+        Xregex::VarDef(y, _) if *y == x => replacement.clone(),
+        Xregex::VarDef(y, body) => {
+            Xregex::VarDef(*y, Box::new(replace_def(body, x, replacement)))
+        }
+        Xregex::Concat(ps) => {
+            Xregex::Concat(ps.iter().map(|p| replace_def(p, x, replacement)).collect())
+        }
+        Xregex::Alt(ps) => {
+            Xregex::Alt(ps.iter().map(|p| replace_def(p, x, replacement)).collect())
+        }
+        Xregex::Plus(p) => Xregex::Plus(Box::new(replace_def(p, x, replacement))),
+        Xregex::Star(p) => Xregex::Star(Box::new(replace_def(p, x, replacement))),
+        other => other.clone(),
+    }
+}
+
+/// The body factors of a variable-simple definition body: maximal classical
+/// chunks, single references, and nested definitions, in order. Nested
+/// concatenations (introduced by reference replacement) are flattened first.
+fn body_factors(body: &Xregex) -> Vec<Xregex> {
+    fn flatten(r: &Xregex, out: &mut Vec<Xregex>) {
+        match r {
+            Xregex::Concat(ps) => ps.iter().for_each(|p| flatten(p, out)),
+            other => out.push(other.clone()),
+        }
+    }
+    let mut items: Vec<Xregex> = Vec::new();
+    flatten(body, &mut items);
+    let mut factors: Vec<Xregex> = Vec::new();
+    let mut classical_run: Vec<Xregex> = Vec::new();
+    for item in items {
+        if item.is_classical() {
+            classical_run.push(item);
+        } else {
+            if !classical_run.is_empty() {
+                factors.push(Xregex::concat(std::mem::take(&mut classical_run)));
+            }
+            factors.push(item);
+        }
+    }
+    if !classical_run.is_empty() {
+        factors.push(Xregex::concat(classical_run));
+    }
+    factors
+}
+
+/// The main modification step of Lemma 6, applied in ≺-topological order.
+fn flatten_defs(
+    comps: &mut [Vec<Xregex>],
+    vars: &mut VarTable,
+    fresh_count: &mut usize,
+) {
+    let joint = Xregex::concat(comps.iter().flatten().cloned().collect());
+    let order = crate::validate::topological_vars(&joint)
+        .expect("validated conjunctive xregex is acyclic");
+    for x in order {
+        // Locate the (unique) current definition of x, if any.
+        let mut body: Option<Xregex> = None;
+        for branches in comps.iter() {
+            for b in branches {
+                find_def_body(b, x, &mut body);
+            }
+        }
+        let Some(body) = body else { continue };
+        if is_basic_body(&body) {
+            continue;
+        }
+        // Build γ'₁…γ'_p and the reference replacement.
+        let mut new_defs: Vec<Xregex> = Vec::new();
+        let mut ref_vars: Vec<Var> = Vec::new();
+        for factor in body_factors(&body) {
+            match factor {
+                Xregex::VarDef(y, b) => {
+                    ref_vars.push(y);
+                    new_defs.push(Xregex::VarDef(y, b));
+                }
+                other => {
+                    *fresh_count += 1;
+                    let u = vars.fresh("u");
+                    ref_vars.push(u);
+                    new_defs.push(Xregex::VarDef(u, Box::new(other)));
+                }
+            }
+        }
+        let def_replacement = Xregex::concat(new_defs);
+        let ref_replacement =
+            Xregex::concat(ref_vars.iter().map(|&v| Xregex::VarRef(v)).collect());
+        for branches in comps.iter_mut() {
+            for b in branches.iter_mut() {
+                *b = replace_def(b, x, &def_replacement);
+                *b = b.replace_refs(x, &ref_replacement);
+            }
+        }
+    }
+}
+
+fn find_def_body(r: &Xregex, x: Var, out: &mut Option<Xregex>) {
+    match r {
+        Xregex::VarDef(y, body) => {
+            if *y == x {
+                *out = Some((**body).clone());
+            }
+            find_def_body(body, x, out);
+        }
+        Xregex::Concat(ps) | Xregex::Alt(ps) => {
+            ps.iter().for_each(|p| find_def_body(p, x, out))
+        }
+        Xregex::Plus(p) | Xregex::Star(p) => find_def_body(p, x, out),
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------
+
+/// Transforms a vstar-free conjunctive xregex into an equivalent one in
+/// normal form (Theorem 4), returning size statistics for the blow-up
+/// experiments (E6/E7).
+pub fn normal_form(
+    cx: &ConjunctiveXregex,
+) -> Result<(ConjunctiveXregex, NormalFormStats), NormalFormError> {
+    let input_size = cx.size();
+    let mut vars = cx.vars().clone();
+    let mut fresh_count = 0usize;
+
+    // Step 1.
+    let mut comps: Vec<Vec<Xregex>> = cx
+        .components()
+        .iter()
+        .map(expand_variable_simple)
+        .collect::<Result<_, _>>()?;
+    let branches: Vec<usize> = comps.iter().map(Vec::len).collect();
+    let size_of = |comps: &[Vec<Xregex>]| -> usize {
+        comps
+            .iter()
+            .map(|bs| bs.iter().map(Xregex::size).sum::<usize>())
+            .sum()
+    };
+    let after_step1 = size_of(&comps);
+
+    // Step 2.
+    relabel_unique_defs(&mut comps, &mut vars, &mut fresh_count);
+    let after_step2 = size_of(&comps);
+
+    // Step 3.
+    flatten_defs(&mut comps, &mut vars, &mut fresh_count);
+    let output_size = size_of(&comps);
+
+    let components: Vec<Xregex> = comps
+        .into_iter()
+        .map(|bs| {
+            if bs.is_empty() {
+                Xregex::Empty
+            } else {
+                Xregex::alt(bs)
+            }
+        })
+        .collect();
+    let nf = ConjunctiveXregex::new(components, vars)
+        .expect("normal form preserves validity");
+    Ok((
+        nf,
+        NormalFormStats {
+            input_size,
+            after_step1,
+            after_step2,
+            output_size,
+            branches,
+            fresh_vars: fresh_count,
+        },
+    ))
+}
+
+/// Lazily enumerates the *simple* conjunctive xregex obtained by fixing one
+/// variable-simple branch per component (the derandomized nondeterministic
+/// choices of Lemma 7) and flattening. The union of their conjunctive-match
+/// sets equals `L(ᾱ)`.
+pub fn simple_choices(
+    cx: &ConjunctiveXregex,
+) -> Result<SimpleChoiceIter, NormalFormError> {
+    let expanded: Vec<Vec<Xregex>> = cx
+        .components()
+        .iter()
+        .map(expand_variable_simple)
+        .collect::<Result<_, _>>()?;
+    Ok(SimpleChoiceIter {
+        expanded,
+        vars: cx.vars().clone(),
+        idx: Some(Vec::new()),
+    })
+}
+
+/// Iterator over branch combinations (see [`simple_choices`]).
+pub struct SimpleChoiceIter {
+    expanded: Vec<Vec<Xregex>>,
+    vars: VarTable,
+    /// Current combination (odometer); `None` when exhausted.
+    idx: Option<Vec<usize>>,
+}
+
+impl SimpleChoiceIter {
+    /// Total number of combinations.
+    pub fn combination_count(&self) -> usize {
+        self.expanded.iter().map(Vec::len).product()
+    }
+}
+
+impl Iterator for SimpleChoiceIter {
+    type Item = ConjunctiveXregex;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let idx = self.idx.as_mut()?;
+        if idx.is_empty() {
+            if self.expanded.iter().any(|b| b.is_empty()) {
+                self.idx = None;
+                return None;
+            }
+            *idx = vec![0; self.expanded.len()];
+        }
+        let choice: Vec<Xregex> = self
+            .expanded
+            .iter()
+            .zip(idx.iter())
+            .map(|(bs, &i)| bs[i].clone())
+            .collect();
+        // Advance the odometer.
+        let mut carry = true;
+        for (i, bs) in self.expanded.iter().enumerate().rev() {
+            if !carry {
+                break;
+            }
+            let cur = &mut self.idx.as_mut().unwrap()[i];
+            *cur += 1;
+            if *cur < bs.len() {
+                carry = false;
+            } else {
+                *cur = 0;
+            }
+        }
+        if carry {
+            self.idx = None;
+        }
+        // Per-choice, each variable already has ≤ 1 definition (variable-
+        // simple branches instantiate every definition they contain), so
+        // Step 2 is the identity; flatten directly.
+        let mut comps: Vec<Vec<Xregex>> = choice.into_iter().map(|c| vec![c]).collect();
+        let mut vars = self.vars.clone();
+        let mut fresh = 0usize;
+        flatten_defs(&mut comps, &mut vars, &mut fresh);
+        let components: Vec<Xregex> =
+            comps.into_iter().map(|mut bs| bs.pop().unwrap()).collect();
+        Some(
+            ConjunctiveXregex::new(components, vars)
+                .expect("choice of a valid conjunctive xregex stays valid"),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Blow-up families (§5.3) — exported for the benchmarks
+// ---------------------------------------------------------------------
+
+/// The §5.3 chain family
+/// `x₁{a}x₂{x₁x₁}x₃{x₂x₂}…x_n{x_{n-1}x_{n-1}}`,
+/// on which Step 3 blows up exponentially.
+pub fn chain_family(n: usize, a: cxrpq_graph::Symbol) -> (Xregex, VarTable) {
+    assert!(n >= 1);
+    let mut vars = VarTable::new();
+    let xs: Vec<Var> = (1..=n).map(|i| vars.intern(&format!("x{i}"))).collect();
+    let mut parts = vec![Xregex::def(xs[0], Xregex::Sym(a))];
+    for i in 1..n {
+        parts.push(Xregex::def(
+            xs[i],
+            Xregex::Concat(vec![Xregex::VarRef(xs[i - 1]), Xregex::VarRef(xs[i - 1])]),
+        ));
+    }
+    (Xregex::concat(parts), vars)
+}
+
+/// A flat family of comparable size: `x₁{a a} x₂{x₁} … x_n{x_{n-1}} x_n`,
+/// every definition basic, on which the construction stays quadratic
+/// (Lemma 8).
+pub fn flat_family(n: usize, a: cxrpq_graph::Symbol) -> (Xregex, VarTable) {
+    assert!(n >= 1);
+    let mut vars = VarTable::new();
+    let xs: Vec<Var> = (1..=n).map(|i| vars.intern(&format!("x{i}"))).collect();
+    let mut parts = vec![Xregex::def(
+        xs[0],
+        Xregex::Concat(vec![Xregex::Sym(a), Xregex::Sym(a)]),
+    )];
+    for i in 1..n {
+        parts.push(Xregex::def(xs[i], Xregex::VarRef(xs[i - 1])));
+    }
+    parts.push(Xregex::VarRef(xs[n - 1]));
+    (Xregex::concat(parts), vars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::{is_normal_form, is_simple, is_variable_simple};
+    use crate::matcher::MatchConfig;
+    use crate::parser::parse_conjunctive;
+    use cxrpq_graph::{Alphabet, Symbol};
+
+    fn conj(inputs: &[&str], alpha: &mut Alphabet) -> ConjunctiveXregex {
+        let (comps, vt) = parse_conjunctive(inputs, alpha).unwrap();
+        ConjunctiveXregex::new(comps, vt).unwrap()
+    }
+
+    #[test]
+    fn step1_produces_variable_simple_branches() {
+        let mut a = Alphabet::from_chars("abc");
+        let cx = conj(&["x{a*y{b*}az}|(x{b*}(z|y{c*}))", "(a*|x)z{y(a|b)}"], &mut a);
+        for comp in cx.components() {
+            for b in expand_variable_simple(comp).unwrap() {
+                assert!(is_variable_simple(&b), "branch not variable-simple");
+            }
+        }
+    }
+
+    #[test]
+    fn step1_example_from_section_5_1() {
+        // γ1 = x{a*y{b*}az} ∨ (x{b*}·(z ∨ y{c*})) expands to 3 branches.
+        let mut a = Alphabet::from_chars("abc");
+        let cx = conj(&["x{a*y{b*}az}|(x{b*}(z|y{c*}))", "(a*|x)z{y(a|b)}"], &mut a);
+        let b0 = expand_variable_simple(cx.component(0)).unwrap();
+        assert_eq!(b0.len(), 3);
+        let b1 = expand_variable_simple(cx.component(1)).unwrap();
+        assert_eq!(b1.len(), 2);
+    }
+
+    #[test]
+    fn normal_form_is_normal_form() {
+        let mut a = Alphabet::from_chars("abc");
+        let cx = conj(&["x{a*y{b*}az}|(x{b*}(z|y{c*}))", "(a*|x)z{y(a|b)}"], &mut a);
+        let (nf, stats) = normal_form(&cx).unwrap();
+        for comp in nf.components() {
+            assert!(is_normal_form(comp), "component not in normal form");
+        }
+        assert!(stats.output_size >= stats.input_size);
+        assert_eq!(stats.branches, vec![3, 2]);
+    }
+
+    #[test]
+    fn normal_form_preserves_sampled_matches() {
+        // Language preservation, membership-tested in both directions on the
+        // §5.1 example (small words enumerated via the oracle).
+        let mut a = Alphabet::from_chars("ab");
+        let cx = conj(&["x{a|bb}(a|x)", "b*x"], &mut a);
+        let (nf, _) = normal_form(&cx).unwrap();
+        let cfg = MatchConfig::default();
+        // Enumerate all word pairs up to length 4/4 and compare membership.
+        let words: Vec<Vec<Symbol>> = (0..=4usize)
+            .flat_map(|n| {
+                (0..(1u32 << n)).map(move |mask| {
+                    (0..n).map(|i| Symbol((mask >> i) & 1)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut checked = 0;
+        for w1 in &words {
+            for w2 in &words {
+                let lhs = cx
+                    .is_match(&[w1.clone(), w2.clone()], &cfg)
+                    .is_some();
+                let rhs = nf
+                    .is_match(&[w1.clone(), w2.clone()], &cfg)
+                    .is_some();
+                assert_eq!(lhs, rhs, "mismatch on ({w1:?}, {w2:?})");
+                if lhs {
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "vacuous test");
+    }
+
+    #[test]
+    fn chain_family_blows_up_exponentially() {
+        let a = Symbol(0);
+        let mut prev = 0usize;
+        let mut sizes = Vec::new();
+        for n in 2..=7 {
+            let (chain, vars) = chain_family(n, a);
+            let cx = ConjunctiveXregex::new(vec![chain], vars).unwrap();
+            let (nf, stats) = normal_form(&cx).unwrap();
+            assert!(is_normal_form(nf.component(0)));
+            sizes.push(stats.output_size);
+            prev = stats.output_size.max(prev);
+        }
+        // Strictly growing and at least doubling towards the end.
+        assert!(sizes.windows(2).all(|w| w[1] > w[0]));
+        let ratio = sizes[sizes.len() - 1] as f64 / sizes[sizes.len() - 2] as f64;
+        assert!(ratio > 1.7, "expected ~2x growth per step, got {ratio}");
+    }
+
+    #[test]
+    fn flat_family_stays_small() {
+        let a = Symbol(0);
+        for n in 2..=10 {
+            let (flat, vars) = flat_family(n, a);
+            let cx = ConjunctiveXregex::new(vec![flat], vars).unwrap();
+            let (nf, stats) = normal_form(&cx).unwrap();
+            assert!(is_normal_form(nf.component(0)));
+            // Lemma 8: O(|ᾱ|²).
+            assert!(
+                stats.output_size <= stats.input_size * stats.input_size,
+                "flat normal form exceeded quadratic bound: {} vs {}",
+                stats.output_size,
+                stats.input_size
+            );
+        }
+    }
+
+    #[test]
+    fn simple_choices_cover_language() {
+        let mut a = Alphabet::from_chars("ab");
+        let cx = conj(&["x{a|bb}(a|x)", "b*x"], &mut a);
+        let choices: Vec<_> = simple_choices(&cx).unwrap().collect();
+        assert!(!choices.is_empty());
+        for ch in &choices {
+            for comp in ch.components() {
+                assert!(is_simple(comp), "choice component not simple");
+            }
+        }
+        // Union of choice languages equals L(cx) on small words.
+        let cfg = MatchConfig::default();
+        let words: Vec<Vec<Symbol>> = (0..=3usize)
+            .flat_map(|n| {
+                (0..(1u32 << n)).map(move |mask| {
+                    (0..n).map(|i| Symbol((mask >> i) & 1)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for w1 in &words {
+            for w2 in &words {
+                let direct = cx.is_match(&[w1.clone(), w2.clone()], &cfg).is_some();
+                let via_choices = choices
+                    .iter()
+                    .any(|ch| ch.is_match(&[w1.clone(), w2.clone()], &cfg).is_some());
+                assert_eq!(direct, via_choices, "mismatch on ({w1:?}, {w2:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_vstar_free() {
+        let mut a = Alphabet::from_chars("ab#");
+        let cx = conj(&["#z{(a|b)*}(##z)*###"], &mut a);
+        assert_eq!(normal_form(&cx).unwrap_err(), NormalFormError::NotVstarFree);
+    }
+
+    #[test]
+    fn worked_example_section_5_1_shapes() {
+        // The paper's γ̄: γ1 = x{a*y{b*}az} ∨ (x{b*}·(z ∨ y{c*})),
+        //                γ2 = (a* ∨ x)·z{y·(a|b)}.
+        let mut a = Alphabet::from_chars("abc");
+        let cx = conj(&["x{a*y{b*}az}|(x{b*}(z|y{c*}))", "(a*|x)z{y(a|b)}"], &mut a);
+        let (nf, stats) = normal_form(&cx).unwrap();
+        // Step 2 must split x (defs in 3 branches of component 0) and z
+        // (defs in 2 branches of component 1)… z has one def per branch of
+        // component 1 → 2 sites; y has defs in branches 1 and 3 → 2 sites.
+        assert!(stats.fresh_vars > 0);
+        // All components in normal form, none empty.
+        for c in nf.components() {
+            assert!(is_normal_form(c));
+            assert_ne!(c, &Xregex::Empty);
+        }
+    }
+}

@@ -1,0 +1,564 @@
+//! Concrete syntax for xregex.
+//!
+//! Extends the classical regex syntax of `cxrpq-automata` with variable
+//! definitions `x{…}` and variable references (bare occurrences of a variable
+//! name):
+//!
+//! ```text
+//! x{(a|b)*} c x            — G1-style: bind x, then reference it
+//! y{x{a+b}x*}cy            — nested definitions (Figure 7, q₂)
+//! ```
+//!
+//! **Variable discovery.** Variable names are the identifiers that occur
+//! immediately before a `{` anywhere in the input (for conjunctive xregex:
+//! anywhere in *any* component — a reference may live in a different
+//! component than its definition). Identifiers are `letter (letter|digit)*`
+//! with maximal munch; remaining identifier characters decompose greedily
+//! into known variable references and single-character symbols, so `xa`
+//! parses as `x · a` when `x` is a variable. Use whitespace or parentheses to
+//! break the munch (`a x{b}` vs `ax{b}`, the latter defining variable `ax`).
+//!
+//! Everything else matches the classical syntax: `|`/`∨` alternation,
+//! juxtaposition, `*`, `+`, `.` = Σ, `_`/`ε`, `!`/`∅`, `<name>` symbols.
+
+use crate::ast::{VarTable, Xregex};
+use cxrpq_graph::Alphabet;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XregexParseError {
+    /// Byte offset of the failure in the offending component.
+    pub pos: usize,
+    /// Component index (0 for single xregex parsing).
+    pub component: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for XregexParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "xregex parse error in component {} at byte {}: {}",
+            self.component, self.pos, self.msg
+        )
+    }
+}
+
+impl std::error::Error for XregexParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    LParen,
+    RParen,
+    RBrace,
+    Bar,
+    Star,
+    Plus,
+    Dot,
+    Eps,
+    Empty,
+    Sym(String),
+    VarRef(String),
+    /// `name{` — opens a variable definition.
+    DefOpen(String),
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic()
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric()
+}
+
+/// First pass: collect the names defined with `name{` anywhere in `inputs`.
+fn scan_var_names(inputs: &[&str]) -> BTreeSet<String> {
+    let mut vars = BTreeSet::new();
+    for input in inputs {
+        let chars: Vec<char> = input.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if is_ident_start(chars[i]) && (i == 0 || !is_ident_char(chars[i - 1])) {
+                let mut j = i;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                if j < chars.len() && chars[j] == '{' {
+                    vars.insert(chars[i..j].iter().collect());
+                }
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    vars
+}
+
+fn tokenize(
+    input: &str,
+    component: usize,
+    vars: &BTreeSet<String>,
+) -> Result<Vec<Tok>, XregexParseError> {
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let err = |pos: usize, msg: &str| XregexParseError {
+        pos,
+        component,
+        msg: msg.to_string(),
+    };
+    while i < chars.len() {
+        let (pos, c) = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '}' => {
+                toks.push(Tok::RBrace);
+                i += 1;
+            }
+            '{' => return Err(err(pos, "'{' must follow a variable name")),
+            '|' | '∨' => {
+                toks.push(Tok::Bar);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '_' | 'ε' => {
+                toks.push(Tok::Eps);
+                i += 1;
+            }
+            '!' | '∅' => {
+                toks.push(Tok::Empty);
+                i += 1;
+            }
+            '<' => {
+                let mut j = i + 1;
+                let mut name = String::new();
+                loop {
+                    match chars.get(j) {
+                        Some(&(_, '>')) => break,
+                        Some(&(_, ch)) => {
+                            name.push(ch);
+                            j += 1;
+                        }
+                        None => return Err(err(pos, "unterminated <symbol>")),
+                    }
+                }
+                if name.is_empty() {
+                    return Err(err(pos, "empty <> symbol name"));
+                }
+                toks.push(Tok::Sym(name));
+                i = j + 1;
+            }
+            '>' => return Err(err(pos, "stray '>'")),
+            c if is_ident_start(c) => {
+                // Maximal identifier run.
+                let mut j = i;
+                while j < chars.len() && is_ident_char(chars[j].1) {
+                    j += 1;
+                }
+                let run: String = chars[i..j].iter().map(|&(_, ch)| ch).collect();
+                if j < chars.len() && chars[j].1 == '{' {
+                    toks.push(Tok::DefOpen(run));
+                    i = j + 1;
+                } else {
+                    // Greedy decomposition into var refs and 1-char symbols.
+                    let run_chars: Vec<char> = run.chars().collect();
+                    let mut k = 0;
+                    while k < run_chars.len() {
+                        let mut matched = None;
+                        // Longest variable name that is a prefix of run[k..].
+                        for len in (1..=run_chars.len() - k).rev() {
+                            let cand: String = run_chars[k..k + len].iter().collect();
+                            if vars.contains(&cand) {
+                                matched = Some((cand, len));
+                                break;
+                            }
+                        }
+                        if let Some((name, len)) = matched {
+                            toks.push(Tok::VarRef(name));
+                            k += len;
+                        } else {
+                            toks.push(Tok::Sym(run_chars[k].to_string()));
+                            k += 1;
+                        }
+                    }
+                    i = j;
+                }
+            }
+            c if c.is_numeric() || !c.is_alphanumeric() => {
+                // A single non-identifier character symbol (e.g. '#', '0').
+                toks.push(Tok::Sym(c.to_string()));
+                i += 1;
+            }
+            _ => return Err(err(pos, "unexpected character")),
+        }
+    }
+    Ok(toks)
+}
+
+struct P<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    component: usize,
+    alphabet: &'a mut Alphabet,
+    vars: &'a mut VarTable,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: impl Into<String>) -> XregexParseError {
+        XregexParseError {
+            pos: self.i,
+            component: self.component,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn alt(&mut self) -> Result<Xregex, XregexParseError> {
+        let mut parts = vec![self.concat()?];
+        while matches!(self.peek(), Some(Tok::Bar)) {
+            self.i += 1;
+            parts.push(self.concat()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Xregex::alt(parts)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Xregex, XregexParseError> {
+        let mut parts = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some(Tok::Bar) | Some(Tok::RParen) | Some(Tok::RBrace) => break,
+                _ => parts.push(self.repeat()?),
+            }
+        }
+        if parts.is_empty() {
+            return Err(self.err("expected expression"));
+        }
+        Ok(Xregex::concat(parts))
+    }
+
+    fn repeat(&mut self) -> Result<Xregex, XregexParseError> {
+        let mut r = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(Tok::Star) => {
+                    self.i += 1;
+                    r = Xregex::star(r);
+                }
+                Some(Tok::Plus) => {
+                    self.i += 1;
+                    r = Xregex::plus(r);
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    fn atom(&mut self) -> Result<Xregex, XregexParseError> {
+        let tok = self.peek().cloned().ok_or_else(|| self.err("unexpected end"))?;
+        self.i += 1;
+        match tok {
+            Tok::LParen => {
+                let r = self.alt()?;
+                match self.peek() {
+                    Some(Tok::RParen) => {
+                        self.i += 1;
+                        Ok(r)
+                    }
+                    _ => Err(self.err("expected ')'")),
+                }
+            }
+            Tok::Dot => Ok(Xregex::Any),
+            Tok::Eps => Ok(Xregex::Epsilon),
+            Tok::Empty => Ok(Xregex::Empty),
+            Tok::Sym(name) => Ok(Xregex::Sym(self.alphabet.intern(&name))),
+            Tok::VarRef(name) => Ok(Xregex::VarRef(self.vars.intern(&name))),
+            Tok::DefOpen(name) => {
+                let v = self.vars.intern(&name);
+                let body = self.alt()?;
+                match self.peek() {
+                    Some(Tok::RBrace) => {
+                        self.i += 1;
+                        if body.vars().contains(&v) {
+                            return Err(self.err(format!(
+                                "variable {name} occurs in its own definition body"
+                            )));
+                        }
+                        Ok(Xregex::VarDef(v, Box::new(body)))
+                    }
+                    _ => Err(self.err("expected '}'")),
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+fn parse_component(
+    input: &str,
+    component: usize,
+    var_names: &BTreeSet<String>,
+    alphabet: &mut Alphabet,
+    vars: &mut VarTable,
+) -> Result<Xregex, XregexParseError> {
+    let toks = tokenize(input, component, var_names)?;
+    let mut p = P {
+        toks: &toks,
+        i: 0,
+        component,
+        alphabet,
+        vars,
+    };
+    let r = p.alt()?;
+    if p.i != toks.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(r)
+}
+
+/// Parses a single xregex, interning symbols into `alphabet`.
+///
+/// Returns the term together with its variable table. Variable names are
+/// discovered from `name{` occurrences in the input; to reference a variable
+/// defined in *another* component use [`parse_conjunctive`] or
+/// [`parse_xregex_with_vars`].
+pub fn parse_xregex(
+    input: &str,
+    alphabet: &mut Alphabet,
+) -> Result<(Xregex, VarTable), XregexParseError> {
+    let names = scan_var_names(&[input]);
+    let mut vars = VarTable::new();
+    let r = parse_component(input, 0, &names, alphabet, &mut vars)?;
+    Ok((r, vars))
+}
+
+/// Parses a single xregex with additional pre-declared variable names (so
+/// that bare references to externally-defined variables are recognized).
+pub fn parse_xregex_with_vars(
+    input: &str,
+    extra_vars: &[&str],
+    alphabet: &mut Alphabet,
+) -> Result<(Xregex, VarTable), XregexParseError> {
+    let mut names = scan_var_names(&[input]);
+    for v in extra_vars {
+        names.insert((*v).to_string());
+    }
+    let mut vars = VarTable::new();
+    // Intern declared vars first so indices are stable for callers.
+    for v in extra_vars {
+        vars.intern(v);
+    }
+    let r = parse_component(input, 0, &names, alphabet, &mut vars)?;
+    Ok((r, vars))
+}
+
+/// Parses the components of a conjunctive xregex.
+///
+/// Variable names are discovered across *all* components first (a reference
+/// in component i may point at a definition in component j ≠ i, per §3.1).
+/// Returns the raw component list plus the shared variable table; wrap the
+/// result in [`crate::ConjunctiveXregex::new`] to validate sequentiality and
+/// acyclicity.
+pub fn parse_conjunctive(
+    inputs: &[&str],
+    alphabet: &mut Alphabet,
+) -> Result<(Vec<Xregex>, VarTable), XregexParseError> {
+    parse_conjunctive_with_vars(inputs, &[], alphabet)
+}
+
+/// [`parse_conjunctive`] with additional pre-declared variable names —
+/// needed for variables that are only ever *referenced* (pure multi-path
+/// equality constraints, which have no `name{` occurrence to discover).
+pub fn parse_conjunctive_with_vars(
+    inputs: &[&str],
+    extra_vars: &[&str],
+    alphabet: &mut Alphabet,
+) -> Result<(Vec<Xregex>, VarTable), XregexParseError> {
+    let mut names = scan_var_names(inputs);
+    let mut vars = VarTable::new();
+    for v in extra_vars {
+        names.insert((*v).to_string());
+        vars.intern(v);
+    }
+    let mut comps = Vec::with_capacity(inputs.len());
+    for (i, input) in inputs.iter().enumerate() {
+        comps.push(parse_component(input, i, &names, alphabet, &mut vars)?);
+    }
+    Ok((comps, vars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> (Xregex, Alphabet, VarTable) {
+        let mut a = Alphabet::new();
+        let (r, vt) = parse_xregex(s, &mut a).unwrap();
+        (r, a, vt)
+    }
+
+    #[test]
+    fn parses_definition_and_reference() {
+        let (r, a, vt) = parse("x{a|b}cx");
+        let x = vt.var("x").unwrap();
+        assert_eq!(
+            r,
+            Xregex::Concat(vec![
+                Xregex::VarDef(
+                    x,
+                    Box::new(Xregex::Alt(vec![
+                        Xregex::Sym(a.sym("a")),
+                        Xregex::Sym(a.sym("b"))
+                    ]))
+                ),
+                Xregex::Sym(a.sym("c")),
+                Xregex::VarRef(x),
+            ])
+        );
+    }
+
+    #[test]
+    fn nested_definitions() {
+        // Figure 7's q2 body: y{x{a+b}x*}cy
+        let (r, _, vt) = parse("y{x{a+b}x*}cy");
+        assert_eq!(vt.len(), 2);
+        let y = vt.var("y").unwrap();
+        let x = vt.var("x").unwrap();
+        assert_eq!(r.def_count(y), 1);
+        assert_eq!(r.def_count(x), 1);
+        assert_eq!(r.ref_count(y), 1);
+        assert_eq!(r.ref_count(x), 1);
+    }
+
+    #[test]
+    fn greedy_ident_decomposition() {
+        // "xa" with variable x = ref(x) · sym(a).
+        let (r, a, vt) = parse("x{b}xa");
+        let x = vt.var("x").unwrap();
+        assert_eq!(
+            r,
+            Xregex::Concat(vec![
+                Xregex::VarDef(x, Box::new(Xregex::Sym(a.sym("b")))),
+                Xregex::VarRef(x),
+                Xregex::Sym(a.sym("a")),
+            ])
+        );
+    }
+
+    #[test]
+    fn multi_char_variable_names() {
+        let (r, _, vt) = parse("x1{a}x2{b}x1x2");
+        assert_eq!(vt.len(), 2);
+        let x1 = vt.var("x1").unwrap();
+        let x2 = vt.var("x2").unwrap();
+        assert_eq!(r.ref_count(x1), 1);
+        assert_eq!(r.ref_count(x2), 1);
+    }
+
+    #[test]
+    fn repetition_on_reference() {
+        let (r, _, vt) = parse("x{a}(x|c)+");
+        let x = vt.var("x").unwrap();
+        assert_eq!(r.ref_count(x), 1);
+        assert!(matches!(
+            r,
+            Xregex::Concat(ref ps) if matches!(ps[1], Xregex::Plus(_))
+        ));
+    }
+
+    #[test]
+    fn conjunctive_cross_component_references() {
+        let mut a = Alphabet::new();
+        // x defined in component 0, referenced in component 1.
+        let (comps, vt) = parse_conjunctive(&["x{a*}b", "cx"], &mut a).unwrap();
+        let x = vt.var("x").unwrap();
+        assert_eq!(comps[0].def_count(x), 1);
+        assert_eq!(comps[1].ref_count(x), 1);
+    }
+
+    #[test]
+    fn with_extra_vars() {
+        let mut a = Alphabet::new();
+        let (r, vt) = parse_xregex_with_vars("zz", &["z"], &mut a).unwrap();
+        let z = vt.var("z").unwrap();
+        assert_eq!(r.ref_count(z), 2);
+    }
+
+    #[test]
+    fn without_declaration_idents_are_symbols() {
+        let (r, a, vt) = parse("zz");
+        assert!(vt.is_empty());
+        assert_eq!(
+            r,
+            Xregex::Concat(vec![
+                Xregex::Sym(a.sym("z")),
+                Xregex::Sym(a.sym("z"))
+            ])
+        );
+    }
+
+    #[test]
+    fn hash_and_digit_symbols() {
+        let (r, a, _) = parse("#z{(a|b)*}(##z)*###");
+        assert!(a.symbol("#").is_some());
+        // z must have been detected as a variable.
+        assert_eq!(r.vars().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let mut a = Alphabet::new();
+        assert!(parse_xregex("x{a", &mut a).is_err());
+        assert!(parse_xregex("{a}", &mut a).is_err());
+        assert!(parse_xregex("x{ax}", &mut a).is_err()); // self-reference
+        assert!(parse_xregex("x{a}}", &mut a).is_err());
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        for s in [
+            "x{a|b}cx",
+            "y{x{a+b}x*}cy",
+            "a*(x{(ya*)|(b*y)})z",
+            "x{.*}#x",
+        ] {
+            let mut a = Alphabet::new();
+            let (r, vt) = parse_xregex(s, &mut a).unwrap();
+            let printed = r.render(&a, &vt);
+            let mut a2 = a.clone();
+            let (r2, vt2) = parse_xregex(&printed, &mut a2).unwrap();
+            // Same shape up to variable renumbering: compare rendered forms.
+            assert_eq!(printed, r2.render(&a2, &vt2), "round trip for {s}");
+        }
+    }
+}

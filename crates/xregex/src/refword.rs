@@ -1,0 +1,454 @@
+//! Ref-words (Definition 1) and the `deref` function (Definition 2).
+//!
+//! A *subword-marked word* over Σ and `Xs` is a word over
+//! `Σ ∪ {⊢x, ⊣x | x ∈ Xs} ∪ Xs` in which each parenthesis pair occurs at most
+//! once and all parentheses are well-nested. A *ref-word* additionally has an
+//! acyclic reference relation, which makes the substitution process of
+//! `deref` terminate.
+
+use crate::ast::{Var, VarTable};
+use cxrpq_graph::{Alphabet, Symbol};
+use std::collections::BTreeMap;
+
+/// One token of a ref-word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RefTok {
+    /// A terminal symbol.
+    Sym(Symbol),
+    /// Opening parenthesis `⊢x` of the definition of `x`.
+    Open(Var),
+    /// Closing parenthesis `⊣x`.
+    Close(Var),
+    /// A reference of `x`.
+    Ref(Var),
+}
+
+/// A validated ref-word.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RefWord {
+    toks: Vec<RefTok>,
+}
+
+/// Why a token sequence is not a ref-word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RefWordError {
+    /// `⊢x` occurs twice.
+    DuplicateOpen(Var),
+    /// `⊣x` does not match the innermost open definition.
+    MismatchedClose(Var),
+    /// `⊣x` without `⊢x`, or `⊢x` never closed.
+    Unbalanced,
+    /// The reference relation `≺_w` is cyclic.
+    Cyclic,
+}
+
+impl RefWord {
+    /// Validates and wraps a token sequence (Definition 1).
+    pub fn new(toks: Vec<RefTok>) -> Result<Self, RefWordError> {
+        // Well-nestedness and at-most-once parentheses.
+        let mut open_seen: BTreeMap<Var, bool> = BTreeMap::new();
+        let mut stack: Vec<Var> = Vec::new();
+        for t in &toks {
+            match t {
+                RefTok::Open(x) => {
+                    if open_seen.insert(*x, true).is_some() {
+                        return Err(RefWordError::DuplicateOpen(*x));
+                    }
+                    stack.push(*x);
+                }
+                RefTok::Close(x) => match stack.pop() {
+                    Some(y) if y == *x => {}
+                    Some(_) => return Err(RefWordError::MismatchedClose(*x)),
+                    None => return Err(RefWordError::Unbalanced),
+                },
+                _ => {}
+            }
+        }
+        if !stack.is_empty() {
+            return Err(RefWordError::Unbalanced);
+        }
+        let w = RefWord { toks };
+        if w.relation_is_cyclic() {
+            return Err(RefWordError::Cyclic);
+        }
+        Ok(w)
+    }
+
+    /// The raw token sequence.
+    pub fn tokens(&self) -> &[RefTok] {
+        &self.toks
+    }
+
+    /// Variables that have a definition in this ref-word.
+    pub fn defined_vars(&self) -> Vec<Var> {
+        self.toks
+            .iter()
+            .filter_map(|t| match t {
+                RefTok::Open(x) => Some(*x),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The relation `≺_w`: `x ≺_w y` iff the definition span of `y` contains
+    /// a definition or reference of `x`. Returns `true` when the transitive
+    /// closure is cyclic.
+    fn relation_is_cyclic(&self) -> bool {
+        let mut edges: Vec<(Var, Var)> = Vec::new();
+        let mut stack: Vec<Var> = Vec::new();
+        for t in &self.toks {
+            match t {
+                RefTok::Open(x) => {
+                    for &y in &stack {
+                        edges.push((*x, y));
+                    }
+                    stack.push(*x);
+                }
+                RefTok::Close(_) => {
+                    stack.pop();
+                }
+                RefTok::Ref(x) => {
+                    for &y in &stack {
+                        edges.push((*x, y));
+                    }
+                }
+                RefTok::Sym(_) => {}
+            }
+        }
+        // Kahn's algorithm over the participating variables.
+        let mut vars: Vec<Var> = edges
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut indeg: BTreeMap<Var, usize> = vars.iter().map(|&v| (v, 0)).collect();
+        let mut succ: BTreeMap<Var, Vec<Var>> = BTreeMap::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for &(a, b) in &edges {
+            if a == b {
+                return true;
+            }
+            if seen.insert((a, b)) {
+                succ.entry(a).or_default().push(b);
+                *indeg.get_mut(&b).unwrap() += 1;
+            }
+        }
+        let mut queue: Vec<Var> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&v, _)| v)
+            .collect();
+        let mut processed = 0;
+        while let Some(v) = queue.pop() {
+            processed += 1;
+            if let Some(ss) = succ.get(&v) {
+                for &s in ss {
+                    let d = indeg.get_mut(&s).unwrap();
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(s);
+                    }
+                }
+            }
+        }
+        vars.sort();
+        processed != vars.len()
+    }
+
+    /// The `deref` function (Definition 2): substitutes definitions for
+    /// references until a word over Σ remains.
+    ///
+    /// Returns `(deref(w), vmap_w)` where `vmap_w` maps every variable with a
+    /// definition in `w` to its image; variables without a definition are ε
+    /// (returned implicitly: absent from the map).
+    pub fn deref(&self) -> (Vec<Symbol>, BTreeMap<Var, Vec<Symbol>>) {
+        // Step 1: delete references of variables without a definition.
+        let defined: std::collections::BTreeSet<Var> =
+            self.defined_vars().into_iter().collect();
+        let mut toks: Vec<RefTok> = self
+            .toks
+            .iter()
+            .filter(|t| !matches!(t, RefTok::Ref(x) if !defined.contains(x)))
+            .copied()
+            .collect();
+        let mut vmap: BTreeMap<Var, Vec<Symbol>> = BTreeMap::new();
+
+        // Step 2: repeatedly resolve an innermost definition (one whose span
+        // holds only terminal symbols).
+        loop {
+            let mut target: Option<(usize, usize, Var)> = None;
+            let mut open_stack: Vec<(usize, Var)> = Vec::new();
+            'scan: for (i, t) in toks.iter().enumerate() {
+                match t {
+                    RefTok::Open(x) => open_stack.push((i, *x)),
+                    RefTok::Close(x) => {
+                        let (start, y) = open_stack.pop().expect("validated");
+                        debug_assert_eq!(*x, y);
+                        // Pure iff span contains only symbols.
+                        if toks[start + 1..i]
+                            .iter()
+                            .all(|t| matches!(t, RefTok::Sym(_)))
+                        {
+                            target = Some((start, i, y));
+                            break 'scan;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let Some((start, end, x)) = target else {
+                debug_assert!(
+                    toks.iter().all(|t| matches!(t, RefTok::Sym(_))),
+                    "acyclic ref-word must fully resolve"
+                );
+                break;
+            };
+            let image: Vec<Symbol> = toks[start + 1..end]
+                .iter()
+                .map(|t| match t {
+                    RefTok::Sym(s) => *s,
+                    _ => unreachable!(),
+                })
+                .collect();
+            vmap.insert(x, image.clone());
+            // Replace the definition span and every reference of x by image.
+            let mut next = Vec::with_capacity(toks.len() + image.len());
+            for (i, t) in toks.iter().enumerate() {
+                if i == start {
+                    next.extend(image.iter().map(|&s| RefTok::Sym(s)));
+                } else if i > start && i <= end {
+                    // consumed
+                } else if matches!(t, RefTok::Ref(y) if *y == x) {
+                    next.extend(image.iter().map(|&s| RefTok::Sym(s)));
+                } else {
+                    next.push(*t);
+                }
+            }
+            toks = next;
+        }
+        let word = toks
+            .iter()
+            .map(|t| match t {
+                RefTok::Sym(s) => *s,
+                _ => unreachable!(),
+            })
+            .collect();
+        (word, vmap)
+    }
+
+    /// The variable image `vmap_w(x)` (ε when `x` has no definition).
+    pub fn vmap(&self, x: Var) -> Vec<Symbol> {
+        self.deref().1.remove(&x).unwrap_or_default()
+    }
+
+    /// Renders the ref-word with symbol/variable names.
+    pub fn render(&self, alphabet: &Alphabet, vars: &VarTable) -> String {
+        let mut s = String::new();
+        for t in &self.toks {
+            match t {
+                RefTok::Sym(a) => s.push_str(alphabet.name(*a)),
+                RefTok::Open(x) => {
+                    s.push('⊢');
+                    s.push_str(vars.name(*x));
+                    s.push(' ');
+                }
+                RefTok::Close(x) => {
+                    s.push(' ');
+                    s.push('⊣');
+                    s.push_str(vars.name(*x));
+                }
+                RefTok::Ref(x) => {
+                    s.push('⟨');
+                    s.push_str(vars.name(*x));
+                    s.push('⟩');
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: u32) -> RefTok {
+        RefTok::Sym(Symbol(i))
+    }
+
+    #[test]
+    fn validates_nesting() {
+        let x = Var(0);
+        let y = Var(1);
+        // ⊢x ⊢y ⊣x ⊣y — overlap is rejected.
+        assert_eq!(
+            RefWord::new(vec![
+                RefTok::Open(x),
+                RefTok::Open(y),
+                RefTok::Close(x),
+                RefTok::Close(y)
+            ]),
+            Err(RefWordError::MismatchedClose(x))
+        );
+        // ⊢x ⊣x ⊢x ⊣x — duplicate definition.
+        assert_eq!(
+            RefWord::new(vec![
+                RefTok::Open(x),
+                RefTok::Close(x),
+                RefTok::Open(x),
+                RefTok::Close(x)
+            ]),
+            Err(RefWordError::DuplicateOpen(x))
+        );
+        assert_eq!(
+            RefWord::new(vec![RefTok::Open(x)]),
+            Err(RefWordError::Unbalanced)
+        );
+    }
+
+    #[test]
+    fn paper_valid_and_invalid_ref_words() {
+        // From §2.1: axb ⊢x ab ⊣x c ⊢y xaa ⊣y y is valid;
+        let (a, b, c) = (Symbol(0), Symbol(1), Symbol(2));
+        let (x, y) = (Var(0), Var(1));
+        let valid = vec![
+            sym(0),
+            RefTok::Ref(x),
+            sym(1),
+            RefTok::Open(x),
+            sym(0),
+            sym(1),
+            RefTok::Close(x),
+            sym(2),
+            RefTok::Open(y),
+            RefTok::Ref(x),
+            sym(0),
+            sym(0),
+            RefTok::Close(y),
+            RefTok::Ref(y),
+        ];
+        assert!(RefWord::new(valid).is_ok());
+        let _ = (a, b, c);
+        // axb ⊢x ab ⊣x c ⊢y xaay ⊣y y — y references itself inside its
+        // definition: cyclic.
+        let cyclic = vec![
+            sym(0),
+            RefTok::Ref(x),
+            sym(1),
+            RefTok::Open(x),
+            sym(0),
+            sym(1),
+            RefTok::Close(x),
+            sym(2),
+            RefTok::Open(y),
+            RefTok::Ref(x),
+            sym(0),
+            sym(0),
+            RefTok::Ref(y),
+            RefTok::Close(y),
+            RefTok::Ref(y),
+        ];
+        assert_eq!(RefWord::new(cyclic), Err(RefWordError::Cyclic));
+    }
+
+    #[test]
+    fn deref_example_1_from_paper() {
+        // Example 1: w = a x4 a ⊢x1 ab ⊢x2 acc ⊣x2 a x2 x4 ⊣x1 ⊢x3 x1 a x2 ⊣x3 x3 b x1
+        // over Σ = {a, b, c} with variables x1..x4.
+        let (a, b, c) = (Symbol(0), Symbol(1), Symbol(2));
+        let (x1, x2, x3, x4) = (Var(0), Var(1), Var(2), Var(3));
+        let w = RefWord::new(vec![
+            sym(0),
+            RefTok::Ref(x4),
+            sym(0),
+            RefTok::Open(x1),
+            sym(0),
+            sym(1),
+            RefTok::Open(x2),
+            sym(0),
+            sym(2),
+            sym(2),
+            RefTok::Close(x2),
+            sym(0),
+            RefTok::Ref(x2),
+            RefTok::Ref(x4),
+            RefTok::Close(x1),
+            RefTok::Open(x3),
+            RefTok::Ref(x1),
+            sym(0),
+            RefTok::Ref(x2),
+            RefTok::Close(x3),
+            RefTok::Ref(x3),
+            sym(1),
+            RefTok::Ref(x1),
+        ])
+        .unwrap();
+        let (word, vmap) = w.deref();
+        let to_w = |s: &str| -> Vec<Symbol> {
+            s.chars()
+                .map(|ch| match ch {
+                    'a' => a,
+                    'b' => b,
+                    'c' => c,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        // vmap_w = (abaccaacc, acc, abaccaaccaacc, ε)
+        assert_eq!(vmap.get(&x1), Some(&to_w("abaccaacc")));
+        assert_eq!(vmap.get(&x2), Some(&to_w("acc")));
+        assert_eq!(vmap.get(&x3), Some(&to_w("abaccaaccaacc")));
+        assert_eq!(vmap.get(&x4), None); // no definition => ε
+        let expected = to_w("aa")
+            .into_iter()
+            .chain(to_w("abaccaacc"))
+            .chain(to_w("abaccaaccaacc"))
+            .chain(to_w("abaccaaccaacc"))
+            .chain(to_w("b"))
+            .chain(to_w("abaccaacc"))
+            .collect::<Vec<_>>();
+        assert_eq!(word, expected);
+    }
+
+    #[test]
+    fn deref_empty_definitions() {
+        // ⊢x ⊣x c x ∈ L_ref(x{(a|b)*} c x): image of x is ε.
+        let x = Var(0);
+        let w = RefWord::new(vec![
+            RefTok::Open(x),
+            RefTok::Close(x),
+            sym(2),
+            RefTok::Ref(x),
+        ])
+        .unwrap();
+        let (word, vmap) = w.deref();
+        assert_eq!(word, vec![Symbol(2)]);
+        assert_eq!(vmap.get(&x), Some(&vec![]));
+    }
+
+    #[test]
+    fn undefined_refs_are_deleted() {
+        let x = Var(0);
+        let w = RefWord::new(vec![sym(0), RefTok::Ref(x), sym(1)]).unwrap();
+        let (word, vmap) = w.deref();
+        assert_eq!(word, vec![Symbol(0), Symbol(1)]);
+        assert!(vmap.is_empty());
+        assert_eq!(w.vmap(x), Vec::<Symbol>::new());
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let alpha = Alphabet::from_chars("ab");
+        let mut vt = VarTable::new();
+        let x = vt.intern("x");
+        let w = RefWord::new(vec![
+            RefTok::Open(x),
+            RefTok::Sym(alpha.sym("a")),
+            RefTok::Close(x),
+            RefTok::Ref(x),
+        ])
+        .unwrap();
+        assert_eq!(w.render(&alpha, &vt), "⊢x a ⊣x⟨x⟩");
+    }
+}

@@ -1,0 +1,297 @@
+//! Random sampling of ref-words and conjunctive matches.
+//!
+//! Sampling a conjunctive match follows the `⟨·⟩int` semantics literally:
+//! we sample one ref-word for `O_ᾱ α₁ # α₂ # … # α_m` — where `O_ᾱ` holds
+//! `x{Σ*}` dummy definitions for the variables without a definition anywhere
+//! — and split the single `deref` result at the separators. Because all
+//! components live in *one* ref-word, they share one variable mapping by
+//! construction, which is exactly the conjunctive-match condition of §3.1.
+
+use crate::ast::{Var, Xregex};
+use crate::conjunctive::ConjunctiveXregex;
+use crate::refword::{RefTok, RefWord};
+use cxrpq_automata::Regex;
+use cxrpq_graph::Symbol;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Knobs for the samplers.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleConfig {
+    /// Probability of continuing a `+`/`*` repetition after each iteration.
+    pub rep_continue: f64,
+    /// Hard cap on repetition counts.
+    pub max_reps: usize,
+    /// Maximum length of the random image of a never-defined variable.
+    pub free_image_max: usize,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        Self {
+            rep_continue: 0.5,
+            max_reps: 4,
+            free_image_max: 3,
+        }
+    }
+}
+
+/// Whether the term can derive at least one ref-word (i.e. `L_ref ≠ ∅`).
+fn derivable(r: &Xregex) -> bool {
+    match r {
+        Xregex::Empty => false,
+        Xregex::Concat(ps) => ps.iter().all(derivable),
+        Xregex::Alt(ps) => ps.iter().any(derivable),
+        Xregex::Plus(p) => derivable(p),
+        Xregex::Star(_) => true,
+        Xregex::VarDef(_, p) => derivable(p),
+        _ => true,
+    }
+}
+
+fn sample_tokens<R: Rng + ?Sized>(
+    r: &Xregex,
+    sigma: usize,
+    cfg: &SampleConfig,
+    rng: &mut R,
+    out: &mut Vec<RefTok>,
+) {
+    debug_assert!(derivable(r));
+    match r {
+        Xregex::Empty => unreachable!("caller checks derivability"),
+        Xregex::Epsilon => {}
+        Xregex::Sym(a) => out.push(RefTok::Sym(*a)),
+        Xregex::Any => {
+            assert!(sigma > 0, "cannot sample Σ over an empty alphabet");
+            out.push(RefTok::Sym(Symbol(rng.random_range(0..sigma as u32))));
+        }
+        Xregex::Concat(ps) => {
+            for p in ps {
+                sample_tokens(p, sigma, cfg, rng, out);
+            }
+        }
+        Xregex::Alt(ps) => {
+            let viable: Vec<&Xregex> = ps.iter().filter(|p| derivable(p)).collect();
+            let pick = viable[rng.random_range(0..viable.len())];
+            sample_tokens(pick, sigma, cfg, rng, out);
+        }
+        Xregex::Plus(p) => {
+            sample_tokens(p, sigma, cfg, rng, out);
+            let mut reps = 1;
+            while reps < cfg.max_reps && rng.random_bool(cfg.rep_continue) {
+                sample_tokens(p, sigma, cfg, rng, out);
+                reps += 1;
+            }
+        }
+        Xregex::Star(p) => {
+            if derivable(p) {
+                let mut reps = 0;
+                while reps < cfg.max_reps && rng.random_bool(cfg.rep_continue) {
+                    sample_tokens(p, sigma, cfg, rng, out);
+                    reps += 1;
+                }
+            }
+        }
+        Xregex::VarRef(x) => out.push(RefTok::Ref(*x)),
+        Xregex::VarDef(x, body) => {
+            out.push(RefTok::Open(*x));
+            sample_tokens(body, sigma, cfg, rng, out);
+            out.push(RefTok::Close(*x));
+        }
+    }
+}
+
+/// Samples a ref-word from `L_ref(α)` (`None` when the ref-language is
+/// empty). `sigma` is |Σ|, needed to concretize `Any`.
+pub fn sample_ref_word<R: Rng + ?Sized>(
+    r: &Xregex,
+    sigma: usize,
+    cfg: &SampleConfig,
+    rng: &mut R,
+) -> Option<RefWord> {
+    if !derivable(r) {
+        return None;
+    }
+    let mut toks = Vec::new();
+    sample_tokens(r, sigma, cfg, rng, &mut toks);
+    Some(RefWord::new(toks).expect("derivations of valid xregex are ref-words"))
+}
+
+/// Samples a word from `L(α)` for a *single* xregex (§3 semantics).
+pub fn sample_word<R: Rng + ?Sized>(
+    r: &Xregex,
+    sigma: usize,
+    cfg: &SampleConfig,
+    rng: &mut R,
+) -> Option<Vec<Symbol>> {
+    sample_ref_word(r, sigma, cfg, rng).map(|w| w.deref().0)
+}
+
+/// Samples a word from a classical regular expression.
+pub fn sample_regex_word<R: Rng + ?Sized>(
+    r: &Regex,
+    sigma: usize,
+    cfg: &SampleConfig,
+    rng: &mut R,
+) -> Option<Vec<Symbol>> {
+    sample_word(&Xregex::from_regex(r), sigma, cfg, rng)
+}
+
+/// Samples a conjunctive match `w̄ ∈ L(ᾱ)` with its variable mapping ψ.
+///
+/// Returns `None` when some component has an empty ref-language (so no
+/// conjunctive match exists via this derivation; note ∅-components make the
+/// whole language empty).
+pub fn sample_conjunctive_match<R: Rng + ?Sized>(
+    cx: &ConjunctiveXregex,
+    sigma: usize,
+    cfg: &SampleConfig,
+    rng: &mut R,
+) -> Option<(Vec<Vec<Symbol>>, BTreeMap<Var, Vec<Symbol>>)> {
+    // Separator symbol outside Σ (images never contain it because the
+    // separator occurs only between components, never inside a definition).
+    let sep = Symbol(u32::MAX);
+    let mut toks: Vec<RefTok> = Vec::new();
+    // O_ᾱ: dummy definitions with random images for never-defined variables.
+    for x in cx.undefined_vars() {
+        toks.push(RefTok::Open(x));
+        let len = rng.random_range(0..=cfg.free_image_max);
+        for _ in 0..len {
+            assert!(sigma > 0, "free variables need a non-empty alphabet");
+            toks.push(RefTok::Sym(Symbol(rng.random_range(0..sigma as u32))));
+        }
+        toks.push(RefTok::Close(x));
+    }
+    toks.push(RefTok::Sym(sep));
+    for (i, comp) in cx.components().iter().enumerate() {
+        if !derivable(comp) {
+            return None;
+        }
+        sample_tokens(comp, sigma, cfg, rng, &mut toks);
+        if i + 1 < cx.dim() {
+            toks.push(RefTok::Sym(sep));
+        }
+    }
+    let rw = RefWord::new(toks).expect("joint derivation is a ref-word");
+    let (full, vmap) = rw.deref();
+    // Split at separators; drop the O_ᾱ prefix.
+    let mut parts: Vec<Vec<Symbol>> = Vec::with_capacity(cx.dim() + 1);
+    let mut cur = Vec::new();
+    for s in full {
+        if s == sep {
+            parts.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(s);
+        }
+    }
+    parts.push(cur);
+    debug_assert_eq!(parts.len(), cx.dim() + 1);
+    parts.remove(0);
+    // Total ψ: every variable of the tuple, ε-defaulted.
+    let joint_vars = cx.joint().vars();
+    let psi: BTreeMap<Var, Vec<Symbol>> = joint_vars
+        .into_iter()
+        .map(|v| (v, vmap.get(&v).cloned().unwrap_or_default()))
+        .collect();
+    Some((parts, psi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{match_single, MatchConfig};
+    use crate::parser::{parse_conjunctive, parse_xregex};
+    use cxrpq_graph::Alphabet;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn sampled_words_match_their_xregex() {
+        let mut a = Alphabet::from_chars("ab#");
+        let inputs = [
+            "x{(a|b)+}#x",
+            "(x{a}|b)x",
+            "#z{(a|b)*}(##z)*###",
+            "y{x{ab}x*}y",
+        ];
+        let mut rng = StdRng::seed_from_u64(7);
+        for s in inputs {
+            let (r, vt) = parse_xregex(s, &mut a).unwrap();
+            for _ in 0..50 {
+                let w = sample_word(&r, a.len(), &SampleConfig::default(), &mut rng)
+                    .expect("derivable");
+                assert!(
+                    match_single(&r, &w, vt.len(), &MatchConfig::default()).is_some(),
+                    "sampled word {:?} does not match {s}",
+                    a.render_word(&w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_conjunctive_matches_pass_oracle() {
+        let mut a = Alphabet::from_chars("abc");
+        let (comps, vt) = parse_conjunctive(
+            &["x{a|bb}(a|x)y", "y{b*}x", "c*xc*"],
+            &mut a,
+        )
+        .unwrap();
+        let cx = ConjunctiveXregex::new(comps, vt).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..60 {
+            let (words, psi) =
+                sample_conjunctive_match(&cx, a.len(), &SampleConfig::default(), &mut rng)
+                    .unwrap();
+            // The sampled mapping must be accepted by the pinned oracle.
+            let got = cx.is_match(&words, &MatchConfig::pinned(psi.clone()));
+            assert!(
+                got.is_some(),
+                "sampled match rejected: words={words:?} psi={psi:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_with_free_variables() {
+        // Never-defined variable z as an equality constraint: both sampled
+        // components must agree on z's image.
+        let mut a = Alphabet::from_chars("ab");
+        let (comps, mut vt) = parse_conjunctive(&["aa", "bb"], &mut a).unwrap();
+        let z = vt.intern("z");
+        let mut comps = comps;
+        comps[0] = Xregex::concat(vec![comps[0].clone(), Xregex::VarRef(z)]);
+        comps[1] = Xregex::concat(vec![Xregex::VarRef(z), comps[1].clone()]);
+        let cx = ConjunctiveXregex::new(comps, vt).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let (words, psi) =
+                sample_conjunctive_match(&cx, a.len(), &SampleConfig::default(), &mut rng)
+                    .unwrap();
+            let zv = &psi[&z];
+            assert!(words[0].ends_with(zv));
+            assert!(words[1].starts_with(zv));
+        }
+    }
+
+    #[test]
+    fn empty_language_yields_none() {
+        let mut a = Alphabet::from_chars("ab");
+        let (r, _) = parse_xregex("a!", &mut a).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(sample_word(&r, a.len(), &SampleConfig::default(), &mut rng).is_none());
+    }
+
+    #[test]
+    fn star_can_sample_epsilon_and_repetitions() {
+        let mut a = Alphabet::from_chars("a");
+        let (r, _) = parse_xregex("a*", &mut a).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lens = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let w = sample_word(&r, 1, &SampleConfig::default(), &mut rng).unwrap();
+            lens.insert(w.len());
+        }
+        assert!(lens.contains(&0));
+        assert!(lens.iter().any(|&l| l >= 2));
+    }
+}

@@ -1,0 +1,242 @@
+//! Validation of xregex: sequentiality and variable-acyclicity.
+//!
+//! Per the paper (§3), an xregex `α` is *sequential* if every ref-word in
+//! `L(α_ref)` contains at most one definition parenthesis `⊢x` per variable;
+//! all xregex in the paper are assumed sequential. `α` is *acyclic* if the
+//! relation `x ≺_α y` ("a definition of y contains a reference or definition
+//! of x") has an acyclic transitive closure — this is what guarantees the
+//! `deref` substitution process terminates.
+
+use crate::ast::{Var, Xregex};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Multiplicity bound for definition instantiations within one derivation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Mult {
+    Fin(u32),
+    Inf,
+}
+
+impl Mult {
+    fn add(self, other: Mult) -> Mult {
+        match (self, other) {
+            (Mult::Fin(a), Mult::Fin(b)) => Mult::Fin(a.saturating_add(b)),
+            _ => Mult::Inf,
+        }
+    }
+    fn max(self, other: Mult) -> Mult {
+        match (self, other) {
+            (Mult::Fin(a), Mult::Fin(b)) => Mult::Fin(a.max(b)),
+            _ => Mult::Inf,
+        }
+    }
+}
+
+/// For each variable, the maximum number of its definitions that can be
+/// instantiated by a single ref-word of `α_ref`.
+fn def_multiplicities(r: &Xregex) -> BTreeMap<Var, Mult> {
+    match r {
+        Xregex::Empty | Xregex::Epsilon | Xregex::Sym(_) | Xregex::Any | Xregex::VarRef(_) => {
+            BTreeMap::new()
+        }
+        Xregex::Concat(ps) => {
+            let mut acc: BTreeMap<Var, Mult> = BTreeMap::new();
+            for p in ps {
+                for (v, m) in def_multiplicities(p) {
+                    let e = acc.entry(v).or_insert(Mult::Fin(0));
+                    *e = e.add(m);
+                }
+            }
+            acc
+        }
+        Xregex::Alt(ps) => {
+            let mut acc: BTreeMap<Var, Mult> = BTreeMap::new();
+            for p in ps {
+                for (v, m) in def_multiplicities(p) {
+                    let e = acc.entry(v).or_insert(Mult::Fin(0));
+                    *e = e.max(m);
+                }
+            }
+            acc
+        }
+        Xregex::Plus(p) | Xregex::Star(p) => {
+            // Any definition under a repetition can be instantiated twice.
+            def_multiplicities(p)
+                .into_keys()
+                .map(|v| (v, Mult::Inf))
+                .collect()
+        }
+        Xregex::VarDef(x, p) => {
+            let mut acc = def_multiplicities(p);
+            let e = acc.entry(*x).or_insert(Mult::Fin(0));
+            *e = e.add(Mult::Fin(1));
+            acc
+        }
+    }
+}
+
+/// Whether `α` is sequential: every ref-word of `α_ref` instantiates at most
+/// one definition per variable.
+///
+/// The syntactic criterion is exact for our ASTs: multiple definitions of
+/// the same variable must sit in different alternation branches and no
+/// definition may occur under `+`/`*`.
+pub fn is_sequential(r: &Xregex) -> bool {
+    def_multiplicities(r)
+        .values()
+        .all(|m| matches!(m, Mult::Fin(0) | Mult::Fin(1)))
+}
+
+/// The edges of the relation `≺_α`: `(x, y)` iff some definition of `y`
+/// contains a reference or a definition of `x`.
+pub fn var_relation(r: &Xregex) -> BTreeSet<(Var, Var)> {
+    let mut edges = BTreeSet::new();
+    fn go(r: &Xregex, edges: &mut BTreeSet<(Var, Var)>) {
+        match r {
+            Xregex::Concat(ps) | Xregex::Alt(ps) => ps.iter().for_each(|p| go(p, edges)),
+            Xregex::Plus(p) | Xregex::Star(p) => go(p, edges),
+            Xregex::VarDef(y, body) => {
+                for x in body.vars() {
+                    edges.insert((x, *y));
+                }
+                go(body, edges);
+            }
+            _ => {}
+        }
+    }
+    go(r, &mut edges);
+    edges
+}
+
+/// Whether the transitive closure of `≺_α` is acyclic.
+pub fn is_acyclic(r: &Xregex) -> bool {
+    topological_vars(r).is_some()
+}
+
+/// A topological order of `var(α)` with respect to `≺_α` (minimal variables
+/// — those whose definitions contain no other variables — first), or `None`
+/// when the relation is cyclic.
+pub fn topological_vars(r: &Xregex) -> Option<Vec<Var>> {
+    let vars: Vec<Var> = r.vars().into_iter().collect();
+    let edges = var_relation(r);
+    let mut indeg: BTreeMap<Var, usize> = vars.iter().map(|&v| (v, 0)).collect();
+    let mut succ: BTreeMap<Var, Vec<Var>> = BTreeMap::new();
+    for &(x, y) in &edges {
+        if x == y {
+            return None;
+        }
+        succ.entry(x).or_default().push(y);
+        *indeg.get_mut(&y).unwrap() += 1;
+    }
+    let mut queue: Vec<Var> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&v, _)| v)
+        .collect();
+    let mut order = Vec::with_capacity(vars.len());
+    while let Some(v) = queue.pop() {
+        order.push(v);
+        if let Some(ss) = succ.get(&v) {
+            for &s in ss {
+                let d = indeg.get_mut(&s).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+    }
+    if order.len() == vars.len() {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_xregex;
+    use cxrpq_graph::Alphabet;
+
+    fn x(s: &str) -> Xregex {
+        let mut a = Alphabet::new();
+        parse_xregex(s, &mut a).unwrap().0
+    }
+
+    #[test]
+    fn sequential_accepts_paper_examples() {
+        assert!(is_sequential(&x("x{ya}")));
+        // Definition 3's example x{(y{z{a*|bc}a}y)+b}x is a syntactically
+        // valid xregex but NOT sequential: the definitions of y and z sit
+        // under a + and can be instantiated twice.
+        assert!(!is_sequential(&x("x{(y{z{a*|bc}a}y)+b}x")));
+        assert!(is_sequential(&x("a*x1{a*x2{(a|b)*}b*a*}x2*(a|b)*x1")));
+        // Multiple definitions in exclusive alternation branches are fine
+        // (G4 of Figure 2 uses z{x|y} ∨ z{a*}).
+        assert!(is_sequential(&x("z{u{a}|b}|z{a*}")));
+    }
+
+    #[test]
+    fn sequential_rejects_repeated_definitions() {
+        // A definition under + can instantiate twice.
+        assert!(!is_sequential(&x("(x{a})+x")));
+        assert!(!is_sequential(&x("(x{a}b)*")));
+        // Two definitions on the same concatenation spine.
+        assert!(!is_sequential(&x("x{a}x{b}")));
+        // The paper's non-example (α2, α4): x1 defined in both.
+        let mut a = Alphabet::new();
+        let (comps, _) = crate::parser::parse_conjunctive(
+            &["x1{(a|b)*}x3{c*}bx3", "x4{a*}bx4 x1{x2a}"],
+            &mut a,
+        )
+        .unwrap();
+        let joint = Xregex::concat(comps);
+        assert!(!is_sequential(&joint));
+    }
+
+    #[test]
+    fn acyclicity_of_paper_example() {
+        // α = x{a*}y{x} ∨ y{a*}x{y} is an xregex but ≺ is cyclic (§3).
+        let cyclic = x("x{a*}y{x}|y{a*}x{y}");
+        assert!(is_sequential(&cyclic));
+        assert!(!is_acyclic(&cyclic));
+    }
+
+    #[test]
+    fn var_relation_edges() {
+        let mut a = Alphabet::new();
+        let (r, vt) =
+            crate::parser::parse_xregex_with_vars("z{y{a}x}b", &["x"], &mut a).unwrap();
+        let (xv, yv, zv) = (
+            vt.var("x").unwrap(),
+            vt.var("y").unwrap(),
+            vt.var("z").unwrap(),
+        );
+        let rel = var_relation(&r);
+        assert!(rel.contains(&(yv, zv)));
+        assert!(rel.contains(&(xv, zv)));
+        assert!(!rel.contains(&(zv, yv)));
+    }
+
+    #[test]
+    fn topological_order_respects_relation() {
+        let mut a = Alphabet::new();
+        let (r, vt) = parse_xregex("x{a}y{xx}z{yy}", &mut a).unwrap();
+        let order = topological_vars(&r).unwrap();
+        let pos = |v: &str| {
+            order
+                .iter()
+                .position(|&o| o == vt.var(v).unwrap())
+                .unwrap()
+        };
+        assert!(pos("x") < pos("y"));
+        assert!(pos("y") < pos("z"));
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        // x{y} with y{x} elsewhere: x ≺ y and y ≺ x.
+        assert!(!is_acyclic(&x("x{y}|y{x}")));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the xregex semantics stack: ref-word sampling,
+//! deref, the matcher oracles and the Lemma 10 specialization.
+
+use cxrpq_graph::{Alphabet, Symbol};
+use cxrpq_xregex::matcher::{match_single, MatchConfig};
+use cxrpq_xregex::sample::{sample_ref_word, sample_word, SampleConfig};
+use cxrpq_xregex::specialize::{specialize, VarMapping};
+use cxrpq_xregex::{parse_conjunctive, parse_xregex, ConjunctiveXregex};
+use cxrpq_automata::Nfa;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CASES: u32 = if cfg!(debug_assertions) { 12 } else { 64 };
+
+/// A fixed zoo of valid xregex exercising every construct.
+const PATTERNS: &[&str] = &[
+    "x{(a|b)+}cx",
+    "(x{a}|b)x",
+    "#z{(a|b)*}(##z)*###",
+    "y{x{ab}x*}y",
+    "a*x1{a*x2{(a|b)*}b*a*}x2*(a|b)*x1",
+    "x{a*}(b|x)c*",
+    "z{a|bb}(a|z)z",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Sampling from L_ref(α), deref-ing, and re-matching must succeed —
+    /// sampler and matcher implement the same semantics from opposite ends.
+    #[test]
+    fn sampled_words_always_match(pat_idx in 0usize..PATTERNS.len(), seed in 0u64..10_000) {
+        let mut alpha = Alphabet::from_chars("ab#c");
+        let (r, vt) = parse_xregex(PATTERNS[pat_idx], &mut alpha).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SampleConfig { rep_continue: 0.4, max_reps: 3, free_image_max: 2 };
+        if let Some(w) = sample_word(&r, alpha.len(), &cfg, &mut rng) {
+            prop_assert!(
+                match_single(&r, &w, vt.len(), &MatchConfig::default()).is_some(),
+                "sampled word {:?} rejected for {}",
+                alpha.render_word(&w),
+                PATTERNS[pat_idx]
+            );
+        }
+    }
+
+    /// The vmap reported by the matcher is itself a valid pinned mapping.
+    #[test]
+    fn matcher_vmap_is_self_consistent(pat_idx in 0usize..PATTERNS.len(), seed in 0u64..10_000) {
+        let mut alpha = Alphabet::from_chars("ab#c");
+        let (r, vt) = parse_xregex(PATTERNS[pat_idx], &mut alpha).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SampleConfig { rep_continue: 0.4, max_reps: 2, free_image_max: 2 };
+        if let Some(w) = sample_word(&r, alpha.len(), &cfg, &mut rng) {
+            if let Some(vmap) = match_single(&r, &w, vt.len(), &MatchConfig::default()) {
+                let pinned = MatchConfig::pinned(vmap);
+                prop_assert!(match_single(&r, &w, vt.len(), &pinned).is_some());
+            }
+        }
+    }
+
+    /// Ref-word sampling produces structurally valid ref-words whose deref
+    /// matches the sampled word (closure of Definition 1/2).
+    #[test]
+    fn ref_words_deref_consistently(pat_idx in 0usize..PATTERNS.len(), seed in 0u64..10_000) {
+        let mut alpha = Alphabet::from_chars("ab#c");
+        let (r, vt) = parse_xregex(PATTERNS[pat_idx], &mut alpha).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = SampleConfig { rep_continue: 0.4, max_reps: 2, free_image_max: 2 };
+        if let Some(rw) = sample_ref_word(&r, alpha.len(), &cfg, &mut rng) {
+            let (word, vmap) = rw.deref();
+            // The deref word matches α with the deref variable mapping
+            // pinned (restricted to defined variables).
+            let psi: std::collections::BTreeMap<_, _> = vmap.into_iter().collect();
+            let pinned = MatchConfig::pinned(psi);
+            prop_assert!(match_single(&r, &word, vt.len(), &pinned).is_some());
+        }
+        let _ = vt;
+    }
+}
+
+/// Lemma 10 exhaustively on a small conjunctive xregex: for every mapping
+/// with images up to length 2 and every word pair up to length 3, the
+/// specialized regexes agree with the pinned conjunctive oracle.
+#[test]
+fn specialization_exhaustive_small() {
+    let mut alpha = Alphabet::from_chars("ab");
+    let (comps, vt) =
+        parse_conjunctive(&["(x{a+}|b)y", "y{x|bb}a"], &mut alpha).unwrap();
+    let cx = ConjunctiveXregex::new(comps, vt).unwrap();
+    let x = cx.vars().var("x").unwrap();
+    let y = cx.vars().var("y").unwrap();
+    let words = |n: usize| -> Vec<Vec<Symbol>> {
+        (0..=n)
+            .flat_map(|len| {
+                (0..(1u32 << len)).map(move |mask| {
+                    (0..len).map(|i| Symbol((mask >> i) & 1)).collect::<Vec<_>>()
+                })
+            })
+            .collect()
+    };
+    for ix in words(2) {
+        for iy in words(2) {
+            let psi: VarMapping = [(x, ix.clone()), (y, iy.clone())].into_iter().collect();
+            let beta = specialize(&cx, &psi);
+            let nfas: Option<Vec<Nfa>> =
+                beta.map(|b| b.iter().map(Nfa::from_regex).collect());
+            for w1 in words(3) {
+                for w2 in words(3) {
+                    let via_beta = nfas
+                        .as_ref()
+                        .map(|m| m[0].accepts(&w1) && m[1].accepts(&w2))
+                        .unwrap_or(false);
+                    let via_oracle = cx
+                        .is_match(
+                            &[w1.clone(), w2.clone()],
+                            &MatchConfig::pinned(psi.clone()),
+                        )
+                        .is_some();
+                    assert_eq!(
+                        via_beta, via_oracle,
+                        "ψ=({ix:?},{iy:?}) words=({w1:?},{w2:?})"
+                    );
+                }
+            }
+        }
+    }
+}

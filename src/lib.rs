@@ -1,0 +1,67 @@
+//! # cxrpq — Conjunctive Regular Path Queries with String Variables
+//!
+//! A Rust implementation of the query classes, algorithms, fragments and
+//! reductions of **Markus L. Schmid, "Conjunctive Regular Path Queries with
+//! String Variables" (PODS 2020, arXiv:1912.09326)**.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! - [`graph`] — edge-labelled graph databases (§2.2);
+//! - [`automata`] — classical regular expressions and NFAs (§2.2, §3);
+//! - [`xregex`] — xregex (regular expressions with string variables),
+//!   ref-words, conjunctive xregex, fragment classification, normal forms
+//!   (§2.1, §3, §5);
+//! - [`core`] — CRPQ / CXRPQ / ECRPQ query types and every evaluation
+//!   algorithm from the paper (§4–§7);
+//! - [`workloads`] — generators for the paper's database families, motivating
+//!   examples, and hardness-reduction instances.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cxrpq::prelude::*;
+//!
+//! // A tiny graph database over Σ = {a, b, c}.
+//! let mut alpha = Alphabet::from_chars("abc");
+//! // Query: pairs (x, y) connected by a path w c w for some w ∈ (a|b)+,
+//! // expressed with a string variable: z{(a|b)+} c z.
+//! let q = CxrpqBuilder::new(&mut alpha)
+//!     .edge("x", "z{(a|b)+}cz", "y")
+//!     .output(&["x", "y"])
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut db = GraphDb::new(std::sync::Arc::new(alpha));
+//! let w = db.alphabet().parse_word("ab").unwrap();
+//! let c = db.alphabet().parse_word("c").unwrap();
+//! let u = db.add_node();
+//! let m1 = db.add_node();
+//! let m2 = db.add_node();
+//! let v = db.add_node();
+//! db.add_word_path(u, &w, m1);
+//! db.add_word_path(m1, &c, m2);
+//! db.add_word_path(m2, &w, v);
+//!
+//! // Evaluate with the bounded-image-size engine (CXRPQ^{≤k}, Theorem 6).
+//! let answers = BoundedEvaluator::new(&q, 2).answers(&db);
+//! assert!(answers.contains(&vec![u, v]));
+//! ```
+
+pub use cxrpq_automata as automata;
+pub use cxrpq_core as core;
+pub use cxrpq_graph as graph;
+pub use cxrpq_workloads as workloads;
+pub use cxrpq_xregex as xregex;
+
+/// Convenient re-exports of the most frequently used types.
+pub mod prelude {
+    pub use cxrpq_automata::{nfa_equivalent, parse_regex, Dfa, Nfa, Regex};
+    pub use cxrpq_core::{
+        parse_query, render_query, AutoEvaluator, BoundedEvaluator, Crpq, CrpqEvaluator, Cxrpq,
+        CxrpqBuilder, Ecrpq, EcrpqEvaluator, EngineKind, EvalOptions, GenericEvaluator,
+        LogEvaluator, PathSemantics, QueryWitness, RegularRelation, SimpleEvaluator, UnionCrpq,
+        UnionEcrpq, VsfEvaluator,
+    };
+    pub use cxrpq_graph::{read_graph, write_graph, Alphabet, GraphDb, NodeId, Path, Symbol};
+    pub use cxrpq_xregex::{parse_xregex, ConjunctiveXregex, Fragment, Xregex};
+}
