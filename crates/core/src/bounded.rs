@@ -231,11 +231,11 @@ impl<'q> BoundedEvaluator<'q> {
         }
         let found = AtomicBool::new(false);
         let chunk_size = candidates.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for chunk in candidates.chunks(chunk_size) {
                 let found = &found;
                 let order = &order;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for c in chunk {
                         if found.load(Ordering::Relaxed) {
                             return;
@@ -258,8 +258,7 @@ impl<'q> BoundedEvaluator<'q> {
                     }
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         found.load(Ordering::Relaxed)
     }
 
@@ -279,11 +278,11 @@ impl<'q> BoundedEvaluator<'q> {
         }
         let merged: Mutex<BTreeSet<Vec<NodeId>>> = Mutex::new(BTreeSet::new());
         let chunk_size = candidates.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for chunk in candidates.chunks(chunk_size) {
                 let merged = &merged;
                 let order = &order;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local: BTreeSet<Vec<NodeId>> = BTreeSet::new();
                     for c in chunk {
                         let mut psi = VarMapping::new();
@@ -300,8 +299,7 @@ impl<'q> BoundedEvaluator<'q> {
                     merged.lock().expect("poisoned").extend(local);
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         merged.into_inner().expect("poisoned")
     }
 

@@ -133,6 +133,35 @@ impl ConjunctiveXregex {
         conjunctive_match(&self.components, words, self.vars.len(), cfg)
     }
 
+    /// [`Self::is_match`], but yielding `None` when the backtracking oracle
+    /// runs out of fuel instead of panicking; any other panic is re-raised.
+    /// Callers feeding the oracle random instances use this to skip the
+    /// ones that are too large without masking genuine matcher bugs.
+    pub fn try_is_match(
+        &self,
+        words: &[Vec<Symbol>],
+        cfg: &MatchConfig,
+    ) -> Option<Option<BTreeMap<Var, Vec<Symbol>>>> {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.is_match(words, cfg)
+        }));
+        match attempt {
+            Ok(result) => Some(result),
+            Err(payload) => {
+                let fuel = payload
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                    .is_some_and(|msg| msg.contains("fuel exhausted"));
+                if fuel {
+                    None
+                } else {
+                    std::panic::resume_unwind(payload)
+                }
+            }
+        }
+    }
+
     /// Renders all components.
     pub fn render(&self, alphabet: &Alphabet) -> Vec<String> {
         self.components

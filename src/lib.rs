@@ -46,6 +46,32 @@
 //! let answers = BoundedEvaluator::new(&q, 2).answers(&db);
 //! assert!(answers.contains(&vec![u, v]));
 //! ```
+//!
+//! ## Workspace layout
+//!
+//! This is the facade of a Cargo workspace; the members and their
+//! dependency order (each crate depends only on those after it):
+//!
+//! | crate | path | role |
+//! |---|---|---|
+//! | `cxrpq-cli` | `crates/cli` | command-line frontend |
+//! | `cxrpq-bench` | `crates/bench` | criterion benches + `experiments` binary |
+//! | `cxrpq-workloads` | `crates/workloads` | database families, random queries, reductions |
+//! | `cxrpq-core` | `crates/core` | query types, engines, translations, planner |
+//! | `cxrpq-xregex` | `crates/xregex` | xregex, ref-words, fragments, normal forms |
+//! | `cxrpq-automata` | `crates/automata` | classical regexes, NFA/DFA |
+//! | `cxrpq-graph` | `crates/graph` | alphabets, graph databases, paths, I/O |
+//!
+//! Third-party APIs (`rand`, `proptest`, `criterion`) resolve to offline
+//! shims under `shims/`, pinned in `[workspace.dependencies]` — see the
+//! top-level `README.md`.
+//!
+//! Tier-1 verification, from the repo root (covers every member crate,
+//! integration suite, doc-test and example):
+//!
+//! ```text
+//! cargo build --release && cargo test -q
+//! ```
 
 pub use cxrpq_automata as automata;
 pub use cxrpq_core as core;

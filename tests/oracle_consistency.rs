@@ -39,12 +39,9 @@ proptest! {
         let (nf, _) = normal_form(&cx).unwrap();
         let cfg = SampleConfig { rep_continue: 0.4, max_reps: 2, free_image_max: 1 };
         let check = |hay: &cxrpq::xregex::ConjunctiveXregex, words: &[Vec<Symbol>]| {
-            let words = words.to_vec();
-            let hay = hay.clone();
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                hay.is_match(&words, &MatchConfig::default()).is_some()
-            }))
-            .ok() // None = fuel exhausted → skip this direction
+            // None = oracle fuel exhausted → skip this direction.
+            hay.try_is_match(words, &MatchConfig::default())
+                .map(|r| r.is_some())
         };
         if let Some((words, _)) = sample_conjunctive_match(&cx, 2, &cfg, &mut rng) {
             if let Some(accepted) = check(&nf, &words) {

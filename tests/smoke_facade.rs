@@ -1,0 +1,93 @@
+//! Workspace smoke test: the whole facade pipeline in one pass.
+//!
+//! Builds a small [`GraphDb`], parses a CXRPQ from the concrete query-text
+//! syntax, lets the `engine` planner pick an evaluator, and checks the
+//! answer set, the chosen [`EngineKind`], exactness provenance, witness
+//! certification, and the `render_query` round-trip.
+
+use cxrpq::core::{parse_query, render_query, AutoEvaluator, EngineKind, EvalOptions};
+use cxrpq::graph::{Alphabet, GraphDb, NodeId};
+use cxrpq::xregex::matcher::MatchConfig;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Pairs connected by a path `w c w` for some `w ∈ (a|b)+` — the Section 1
+/// motivating query, in the concrete syntax.
+const QUERY: &str = "
+# same (a|b)-word before and after the c edge
+ans(u, v) <-
+    (u) -[ z{(a|b)+}cz ]-> (v)
+";
+
+/// One matching path (`ab c ab`) and one decoy (`bb c aa`) that shares no
+/// nonempty suffix/prefix across its `c` edge, so it contributes no answer.
+fn build_db(alpha: Alphabet) -> (GraphDb, NodeId, NodeId) {
+    let mut db = GraphDb::new(Arc::new(alpha));
+    let ab = db.alphabet().parse_word("ab").unwrap();
+    let c = db.alphabet().parse_word("c").unwrap();
+    let u = db.add_node();
+    let m1 = db.add_node();
+    let m2 = db.add_node();
+    let v = db.add_node();
+    db.add_word_path(u, &ab, m1);
+    db.add_word_path(m1, &c, m2);
+    db.add_word_path(m2, &ab, v);
+
+    let bb = db.alphabet().parse_word("bb").unwrap();
+    let aa = db.alphabet().parse_word("aa").unwrap();
+    let d1 = db.add_node();
+    let d2 = db.add_node();
+    let d3 = db.add_node();
+    let d4 = db.add_node();
+    db.add_word_path(d1, &bb, d2);
+    db.add_word_path(d2, &c, d3);
+    db.add_word_path(d3, &aa, d4);
+    (db, u, v)
+}
+
+#[test]
+fn facade_pipeline_end_to_end() {
+    let mut alpha = Alphabet::from_chars("abc");
+    let q = parse_query(QUERY, &mut alpha).expect("query text parses");
+    let (db, u, v) = build_db(alpha);
+    let expected: BTreeSet<Vec<NodeId>> = std::iter::once(vec![u, v]).collect();
+
+    // The planner must classify the query as simple-fragment and answer
+    // exactly (Lemma 3).
+    let ev = AutoEvaluator::new(&q);
+    assert_eq!(ev.plan(), EngineKind::Simple);
+    assert!(ev.is_exact());
+
+    let answers = ev.answers(&db);
+    assert_eq!(answers.engine, EngineKind::Simple);
+    assert!(answers.exact);
+    assert_eq!(answers.value, expected);
+
+    let boolean = ev.boolean(&db);
+    assert!(boolean.value);
+    assert_eq!(boolean.engine, EngineKind::Simple);
+
+    // The planner's witness certifies against the independent match oracle.
+    let witness = ev.witness(&db).value.expect("nonempty answer has a witness");
+    assert!(q.certifies(&db, &witness, &MatchConfig::default()).is_ok());
+
+    // Forcing the bounded-image engine (k ≥ the only image length, 2) must
+    // reproduce the same relation through the Theorem 6 code path.
+    let forced = AutoEvaluator::with_options(
+        &q,
+        EvalOptions {
+            bounded_k: 3,
+            force: Some(EngineKind::Bounded),
+        },
+    )
+    .expect("the bounded engine covers every fragment");
+    let bounded = forced.answers(&db);
+    assert_eq!(bounded.engine, EngineKind::Bounded);
+    assert_eq!(bounded.value, expected);
+
+    // render_query output re-parses to an equivalent query.
+    let printed = render_query(&q, db.alphabet());
+    let mut alpha2 = Alphabet::from_chars("abc");
+    let q2 = parse_query(&printed, &mut alpha2).expect("rendered query re-parses");
+    assert_eq!(AutoEvaluator::new(&q2).answers(&db).value, expected);
+}
