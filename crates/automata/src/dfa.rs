@@ -161,9 +161,9 @@ impl Dfa {
         // Inverse transition lists per symbol.
         let mut inv: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); n]; self.sigma];
         for s in 0..n {
-            for a in 0..self.sigma {
+            for (a, row) in inv.iter_mut().enumerate() {
                 let t = self.trans[s * self.sigma + a];
-                inv[a][t as usize].push(s as u32);
+                row[t as usize].push(s as u32);
             }
         }
         // Initial partition: finals / non-finals.
@@ -178,9 +178,7 @@ impl Dfa {
         }
         if blocks[1].is_empty() || blocks[0].is_empty() {
             blocks.retain(|b| !b.is_empty());
-            for s in 0..n {
-                block_of[s] = 0;
-            }
+            block_of.fill(0);
         }
         let mut worklist: VecDeque<(usize, usize)> = VecDeque::new();
         let smaller = if blocks.len() == 2 && blocks[1].len() < blocks[0].len() {
@@ -282,7 +280,8 @@ impl Dfa {
     /// A shortest word in the symmetric difference `L(a) Δ L(b)`, if any.
     pub fn find_difference(a: &Dfa, b: &Dfa) -> Option<Vec<Symbol>> {
         assert_eq!(a.sigma, b.sigma, "alphabets must agree");
-        let mut seen: HashMap<(u32, u32), Option<(u32, u32, Symbol)>> = HashMap::new();
+        type Pred = Option<(u32, u32, Symbol)>;
+        let mut seen: HashMap<(u32, u32), Pred> = HashMap::new();
         let mut queue = VecDeque::new();
         seen.insert((0, 0), None);
         queue.push_back((0u32, 0u32));

@@ -15,6 +15,9 @@
 //! - [`Nfa`]: Thompson construction, ε-closure membership simulation,
 //!   product (intersection), union, emptiness, reachability and bounded
 //!   enumeration;
+//! - [`MaskSim`]: precomputed bitmask subset simulation (state sets as
+//!   `⌈|Q|/64⌉` machine words), the representation the synchronized product
+//!   search in `cxrpq-core` keys its visited sets on;
 //! - [`nfa_to_regex`]: state elimination, used by the ECRPQ^er → CXRPQ^vsf,fl
 //!   translation (Lemma 12) which needs a regular expression for
 //!   `⋂_i L(α_i)`;
@@ -23,12 +26,14 @@
 //!   the test suite's language-equality checks.
 
 pub mod dfa;
+pub mod masksim;
 pub mod nfa;
 pub mod parser;
 pub mod regex;
 pub mod to_regex;
 
 pub use dfa::{max_symbol, nfa_equivalent, nfa_included, Dfa};
+pub use masksim::MaskSim;
 pub use nfa::{Label, Nfa, StateId};
 pub use parser::{parse_regex, ParseError};
 pub use regex::Regex;

@@ -1,0 +1,178 @@
+//! Bitmask subset simulation for NFAs.
+//!
+//! The synchronized product search of `cxrpq-core` keeps one NFA state
+//! *set* per walker in every product configuration; with `Vec<bool>`
+//! representations each configuration costs a heap allocation per walker
+//! and hashing costs a pass over `|Q|` bytes. A [`MaskSim`] precomputes,
+//! for every state, the ε-closure of each transition target as a bitmask,
+//! so state sets become `⌈|Q|/64⌉` machine words: stepping is a handful of
+//! OR instructions over the set bits and hashing/equality are word-wise.
+
+use crate::nfa::{Label, Nfa};
+use cxrpq_graph::Symbol;
+
+/// Precomputed bitmask simulation tables for one [`Nfa`].
+#[derive(Clone, Debug)]
+pub struct MaskSim {
+    state_count: usize,
+    words: usize,
+    /// ε-closed start set.
+    start: Vec<u64>,
+    /// Final-state membership mask.
+    finals: Vec<u64>,
+    /// Per-state non-ε transitions as `(label, target state index)`; the
+    /// target's ε-closure mask lives at `closures[target · words ..]`.
+    trans: Vec<Vec<(Label, usize)>>,
+    /// Flattened ε-closure masks, `words` words per entry.
+    closures: Vec<u64>,
+}
+
+impl MaskSim {
+    /// Builds the tables. `O(|Q|² / 64 + |δ|)` time and space.
+    pub fn new(nfa: &Nfa) -> Self {
+        let n = nfa.state_count();
+        let words = n.div_ceil(64).max(1);
+        // ε-closure mask per state.
+        let mut closures = vec![0u64; n * words];
+        for s in nfa.states() {
+            for t in nfa.eps_closure_of(s) {
+                closures[s.index() * words + t.index() / 64] |= 1 << (t.index() % 64);
+            }
+        }
+        let mut finals = vec![0u64; words];
+        for f in nfa.final_states() {
+            finals[f.index() / 64] |= 1 << (f.index() % 64);
+        }
+        let mut start = vec![0u64; words];
+        let si = nfa.start().index();
+        start.copy_from_slice(&closures[si * words..(si + 1) * words]);
+        // Non-ε transitions only: ε-moves are folded into the closures.
+        let trans = nfa
+            .states()
+            .map(|s| {
+                nfa.transitions(s)
+                    .iter()
+                    .filter(|&&(l, _)| l != Label::Eps)
+                    .map(|&(l, t)| (l, t.index()))
+                    .collect()
+            })
+            .collect();
+        Self {
+            state_count: n,
+            words,
+            start,
+            finals,
+            trans,
+            closures,
+        }
+    }
+
+    /// Number of NFA states |Q|.
+    #[inline]
+    pub fn state_count(&self) -> usize {
+        self.state_count
+    }
+
+    /// Words per state-set mask (`⌈|Q|/64⌉`, at least 1).
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The ε-closed start set.
+    pub fn start_mask(&self) -> &[u64] {
+        &self.start
+    }
+
+    /// One symbol step on a closed mask, OR-ing the closed result into
+    /// `out` (callers zero `out` first). Returns `true` when any state
+    /// remains alive.
+    pub fn step_into(&self, cur: &[u64], a: Symbol, out: &mut [u64]) -> bool {
+        debug_assert_eq!(cur.len(), self.words);
+        debug_assert_eq!(out.len(), self.words);
+        for (wi, &w) in cur.iter().enumerate() {
+            let mut m = w;
+            while m != 0 {
+                let s = wi * 64 + m.trailing_zeros() as usize;
+                m &= m - 1;
+                for &(l, t) in &self.trans[s] {
+                    if l.reads(a) {
+                        let c = &self.closures[t * self.words..(t + 1) * self.words];
+                        for (o, &cw) in out.iter_mut().zip(c) {
+                            *o |= cw;
+                        }
+                    }
+                }
+            }
+        }
+        out.iter().any(|&w| w != 0)
+    }
+
+    /// One symbol step, allocating the result mask.
+    pub fn step(&self, cur: &[u64], a: Symbol) -> Vec<u64> {
+        let mut out = vec![0u64; self.words];
+        self.step_into(cur, a, &mut out);
+        out
+    }
+
+    /// Whether the mask contains a final state.
+    #[inline]
+    pub fn any_final(&self, mask: &[u64]) -> bool {
+        mask.iter().zip(&self.finals).any(|(&m, &f)| m & f != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_regex;
+    use cxrpq_graph::Alphabet;
+
+    fn sim_of(pattern: &str) -> (MaskSim, Nfa, Alphabet) {
+        let mut a = Alphabet::from_chars("abc");
+        let nfa = Nfa::from_regex(&parse_regex(pattern, &mut a).unwrap());
+        (MaskSim::new(&nfa), nfa, a)
+    }
+
+    /// Mask-based acceptance must agree with the Vec<bool> simulation.
+    fn accepts_mask(sim: &MaskSim, w: &[Symbol]) -> bool {
+        let mut cur = sim.start_mask().to_vec();
+        for &a in w {
+            let next = sim.step(&cur, a);
+            if next.iter().all(|&x| x == 0) {
+                return false;
+            }
+            cur = next;
+        }
+        sim.any_final(&cur)
+    }
+
+    #[test]
+    fn agrees_with_subset_simulation() {
+        for pattern in ["a(b|c)*", "a+b+", "(ab)*|c", "_", ".*b", "!"] {
+            let (sim, nfa, alpha) = sim_of(pattern);
+            for text in ["", "a", "ab", "abc", "abcb", "b", "cab", "aabb"] {
+                let w = alpha.parse_word(text).unwrap();
+                assert_eq!(
+                    accepts_mask(&sim, &w),
+                    nfa.accepts(&w),
+                    "pattern {pattern:?}, word {text:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiword_masks() {
+        // A concatenation long enough to exceed 64 Thompson states.
+        let pattern = "abcabcabcabcabcabcabcabcabcabcabcabc";
+        let (sim, nfa, alpha) = sim_of(pattern);
+        assert!(sim.state_count() > 64);
+        assert!(sim.words() >= 2);
+        let w = alpha.parse_word(pattern).unwrap();
+        assert!(accepts_mask(&sim, &w));
+        assert!(nfa.accepts(&w));
+        let short = alpha.parse_word("abc").unwrap();
+        assert!(!accepts_mask(&sim, &short));
+    }
+}

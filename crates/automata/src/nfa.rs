@@ -217,7 +217,7 @@ impl Nfa {
     // ------------------------------------------------------------------
 
     /// Extends `set` (a boolean membership vector) to its ε-closure.
-    pub fn eps_close(&self, set: &mut Vec<bool>) {
+    pub fn eps_close(&self, set: &mut [bool]) {
         let mut stack: Vec<StateId> = set
             .iter()
             .enumerate()

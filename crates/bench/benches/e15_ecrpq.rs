@@ -49,7 +49,7 @@ fn bench(c: &mut Criterion) {
     }
     // (b) ECRPQ^er direct vs its Lemma 12 translation.
     let alpha2 = Arc::new(Alphabet::from_chars("ab"));
-    let mut db = cxrpq_graph::GraphDb::new(alpha2);
+    let mut db = cxrpq_graph::GraphBuilder::new(alpha2);
     for w in ["aab", "aab", "abb", "ab", "b", "aaab"] {
         let s = db.add_node();
         let t = db.add_node();
@@ -57,6 +57,7 @@ fn bench(c: &mut Criterion) {
         db.add_word_path(s, &word, t);
     }
     let mut a3 = db.alphabet().clone();
+    let db = db.freeze();
     let qer = er_query(&mut a3);
     let translated = ecrpq_er_to_cxrpq(&qer).unwrap();
     group.bench_function("er_direct", |b| {

@@ -1,0 +1,418 @@
+//! E16: CSR + dense-bitset product search vs the legacy representation.
+//!
+//! Measures `reach_set` (single-walker `D × M` BFS) and `sync_targets`
+//! (synchronized equality-group search) on four graph shapes — line, grid,
+//! random, and a label-dense multigraph — against a faithful in-bench
+//! reimplementation of the storage this workspace used before the CSR
+//! refactor: per-node `Vec<(Symbol, NodeId)>` adjacency filtered per
+//! transition, `HashSet<(NodeId, StateId)>` visited sets, and `Vec<bool>`
+//! NFA state sets hashed inside whole product configurations.
+//!
+//! Run: `cargo bench -p cxrpq-bench --bench e16_reach_csr` (add `-- --fast`
+//! for the CI smoke configuration). Results are printed as a table and —
+//! in full mode — recorded in `BENCH_reach.json` at the workspace root
+//! (the crate's manifest directory is baked in at compile time; override
+//! the full path with the `BENCH_REACH_OUT` environment variable, which
+//! also enables recording in fast mode).
+
+use cxrpq_automata::{parse_regex, Label, Nfa, StateId};
+use cxrpq_core::reach::{reach_set, Direction};
+use cxrpq_core::sync::{sync_targets, SyncSpec};
+use cxrpq_graph::{Alphabet, GraphDb, NodeId, Symbol};
+use cxrpq_workloads::graphs;
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Legacy baseline: the pre-CSR storage and search, verbatim in spirit.
+// ---------------------------------------------------------------------
+
+/// Insertion-ordered adjacency lists, as `GraphDb` stored them before the
+/// CSR refactor.
+struct LegacyGraph {
+    out: Vec<Vec<(Symbol, NodeId)>>,
+    #[allow(dead_code)]
+    inc: Vec<Vec<(Symbol, NodeId)>>,
+}
+
+impl LegacyGraph {
+    fn from_db(db: &GraphDb) -> Self {
+        let n = db.node_count();
+        let mut out = vec![Vec::new(); n];
+        let mut inc = vec![Vec::new(); n];
+        for (u, a, v) in db.edges() {
+            out[u.index()].push((a, v));
+            inc[v.index()].push((a, u));
+        }
+        Self { out, inc }
+    }
+}
+
+/// The old `reach_set`: filtered adjacency + hashed `(node, state)` visited.
+fn legacy_reach_set(g: &LegacyGraph, nfa: &Nfa, u: NodeId) -> HashSet<NodeId> {
+    let mut out = HashSet::new();
+    let mut visited: HashSet<(NodeId, StateId)> = HashSet::new();
+    let mut queue: VecDeque<(NodeId, StateId)> = VecDeque::new();
+    visited.insert((u, nfa.start()));
+    queue.push_back((u, nfa.start()));
+    while let Some((node, st)) = queue.pop_front() {
+        if nfa.is_final(st) {
+            out.insert(node);
+        }
+        for &(l, t) in nfa.transitions(st) {
+            match l {
+                Label::Eps => {
+                    if visited.insert((node, t)) {
+                        queue.push_back((node, t));
+                    }
+                }
+                Label::Sym(a) => {
+                    for &(b, next) in &g.out[node.index()] {
+                        if b == a && visited.insert((next, t)) {
+                            queue.push_back((next, t));
+                        }
+                    }
+                }
+                Label::Any => {
+                    for &(_, next) in &g.out[node.index()] {
+                        if visited.insert((next, t)) {
+                            queue.push_back((next, t));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The old synchronized configuration: `Vec<bool>` state sets hashed whole.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct LegacySyncState {
+    positions: Vec<NodeId>,
+    statesets: Vec<Vec<bool>>,
+}
+
+/// The old equality-group search (the relation the Lemma 3 evaluator uses):
+/// per-step symbol intersection via `HashSet<Symbol>`, `Vec<bool>` stepping,
+/// hashed whole-configuration visited set.
+fn legacy_sync_targets(
+    g: &LegacyGraph,
+    nfas: &[Nfa],
+    starts: &[NodeId],
+) -> HashSet<Vec<NodeId>> {
+    let s = nfas.len();
+    let init = LegacySyncState {
+        positions: starts.to_vec(),
+        statesets: nfas.iter().map(Nfa::start_set).collect(),
+    };
+    let accepting = |st: &LegacySyncState| {
+        (0..s).all(|i| nfas[i].any_final(&st.statesets[i]))
+    };
+    let mut out = HashSet::new();
+    let mut visited: HashSet<LegacySyncState> = HashSet::new();
+    let mut queue = VecDeque::new();
+    visited.insert(init.clone());
+    queue.push_back(init);
+    while let Some(st) = queue.pop_front() {
+        if accepting(&st) {
+            out.insert(st.positions.clone());
+        }
+        // Candidate symbols: available from every walker.
+        let mut syms: Option<HashSet<Symbol>> = None;
+        for i in 0..s {
+            let here: HashSet<Symbol> = g.out[st.positions[i].index()]
+                .iter()
+                .map(|&(a, _)| a)
+                .collect();
+            syms = Some(match syms {
+                None => here,
+                Some(acc) => acc.intersection(&here).copied().collect(),
+            });
+            if syms.as_ref().unwrap().is_empty() {
+                break;
+            }
+        }
+        for a in syms.unwrap_or_default() {
+            let mut next_sets = Vec::with_capacity(s);
+            let mut succs: Vec<Vec<NodeId>> = Vec::with_capacity(s);
+            let mut dead = false;
+            for (i, nfa) in nfas.iter().enumerate() {
+                let ns = nfa.step(&st.statesets[i], a);
+                if ns.iter().all(|&b| !b) {
+                    dead = true;
+                    break;
+                }
+                next_sets.push(ns);
+                succs.push(
+                    g.out[st.positions[i].index()]
+                        .iter()
+                        .filter(|&&(b, _)| b == a)
+                        .map(|&(_, v)| v)
+                        .collect(),
+                );
+            }
+            if dead || succs.iter().any(Vec::is_empty) {
+                continue;
+            }
+            let mut combo = vec![0usize; s];
+            loop {
+                let positions: Vec<NodeId> = (0..s).map(|i| succs[i][combo[i]]).collect();
+                let next = LegacySyncState {
+                    positions,
+                    statesets: next_sets.clone(),
+                };
+                if visited.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+                let mut k = s;
+                let mut done = true;
+                while k > 0 {
+                    k -= 1;
+                    combo[k] += 1;
+                    if combo[k] < succs[k].len() {
+                        done = false;
+                        break;
+                    }
+                    combo[k] = 0;
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64() * 1e3
+}
+
+struct ShapeResult {
+    shape: &'static str,
+    nodes: usize,
+    edges: usize,
+    reach_legacy_ms: f64,
+    reach_csr_ms: f64,
+    sync_legacy_ms: f64,
+    sync_csr_ms: f64,
+}
+
+fn nfa_of(alpha: &Alphabet, pattern: &str) -> Nfa {
+    let mut a = alpha.clone();
+    Nfa::from_regex(&parse_regex(pattern, &mut a).unwrap())
+}
+
+/// First node with an outgoing `a`-arc (random shapes are seed-dependent;
+/// anchoring the searches on such a node keeps them non-trivial).
+fn start_with_label(db: &GraphDb, a: Symbol) -> NodeId {
+    db.nodes()
+        .find(|&n| !db.successors_with(n, a).is_empty())
+        .expect("some node carries the label")
+}
+
+/// One shape: verify agreement once, then time both implementations.
+#[allow(clippy::too_many_arguments)]
+fn run_shape(
+    shape: &'static str,
+    db: &GraphDb,
+    reach_nfa: &Nfa,
+    reach_from: NodeId,
+    def_nfa: Option<Nfa>,
+    sync_starts: [NodeId; 2],
+    iters: usize,
+) -> ShapeResult {
+    let legacy = LegacyGraph::from_db(db);
+    let spec = SyncSpec::equality_group(def_nfa, 2);
+
+    // Agreement: both implementations must compute identical sets.
+    let r_legacy = legacy_reach_set(&legacy, reach_nfa, reach_from);
+    let r_csr = reach_set(db, reach_nfa, reach_from, Direction::Forward, None);
+    assert_eq!(r_legacy, r_csr, "{shape}: reach_set mismatch");
+    let s_legacy = legacy_sync_targets(&legacy, &spec.nfas, &sync_starts);
+    let s_csr = sync_targets(db, &spec, &sync_starts, None);
+    assert_eq!(s_legacy, s_csr, "{shape}: sync_targets mismatch");
+
+    let reach_legacy_ms = median_ms(iters, || {
+        std::hint::black_box(legacy_reach_set(&legacy, reach_nfa, reach_from));
+    });
+    let reach_csr_ms = median_ms(iters, || {
+        std::hint::black_box(reach_set(db, reach_nfa, reach_from, Direction::Forward, None));
+    });
+    let sync_legacy_ms = median_ms(iters, || {
+        std::hint::black_box(legacy_sync_targets(&legacy, &spec.nfas, &sync_starts));
+    });
+    let sync_csr_ms = median_ms(iters, || {
+        std::hint::black_box(sync_targets(db, &spec, &sync_starts, None));
+    });
+    ShapeResult {
+        shape,
+        nodes: db.node_count(),
+        edges: db.edge_count(),
+        reach_legacy_ms,
+        reach_csr_ms,
+        sync_legacy_ms,
+        sync_csr_ms,
+    }
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let iters = if fast { 3 } else { 9 };
+    let scale = if fast { 4 } else { 1 };
+    let mut results = Vec::new();
+
+    // Line: two disjoint (ab)^n paths; the sync walkers run in lockstep.
+    {
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let n = 1200 / scale;
+        let word: Vec<Symbol> = alpha.parse_word(&"ab".repeat(n)).unwrap();
+        let (db, (s1, _), (s2, _)) = graphs::two_paths(alpha, &word, &word);
+        let reach_nfa = nfa_of(db.alphabet(), "(ab)*");
+        let def = nfa_of(db.alphabet(), "(a|b)*");
+        results.push(run_shape(
+            "line",
+            &db,
+            &reach_nfa,
+            s1,
+            Some(def),
+            [s1, s2],
+            iters,
+        ));
+    }
+
+    // Grid: bounded degree, high diameter, random labels.
+    {
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let side = 28 / scale.min(2);
+        let db = graphs::grid_labeled(alpha, side, side, 7);
+        let reach_nfa = nfa_of(db.alphabet(), "(a|b)*a");
+        results.push(run_shape(
+            "grid",
+            &db,
+            &reach_nfa,
+            NodeId(0),
+            None,
+            [NodeId(0), NodeId(0)],
+            iters,
+        ));
+    }
+
+    // Random sparse multigraph.
+    {
+        let alpha = Arc::new(Alphabet::from_chars("abc"));
+        let n = 200 / scale.min(2);
+        let db = graphs::random_labeled(alpha, n, 4 * n, 99);
+        let a = db.alphabet().sym("a");
+        let reach_nfa = nfa_of(db.alphabet(), "a(a|b)*c");
+        let def = nfa_of(db.alphabet(), "a(a|b|c)*");
+        let s1 = start_with_label(&db, a);
+        let s2 = db
+            .nodes()
+            .find(|&m| m != s1 && !db.successors_with(m, a).is_empty())
+            .expect("two a-sources");
+        results.push(run_shape(
+            "random",
+            &db,
+            &reach_nfa,
+            s1,
+            Some(def),
+            [s1, s2],
+            iters,
+        ));
+    }
+
+    // Label-dense multigraph: few nodes, 16 labels, heavy parallel arcs —
+    // the shape where per-(node, label) ranges beat row filtering hardest.
+    {
+        let alpha = Arc::new(Alphabet::from_chars("abcdefghijklmnop"));
+        let n = 96 / scale.min(2);
+        let db = graphs::random_labeled(alpha, n, 24 * n, 41);
+        let a = db.alphabet().sym("a");
+        let reach_nfa = nfa_of(db.alphabet(), "(a|b)(a|b|c|d)*");
+        let def = nfa_of(db.alphabet(), "(a|b|c|d|e|f|g|h)*");
+        let s1 = start_with_label(&db, a);
+        results.push(run_shape(
+            "label-dense",
+            &db,
+            &reach_nfa,
+            s1,
+            Some(def),
+            [s1, NodeId((s1.0 + 1) % db.node_count() as u32)],
+            iters,
+        ));
+    }
+
+    // Report.
+    println!(
+        "{:<12} {:>7} {:>7} | {:>12} {:>10} {:>7} | {:>12} {:>10} {:>7}",
+        "shape", "nodes", "edges", "reach legacy", "reach csr", "x", "sync legacy", "sync csr", "x"
+    );
+    for r in &results {
+        println!(
+            "{:<12} {:>7} {:>7} | {:>10.3}ms {:>8.3}ms {:>6.2}x | {:>10.3}ms {:>8.3}ms {:>6.2}x",
+            r.shape,
+            r.nodes,
+            r.edges,
+            r.reach_legacy_ms,
+            r.reach_csr_ms,
+            r.reach_legacy_ms / r.reach_csr_ms,
+            r.sync_legacy_ms,
+            r.sync_csr_ms,
+            r.sync_legacy_ms / r.sync_csr_ms,
+        );
+    }
+
+    // JSON record, at the workspace root: two levels above this crate's
+    // manifest directory (baked in at compile time, so the path is stable
+    // regardless of the invoking CWD). Fast (smoke) runs do not overwrite
+    // the committed full-run record unless a path is given explicitly.
+    let explicit = std::env::var("BENCH_REACH_OUT").ok();
+    if fast && explicit.is_none() {
+        println!("\nfast mode: BENCH_reach.json not rewritten (set BENCH_REACH_OUT to record)");
+        return;
+    }
+    let out_path = explicit.unwrap_or_else(|| {
+        format!("{}/../../BENCH_reach.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    let mut json = String::from("{\n  \"bench\": \"e16_reach_csr\",\n  \"mode\": ");
+    json.push_str(if fast { "\"fast\"" } else { "\"full\"" });
+    json.push_str(",\n  \"shapes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"nodes\": {}, \"edges\": {}, \
+             \"reach_legacy_ms\": {:.4}, \"reach_csr_ms\": {:.4}, \"reach_speedup\": {:.2}, \
+             \"sync_legacy_ms\": {:.4}, \"sync_csr_ms\": {:.4}, \"sync_speedup\": {:.2}}}{}\n",
+            r.shape,
+            r.nodes,
+            r.edges,
+            r.reach_legacy_ms,
+            r.reach_csr_ms,
+            r.reach_legacy_ms / r.reach_csr_ms,
+            r.sync_legacy_ms,
+            r.sync_csr_ms,
+            r.sync_legacy_ms / r.sync_csr_ms,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("warning: could not write {out_path}: {e}");
+    } else {
+        println!("\nrecorded {out_path}");
+    }
+}

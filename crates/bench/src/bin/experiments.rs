@@ -896,7 +896,7 @@ fn e16_witnesses_and_semantics() {
     ];
     for (edges, pat, expect) in cases {
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = cxrpq_graph::GraphDb::new(alpha);
+        let mut db = cxrpq_graph::GraphBuilder::new(alpha);
         let mut names: std::collections::HashMap<String, cxrpq_graph::NodeId> =
             std::collections::HashMap::new();
         for (pair, w) in edges.iter() {
@@ -911,6 +911,7 @@ fn e16_witnesses_and_semantics() {
             db.add_word_path(sn, &word, tn);
         }
         let mut a2 = db.alphabet().clone();
+        let db = db.freeze();
         let q = CxrpqBuilder::new(&mut a2)
             .edge("x", pat, "y")
             .build()
@@ -941,7 +942,7 @@ fn e16_witnesses_and_semantics() {
     for loops in [1usize, 2, 3] {
         // s ⇄ m cycle plus s → t; word a^{2·loops + 1} forces `loops` cycles.
         let alpha = Arc::new(Alphabet::from_chars("a"));
-        let mut db = cxrpq_graph::GraphDb::new(alpha);
+        let mut db = cxrpq_graph::GraphBuilder::new(alpha);
         let a = db.alphabet().sym("a");
         let s = db.add_node();
         let m = db.add_node();
@@ -951,6 +952,7 @@ fn e16_witnesses_and_semantics() {
         db.add_edge(s, a, t);
         let word = "a".repeat(2 * loops + 1);
         let mut a2 = db.alphabet().clone();
+        let db = db.freeze();
         let nfa = cxrpq_automata::Nfa::from_regex(
             &cxrpq_automata::parse_regex(&word, &mut a2).unwrap(),
         );

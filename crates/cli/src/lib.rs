@@ -139,10 +139,20 @@ pub fn eval(
     }
     if q.is_boolean() {
         let r = auto.boolean(&db);
-        let _ = writeln!(out, "match: {}  ({:?})", r.value, r.elapsed);
+        let _ = writeln!(
+            out,
+            "match: {}  (eval {:?} + plan {:?})",
+            r.value, r.elapsed, r.plan_elapsed
+        );
     } else {
         let r = auto.answers(&db);
-        let _ = writeln!(out, "answers: {}  ({:?})", r.value.len(), r.elapsed);
+        let _ = writeln!(
+            out,
+            "answers: {}  (eval {:?} + plan {:?})",
+            r.value.len(),
+            r.elapsed,
+            r.plan_elapsed
+        );
         let limit = opts.limit.unwrap_or(usize::MAX);
         for tuple in r.value.iter().take(limit) {
             let names: Vec<String> = tuple.iter().map(|&n| db.node_name(n)).collect();

@@ -347,13 +347,14 @@ impl<'q> BoundedEvaluator<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxrpq_graph::GraphBuilder;
     use crate::cxrpq::CxrpqBuilder;
     use cxrpq_graph::Alphabet;
     use std::sync::Arc;
 
     fn path_db(words: &[&str]) -> (GraphDb, Vec<(NodeId, NodeId)>) {
         let alpha = Arc::new(Alphabet::from_chars("abc#"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let mut ends = Vec::new();
         for w in words {
             let s = db.add_node();
@@ -362,7 +363,7 @@ mod tests {
             db.add_word_path(s, &word, t);
             ends.push((s, t));
         }
-        (db, ends)
+        (db.freeze(), ends)
     }
 
     #[test]

@@ -218,12 +218,13 @@ impl<'q> CrpqEvaluator<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxrpq_graph::GraphBuilder;
     use std::sync::Arc;
 
     /// The genealogy example of Figure 1: p = parent, s = supervisor.
     fn family_db() -> (GraphDb, Vec<NodeId>) {
         let alpha = Arc::new(Alphabet::from_chars("ps"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let p = db.alphabet().sym("p");
         let s = db.alphabet().sym("s");
         // 0 -p-> 1 -p-> 2 (grandchild chain), 1 -s-> 3, 3 -p-> 4.
@@ -232,7 +233,7 @@ mod tests {
         db.add_edge(n[1], p, n[2]);
         db.add_edge(n[1], s, n[3]);
         db.add_edge(n[3], p, n[4]);
-        (db, n)
+        (db.freeze(), n)
     }
 
     #[test]

@@ -290,6 +290,7 @@ impl<'q> EcrpqEvaluator<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxrpq_graph::GraphBuilder;
     use cxrpq_automata::parse_regex;
     use cxrpq_graph::Alphabet;
     use std::sync::Arc;
@@ -330,7 +331,7 @@ mod tests {
     /// A database with a `c aⁿ c` path and a `d bᵐ d` path.
     fn d_nm(n: usize, m: usize) -> GraphDb {
         let alpha = Arc::new(Alphabet::from_chars("abcd"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let c = db.alphabet().sym("c");
         let d = db.alphabet().sym("d");
         let a = db.alphabet().sym("a");
@@ -357,7 +358,7 @@ mod tests {
         }
         next2 = db.add_node();
         db.add_edge(prev2, d, next2);
-        db
+        db.freeze()
     }
 
     #[test]
@@ -377,7 +378,7 @@ mod tests {
         // Two (a|b)* edges from shared source, equal words → same target
         // word; build D where the only equal pair is planted.
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let t1 = db.add_node();
         let t2 = db.add_node();
@@ -385,6 +386,7 @@ mod tests {
         let ba = db.alphabet().parse_word("ba").unwrap();
         db.add_word_path(s, &ab, t1);
         db.add_word_path(s, &ba, t2);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let mut pattern = GraphPattern::new();
         let x = pattern.node("x");
@@ -410,7 +412,7 @@ mod tests {
     #[test]
     fn prefix_relation_query() {
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let t1 = db.add_node();
         let t2 = db.add_node();
@@ -418,6 +420,7 @@ mod tests {
         let abba = db.alphabet().parse_word("abba").unwrap();
         db.add_word_path(s, &ab, t1);
         db.add_word_path(s, &abba, t2);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let mut pattern = GraphPattern::new();
         let x = pattern.node("x");
@@ -444,7 +447,7 @@ mod tests {
         // other, but not equal — the approximate-equality ECRPQ accepts the
         // mixed pair, the exact-equality one does not.
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let t1 = db.add_node();
         let t2 = db.add_node();
@@ -452,6 +455,7 @@ mod tests {
         let aa = db.alphabet().parse_word("aa").unwrap();
         db.add_word_path(s, &ab, t1);
         db.add_word_path(s, &aa, t2);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let build = |alpha: &mut Alphabet, rel: RegularRelation| {
             let mut pattern = GraphPattern::new();

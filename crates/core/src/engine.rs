@@ -74,8 +74,19 @@ pub struct Evaluated<T> {
     /// Whether the engine decides the full semantics for this query (the
     /// bounded fallback on `General` queries under-approximates).
     pub exact: bool,
-    /// Wall-clock evaluation time.
+    /// Wall-clock evaluation time (this call only).
     pub elapsed: Duration,
+    /// Wall-clock planning time: fragment classification plus engine
+    /// construction (NFA compilation, plan assembly), paid once in
+    /// [`AutoEvaluator::with_options`] and reported with every result.
+    pub plan_elapsed: Duration,
+}
+
+impl<T> Evaluated<T> {
+    /// Planning plus evaluation time.
+    pub fn total_elapsed(&self) -> Duration {
+        self.plan_elapsed + self.elapsed
+    }
 }
 
 /// Planning failed.
@@ -97,12 +108,28 @@ impl fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+/// The constructed engine behind an [`AutoEvaluator`] (built exactly once,
+/// at plan time).
+enum EngineImpl<'q> {
+    Simple(SimpleEvaluator<'q>),
+    Vsf(VsfEvaluator<'q>),
+    Bounded(BoundedEvaluator<'q>),
+}
+
 /// The fragment-dispatching evaluator.
+///
+/// Planning — fragment classification *and* engine construction (NFA
+/// compilation, plan assembly) — happens once, in
+/// [`AutoEvaluator::with_options`]; `boolean`/`answers`/`check`/`witness`
+/// reuse the constructed engine. Every [`Evaluated`] reports both the
+/// per-call evaluation time and the one-off planning time
+/// ([`Evaluated::plan_elapsed`]), so construction cost is never silently
+/// dropped from timings.
 pub struct AutoEvaluator<'q> {
-    q: &'q Cxrpq,
-    opts: EvalOptions,
     choice: EngineKind,
     exact: bool,
+    engine: EngineImpl<'q>,
+    plan_elapsed: Duration,
 }
 
 impl<'q> AutoEvaluator<'q> {
@@ -111,8 +138,9 @@ impl<'q> AutoEvaluator<'q> {
         Self::with_options(q, EvalOptions::default()).expect("no forced engine")
     }
 
-    /// Plans with explicit options.
+    /// Plans with explicit options, constructing the chosen engine.
     pub fn with_options(q: &'q Cxrpq, opts: EvalOptions) -> Result<Self, PlanError> {
+        let t0 = Instant::now();
         let fragment = q.fragment();
         let choice = match opts.force {
             Some(forced) => {
@@ -134,14 +162,21 @@ impl<'q> AutoEvaluator<'q> {
                 Fragment::General => EngineKind::Bounded,
             },
         };
+        let engine = match choice {
+            EngineKind::Simple => EngineImpl::Simple(SimpleEvaluator::new(q).expect("planned")),
+            EngineKind::Vsf => EngineImpl::Vsf(VsfEvaluator::new(q).expect("planned")),
+            EngineKind::Bounded => {
+                EngineImpl::Bounded(BoundedEvaluator::new(q, opts.bounded_k))
+            }
+        };
         // Bounded evaluation is exact only under the `≤k` reading; the other
         // engines decide the unrestricted semantics of their fragments.
         let exact = choice != EngineKind::Bounded;
         Ok(Self {
-            q,
-            opts,
             choice,
             exact,
+            engine,
+            plan_elapsed: t0.elapsed(),
         })
     }
 
@@ -156,6 +191,11 @@ impl<'q> AutoEvaluator<'q> {
         self.exact
     }
 
+    /// Time spent classifying the query and constructing the engine.
+    pub fn plan_elapsed(&self) -> Duration {
+        self.plan_elapsed
+    }
+
     fn timed<T>(&self, f: impl FnOnce() -> T) -> Evaluated<T> {
         let t0 = Instant::now();
         let value = f();
@@ -164,97 +204,63 @@ impl<'q> AutoEvaluator<'q> {
             engine: self.choice,
             exact: self.exact,
             elapsed: t0.elapsed(),
+            plan_elapsed: self.plan_elapsed,
         }
     }
 
     /// Boolean evaluation with provenance.
     pub fn boolean(&self, db: &GraphDb) -> Evaluated<bool> {
-        match self.choice {
-            EngineKind::Simple => {
-                let ev = SimpleEvaluator::new(self.q).expect("planned");
-                self.timed(|| ev.boolean(db))
-            }
-            EngineKind::Vsf => {
-                let ev = VsfEvaluator::new(self.q).expect("planned");
-                self.timed(|| ev.boolean(db))
-            }
-            EngineKind::Bounded => {
-                let ev = BoundedEvaluator::new(self.q, self.opts.bounded_k);
-                self.timed(|| ev.boolean(db))
-            }
-        }
+        self.timed(|| match &self.engine {
+            EngineImpl::Simple(ev) => ev.boolean(db),
+            EngineImpl::Vsf(ev) => ev.boolean(db),
+            EngineImpl::Bounded(ev) => ev.boolean(db),
+        })
     }
 
     /// The answer relation with provenance.
     pub fn answers(&self, db: &GraphDb) -> Evaluated<BTreeSet<Vec<NodeId>>> {
-        match self.choice {
-            EngineKind::Simple => {
-                let ev = SimpleEvaluator::new(self.q).expect("planned");
-                self.timed(|| ev.answers(db))
-            }
-            EngineKind::Vsf => {
-                let ev = VsfEvaluator::new(self.q).expect("planned");
-                self.timed(|| ev.answers(db))
-            }
-            EngineKind::Bounded => {
-                let ev = BoundedEvaluator::new(self.q, self.opts.bounded_k);
-                self.timed(|| ev.answers(db))
-            }
-        }
+        self.timed(|| match &self.engine {
+            EngineImpl::Simple(ev) => ev.answers(db),
+            EngineImpl::Vsf(ev) => ev.answers(db),
+            EngineImpl::Bounded(ev) => ev.answers(db),
+        })
     }
 
     /// The Check problem with provenance.
     pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> Evaluated<bool> {
-        match self.choice {
-            EngineKind::Simple => {
-                let ev = SimpleEvaluator::new(self.q).expect("planned");
-                self.timed(|| ev.check(db, tuple))
-            }
-            EngineKind::Vsf => {
-                let ev = VsfEvaluator::new(self.q).expect("planned");
-                self.timed(|| ev.check(db, tuple))
-            }
-            EngineKind::Bounded => {
-                let ev = BoundedEvaluator::new(self.q, self.opts.bounded_k);
-                self.timed(|| ev.check(db, tuple))
-            }
-        }
+        self.timed(|| match &self.engine {
+            EngineImpl::Simple(ev) => ev.check(db, tuple),
+            EngineImpl::Vsf(ev) => ev.check(db, tuple),
+            EngineImpl::Bounded(ev) => ev.check(db, tuple),
+        })
     }
 
     /// A witness with provenance.
     pub fn witness(&self, db: &GraphDb) -> Evaluated<Option<QueryWitness>> {
-        match self.choice {
-            EngineKind::Simple => {
-                let ev = SimpleEvaluator::new(self.q).expect("planned");
-                self.timed(|| ev.witness(db))
-            }
-            EngineKind::Vsf => {
-                let ev = VsfEvaluator::new(self.q).expect("planned");
-                self.timed(|| ev.witness(db))
-            }
-            EngineKind::Bounded => {
-                let ev = BoundedEvaluator::new(self.q, self.opts.bounded_k);
-                self.timed(|| ev.witness(db))
-            }
-        }
+        self.timed(|| match &self.engine {
+            EngineImpl::Simple(ev) => ev.witness(db),
+            EngineImpl::Vsf(ev) => ev.witness(db),
+            EngineImpl::Bounded(ev) => ev.witness(db),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxrpq_graph::GraphBuilder;
     use crate::cxrpq::CxrpqBuilder;
     use cxrpq_graph::Alphabet;
     use std::sync::Arc;
 
     fn db_word(word: &str) -> (GraphDb, NodeId, NodeId) {
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let t = db.add_node();
         let w = db.alphabet().parse_word(word).unwrap();
         db.add_word_path(s, &w, t);
-        (db, s, t)
+        (db.freeze(), s, t)
     }
 
     #[test]
@@ -340,6 +346,26 @@ mod tests {
             ),
             Err(PlanError::ForcedEngineInapplicable(..))
         ));
+    }
+
+    #[test]
+    fn plan_time_reported_and_engine_reused() {
+        let mut alpha = Alphabet::from_chars("abc");
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "z{(a|b)+}cz", "y")
+            .build()
+            .unwrap();
+        let auto = AutoEvaluator::new(&q);
+        let plan = auto.plan_elapsed();
+        let (db, _, _) = db_word("abcab");
+        let r1 = auto.boolean(&db);
+        let r2 = auto.boolean(&db);
+        // Construction happened once, at plan time; every result carries
+        // that same one-off cost alongside its own evaluation time.
+        assert_eq!(r1.plan_elapsed, plan);
+        assert_eq!(r2.plan_elapsed, plan);
+        assert!(r1.total_elapsed() >= r1.elapsed);
+        assert!(r1.value && r2.value);
     }
 
     #[test]

@@ -81,13 +81,13 @@ impl<'q> GenericEvaluator<'q> {
 mod tests {
     use super::*;
     use crate::cxrpq::CxrpqBuilder;
-    use cxrpq_graph::Alphabet;
+    use cxrpq_graph::{Alphabet, GraphBuilder};
     use std::sync::Arc;
 
     #[test]
     fn finds_minimal_image_bound() {
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let m1 = db.add_node();
         let m2 = db.add_node();
@@ -97,6 +97,7 @@ mod tests {
         db.add_word_path(s, &w, m1);
         db.add_word_path(m1, &c, m2);
         db.add_word_path(m2, &w, t);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let q = CxrpqBuilder::new(&mut alpha2)
             .edge("x", "z{(a|b)+}cz", "y")
@@ -113,11 +114,12 @@ mod tests {
     #[test]
     fn cap_exhaustion_reported() {
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let t = db.add_node();
         let a = db.alphabet().sym("a");
         db.add_edge(s, a, t);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let q = CxrpqBuilder::new(&mut alpha2)
             .edge("x", "z{b+}z", "y")
@@ -132,13 +134,14 @@ mod tests {
     #[test]
     fn check_deepens_like_evaluate() {
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let m = db.add_node();
         let t = db.add_node();
         let w = db.alphabet().parse_word("ab").unwrap();
         db.add_word_path(s, &w, m);
         db.add_word_path(m, &w, t);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         // z{Σ+} z with the only repeated word being "ab" end to end.
         let q = CxrpqBuilder::new(&mut alpha2)
@@ -161,11 +164,12 @@ mod tests {
     #[test]
     fn stats_accumulate_across_depths() {
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let t = db.add_node();
         let w = db.alphabet().parse_word("abab").unwrap();
         db.add_word_path(s, &w, t);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let q = CxrpqBuilder::new(&mut alpha2)
             .edge("x", "z{(a|b)(a|b)}z", "y")
@@ -184,13 +188,14 @@ mod tests {
         // engine; NoMatchUpTo must never contradict a vsf "no".
         use crate::vsf_eval::VsfEvaluator;
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         for word in ["abab", "ba", "bb"] {
             let s = db.add_node();
             let t = db.add_node();
             let w = db.alphabet().parse_word(word).unwrap();
             db.add_word_path(s, &w, t);
         }
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         for pat in ["z{ab|ba}z", "z{a+}bz", "z{bb}z"] {
             let q = CxrpqBuilder::new(&mut alpha2)

@@ -54,6 +54,7 @@ impl<'q> LogEvaluator<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxrpq_graph::GraphBuilder;
     use crate::cxrpq::CxrpqBuilder;
     use cxrpq_graph::Alphabet;
     use std::sync::Arc;
@@ -61,7 +62,7 @@ mod tests {
     #[test]
     fn bound_grows_with_database() {
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let a = db.alphabet().sym("a");
         let mut prev = db.add_node();
         for _ in 0..2 {
@@ -69,13 +70,13 @@ mod tests {
             db.add_edge(prev, a, n);
             prev = n;
         }
-        let small = LogEvaluator::bound_for(&db);
+        let small = LogEvaluator::bound_for(&db.clone().freeze());
         for _ in 0..60 {
             let n = db.add_node();
             db.add_edge(prev, a, n);
             prev = n;
         }
-        let big = LogEvaluator::bound_for(&db);
+        let big = LogEvaluator::bound_for(&db.freeze());
         assert!(big > small);
         assert_eq!(big, 7); // |D| = 63 nodes + 62 edges = 125 → ⌈log₂⌉ = 7
     }
@@ -84,7 +85,7 @@ mod tests {
     fn log_images_admit_longer_witnesses_on_bigger_dbs() {
         // z{(a|b)+} c z with witness image length 4 works once |D| ≥ 16.
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let m1 = db.add_node();
         let m2 = db.add_node();
@@ -94,6 +95,7 @@ mod tests {
         db.add_word_path(s, &w, m1);
         db.add_word_path(m1, &c, m2);
         db.add_word_path(m2, &w, t);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let q = CxrpqBuilder::new(&mut alpha2)
             .edge("x", "z{(a|b)+}cz", "y")
@@ -108,11 +110,12 @@ mod tests {
     #[test]
     fn log_agrees_with_explicit_bounded() {
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let t = db.add_node();
         let w = db.alphabet().parse_word("abcab").unwrap();
         db.add_word_path(s, &w, t);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let q = CxrpqBuilder::new(&mut alpha2)
             .edge("x", "z{(a|b)+}cz", "y")
@@ -133,11 +136,12 @@ mod tests {
     fn log_witness_certifies() {
         use cxrpq_xregex::matcher::MatchConfig;
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let t = db.add_node();
         let w = db.alphabet().parse_word("abcab").unwrap();
         db.add_word_path(s, &w, t);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let q = CxrpqBuilder::new(&mut alpha2)
             .edge("x", "z{(a|b)+}cz", "y")
@@ -153,8 +157,8 @@ mod tests {
     #[test]
     fn minimum_bound_is_one() {
         let alpha = Arc::new(Alphabet::from_chars("a"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         db.add_node();
-        assert_eq!(LogEvaluator::bound_for(&db), 1);
+        assert_eq!(LogEvaluator::bound_for(&db.freeze()), 1);
     }
 }

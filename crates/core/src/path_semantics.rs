@@ -15,6 +15,7 @@
 //! - [`PathSemantics::Trail`]: no repeated *edge* — same search over edge
 //!   sets.
 
+use crate::reach::{reach_set_scratch, Direction, ReachScratch};
 use crate::witness::edge_path;
 use cxrpq_automata::{Label, Nfa, StateId};
 use cxrpq_graph::{GraphDb, NodeId, Path, Symbol};
@@ -75,14 +76,32 @@ pub fn rpq_witness(
     }
 }
 
-/// All pairs `(u, v)` connected under the semantics (quadratic sweep over
-/// sources; exponential per source for the restricted semantics).
+/// All pairs `(u, v)` connected under the semantics.
+///
+/// Arbitrary semantics runs one product BFS ([`reach_set`]) per source —
+/// `O(|V| · |D| · |M|)` total instead of a per-pair search; the restricted
+/// semantics stay a quadratic sweep (exponential per source in the worst
+/// case).
 pub fn rpq_pairs(db: &GraphDb, nfa: &Nfa, sem: PathSemantics) -> BTreeSet<(NodeId, NodeId)> {
     let mut out = BTreeSet::new();
-    for u in db.nodes() {
-        for v in db.nodes() {
-            if rpq_holds(db, nfa, u, v, sem) {
-                out.insert((u, v));
+    match sem {
+        PathSemantics::Arbitrary => {
+            let mut scratch = ReachScratch::default();
+            for u in db.nodes() {
+                for v in
+                    reach_set_scratch(db, nfa, u, Direction::Forward, None, &mut scratch)
+                {
+                    out.insert((u, v));
+                }
+            }
+        }
+        PathSemantics::SimplePath | PathSemantics::Trail => {
+            for u in db.nodes() {
+                for v in db.nodes() {
+                    if rpq_holds(db, nfa, u, v, sem) {
+                        out.insert((u, v));
+                    }
+                }
             }
         }
     }
@@ -120,10 +139,14 @@ impl RestrictedSearch<'_> {
             }
         }
         for (l, t) in moves {
-            for &(b, next) in self.db.out_edges(node) {
-                if !l.reads(b) {
-                    continue;
-                }
+            // Sym moves expand over the contiguous per-label CSR range;
+            // Any moves take the whole (label-sorted) row.
+            let range = match l {
+                Label::Sym(a) => self.db.successors_with(node, a),
+                Label::Any => self.db.out_edges(node),
+                Label::Eps => unreachable!("ε filtered above"),
+            };
+            for &(b, next) in range {
                 match self.sem {
                     PathSemantics::SimplePath => {
                         if self.visited_nodes[next.index()] {
@@ -161,6 +184,7 @@ impl RestrictedSearch<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxrpq_graph::GraphBuilder;
     use cxrpq_automata::parse_regex;
     use cxrpq_graph::Alphabet;
     use std::sync::Arc;
@@ -173,7 +197,7 @@ mod tests {
     /// s ⇄ m plus s → t: the word aaa reaches t only by revisiting s.
     fn lollipop() -> (GraphDb, NodeId, NodeId, NodeId) {
         let alpha = Arc::new(Alphabet::from_chars("a"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let a = db.alphabet().sym("a");
         let s = db.add_node();
         let m = db.add_node();
@@ -181,7 +205,7 @@ mod tests {
         db.add_edge(s, a, m);
         db.add_edge(m, a, s);
         db.add_edge(s, a, t);
-        (db, s, m, t)
+        (db.freeze(), s, m, t)
     }
 
     #[test]
@@ -207,11 +231,12 @@ mod tests {
     #[test]
     fn all_semantics_agree_on_dags() {
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let w = db.alphabet().parse_word("abab").unwrap();
         let s = db.add_node();
         let t = db.add_node();
         db.add_word_path(s, &w, t);
+        let db = db.freeze();
         let m = nfa(&db, "(ab)+");
         for sem in [
             PathSemantics::Arbitrary,
@@ -262,7 +287,7 @@ mod tests {
     #[test]
     fn restricted_pairs_are_subsets_of_arbitrary() {
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let a = db.alphabet().sym("a");
         let b = db.alphabet().sym("b");
         // A small tangle: triangle + chord.
@@ -272,6 +297,7 @@ mod tests {
         db.add_edge(n[2], a, n[0]);
         db.add_edge(n[0], b, n[3]);
         db.add_edge(n[3], a, n[1]);
+        let db = db.freeze();
         let m = nfa(&db, "(a|b)(a|b)+");
         let arb = rpq_pairs(&db, &m, PathSemantics::Arbitrary);
         let simple = rpq_pairs(&db, &m, PathSemantics::SimplePath);

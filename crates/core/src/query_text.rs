@@ -337,15 +337,15 @@ mod tests {
     #[test]
     fn parsed_query_evaluates() {
         use crate::engine::AutoEvaluator;
-        use cxrpq_graph::GraphDb;
         use std::sync::Arc;
         let mut alpha = Alphabet::from_chars("abc");
         let q = parse_query("ans(x, y) <- (x) -[ z{(a|b)+}cz ]-> (y)", &mut alpha).unwrap();
-        let mut db = GraphDb::new(Arc::new(alpha));
+        let mut db = cxrpq_graph::GraphBuilder::new(Arc::new(alpha));
         let s = db.add_node();
         let t = db.add_node();
         let w = db.alphabet().parse_word("abcab").unwrap();
         db.add_word_path(s, &w, t);
+        let db = db.freeze();
         let r = AutoEvaluator::new(&q).answers(&db);
         assert!(r.value.contains(&vec![s, t]));
     }

@@ -1,8 +1,15 @@
 //! Single-walker product reachability: the `D × M` search underlying RPQ
 //! evaluation (and the NL data-complexity bound of Lemma 1 / Lemma 3).
+//!
+//! The BFS over `D × M` visits each `(node, state)` pair at most once. The
+//! pair space is a dense rectangle `|V_D| × |Q|`, so the visited set is a
+//! [`DenseBitSet`] indexed by `node · |Q| + state` — no hashing — and each
+//! `Sym(a)` transition expands over the contiguous per-`(node, a)` CSR
+//! range ([`GraphDb::successors_with`] / [`GraphDb::predecessors_with`])
+//! instead of filtering the whole adjacency row.
 
 use cxrpq_automata::{Label, Nfa, StateId};
-use cxrpq_graph::{GraphDb, NodeId};
+use cxrpq_graph::{DenseBitSet, GraphDb, NodeId};
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -71,18 +78,61 @@ pub fn reach_set(
     dir: Direction,
     stats: Option<&ReachStats>,
 ) -> HashSet<NodeId> {
+    reach_set_scratch(db, nfa, u, dir, stats, &mut ReachScratch::default())
+}
+
+/// Reusable visited-set storage for repeated [`reach_set_scratch`] calls.
+///
+/// Zeroing a fresh `|V| · |Q|`-bit set per call costs `O(|V| · |Q| / 64)`
+/// even when the explored region is tiny; a sweep over many sources (one
+/// BFS per node) pays that memset per source. A scratch records the cells
+/// it touched and clears exactly those afterwards, so the full zeroing
+/// happens once and each search costs memory traffic proportional to the
+/// region it actually explored.
+#[derive(Default)]
+pub struct ReachScratch {
+    visited: DenseBitSet,
+    touched: Vec<usize>,
+}
+
+impl ReachScratch {
+    /// An all-clear visited set of capacity ≥ `cells` (grown on demand).
+    fn ensure(&mut self, cells: usize) -> &mut DenseBitSet {
+        if self.visited.capacity() < cells {
+            self.visited = DenseBitSet::new(cells);
+        }
+        debug_assert!(self.touched.is_empty());
+        &mut self.visited
+    }
+}
+
+/// [`reach_set`] with caller-provided scratch storage (see
+/// [`ReachScratch`]); the scratch is left all-clear for the next call.
+pub fn reach_set_scratch(
+    db: &GraphDb,
+    nfa: &Nfa,
+    u: NodeId,
+    dir: Direction,
+    stats: Option<&ReachStats>,
+    scratch: &mut ReachScratch,
+) -> HashSet<NodeId> {
+    let q = nfa.state_count();
+    scratch.ensure(db.node_count() * q);
+    let ReachScratch { visited, touched } = scratch;
     let mut out = HashSet::new();
-    let mut visited: HashSet<(NodeId, StateId)> = HashSet::new();
     let mut queue: VecDeque<(NodeId, StateId)> = VecDeque::new();
-    let push = |q: &mut VecDeque<(NodeId, StateId)>,
-                    visited: &mut HashSet<(NodeId, StateId)>,
+    let push = |queue: &mut VecDeque<(NodeId, StateId)>,
+                    visited: &mut DenseBitSet,
+                    touched: &mut Vec<usize>,
                     node: NodeId,
                     st: StateId| {
-        if visited.insert((node, st)) {
-            q.push_back((node, st));
+        let cell = node.index() * q + st.index();
+        if visited.insert(cell) {
+            touched.push(cell);
+            queue.push_back((node, st));
         }
     };
-    push(&mut queue, &mut visited, u, nfa.start());
+    push(&mut queue, visited, touched, u, nfa.start());
     while let Some((node, st)) = queue.pop_front() {
         if let Some(s) = stats {
             s.bump(1);
@@ -92,16 +142,14 @@ pub fn reach_set(
         }
         for &(l, t) in nfa.transitions(st) {
             match l {
-                Label::Eps => push(&mut queue, &mut visited, node, t),
+                Label::Eps => push(&mut queue, visited, touched, node, t),
                 Label::Sym(a) => {
                     let adj = match dir {
-                        Direction::Forward => db.out_edges(node),
-                        Direction::Backward => db.in_edges(node),
+                        Direction::Forward => db.successors_with(node, a),
+                        Direction::Backward => db.predecessors_with(node, a),
                     };
-                    for &(b, next) in adj {
-                        if b == a {
-                            push(&mut queue, &mut visited, next, t);
-                        }
+                    for &(_, next) in adj {
+                        push(&mut queue, visited, touched, next, t);
                     }
                 }
                 Label::Any => {
@@ -110,22 +158,33 @@ pub fn reach_set(
                         Direction::Backward => db.in_edges(node),
                     };
                     for &(_, next) in adj {
-                        push(&mut queue, &mut visited, next, t);
+                        push(&mut queue, visited, touched, next, t);
                     }
                 }
             }
         }
+    }
+    for cell in touched.drain(..) {
+        visited.remove(cell);
     }
     out
 }
 
 /// Memoizing wrapper around [`reach_set`] for repeated queries against the
 /// same database (one cache per `(edge automaton, direction)`).
+///
+/// Entries are keyed by [`NodeId`] alone, so the cache is only meaningful
+/// against one database: on first use it binds to that database's
+/// [`GraphDb::generation`], and any later call against a database with a
+/// different generation invalidates every memoized entry and rebinds
+/// (stale node-keyed answers are never served).
 pub struct ReachCache {
     nfa: Nfa,
     rev: Nfa,
+    generation: Option<u64>,
     fwd: HashMap<NodeId, std::rc::Rc<HashSet<NodeId>>>,
     bwd: HashMap<NodeId, std::rc::Rc<HashSet<NodeId>>>,
+    scratch: ReachScratch,
     /// Exploration statistics shared by both directions.
     pub stats: ReachStats,
 }
@@ -137,8 +196,10 @@ impl ReachCache {
         Self {
             nfa,
             rev,
+            generation: None,
             fwd: HashMap::new(),
             bwd: HashMap::new(),
+            scratch: ReachScratch::default(),
             stats: ReachStats::default(),
         }
     }
@@ -148,28 +209,65 @@ impl ReachCache {
         &self.nfa
     }
 
+    /// The generation of the database this cache is bound to (`None` until
+    /// first use).
+    pub fn bound_generation(&self) -> Option<u64> {
+        self.generation
+    }
+
+    /// Binds the cache to `db`, dropping all memoized entries when `db` is
+    /// not the database they were computed against.
+    fn bind(&mut self, db: &GraphDb) {
+        match self.generation {
+            Some(g) if g == db.generation() => {}
+            Some(_) => {
+                self.fwd.clear();
+                self.bwd.clear();
+                self.generation = Some(db.generation());
+            }
+            None => self.generation = Some(db.generation()),
+        }
+    }
+
     /// Targets reachable from `u` via an accepted word.
     pub fn targets(&mut self, db: &GraphDb, u: NodeId) -> std::rc::Rc<HashSet<NodeId>> {
+        self.bind(db);
         if let Some(r) = self.fwd.get(&u) {
             return r.clone();
         }
-        let r = std::rc::Rc::new(reach_set(db, &self.nfa, u, Direction::Forward, Some(&self.stats)));
+        let r = std::rc::Rc::new(reach_set_scratch(
+            db,
+            &self.nfa,
+            u,
+            Direction::Forward,
+            Some(&self.stats),
+            &mut self.scratch,
+        ));
         self.fwd.insert(u, r.clone());
         r
     }
 
     /// Sources that reach `v` via an accepted word.
     pub fn sources(&mut self, db: &GraphDb, v: NodeId) -> std::rc::Rc<HashSet<NodeId>> {
+        self.bind(db);
         if let Some(r) = self.bwd.get(&v) {
             return r.clone();
         }
-        let r = std::rc::Rc::new(reach_set(db, &self.rev, v, Direction::Backward, Some(&self.stats)));
+        let r = std::rc::Rc::new(reach_set_scratch(
+            db,
+            &self.rev,
+            v,
+            Direction::Backward,
+            Some(&self.stats),
+            &mut self.scratch,
+        ));
         self.bwd.insert(v, r.clone());
         r
     }
 
     /// Whether some path `u →* v` is labelled by an accepted word.
     pub fn connects(&mut self, db: &GraphDb, u: NodeId, v: NodeId) -> bool {
+        self.bind(db);
         if let Some(r) = self.fwd.get(&u) {
             return r.contains(&v);
         }
@@ -184,18 +282,18 @@ impl ReachCache {
 mod tests {
     use super::*;
     use cxrpq_automata::parse_regex;
-    use cxrpq_graph::Alphabet;
+    use cxrpq_graph::{Alphabet, GraphBuilder};
     use std::sync::Arc;
 
     fn line_db(word: &str) -> (GraphDb, Vec<NodeId>) {
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let w = db.alphabet().parse_word(word).unwrap();
         let nodes: Vec<NodeId> = (0..=w.len()).map(|_| db.add_node()).collect();
         for (i, &s) in w.iter().enumerate() {
             db.add_edge(nodes[i], s, nodes[i + 1]);
         }
-        (db, nodes)
+        (db.freeze(), nodes)
     }
 
     fn nfa_of(db: &GraphDb, s: &str) -> Nfa {
@@ -265,5 +363,37 @@ mod tests {
         assert!(rev.accepts(&w("a")));
         assert!(rev.accepts(&w("bba")));
         assert!(!rev.accepts(&w("ab")));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let (db, nodes) = line_db("aabba");
+        let m = nfa_of(&db, "a*b");
+        let mut scratch = ReachScratch::default();
+        for &n in &nodes {
+            let fresh = reach_set(&db, &m, n, Direction::Forward, None);
+            let reused =
+                reach_set_scratch(&db, &m, n, Direction::Forward, None, &mut scratch);
+            assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn cache_invalidates_across_databases() {
+        // Same node ids, different graphs: a stale cache would claim n0
+        // reaches n2 in the second database too.
+        let (db1, n1) = line_db("aa");
+        let (db2, n2) = line_db("bb");
+        assert_ne!(db1.generation(), db2.generation());
+        let m = nfa_of(&db1, "aa");
+        let mut cache = ReachCache::new(m);
+        assert!(cache.targets(&db1, n1[0]).contains(&n1[2]));
+        assert_eq!(cache.bound_generation(), Some(db1.generation()));
+        // Rebinding against db2 must not serve db1's memoized answer.
+        assert!(!cache.targets(&db2, n2[0]).contains(&n2[2]));
+        assert_eq!(cache.bound_generation(), Some(db2.generation()));
+        assert!(!cache.connects(&db2, n2[0], n2[2]));
+        // And back: recomputed, still correct.
+        assert!(cache.connects(&db1, n1[0], n1[2]));
     }
 }

@@ -433,6 +433,7 @@ impl<'q> SimpleEvaluator<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxrpq_graph::GraphBuilder;
     use crate::cxrpq::CxrpqBuilder;
     use cxrpq_graph::Alphabet;
     use std::sync::Arc;
@@ -441,7 +442,7 @@ mod tests {
         // words: (name-pair "s>t", label word) — adds a path s -w-> t,
         // creating named endpoints on demand.
         let alpha = Arc::new(Alphabet::from_chars("abc#"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let mut names: HashMap<String, NodeId> = HashMap::new();
         for (pair, w) in words {
             let (s, t) = pair.split_once('>').unwrap();
@@ -454,7 +455,7 @@ mod tests {
             let word = db.alphabet().parse_word(w).unwrap();
             db.add_word_path(sn, &word, tn);
         }
-        (db, names)
+        (db.freeze(), names)
     }
 
     #[test]

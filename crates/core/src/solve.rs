@@ -328,19 +328,20 @@ impl FreeEdge {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxrpq_graph::GraphBuilder;
     use cxrpq_automata::{parse_regex, Nfa};
     use cxrpq_graph::Alphabet;
     use std::sync::Arc;
 
     fn db_cycle(word: &str) -> (GraphDb, Vec<NodeId>) {
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let w = db.alphabet().parse_word(word).unwrap();
         let nodes: Vec<NodeId> = (0..w.len()).map(|_| db.add_node()).collect();
         for (i, &s) in w.iter().enumerate() {
             db.add_edge(nodes[i], s, nodes[(i + 1) % w.len()]);
         }
-        (db, nodes)
+        (db.freeze(), nodes)
     }
 
     fn nfa(db: &GraphDb, s: &str) -> Nfa {
@@ -456,7 +457,7 @@ mod tests {
         // Pattern: x -w-> y, x -w-> z with the same word w ∈ a(b|c): on a
         // graph where only one branch exists, y = z is forced.
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let a = db.alphabet().sym("a");
         let b = db.alphabet().sym("b");
         let c = db.alphabet().sym("c");
@@ -467,6 +468,7 @@ mod tests {
         db.add_edge(s, a, m);
         db.add_edge(m, b, t1);
         db.add_edge(m, c, t2);
+        let db = db.freeze();
         let mut p = Problem::new(3); // x=0, y=1, z=2
         let def = nfa(&db, "a(b|c)");
         p.groups.push(Group::new(
@@ -493,7 +495,7 @@ mod tests {
         // version ran the reversed spec forward and produced false
         // negatives).
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let w = db.alphabet().parse_word("abc").unwrap();
         let s1 = db.add_node();
         let t1 = db.add_node();
@@ -501,6 +503,13 @@ mod tests {
         let t2 = db.add_node();
         db.add_word_path(s1, &w, t1);
         db.add_word_path(s2, &w, t2);
+        // A third path labelled acb, used by the mismatch check below (built
+        // up front so the database can be frozen once).
+        let w2 = db.alphabet().parse_word("acb").unwrap();
+        let s3 = db.add_node();
+        let t3 = db.add_node();
+        db.add_word_path(s3, &w2, t3);
+        let db = db.freeze();
         let mut p = Problem::new(4); // x=0, y=1, u=2, v=3
         p.groups.push(Group::new(
             vec![NodeVar(0), NodeVar(2)],
@@ -517,10 +526,6 @@ mod tests {
         });
         assert!(sols.contains(&(s1, s2)), "missing backward-derived sources");
         // Distinct-word destinations are rejected.
-        let w2 = db.alphabet().parse_word("acb").unwrap();
-        let s3 = db.add_node();
-        let t3 = db.add_node();
-        db.add_word_path(s3, &w2, t3);
         let pinned2: HashMap<NodeVar, NodeId> =
             [(NodeVar(1), t1), (NodeVar(3), t3)].into();
         let mut sols2 = Vec::new();

@@ -12,12 +12,19 @@
 //! state sets, relation state, finished mask) on the fly — the explicit form
 //! of the `G_{q′,D}` graph in the proof of Lemma 3, which underlies the
 //! `O(|q| log |D|)` nondeterministic space bound.
+//!
+//! Representation: per-walker state sets are [`MaskSim`] bitmasks
+//! (`⌈|Qᵢ|/64⌉` words each, concatenated into one flat `Vec<u64>` per
+//! configuration), adjacency is expanded over contiguous per-label CSR
+//! ranges, and — whenever positions, masks, relation state and finished
+//! bits together fit in 128 bits — the visited set is keyed by a packed
+//! `u128` instead of hashing whole configurations.
 
 use crate::reach::{reverse_nfa, Direction, ReachStats};
 use crate::relation::{RegularRelation, RelLabel, TupComp};
-use cxrpq_automata::Nfa;
+use cxrpq_automata::{MaskSim, Nfa};
 use cxrpq_graph::{GraphDb, NodeId, Symbol};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
 /// A synchronized group: per-walker automata plus a relation over their
 /// words.
@@ -75,12 +82,72 @@ pub fn sigma_star_nfa() -> Nfa {
 
 /// One configuration of the synchronized product (crate-internal: the
 /// witness extractor re-runs the search with parent tracking).
+///
+/// `statesets` concatenates the per-walker [`MaskSim`] bitmasks (walker `i`
+/// occupies the word range the owning [`SyncSearch`] assigns it).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub(crate) struct SyncState {
     pub(crate) positions: Vec<NodeId>,
     pub(crate) finished: u64,
-    pub(crate) statesets: Vec<Vec<bool>>,
+    pub(crate) statesets: Vec<u64>,
     pub(crate) rstate: u32,
+}
+
+/// Packs configurations into `u128` visited keys when the product's
+/// coordinates are jointly narrow enough.
+struct Packer {
+    node_bits: u32,
+    state_bits: Vec<u32>,
+    rel_bits: u32,
+}
+
+impl Packer {
+    /// A packer for the given sizes, or `None` when a configuration cannot
+    /// fit in 128 bits (multi-word masks never pack).
+    fn try_new(db: &GraphDb, sims: &[MaskSim], relation: &RegularRelation) -> Option<Self> {
+        let bits_for = |n: usize| usize::BITS - n.saturating_sub(1).leading_zeros();
+        if sims.iter().any(|s| s.words() > 1) {
+            return None;
+        }
+        let node_bits = bits_for(db.node_count()).max(1);
+        let rel_bits = bits_for(relation.state_count()).max(1);
+        let state_bits: Vec<u32> = sims.iter().map(|s| s.state_count().max(1) as u32).collect();
+        let total = sims.len() as u32 * node_bits
+            + state_bits.iter().sum::<u32>()
+            + rel_bits
+            + sims.len() as u32;
+        (total <= 128).then_some(Self {
+            node_bits,
+            state_bits,
+            rel_bits,
+        })
+    }
+
+    fn pack(&self, st: &SyncState) -> u128 {
+        let mut acc: u128 = 0;
+        for (i, p) in st.positions.iter().enumerate() {
+            acc = (acc << self.node_bits) | p.0 as u128;
+            acc = (acc << self.state_bits[i]) | st.statesets[i] as u128;
+        }
+        acc = (acc << self.rel_bits) | st.rstate as u128;
+        (acc << st.positions.len()) | st.finished as u128
+    }
+}
+
+/// The visited set of a synchronized search: packed keys when the product
+/// fits, whole configurations otherwise.
+enum Visited {
+    Packed(HashSet<u128>, Packer),
+    General(HashSet<SyncState>),
+}
+
+impl Visited {
+    fn insert(&mut self, st: &SyncState) -> bool {
+        match self {
+            Visited::Packed(set, packer) => set.insert(packer.pack(st)),
+            Visited::General(set) => set.insert(st.clone()),
+        }
+    }
 }
 
 /// The synchronized product searcher.
@@ -88,43 +155,77 @@ pub struct SyncSearch<'a> {
     db: &'a GraphDb,
     spec: &'a SyncSpec,
     dir: Direction,
+    /// Bitmask simulation tables, one per walker.
+    sims: Vec<MaskSim>,
+    /// Word offset of walker `i`'s mask inside `SyncState::statesets`.
+    offsets: Vec<usize>,
+    total_words: usize,
 }
 
 impl<'a> SyncSearch<'a> {
-    /// Forward search over `db`.
-    pub fn forward(db: &'a GraphDb, spec: &'a SyncSpec) -> Self {
+    fn new(db: &'a GraphDb, spec: &'a SyncSpec, dir: Direction) -> Self {
+        let sims: Vec<MaskSim> = spec.nfas.iter().map(MaskSim::new).collect();
+        let mut offsets = Vec::with_capacity(sims.len());
+        let mut total_words = 0;
+        for sim in &sims {
+            offsets.push(total_words);
+            total_words += sim.words();
+        }
         Self {
             db,
             spec,
-            dir: Direction::Forward,
+            dir,
+            sims,
+            offsets,
+            total_words,
         }
+    }
+
+    /// Forward search over `db`.
+    pub fn forward(db: &'a GraphDb, spec: &'a SyncSpec) -> Self {
+        Self::new(db, spec, Direction::Forward)
     }
 
     /// Backward search (pass a [`SyncSpec::reversed`] spec).
     pub fn backward(db: &'a GraphDb, reversed_spec: &'a SyncSpec) -> Self {
-        Self {
-            db,
-            spec: reversed_spec,
-            dir: Direction::Backward,
-        }
+        Self::new(db, reversed_spec, Direction::Backward)
     }
 
     pub(crate) fn spec(&self) -> &SyncSpec {
         self.spec
     }
 
-    fn adj(&self, p: NodeId) -> &[(Symbol, NodeId)] {
+    /// Walker `i`'s mask inside `statesets`.
+    #[inline]
+    fn mask_of<'s>(&self, st: &'s SyncState, i: usize) -> &'s [u64] {
+        &st.statesets[self.offsets[i]..self.offsets[i] + self.sims[i].words()]
+    }
+
+    /// Contiguous `a`-labelled range of `p`'s row in search direction.
+    fn adj_with(&self, p: NodeId, a: Symbol) -> &'a [(Symbol, NodeId)] {
         match self.dir {
-            Direction::Forward => self.db.out_edges(p),
-            Direction::Backward => self.db.in_edges(p),
+            Direction::Forward => self.db.successors_with(p, a),
+            Direction::Backward => self.db.predecessors_with(p, a),
+        }
+    }
+
+    /// Maximal equal-label runs of `p`'s row in search direction.
+    fn label_runs(&self, p: NodeId) -> cxrpq_graph::LabelRuns<'a> {
+        match self.dir {
+            Direction::Forward => self.db.out_label_runs(p),
+            Direction::Backward => self.db.in_label_runs(p),
         }
     }
 
     pub(crate) fn initial(&self, starts: &[NodeId]) -> SyncState {
+        let mut statesets = Vec::with_capacity(self.total_words);
+        for sim in &self.sims {
+            statesets.extend_from_slice(sim.start_mask());
+        }
         SyncState {
             positions: starts.to_vec(),
             finished: 0,
-            statesets: self.spec.nfas.iter().map(Nfa::start_set).collect(),
+            statesets,
             rstate: self.spec.relation.start(),
         }
     }
@@ -134,7 +235,7 @@ impl<'a> SyncSearch<'a> {
             return false;
         }
         (0..self.spec.arity()).all(|i| {
-            st.finished & (1 << i) != 0 || self.spec.nfas[i].any_final(&st.statesets[i])
+            st.finished & (1 << i) != 0 || self.sims[i].any_final(self.mask_of(st, i))
         })
     }
 
@@ -153,9 +254,12 @@ impl<'a> SyncSearch<'a> {
         assert!(s <= 64, "at most 64 synchronized walkers");
         let init = self.initial(starts);
         let mut out = HashSet::new();
-        let mut visited: HashSet<SyncState> = HashSet::new();
+        let mut visited = match Packer::try_new(self.db, &self.sims, &self.spec.relation) {
+            Some(p) => Visited::Packed(HashSet::new(), p),
+            None => Visited::General(HashSet::new()),
+        };
         let mut queue = VecDeque::new();
-        visited.insert(init.clone());
+        visited.insert(&init);
         queue.push_back(init);
         while let Some(st) = queue.pop_front() {
             if let Some(stats) = stats {
@@ -174,8 +278,8 @@ impl<'a> SyncSearch<'a> {
                     }
                 }
             }
-            self.expand(&st, ends, &mut |next| {
-                if visited.insert(next.clone()) {
+            self.expand_moves(&st, ends, &mut |next, _| {
+                if visited.insert(&next) {
                     queue.push_back(next);
                 }
             });
@@ -183,13 +287,10 @@ impl<'a> SyncSearch<'a> {
         out
     }
 
-    fn expand(&self, st: &SyncState, ends: Option<&[NodeId]>, emit: &mut impl FnMut(SyncState)) {
-        self.expand_moves(st, ends, &mut |next, _| emit(next));
-    }
-
-    /// Like `expand`, but also reports the per-walker symbol consumed by
-    /// each successor (`None` = the walker padded / stayed frozen) — the
-    /// information the witness extractor needs to reconstruct paths.
+    /// Expands a configuration, reporting each successor together with the
+    /// per-walker symbol consumed (`None` = the walker padded / stayed
+    /// frozen) — the information the witness extractor needs to reconstruct
+    /// paths.
     pub(crate) fn expand_moves(
         &self,
         st: &SyncState,
@@ -204,98 +305,90 @@ impl<'a> SyncSearch<'a> {
                     if st.finished != 0 {
                         continue; // all components must read a symbol
                     }
-                    // Candidate symbols: available from every walker.
-                    let mut syms: Option<HashSet<Symbol>> = None;
-                    for i in 0..s {
-                        let here: HashSet<Symbol> =
-                            self.adj(st.positions[i]).iter().map(|&(a, _)| a).collect();
-                        syms = Some(match syms {
-                            None => here,
-                            Some(acc) => acc.intersection(&here).copied().collect(),
-                        });
-                        if syms.as_ref().unwrap().is_empty() {
-                            break;
+                    // Degenerate arity 0: no walker can read a symbol, so
+                    // the label contributes no successors.
+                    let Some(&p0) = st.positions.first() else {
+                        continue;
+                    };
+                    // Candidate symbols: walker 0's distinct labels (the
+                    // label runs of its label-sorted row), kept only when
+                    // every other walker has a matching contiguous range.
+                    'sym: for (a, run0) in self.label_runs(p0) {
+                        let mut succs: Vec<&[(Symbol, NodeId)]> = Vec::with_capacity(s);
+                        succs.push(run0);
+                        for i in 1..s {
+                            let range = self.adj_with(st.positions[i], a);
+                            if range.is_empty() {
+                                continue 'sym;
+                            }
+                            succs.push(range);
                         }
-                    }
-                    for a in syms.unwrap_or_default() {
-                        // Per-walker: next NFA set and successor nodes.
-                        let mut next_sets = Vec::with_capacity(s);
-                        let mut succs: Vec<Vec<NodeId>> = Vec::with_capacity(s);
+                        // Step every walker's mask on the shared symbol.
+                        let mut next_states = vec![0u64; self.total_words];
                         let mut dead = false;
                         for i in 0..s {
-                            let ns = self.spec.nfas[i].step(&st.statesets[i], a);
-                            if ns.iter().all(|&b| !b) {
+                            let (lo, hi) =
+                                (self.offsets[i], self.offsets[i] + self.sims[i].words());
+                            if !self.sims[i].step_into(
+                                self.mask_of(st, i),
+                                a,
+                                &mut next_states[lo..hi],
+                            ) {
                                 dead = true;
                                 break;
                             }
-                            next_sets.push(ns);
-                            succs.push(
-                                self.adj(st.positions[i])
-                                    .iter()
-                                    .filter(|&&(b, _)| b == a)
-                                    .map(|&(_, v)| v)
-                                    .collect(),
-                            );
                         }
                         if dead {
                             continue;
                         }
-                        self.emit_combos(st, &succs, &next_sets, st.finished, *rnext, a, emit);
+                        self.emit_combos(&succs, &next_states, st.finished, *rnext, a, emit);
                     }
                 }
                 RelLabel::Tuple(comps) => {
                     // Build per-walker move options.
                     //   Pad: freeze (must be finishable), position unchanged.
                     //   Sym/Any: advance on a compatible edge.
-                    let mut per_walker: Vec<Vec<(NodeId, Vec<bool>, bool, Option<Symbol>)>> =
-                        Vec::with_capacity(s);
+                    // The stepped mask depends only on (walker, symbol), so
+                    // options over the same label run share one Rc'd mask
+                    // instead of cloning it per adjacent edge.
+                    type Opt = (NodeId, std::rc::Rc<[u64]>, bool, Option<Symbol>);
+                    let mut per_walker: Vec<Vec<Opt>> = Vec::with_capacity(s);
                     let mut dead = false;
                     for i in 0..s {
                         let already = st.finished & (1 << i) != 0;
-                        let mut opts: Vec<(NodeId, Vec<bool>, bool, Option<Symbol>)> = Vec::new();
+                        let cur = self.mask_of(st, i);
+                        let mut opts: Vec<Opt> = Vec::new();
                         match comps[i] {
                             TupComp::Pad => {
                                 if already {
-                                    opts.push((
-                                        st.positions[i],
-                                        st.statesets[i].clone(),
-                                        true,
-                                        None,
-                                    ));
-                                } else if self.spec.nfas[i].any_final(&st.statesets[i]) {
+                                    opts.push((st.positions[i], cur.into(), true, None));
+                                } else if self.sims[i].any_final(cur) {
                                     // Freeze now; with a known end, prune.
                                     if ends.map(|e| e[i] == st.positions[i]).unwrap_or(true) {
-                                        opts.push((
-                                            st.positions[i],
-                                            st.statesets[i].clone(),
-                                            true,
-                                            None,
-                                        ));
+                                        opts.push((st.positions[i], cur.into(), true, None));
                                     }
                                 }
                             }
                             TupComp::Sym(a) => {
                                 if !already {
-                                    let ns = self.spec.nfas[i].step(&st.statesets[i], a);
-                                    if ns.iter().any(|&b| b) {
-                                        for &(b, v) in self.adj(st.positions[i]) {
-                                            if b == a {
-                                                opts.push((v, ns.clone(), false, Some(a)));
-                                            }
+                                    let ns = self.sims[i].step(cur, a);
+                                    if ns.iter().any(|&b| b != 0) {
+                                        let ns: std::rc::Rc<[u64]> = ns.into();
+                                        for &(_, v) in self.adj_with(st.positions[i], a) {
+                                            opts.push((v, ns.clone(), false, Some(a)));
                                         }
                                     }
                                 }
                             }
                             TupComp::Any => {
                                 if !already {
-                                    let mut per_sym: HashMap<Symbol, Vec<bool>> = HashMap::new();
-                                    for &(b, v) in self.adj(st.positions[i]) {
-                                        let ns = per_sym.entry(b).or_insert_with(|| {
-                                            self.spec.nfas[i].step(&st.statesets[i], b)
-                                        });
-                                        if ns.iter().any(|&x| x) {
-                                            let ns = ns.clone();
-                                            opts.push((v, ns, false, Some(b)));
+                                    for (b, run) in self.label_runs(st.positions[i]) {
+                                        let ns = self.sims[i].step(cur, b);
+                                        if ns.iter().any(|&x| x != 0) {
+                                            let ns: std::rc::Rc<[u64]> = ns.into();
+                                            for &(_, v) in run {
+                                                opts.push((v, ns.clone(), false, Some(b)));
+                                            }
                                         }
                                     }
                                 }
@@ -314,13 +407,13 @@ impl<'a> SyncSearch<'a> {
                     let mut combo: Vec<usize> = vec![0; s];
                     loop {
                         let mut positions = Vec::with_capacity(s);
-                        let mut statesets = Vec::with_capacity(s);
+                        let mut statesets = Vec::with_capacity(self.total_words);
                         let mut moves = Vec::with_capacity(s);
                         let mut finished = 0u64;
                         for i in 0..s {
                             let (p, ss, fin, mv) = &per_walker[i][combo[i]];
                             positions.push(*p);
-                            statesets.push(ss.clone());
+                            statesets.extend_from_slice(ss);
                             moves.push(*mv);
                             if *fin {
                                 finished |= 1 << i;
@@ -335,24 +428,7 @@ impl<'a> SyncSearch<'a> {
                             },
                             &moves,
                         );
-                        // Odometer.
-                        let mut k = s;
-                        loop {
-                            if k == 0 {
-                                break;
-                            }
-                            k -= 1;
-                            combo[k] += 1;
-                            if combo[k] < per_walker[k].len() {
-                                break;
-                            }
-                            combo[k] = 0;
-                            if k == 0 {
-                                k = usize::MAX;
-                                break;
-                            }
-                        }
-                        if k == usize::MAX {
+                        if !advance_odometer(&mut combo, |k| per_walker[k].len()) {
                             break;
                         }
                     }
@@ -361,56 +437,50 @@ impl<'a> SyncSearch<'a> {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn emit_combos(
         &self,
-        st: &SyncState,
-        succs: &[Vec<NodeId>],
-        next_sets: &[Vec<bool>],
+        succs: &[&[(Symbol, NodeId)]],
+        next_states: &[u64],
         finished: u64,
         rnext: u32,
         shared_sym: Symbol,
         emit: &mut impl FnMut(SyncState, &[Option<Symbol>]),
     ) {
         let s = succs.len();
-        if succs.iter().any(Vec::is_empty) {
+        if succs.iter().any(|r| r.is_empty()) {
             return;
         }
         let moves: Vec<Option<Symbol>> = vec![Some(shared_sym); s];
         let mut combo = vec![0usize; s];
         loop {
-            let positions: Vec<NodeId> = (0..s).map(|i| succs[i][combo[i]]).collect();
+            let positions: Vec<NodeId> = (0..s).map(|i| succs[i][combo[i]].1).collect();
             emit(
                 SyncState {
                     positions,
                     finished,
-                    statesets: next_sets.to_vec(),
+                    statesets: next_states.to_vec(),
                     rstate: rnext,
                 },
                 &moves,
             );
-            let mut k = s;
-            loop {
-                if k == 0 {
-                    break;
-                }
-                k -= 1;
-                combo[k] += 1;
-                if combo[k] < succs[k].len() {
-                    break;
-                }
-                combo[k] = 0;
-                if k == 0 {
-                    k = usize::MAX;
-                    break;
-                }
-            }
-            if k == usize::MAX {
+            if !advance_odometer(&mut combo, |k| succs[k].len()) {
                 break;
             }
         }
-        let _ = st;
     }
+}
+
+/// Advances a mixed-radix counter; `false` once every combination has been
+/// produced.
+fn advance_odometer(combo: &mut [usize], radix: impl Fn(usize) -> usize) -> bool {
+    for k in (0..combo.len()).rev() {
+        combo[k] += 1;
+        if combo[k] < radix(k) {
+            return true;
+        }
+        combo[k] = 0;
+    }
+    false
 }
 
 /// Convenience: end tuples reachable from `starts` (forward).
@@ -451,13 +521,13 @@ pub fn sync_check(
 mod tests {
     use super::*;
     use cxrpq_automata::parse_regex;
-    use cxrpq_graph::Alphabet;
+    use cxrpq_graph::{Alphabet, GraphBuilder};
     use std::sync::Arc;
 
     /// Two disjoint labelled paths from fresh sources to fresh sinks.
     fn two_path_db(w1: &str, w2: &str) -> (GraphDb, [NodeId; 4]) {
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s1 = db.add_node();
         let t1 = db.add_node();
         let s2 = db.add_node();
@@ -466,7 +536,27 @@ mod tests {
         let p2 = db.alphabet().parse_word(w2).unwrap();
         db.add_word_path(s1, &p1, t1);
         db.add_word_path(s2, &p2, t2);
-        (db, [s1, t1, s2, t2])
+        (db.freeze(), [s1, t1, s2, t2])
+    }
+
+    /// Label-oblivious BFS distance, `None` when unreachable — robust on
+    /// dead-end nodes and branching graphs, unlike chasing `out_edges[0]`.
+    fn bfs_distance(db: &GraphDb, from: NodeId, to: NodeId) -> Option<usize> {
+        let mut dist = vec![usize::MAX; db.node_count()];
+        let mut queue = std::collections::VecDeque::from([from]);
+        dist[from.index()] = 0;
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                return Some(dist[n.index()]);
+            }
+            for &(_, t) in db.out_edges(n) {
+                if dist[t.index()] == usize::MAX {
+                    dist[t.index()] = dist[n.index()] + 1;
+                    queue.push_back(t);
+                }
+            }
+        }
+        None
     }
 
     #[test]
@@ -510,19 +600,12 @@ mod tests {
         let rev = spec.reversed();
         let sources = sync_sources(&db, &rev, &[t1, t2], None);
         assert!(sources.contains(&vec![s1, s2]));
-        // And prefix-aligned interior tuples, but never mixed-offset ones.
+        // And prefix-aligned interior tuples, but never mixed-offset ones:
+        // both walkers must sit at the same BFS distance from their sinks.
         for tup in &sources {
-            // Both walkers must be at the same distance from their sinks.
-            let d = |n: NodeId, t: NodeId, db: &GraphDb| {
-                let mut cur = n;
-                let mut steps = 0;
-                while cur != t {
-                    cur = db.out_edges(cur)[0].1;
-                    steps += 1;
-                }
-                steps
-            };
-            assert_eq!(d(tup[0], t1, &db), d(tup[1], t2, &db));
+            let d0 = bfs_distance(&db, tup[0], t1).expect("walker 0 reaches its sink");
+            let d1 = bfs_distance(&db, tup[1], t2).expect("walker 1 reaches its sink");
+            assert_eq!(d0, d1, "mixed-offset tuple {tup:?}");
         }
     }
 
@@ -563,7 +646,7 @@ mod tests {
         // A diamond: s -a-> m1 -b-> t ; s -a-> m2 -c-> t. Three walkers from
         // s must all pick the same labels.
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let a = db.alphabet().sym("a");
         let b = db.alphabet().sym("b");
         let c = db.alphabet().sym("c");
@@ -575,11 +658,42 @@ mod tests {
         db.add_edge(s, a, m2);
         db.add_edge(m1, b, t);
         db.add_edge(m2, c, t);
+        let db = db.freeze();
         let spec = SyncSpec::equality_group(None, 3);
         let tuples = sync_targets(&db, &spec, &[s, s, s], None);
         // Walkers can diverge in position (m1 vs m2 after 'a') but words stay
         // equal; all-at-t requires ab/ab/ab or ac/ac/ac — both fine.
         assert!(tuples.contains(&vec![t, t, t]));
         assert!(tuples.contains(&vec![m1, m2, m1]));
+    }
+
+    #[test]
+    fn arity_zero_spec_is_degenerate_not_panicking() {
+        // An empty equality group has one configuration (the empty tuple),
+        // which the empty relation accepts immediately.
+        let (db, _) = two_path_db("a", "a");
+        let spec = SyncSpec::equality_group(None, 0);
+        let tuples = sync_targets(&db, &spec, &[], None);
+        assert_eq!(tuples, HashSet::from([vec![]]));
+    }
+
+    #[test]
+    fn packed_and_general_visited_agree() {
+        // A definition NFA with > 64 Thompson states forces the general
+        // (unpacked) visited representation; results must match the packed
+        // run of an equivalent small automaton.
+        let (db, [s1, t1, s2, t2]) = two_path_db("abcabc", "abcabc");
+        let mut alpha = db.alphabet().clone();
+        let small = Nfa::from_regex(&parse_regex("(abc)+", &mut alpha).unwrap());
+        // Same language, inflated state count (> 64 states ⇒ 2 mask words):
+        // a redundant union of many copies of the same automaton.
+        let big = Nfa::union(&vec![small.clone(); 10]);
+        assert!(big.state_count() > 64, "need a multi-word mask");
+        let spec_small = SyncSpec::equality_group(Some(small), 2);
+        let spec_big = SyncSpec::equality_group(Some(big), 2);
+        let a = sync_targets(&db, &spec_small, &[s1, s2], None);
+        let b = sync_targets(&db, &spec_big, &[s1, s2], None);
+        assert_eq!(a, b);
+        assert!(a.contains(&vec![t1, t2]));
     }
 }

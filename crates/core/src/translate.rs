@@ -266,12 +266,12 @@ mod tests {
     use crate::ecrpq::EcrpqEvaluator;
     use crate::vsf_eval::VsfEvaluator;
     use cxrpq_automata::parse_regex;
-    use cxrpq_graph::{Alphabet, GraphDb, NodeId};
+    use cxrpq_graph::{GraphBuilder, Alphabet, GraphDb, NodeId};
     use std::sync::Arc;
 
     fn db_words(words: &[&str]) -> (GraphDb, Vec<(NodeId, NodeId)>) {
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let mut ends = Vec::new();
         for w in words {
             let s = db.add_node();
@@ -280,7 +280,7 @@ mod tests {
             db.add_word_path(s, &word, t);
             ends.push((s, t));
         }
-        (db, ends)
+        (db.freeze(), ends)
     }
 
     fn er_query(alpha: &mut Alphabet, re1: &str, re2: &str) -> Ecrpq {

@@ -174,6 +174,7 @@ impl From<Vec<Ecrpq>> for UnionEcrpq {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxrpq_graph::GraphBuilder;
     use crate::pattern::GraphPattern;
     use crate::relation::RegularRelation;
     use cxrpq_automata::parse_regex;
@@ -182,12 +183,12 @@ mod tests {
 
     fn db_word(word: &str) -> (GraphDb, NodeId, NodeId) {
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let t = db.add_node();
         let w = db.alphabet().parse_word(word).unwrap();
         db.add_word_path(s, &w, t);
-        (db, s, t)
+        (db.freeze(), s, t)
     }
 
     fn single(alpha: &mut Alphabet, re: &str) -> Crpq {
@@ -268,7 +269,7 @@ mod tests {
         // member 2 wants equal lengths. A database with ab/ba branches
         // satisfies only the second.
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let t1 = db.add_node();
         let t2 = db.add_node();
@@ -276,6 +277,7 @@ mod tests {
         let ba = db.alphabet().parse_word("ba").unwrap();
         db.add_word_path(s, &ab, t1);
         db.add_word_path(s, &ba, t2);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let mk = |alpha: &mut Alphabet, rel: RegularRelation, out: bool| {
             let mut p = GraphPattern::new();

@@ -101,13 +101,14 @@ impl<'q> VsfEvaluator<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxrpq_graph::GraphBuilder;
     use crate::cxrpq::CxrpqBuilder;
     use cxrpq_graph::{Alphabet, GraphDb};
     use std::sync::Arc;
 
     fn db_words(words: &[&str]) -> (GraphDb, Vec<(NodeId, NodeId)>) {
         let alpha = Arc::new(Alphabet::from_chars("abcd"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let mut ends = Vec::new();
         for w in words {
             let s = db.add_node();
@@ -116,7 +117,7 @@ mod tests {
             db.add_word_path(s, &word, t);
             ends.push((s, t));
         }
-        (db, ends)
+        (db.freeze(), ends)
     }
 
     #[test]
@@ -124,7 +125,7 @@ mod tests {
         // G2: v1 -x{aa|b}-> v2, v2 -y{(c|d)*}-> v3, v3 -(x|y)-> v1.
         // Plant a triangle matching via the x-branch: aa / cd / aa.
         let alpha = Arc::new(Alphabet::from_chars("abcd"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let v1 = db.add_node();
         let v2 = db.add_node();
         let v3 = db.add_node();
@@ -133,6 +134,7 @@ mod tests {
         db.add_word_path(v1, &aa, v2);
         db.add_word_path(v2, &cd, v3);
         db.add_word_path(v3, &aa, v1);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let q = CxrpqBuilder::new(&mut alpha2)
             .edge("v1", "x{aa|b}", "v2")
@@ -147,7 +149,7 @@ mod tests {
         assert!(ev.check(&db, &[v1, v2, v3]));
         // Break the return path: v3 -ba-> v1 matches neither x=aa nor y=cd.
         let alpha3 = Arc::new(Alphabet::from_chars("abcd"));
-        let mut db2 = GraphDb::new(alpha3);
+        let mut db2 = GraphBuilder::new(alpha3);
         let u1 = db2.add_node();
         let u2 = db2.add_node();
         let u3 = db2.add_node();
@@ -157,6 +159,7 @@ mod tests {
         db2.add_word_path(u1, &aa2, u2);
         db2.add_word_path(u2, &cd2, u3);
         db2.add_word_path(u3, &ba2, u1);
+        let db2 = db2.freeze();
         assert!(!ev.check(&db2, &[u1, u2, u3]));
     }
 
@@ -164,7 +167,7 @@ mod tests {
     fn return_via_y_branch() {
         // Same G2 query; triangle whose return path equals the y-word.
         let alpha = Arc::new(Alphabet::from_chars("abcd"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let v1 = db.add_node();
         let v2 = db.add_node();
         let v3 = db.add_node();
@@ -173,6 +176,7 @@ mod tests {
         db.add_word_path(v1, &b, v2);
         db.add_word_path(v2, &ccd, v3);
         db.add_word_path(v3, &ccd, v1);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let q = CxrpqBuilder::new(&mut alpha2)
             .edge("v1", "x{aa|b}", "v2")

@@ -11,7 +11,7 @@
 use crate::pattern::{GraphPattern, NodeVar};
 use crate::sync::{SyncSearch, SyncSpec, SyncState};
 use cxrpq_automata::{Label, Nfa, StateId};
-use cxrpq_graph::{GraphDb, NodeId, Path, Symbol};
+use cxrpq_graph::{DenseBitSet, GraphDb, NodeId, Path, Symbol};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A complete certificate for one matching morphism.
@@ -106,63 +106,62 @@ impl QueryWitness {
 /// Finds a path `from →* to` labelled by a word of `L(nfa)`, by BFS over the
 /// product `D × M` with parent pointers. Returns a shortest such path (in
 /// number of product steps). `None` iff no such path exists.
+///
+/// The product space is the dense rectangle `|V_D| × |Q|`, so the visited
+/// set is one [`DenseBitSet`] bit per `node · |Q| + state` cell (no
+/// hashing on the dedup test) while the parent forest stays sparse —
+/// memory proportional to the explored region — and transitions expand
+/// over contiguous per-label CSR ranges.
 pub fn edge_path(db: &GraphDb, nfa: &Nfa, from: NodeId, to: NodeId) -> Option<Path> {
-    type Key = (NodeId, StateId);
-    let start: Key = (from, nfa.start());
-    // parent: child -> (parent, symbol consumed on that step, if any)
-    let mut parent: HashMap<Key, (Key, Option<Symbol>)> = HashMap::new();
-    let mut visited: HashSet<Key> = HashSet::new();
-    let mut queue: VecDeque<Key> = VecDeque::new();
+    let q = nfa.state_count();
+    let key = |node: NodeId, st: StateId| node.index() * q + st.index();
+    let start = key(from, nfa.start());
+    const NO_SYM: u32 = u32::MAX;
+    let mut visited = DenseBitSet::new(db.node_count() * q);
+    // Per visited cell: parent product-index and the symbol consumed on
+    // the step into the cell (NO_SYM = ε). The root has no entry.
+    let mut parent: HashMap<usize, (usize, u32)> = HashMap::new();
+    let mut queue: VecDeque<(NodeId, StateId)> = VecDeque::new();
     visited.insert(start);
-    queue.push_back(start);
-    let mut goal: Option<Key> = None;
-    'bfs: while let Some(key) = queue.pop_front() {
-        let (node, st) = key;
+    queue.push_back((from, nfa.start()));
+    let mut goal: Option<usize> = None;
+    'bfs: while let Some((node, st)) = queue.pop_front() {
+        let cur = key(node, st);
         if node == to && nfa.is_final(st) {
-            goal = Some(key);
+            goal = Some(cur);
             break 'bfs;
         }
         for &(l, t) in nfa.transitions(st) {
-            match l {
+            let range: &[(Symbol, NodeId)] = match l {
                 Label::Eps => {
-                    let next = (node, t);
+                    let next = key(node, t);
                     if visited.insert(next) {
-                        parent.insert(next, (key, None));
-                        queue.push_back(next);
+                        parent.insert(next, (cur, NO_SYM));
+                        queue.push_back((node, t));
                     }
+                    continue;
                 }
-                Label::Sym(a) => {
-                    for &(b, v) in db.out_edges(node) {
-                        if b == a {
-                            let next = (v, t);
-                            if visited.insert(next) {
-                                parent.insert(next, (key, Some(a)));
-                                queue.push_back(next);
-                            }
-                        }
-                    }
-                }
-                Label::Any => {
-                    for &(b, v) in db.out_edges(node) {
-                        let next = (v, t);
-                        if visited.insert(next) {
-                            parent.insert(next, (key, Some(b)));
-                            queue.push_back(next);
-                        }
-                    }
+                Label::Sym(a) => db.successors_with(node, a),
+                Label::Any => db.out_edges(node),
+            };
+            for &(b, v) in range {
+                let next = key(v, t);
+                if visited.insert(next) {
+                    parent.insert(next, (cur, b.0));
+                    queue.push_back((v, t));
                 }
             }
         }
     }
-    let mut key = goal?;
+    let mut cur = goal?;
     // Reconstruct: walk parents back, recording (symbol, node-after-step).
     let mut steps: Vec<(Symbol, NodeId)> = Vec::new();
-    while key != start {
-        let (prev, sym) = parent[&key];
-        if let Some(a) = sym {
-            steps.push((a, key.0));
+    while cur != start {
+        let (prev, sym) = parent[&cur];
+        if sym != NO_SYM {
+            steps.push((Symbol(sym), NodeId((cur / q) as u32)));
         }
-        key = prev;
+        cur = prev;
     }
     steps.reverse();
     let mut path = Path::trivial(from);
@@ -276,19 +275,20 @@ pub(crate) fn pin_tuple(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxrpq_graph::GraphBuilder;
     use cxrpq_automata::parse_regex;
     use cxrpq_graph::Alphabet;
     use std::sync::Arc;
 
     fn line_db(word: &str) -> (GraphDb, Vec<NodeId>) {
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let w = db.alphabet().parse_word(word).unwrap();
         let nodes: Vec<NodeId> = (0..=w.len()).map(|_| db.add_node()).collect();
         for (i, &s) in w.iter().enumerate() {
             db.add_edge(nodes[i], s, nodes[i + 1]);
         }
-        (db, nodes)
+        (db.freeze(), nodes)
     }
 
     #[test]
@@ -325,12 +325,13 @@ mod tests {
     fn edge_path_prefers_short_witnesses() {
         // A cycle a·a plus a direct a edge: shortest accepted path is len 1.
         let alpha = Arc::new(Alphabet::from_chars("a"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let a = db.alphabet().sym("a");
         let u = db.add_node();
         let v = db.add_node();
         db.add_edge(u, a, v);
         db.add_edge(v, a, u);
+        let db = db.freeze();
         let mut alpha2 = db.alphabet().clone();
         let nfa = Nfa::from_regex(&parse_regex("a(aa)*", &mut alpha2).unwrap());
         let p = edge_path(&db, &nfa, u, v).unwrap();
@@ -341,7 +342,7 @@ mod tests {
     fn group_paths_equal_words() {
         // Two parallel abc paths; equality group must return equal labels.
         let alpha = Arc::new(Alphabet::from_chars("abc"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let w = db.alphabet().parse_word("abc").unwrap();
         let s1 = db.add_node();
         let t1 = db.add_node();
@@ -349,16 +350,19 @@ mod tests {
         let t2 = db.add_node();
         db.add_word_path(s1, &w, t1);
         db.add_word_path(s2, &w, t2);
+        // The mismatched acb path is planted up front so the database can
+        // be frozen once.
+        let w2 = db.alphabet().parse_word("acb").unwrap();
+        let s3 = db.add_node();
+        let t3 = db.add_node();
+        db.add_word_path(s3, &w2, t3);
+        let db = db.freeze();
         let spec = SyncSpec::equality_group(None, 2);
         let paths = group_paths(&db, &spec, &[s1, s2], &[t1, t2]).unwrap();
         assert_eq!(paths[0].label(), paths[1].label());
         assert_eq!(db.alphabet().render_word(paths[0].label()), "abc");
         assert!(paths.iter().all(|p| p.is_valid_in(&db)));
         // Mismatched paths: no witness.
-        let w2 = db.alphabet().parse_word("acb").unwrap();
-        let s3 = db.add_node();
-        let t3 = db.add_node();
-        db.add_word_path(s3, &w2, t3);
         assert!(group_paths(&db, &spec, &[s1, s3], &[t1, t3]).is_none());
     }
 

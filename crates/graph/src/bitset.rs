@@ -1,0 +1,115 @@
+//! A dense fixed-capacity bitset.
+//!
+//! The visited sets of the product searches in `cxrpq-core` are keyed by
+//! `node · |Q| + state` — a dense rectangle — so a flat `u64` word array
+//! beats hashing every `(node, state)` pair: one shift/mask per membership
+//! test, no hashing, no per-entry allocation, and the whole set lives in
+//! `⌈len/64⌉` contiguous words.
+
+/// A fixed-capacity set of `usize` indices below `len`.
+#[derive(Clone, Debug, Default)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBitSet {
+    /// An empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The universe size.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i`, returning `true` when it was not yet present.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "index {i} out of capacity {}", self.len);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let fresh = self.words[w] & b == 0;
+        self.words[w] |= b;
+        fresh
+    }
+
+    /// Removes `i`, returning `true` when it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "index {i} out of capacity {}", self.len);
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let present = self.words[w] & b != 0;
+        self.words[w] &= !b;
+        present
+    }
+
+    /// Whether `i` is present.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "index {i} out of capacity {}", self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Removes every element (capacity unchanged).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of elements present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the present indices in increasing order.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut m = w;
+            std::iter::from_fn(move || {
+                if m == 0 {
+                    return None;
+                }
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_clear() {
+        let mut s = DenseBitSet::new(130);
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(!s.insert(0), "second insert reports already-present");
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(s.contains(129) && s.contains(64));
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+        assert!(s.remove(64));
+        assert!(!s.remove(64), "second remove reports absent");
+        assert!(!s.contains(64));
+        s.clear();
+        assert_eq!(s.count(), 0);
+        assert!(!s.contains(63));
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = DenseBitSet::new(0);
+        assert_eq!(s.capacity(), 0);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.ones().count(), 0);
+    }
+}

@@ -1,7 +1,25 @@
 //! The graph-database multigraph `D = (V_D, E_D)`.
+//!
+//! Storage is split into two forms:
+//!
+//! - [`GraphBuilder`] — the mutable construction side. Nodes and arcs are
+//!   appended freely (duplicate arcs are rejected, parallel arcs with
+//!   distinct labels are allowed, per §2.2 of the paper).
+//! - [`GraphDb`] — the frozen, query side, produced by
+//!   [`GraphBuilder::freeze`]. Adjacency is stored in CSR (compressed sparse
+//!   row) form, label-sorted within each row, in both directions. All arcs
+//!   of a node carrying a given label therefore occupy one contiguous range,
+//!   so [`GraphDb::successors_with`] / [`GraphDb::predecessors_with`] return
+//!   slices instead of filtering — the per-transition inner loop of every
+//!   product search in `cxrpq-core`.
+//!
+//! Every frozen database carries a process-wide monotonically increasing
+//! [`GraphDb::generation`] id, which caches (e.g. `ReachCache` in
+//! `cxrpq-core`) use to detect being replayed against a different database.
 
 use crate::alphabet::{Alphabet, Symbol};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A node (vertex) of a graph database.
@@ -16,35 +34,28 @@ impl NodeId {
     }
 }
 
-/// A dense edge identifier (insertion order).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EdgeId(pub u32);
+static GENERATION: AtomicU64 = AtomicU64::new(1);
 
-/// A directed, edge-labelled multigraph over an interned alphabet.
+/// The mutable construction side of a graph database.
 ///
-/// Nodes are dense `u32` ids; edges are `(source, symbol, target)` triples.
-/// Both forward and backward adjacency lists are maintained so that product
-/// searches can run in either direction.
-///
-/// Following the paper (§2.2), *parallel* edges with distinct labels are
-/// allowed; duplicate `(u, a, v)` triples are rejected to keep `|E_D|`
-/// meaningful (a graph database is a set of arcs, not a bag).
+/// Append nodes and arcs, then call [`GraphBuilder::freeze`] to obtain the
+/// immutable, CSR-indexed [`GraphDb`]. A frozen database can be thawed back
+/// into a builder with [`GraphDb::to_builder`] (used by the rare callers
+/// that extend a database after querying it).
 #[derive(Clone, Debug)]
-pub struct GraphDb {
+pub struct GraphBuilder {
     alphabet: Arc<Alphabet>,
-    out: Vec<Vec<(Symbol, NodeId)>>,
-    inc: Vec<Vec<(Symbol, NodeId)>>,
+    edges: Vec<(NodeId, Symbol, NodeId)>,
     edge_set: HashSet<(NodeId, Symbol, NodeId)>,
     node_names: Vec<Option<String>>,
 }
 
-impl GraphDb {
-    /// Creates an empty database over `alphabet`.
+impl GraphBuilder {
+    /// Creates an empty builder over `alphabet`.
     pub fn new(alphabet: Arc<Alphabet>) -> Self {
         Self {
             alphabet,
-            out: Vec::new(),
-            inc: Vec::new(),
+            edges: Vec::new(),
             edge_set: HashSet::new(),
             node_names: Vec::new(),
         }
@@ -62,9 +73,7 @@ impl GraphDb {
 
     /// Adds a fresh anonymous node.
     pub fn add_node(&mut self) -> NodeId {
-        let id = NodeId(self.out.len() as u32);
-        self.out.push(Vec::new());
-        self.inc.push(Vec::new());
+        let id = NodeId(self.node_names.len() as u32);
         self.node_names.push(None);
         id
     }
@@ -76,23 +85,14 @@ impl GraphDb {
         id
     }
 
-    /// The display name of a node (its id when unnamed).
-    pub fn node_name(&self, v: NodeId) -> String {
-        match &self.node_names[v.index()] {
-            Some(n) => n.clone(),
-            None => format!("v{}", v.0),
-        }
-    }
-
     /// Adds the arc `(u, a, v)`. Returns `false` if it was already present.
     pub fn add_edge(&mut self, u: NodeId, a: Symbol, v: NodeId) -> bool {
-        assert!(u.index() < self.out.len(), "unknown source node");
-        assert!(v.index() < self.out.len(), "unknown target node");
+        assert!(u.index() < self.node_names.len(), "unknown source node");
+        assert!(v.index() < self.node_names.len(), "unknown target node");
         if !self.edge_set.insert((u, a, v)) {
             return false;
         }
-        self.out[u.index()].push((a, v));
-        self.inc[v.index()].push((a, u));
+        self.edges.push((u, a, v));
         true
     }
 
@@ -113,14 +113,175 @@ impl GraphDb {
         }
     }
 
-    /// Number of nodes |V_D|.
+    /// Number of nodes added so far.
     pub fn node_count(&self) -> usize {
-        self.out.len()
+        self.node_names.len()
+    }
+
+    /// Number of distinct arcs added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes the builder into an immutable CSR-indexed database.
+    ///
+    /// Both adjacency directions are built with a counting sort over the
+    /// edge list, then each row is sorted by `(label, neighbour)` so that
+    /// per-`(node, label)` ranges are contiguous. Runs in
+    /// `O(|V| + |E| log deg_max)`.
+    pub fn freeze(self) -> GraphDb {
+        let n = self.node_names.len();
+        let m = self.edges.len();
+        let mut label_counts: Vec<u32> = vec![0; self.alphabet.len()];
+        for &(_, a, _) in &self.edges {
+            if a.index() >= label_counts.len() {
+                label_counts.resize(a.index() + 1, 0);
+            }
+            label_counts[a.index()] += 1;
+        }
+        let build = |key: fn(&(NodeId, Symbol, NodeId)) -> NodeId,
+                     val: fn(&(NodeId, Symbol, NodeId)) -> (Symbol, NodeId)| {
+            let mut off: Vec<u32> = vec![0; n + 1];
+            for e in &self.edges {
+                off[key(e).index() + 1] += 1;
+            }
+            for i in 0..n {
+                off[i + 1] += off[i];
+            }
+            let mut cursor = off.clone();
+            let mut adj: Vec<(Symbol, NodeId)> = vec![(Symbol(0), NodeId(0)); m];
+            for e in &self.edges {
+                let k = key(e).index();
+                adj[cursor[k] as usize] = val(e);
+                cursor[k] += 1;
+            }
+            for i in 0..n {
+                adj[off[i] as usize..off[i + 1] as usize].sort_unstable();
+            }
+            (off, adj)
+        };
+        let (out_off, out_adj) = build(|e| e.0, |e| (e.1, e.2));
+        let (in_off, in_adj) = build(|e| e.2, |e| (e.1, e.0));
+        GraphDb {
+            alphabet: self.alphabet,
+            generation: GENERATION.fetch_add(1, Ordering::Relaxed),
+            out_off,
+            out_adj,
+            in_off,
+            in_adj,
+            label_counts,
+            node_names: self.node_names,
+        }
+    }
+}
+
+/// A frozen, CSR-indexed, directed, edge-labelled multigraph over an
+/// interned alphabet.
+///
+/// Nodes are dense `u32` ids; edges are `(source, symbol, target)` triples.
+/// Both forward and backward adjacency are maintained so that product
+/// searches can run in either direction; each adjacency row is sorted by
+/// `(label, neighbour)`.
+#[derive(Clone, Debug)]
+pub struct GraphDb {
+    alphabet: Arc<Alphabet>,
+    generation: u64,
+    out_off: Vec<u32>,
+    out_adj: Vec<(Symbol, NodeId)>,
+    in_off: Vec<u32>,
+    in_adj: Vec<(Symbol, NodeId)>,
+    label_counts: Vec<u32>,
+    node_names: Vec<Option<String>>,
+}
+
+/// The contiguous `(label, neighbour)` range of one label within a
+/// label-sorted adjacency row.
+#[inline]
+fn label_range(row: &[(Symbol, NodeId)], a: Symbol) -> &[(Symbol, NodeId)] {
+    let lo = row.partition_point(|&(s, _)| s < a);
+    let hi = lo + row[lo..].partition_point(|&(s, _)| s == a);
+    &row[lo..hi]
+}
+
+/// Iterator over the maximal equal-label runs of a label-sorted adjacency
+/// row, yielding `(label, run)` pairs. See [`GraphDb::out_label_runs`].
+pub struct LabelRuns<'a> {
+    rest: &'a [(Symbol, NodeId)],
+}
+
+impl<'a> Iterator for LabelRuns<'a> {
+    type Item = (Symbol, &'a [(Symbol, NodeId)]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let &(a, _) = self.rest.first()?;
+        let len = self.rest.partition_point(|&(s, _)| s == a);
+        let (run, rest) = self.rest.split_at(len);
+        self.rest = rest;
+        Some((a, run))
+    }
+}
+
+impl GraphDb {
+    /// The database alphabet Σ.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// A shareable handle to the database alphabet.
+    pub fn alphabet_arc(&self) -> Arc<Alphabet> {
+        Arc::clone(&self.alphabet)
+    }
+
+    /// A process-wide monotonically increasing id assigned at freeze time.
+    ///
+    /// Two databases frozen separately never share a generation (clones
+    /// do — they are the same immutable content). Caches keyed by node ids
+    /// bind to this id to detect cross-database reuse.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Thaws the database back into a builder holding the same nodes and
+    /// arcs (the resulting builder freezes into a *new* generation).
+    pub fn to_builder(&self) -> GraphBuilder {
+        let mut b = GraphBuilder::new(self.alphabet_arc());
+        b.node_names = self.node_names.clone();
+        for (u, a, v) in self.edges() {
+            b.add_edge(u, a, v);
+        }
+        b
+    }
+
+    /// The display name of a node (its id when unnamed).
+    pub fn node_name(&self, v: NodeId) -> String {
+        match &self.node_names[v.index()] {
+            Some(n) => n.clone(),
+            None => format!("v{}", v.0),
+        }
+    }
+
+    /// Number of nodes |V_D|.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
     }
 
     /// Number of arcs |E_D|.
+    #[inline]
     pub fn edge_count(&self) -> usize {
-        self.edge_set.len()
+        self.out_adj.len()
+    }
+
+    /// Number of arcs labelled `a`.
+    #[inline]
+    pub fn label_edge_count(&self, a: Symbol) -> usize {
+        self.label_counts.get(a.index()).copied().unwrap_or(0) as usize
+    }
+
+    /// Per-label arc counts, indexed by [`Symbol::index`].
+    pub fn label_edge_counts(&self) -> &[u32] {
+        &self.label_counts
     }
 
     /// Size measure |D| = |V_D| + |E_D| used for data-complexity sweeps.
@@ -130,38 +291,60 @@ impl GraphDb {
 
     /// All nodes in id order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.out.len() as u32).map(NodeId)
+        (0..self.node_count() as u32).map(NodeId)
     }
 
-    /// Outgoing arcs of `u` as `(label, target)` pairs.
+    /// Outgoing arcs of `u` as `(label, target)` pairs, sorted by
+    /// `(label, target)`.
     #[inline]
     pub fn out_edges(&self, u: NodeId) -> &[(Symbol, NodeId)] {
-        &self.out[u.index()]
+        &self.out_adj[self.out_off[u.index()] as usize..self.out_off[u.index() + 1] as usize]
     }
 
-    /// Incoming arcs of `v` as `(label, source)` pairs.
+    /// Incoming arcs of `v` as `(label, source)` pairs, sorted by
+    /// `(label, source)`.
     #[inline]
     pub fn in_edges(&self, v: NodeId) -> &[(Symbol, NodeId)] {
-        &self.inc[v.index()]
+        &self.in_adj[self.in_off[v.index()] as usize..self.in_off[v.index() + 1] as usize]
     }
 
-    /// Successors of `u` along arcs labelled `a`.
-    pub fn successors_with(&self, u: NodeId, a: Symbol) -> impl Iterator<Item = NodeId> + '_ {
-        self.out[u.index()]
-            .iter()
-            .filter(move |(s, _)| *s == a)
-            .map(|(_, v)| *v)
+    /// Arcs `u -a-> ·` as a contiguous slice of the CSR row (every pair's
+    /// symbol equals `a`); no per-call filtering.
+    #[inline]
+    pub fn successors_with(&self, u: NodeId, a: Symbol) -> &[(Symbol, NodeId)] {
+        label_range(self.out_edges(u), a)
     }
 
-    /// Whether the arc `(u, a, v)` exists.
+    /// Arcs `· -a-> v` as a contiguous slice of the reverse CSR row.
+    #[inline]
+    pub fn predecessors_with(&self, v: NodeId, a: Symbol) -> &[(Symbol, NodeId)] {
+        label_range(self.in_edges(v), a)
+    }
+
+    /// The maximal equal-label runs of `u`'s outgoing row — one
+    /// `(label, contiguous run)` pair per distinct outgoing label.
+    pub fn out_label_runs(&self, u: NodeId) -> LabelRuns<'_> {
+        LabelRuns {
+            rest: self.out_edges(u),
+        }
+    }
+
+    /// The maximal equal-label runs of `v`'s incoming row.
+    pub fn in_label_runs(&self, v: NodeId) -> LabelRuns<'_> {
+        LabelRuns {
+            rest: self.in_edges(v),
+        }
+    }
+
+    /// Whether the arc `(u, a, v)` exists (binary search of the CSR row).
     pub fn has_edge(&self, u: NodeId, a: Symbol, v: NodeId) -> bool {
-        self.edge_set.contains(&(u, a, v))
+        self.out_edges(u).binary_search(&(a, v)).is_ok()
     }
 
-    /// All arcs, in unspecified order.
+    /// All arcs, grouped by source and label-sorted within each source.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, Symbol, NodeId)> + '_ {
-        self.out.iter().enumerate().flat_map(|(u, adj)| {
-            adj.iter().map(move |(a, v)| (NodeId(u as u32), *a, *v))
+        self.nodes().flat_map(move |u| {
+            self.out_edges(u).iter().map(move |&(a, v)| (u, a, v))
         })
     }
 
@@ -170,20 +353,30 @@ impl GraphDb {
     /// Runs a breadth-first frontier scan over `word` (length-0 paths match
     /// the empty word on `u == v`, per §2.2).
     pub fn has_path_labelled(&self, u: NodeId, word: &[Symbol], v: NodeId) -> bool {
-        let mut frontier: HashSet<NodeId> = HashSet::from([u]);
+        // One bitset dedups every frontier: before each step the previous
+        // frontier's bits are removed (O(|frontier|)), so only the initial
+        // zeroing touches all |V| bits.
+        let mut seen = crate::bitset::DenseBitSet::new(self.node_count());
+        let mut nodes = vec![u];
+        seen.insert(u.index());
         for &a in word {
-            let mut next = HashSet::new();
-            for &n in &frontier {
-                for t in self.successors_with(n, a) {
-                    next.insert(t);
+            for &n in &nodes {
+                seen.remove(n.index());
+            }
+            let mut next_nodes = Vec::new();
+            for &n in &nodes {
+                for &(_, t) in self.successors_with(n, a) {
+                    if seen.insert(t.index()) {
+                        next_nodes.push(t);
+                    }
                 }
             }
-            if next.is_empty() {
+            if next_nodes.is_empty() {
                 return false;
             }
-            frontier = next;
+            nodes = next_nodes;
         }
-        frontier.contains(&v)
+        seen.contains(v.index())
     }
 
     /// Plain (label-oblivious) reachability from `u` to `v`.
@@ -210,18 +403,19 @@ impl GraphDb {
 mod tests {
     use super::*;
 
-    fn abc_db() -> GraphDb {
-        GraphDb::new(Arc::new(Alphabet::from_chars("abc")))
+    fn abc_builder() -> GraphBuilder {
+        GraphBuilder::new(Arc::new(Alphabet::from_chars("abc")))
     }
 
     #[test]
     fn add_nodes_and_edges() {
-        let mut d = abc_db();
-        let a = d.alphabet().sym("a");
-        let u = d.add_node();
-        let v = d.add_node();
-        assert!(d.add_edge(u, a, v));
-        assert!(!d.add_edge(u, a, v), "duplicate arc rejected");
+        let mut b = abc_builder();
+        let a = b.alphabet().sym("a");
+        let u = b.add_node();
+        let v = b.add_node();
+        assert!(b.add_edge(u, a, v));
+        assert!(!b.add_edge(u, a, v), "duplicate arc rejected");
+        let d = b.freeze();
         assert_eq!(d.node_count(), 2);
         assert_eq!(d.edge_count(), 1);
         assert!(d.has_edge(u, a, v));
@@ -230,23 +424,27 @@ mod tests {
 
     #[test]
     fn parallel_edges_with_distinct_labels() {
-        let mut d = abc_db();
-        let (a, b) = (d.alphabet().sym("a"), d.alphabet().sym("b"));
-        let u = d.add_node();
-        let v = d.add_node();
-        assert!(d.add_edge(u, a, v));
-        assert!(d.add_edge(u, b, v));
+        let mut bld = abc_builder();
+        let (a, b) = (bld.alphabet().sym("a"), bld.alphabet().sym("b"));
+        let u = bld.add_node();
+        let v = bld.add_node();
+        assert!(bld.add_edge(u, a, v));
+        assert!(bld.add_edge(u, b, v));
+        let d = bld.freeze();
         assert_eq!(d.edge_count(), 2);
-        assert_eq!(d.successors_with(u, a).collect::<Vec<_>>(), vec![v]);
+        assert_eq!(d.successors_with(u, a), &[(a, v)]);
+        assert_eq!(d.label_edge_count(a), 1);
+        assert_eq!(d.label_edge_count(b), 1);
     }
 
     #[test]
     fn word_path_creates_intermediates() {
-        let mut d = abc_db();
-        let w = d.alphabet().parse_word("abc").unwrap();
-        let u = d.add_node();
-        let v = d.add_node();
-        d.add_word_path(u, &w, v);
+        let mut b = abc_builder();
+        let w = b.alphabet().parse_word("abc").unwrap();
+        let u = b.add_node();
+        let v = b.add_node();
+        b.add_word_path(u, &w, v);
+        let d = b.freeze();
         assert_eq!(d.node_count(), 4); // u, v + 2 intermediates
         assert!(d.has_path_labelled(u, &w, v));
         assert!(!d.has_path_labelled(u, &w[..2], v));
@@ -254,23 +452,25 @@ mod tests {
 
     #[test]
     fn empty_word_path_matches_only_self() {
-        let mut d = abc_db();
-        let u = d.add_node();
-        let v = d.add_node();
+        let mut b = abc_builder();
+        let u = b.add_node();
+        let v = b.add_node();
+        let d = b.freeze();
         assert!(d.has_path_labelled(u, &[], u));
         assert!(!d.has_path_labelled(u, &[], v));
     }
 
     #[test]
     fn reachable_follows_any_labels() {
-        let mut d = abc_db();
-        let (a, b) = (d.alphabet().sym("a"), d.alphabet().sym("b"));
-        let u = d.add_node();
-        let m = d.add_node();
-        let v = d.add_node();
-        let w = d.add_node();
-        d.add_edge(u, a, m);
-        d.add_edge(m, b, v);
+        let mut bld = abc_builder();
+        let (a, b) = (bld.alphabet().sym("a"), bld.alphabet().sym("b"));
+        let u = bld.add_node();
+        let m = bld.add_node();
+        let v = bld.add_node();
+        let w = bld.add_node();
+        bld.add_edge(u, a, m);
+        bld.add_edge(m, b, v);
+        let d = bld.freeze();
         assert!(d.reachable(u, v));
         assert!(!d.reachable(u, w));
         assert!(d.reachable(u, u));
@@ -278,21 +478,70 @@ mod tests {
 
     #[test]
     fn in_edges_mirror_out_edges() {
-        let mut d = abc_db();
-        let a = d.alphabet().sym("a");
-        let u = d.add_node();
-        let v = d.add_node();
-        d.add_edge(u, a, v);
+        let mut b = abc_builder();
+        let a = b.alphabet().sym("a");
+        let u = b.add_node();
+        let v = b.add_node();
+        b.add_edge(u, a, v);
+        let d = b.freeze();
         assert_eq!(d.in_edges(v), &[(a, u)]);
         assert_eq!(d.out_edges(u), &[(a, v)]);
+        assert_eq!(d.predecessors_with(v, a), &[(a, u)]);
     }
 
     #[test]
     fn named_nodes_display() {
-        let mut d = abc_db();
-        let s = d.add_named_node("s");
-        let t = d.add_node();
+        let mut b = abc_builder();
+        let s = b.add_named_node("s");
+        let t = b.add_node();
+        let d = b.freeze();
         assert_eq!(d.node_name(s), "s");
         assert_eq!(d.node_name(t), "v1");
+    }
+
+    #[test]
+    fn rows_are_label_sorted_and_ranges_contiguous() {
+        let mut bld = abc_builder();
+        let (a, b, c) = (
+            bld.alphabet().sym("a"),
+            bld.alphabet().sym("b"),
+            bld.alphabet().sym("c"),
+        );
+        let u = bld.add_node();
+        let xs: Vec<NodeId> = (0..4).map(|_| bld.add_node()).collect();
+        // Insert out of label order on purpose.
+        bld.add_edge(u, c, xs[0]);
+        bld.add_edge(u, a, xs[1]);
+        bld.add_edge(u, b, xs[2]);
+        bld.add_edge(u, a, xs[3]);
+        let d = bld.freeze();
+        let row = d.out_edges(u);
+        assert!(row.windows(2).all(|w| w[0] <= w[1]), "row sorted");
+        assert_eq!(d.successors_with(u, a).len(), 2);
+        assert_eq!(d.successors_with(u, b), &[(b, xs[2])]);
+        let runs: Vec<(Symbol, usize)> =
+            d.out_label_runs(u).map(|(s, r)| (s, r.len())).collect();
+        assert_eq!(runs, vec![(a, 2), (b, 1), (c, 1)]);
+    }
+
+    #[test]
+    fn generations_are_distinct_and_thaw_extends() {
+        let mut b = abc_builder();
+        let a = b.alphabet().sym("a");
+        let u = b.add_node();
+        let v = b.add_node();
+        b.add_edge(u, a, v);
+        let d1 = b.freeze();
+        let d2 = d1.clone();
+        assert_eq!(d1.generation(), d2.generation(), "clones share content");
+        let mut t = d1.to_builder();
+        let w = t.add_node();
+        t.add_edge(v, a, w);
+        let d3 = t.freeze();
+        assert_ne!(d1.generation(), d3.generation());
+        assert_eq!(d3.edge_count(), 2);
+        assert!(d3.has_edge(u, a, v));
+        assert!(d3.has_edge(v, a, w));
+        assert_eq!(d3.node_name(u), d1.node_name(u));
     }
 }

@@ -37,14 +37,14 @@ mod tests {
 
     #[test]
     fn dot_contains_all_arcs() {
-        let mut db = GraphDb::new(Arc::new(Alphabet::from_chars("ab")));
-        let a = db.alphabet().sym("a");
-        let b = db.alphabet().sym("b");
-        let u = db.add_named_node("s");
-        let v = db.add_node();
-        db.add_edge(u, a, v);
-        db.add_edge(v, b, u);
-        let dot = to_dot(&db, "g");
+        let mut bld = crate::db::GraphBuilder::new(Arc::new(Alphabet::from_chars("ab")));
+        let a = bld.alphabet().sym("a");
+        let b = bld.alphabet().sym("b");
+        let u = bld.add_named_node("s");
+        let v = bld.add_node();
+        bld.add_edge(u, a, v);
+        bld.add_edge(v, b, u);
+        let dot = to_dot(&bld.freeze(), "g");
         assert!(dot.contains("digraph g {"));
         assert!(dot.contains("n0 -> n1 [label=\"a\"]"));
         assert!(dot.contains("n1 -> n0 [label=\"b\"]"));
@@ -55,12 +55,12 @@ mod tests {
     fn dot_escapes_quotes() {
         let mut alpha = Alphabet::new();
         alpha.intern("\"q\"");
-        let mut db = GraphDb::new(Arc::new(alpha));
-        let s = db.alphabet().sym("\"q\"");
-        let u = db.add_node();
-        let v = db.add_node();
-        db.add_edge(u, s, v);
-        let dot = to_dot(&db, "g");
+        let mut bld = crate::db::GraphBuilder::new(Arc::new(alpha));
+        let s = bld.alphabet().sym("\"q\"");
+        let u = bld.add_node();
+        let v = bld.add_node();
+        bld.add_edge(u, s, v);
+        let dot = to_dot(&bld.freeze(), "g");
         assert!(dot.contains("\\\"q\\\""));
     }
 }

@@ -17,7 +17,7 @@
 //! workloads with long relation names.
 
 use crate::alphabet::Alphabet;
-use crate::db::{GraphDb, NodeId};
+use crate::db::{GraphBuilder, GraphDb, NodeId};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -71,7 +71,7 @@ pub fn read_graph(text: &str) -> Result<(GraphDb, HashMap<String, NodeId>), Grap
             _ => {}
         }
     }
-    let mut db = GraphDb::new(Arc::new(alphabet));
+    let mut db = GraphBuilder::new(Arc::new(alphabet));
     let mut names: HashMap<String, NodeId> = HashMap::new();
     for (i, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -111,7 +111,7 @@ pub fn read_graph(text: &str) -> Result<(GraphDb, HashMap<String, NodeId>), Grap
                     .alphabet()
                     .symbol(label)
                     .expect("symbol interned in first pass");
-                let get = |db: &mut GraphDb, names: &mut HashMap<String, NodeId>, n: &str| {
+                let get = |db: &mut GraphBuilder, names: &mut HashMap<String, NodeId>, n: &str| {
                     if let Some(&id) = names.get(n) {
                         id
                     } else {
@@ -132,7 +132,7 @@ pub fn read_graph(text: &str) -> Result<(GraphDb, HashMap<String, NodeId>), Grap
             }
         }
     }
-    Ok((db, names))
+    Ok((db.freeze(), names))
 }
 
 /// Serializes a database into the text format ([`read_graph`]'s inverse up

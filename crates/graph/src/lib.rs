@@ -10,7 +10,13 @@
 //! - [`Symbol`] / [`Alphabet`]: interned alphabet symbols (labels may be
 //!   arbitrary strings, e.g. `<z17>` in the Hitting-Set reduction of the
 //!   paper's Theorem 7);
-//! - [`GraphDb`]: the multigraph with forward and backward adjacency;
+//! - [`GraphBuilder`]: the mutable construction side of a database;
+//! - [`GraphDb`]: the frozen multigraph, with label-sorted CSR adjacency in
+//!   both directions ([`GraphDb::successors_with`] and
+//!   [`GraphDb::predecessors_with`] return contiguous slices) and a
+//!   monotonically increasing [`GraphDb::generation`] id for cache binding;
+//! - [`DenseBitSet`]: the flat visited-set representation the product
+//!   searches in `cxrpq-core` use instead of hashed `(node, state)` pairs;
 //! - [`Path`]: materialized paths with their labels;
 //! - [`dot`]: Graphviz export for debugging and for reproducing the paper's
 //!   figures;
@@ -18,12 +24,14 @@
 //!   `edge` directives) used by the `cxrpq-cli` tool.
 
 pub mod alphabet;
+pub mod bitset;
 pub mod db;
 pub mod dot;
 pub mod io;
 pub mod path;
 
 pub use alphabet::{Alphabet, Symbol};
-pub use db::{EdgeId, GraphDb, NodeId};
+pub use bitset::DenseBitSet;
+pub use db::{GraphBuilder, GraphDb, LabelRuns, NodeId};
 pub use io::{read_graph, write_graph, GraphIoError};
 pub use path::Path;

@@ -105,11 +105,12 @@ mod tests {
 
     #[test]
     fn push_and_validate() {
-        let mut db = GraphDb::new(Arc::new(Alphabet::from_chars("ab")));
-        let a = db.alphabet().sym("a");
-        let u = db.add_node();
-        let v = db.add_node();
-        db.add_edge(u, a, v);
+        let mut b = crate::db::GraphBuilder::new(Arc::new(Alphabet::from_chars("ab")));
+        let a = b.alphabet().sym("a");
+        let u = b.add_node();
+        let v = b.add_node();
+        b.add_edge(u, a, v);
+        let db = b.freeze();
         let mut p = Path::trivial(u);
         p.push(a, v);
         assert!(p.is_valid_in(&db));
@@ -129,11 +130,12 @@ mod tests {
 
     #[test]
     fn render_is_readable() {
-        let mut db = GraphDb::new(Arc::new(Alphabet::from_chars("ab")));
-        let a = db.alphabet().sym("a");
-        let u = db.add_named_node("s");
-        let v = db.add_named_node("t");
-        db.add_edge(u, a, v);
+        let mut b = crate::db::GraphBuilder::new(Arc::new(Alphabet::from_chars("ab")));
+        let a = b.alphabet().sym("a");
+        let u = b.add_named_node("s");
+        let v = b.add_named_node("t");
+        b.add_edge(u, a, v);
+        let db = b.freeze();
         let mut p = Path::trivial(u);
         p.push(a, v);
         assert_eq!(p.render(&db, db.alphabet()), "s -a-> t");

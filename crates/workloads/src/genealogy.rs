@@ -4,7 +4,7 @@
 //! introduction.
 
 use cxrpq_core::Crpq;
-use cxrpq_graph::{Alphabet, GraphDb, NodeId};
+use cxrpq_graph::{GraphBuilder, Alphabet, GraphDb, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -24,7 +24,7 @@ pub fn generate(gens: usize, width: usize, supervised: f64, seed: u64) -> Geneal
     let alphabet = Arc::new(Alphabet::from_chars("ps"));
     let p = alphabet.sym("p");
     let s = alphabet.sym("s");
-    let mut db = GraphDb::new(alphabet);
+    let mut db = GraphBuilder::new(alphabet);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut generations: Vec<Vec<NodeId>> = Vec::with_capacity(gens);
     for g in 0..gens {
@@ -45,7 +45,7 @@ pub fn generate(gens: usize, width: usize, supervised: f64, seed: u64) -> Geneal
         }
         generations.push(layer);
     }
-    Genealogy { db, generations }
+    Genealogy { db: db.freeze(), generations }
 }
 
 /// Figure 1 G1: pairs `(v1, v2)` where v1's child has been supervised by
@@ -136,7 +136,7 @@ mod tests {
         let alphabet = Arc::new(Alphabet::from_chars("ps"));
         let p = alphabet.sym("p");
         let s = alphabet.sym("s");
-        let mut db = GraphDb::new(alphabet);
+        let mut db = GraphBuilder::new(alphabet);
         let v1 = db.add_node();
         let c = db.add_node();
         let sup = db.add_node();
@@ -144,6 +144,7 @@ mod tests {
         db.add_edge(v1, p, c);
         db.add_edge(c, s, sup);
         db.add_edge(sup, p, v2);
+        let db = db.freeze();
         let mut alpha = db.alphabet().clone();
         let q = fig1_g1(&mut alpha);
         let ans = CrpqEvaluator::new(&q).answers(&db);
@@ -156,11 +157,12 @@ mod tests {
         let alphabet = Arc::new(Alphabet::from_chars("ps"));
         let p = alphabet.sym("p");
         let s = alphabet.sym("s");
-        let mut db = GraphDb::new(alphabet);
+        let mut db = GraphBuilder::new(alphabet);
         let m = db.add_node();
         let v1 = db.add_node();
         db.add_edge(m, p, v1);
         db.add_edge(v1, s, m);
+        let db = db.freeze();
         let mut alpha = db.alphabet().clone();
         let q = fig1_g3(&mut alpha);
         let ans = CrpqEvaluator::new(&q).answers(&db);

@@ -1,6 +1,6 @@
 //! Generic graph-database generators.
 
-use cxrpq_graph::{Alphabet, GraphDb, NodeId, Symbol};
+use cxrpq_graph::{GraphBuilder, Alphabet, GraphDb, NodeId, Symbol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -11,7 +11,7 @@ pub fn random_labeled(alphabet: Arc<Alphabet>, nodes: usize, edges: usize, seed:
     assert!(nodes > 0 && !alphabet.is_empty());
     let mut rng = StdRng::seed_from_u64(seed);
     let sigma = alphabet.len() as u32;
-    let mut db = GraphDb::new(alphabet);
+    let mut db = GraphBuilder::new(alphabet);
     for _ in 0..nodes {
         db.add_node();
     }
@@ -26,29 +26,56 @@ pub fn random_labeled(alphabet: Arc<Alphabet>, nodes: usize, edges: usize, seed:
             added += 1;
         }
     }
-    db
+    db.freeze()
+}
+
+/// A `rows × cols` directed grid with right- and down-arcs, labels drawn
+/// uniformly from the alphabet. Node `(r, c)` is `NodeId(r · cols + c)`.
+///
+/// Grids are the classic bounded-degree, high-diameter shape for reach
+/// benchmarks: frontiers stay wide without the fan-out of random graphs.
+pub fn grid_labeled(alphabet: Arc<Alphabet>, rows: usize, cols: usize, seed: u64) -> GraphDb {
+    assert!(rows > 0 && cols > 0 && !alphabet.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sigma = alphabet.len() as u32;
+    let mut db = GraphBuilder::new(alphabet);
+    for _ in 0..rows * cols {
+        db.add_node();
+    }
+    let at = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                db.add_edge(at(r, c), Symbol(rng.random_range(0..sigma)), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                db.add_edge(at(r, c), Symbol(rng.random_range(0..sigma)), at(r + 1, c));
+            }
+        }
+    }
+    db.freeze()
 }
 
 /// A simple path labelled by `word`; returns `(db, source, sink)`.
 pub fn labeled_path(alphabet: Arc<Alphabet>, word: &[Symbol]) -> (GraphDb, NodeId, NodeId) {
-    let mut db = GraphDb::new(alphabet);
+    let mut db = GraphBuilder::new(alphabet);
     let s = db.add_node();
     if word.is_empty() {
-        return (db, s, s);
+        return (db.freeze(), s, s);
     }
     let t = db.add_node();
     db.add_word_path(s, word, t);
-    (db, s, t)
+    (db.freeze(), s, t)
 }
 
 /// A cycle labelled by `word` (repeating).
 pub fn labeled_cycle(alphabet: Arc<Alphabet>, word: &[Symbol]) -> GraphDb {
     assert!(!word.is_empty());
-    let mut db = GraphDb::new(alphabet);
+    let mut db = GraphBuilder::new(alphabet);
     let start = db.add_node();
     if word.len() == 1 {
         db.add_edge(start, word[0], start);
-        return db;
+        return db.freeze();
     }
     let mut prev = start;
     for &a in &word[..word.len() - 1] {
@@ -57,7 +84,7 @@ pub fn labeled_cycle(alphabet: Arc<Alphabet>, word: &[Symbol]) -> GraphDb {
         prev = n;
     }
     db.add_edge(prev, word[word.len() - 1], start);
-    db
+    db.freeze()
 }
 
 /// The §7 two-path family: two node-disjoint labelled paths; returns the
@@ -67,14 +94,14 @@ pub fn two_paths(
     w1: &[Symbol],
     w2: &[Symbol],
 ) -> (GraphDb, (NodeId, NodeId), (NodeId, NodeId)) {
-    let mut db = GraphDb::new(alphabet);
+    let mut db = GraphBuilder::new(alphabet);
     let s1 = db.add_node();
     let t1 = db.add_node();
     let s2 = db.add_node();
     let t2 = db.add_node();
     db.add_word_path(s1, w1, t1);
     db.add_word_path(s2, w2, t2);
-    (db, (s1, t1), (s2, t2))
+    (db.freeze(), (s1, t1), (s2, t2))
 }
 
 /// `D_{n,m}` of the Theorem 9/10 proofs: disjoint paths labelled `c aⁿ c`
@@ -130,6 +157,17 @@ mod tests {
         let e1: std::collections::BTreeSet<_> = d1.edges().collect();
         let e2: std::collections::BTreeSet<_> = d2.edges().collect();
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let g = grid_labeled(alpha, 3, 4, 11);
+        assert_eq!(g.node_count(), 12);
+        // 3·(4−1) right arcs + (3−1)·4 down arcs.
+        assert_eq!(g.edge_count(), 17);
+        assert!(g.reachable(NodeId(0), NodeId(11)));
+        assert!(!g.reachable(NodeId(11), NodeId(0)));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! of simple text messages relayed via intermediaries (Figure 2, G3).
 
 use cxrpq_core::{Cxrpq, CxrpqBuilder};
-use cxrpq_graph::{Alphabet, GraphDb, NodeId, Symbol};
+use cxrpq_graph::{GraphBuilder, Alphabet, GraphDb, NodeId, Symbol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -33,7 +33,7 @@ pub fn generate(
     let names: Vec<String> = (0..messages).map(|i| format!("m{i}")).collect();
     let alphabet = Arc::new(Alphabet::from_names(names.iter()));
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut db = GraphDb::new(alphabet);
+    let mut db = GraphBuilder::new(alphabet);
     for _ in 0..population {
         db.add_node();
     }
@@ -74,7 +74,7 @@ pub fn generate(
         }
     }
     MessageNetwork {
-        db,
+        db: db.freeze(),
         planted: planted_out,
     }
 }
@@ -146,7 +146,7 @@ mod tests {
         let a = alphabet.sym("a");
         let b = alphabet.sym("b");
         let c = alphabet.sym("c");
-        let mut db = GraphDb::new(alphabet);
+        let mut db = GraphBuilder::new(alphabet);
         let w = db.add_node();
         let v1 = db.add_node();
         let u = db.add_node();
@@ -156,6 +156,7 @@ mod tests {
         db.add_edge(u, c, v2);
         let v1b = db.add_node();
         db.add_edge(w, b, v1b);
+        let db = db.freeze();
         let mut alpha = db.alphabet().clone();
         let q = fig2_g1(&mut alpha);
         let ev = BoundedEvaluator::new(&q, 1);

@@ -114,6 +114,66 @@ pub fn random_vstar_free<R: Rng + ?Sized>(
     ConjunctiveXregex::new(comps, vars).expect("valid by construction")
 }
 
+/// A random *finite* classical regex (no `*`/`+`): concatenations and
+/// alternations of symbols and ε, with word length at most `2^depth`.
+fn random_finite_classical<R: Rng + ?Sized>(rng: &mut R, sigma: usize, depth: usize) -> Regex {
+    let choice = if depth == 0 {
+        rng.random_range(0..2u32)
+    } else {
+        rng.random_range(0..4u32)
+    };
+    match choice {
+        0 => Regex::Sym(Symbol(rng.random_range(0..sigma as u32))),
+        1 => Regex::Epsilon,
+        2 => Regex::concat(vec![
+            random_finite_classical(rng, sigma, depth - 1),
+            random_finite_classical(rng, sigma, depth - 1),
+        ]),
+        _ => Regex::alt(vec![
+            random_finite_classical(rng, sigma, depth - 1),
+            random_finite_classical(rng, sigma, depth - 1),
+        ]),
+    }
+}
+
+/// A random *simple* conjunctive xregex (the Lemma 3 fragment): components
+/// are concatenations of classical chunks, definitions with classical
+/// bodies, and references — no variable under an alternation or repetition.
+///
+/// Every variable is defined exactly once, with a *finite* body of word
+/// length ≤ `2^body_depth` (default shape: ≤ 4), so `⊨_{≤k}` evaluation is
+/// exact for any `k ≥ 2^body_depth` — the property the cross-engine
+/// agreement tests rely on to compare the bounded engine against the exact
+/// ones.
+pub fn random_simple<R: Rng + ?Sized>(rng: &mut R, shape: &QueryShape) -> ConjunctiveXregex {
+    let body_depth = 2usize;
+    let mut vars = VarTable::new();
+    let xs: Vec<Var> = (0..shape.vars)
+        .map(|i| vars.intern(&format!("x{i}")))
+        .collect();
+    let mut slots: Vec<Vec<Xregex>> = vec![Vec::new(); shape.dims];
+    for &x in &xs {
+        let body = random_finite_classical(rng, shape.sigma, body_depth);
+        let comp = rng.random_range(0..shape.dims);
+        slots[comp].push(Xregex::def(x, Xregex::from_regex(&body)));
+    }
+    // Sprinkle references (bare, never under alternation: simple fragment).
+    if !xs.is_empty() {
+        let n_refs = rng.random_range(1..=shape.vars * 2);
+        for _ in 0..n_refs {
+            let x = xs[rng.random_range(0..xs.len())];
+            let comp = rng.random_range(0..shape.dims);
+            slots[comp].push(Xregex::VarRef(x));
+        }
+    }
+    // Classical glue (repetitions allowed outside variables).
+    for slot in slots.iter_mut() {
+        slot.push(Xregex::from_regex(&random_classical(rng, shape.sigma, 1)));
+    }
+    let comps: Vec<Xregex> = slots.into_iter().map(Xregex::concat).collect();
+    ConjunctiveXregex::new(comps, vars).expect("valid by construction")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +195,24 @@ mod tests {
             );
             let c = classification(&cx);
             assert!(c.vstar_free, "round {seed_round}: not vstar-free");
+        }
+    }
+
+    #[test]
+    fn generated_simple_queries_classify_simple() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for round in 0..50 {
+            let cx = random_simple(
+                &mut rng,
+                &QueryShape {
+                    dims: 2,
+                    vars: 2,
+                    sigma: 2,
+                    alt_prob: 0.0,
+                },
+            );
+            let c = classification(&cx);
+            assert!(c.simple, "round {round}: not simple");
         }
     }
 

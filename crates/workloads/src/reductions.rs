@@ -12,7 +12,7 @@
 
 use cxrpq_automata::{Label, Nfa, StateId};
 use cxrpq_core::{Crpq, Cxrpq, CxrpqBuilder};
-use cxrpq_graph::{Alphabet, GraphDb, NodeId, Symbol};
+use cxrpq_graph::{GraphBuilder, Alphabet, GraphDb, NodeId, Symbol};
 use cxrpq_xregex::{ConjunctiveXregex, VarTable, Xregex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,7 +71,7 @@ pub fn random_nfa_intersection(k: usize, states: usize, seed: u64) -> NfaInterse
 pub fn theorem1_database(inst: &NfaIntersection) -> (GraphDb, NodeId, NodeId) {
     let alphabet = Arc::new(Alphabet::from_chars("ab#"));
     let hash = alphabet.sym("#");
-    let mut db = GraphDb::new(alphabet);
+    let mut db = GraphBuilder::new(alphabet);
     let s = db.add_named_node("s");
     let t = db.add_named_node("t");
     let mut starts = Vec::new();
@@ -106,7 +106,7 @@ pub fn theorem1_database(inst: &NfaIntersection) -> (GraphDb, NodeId, NodeId) {
         &[hash, hash, hash],
         t,
     );
-    (db, s, t)
+    (db.freeze(), s, t)
 }
 
 /// The Theorem 1 query: the single-edge CXRPQ with
@@ -217,7 +217,7 @@ pub fn theorem7_reduction(inst: &HittingSet) -> (GraphDb, Cxrpq) {
         w.push(b);
         w
     };
-    let mut db = GraphDb::new(alphabet.clone());
+    let mut db = GraphBuilder::new(alphabet.clone());
     let s = db.add_named_node("s");
     let u: Vec<NodeId> = (0..=inst.k)
         .map(|i| db.add_named_node(&format!("u{i}")))
@@ -274,7 +274,7 @@ pub fn theorem7_reduction(inst: &HittingSet) -> (GraphDb, Cxrpq) {
     let y = pattern.node("y");
     pattern.add_edge(x, 0usize, y);
     let q = Cxrpq::from_parts(pattern, cxre, vec![]);
-    (db, q)
+    (db.freeze(), q)
 }
 
 // ---------------------------------------------------------------------
@@ -294,7 +294,7 @@ pub fn reachability_reduction(
     let alphabet = Arc::new(Alphabet::from_chars("ab"));
     let a = alphabet.sym("a");
     let b = alphabet.sym("b");
-    let mut db = GraphDb::new(alphabet);
+    let mut db = GraphBuilder::new(alphabet);
     let base: Vec<NodeId> = (0..n).map(|_| db.add_node()).collect();
     for &(u, v) in edges {
         db.add_edge(base[u], b, base[v]);
@@ -306,7 +306,7 @@ pub fn reachability_reduction(
     db.add_edge(base[t], a, tp);
     db.add_edge(tp, a, tpp);
     let q = Crpq::build(&[("x", "ab*aa", "z")], &[], alphabet_out).expect("static query");
-    (db, q)
+    (db.freeze(), q)
 }
 
 #[cfg(test)]

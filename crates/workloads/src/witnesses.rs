@@ -3,7 +3,7 @@
 
 use cxrpq_automata::parse_regex;
 use cxrpq_core::{Cxrpq, CxrpqBuilder, Ecrpq, GraphPattern, RegularRelation};
-use cxrpq_graph::{Alphabet, GraphDb, NodeId, Symbol};
+use cxrpq_graph::{GraphBuilder, Alphabet, GraphDb, NodeId, Symbol};
 use std::sync::Arc;
 
 /// Figure 6: `q_{aⁿbⁿ}` — an ECRPQ (equal-length relation) matching
@@ -75,7 +75,7 @@ pub fn q1(alphabet: &mut Alphabet) -> Cxrpq {
 /// `v3 -σ₂-> v4`. `D_{σ₁,σ₂} ⊨ q₁` iff σ₁ ∈ {a, b} and (σ₂ = σ₁ or σ₂ = c).
 pub fn d_sigma(s1: char, s2: char) -> GraphDb {
     let alphabet = Arc::new(Alphabet::from_chars("abcd"));
-    let mut db = GraphDb::new(alphabet);
+    let mut db = GraphBuilder::new(alphabet);
     let v1 = db.add_node();
     let v2 = db.add_node();
     let v3 = db.add_node();
@@ -86,7 +86,7 @@ pub fn d_sigma(s1: char, s2: char) -> GraphDb {
     db.add_edge(v1, sym1, v2);
     db.add_edge(v3, d, v2);
     db.add_edge(v3, sym2, v4);
-    db
+    db.freeze()
 }
 
 /// Figure 7: `q₂ ∈ CXRPQ` — the single-edge query
@@ -118,11 +118,11 @@ pub fn pumping_path(p: usize, q: usize, r: usize, s: usize) -> (GraphDb, NodeId,
         word.push(b);
     }
     word.push(hash);
-    let mut db = GraphDb::new(alphabet);
+    let mut db = GraphBuilder::new(alphabet);
     let src = db.add_node();
     let snk = db.add_node();
     db.add_word_path(src, &word, snk);
-    (db, src, snk)
+    (db.freeze(), src, snk)
 }
 
 #[cfg(test)]

@@ -137,6 +137,9 @@ pub fn sample_regex_word<R: Rng + ?Sized>(
     sample_word(&Xregex::from_regex(r), sigma, cfg, rng)
 }
 
+/// A sampled variable mapping ψ (variable → image).
+pub type SampledMapping = BTreeMap<Var, Vec<Symbol>>;
+
 /// Samples a conjunctive match `w̄ ∈ L(ᾱ)` with its variable mapping ψ.
 ///
 /// Returns `None` when some component has an empty ref-language (so no
@@ -147,7 +150,7 @@ pub fn sample_conjunctive_match<R: Rng + ?Sized>(
     sigma: usize,
     cfg: &SampleConfig,
     rng: &mut R,
-) -> Option<(Vec<Vec<Symbol>>, BTreeMap<Var, Vec<Symbol>>)> {
+) -> Option<(Vec<Vec<Symbol>>, SampledMapping)> {
     // Separator symbol outside Σ (images never contain it because the
     // separator occurs only between components, never inside a definition).
     let sep = Symbol(u32::MAX);

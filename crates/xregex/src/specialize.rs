@@ -254,8 +254,7 @@ pub fn specialize(cx: &ConjunctiveXregex, psi: &VarMapping) -> Option<Vec<Regex>
 
     // Step A: mark / cut definitions, innermost first.
     for slot in trees.iter_mut() {
-        loop {
-            let Some(tree) = slot.as_mut() else { break };
+        while let Some(tree) = slot.as_mut() {
             let mut path = Vec::new();
             if !tree.find_unchecked_innermost(&mut path) {
                 break;

@@ -13,12 +13,12 @@
 
 use cxrpq::automata::parse_regex;
 use cxrpq::core::{Ecrpq, EcrpqEvaluator, GraphPattern, RegularRelation};
-use cxrpq::graph::{Alphabet, GraphDb};
+use cxrpq::graph::{Alphabet, GraphBuilder};
 use std::sync::Arc;
 
 fn main() {
     let alpha = Arc::new(Alphabet::from_chars("ab"));
-    let mut db = GraphDb::new(alpha);
+    let mut db = GraphBuilder::new(alpha);
 
     // One sender s with four outgoing message streams.
     let s = db.add_named_node("sender");
@@ -35,6 +35,7 @@ fn main() {
         db.add_word_path(s, &w, t);
         sinks.push(t);
     }
+    let db = db.freeze();
     let reference = sinks[0];
 
     // Pattern: two streams out of the same sender, jointly constrained.

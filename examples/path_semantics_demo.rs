@@ -10,13 +10,13 @@
 
 use cxrpq::automata::{parse_regex, Nfa};
 use cxrpq::core::path_semantics::{rpq_witness, PathSemantics};
-use cxrpq::graph::{Alphabet, GraphDb};
+use cxrpq::graph::{Alphabet, GraphBuilder};
 use std::sync::Arc;
 
 fn main() {
     // s ⇄ m (a cycle) plus s → t: reading aaa from s to t needs the cycle.
     let alpha = Arc::new(Alphabet::from_chars("a"));
-    let mut db = GraphDb::new(alpha);
+    let mut db = GraphBuilder::new(alpha);
     let a = db.alphabet().sym("a");
     let s = db.add_named_node("s");
     let m = db.add_named_node("m");
@@ -25,6 +25,7 @@ fn main() {
     db.add_edge(m, a, s);
     db.add_edge(s, a, t);
 
+    let db = db.freeze();
     let mut alpha2 = db.alphabet().clone();
     for (pattern, blurb) in [
         ("aaa", "needs the s→m→s detour once"),

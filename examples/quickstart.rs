@@ -26,7 +26,7 @@ fn main() {
 
     // A small database: u ─ab→ m1 ─c→ m2 ─ab→ v  (match: w = ab)
     //                 plus a decoy u' ─ab→ · ─c→ · ─ba→ v' (no match).
-    let mut db = GraphDb::new(Arc::new(alpha));
+    let mut db = GraphBuilder::new(Arc::new(alpha));
     let ab = db.alphabet().parse_word("ab").unwrap();
     let ba = db.alphabet().parse_word("ba").unwrap();
     let c = db.alphabet().parse_word("c").unwrap();
@@ -44,6 +44,7 @@ fn main() {
     db.add_word_path(u2, &ab, d1);
     db.add_word_path(d1, &c, d2);
     db.add_word_path(d2, &ba, v2);
+    let db = db.freeze();
     println!("database: {} nodes, {} arcs", db.node_count(), db.edge_count());
 
     // Engine 1 — the simple-fragment engine (Lemma 3): this query is

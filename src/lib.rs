@@ -31,7 +31,7 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! let mut db = GraphDb::new(std::sync::Arc::new(alpha));
+//! let mut db = GraphBuilder::new(std::sync::Arc::new(alpha));
 //! let w = db.alphabet().parse_word("ab").unwrap();
 //! let c = db.alphabet().parse_word("c").unwrap();
 //! let u = db.add_node();
@@ -41,6 +41,7 @@
 //! db.add_word_path(u, &w, m1);
 //! db.add_word_path(m1, &c, m2);
 //! db.add_word_path(m2, &w, v);
+//! let db = db.freeze(); // CSR-indexed, immutable query form
 //!
 //! // Evaluate with the bounded-image-size engine (CXRPQ^{≤k}, Theorem 6).
 //! let answers = BoundedEvaluator::new(&q, 2).answers(&db);
@@ -59,8 +60,18 @@
 //! | `cxrpq-workloads` | `crates/workloads` | database families, random queries, reductions |
 //! | `cxrpq-core` | `crates/core` | query types, engines, translations, planner |
 //! | `cxrpq-xregex` | `crates/xregex` | xregex, ref-words, fragments, normal forms |
-//! | `cxrpq-automata` | `crates/automata` | classical regexes, NFA/DFA |
-//! | `cxrpq-graph` | `crates/graph` | alphabets, graph databases, paths, I/O |
+//! | `cxrpq-automata` | `crates/automata` | classical regexes, NFA/DFA, mask simulation |
+//! | `cxrpq-graph` | `crates/graph` | alphabets, builder/frozen CSR graph databases, bitsets, paths, I/O |
+//!
+//! Graph storage is split into a mutable [`graph::GraphBuilder`] and the
+//! immutable, CSR-indexed [`graph::GraphDb`] it freezes into: label-sorted
+//! adjacency rows give contiguous per-`(node, label)` slices, and a
+//! monotonically increasing `generation()` id lets node-keyed caches
+//! detect cross-database reuse. The product-search hot loops in
+//! `cxrpq-core` ride on this with dense-bitset visited sets and bitmask
+//! NFA state sets; `cargo bench -p cxrpq-bench --bench e16_reach_csr`
+//! measures the layout against the pre-CSR representation (results
+//! recorded in `BENCH_reach.json`).
 //!
 //! Third-party APIs (`rand`, `proptest`, `criterion`) resolve to offline
 //! shims under `shims/`, pinned in `[workspace.dependencies]` — see the
@@ -88,6 +99,9 @@ pub mod prelude {
         LogEvaluator, PathSemantics, QueryWitness, RegularRelation, SimpleEvaluator, UnionCrpq,
         UnionEcrpq, VsfEvaluator,
     };
-    pub use cxrpq_graph::{read_graph, write_graph, Alphabet, GraphDb, NodeId, Path, Symbol};
+    pub use cxrpq_graph::{
+        read_graph, write_graph, Alphabet, DenseBitSet, GraphBuilder, GraphDb, NodeId, Path,
+        Symbol,
+    };
     pub use cxrpq_xregex::{parse_xregex, ConjunctiveXregex, Fragment, Xregex};
 }

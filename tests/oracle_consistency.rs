@@ -2,7 +2,7 @@
 //! (backtracking oracles, samplers) and the evaluation engines.
 
 use cxrpq::core::{BoundedEvaluator, CxrpqBuilder, SimpleEvaluator, VsfEvaluator};
-use cxrpq::graph::{Alphabet, GraphDb, NodeId, Symbol};
+use cxrpq::graph::{Alphabet, GraphBuilder, NodeId, Symbol};
 use cxrpq::workloads::rand_queries::{random_vstar_free, QueryShape};
 use cxrpq::xregex::matcher::MatchConfig;
 use cxrpq::xregex::normal_form::normal_form;
@@ -88,12 +88,13 @@ proptest! {
     #[test]
     fn bounded_engine_matches_string_oracle(word in word_strategy(7)) {
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let mut db = GraphDb::new(alpha);
+        let mut db = GraphBuilder::new(alpha);
         let s = db.add_node();
         let t = if word.is_empty() { s } else { db.add_node() };
         if !word.is_empty() {
             db.add_word_path(s, &word, t);
         }
+        let db = db.freeze();
         let mut a2 = db.alphabet().clone();
         let q = CxrpqBuilder::new(&mut a2)
             .edge("u", "x{(a|b)+}bx", "v")
@@ -116,7 +117,7 @@ fn engines_agree_on_small_vsf_queries() {
     let alpha = Arc::new(Alphabet::from_chars("ab"));
     let mut rng = StdRng::seed_from_u64(77);
     let words = ["abab", "ab", "ba", "aabb", "bb", "aa"];
-    let mut db = GraphDb::new(alpha);
+    let mut db = GraphBuilder::new(alpha);
     let mut _ends: Vec<(NodeId, NodeId)> = Vec::new();
     for w in words {
         let s = db.add_node();
@@ -125,6 +126,7 @@ fn engines_agree_on_small_vsf_queries() {
         db.add_word_path(s, &word, t);
         _ends.push((s, t));
     }
+    let db = db.freeze();
     for round in 0..14 {
         let cx = random_vstar_free(
             &mut rng,
@@ -176,13 +178,14 @@ fn engines_agree_on_small_vsf_queries() {
 #[test]
 fn simple_engine_agrees_with_bounded() {
     let alpha = Arc::new(Alphabet::from_chars("abc"));
-    let mut db = GraphDb::new(alpha);
+    let mut db = GraphBuilder::new(alpha);
     for w in ["abcab", "aab", "cc", "abab", "bcb"] {
         let s = db.add_node();
         let t = db.add_node();
         let word = db.alphabet().parse_word(w).unwrap();
         db.add_word_path(s, &word, t);
     }
+    let db = db.freeze();
     for pattern in ["z{(a|b)+}cz", "x{a+}bx", "z{ab}z", "a*z{b+}c"] {
         let mut a2 = db.alphabet().clone();
         let q = CxrpqBuilder::new(&mut a2)

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 /// Builds a database with one labelled path per word; returns endpoints.
 fn path_db(alpha: Arc<Alphabet>, words: &[&str]) -> (GraphDb, Vec<(NodeId, NodeId)>) {
-    let mut db = GraphDb::new(alpha);
+    let mut db = GraphBuilder::new(alpha);
     let mut ends = Vec::new();
     for w in words {
         let s = db.add_node();
@@ -15,7 +15,7 @@ fn path_db(alpha: Arc<Alphabet>, words: &[&str]) -> (GraphDb, Vec<(NodeId, NodeI
         db.add_word_path(s, &word, t);
         ends.push((s, t));
     }
-    (db, ends)
+    (db.freeze(), ends)
 }
 
 #[test]
@@ -23,7 +23,7 @@ fn figure_2_g1_wildcard_correlation() {
     // G1: w -x{a|b}-> v1, w -(x|c)+-> v2 — "v1 has a direct a-predecessor
     // that has v2 as a transitive successor wrt a or c, or the same with b".
     let alpha = Arc::new(Alphabet::from_chars("abc"));
-    let mut db = GraphDb::new(alpha);
+    let mut db = GraphBuilder::new(alpha);
     let (a, b, c) = (
         db.alphabet().sym("a"),
         db.alphabet().sym("b"),
@@ -48,6 +48,7 @@ fn figure_2_g1_wildcard_correlation() {
         .unwrap();
     // G1's variable image is necessarily a single letter, so CXRPQ^{≤1}
     // evaluation is exact (the paper notes exactly this).
+    let db = db.freeze();
     let ans = BoundedEvaluator::new(&q, 1).answers(&db);
     assert!(ans.contains(&vec![v1, v2]));
     assert!(!ans.contains(&vec![v1b, v2]));
@@ -69,7 +70,7 @@ fn figure_2_g4_mutually_exclusive_definitions() {
     //   edge1: a* x{ya*} z  with y=c: x = c, z = c  → word “cc”
     //   edge2: b* y{c*}     → word “c”
     //   edge3: z{x|y}       → word “c”
-    let mut db = GraphDb::new(alpha);
+    let mut db = GraphBuilder::new(alpha);
     let c = db.alphabet().sym("c");
     let v1 = db.add_node();
     let m = db.add_node();
@@ -80,7 +81,7 @@ fn figure_2_g4_mutually_exclusive_definitions() {
     db.add_edge(v1, c, v3);
     db.add_edge(v3, c, v2);
     let ev = VsfEvaluator::new(&q).unwrap();
-    assert!(ev.boolean(&db));
+    assert!(ev.boolean(&db.freeze()));
 }
 
 #[test]

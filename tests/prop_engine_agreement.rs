@@ -1,0 +1,85 @@
+//! Cross-engine agreement property test, run through the planner.
+//!
+//! Random *simple* CXRPQs over random small multigraphs must produce
+//! identical answer relations from the Lemma 3 engine (`Simple`, the
+//! planner's own choice for this fragment), the forced vstar-free engine
+//! (`Vsf`, Lemma 7 — simple queries sit inside its fragment), and the
+//! forced bounded-image engine (`Bounded`, Theorem 6) with a generous `k`.
+//! The generator gives every string variable exactly one definition with a
+//! *finite* body of image length ≤ 4, so `⊨_{≤k}` with `k = 6` coincides
+//! with the unrestricted semantics and all three engines are exact.
+//!
+//! All three evaluations go through [`AutoEvaluator`], so planner dispatch
+//! (fragment classification, forced-engine validation, build-once plan
+//! construction) is exercised too.
+
+use cxrpq::core::{AutoEvaluator, Cxrpq, EngineKind, EvalOptions, GraphPattern};
+use cxrpq::graph::Alphabet;
+use cxrpq::workloads::graphs::random_labeled;
+use cxrpq::workloads::rand_queries::{random_simple, QueryShape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Debug builds pay ~10× on the product searches; keep CI-debug runs fast
+/// and let release runs explore more of the space.
+const CASES: u32 = if cfg!(debug_assertions) { 12 } else { 64 };
+
+/// Image lengths in `random_simple` queries never exceed 4 (finite bodies
+/// of depth 2), so this bound makes the bounded engine exact.
+const GENEROUS_K: usize = 6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn simple_vsf_and_bounded_agree_via_planner(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shape = QueryShape { dims: 2, vars: 2, sigma: 2, alt_prob: 0.0 };
+        let cx = random_simple(&mut rng, &shape);
+
+        // A random pattern over three node variables: one edge per
+        // component, endpoints drawn at random (self-loops allowed).
+        let mut pattern = GraphPattern::new();
+        let nodes = [pattern.node("u"), pattern.node("v"), pattern.node("w")];
+        for i in 0..shape.dims {
+            let s = nodes[rng.random_range(0..nodes.len())];
+            let t = nodes[rng.random_range(0..nodes.len())];
+            pattern.add_edge(s, i, t);
+        }
+        let q = Cxrpq::from_parts(pattern, cx, vec![nodes[0], nodes[1]]);
+
+        // A random small multigraph (parallel labels exercise the
+        // label-run expansion of the synchronized search).
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let db = random_labeled(alpha, 4, 10, seed ^ 0x9e37_79b9);
+
+        let auto = AutoEvaluator::new(&q);
+        prop_assert_eq!(auto.plan(), EngineKind::Simple);
+        prop_assert!(auto.is_exact());
+        let baseline = auto.answers(&db);
+        prop_assert_eq!(baseline.engine, EngineKind::Simple);
+
+        for force in [EngineKind::Vsf, EngineKind::Bounded] {
+            let forced = AutoEvaluator::with_options(
+                &q,
+                EvalOptions {
+                    bounded_k: GENEROUS_K,
+                    force: Some(force),
+                },
+            )
+            .expect("simple queries admit every engine");
+            prop_assert_eq!(forced.plan(), force);
+            let got = forced.answers(&db);
+            prop_assert_eq!(got.engine, force);
+            prop_assert_eq!(
+                &got.value,
+                &baseline.value,
+                "engine {:?} disagrees with Simple on seed {}",
+                force,
+                seed
+            );
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! certification, and the `render_query` round-trip.
 
 use cxrpq::core::{parse_query, render_query, AutoEvaluator, EngineKind, EvalOptions};
-use cxrpq::graph::{Alphabet, GraphDb, NodeId};
+use cxrpq::graph::{Alphabet, GraphBuilder, GraphDb, NodeId};
 use cxrpq::xregex::matcher::MatchConfig;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -22,7 +22,7 @@ ans(u, v) <-
 /// One matching path (`ab c ab`) and one decoy (`bb c aa`) that shares no
 /// nonempty suffix/prefix across its `c` edge, so it contributes no answer.
 fn build_db(alpha: Alphabet) -> (GraphDb, NodeId, NodeId) {
-    let mut db = GraphDb::new(Arc::new(alpha));
+    let mut db = GraphBuilder::new(Arc::new(alpha));
     let ab = db.alphabet().parse_word("ab").unwrap();
     let c = db.alphabet().parse_word("c").unwrap();
     let u = db.add_node();
@@ -42,7 +42,7 @@ fn build_db(alpha: Alphabet) -> (GraphDb, NodeId, NodeId) {
     db.add_word_path(d1, &bb, d2);
     db.add_word_path(d2, &c, d3);
     db.add_word_path(d3, &aa, d4);
-    (db, u, v)
+    (db.freeze(), u, v)
 }
 
 #[test]

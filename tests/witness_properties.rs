@@ -5,7 +5,7 @@
 //! oracle.
 
 use cxrpq::core::{BoundedEvaluator, CxrpqBuilder, SimpleEvaluator, VsfEvaluator};
-use cxrpq::graph::{Alphabet, GraphDb, Symbol};
+use cxrpq::graph::{Alphabet, GraphBuilder, GraphDb, Symbol};
 use cxrpq::xregex::matcher::MatchConfig;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -23,13 +23,13 @@ fn db_strategy() -> impl Strategy<Value = Vec<Vec<Symbol>>> {
 
 fn build_db(words: &[Vec<Symbol>]) -> GraphDb {
     let alpha = Arc::new(Alphabet::from_chars("abc"));
-    let mut db = GraphDb::new(alpha);
+    let mut db = GraphBuilder::new(alpha);
     for w in words {
         let s = db.add_node();
         let t = db.add_node();
         db.add_word_path(s, w, t);
     }
-    db
+    db.freeze()
 }
 
 /// Simple-fragment query pool (all engines applicable; k = 3 is exact for

@@ -7,7 +7,7 @@ use cxrpq::core::{
     BoundedEvaluator, Crpq, CrpqEvaluator, CxrpqBuilder, Ecrpq, EcrpqEvaluator, GraphPattern,
     RegularRelation, SimpleEvaluator, VsfEvaluator,
 };
-use cxrpq::graph::{Alphabet, GraphDb, NodeId};
+use cxrpq::graph::{Alphabet, GraphBuilder, GraphDb, NodeId};
 use cxrpq::xregex::matcher::MatchConfig;
 use cxrpq_automata::{parse_regex, Nfa};
 use std::collections::HashMap;
@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 fn db_with_words(words: &[(&str, &str)]) -> (GraphDb, HashMap<String, NodeId>) {
     let alpha = Arc::new(Alphabet::from_chars("abcd"));
-    let mut db = GraphDb::new(alpha);
+    let mut db = GraphBuilder::new(alpha);
     let mut names: HashMap<String, NodeId> = HashMap::new();
     for (pair, w) in words {
         let (s, t) = pair.split_once('>').unwrap();
@@ -24,7 +24,7 @@ fn db_with_words(words: &[(&str, &str)]) -> (GraphDb, HashMap<String, NodeId>) {
         let word = db.alphabet().parse_word(w).unwrap();
         db.add_word_path(sn, &word, tn);
     }
-    (db, names)
+    (db.freeze(), names)
 }
 
 #[test]
@@ -116,7 +116,7 @@ fn simple_witness_chain_variables_get_images() {
 #[test]
 fn vsf_witness_on_figure_2_g2_triangle() {
     let alpha = Arc::new(Alphabet::from_chars("abcd"));
-    let mut db = GraphDb::new(alpha);
+    let mut db = GraphBuilder::new(alpha);
     let v1 = db.add_node();
     let v2 = db.add_node();
     let v3 = db.add_node();
@@ -125,6 +125,7 @@ fn vsf_witness_on_figure_2_g2_triangle() {
     db.add_word_path(v1, &aa, v2);
     db.add_word_path(v2, &cd, v3);
     db.add_word_path(v3, &aa, v1);
+    let db = db.freeze();
     let mut alpha2 = db.alphabet().clone();
     let q = CxrpqBuilder::new(&mut alpha2)
         .edge("v1", "x{aa|b}", "v2")
