@@ -887,7 +887,10 @@ fn e16_witnesses_and_semantics() {
     println!();
     // (a) witness certification sweep.
     let mut rows = Vec::new();
-    let cases: &[(&[(&str, &str)], &str, bool)] = &[
+    /// Planted instance: word paths (`"s>t"`, label word), a one-edge
+    /// query pattern, and whether a witness must exist.
+    type WitnessCase = (&'static [(&'static str, &'static str)], &'static str, bool);
+    let cases: &[WitnessCase] = &[
         (&[("u>m", "ab"), ("m>v", "c"), ("v>w", "ab")], "z{ab|ba}cz", true),
         (&[("u>m", "ab"), ("m>v", "c"), ("v>w", "ba")], "z{ab|ba}cz", false),
         (&[("u>v", "abab")], "z{ab}z", true),

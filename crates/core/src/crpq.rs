@@ -134,6 +134,9 @@ impl<'q> CrpqEvaluator<'q> {
             return out;
         }
         let mut p = self.problem();
+        // Exhaustive enumeration: batch-warm every edge cache up front so
+        // the sweep's per-source searches collapse into shared wavefronts.
+        p.prefill_free_edges(db);
         let output = self.q.output.clone();
         p.solve(db, &HashMap::new(), &output, &mut |bindings| {
             out.insert(

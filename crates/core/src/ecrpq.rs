@@ -189,6 +189,9 @@ impl<'q> EcrpqEvaluator<'q> {
     pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
         let mut out = BTreeSet::new();
         let mut p = self.problem();
+        // Exhaustive enumeration: batch-warm the relation-free edge caches
+        // (see `Problem::prefill_free_edges`).
+        p.prefill_free_edges(db);
         let output = self.q.output.clone();
         p.solve(db, &HashMap::new(), &output, &mut |bindings| {
             out.insert(

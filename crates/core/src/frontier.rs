@@ -1,0 +1,176 @@
+//! The shared frontier engine behind both product searches.
+//!
+//! Both the multi-source reachability wavefront ([`crate::reach::reach_all`])
+//! and the synchronized product search ([`crate::sync::SyncSearch`]) are
+//! level-synchronous BFS loops over a frozen [`cxrpq_graph::GraphDb`]: every
+//! level, each frontier item expands over contiguous CSR adjacency slices
+//! and the discoveries become the next frontier. The frozen database is
+//! `Send + Sync`, so a sufficiently large level can be sharded across scoped
+//! worker threads (`std::thread::scope`, no external dependencies): each
+//! worker expands a contiguous range of the frontier into private next-level
+//! storage, and the level barrier merges the private results.
+//!
+//! [`FrontierConfig`] is the shared knob: a worker count (auto-sized from
+//! [`std::thread::available_parallelism`] by default) plus a serial-fallback
+//! threshold so levels too small to amortize thread spawns — and therefore
+//! entire tiny graphs — run on the calling thread exactly as before.
+
+use std::num::NonZeroUsize;
+
+/// Tuning knobs of the level-synchronous frontier engine.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontierConfig {
+    /// Worker threads per sharded level; `0` auto-sizes from
+    /// [`std::thread::available_parallelism`].
+    pub threads: usize,
+    /// Frontier sizes strictly below this expand serially on the calling
+    /// thread (no spawns, no merge), so small levels and small graphs pay
+    /// nothing for the parallel machinery.
+    pub serial_threshold: usize,
+}
+
+impl FrontierConfig {
+    /// Default serial-fallback threshold for reachability frontiers, whose
+    /// items are single `(node, state)` cells — cheap to expand, so a level
+    /// must be fat before sharding pays.
+    pub const REACH_SERIAL_THRESHOLD: usize = 4096;
+
+    /// Default serial-fallback threshold for synchronized-search frontiers,
+    /// whose items are whole product configurations (positions × state
+    /// masks × relation state) — far heavier per expansion.
+    pub const SYNC_SERIAL_THRESHOLD: usize = 128;
+
+    /// Auto-sized workers with the reachability threshold.
+    pub fn auto() -> Self {
+        Self {
+            threads: 0,
+            serial_threshold: Self::REACH_SERIAL_THRESHOLD,
+        }
+    }
+
+    /// Single-threaded: every level expands on the calling thread.
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            serial_threshold: usize::MAX,
+        }
+    }
+
+    /// Exactly `threads` workers (with the reachability threshold); pass
+    /// `0` for auto-sizing.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::auto()
+        }
+    }
+
+    /// Same workers, different serial-fallback threshold.
+    pub fn with_serial_threshold(mut self, threshold: usize) -> Self {
+        self.serial_threshold = threshold;
+        self
+    }
+
+    /// The resolved worker count (`threads`, or the machine's available
+    /// parallelism when auto).
+    pub fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// How many shards a level of `frontier_len` items should split into:
+    /// `1` (serial) below the threshold, otherwise the resolved worker
+    /// count, never more than the number of items.
+    pub fn shards_for(&self, frontier_len: usize) -> usize {
+        if frontier_len < self.serial_threshold {
+            return 1;
+        }
+        self.worker_count().clamp(1, frontier_len.max(1))
+    }
+}
+
+impl Default for FrontierConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Expands one frontier level across `shards` scoped workers.
+///
+/// `items` is split into `shards` contiguous chunks; `worker(shard_index,
+/// chunk)` runs on `shards - 1` spawned threads plus the calling thread,
+/// and the per-shard results come back in shard order for the caller to
+/// merge at the level barrier. With `shards <= 1` the worker runs inline —
+/// the serial fallback costs one indirect call and nothing else.
+pub fn expand_sharded<T, R, F>(items: &[T], shards: usize, worker: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    if shards <= 1 || items.len() <= 1 {
+        return vec![worker(0, items)];
+    }
+    let chunk = items.len().div_ceil(shards.min(items.len()));
+    let mut chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    // Rounding can leave fewer (never more) chunks than requested shards.
+    let shards = chunks.len();
+    let last = chunks.pop().expect("at least one chunk");
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(shards, || None);
+    let (head, tail) = results.split_at_mut(shards - 1);
+    std::thread::scope(|scope| {
+        for ((i, slot), part) in head.iter_mut().enumerate().zip(chunks) {
+            let worker = &worker;
+            scope.spawn(move || {
+                *slot = Some(worker(i, part));
+            });
+        }
+        // The calling thread takes the final chunk instead of idling at the
+        // barrier.
+        tail[0] = Some(worker(shards - 1, last));
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every shard produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_respect_threshold_and_items() {
+        let cfg = FrontierConfig {
+            threads: 4,
+            serial_threshold: 10,
+        };
+        assert_eq!(cfg.shards_for(9), 1, "below threshold: serial");
+        assert_eq!(cfg.shards_for(10), 4);
+        assert_eq!(cfg.worker_count(), 4);
+        assert!(FrontierConfig::auto().worker_count() >= 1);
+        assert_eq!(FrontierConfig::serial().shards_for(1 << 20), 1);
+    }
+
+    #[test]
+    fn sharded_expansion_covers_every_item_in_order() {
+        let items: Vec<usize> = (0..103).collect();
+        for shards in [1, 2, 3, 8, 103, 200] {
+            let parts = expand_sharded(&items, shards, |_, chunk| chunk.to_vec());
+            let flat: Vec<usize> = parts.into_iter().flatten().collect();
+            assert_eq!(flat, items, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn shard_indices_are_distinct() {
+        let items: Vec<u8> = vec![0; 64];
+        let parts = expand_sharded(&items, 4, |i, _| i);
+        assert_eq!(parts, vec![0, 1, 2, 3]);
+    }
+}

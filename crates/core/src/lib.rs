@@ -31,6 +31,7 @@ pub mod crpq;
 pub mod cxrpq;
 pub mod ecrpq;
 pub mod engine;
+pub mod frontier;
 pub mod generic;
 pub mod log_eval;
 pub mod path_semantics;
@@ -51,6 +52,7 @@ pub use crpq::{Crpq, CrpqEvaluator};
 pub use cxrpq::{Cxrpq, CxrpqBuilder, CxrpqError};
 pub use ecrpq::{Ecrpq, EcrpqEvaluator};
 pub use engine::{AutoEvaluator, Evaluated, EngineKind, EvalOptions};
+pub use frontier::FrontierConfig;
 pub use generic::{GenericEvaluator, GenericOutcome};
 pub use log_eval::LogEvaluator;
 pub use path_semantics::{rpq_holds, rpq_pairs, rpq_witness, PathSemantics};

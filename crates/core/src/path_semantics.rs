@@ -15,7 +15,7 @@
 //! - [`PathSemantics::Trail`]: no repeated *edge* — same search over edge
 //!   sets.
 
-use crate::reach::{reach_set_scratch, Direction, ReachScratch};
+use crate::reach::{reach_all, Direction};
 use crate::witness::edge_path;
 use cxrpq_automata::{Label, Nfa, StateId};
 use cxrpq_graph::{GraphDb, NodeId, Path, Symbol};
@@ -78,19 +78,18 @@ pub fn rpq_witness(
 
 /// All pairs `(u, v)` connected under the semantics.
 ///
-/// Arbitrary semantics runs one product BFS ([`reach_set`]) per source —
-/// `O(|V| · |D| · |M|)` total instead of a per-pair search; the restricted
-/// semantics stay a quadratic sweep (exponential per source in the worst
-/// case).
+/// Arbitrary semantics runs one batched multi-source wavefront
+/// ([`reach_all`]) over all nodes — `⌈|V|/64⌉` passes over `D × M` instead
+/// of one BFS per source; the restricted semantics stay a quadratic sweep
+/// (exponential per source in the worst case).
 pub fn rpq_pairs(db: &GraphDb, nfa: &Nfa, sem: PathSemantics) -> BTreeSet<(NodeId, NodeId)> {
     let mut out = BTreeSet::new();
     match sem {
         PathSemantics::Arbitrary => {
-            let mut scratch = ReachScratch::default();
-            for u in db.nodes() {
-                for v in
-                    reach_set_scratch(db, nfa, u, Direction::Forward, None, &mut scratch)
-                {
+            let sources: Vec<NodeId> = db.nodes().collect();
+            let sets = reach_all(db, nfa, &sources, Direction::Forward, None);
+            for (u, set) in sources.into_iter().zip(sets) {
+                for v in set {
                     out.insert((u, v));
                 }
             }

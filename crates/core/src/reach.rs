@@ -1,17 +1,40 @@
-//! Single-walker product reachability: the `D × M` search underlying RPQ
-//! evaluation (and the NL data-complexity bound of Lemma 1 / Lemma 3).
+//! Product reachability over `D × M`: the search underlying RPQ evaluation
+//! (and the NL data-complexity bound of Lemma 1 / Lemma 3), in two forms.
 //!
-//! The BFS over `D × M` visits each `(node, state)` pair at most once. The
-//! pair space is a dense rectangle `|V_D| × |Q|`, so the visited set is a
-//! [`DenseBitSet`] indexed by `node · |Q| + state` — no hashing — and each
-//! `Sym(a)` transition expands over the contiguous per-`(node, a)` CSR
-//! range ([`GraphDb::successors_with`] / [`GraphDb::predecessors_with`])
-//! instead of filtering the whole adjacency row.
+//! **Single-source** ([`reach_set`]): a BFS from one `(u, q₀)` seed that
+//! visits each `(node, state)` pair at most once. The pair space is a dense
+//! rectangle `|V_D| × |Q|`, so the visited set is a [`DenseBitSet`] indexed
+//! by `node · |Q| + state` — no hashing — and each `Sym(a)` transition
+//! expands over the contiguous per-`(node, a)` CSR range
+//! ([`GraphDb::successors_with`] / [`GraphDb::predecessors_with`]) instead
+//! of filtering the whole adjacency row.
+//!
+//! **Batched multi-source** ([`reach_all`]): the wavefront form. The solver's
+//! candidate loops want `targets` for *many* sources of the *same* automaton;
+//! running one BFS per source re-walks the shared explored region once per
+//! source. `reach_all` instead runs ONE level-synchronous label-propagation
+//! pass: every `(node, state)` cell carries a `u64` source-membership word
+//! (sources are processed in stripes of 64, so arbitrarily many sources
+//! cost `⌈k/64⌉` passes), a frontier cell ORs its membership into each
+//! successor cell, and a cell re-enters the frontier only when its
+//! membership grows. A sweep over `k` sources thus costs one pass over the
+//! explored region per stripe instead of `k` passes.
+//!
+//! Frontier levels large enough to amortize thread spawns are sharded
+//! across scoped workers via the shared frontier engine
+//! ([`crate::frontier`]): membership words are merged with relaxed
+//! `fetch_or`, and each worker records the cells it grew in a private
+//! next-frontier structure merged at the level barrier — dense
+//! [`DenseBitSet`]s OR-merged word-by-word when the frontier is a sizable
+//! fraction of the rectangle, sparse dirty lists deduped through one
+//! reused bitset otherwise, so per-level cost stays proportional to the
+//! frontier, never to the whole `|V| · |Q|` rectangle.
 
+use crate::frontier::{expand_sharded, FrontierConfig};
 use cxrpq_automata::{Label, Nfa, StateId};
 use cxrpq_graph::{DenseBitSet, GraphDb, NodeId};
-use std::cell::Cell;
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Walk direction through the database.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -24,24 +47,28 @@ pub enum Direction {
 
 /// Counts product states explored — the measured proxy for the paper's
 /// space bounds in EXPERIMENTS.md.
+///
+/// The counter is atomic so sharded frontier workers can bump it directly;
+/// all accesses are relaxed (it is a statistic, not a synchronization
+/// point).
 #[derive(Default, Debug)]
 pub struct ReachStats {
-    states: Cell<usize>,
+    states: AtomicUsize,
 }
 
 impl ReachStats {
     /// States explored so far.
     pub fn states(&self) -> usize {
-        self.states.get()
+        self.states.load(Ordering::Relaxed)
     }
 
     pub(crate) fn bump(&self, n: usize) {
-        self.states.set(self.states.get() + n);
+        self.states.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Resets the counter.
     pub fn reset(&self) {
-        self.states.set(0);
+        self.states.store(0, Ordering::Relaxed);
     }
 }
 
@@ -170,6 +197,267 @@ pub fn reach_set_scratch(
     out
 }
 
+/// Batched multi-source product reachability: for each `sources[i]`, the
+/// same set [`reach_set`] would compute — but all sources of one stripe
+/// share a single level-synchronous wavefront over `D × M` instead of
+/// running `k` independent BFS walks.
+///
+/// Every `(node, state)` cell carries a source-membership `u64` (bit `i` =
+/// "reachable from the stripe's `i`-th source in this product state");
+/// frontier cells OR their membership into successor cells, and a cell
+/// re-enters the frontier only when its membership grew. Sources beyond 64
+/// are handled in stripes, so `k` sources cost `⌈k/64⌉` passes over the
+/// explored region. Frontier levels are sharded across worker threads per
+/// [`FrontierConfig::auto`]; use [`reach_all_with`] to pin the thread count
+/// or force the serial path.
+pub fn reach_all(
+    db: &GraphDb,
+    nfa: &Nfa,
+    sources: &[NodeId],
+    dir: Direction,
+    stats: Option<&ReachStats>,
+) -> Vec<HashSet<NodeId>> {
+    reach_all_with(db, nfa, sources, dir, stats, &FrontierConfig::auto())
+}
+
+/// [`reach_all`] with explicit frontier-engine knobs (thread count and
+/// serial-fallback threshold).
+pub fn reach_all_with(
+    db: &GraphDb,
+    nfa: &Nfa,
+    sources: &[NodeId],
+    dir: Direction,
+    stats: Option<&ReachStats>,
+    cfg: &FrontierConfig,
+) -> Vec<HashSet<NodeId>> {
+    reach_all_scratch(db, nfa, sources, dir, stats, cfg, &mut WaveScratch::default())
+}
+
+/// Reusable membership storage for repeated [`reach_all_scratch`] calls
+/// (the wavefront analogue of [`ReachScratch`]).
+///
+/// The membership array spans the full `|V| · |Q|` rectangle; zeroing it
+/// per call (or per 64-source stripe) would cost `O(|V| · |Q| / 8)` bytes
+/// of traffic even when the explored region is tiny. The scratch records
+/// which cells each stripe brought to life and clears exactly those
+/// afterwards, so the full zeroing happens once per capacity growth and
+/// every wavefront costs memory traffic proportional to the region it
+/// actually explored. Same story for the barrier-dedup bitset.
+#[derive(Default)]
+pub struct WaveScratch {
+    member: Vec<AtomicU64>,
+    dirty_seen: DenseBitSet,
+}
+
+impl WaveScratch {
+    /// Grows the all-clear buffers to cover ≥ `cells` product cells.
+    fn ensure(&mut self, cells: usize) {
+        if self.member.len() < cells {
+            let add = cells - self.member.len();
+            self.member
+                .extend(std::iter::repeat_with(|| AtomicU64::new(0)).take(add));
+        }
+        if self.dirty_seen.capacity() < cells {
+            self.dirty_seen = DenseBitSet::new(cells);
+        }
+        debug_assert!(self.member[..cells]
+            .iter()
+            .all(|w| w.load(Ordering::Relaxed) == 0));
+    }
+}
+
+/// [`reach_all_with`] with caller-provided membership storage (see
+/// [`WaveScratch`]); the scratch is left all-clear for the next call.
+pub fn reach_all_scratch(
+    db: &GraphDb,
+    nfa: &Nfa,
+    sources: &[NodeId],
+    dir: Direction,
+    stats: Option<&ReachStats>,
+    cfg: &FrontierConfig,
+    scratch: &mut WaveScratch,
+) -> Vec<HashSet<NodeId>> {
+    let q = nfa.state_count();
+    let n = db.node_count();
+    let cells = n * q;
+    let mut out: Vec<HashSet<NodeId>> = vec![HashSet::new(); sources.len()];
+    if cells == 0 {
+        return out;
+    }
+    let mut is_final = vec![false; q];
+    for f in nfa.final_states() {
+        is_final[f.index()] = true;
+    }
+    scratch.ensure(cells);
+    let WaveScratch {
+        member,
+        dirty_seen,
+    } = scratch;
+    let member = &member[..cells];
+    // Cells whose membership went 0 → nonzero this stripe — exactly the
+    // explored region, recorded so the harvest and the clearing pass never
+    // touch the rest of the rectangle. Exactly one `fetch_or` observes the
+    // zero, so each cell is recorded once even under sharding.
+    let mut touched: Vec<usize> = Vec::new();
+    for (stripe, chunk) in sources.chunks(64).enumerate() {
+        // OR `bits` into a cell's membership; a cell whose membership
+        // grows is marked dirty and re-enters the frontier at the next
+        // level, and a cell alive for the first time lands in `born`.
+        // Returns the number of membership bits that were new — summed
+        // up, that is exactly the `(state, source)` visit count a
+        // per-source sweep would report to [`ReachStats`]. Relaxed
+        // ordering suffices: membership words only ever grow, and the
+        // level barrier (thread join) orders the final reads.
+        let propagate =
+            |cell: usize, bits: u64, mark: &mut dyn FnMut(usize), born: &mut Vec<usize>| {
+                let prev = member[cell].fetch_or(bits, Ordering::Relaxed);
+                if prev == 0 && bits != 0 {
+                    born.push(cell);
+                }
+                let fresh = bits & !prev;
+                if fresh != 0 {
+                    mark(cell);
+                }
+                fresh.count_ones() as usize
+            };
+        // Expand one frontier cell over the automaton's transitions and
+        // the CSR adjacency, reporting grown cells through `mark` and
+        // first-time cells through `born`.
+        let expand_cell = |cell: usize, mark: &mut dyn FnMut(usize), born: &mut Vec<usize>| {
+            let (node, st) = (NodeId((cell / q) as u32), StateId((cell % q) as u32));
+            // The freshest membership available: bits merged by concurrent
+            // workers this level ride along early, bits that land after
+            // this load re-dirty the cell and re-propagate next level.
+            let bits = member[cell].load(Ordering::Relaxed);
+            let mut visits = 0usize;
+            for &(l, t) in nfa.transitions(st) {
+                match l {
+                    Label::Eps => {
+                        visits += propagate(node.index() * q + t.index(), bits, mark, born);
+                    }
+                    Label::Sym(a) => {
+                        let adj = match dir {
+                            Direction::Forward => db.successors_with(node, a),
+                            Direction::Backward => db.predecessors_with(node, a),
+                        };
+                        for &(_, next) in adj {
+                            visits += propagate(next.index() * q + t.index(), bits, mark, born);
+                        }
+                    }
+                    Label::Any => {
+                        let adj = match dir {
+                            Direction::Forward => db.out_edges(node),
+                            Direction::Backward => db.in_edges(node),
+                        };
+                        for &(_, next) in adj {
+                            visits += propagate(next.index() * q + t.index(), bits, mark, born);
+                        }
+                    }
+                }
+            }
+            visits
+        };
+        let mut seeds: Vec<usize> = Vec::new();
+        let mut visits = 0usize;
+        for (i, &src) in chunk.iter().enumerate() {
+            let cell = src.index() * q + nfa.start().index();
+            visits += propagate(cell, 1 << i, &mut |c| seeds.push(c), &mut touched);
+        }
+        let mut frontier: Vec<usize> = Vec::with_capacity(seeds.len());
+        for cell in seeds {
+            if dirty_seen.insert(cell) {
+                frontier.push(cell);
+            }
+        }
+        for &cell in &frontier {
+            dirty_seen.remove(cell);
+        }
+        while !frontier.is_empty() {
+            let shards = cfg.shards_for(frontier.len());
+            if frontier.len() >= cells / 8 {
+                // Fat frontier: private dense next-frontier bitsets whose
+                // words are OR-merged at the level barrier — O(cells/64)
+                // words per shard, amortized by the frontier itself.
+                let shard_results = expand_sharded(&frontier, shards, |_, slice| {
+                    let mut dirty = DenseBitSet::new(cells);
+                    let mut born: Vec<usize> = Vec::new();
+                    let mut shard_visits = 0usize;
+                    for &cell in slice {
+                        shard_visits += expand_cell(
+                            cell,
+                            &mut |c| {
+                                dirty.insert(c);
+                            },
+                            &mut born,
+                        );
+                    }
+                    (dirty, born, shard_visits)
+                });
+                let mut merged: Option<DenseBitSet> = None;
+                for (d, born, v) in shard_results {
+                    visits += v;
+                    touched.extend(born);
+                    match &mut merged {
+                        None => merged = Some(d),
+                        Some(m) => m.union_with(&d),
+                    }
+                }
+                frontier = merged.expect("at least one shard").ones().collect();
+            } else {
+                // Thin frontier: private sparse dirty lists (possibly with
+                // duplicates), deduped through the reused scratch bitset —
+                // per-level cost proportional to the frontier, never to
+                // the whole `|V| · |Q|` rectangle.
+                let shard_results = expand_sharded(&frontier, shards, |_, slice| {
+                    let mut dirty: Vec<usize> = Vec::with_capacity(slice.len());
+                    let mut born: Vec<usize> = Vec::new();
+                    let mut shard_visits = 0usize;
+                    for &cell in slice {
+                        shard_visits +=
+                            expand_cell(cell, &mut |c| dirty.push(c), &mut born);
+                    }
+                    (dirty, born, shard_visits)
+                });
+                let mut next: Vec<usize> = Vec::new();
+                for (dirty, born, shard_visits) in shard_results {
+                    visits += shard_visits;
+                    touched.extend(born);
+                    for cell in dirty {
+                        if dirty_seen.insert(cell) {
+                            next.push(cell);
+                        }
+                    }
+                }
+                for &cell in &next {
+                    dirty_seen.remove(cell);
+                }
+                frontier = next;
+            }
+        }
+        if let Some(s) = stats {
+            s.bump(visits);
+        }
+        // Harvest over the explored region only: a touched cell in a final
+        // state contributes its node to every member source's answer set.
+        // Then restore the scratch invariant by zeroing exactly the
+        // touched cells.
+        for &cell in &touched {
+            if is_final[cell % q] {
+                let mut bits = member[cell].load(Ordering::Relaxed);
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    out[stripe * 64 + i].insert(NodeId((cell / q) as u32));
+                }
+            }
+        }
+        for cell in touched.drain(..) {
+            member[cell].store(0, Ordering::Relaxed);
+        }
+    }
+    out
+}
+
 /// Memoizing wrapper around [`reach_set`] for repeated queries against the
 /// same database (one cache per `(edge automaton, direction)`).
 ///
@@ -185,6 +473,7 @@ pub struct ReachCache {
     fwd: HashMap<NodeId, std::rc::Rc<HashSet<NodeId>>>,
     bwd: HashMap<NodeId, std::rc::Rc<HashSet<NodeId>>>,
     scratch: ReachScratch,
+    wave: WaveScratch,
     /// Exploration statistics shared by both directions.
     pub stats: ReachStats,
 }
@@ -200,6 +489,7 @@ impl ReachCache {
             fwd: HashMap::new(),
             bwd: HashMap::new(),
             scratch: ReachScratch::default(),
+            wave: WaveScratch::default(),
             stats: ReachStats::default(),
         }
     }
@@ -247,6 +537,77 @@ impl ReachCache {
         r
     }
 
+    /// Batch path: memoizes `targets` for every node of `sources` that is
+    /// not already cached, in one multi-source wavefront ([`reach_all`])
+    /// instead of one BFS per node.
+    ///
+    /// Solver candidate loops that are about to sweep many sources of this
+    /// automaton call this first; the per-source [`ReachCache::targets`]
+    /// lookups that follow are then memo hits.
+    pub fn fill_targets(&mut self, db: &GraphDb, sources: &[NodeId]) {
+        self.bind(db);
+        let missing = self.missing(sources, true);
+        match missing.len() {
+            0 => {}
+            1 => {
+                self.targets(db, missing[0]);
+            }
+            _ => {
+                let sets = reach_all_scratch(
+                    db,
+                    &self.nfa,
+                    &missing,
+                    Direction::Forward,
+                    Some(&self.stats),
+                    &FrontierConfig::auto(),
+                    &mut self.wave,
+                );
+                for (src, set) in missing.into_iter().zip(sets) {
+                    self.fwd.insert(src, std::rc::Rc::new(set));
+                }
+            }
+        }
+    }
+
+    /// Batch path for the backward direction: memoizes `sources` for every
+    /// node of `sinks` not already cached, via one wavefront over the
+    /// reversed automaton.
+    pub fn fill_sources(&mut self, db: &GraphDb, sinks: &[NodeId]) {
+        self.bind(db);
+        let missing = self.missing(sinks, false);
+        match missing.len() {
+            0 => {}
+            1 => {
+                self.sources(db, missing[0]);
+            }
+            _ => {
+                let sets = reach_all_scratch(
+                    db,
+                    &self.rev,
+                    &missing,
+                    Direction::Backward,
+                    Some(&self.stats),
+                    &FrontierConfig::auto(),
+                    &mut self.wave,
+                );
+                for (v, set) in missing.into_iter().zip(sets) {
+                    self.bwd.insert(v, std::rc::Rc::new(set));
+                }
+            }
+        }
+    }
+
+    /// The distinct nodes of `keys` with no memoized entry in the given
+    /// direction.
+    fn missing(&self, keys: &[NodeId], forward: bool) -> Vec<NodeId> {
+        let map = if forward { &self.fwd } else { &self.bwd };
+        let mut seen = HashSet::new();
+        keys.iter()
+            .copied()
+            .filter(|k| !map.contains_key(k) && seen.insert(*k))
+            .collect()
+    }
+
     /// Sources that reach `v` via an accepted word.
     pub fn sources(&mut self, db: &GraphDb, v: NodeId) -> std::rc::Rc<HashSet<NodeId>> {
         self.bind(db);
@@ -266,6 +627,15 @@ impl ReachCache {
     }
 
     /// Whether some path `u →* v` is labelled by an accepted word.
+    ///
+    /// When neither endpoint is memoized yet, the direction is picked by
+    /// CSR degree — but only when the comparison is decisive: a `v` with an
+    /// empty in-row makes the backward search trivially cheap (the product
+    /// never leaves `v`'s row, `O(|Q|)` instead of `u`'s full forward
+    /// cone). For any nonzero in-degree the search stays forward, because
+    /// `fwd[u]` is reused by every later probe against the same `u` —
+    /// flipping direction per call would trade one memoized forward BFS
+    /// for a fresh backward BFS per distinct `v`.
     pub fn connects(&mut self, db: &GraphDb, u: NodeId, v: NodeId) -> bool {
         self.bind(db);
         if let Some(r) = self.fwd.get(&u) {
@@ -274,7 +644,11 @@ impl ReachCache {
         if let Some(r) = self.bwd.get(&v) {
             return r.contains(&u);
         }
-        self.targets(db, u).contains(&v)
+        if db.in_edges(v).is_empty() && !db.out_edges(u).is_empty() {
+            self.sources(db, v).contains(&u)
+        } else {
+            self.targets(db, u).contains(&v)
+        }
     }
 }
 
@@ -375,6 +749,104 @@ mod tests {
             let reused =
                 reach_set_scratch(&db, &m, n, Direction::Forward, None, &mut scratch);
             assert_eq!(fresh, reused);
+        }
+    }
+
+    #[test]
+    fn reach_all_matches_per_source_everywhere() {
+        let (db, nodes) = line_db("aabbaacab");
+        for pat in ["a*", "a*b", "(a|b)*c", "..", "_"] {
+            let m = nfa_of(&db, pat);
+            let batched = reach_all(&db, &m, &nodes, Direction::Forward, None);
+            for (i, &n) in nodes.iter().enumerate() {
+                let single = reach_set(&db, &m, n, Direction::Forward, None);
+                assert_eq!(batched[i], single, "pattern {pat}, source {i}");
+            }
+            let rev = reverse_nfa(&m);
+            let bwd = reach_all(&db, &rev, &nodes, Direction::Backward, None);
+            for (i, &n) in nodes.iter().enumerate() {
+                let single = reach_set(&db, &rev, n, Direction::Backward, None);
+                assert_eq!(bwd[i], single, "backward pattern {pat}, source {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reach_all_stripes_beyond_64_sources() {
+        // 81 edges → 82 nodes: two membership stripes.
+        let (db, nodes) = line_db(&"abc".repeat(27));
+        assert!(nodes.len() > 64);
+        let m = nfa_of(&db, "(abc)*");
+        let batched = reach_all(&db, &m, &nodes, Direction::Forward, None);
+        for (i, &n) in nodes.iter().enumerate() {
+            assert_eq!(
+                batched[i],
+                reach_set(&db, &m, n, Direction::Forward, None),
+                "source {i}"
+            );
+        }
+        // Duplicate sources each get their own (equal) answer set.
+        let dup = [nodes[0], nodes[0], nodes[3]];
+        let sets = reach_all(&db, &m, &dup, Direction::Forward, None);
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(sets[2], reach_set(&db, &m, nodes[3], Direction::Forward, None));
+    }
+
+    #[test]
+    fn reach_all_forced_parallel_matches_serial() {
+        let (db, nodes) = line_db(&"ab".repeat(40));
+        let m = nfa_of(&db, "(ab)*(a|_)");
+        let parallel = crate::frontier::FrontierConfig::with_threads(4).with_serial_threshold(0);
+        let fast = reach_all_with(&db, &m, &nodes, Direction::Forward, None, &parallel);
+        let slow = reach_all_with(
+            &db,
+            &m,
+            &nodes,
+            Direction::Forward,
+            None,
+            &crate::frontier::FrontierConfig::serial(),
+        );
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn fill_targets_prememoizes_the_sweep() {
+        let (db, nodes) = line_db("abcabc");
+        let m = nfa_of(&db, "(a|b|c)+");
+        let mut cache = ReachCache::new(m.clone());
+        cache.fill_targets(&db, &nodes);
+        cache.fill_sources(&db, &nodes);
+        for &n in &nodes {
+            assert_eq!(
+                *cache.targets(&db, n),
+                reach_set(&db, &m, n, Direction::Forward, None)
+            );
+            assert_eq!(
+                *cache.sources(&db, n),
+                reach_set(&db, &reverse_nfa(&m), n, Direction::Backward, None)
+            );
+        }
+        assert!(cache.stats.states() > 0);
+    }
+
+    #[test]
+    fn connects_from_the_sparser_endpoint_agrees() {
+        // A fan: hub -a-> leaf_i; from the hub the out-row is wide, every
+        // leaf's in-row has one arc — both directions must agree.
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let mut b = GraphBuilder::new(alpha);
+        let a = b.alphabet().sym("a");
+        let hub = b.add_node();
+        let leaves: Vec<NodeId> = (0..8).map(|_| b.add_node()).collect();
+        for &l in &leaves {
+            b.add_edge(hub, a, l);
+        }
+        let db = b.freeze();
+        let m = nfa_of(&db, "a");
+        let mut cache = ReachCache::new(m);
+        for &l in &leaves {
+            assert!(cache.connects(&db, hub, l));
+            assert!(!cache.connects(&db, l, hub));
         }
     }
 

@@ -315,6 +315,9 @@ impl<'q> SimpleEvaluator<'q> {
     pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
         let mut out = BTreeSet::new();
         let mut p = self.problem();
+        // Exhaustive enumeration: batch-warm the classical-factor caches
+        // (see `Problem::prefill_free_edges`).
+        p.prefill_free_edges(db);
         let output = self.q.output().to_vec();
         p.solve(db, &HashMap::new(), &output, &mut |bindings| {
             out.insert(

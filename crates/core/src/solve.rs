@@ -72,6 +72,12 @@ pub struct Problem {
     pub stats: ReachStats,
 }
 
+/// Candidate sweeps prewarm reachability caches in batches of one
+/// source-membership stripe (the `u64` word width of `reach_all`), so a
+/// batch costs one wavefront pass and an early-exiting search wastes at
+/// most the rest of one stripe.
+const SEED_BATCH: usize = 64;
+
 impl Problem {
     /// An empty problem over `node_count` node variables.
     pub fn new(node_count: usize) -> Self {
@@ -80,6 +86,23 @@ impl Problem {
             free_edges: Vec::new(),
             groups: Vec::new(),
             stats: ReachStats::default(),
+        }
+    }
+
+    /// Batch-memoizes every free edge's forward reachability for all
+    /// database nodes (one multi-source wavefront per edge automaton and
+    /// 64-node stripe).
+    ///
+    /// Worth it for exhaustive enumeration (`answers`-style calls that
+    /// never early-exit): the backtracking sweep queries most sources of
+    /// most edges anyway, and the batched pass amortizes the shared
+    /// explored region across sources. Early-exiting calls (`boolean`,
+    /// `check`) should skip it and rely on the chunked prewarm inside the
+    /// seed loop instead.
+    pub fn prefill_free_edges(&mut self, db: &GraphDb) {
+        let nodes: Vec<NodeId> = db.nodes().collect();
+        for e in &mut self.free_edges {
+            e.cache.fill_targets(db, &nodes);
         }
     }
 
@@ -283,13 +306,43 @@ impl Problem {
             )
             .find(|v| bindings[v.index()].is_none());
         if let Some(var) = seed_var {
-            for node in db.nodes() {
-                bindings[var.index()] = Some(node);
-                if self.recurse(db, bindings, edge_done, group_done, required, on_solution) {
-                    bindings[var.index()] = None;
-                    return true;
+            // Sweep the candidate nodes in stripe-sized chunks, prewarming
+            // the cache of every pending free edge touching `var` with one
+            // batched wavefront per chunk: the `connects`/`targets` calls
+            // the recursion makes after binding `var` are then memo hits.
+            // The first chunk stays per-source — a boolean/check call that
+            // succeeds among the first candidates (the common early exit)
+            // then never pays for a wavefront, and a sweep that gets past
+            // it batches everything from the second chunk on. Only the
+            // current 64-node chunk is ever materialized (seeding recurses,
+            // so a full candidate Vec here would be allocated once per
+            // outer binding).
+            let n = db.node_count();
+            let mut chunk: Vec<NodeId> = Vec::with_capacity(SEED_BATCH);
+            for (chunk_idx, lo) in (0..n).step_by(SEED_BATCH).enumerate() {
+                chunk.clear();
+                chunk.extend((lo..(lo + SEED_BATCH).min(n)).map(|i| NodeId(i as u32)));
+                if chunk_idx > 0 {
+                    for (i, e) in self.free_edges.iter_mut().enumerate() {
+                        if edge_done[i] {
+                            continue;
+                        }
+                        if e.src == var {
+                            e.cache.fill_targets(db, &chunk);
+                        }
+                        if e.dst == var {
+                            e.cache.fill_sources(db, &chunk);
+                        }
+                    }
                 }
-                bindings[var.index()] = None;
+                for &node in &chunk {
+                    bindings[var.index()] = Some(node);
+                    if self.recurse(db, bindings, edge_done, group_done, required, on_solution) {
+                        bindings[var.index()] = None;
+                        return true;
+                    }
+                    bindings[var.index()] = None;
+                }
             }
             return false;
         }

@@ -19,12 +19,21 @@
 //! ranges, and — whenever positions, masks, relation state and finished
 //! bits together fit in 128 bits — the visited set is keyed by a packed
 //! `u128` instead of hashing whole configurations.
+//!
+//! The search is level-synchronous: each BFS level is expanded as a batch,
+//! and levels above the [`FrontierConfig`] threshold are sharded across
+//! scoped worker threads (the shared frontier engine of
+//! [`crate::frontier`]). Workers dedup their discoveries in private
+//! per-level sets; the level barrier merges them into the global visited
+//! set, so results are identical to the serial walk regardless of thread
+//! count.
 
+use crate::frontier::{expand_sharded, FrontierConfig};
 use crate::reach::{reverse_nfa, Direction, ReachStats};
 use crate::relation::{RegularRelation, RelLabel, TupComp};
 use cxrpq_automata::{MaskSim, Nfa};
 use cxrpq_graph::{GraphDb, NodeId, Symbol};
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 
 /// A synchronized group: per-walker automata plus a relation over their
 /// words.
@@ -142,10 +151,53 @@ enum Visited {
 }
 
 impl Visited {
+    fn new(db: &GraphDb, sims: &[MaskSim], relation: &RegularRelation) -> Self {
+        match Packer::try_new(db, sims, relation) {
+            Some(p) => Visited::Packed(HashSet::new(), p),
+            None => Visited::General(HashSet::new()),
+        }
+    }
+
     fn insert(&mut self, st: &SyncState) -> bool {
         match self {
             Visited::Packed(set, packer) => set.insert(packer.pack(st)),
             Visited::General(set) => set.insert(st.clone()),
+        }
+    }
+
+    /// Read-only membership test — shard workers use it to drop states
+    /// discovered in earlier levels without cloning them into their
+    /// private lists.
+    fn contains(&self, st: &SyncState) -> bool {
+        match self {
+            Visited::Packed(set, packer) => set.contains(&packer.pack(st)),
+            Visited::General(set) => set.contains(st),
+        }
+    }
+
+    /// An empty per-level dedup set sharing this visited set's key scheme —
+    /// the private structure each shard worker fills before the barrier
+    /// merge.
+    fn level_seen(&self) -> LevelSeen<'_> {
+        match self {
+            Visited::Packed(_, packer) => LevelSeen::Packed(HashSet::new(), packer),
+            Visited::General(_) => LevelSeen::General(HashSet::new()),
+        }
+    }
+}
+
+/// A shard worker's private discovery set for one level (same keying as the
+/// global [`Visited`], merged serially at the level barrier).
+enum LevelSeen<'p> {
+    Packed(HashSet<u128>, &'p Packer),
+    General(HashSet<SyncState>),
+}
+
+impl LevelSeen<'_> {
+    fn insert(&mut self, st: &SyncState) -> bool {
+        match self {
+            LevelSeen::Packed(set, packer) => set.insert(packer.pack(st)),
+            LevelSeen::General(set) => set.insert(st.clone()),
         }
     }
 }
@@ -160,6 +212,7 @@ pub struct SyncSearch<'a> {
     /// Word offset of walker `i`'s mask inside `SyncState::statesets`.
     offsets: Vec<usize>,
     total_words: usize,
+    cfg: FrontierConfig,
 }
 
 impl<'a> SyncSearch<'a> {
@@ -178,7 +231,16 @@ impl<'a> SyncSearch<'a> {
             sims,
             offsets,
             total_words,
+            cfg: FrontierConfig::auto()
+                .with_serial_threshold(FrontierConfig::SYNC_SERIAL_THRESHOLD),
         }
+    }
+
+    /// Overrides the frontier-engine knobs (thread count / serial
+    /// threshold) for this search.
+    pub fn with_config(mut self, cfg: FrontierConfig) -> Self {
+        self.cfg = cfg;
+        self
     }
 
     /// Forward search over `db`.
@@ -243,6 +305,12 @@ impl<'a> SyncSearch<'a> {
     ///
     /// When `ends` is given, the search prunes frozen walkers against it and
     /// stops at the first hit (membership check).
+    ///
+    /// The walk is level-synchronous; levels above the configured threshold
+    /// (see [`SyncSearch::with_config`]) are sharded across scoped worker
+    /// threads, with per-worker dedup sets merged into the global visited
+    /// set at each level barrier. The result is identical for every thread
+    /// count.
     pub fn run(
         &self,
         starts: &[NodeId],
@@ -254,35 +322,67 @@ impl<'a> SyncSearch<'a> {
         assert!(s <= 64, "at most 64 synchronized walkers");
         let init = self.initial(starts);
         let mut out = HashSet::new();
-        let mut visited = match Packer::try_new(self.db, &self.sims, &self.spec.relation) {
-            Some(p) => Visited::Packed(HashSet::new(), p),
-            None => Visited::General(HashSet::new()),
-        };
-        let mut queue = VecDeque::new();
+        let mut visited = Visited::new(self.db, &self.sims, &self.spec.relation);
         visited.insert(&init);
-        queue.push_back(init);
-        while let Some(st) = queue.pop_front() {
-            if let Some(stats) = stats {
-                stats.bump(1);
-            }
-            if self.accepting(&st) {
-                match ends {
-                    Some(e) => {
-                        if st.positions == e {
+        let mut level = vec![init];
+        while !level.is_empty() {
+            for st in &level {
+                if let Some(stats) = stats {
+                    stats.bump(1);
+                }
+                if self.accepting(st) {
+                    match ends {
+                        Some(e) => {
+                            if st.positions == e {
+                                out.insert(st.positions.clone());
+                                return out;
+                            }
+                        }
+                        None => {
                             out.insert(st.positions.clone());
-                            return out;
                         }
                     }
-                    None => {
-                        out.insert(st.positions.clone());
+                }
+            }
+            let shards = self.cfg.shards_for(level.len());
+            let mut next: Vec<SyncState> = Vec::new();
+            if shards <= 1 {
+                // Serial fast path: dedup directly against the global
+                // visited set, exactly like the pre-level-synchronous
+                // queue walk (no per-level shadow set, no re-cloning).
+                for st in &level {
+                    self.expand_moves(st, ends, &mut |nxt, _| {
+                        if visited.insert(&nxt) {
+                            next.push(nxt);
+                        }
+                    });
+                }
+            } else {
+                let discovered = expand_sharded(&level, shards, |_, slice| {
+                    let mut seen = visited.level_seen();
+                    let mut found: Vec<SyncState> = Vec::new();
+                    for st in slice {
+                        self.expand_moves(st, ends, &mut |nxt, _| {
+                            // Read-only pre-filter against earlier levels,
+                            // then private intra-level dedup.
+                            if !visited.contains(&nxt) && seen.insert(&nxt) {
+                                found.push(nxt);
+                            }
+                        });
+                    }
+                    found
+                });
+                // Level barrier: global dedup (and cross-worker dedup)
+                // builds the next level.
+                for found in discovered {
+                    for st in found {
+                        if visited.insert(&st) {
+                            next.push(st);
+                        }
                     }
                 }
             }
-            self.expand_moves(&st, ends, &mut |next, _| {
-                if visited.insert(&next) {
-                    queue.push_back(next);
-                }
-            });
+            level = next;
         }
         out
     }
@@ -675,6 +775,30 @@ mod tests {
         let spec = SyncSpec::equality_group(None, 0);
         let tuples = sync_targets(&db, &spec, &[], None);
         assert_eq!(tuples, HashSet::from([vec![]]));
+    }
+
+    #[test]
+    fn forced_parallel_levels_match_serial() {
+        // Force sharding on every level (threshold 0, 4 workers): the
+        // tuple sets must match the serial search exactly, with and
+        // without a known end.
+        let (db, [s1, t1, s2, t2]) = two_path_db("abcabc", "abcabc");
+        let mut alpha = db.alphabet().clone();
+        let def = Nfa::from_regex(&parse_regex("(a|b|c)+", &mut alpha).unwrap());
+        let spec = SyncSpec::equality_group(Some(def), 2);
+        let parallel = FrontierConfig::with_threads(4).with_serial_threshold(0);
+        let serial_tuples = SyncSearch::forward(&db, &spec)
+            .with_config(FrontierConfig::serial())
+            .run(&[s1, s2], None, None);
+        let parallel_tuples = SyncSearch::forward(&db, &spec)
+            .with_config(parallel)
+            .run(&[s1, s2], None, None);
+        assert_eq!(serial_tuples, parallel_tuples);
+        assert!(parallel_tuples.contains(&vec![t1, t2]));
+        let hit = SyncSearch::forward(&db, &spec)
+            .with_config(parallel)
+            .run(&[s1, s2], Some(&[t1, t2]), None);
+        assert_eq!(hit, HashSet::from([vec![t1, t2]]));
     }
 
     #[test]

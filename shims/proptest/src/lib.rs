@@ -481,7 +481,7 @@ mod tests {
 
         #[test]
         fn ranges_in_bounds(x in 3u32..7, y in 0usize..=2) {
-            prop_assert!(x >= 3 && x < 7);
+            prop_assert!((3..7).contains(&x));
             prop_assert!(y <= 2);
         }
 

@@ -71,7 +71,12 @@
 //! `cxrpq-core` ride on this with dense-bitset visited sets and bitmask
 //! NFA state sets; `cargo bench -p cxrpq-bench --bench e16_reach_csr`
 //! measures the layout against the pre-CSR representation (results
-//! recorded in `BENCH_reach.json`).
+//! recorded in `BENCH_reach.json`). On top sits the level-synchronous
+//! frontier engine (`cxrpq_core::frontier`): `reach_all` batches
+//! multi-source product reachability into 64-source membership-stripe
+//! wavefronts, and both it and the synchronized search shard fat BFS
+//! levels across scoped worker threads (`cargo bench -p cxrpq-bench
+//! --bench e17_parallel_reach`, results in `BENCH_parallel.json`).
 //!
 //! Third-party APIs (`rand`, `proptest`, `criterion`) resolve to offline
 //! shims under `shims/`, pinned in `[workspace.dependencies]` — see the
