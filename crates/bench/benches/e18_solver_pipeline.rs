@@ -1,0 +1,266 @@
+//! E18: the plan/prune/enumerate solver pipeline vs the naive-order
+//! reference path.
+//!
+//! Four query shapes over the e16/e17 graph families, all evaluated
+//! exhaustively (`answers`) by [`CrpqEvaluator`] under both solver
+//! configurations:
+//!
+//! - **star** — three atoms sharing a source variable, one labelled by a
+//!   rare symbol: planning fills the rare atom first and the prune phase
+//!   collapses the shared variable's domain before the expensive fills run;
+//! - **chain** — three atoms in a line ending in a rare symbol: the naive
+//!   path discovers the dead end only after enumerating every prefix
+//!   binding (with one per-source backward/forward search per intermediate
+//!   node), while semi-joins kill the prefixes up front;
+//! - **diamond** — two branches re-joining on a rare atom;
+//! - **single** — one atom, the pipeline-overhead regression guard (the
+//!   acceptance bar is staying within 10% of naive);
+//!
+//! plus the **line** shape from e17's adversarial batching case, where the
+//! adaptive probe must route prune fills to per-source sweeps (asserted).
+//! Every measurement is preceded by an equality assertion between the two
+//! configurations' answer relations.
+//!
+//! Run: `cargo bench -p cxrpq-bench --bench e18_solver_pipeline` (add
+//! `-- --fast` for the CI smoke configuration). Full runs record
+//! `BENCH_solver.json` at the workspace root; override the path (and
+//! enable recording in fast mode) with `BENCH_SOLVER_OUT`.
+
+use cxrpq_core::{Crpq, CrpqEvaluator, SolveOptions};
+use cxrpq_graph::{Alphabet, GraphBuilder, GraphDb, NodeId, Symbol};
+use cxrpq_workloads::graphs;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64() * 1e3
+}
+
+/// A random multigraph over `{a, b}` with `edges` arcs plus `rare` arcs
+/// labelled `c` — the label skew the planner's CSR statistics pick up.
+/// Deterministic (splitmix-style) so runs are comparable without an RNG
+/// dependency.
+fn random_ab_rare_c(nodes: usize, edges: usize, rare: usize, seed: u64) -> GraphDb {
+    let alpha = Arc::new(Alphabet::from_chars("abc"));
+    let mut b = GraphBuilder::new(alpha);
+    let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| b.alphabet().sym(s)).collect();
+    for _ in 0..nodes {
+        b.add_node();
+    }
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as usize
+    };
+    for _ in 0..edges {
+        let u = NodeId((next() % nodes) as u32);
+        let v = NodeId((next() % nodes) as u32);
+        let s = syms[next() % 2]; // a or b only
+        b.add_edge(u, s, v);
+    }
+    for _ in 0..rare {
+        let u = NodeId((next() % nodes) as u32);
+        let v = NodeId((next() % nodes) as u32);
+        b.add_edge(u, syms[2], v);
+    }
+    b.freeze()
+}
+
+struct ShapeResult {
+    shape: &'static str,
+    nodes: usize,
+    edges: usize,
+    atoms: usize,
+    answers: usize,
+    naive_ms: f64,
+    pipeline_ms: f64,
+    per_source_sweeps: bool,
+}
+
+fn run_shape(
+    shape: &'static str,
+    db: &GraphDb,
+    query_edges: &[(&str, &str, &str)],
+    output: &[&str],
+    iters: usize,
+) -> ShapeResult {
+    let mut alpha = db.alphabet().clone();
+    let q = Crpq::build(query_edges, output, &mut alpha).unwrap();
+    let ev = CrpqEvaluator::new(&q);
+    let naive = SolveOptions::naive();
+    let piped = SolveOptions::pipeline();
+
+    // Agreement first: the pipeline must reproduce the naive answers.
+    let (ans_naive, _) = ev.answers_opts(db, &naive);
+    let (ans_piped, stats) = ev.answers_opts(db, &piped);
+    assert_eq!(ans_naive, ans_piped, "{shape}: pipeline changed the answers");
+    let per_source_sweeps = stats.as_ref().map(|s| s.per_source_sweeps).unwrap_or(false);
+
+    let naive_ms = median_ms(iters, || {
+        std::hint::black_box(ev.answers_opts(db, &naive));
+    });
+    let pipeline_ms = median_ms(iters, || {
+        std::hint::black_box(ev.answers_opts(db, &piped));
+    });
+    ShapeResult {
+        shape,
+        nodes: db.node_count(),
+        edges: db.edge_count(),
+        atoms: query_edges.len(),
+        answers: ans_naive.len(),
+        naive_ms,
+        pipeline_ms,
+        per_source_sweeps,
+    }
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let iters = if fast { 3 } else { 7 };
+    let scale = if fast { 4 } else { 1 };
+    let mut results = Vec::new();
+
+    // Star: three atoms out of one variable, the c-atom rare.
+    {
+        let n = 480 / scale;
+        let db = random_ab_rare_c(n, 4 * n, n / 40, 0xe18);
+        results.push(run_shape(
+            "star",
+            &db,
+            &[("x", "ab", "y1"), ("x", "ba", "y2"), ("x", "c", "y3")],
+            &["x", "y3"],
+            iters,
+        ));
+    }
+    // Chain: naive discovers the rare tail only after enumerating every
+    // prefix binding.
+    {
+        let n = 480 / scale;
+        let db = random_ab_rare_c(n, 4 * n, n / 40, 0xc4a1);
+        results.push(run_shape(
+            "chain",
+            &db,
+            &[
+                ("x1", "ab", "x2"),
+                ("x2", "ab", "x3"),
+                ("x3", "ba", "x4"),
+                ("x4", "c", "x5"),
+            ],
+            &["x1", "x5"],
+            iters,
+        ));
+    }
+    // Diamond: two branches re-joining on a rare atom.
+    {
+        let n = 480 / scale;
+        let db = random_ab_rare_c(n, 4 * n, n / 40, 0xd1a);
+        results.push(run_shape(
+            "diamond",
+            &db,
+            &[
+                ("x", "ab", "y"),
+                ("x", "ba", "z"),
+                ("y", "ab", "w"),
+                ("z", "c", "w"),
+            ],
+            &["x", "w"],
+            iters,
+        ));
+    }
+    // Single atom: the overhead guard.
+    {
+        let n = 480 / scale;
+        let db = random_ab_rare_c(n, 4 * n, n / 40, 0x51);
+        results.push(run_shape(
+            "single",
+            &db,
+            &[("x", "ab", "y")],
+            &["x", "y"],
+            iters,
+        ));
+    }
+    // Line (e17's adversarial batching shape): the adaptive probe must
+    // route prune fills to per-source sweeps.
+    {
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let m = 400 / scale;
+        let word: Vec<Symbol> = alpha.parse_word(&"ab".repeat(m)).unwrap();
+        let (db, _, _) = graphs::two_paths(alpha, &word, &word);
+        let r = run_shape(
+            "line",
+            &db,
+            &[("x", "(ab)+", "y"), ("y", "(ab)+", "z")],
+            &["x", "z"],
+            iters,
+        );
+        assert!(
+            r.per_source_sweeps,
+            "line: the probe must pick per-source sweeps on a long chain"
+        );
+        results.push(r);
+    }
+
+    println!(
+        "{:<8} {:>6} {:>6} {:>5} {:>8} | {:>10} {:>11} {:>7} | fills",
+        "shape", "nodes", "edges", "atoms", "answers", "naive", "pipeline", "x"
+    );
+    for r in &results {
+        println!(
+            "{:<8} {:>6} {:>6} {:>5} {:>8} | {:>8.3}ms {:>9.3}ms {:>6.2}x | {}",
+            r.shape,
+            r.nodes,
+            r.edges,
+            r.atoms,
+            r.answers,
+            r.naive_ms,
+            r.pipeline_ms,
+            r.naive_ms / r.pipeline_ms,
+            if r.per_source_sweeps { "per-source" } else { "wavefront" },
+        );
+    }
+
+    let explicit = std::env::var("BENCH_SOLVER_OUT").ok();
+    if fast && explicit.is_none() {
+        println!("\nfast mode: BENCH_solver.json not rewritten (set BENCH_SOLVER_OUT to record)");
+        return;
+    }
+    let out_path = explicit
+        .unwrap_or_else(|| format!("{}/../../BENCH_solver.json", env!("CARGO_MANIFEST_DIR")));
+    let mut json = String::from("{\n  \"bench\": \"e18_solver_pipeline\",\n  \"mode\": ");
+    json.push_str(if fast { "\"fast\"" } else { "\"full\"" });
+    json.push_str(",\n  \"shapes\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"nodes\": {}, \"edges\": {}, \"atoms\": {}, \
+             \"answers\": {}, \"naive_ms\": {:.4}, \"pipeline_ms\": {:.4}, \
+             \"pipeline_speedup\": {:.2}, \"per_source_sweeps\": {}}}{}\n",
+            r.shape,
+            r.nodes,
+            r.edges,
+            r.atoms,
+            r.answers,
+            r.naive_ms,
+            r.pipeline_ms,
+            r.naive_ms / r.pipeline_ms,
+            r.per_source_sweeps,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("warning: could not write {out_path}: {e}");
+    } else {
+        println!("\nrecorded {out_path}");
+    }
+}

@@ -98,6 +98,33 @@ pub fn classify(query_text: &str) -> Result<String, CmdError> {
     Ok(out)
 }
 
+/// Renders the solver pipeline's per-phase stats (plan order, prune rounds,
+/// domain shrinkage) when the chosen engine reports them.
+fn render_pipeline(out: &mut String, stats: Option<&cxrpq_core::PipelineStats>) {
+    let Some(s) = stats else { return };
+    let order: Vec<String> = s.var_order.iter().map(|v| format!("v{}", v.0)).collect();
+    let fills = if s.per_source_sweeps {
+        "per-source sweeps"
+    } else {
+        "batched wavefronts"
+    };
+    if s.domain_before.is_empty() {
+        // Pruning was skipped (nothing to prune, or an early-exiting call
+        // with no pinned binding staying lazy).
+        let _ = writeln!(out, "pipeline: order [{}] · prune skipped", order.join(" "));
+    } else {
+        let _ = writeln!(
+            out,
+            "pipeline: order [{}] · prune {} round(s) via {} · domains {} → {}",
+            order.join(" "),
+            s.rounds,
+            fills,
+            s.total_before(),
+            s.total_after()
+        );
+    }
+}
+
 /// Options for [`eval`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EvalCmdOptions {
@@ -144,6 +171,7 @@ pub fn eval(
             "match: {}  (eval {:?} + plan {:?})",
             r.value, r.elapsed, r.plan_elapsed
         );
+        render_pipeline(&mut out, r.pipeline.as_ref());
     } else {
         let r = auto.answers(&db);
         let _ = writeln!(
@@ -153,6 +181,7 @@ pub fn eval(
             r.elapsed,
             r.plan_elapsed
         );
+        render_pipeline(&mut out, r.pipeline.as_ref());
         let limit = opts.limit.unwrap_or(usize::MAX);
         for tuple in r.value.iter().take(limit) {
             let names: Vec<String> = tuple.iter().map(|&n| db.node_name(n)).collect();
@@ -366,6 +395,9 @@ edge m4 b v
         let out = eval(GRAPH, QUERY, EvalCmdOptions::default()).unwrap();
         assert!(out.contains("answers: 1"), "{out}");
         assert!(out.contains("(u, v)"));
+        // The simple engine reports the solver pipeline's per-phase stats.
+        assert!(out.contains("pipeline: order ["), "{out}");
+        assert!(out.contains("domains"), "{out}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::pattern::{GraphPattern, NodeVar};
 use crate::reach::ReachCache;
-use crate::solve::{FreeEdge, Problem};
+use crate::solve::{FreeEdge, PipelineStats, Problem, SolveOptions};
 use crate::witness::QueryWitness;
 use cxrpq_automata::{parse_regex, Nfa, ParseError, Regex};
 use cxrpq_graph::{Alphabet, GraphDb, NodeId};
@@ -115,7 +115,7 @@ impl<'q> CrpqEvaluator<'q> {
         }
         let mut p = self.problem();
         let mut found = false;
-        p.solve(db, &HashMap::new(), &[], &mut |_| {
+        p.solve_with(db, &HashMap::new(), &[], &SolveOptions::early_exit(), &mut |_| {
             found = true;
             true
         });
@@ -126,19 +126,45 @@ impl<'q> CrpqEvaluator<'q> {
         (found, states)
     }
 
+    /// [`CrpqEvaluator::boolean`] under explicit solver options, with the
+    /// pipeline stats of the run.
+    pub fn boolean_opts(&self, db: &GraphDb, opts: &SolveOptions) -> (bool, Option<PipelineStats>) {
+        if self.q.has_empty_edge() {
+            return (false, None);
+        }
+        let mut p = self.problem();
+        let mut found = false;
+        p.solve_with(db, &HashMap::new(), &[], opts, &mut |_| {
+            found = true;
+            true
+        });
+        (found, p.pipeline.take())
+    }
+
     /// The answer relation `q(D)` (projections of matching morphisms onto
     /// the output tuple).
     pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
+        self.answers_opts(db, &SolveOptions::default()).0
+    }
+
+    /// [`CrpqEvaluator::answers`] under explicit solver options, with the
+    /// pipeline stats of the run — the hook differential tests, benches and
+    /// the engine's observability use. Exhaustive enumeration defaults to
+    /// the full pipeline: the prune phase batch-warms every edge cache over
+    /// the shrinking candidate domains (subsuming the old whole-database
+    /// prefill).
+    pub fn answers_opts(
+        &self,
+        db: &GraphDb,
+        opts: &SolveOptions,
+    ) -> (BTreeSet<Vec<NodeId>>, Option<PipelineStats>) {
         let mut out = BTreeSet::new();
         if self.q.has_empty_edge() {
-            return out;
+            return (out, None);
         }
         let mut p = self.problem();
-        // Exhaustive enumeration: batch-warm every edge cache up front so
-        // the sweep's per-source searches collapse into shared wavefronts.
-        p.prefill_free_edges(db);
         let output = self.q.output.clone();
-        p.solve(db, &HashMap::new(), &output, &mut |bindings| {
+        p.solve_with(db, &HashMap::new(), &output, opts, &mut |bindings| {
             out.insert(
                 output
                     .iter()
@@ -147,32 +173,43 @@ impl<'q> CrpqEvaluator<'q> {
             );
             false
         });
-        out
+        (out, p.pipeline.take())
     }
 
     /// The Check problem: `t̄ ∈ q(D)`.
     pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> bool {
+        self.check_opts(db, tuple, &SolveOptions::early_exit()).0
+    }
+
+    /// [`CrpqEvaluator::check`] under explicit solver options, with the
+    /// pipeline stats of the run.
+    pub fn check_opts(
+        &self,
+        db: &GraphDb,
+        tuple: &[NodeId],
+        opts: &SolveOptions,
+    ) -> (bool, Option<PipelineStats>) {
         assert_eq!(tuple.len(), self.q.output.len(), "arity mismatch");
         if self.q.has_empty_edge() {
-            return false;
+            return (false, None);
         }
         let mut pinned = HashMap::new();
         for (v, n) in self.q.output.iter().zip(tuple) {
             // Repeated output variables must agree.
             if let Some(&prev) = pinned.get(v) {
                 if prev != *n {
-                    return false;
+                    return (false, None);
                 }
             }
             pinned.insert(*v, *n);
         }
         let mut p = self.problem();
         let mut found = false;
-        p.solve(db, &pinned, &[], &mut |_| {
+        p.solve_with(db, &pinned, &[], opts, &mut |_| {
             found = true;
             true
         });
-        found
+        (found, p.pipeline.take())
     }
 
     /// A certificate for *some* matching morphism: the morphism plus one
@@ -199,7 +236,7 @@ impl<'q> CrpqEvaluator<'q> {
         let mut p = self.problem();
         let required: Vec<NodeVar> = self.q.pattern.node_vars().collect();
         let mut sol: Option<Vec<Option<NodeId>>> = None;
-        p.solve(db, pinned, &required, &mut |b| {
+        p.solve_with(db, pinned, &required, &SolveOptions::early_exit(), &mut |b| {
             sol = Some(b.to_vec());
             true
         });

@@ -4,6 +4,11 @@
 //! xregex: edge `i` carries component `ᾱ[i]`, and a matching morphism must
 //! be witnessed by a *conjunctive match* `(w₁, …, w_m) ∈ L(ᾱ)` — this is
 //! what lets string variables express inter-path dependencies.
+//!
+//! Evaluation dispatches by fragment through [`crate::engine`]; every
+//! engine ultimately reduces to the shared plan/prune/enumerate solver
+//! pipeline of [`crate::solve`] (candidate domains are pruned by semi-joins
+//! before any backtracking, see [`crate::domains`]).
 
 use crate::crpq::Crpq;
 use crate::pattern::{GraphPattern, NodeVar};

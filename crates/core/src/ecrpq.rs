@@ -12,7 +12,7 @@
 use crate::pattern::{GraphPattern, NodeVar};
 use crate::reach::ReachCache;
 use crate::relation::{RegularRelation, RelLabel};
-use crate::solve::{FreeEdge, Group, Problem};
+use crate::solve::{FreeEdge, Group, PipelineStats, Problem, SolveOptions};
 use crate::sync::SyncSpec;
 use crate::witness::QueryWitness;
 use cxrpq_automata::{Nfa, Regex};
@@ -176,24 +176,39 @@ impl<'q> EcrpqEvaluator<'q> {
 
     /// Boolean evaluation `D ⊨ q`.
     pub fn boolean(&self, db: &GraphDb) -> bool {
+        self.boolean_opts(db, &SolveOptions::early_exit()).0
+    }
+
+    /// [`EcrpqEvaluator::boolean`] under explicit solver options, with the
+    /// pipeline stats of the run.
+    pub fn boolean_opts(&self, db: &GraphDb, opts: &SolveOptions) -> (bool, Option<PipelineStats>) {
         let mut p = self.problem();
         let mut found = false;
-        p.solve(db, &HashMap::new(), &[], &mut |_| {
+        p.solve_with(db, &HashMap::new(), &[], opts, &mut |_| {
             found = true;
             true
         });
-        found
+        (found, p.pipeline.take())
     }
 
     /// The answer relation `q(D)`.
     pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
+        self.answers_opts(db, &SolveOptions::default()).0
+    }
+
+    /// [`EcrpqEvaluator::answers`] under explicit solver options, with the
+    /// pipeline stats of the run. The default pipeline's prune phase
+    /// batch-warms the relation-free edge caches over the shrinking
+    /// candidate domains (subsuming the old whole-database prefill).
+    pub fn answers_opts(
+        &self,
+        db: &GraphDb,
+        opts: &SolveOptions,
+    ) -> (BTreeSet<Vec<NodeId>>, Option<PipelineStats>) {
         let mut out = BTreeSet::new();
         let mut p = self.problem();
-        // Exhaustive enumeration: batch-warm the relation-free edge caches
-        // (see `Problem::prefill_free_edges`).
-        p.prefill_free_edges(db);
         let output = self.q.output.clone();
-        p.solve(db, &HashMap::new(), &output, &mut |bindings| {
+        p.solve_with(db, &HashMap::new(), &output, opts, &mut |bindings| {
             out.insert(
                 output
                     .iter()
@@ -202,28 +217,39 @@ impl<'q> EcrpqEvaluator<'q> {
             );
             false
         });
-        out
+        (out, p.pipeline.take())
     }
 
     /// The Check problem `t̄ ∈ q(D)`.
     pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> bool {
+        self.check_opts(db, tuple, &SolveOptions::early_exit()).0
+    }
+
+    /// [`EcrpqEvaluator::check`] under explicit solver options, with the
+    /// pipeline stats of the run.
+    pub fn check_opts(
+        &self,
+        db: &GraphDb,
+        tuple: &[NodeId],
+        opts: &SolveOptions,
+    ) -> (bool, Option<PipelineStats>) {
         assert_eq!(tuple.len(), self.q.output.len());
         let mut pinned = HashMap::new();
         for (v, n) in self.q.output.iter().zip(tuple) {
             if let Some(&prev) = pinned.get(v) {
                 if prev != *n {
-                    return false;
+                    return (false, None);
                 }
             }
             pinned.insert(*v, *n);
         }
         let mut p = self.problem();
         let mut found = false;
-        p.solve(db, &pinned, &[], &mut |_| {
+        p.solve_with(db, &pinned, &[], opts, &mut |_| {
             found = true;
             true
         });
-        found
+        (found, p.pipeline.take())
     }
 
     /// A certificate for some matching morphism: one path per edge, with
@@ -247,7 +273,7 @@ impl<'q> EcrpqEvaluator<'q> {
         let mut p = self.problem();
         let required: Vec<NodeVar> = self.q.pattern.node_vars().collect();
         let mut sol: Option<Vec<Option<NodeId>>> = None;
-        p.solve(db, pinned, &required, &mut |b| {
+        p.solve_with(db, pinned, &required, &SolveOptions::early_exit(), &mut |b| {
             sol = Some(b.to_vec());
             true
         });

@@ -15,6 +15,7 @@
 use crate::bounded::BoundedEvaluator;
 use crate::cxrpq::Cxrpq;
 use crate::simple_eval::SimpleEvaluator;
+use crate::solve::{PipelineStats, SolveOptions};
 use crate::vsf_eval::VsfEvaluator;
 use crate::witness::QueryWitness;
 use cxrpq_graph::{GraphDb, NodeId};
@@ -80,6 +81,14 @@ pub struct Evaluated<T> {
     /// construction (NFA compilation, plan assembly), paid once in
     /// [`AutoEvaluator::with_options`] and reported with every result.
     pub plan_elapsed: Duration,
+    /// Per-phase statistics of the solver pipeline (variable order,
+    /// pruning rounds, domain sizes before/after). Reported by
+    /// `boolean`/`answers`/`check` when the chosen engine runs the shared
+    /// constraint solver in a single pass (`Simple`); `None` for engines
+    /// that fan out into many sub-evaluations (`Vsf`, `Bounded`) and for
+    /// `witness` calls (witness assembly runs several searches beyond the
+    /// solver).
+    pub pipeline: Option<PipelineStats>,
 }
 
 impl<T> Evaluated<T> {
@@ -196,51 +205,52 @@ impl<'q> AutoEvaluator<'q> {
         self.plan_elapsed
     }
 
-    fn timed<T>(&self, f: impl FnOnce() -> T) -> Evaluated<T> {
+    fn timed<T>(&self, f: impl FnOnce() -> (T, Option<PipelineStats>)) -> Evaluated<T> {
         let t0 = Instant::now();
-        let value = f();
+        let (value, pipeline) = f();
         Evaluated {
             value,
             engine: self.choice,
             exact: self.exact,
             elapsed: t0.elapsed(),
             plan_elapsed: self.plan_elapsed,
+            pipeline,
         }
     }
 
     /// Boolean evaluation with provenance.
     pub fn boolean(&self, db: &GraphDb) -> Evaluated<bool> {
         self.timed(|| match &self.engine {
-            EngineImpl::Simple(ev) => ev.boolean(db),
-            EngineImpl::Vsf(ev) => ev.boolean(db),
-            EngineImpl::Bounded(ev) => ev.boolean(db),
+            EngineImpl::Simple(ev) => ev.boolean_opts(db, &SolveOptions::early_exit()),
+            EngineImpl::Vsf(ev) => (ev.boolean(db), None),
+            EngineImpl::Bounded(ev) => (ev.boolean(db), None),
         })
     }
 
     /// The answer relation with provenance.
     pub fn answers(&self, db: &GraphDb) -> Evaluated<BTreeSet<Vec<NodeId>>> {
         self.timed(|| match &self.engine {
-            EngineImpl::Simple(ev) => ev.answers(db),
-            EngineImpl::Vsf(ev) => ev.answers(db),
-            EngineImpl::Bounded(ev) => ev.answers(db),
+            EngineImpl::Simple(ev) => ev.answers_opts(db, &SolveOptions::default()),
+            EngineImpl::Vsf(ev) => (ev.answers(db), None),
+            EngineImpl::Bounded(ev) => (ev.answers(db), None),
         })
     }
 
     /// The Check problem with provenance.
     pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> Evaluated<bool> {
         self.timed(|| match &self.engine {
-            EngineImpl::Simple(ev) => ev.check(db, tuple),
-            EngineImpl::Vsf(ev) => ev.check(db, tuple),
-            EngineImpl::Bounded(ev) => ev.check(db, tuple),
+            EngineImpl::Simple(ev) => ev.check_opts(db, tuple, &SolveOptions::early_exit()),
+            EngineImpl::Vsf(ev) => (ev.check(db, tuple), None),
+            EngineImpl::Bounded(ev) => (ev.check(db, tuple), None),
         })
     }
 
     /// A witness with provenance.
     pub fn witness(&self, db: &GraphDb) -> Evaluated<Option<QueryWitness>> {
         self.timed(|| match &self.engine {
-            EngineImpl::Simple(ev) => ev.witness(db),
-            EngineImpl::Vsf(ev) => ev.witness(db),
-            EngineImpl::Bounded(ev) => ev.witness(db),
+            EngineImpl::Simple(ev) => (ev.witness(db), None),
+            EngineImpl::Vsf(ev) => (ev.witness(db), None),
+            EngineImpl::Bounded(ev) => (ev.witness(db), None),
         })
     }
 }
@@ -366,6 +376,38 @@ mod tests {
         assert_eq!(r2.plan_elapsed, plan);
         assert!(r1.total_elapsed() >= r1.elapsed);
         assert!(r1.value && r2.value);
+    }
+
+    #[test]
+    fn pipeline_stats_surface_through_the_planner() {
+        let (db, s, t) = db_word("abcab");
+        let mut alpha = db.alphabet().clone();
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "z{(a|b)+}cz", "y")
+            .output(&["x", "y"])
+            .build()
+            .unwrap();
+        let auto = AutoEvaluator::new(&q);
+        assert_eq!(auto.plan(), EngineKind::Simple);
+        let r = auto.answers(&db);
+        let stats = r.pipeline.as_ref().expect("simple engine reports pipeline stats");
+        assert!(!stats.var_order.is_empty());
+        assert!(stats.total_after() <= stats.total_before());
+        assert!(r.value.contains(&vec![s, t]));
+        // Early-exiting calls report the capped pipeline too.
+        assert!(auto.boolean(&db).pipeline.is_some());
+        assert!(auto.check(&db, &[s, t]).pipeline.is_some());
+        // The bounded fallback fans out into sub-evaluations: no single run
+        // to report.
+        let forced = AutoEvaluator::with_options(
+            &q,
+            EvalOptions {
+                bounded_k: 4,
+                force: Some(EngineKind::Bounded),
+            },
+        )
+        .unwrap();
+        assert!(forced.answers(&db).pipeline.is_none());
     }
 
     #[test]

@@ -29,6 +29,7 @@
 pub mod bounded;
 pub mod crpq;
 pub mod cxrpq;
+pub mod domains;
 pub mod ecrpq;
 pub mod engine;
 pub mod frontier;
@@ -36,6 +37,7 @@ pub mod generic;
 pub mod log_eval;
 pub mod path_semantics;
 pub mod pattern;
+pub mod plan;
 pub mod query_text;
 pub mod reach;
 pub mod relation;
@@ -50,6 +52,9 @@ pub mod witness;
 pub use bounded::{BoundedEvaluator, BoundedStats};
 pub use crpq::{Crpq, CrpqEvaluator};
 pub use cxrpq::{Cxrpq, CxrpqBuilder, CxrpqError};
+pub use domains::Domains;
+pub use plan::SolvePlan;
+pub use solve::{PipelineStats, SolveOptions};
 pub use ecrpq::{Ecrpq, EcrpqEvaluator};
 pub use engine::{AutoEvaluator, Evaluated, EngineKind, EvalOptions};
 pub use frontier::FrontierConfig;

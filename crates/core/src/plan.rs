@@ -1,0 +1,229 @@
+//! Phase 1 of the solver pipeline: constraint-graph planning.
+//!
+//! The [`Problem`](crate::solve::Problem)'s free edges and groups induce a
+//! *constraint graph* over node variables: every constraint connects the
+//! variables it mentions. Before any search runs, [`SolvePlan::build`]
+//! estimates a traversal cost for each constraint from the database's CSR
+//! label statistics ([`GraphDb::label_edge_count`]) — an automaton whose
+//! transition symbols label few database arcs explores a small product
+//! region and filters hard — and emits a *connected, cheapest-first*
+//! variable order: start at the cheapest constraint, then repeatedly take
+//! the cheapest constraint sharing a variable with the ordered prefix
+//! (Prim-style), jumping components only when forced. The enumerate phase
+//! seeds variables in this order and prefers cheap constraints when several
+//! half-bound extensions compete, so join order follows the data instead of
+//! query-text accident.
+
+use crate::pattern::NodeVar;
+use crate::solve::{FreeEdge, Group};
+use cxrpq_automata::{Label, Nfa};
+use cxrpq_graph::GraphDb;
+
+/// Estimated cost of searching the product of `db` with `nfa`: each
+/// `Sym(a)` transition can expand over every `a`-labelled arc, each `Any`
+/// transition over every arc, ε over none. The absolute number is
+/// meaningless; only the ordering between constraints matters.
+fn nfa_cost(nfa: &Nfa, db: &GraphDb) -> u64 {
+    let mut cost = 0u64;
+    for s in nfa.states() {
+        for &(l, _) in nfa.transitions(s) {
+            cost += match l {
+                Label::Eps => 0,
+                Label::Sym(a) => db.label_edge_count(a) as u64,
+                Label::Any => db.edge_count() as u64,
+            };
+        }
+    }
+    cost
+}
+
+/// A constraint of the plan's constraint graph, with its endpoints and
+/// estimated cost.
+struct PlanConstraint {
+    vars: Vec<NodeVar>,
+    cost: u64,
+}
+
+/// The output of the planning phase: per-constraint cost estimates and a
+/// connected, cheapest-first variable order.
+#[derive(Clone, Debug)]
+pub struct SolvePlan {
+    /// Estimated cost per free edge (index-aligned with
+    /// `Problem::free_edges`).
+    pub edge_cost: Vec<u64>,
+    /// Estimated cost per group (index-aligned with `Problem::groups`).
+    /// Synchronized walkers multiply, so a group costs the sum of its
+    /// member automata scaled by its arity.
+    pub group_cost: Vec<u64>,
+    /// Every variable occurring in some constraint, cheapest-first and
+    /// connected (consecutive variables share constraints wherever the
+    /// constraint graph allows).
+    pub var_order: Vec<NodeVar>,
+    /// `seed_rank[v] = position of v in var_order` (`usize::MAX` for
+    /// variables in no constraint), for O(1) order lookups.
+    pub seed_rank: Vec<usize>,
+}
+
+impl SolvePlan {
+    /// Plans over the constraint graph of `free` and `groups` against the
+    /// label statistics of `db`.
+    pub fn build(node_count: usize, free: &[FreeEdge], groups: &[Group], db: &GraphDb) -> Self {
+        let edge_cost: Vec<u64> = free.iter().map(|e| nfa_cost(e.cache.nfa(), db)).collect();
+        let group_cost: Vec<u64> = groups
+            .iter()
+            .map(|g| {
+                let arity = g.spec.arity() as u64;
+                let sum: u64 = g.spec.nfas.iter().map(|n| nfa_cost(n, db)).sum();
+                sum.saturating_mul(arity.max(1))
+            })
+            .collect();
+        let mut constraints: Vec<PlanConstraint> = Vec::with_capacity(free.len() + groups.len());
+        for (e, &cost) in free.iter().zip(&edge_cost) {
+            constraints.push(PlanConstraint {
+                vars: vec![e.src, e.dst],
+                cost,
+            });
+        }
+        for (g, &cost) in groups.iter().zip(&group_cost) {
+            // Repeated variables are harmless downstream (the ordering
+            // loop skips already-placed vars).
+            let vars: Vec<NodeVar> = g.srcs.iter().chain(g.dsts.iter()).copied().collect();
+            constraints.push(PlanConstraint { vars, cost });
+        }
+
+        // Prim-style greedy: repeatedly take the cheapest unused constraint
+        // touching the ordered prefix; when no constraint connects (a new
+        // component of the constraint graph), take the cheapest remaining.
+        let mut in_order = vec![false; node_count];
+        let mut used = vec![false; constraints.len()];
+        let mut var_order: Vec<NodeVar> = Vec::new();
+        loop {
+            let mut best: Option<(u64, usize, bool)> = None; // (cost, idx, connected)
+            for (i, c) in constraints.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let connected = c.vars.iter().any(|v| in_order[v.index()]);
+                let key = (c.cost, i, connected);
+                let better = match best {
+                    None => true,
+                    // Connectivity dominates; cost breaks ties, then index.
+                    Some((bc, bi, bconn)) => match (connected, bconn) {
+                        (true, false) => true,
+                        (false, true) => false,
+                        _ => (key.0, key.1) < (bc, bi),
+                    },
+                };
+                if better {
+                    best = Some((c.cost, i, connected));
+                }
+            }
+            let Some((_, idx, _)) = best else { break };
+            used[idx] = true;
+            for &v in &constraints[idx].vars {
+                if !in_order[v.index()] {
+                    in_order[v.index()] = true;
+                    var_order.push(v);
+                }
+            }
+        }
+        let mut seed_rank = vec![usize::MAX; node_count];
+        for (pos, v) in var_order.iter().enumerate() {
+            seed_rank[v.index()] = pos;
+        }
+        Self {
+            edge_cost,
+            group_cost,
+            var_order,
+            seed_rank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::ReachCache;
+    use crate::sync::SyncSpec;
+    use cxrpq_automata::{parse_regex, Nfa};
+    use cxrpq_graph::{Alphabet, GraphBuilder, GraphDb};
+    use std::sync::Arc;
+
+    /// 1 `a`-arc, 8 `b`-arcs, 0 `c`-arcs.
+    fn skewed_db() -> GraphDb {
+        let alpha = Arc::new(Alphabet::from_chars("abc"));
+        let mut b = GraphBuilder::new(alpha);
+        let a = b.alphabet().sym("a");
+        let bb = b.alphabet().sym("b");
+        let hub = b.add_node();
+        let first = b.add_node();
+        b.add_edge(hub, a, first);
+        for _ in 0..8 {
+            let n = b.add_node();
+            b.add_edge(hub, bb, n);
+        }
+        b.freeze()
+    }
+
+    fn edge(db: &GraphDb, src: u32, dst: u32, re: &str) -> FreeEdge {
+        let mut a = db.alphabet().clone();
+        FreeEdge {
+            src: NodeVar(src),
+            dst: NodeVar(dst),
+            cache: ReachCache::new(Nfa::from_regex(&parse_regex(re, &mut a).unwrap())),
+        }
+    }
+
+    #[test]
+    fn cheapest_constraint_seeds_the_order() {
+        let db = skewed_db();
+        // b+ (8 arcs) vs a (1 arc): the a-edge is cheaper and its variables
+        // lead the order even though it appears second in query text.
+        let free = vec![edge(&db, 0, 1, "b+"), edge(&db, 1, 2, "a")];
+        let plan = SolvePlan::build(3, &free, &[], &db);
+        assert!(plan.edge_cost[0] > plan.edge_cost[1]);
+        assert_eq!(plan.var_order[0], NodeVar(1));
+        assert_eq!(plan.var_order[1], NodeVar(2));
+        assert_eq!(plan.var_order[2], NodeVar(0));
+        assert_eq!(plan.seed_rank[1], 0);
+    }
+
+    #[test]
+    fn order_stays_connected_before_jumping_components() {
+        let db = skewed_db();
+        // Component {0,1} is expensive, component {2,3} cheap: the cheap
+        // component leads, and within a component, ordering follows
+        // adjacency (3–2's neighbour via shared var before the far pair).
+        let free = vec![
+            edge(&db, 0, 1, "b+b+"),
+            edge(&db, 2, 3, "a"),
+            edge(&db, 3, 0, "b"),
+        ];
+        let plan = SolvePlan::build(4, &free, &[], &db);
+        assert_eq!(plan.var_order[0], NodeVar(2));
+        assert_eq!(plan.var_order[1], NodeVar(3));
+        // Edge 3–0 (connected, cost 8) is taken before the disconnected
+        // jump to the expensive 0–1 edge.
+        assert_eq!(plan.var_order[2], NodeVar(0));
+        assert_eq!(plan.var_order[3], NodeVar(1));
+    }
+
+    #[test]
+    fn groups_cost_scales_with_arity_and_unconstrained_vars_unranked() {
+        let db = skewed_db();
+        let def = {
+            let mut a = db.alphabet().clone();
+            Nfa::from_regex(&parse_regex("b+", &mut a).unwrap())
+        };
+        let groups = vec![Group::new(
+            vec![NodeVar(0), NodeVar(0)],
+            vec![NodeVar(1), NodeVar(2)],
+            SyncSpec::equality_group(Some(def), 2),
+        )];
+        let plan = SolvePlan::build(5, &[], &groups, &db);
+        assert_eq!(plan.group_cost.len(), 1);
+        assert!(plan.group_cost[0] > 0);
+        assert_eq!(plan.var_order.len(), 3); // 0, 1, 2 — not 3, 4
+        assert_eq!(plan.seed_rank[4], usize::MAX);
+    }
+}

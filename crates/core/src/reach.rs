@@ -537,13 +537,46 @@ impl ReachCache {
         r
     }
 
+    /// [`ReachCache::fill_targets`] with an explicit fill strategy.
+    ///
+    /// `per_source = true` memoizes each missing source with its own
+    /// scratch BFS instead of the shared wavefront — the right call on
+    /// long-diameter graphs, where staggered membership arrivals make the
+    /// wavefront re-expand cells (see the adaptive probe in
+    /// [`crate::domains`]). Both strategies leave the cache in the same
+    /// state; only the traversal cost differs.
+    pub fn fill_targets_with(&mut self, db: &GraphDb, sources: &[NodeId], per_source: bool) {
+        if per_source {
+            self.bind(db);
+            for u in self.missing(sources, true) {
+                self.targets(db, u);
+            }
+        } else {
+            self.fill_targets(db, sources);
+        }
+    }
+
+    /// The backward counterpart of [`ReachCache::fill_targets_with`].
+    pub fn fill_sources_with(&mut self, db: &GraphDb, sinks: &[NodeId], per_source: bool) {
+        if per_source {
+            self.bind(db);
+            for v in self.missing(sinks, false) {
+                self.sources(db, v);
+            }
+        } else {
+            self.fill_sources(db, sinks);
+        }
+    }
+
     /// Batch path: memoizes `targets` for every node of `sources` that is
     /// not already cached, in one multi-source wavefront ([`reach_all`])
     /// instead of one BFS per node.
     ///
     /// Solver candidate loops that are about to sweep many sources of this
-    /// automaton call this first; the per-source [`ReachCache::targets`]
-    /// lookups that follow are then memo hits.
+    /// automaton call this first — typically restricted to the current
+    /// candidate domain of the source variable (see [`crate::domains`]),
+    /// never blindly to all of `db.nodes()`; the per-source
+    /// [`ReachCache::targets`] lookups that follow are then memo hits.
     pub fn fill_targets(&mut self, db: &GraphDb, sources: &[NodeId]) {
         self.bind(db);
         let missing = self.missing(sources, true);

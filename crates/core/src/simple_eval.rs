@@ -14,7 +14,7 @@
 use crate::cxrpq::Cxrpq;
 use crate::pattern::NodeVar;
 use crate::reach::ReachCache;
-use crate::solve::{FreeEdge, Group, Problem};
+use crate::solve::{FreeEdge, Group, PipelineStats, Problem, SolveOptions};
 use crate::sync::SyncSpec;
 use crate::witness::QueryWitness;
 use cxrpq_automata::{Nfa, Regex};
@@ -300,7 +300,7 @@ impl<'q> SimpleEvaluator<'q> {
     pub fn boolean_with_stats(&self, db: &GraphDb) -> (bool, usize) {
         let mut p = self.problem();
         let mut found = false;
-        p.solve(db, &HashMap::new(), &[], &mut |_| {
+        p.solve_with(db, &HashMap::new(), &[], &SolveOptions::early_exit(), &mut |_| {
             found = true;
             true
         });
@@ -311,15 +311,36 @@ impl<'q> SimpleEvaluator<'q> {
         (found, states)
     }
 
+    /// [`SimpleEvaluator::boolean`] under explicit solver options, with the
+    /// pipeline stats of the run.
+    pub fn boolean_opts(&self, db: &GraphDb, opts: &SolveOptions) -> (bool, Option<PipelineStats>) {
+        let mut p = self.problem();
+        let mut found = false;
+        p.solve_with(db, &HashMap::new(), &[], opts, &mut |_| {
+            found = true;
+            true
+        });
+        (found, p.pipeline.take())
+    }
+
     /// The answer relation `q(D)`.
     pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
+        self.answers_opts(db, &SolveOptions::default()).0
+    }
+
+    /// [`SimpleEvaluator::answers`] under explicit solver options, with the
+    /// pipeline stats of the run. The default pipeline's prune phase
+    /// batch-warms the classical-factor caches over the shrinking candidate
+    /// domains (subsuming the old whole-database prefill).
+    pub fn answers_opts(
+        &self,
+        db: &GraphDb,
+        opts: &SolveOptions,
+    ) -> (BTreeSet<Vec<NodeId>>, Option<PipelineStats>) {
         let mut out = BTreeSet::new();
         let mut p = self.problem();
-        // Exhaustive enumeration: batch-warm the classical-factor caches
-        // (see `Problem::prefill_free_edges`).
-        p.prefill_free_edges(db);
         let output = self.q.output().to_vec();
-        p.solve(db, &HashMap::new(), &output, &mut |bindings| {
+        p.solve_with(db, &HashMap::new(), &output, opts, &mut |bindings| {
             out.insert(
                 output
                     .iter()
@@ -328,28 +349,39 @@ impl<'q> SimpleEvaluator<'q> {
             );
             false
         });
-        out
+        (out, p.pipeline.take())
     }
 
     /// The Check problem `t̄ ∈ q(D)`.
     pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> bool {
+        self.check_opts(db, tuple, &SolveOptions::early_exit()).0
+    }
+
+    /// [`SimpleEvaluator::check`] under explicit solver options, with the
+    /// pipeline stats of the run.
+    pub fn check_opts(
+        &self,
+        db: &GraphDb,
+        tuple: &[NodeId],
+        opts: &SolveOptions,
+    ) -> (bool, Option<PipelineStats>) {
         assert_eq!(tuple.len(), self.q.output().len());
         let mut pinned = HashMap::new();
         for (v, n) in self.q.output().iter().zip(tuple) {
             if let Some(&prev) = pinned.get(v) {
                 if prev != *n {
-                    return false;
+                    return (false, None);
                 }
             }
             pinned.insert(*v, *n);
         }
         let mut p = self.problem();
         let mut found = false;
-        p.solve(db, &pinned, &[], &mut |_| {
+        p.solve_with(db, &pinned, &[], opts, &mut |_| {
             found = true;
             true
         });
-        found
+        (found, p.pipeline.take())
     }
 
     /// A certificate for some matching morphism: paths per pattern edge
@@ -374,7 +406,7 @@ impl<'q> SimpleEvaluator<'q> {
         // endpoints are pinned down in the solution.
         let required: Vec<NodeVar> = (0..self.plan.node_count as u32).map(NodeVar).collect();
         let mut sol: Option<Vec<Option<NodeId>>> = None;
-        p.solve(db, pinned, &required, &mut |b| {
+        p.solve_with(db, pinned, &required, &SolveOptions::early_exit(), &mut |b| {
             sol = Some(b.to_vec());
             true
         });

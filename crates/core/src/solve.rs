@@ -1,4 +1,4 @@
-//! A backtracking solver for conjunctive path constraints.
+//! A three-phase pipeline solver for conjunctive path constraints.
 //!
 //! All evaluators in this crate reduce to the same search problem: find a
 //! matching morphism `h : V_q → V_D` such that
@@ -11,8 +11,28 @@
 //!
 //! CRPQs use only free edges; simple CXRPQs (Lemma 3) add equality groups
 //! per string variable; ECRPQs add arbitrary regular-relation groups.
+//!
+//! [`Problem::solve`] runs three phases (see [`SolveOptions`] for the
+//! knobs; [`SolveOptions::naive`] restores the historical single-pass
+//! backtracker as a differential-testing reference):
+//!
+//! 1. **Plan** ([`crate::plan`]) — build the constraint graph over node
+//!    variables, estimate per-constraint selectivity from CSR label
+//!    statistics, emit a connected cheapest-first variable order.
+//! 2. **Prune** ([`crate::domains`]) — semi-join reduction of per-variable
+//!    candidate domains to a (capped) fixpoint, with batched
+//!    domain-restricted wavefront fills and an adaptive per-source fallback
+//!    on long-diameter graphs. Pinned bindings collapse their domains to
+//!    singletons first; an emptied domain ends the search without
+//!    enumeration.
+//! 3. **Enumerate** — backtrack over the pruned domains in plan order,
+//!    checking fully bound constraints eagerly and extending along the
+//!    cheapest half-bound constraint; early-exit semantics (`on_solution`
+//!    returning `true`) are unchanged.
 
+use crate::domains::Domains;
 use crate::pattern::NodeVar;
+use crate::plan::SolvePlan;
 use crate::reach::{ReachCache, ReachStats};
 use crate::sync::{sync_sources, sync_targets, SyncSearch, SyncSpec};
 use cxrpq_graph::{GraphDb, NodeId};
@@ -52,11 +72,110 @@ impl Group {
         }
     }
 
-    fn reversed(&mut self) -> &SyncSpec {
+    /// Computes and caches the reversed spec; later uses borrow the cached
+    /// value instead of cloning it.
+    fn ensure_reversed(&mut self) {
         if self.reversed.is_none() {
             self.reversed = Some(self.spec.reversed());
         }
-        self.reversed.as_ref().unwrap()
+    }
+}
+
+/// Knobs for [`Problem::solve_with`]: which pipeline phases run.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    /// Phase 1: order variables and constraints by estimated cost (off =
+    /// query-text order).
+    pub plan: bool,
+    /// Phase 2: semi-join domain reduction before enumeration.
+    pub prune: bool,
+    /// Cap on semi-join passes (the fixpoint usually lands earlier).
+    pub max_prune_rounds: usize,
+    /// Skip the prune phase when no binding is pinned: without a pinned
+    /// singleton to seed the fixpoint, the first pass fills the full
+    /// universe of every edge — on long-diameter shapes one BFS per node
+    /// per edge — which can dwarf a search that exits on its first
+    /// candidates. Early-exiting calls (`boolean`) set this and stay
+    /// lazy; pinned calls (`check`/`witness_for`) still prune, because a
+    /// singleton-seeded semi-join is one search from the pinned side.
+    /// Exhaustive enumeration leaves it off (it sweeps most sources
+    /// anyway, so the fills are never wasted).
+    pub lazy_unpinned: bool,
+}
+
+impl SolveOptions {
+    /// The full pipeline for exhaustive enumeration (`answers`-style calls).
+    pub fn pipeline() -> Self {
+        Self {
+            plan: true,
+            prune: true,
+            max_prune_rounds: 8,
+            lazy_unpinned: false,
+        }
+    }
+
+    /// The pipeline with a low round cap, for early-exiting calls
+    /// (`boolean`/`check`/`witness`) where a long fixpoint chase can cost
+    /// more than the search it prunes; unpinned calls skip pruning
+    /// entirely and stay lazy (see [`SolveOptions::lazy_unpinned`]).
+    pub fn early_exit() -> Self {
+        Self {
+            plan: true,
+            prune: true,
+            max_prune_rounds: 2,
+            lazy_unpinned: true,
+        }
+    }
+
+    /// The historical behavior: no planning, no pruning, query-text order.
+    /// Retained as the reference path for differential tests and the
+    /// `e18_solver_pipeline` baseline.
+    pub fn naive() -> Self {
+        Self {
+            plan: false,
+            prune: false,
+            max_prune_rounds: 0,
+            lazy_unpinned: false,
+        }
+    }
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self::pipeline()
+    }
+}
+
+/// Per-phase observability for one [`Problem::solve_with`] run.
+#[derive(Clone, Debug)]
+pub struct PipelineStats {
+    /// The plan's variable order (empty when planning was off).
+    pub var_order: Vec<NodeVar>,
+    /// Estimated cost per free edge (plan phase).
+    pub edge_cost: Vec<u64>,
+    /// Estimated cost per group (plan phase).
+    pub group_cost: Vec<u64>,
+    /// Semi-join passes executed (0 when pruning was off or trivial).
+    pub rounds: usize,
+    /// Whether the adaptive probe routed prune fills to per-source sweeps
+    /// (long-diameter graphs) instead of batched wavefronts.
+    pub per_source_sweeps: bool,
+    /// Domain size per node variable before pruning (pinned variables are
+    /// already singletons here).
+    pub domain_before: Vec<usize>,
+    /// Domain size per node variable after pruning.
+    pub domain_after: Vec<usize>,
+}
+
+impl PipelineStats {
+    /// Sum of domain sizes before pruning.
+    pub fn total_before(&self) -> usize {
+        self.domain_before.iter().sum()
+    }
+
+    /// Sum of domain sizes after pruning.
+    pub fn total_after(&self) -> usize {
+        self.domain_after.iter().sum()
     }
 }
 
@@ -70,6 +189,9 @@ pub struct Problem {
     pub groups: Vec<Group>,
     /// Exploration statistics (product states visited across all searches).
     pub stats: ReachStats,
+    /// Per-phase statistics of the most recent [`Problem::solve_with`] run
+    /// (`None` for naive runs).
+    pub pipeline: Option<PipelineStats>,
 }
 
 /// Candidate sweeps prewarm reachability caches in batches of one
@@ -77,6 +199,21 @@ pub struct Problem {
 /// batch costs one wavefront pass and an early-exiting search wastes at
 /// most the rest of one stripe.
 const SEED_BATCH: usize = 64;
+
+/// Shared read-only context for one enumeration (phase 3).
+struct EnumCtx<'a> {
+    plan: Option<&'a SolvePlan>,
+    domains: Option<&'a Domains>,
+    /// The prune phase's probe decision, reused by seed-sweep prewarms.
+    per_source_sweeps: bool,
+}
+
+impl EnumCtx<'_> {
+    #[inline]
+    fn admits(&self, v: NodeVar, n: NodeId) -> bool {
+        self.domains.is_none_or(|d| d.contains(v, n))
+    }
+}
 
 impl Problem {
     /// An empty problem over `node_count` node variables.
@@ -86,30 +223,14 @@ impl Problem {
             free_edges: Vec::new(),
             groups: Vec::new(),
             stats: ReachStats::default(),
+            pipeline: None,
         }
     }
 
-    /// Batch-memoizes every free edge's forward reachability for all
-    /// database nodes (one multi-source wavefront per edge automaton and
-    /// 64-node stripe).
-    ///
-    /// Worth it for exhaustive enumeration (`answers`-style calls that
-    /// never early-exit): the backtracking sweep queries most sources of
-    /// most edges anyway, and the batched pass amortizes the shared
-    /// explored region across sources. Early-exiting calls (`boolean`,
-    /// `check`) should skip it and rely on the chunked prewarm inside the
-    /// seed loop instead.
-    pub fn prefill_free_edges(&mut self, db: &GraphDb) {
-        let nodes: Vec<NodeId> = db.nodes().collect();
-        for e in &mut self.free_edges {
-            e.cache.fill_targets(db, &nodes);
-        }
-    }
-
-    /// Runs the solver. `pinned` pre-binds node variables (the Check
-    /// problem); `required` lists variables that must be bound in every
-    /// reported solution even when unconstrained (output variables).
-    /// `on_solution` returns `true` to stop the search.
+    /// Runs the solver with the default (full) pipeline. `pinned` pre-binds
+    /// node variables (the Check problem); `required` lists variables that
+    /// must be bound in every reported solution even when unconstrained
+    /// (output variables). `on_solution` returns `true` to stop the search.
     pub fn solve(
         &mut self,
         db: &GraphDb,
@@ -117,18 +238,116 @@ impl Problem {
         required: &[NodeVar],
         on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
     ) -> bool {
+        self.solve_with(db, pinned, required, &SolveOptions::default(), on_solution)
+    }
+
+    /// [`Problem::solve`] with explicit pipeline knobs.
+    pub fn solve_with(
+        &mut self,
+        db: &GraphDb,
+        pinned: &HashMap<NodeVar, NodeId>,
+        required: &[NodeVar],
+        opts: &SolveOptions,
+        on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
+    ) -> bool {
+        self.pipeline = None;
+        // A pinned node outside the database can never be the image of a
+        // morphism: no solutions (and no out-of-bounds product search).
+        if pinned.values().any(|n| n.index() >= db.node_count()) {
+            return false;
+        }
         let mut bindings: Vec<Option<NodeId>> = vec![None; self.node_count];
         for (&v, &n) in pinned {
             bindings[v.index()] = Some(n);
         }
+
+        // Phase 1: plan.
+        let plan = (opts.plan || opts.prune)
+            .then(|| SolvePlan::build(self.node_count, &self.free_edges, &self.groups, db));
+
+        // Phase 2: prune. Group-only problems have no free edges to
+        // semi-join, so domains would never shrink below the universe —
+        // skip construction entirely. Early-exiting unpinned calls stay
+        // lazy (see `SolveOptions::lazy_unpinned`). The adaptive probe's
+        // verdict — memoized on the frozen database — routes the prune
+        // fills and the seed-sweep prewarms in every pipeline mode; the
+        // naive reference path never consults it.
+        let has_edges = !self.free_edges.is_empty();
+        let probe = (opts.plan || opts.prune)
+            && has_edges
+            && crate::domains::probe_long_diameter(db);
+        let prune_now =
+            opts.prune && has_edges && !(opts.lazy_unpinned && pinned.is_empty());
+        let mut per_source_sweeps = probe;
+        let domains = if prune_now {
+            let mut doms = Domains::full(self.node_count, db.node_count());
+            for (&v, &n) in pinned {
+                // In range per the check above; collapse to a singleton so
+                // the fixpoint starts from the pinned world.
+                doms.pin(v, n);
+            }
+            let before = doms.sizes().to_vec();
+            let outcome = doms.prune(
+                db,
+                &mut self.free_edges,
+                plan.as_ref(),
+                opts.max_prune_rounds,
+                probe,
+            );
+            per_source_sweeps = outcome.per_source_sweeps;
+            let p = plan.as_ref().expect("prune implies plan construction");
+            self.pipeline = Some(PipelineStats {
+                var_order: if opts.plan { p.var_order.clone() } else { Vec::new() },
+                edge_cost: p.edge_cost.clone(),
+                group_cost: p.group_cost.clone(),
+                rounds: outcome.rounds,
+                per_source_sweeps: outcome.per_source_sweeps,
+                domain_before: before,
+                domain_after: doms.sizes().to_vec(),
+            });
+            if outcome.emptied {
+                return false;
+            }
+            Some(doms)
+        } else {
+            if let Some(p) = plan.as_ref() {
+                self.pipeline = Some(PipelineStats {
+                    var_order: if opts.plan { p.var_order.clone() } else { Vec::new() },
+                    edge_cost: p.edge_cost.clone(),
+                    group_cost: p.group_cost.clone(),
+                    rounds: 0,
+                    per_source_sweeps,
+                    domain_before: Vec::new(),
+                    domain_after: Vec::new(),
+                });
+            }
+            None
+        };
+
+        // Phase 3: enumerate.
+        let ctx = EnumCtx {
+            plan: if opts.plan { plan.as_ref() } else { None },
+            domains: domains.as_ref(),
+            per_source_sweeps,
+        };
         let mut edge_done = vec![false; self.free_edges.len()];
         let mut group_done = vec![false; self.groups.len()];
-        self.recurse(db, &mut bindings, &mut edge_done, &mut group_done, required, on_solution)
+        self.recurse(
+            db,
+            &ctx,
+            &mut bindings,
+            &mut edge_done,
+            &mut group_done,
+            required,
+            on_solution,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn recurse(
         &mut self,
         db: &GraphDb,
+        ctx: &EnumCtx<'_>,
         bindings: &mut Vec<Option<NodeId>>,
         edge_done: &mut Vec<bool>,
         group_done: &mut Vec<bool>,
@@ -146,7 +365,7 @@ impl Problem {
                     return false;
                 }
                 edge_done[i] = true;
-                let r = self.recurse(db, bindings, edge_done, group_done, required, on_solution);
+                let r = self.recurse(db, ctx, bindings, edge_done, group_done, required, on_solution);
                 edge_done[i] = false;
                 return r;
             }
@@ -179,38 +398,54 @@ impl Problem {
                     return false;
                 }
                 group_done[i] = true;
-                let r = self.recurse(db, bindings, edge_done, group_done, required, on_solution);
+                let r = self.recurse(db, ctx, bindings, edge_done, group_done, required, on_solution);
                 group_done[i] = false;
                 return r;
             }
         }
-        // 3. Extend along a half-bound free edge.
-        for i in 0..self.free_edges.len() {
-            if edge_done[i] {
+        // 3. Extend along a half-bound free edge — the cheapest one when a
+        // plan is present, the first in query-text order otherwise (the
+        // naive reference path).
+        let mut half: Option<usize> = None;
+        for (i, (e, done)) in self.free_edges.iter().zip(edge_done.iter()).enumerate() {
+            if *done {
                 continue;
             }
+            if bindings[e.src.index()].is_some() || bindings[e.dst.index()].is_some() {
+                match (half, ctx.plan) {
+                    (None, _) => half = Some(i),
+                    (Some(j), Some(p)) if p.edge_cost[i] < p.edge_cost[j] => half = Some(i),
+                    _ => {}
+                }
+                if ctx.plan.is_none() {
+                    break;
+                }
+            }
+        }
+        if let Some(i) = half {
             let (src, dst) = (self.free_edges[i].src, self.free_edges[i].dst);
             let (bs, bd) = (bindings[src.index()], bindings[dst.index()]);
-            if bs.is_some() || bd.is_some() {
-                edge_done[i] = true;
-                let candidates: Vec<NodeId> = if let Some(u) = bs {
-                    self.free_edges[i].targets_sorted(db, u, true)
-                } else {
-                    self.free_edges[i].targets_sorted(db, bd.unwrap(), false)
-                };
-                let var = if bs.is_some() { dst } else { src };
-                for c in candidates {
-                    bindings[var.index()] = Some(c);
-                    if self.recurse(db, bindings, edge_done, group_done, required, on_solution) {
-                        bindings[var.index()] = None;
-                        edge_done[i] = false;
-                        return true;
-                    }
-                    bindings[var.index()] = None;
+            edge_done[i] = true;
+            let candidates: Vec<NodeId> = if let Some(u) = bs {
+                self.free_edges[i].targets_sorted(db, u, true)
+            } else {
+                self.free_edges[i].targets_sorted(db, bd.unwrap(), false)
+            };
+            let var = if bs.is_some() { dst } else { src };
+            for c in candidates {
+                if !ctx.admits(var, c) {
+                    continue;
                 }
-                edge_done[i] = false;
-                return false;
+                bindings[var.index()] = Some(c);
+                if self.recurse(db, ctx, bindings, edge_done, group_done, required, on_solution) {
+                    bindings[var.index()] = None;
+                    edge_done[i] = false;
+                    return true;
+                }
+                bindings[var.index()] = None;
             }
+            edge_done[i] = false;
+            return false;
         }
         // 4. Extend along a group with one side fully bound.
         for i in 0..self.groups.len() {
@@ -227,7 +462,7 @@ impl Problem {
                 .all(|v| bindings[v.index()].is_some());
             if srcs_bound || dsts_bound {
                 group_done[i] = true;
-                let (fixed_vars, open_vars, tuples) = if srcs_bound {
+                let (open_vars, tuples) = if srcs_bound {
                     let starts: Vec<NodeId> = self.groups[i]
                         .srcs
                         .iter()
@@ -235,31 +470,26 @@ impl Problem {
                         .collect();
                     let tuples =
                         sync_targets(db, &self.groups[i].spec, &starts, Some(&self.stats));
-                    (
-                        self.groups[i].srcs.clone(),
-                        self.groups[i].dsts.clone(),
-                        tuples,
-                    )
+                    (self.groups[i].dsts.clone(), tuples)
                 } else {
                     let ends: Vec<NodeId> = self.groups[i]
                         .dsts
                         .iter()
                         .map(|v| bindings[v.index()].unwrap())
                         .collect();
-                    let rev = self.groups[i].reversed().clone();
                     // Walk the database *backwards* under the reversed spec
-                    // to enumerate source tuples.
-                    let tuples = sync_sources(db, &rev, &ends, Some(&self.stats));
-                    (
-                        self.groups[i].dsts.clone(),
-                        self.groups[i].srcs.clone(),
-                        tuples,
-                    )
+                    // to enumerate source tuples; the walk borrows the
+                    // cached reversed spec.
+                    self.groups[i].ensure_reversed();
+                    let tuples = {
+                        let rev = self.groups[i].reversed.as_ref().expect("just ensured");
+                        sync_sources(db, rev, &ends, Some(&self.stats))
+                    };
+                    (self.groups[i].srcs.clone(), tuples)
                 };
-                let _ = fixed_vars;
                 'tuple: for tup in tuples {
                     // Bind open vars consistently (a variable may repeat and
-                    // may already be bound).
+                    // may already be bound), respecting pruned domains.
                     let mut newly: Vec<NodeVar> = Vec::new();
                     for (var, node) in open_vars.iter().zip(tup.iter()) {
                         match bindings[var.index()] {
@@ -271,13 +501,19 @@ impl Problem {
                             }
                             Some(_) => {}
                             None => {
+                                if !ctx.admits(*var, *node) {
+                                    for v in newly.drain(..) {
+                                        bindings[v.index()] = None;
+                                    }
+                                    continue 'tuple;
+                                }
                                 bindings[var.index()] = Some(*node);
                                 newly.push(*var);
                             }
                         }
                     }
                     let hit =
-                        self.recurse(db, bindings, edge_done, group_done, required, on_solution);
+                        self.recurse(db, ctx, bindings, edge_done, group_done, required, on_solution);
                     for v in newly {
                         bindings[v.index()] = None;
                     }
@@ -290,39 +526,76 @@ impl Problem {
                 return false;
             }
         }
-        // 5. Seed: bind some variable occurring in a pending constraint.
-        let seed_var = self
-            .free_edges
-            .iter()
-            .zip(edge_done.iter())
-            .filter(|(_, d)| !**d)
-            .map(|(e, _)| e.src)
-            .chain(
-                self.groups
-                    .iter()
-                    .zip(group_done.iter())
-                    .filter(|(_, d)| !**d)
-                    .flat_map(|(g, _)| g.srcs.iter().copied()),
-            )
-            .find(|v| bindings[v.index()].is_none());
+        // 5. Seed: bind some variable occurring in a pending constraint —
+        // the minimum-rank unbound variable of the plan's cheapest-first
+        // order (one pass over the pending constraints via `seed_rank`), or
+        // (naive) the first source variable of a pending constraint.
+        let seed_var = if let Some(p) = ctx.plan {
+            let mut best: Option<(usize, NodeVar)> = None;
+            let consider = |v: NodeVar, best: &mut Option<(usize, NodeVar)>| {
+                if bindings[v.index()].is_none() {
+                    let rank = p.seed_rank[v.index()];
+                    if best.is_none_or(|(r, _)| rank < r) {
+                        *best = Some((rank, v));
+                    }
+                }
+            };
+            for (e, done) in self.free_edges.iter().zip(edge_done.iter()) {
+                if !*done {
+                    consider(e.src, &mut best);
+                    consider(e.dst, &mut best);
+                }
+            }
+            for (g, done) in self.groups.iter().zip(group_done.iter()) {
+                if !*done {
+                    for &v in g.srcs.iter().chain(g.dsts.iter()) {
+                        consider(v, &mut best);
+                    }
+                }
+            }
+            best.map(|(_, v)| v)
+        } else {
+            self.free_edges
+                .iter()
+                .zip(edge_done.iter())
+                .filter(|(_, d)| !**d)
+                .map(|(e, _)| e.src)
+                .chain(
+                    self.groups
+                        .iter()
+                        .zip(group_done.iter())
+                        .filter(|(_, d)| !**d)
+                        .flat_map(|(g, _)| g.srcs.iter().copied()),
+                )
+                .find(|v| bindings[v.index()].is_none())
+        };
         if let Some(var) = seed_var {
-            // Sweep the candidate nodes in stripe-sized chunks, prewarming
-            // the cache of every pending free edge touching `var` with one
-            // batched wavefront per chunk: the `connects`/`targets` calls
-            // the recursion makes after binding `var` are then memo hits.
-            // The first chunk stays per-source — a boolean/check call that
-            // succeeds among the first candidates (the common early exit)
-            // then never pays for a wavefront, and a sweep that gets past
-            // it batches everything from the second chunk on. Only the
-            // current 64-node chunk is ever materialized (seeding recurses,
-            // so a full candidate Vec here would be allocated once per
-            // outer binding).
-            let n = db.node_count();
+            // Sweep the candidate nodes (the pruned domain when phase 2
+            // ran, all database nodes otherwise) in stripe-sized chunks,
+            // prewarming the cache of every pending free edge touching
+            // `var` with one batched wavefront per chunk: the
+            // `connects`/`targets` calls the recursion makes after binding
+            // `var` are then memo hits. The first chunk stays per-source —
+            // a boolean/check call that succeeds among the first candidates
+            // (the common early exit) then never pays for a wavefront, and
+            // a sweep that gets past it batches everything from the second
+            // chunk on. On long-diameter graphs the prune probe's verdict
+            // carries over and the prewarm is skipped entirely (per-source
+            // sweeps happen lazily inside the recursion). Only the current
+            // chunk is ever materialized.
+            let mut candidates: Box<dyn Iterator<Item = NodeId> + '_> = match ctx.domains {
+                Some(d) => Box::new(d.iter(var)),
+                None => Box::new(db.nodes()),
+            };
             let mut chunk: Vec<NodeId> = Vec::with_capacity(SEED_BATCH);
-            for (chunk_idx, lo) in (0..n).step_by(SEED_BATCH).enumerate() {
+            let mut chunk_idx = 0usize;
+            loop {
                 chunk.clear();
-                chunk.extend((lo..(lo + SEED_BATCH).min(n)).map(|i| NodeId(i as u32)));
-                if chunk_idx > 0 {
+                chunk.extend(candidates.by_ref().take(SEED_BATCH));
+                if chunk.is_empty() {
+                    break;
+                }
+                if chunk_idx > 0 && !ctx.per_source_sweeps {
                     for (i, e) in self.free_edges.iter_mut().enumerate() {
                         if edge_done[i] {
                             continue;
@@ -337,23 +610,22 @@ impl Problem {
                 }
                 for &node in &chunk {
                     bindings[var.index()] = Some(node);
-                    if self.recurse(db, bindings, edge_done, group_done, required, on_solution) {
+                    if self.recurse(db, ctx, bindings, edge_done, group_done, required, on_solution)
+                    {
                         bindings[var.index()] = None;
                         return true;
                     }
                     bindings[var.index()] = None;
                 }
+                chunk_idx += 1;
             }
             return false;
         }
         // All constraints satisfied: bind required-but-unbound variables.
-        if let Some(&var) = required
-            .iter()
-            .find(|v| bindings[v.index()].is_none())
-        {
+        if let Some(&var) = required.iter().find(|v| bindings[v.index()].is_none()) {
             for node in db.nodes() {
                 bindings[var.index()] = Some(node);
-                if self.recurse(db, bindings, edge_done, group_done, required, on_solution) {
+                if self.recurse(db, ctx, bindings, edge_done, group_done, required, on_solution) {
                     bindings[var.index()] = None;
                     return true;
                 }
@@ -381,9 +653,9 @@ impl FreeEdge {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxrpq_graph::GraphBuilder;
     use cxrpq_automata::{parse_regex, Nfa};
     use cxrpq_graph::Alphabet;
+    use cxrpq_graph::GraphBuilder;
     use std::sync::Arc;
 
     fn db_cycle(word: &str) -> (GraphDb, Vec<NodeId>) {
@@ -506,6 +778,30 @@ mod tests {
     }
 
     #[test]
+    fn pinned_out_of_range_yields_no_solutions() {
+        // Regression: a pinned NodeId beyond the database used to index the
+        // product visited-set out of bounds; now it simply has no solutions
+        // (under both the pipeline and the naive reference path).
+        let (db, nodes) = db_cycle("abcabc");
+        let mut p = Problem::new(2);
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(0),
+            dst: NodeVar(1),
+            cache: ReachCache::new(nfa(&db, "abc")),
+        });
+        let bad: HashMap<NodeVar, NodeId> =
+            [(NodeVar(0), nodes[0]), (NodeVar(1), NodeId(1_000))].into();
+        for opts in [SolveOptions::default(), SolveOptions::naive()] {
+            let mut found = false;
+            let hit = p.solve_with(&db, &bad, &[], &opts, &mut |_| {
+                found = true;
+                true
+            });
+            assert!(!hit && !found, "out-of-range pin must yield no solutions");
+        }
+    }
+
+    #[test]
     fn group_constraint_in_pattern() {
         // Pattern: x -w-> y, x -w-> z with the same word w ∈ a(b|c): on a
         // graph where only one branch exists, y = z is forced.
@@ -570,8 +866,7 @@ mod tests {
             SyncSpec::equality_group(None, 2),
         ));
         // Pin the two destinations; the sources must be found backwards.
-        let pinned: HashMap<NodeVar, NodeId> =
-            [(NodeVar(1), t1), (NodeVar(3), t2)].into();
+        let pinned: HashMap<NodeVar, NodeId> = [(NodeVar(1), t1), (NodeVar(3), t2)].into();
         let mut sols = Vec::new();
         p.solve(&db, &pinned, &[], &mut |b| {
             sols.push((b[0].unwrap(), b[2].unwrap()));
@@ -579,8 +874,7 @@ mod tests {
         });
         assert!(sols.contains(&(s1, s2)), "missing backward-derived sources");
         // Distinct-word destinations are rejected.
-        let pinned2: HashMap<NodeVar, NodeId> =
-            [(NodeVar(1), t1), (NodeVar(3), t3)].into();
+        let pinned2: HashMap<NodeVar, NodeId> = [(NodeVar(1), t1), (NodeVar(3), t3)].into();
         let mut sols2 = Vec::new();
         p.solve(&db, &pinned2, &[], &mut |b| {
             sols2.push((b[0].unwrap(), b[2].unwrap()));
@@ -601,5 +895,42 @@ mod tests {
             false
         });
         assert_eq!(count, 2); // both cycle nodes
+    }
+
+    #[test]
+    fn pipeline_and_naive_agree_and_stats_report() {
+        let (db, _) = db_cycle("abcabc");
+        let build = |db: &GraphDb| {
+            let mut p = Problem::new(3);
+            p.free_edges.push(FreeEdge {
+                src: NodeVar(0),
+                dst: NodeVar(1),
+                cache: ReachCache::new(nfa(db, "ab")),
+            });
+            p.free_edges.push(FreeEdge {
+                src: NodeVar(1),
+                dst: NodeVar(2),
+                cache: ReachCache::new(nfa(db, "ca")),
+            });
+            p
+        };
+        let collect = |opts: &SolveOptions| {
+            let mut p = build(&db);
+            let mut sols = Vec::new();
+            p.solve_with(&db, &HashMap::new(), &[], opts, &mut |b| {
+                sols.push(b.to_vec());
+                false
+            });
+            sols.sort();
+            (sols, p.pipeline)
+        };
+        let (fast, stats) = collect(&SolveOptions::pipeline());
+        let (slow, naive_stats) = collect(&SolveOptions::naive());
+        assert_eq!(fast, slow);
+        let stats = stats.expect("pipeline records stats");
+        assert!(naive_stats.is_none());
+        assert_eq!(stats.var_order.len(), 3);
+        assert!(stats.rounds >= 1);
+        assert!(stats.total_after() <= stats.total_before());
     }
 }

@@ -22,6 +22,23 @@ impl DenseBitSet {
         }
     }
 
+    /// The set containing every index of the universe `0..len`, built by
+    /// whole words (trailing bits beyond `len` stay clear so `count` and
+    /// `ones` remain exact).
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for w in s.words.iter_mut() {
+            *w = !0;
+        }
+        let tail = len % 64;
+        if tail != 0 {
+            if let Some(last) = s.words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        s
+    }
+
     /// The universe size.
     #[inline]
     pub fn capacity(&self) -> usize {
@@ -72,6 +89,21 @@ impl DenseBitSet {
         );
         for (w, &o) in self.words.iter_mut().zip(&other.words) {
             *w |= o;
+        }
+    }
+
+    /// Word-level intersection: AND-merges `other` into `self` with one
+    /// pass over the word arrays instead of element-wise tests.
+    ///
+    /// Both sets must cover the same universe.
+    pub fn intersect_with(&mut self, other: &Self) {
+        assert_eq!(
+            self.len, other.len,
+            "intersection over mismatched universes ({} vs {})",
+            self.len, other.len
+        );
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
         }
     }
 
@@ -138,6 +170,30 @@ mod tests {
     fn union_rejects_mismatched_capacity() {
         let mut a = DenseBitSet::new(64);
         a.union_with(&DenseBitSet::new(65));
+    }
+
+    #[test]
+    fn intersect_keeps_common_words() {
+        let mut a = DenseBitSet::new(130);
+        let mut b = DenseBitSet::new(130);
+        a.insert(0);
+        a.insert(70);
+        a.insert(129);
+        b.insert(70);
+        b.insert(129);
+        b.insert(1);
+        a.intersect_with(&b);
+        assert_eq!(a.ones().collect::<Vec<_>>(), vec![70, 129]);
+        assert_eq!(b.count(), 3, "source of the merge is untouched");
+    }
+
+    #[test]
+    fn full_sets_every_index_and_no_more() {
+        for len in [0, 1, 63, 64, 65, 130] {
+            let s = DenseBitSet::full(len);
+            assert_eq!(s.count(), len, "len {len}");
+            assert_eq!(s.ones().collect::<Vec<_>>(), (0..len).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Default for QueryShape {
     }
 }
 
-fn random_classical<R: Rng + ?Sized>(rng: &mut R, sigma: usize, depth: usize) -> Regex {
+/// A random classical regex over symbols `0..sigma` with nesting depth at
+/// most `depth` (concatenation, alternation, star). Also the edge-label
+/// generator for random CRPQ patterns in differential solver tests.
+pub fn random_classical<R: Rng + ?Sized>(rng: &mut R, sigma: usize, depth: usize) -> Regex {
     let choice = if depth == 0 {
         0
     } else {
