@@ -1,13 +1,17 @@
-//! E18: the plan/prune/enumerate solver pipeline vs the naive-order
-//! reference path.
+//! E18: the plan/prune/enumerate solver pipeline (with projection
+//! pushdown) vs the naive-order full-enumerate-then-project reference.
 //!
-//! Four query shapes over the e16/e17 graph families, all evaluated
+//! Query shapes over the e16/e17 graph families, all evaluated
 //! exhaustively (`answers`) by [`CrpqEvaluator`] under both solver
-//! configurations:
+//! configurations (the pipeline side runs `.projected()` — the production
+//! default of `answers()`):
 //!
 //! - **star** — three atoms sharing a source variable, one labelled by a
 //!   rare symbol: planning fills the rare atom first and the prune phase
 //!   collapses the shared variable's domain before the expensive fills run;
+//! - **star_proj** — a wider fan-out star projecting onto the hub only:
+//!   every spoke variable is existential and the enumerator replaces the
+//!   spoke cross-product with one witness probe per hub candidate;
 //! - **chain** — three atoms in a line ending in a rare symbol: the naive
 //!   path discovers the dead end only after enumerating every prefix
 //!   binding (with one per-source backward/forward search per intermediate
@@ -17,9 +21,12 @@
 //!   acceptance bar is staying within 10% of naive);
 //!
 //! plus the **line** shape from e17's adversarial batching case, where the
-//! adaptive probe must route prune fills to per-source sweeps (asserted).
-//! Every measurement is preceded by an equality assertion between the two
-//! configurations' answer relations.
+//! adaptive probe must route prune fills to per-source sweeps (asserted)
+//! and the middle variable makes naive enumeration morphism-cubic while
+//! the projected run deduplicates `(x, z)` at the enumerator, and
+//! **line_proj** — the same graph projected onto `x` alone, the extreme
+//! 1-of-N case. Every measurement is preceded by an equality assertion
+//! between the two configurations' answer relations.
 //!
 //! Run: `cargo bench -p cxrpq-bench --bench e18_solver_pipeline` (add
 //! `-- --fast` for the CI smoke configuration). Full runs record
@@ -86,6 +93,7 @@ struct ShapeResult {
     naive_ms: f64,
     pipeline_ms: f64,
     per_source_sweeps: bool,
+    eliminated_vars: usize,
 }
 
 fn run_shape(
@@ -99,13 +107,16 @@ fn run_shape(
     let q = Crpq::build(query_edges, output, &mut alpha).unwrap();
     let ev = CrpqEvaluator::new(&q);
     let naive = SolveOptions::naive();
-    let piped = SolveOptions::pipeline();
+    let piped = SolveOptions::pipeline().projected();
 
-    // Agreement first: the pipeline must reproduce the naive answers.
+    // Agreement first: the projected pipeline must reproduce the naive
+    // full-enumerate-then-project answers.
     let (ans_naive, _) = ev.answers_opts(db, &naive);
     let (ans_piped, stats) = ev.answers_opts(db, &piped);
     assert_eq!(ans_naive, ans_piped, "{shape}: pipeline changed the answers");
-    let per_source_sweeps = stats.as_ref().map(|s| s.per_source_sweeps).unwrap_or(false);
+    let stats = stats.as_ref();
+    let per_source_sweeps = stats.map(|s| s.per_source_sweeps).unwrap_or(false);
+    let eliminated_vars = stats.map(|s| s.eliminated_vars).unwrap_or(0);
 
     let naive_ms = median_ms(iters, || {
         std::hint::black_box(ev.answers_opts(db, &naive));
@@ -122,6 +133,7 @@ fn run_shape(
         naive_ms,
         pipeline_ms,
         per_source_sweeps,
+        eliminated_vars,
     }
 }
 
@@ -142,6 +154,26 @@ fn main() {
             &["x", "y3"],
             iters,
         ));
+    }
+    // Star with wide fan-out, projected onto the hub only: all four spoke
+    // variables are existential (1-of-N output).
+    {
+        let n = 480 / scale;
+        let db = random_ab_rare_c(n, 4 * n, n / 40, 0xe18);
+        let r = run_shape(
+            "star_proj",
+            &db,
+            &[
+                ("x", "ab", "y1"),
+                ("x", "ba", "y2"),
+                ("x", "(ab|ba)", "y3"),
+                ("x", "c", "y4"),
+            ],
+            &["x"],
+            iters,
+        );
+        assert_eq!(r.eliminated_vars, 4, "star_proj: all spokes existential");
+        results.push(r);
     }
     // Chain: naive discovers the rare tail only after enumerating every
     // prefix binding.
@@ -209,20 +241,32 @@ fn main() {
             "line: the probe must pick per-source sweeps on a long chain"
         );
         results.push(r);
+        // The same graph projected onto x alone: y and z are both
+        // existential (1-of-N output) and each x needs one witness probe.
+        let r2 = run_shape(
+            "line_proj",
+            &db,
+            &[("x", "(ab)+", "y"), ("y", "(ab)+", "z")],
+            &["x"],
+            iters,
+        );
+        assert_eq!(r2.eliminated_vars, 2, "line_proj: y and z existential");
+        results.push(r2);
     }
 
     println!(
-        "{:<8} {:>6} {:>6} {:>5} {:>8} | {:>10} {:>11} {:>7} | fills",
-        "shape", "nodes", "edges", "atoms", "answers", "naive", "pipeline", "x"
+        "{:<10} {:>6} {:>6} {:>5} {:>8} {:>5} | {:>10} {:>11} {:>7} | fills",
+        "shape", "nodes", "edges", "atoms", "answers", "elim", "naive", "pipeline", "x"
     );
     for r in &results {
         println!(
-            "{:<8} {:>6} {:>6} {:>5} {:>8} | {:>8.3}ms {:>9.3}ms {:>6.2}x | {}",
+            "{:<10} {:>6} {:>6} {:>5} {:>8} {:>5} | {:>8.3}ms {:>9.3}ms {:>6.2}x | {}",
             r.shape,
             r.nodes,
             r.edges,
             r.atoms,
             r.answers,
+            r.eliminated_vars,
             r.naive_ms,
             r.pipeline_ms,
             r.naive_ms / r.pipeline_ms,
@@ -243,13 +287,15 @@ fn main() {
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"shape\": \"{}\", \"nodes\": {}, \"edges\": {}, \"atoms\": {}, \
-             \"answers\": {}, \"naive_ms\": {:.4}, \"pipeline_ms\": {:.4}, \
-             \"pipeline_speedup\": {:.2}, \"per_source_sweeps\": {}}}{}\n",
+             \"answers\": {}, \"eliminated_vars\": {}, \"naive_ms\": {:.4}, \
+             \"pipeline_ms\": {:.4}, \"pipeline_speedup\": {:.2}, \
+             \"per_source_sweeps\": {}}}{}\n",
             r.shape,
             r.nodes,
             r.edges,
             r.atoms,
             r.answers,
+            r.eliminated_vars,
             r.naive_ms,
             r.pipeline_ms,
             r.naive_ms / r.pipeline_ms,

@@ -108,19 +108,32 @@ fn render_pipeline(out: &mut String, stats: Option<&cxrpq_core::PipelineStats>) 
     } else {
         "batched wavefronts"
     };
+    // Projection pushdown: how many plan variables were existentially
+    // eliminated instead of enumerated (empty when projection was off).
+    let eliminated = if s.eliminated_vars > 0 {
+        format!(" · {} var(s) eliminated", s.eliminated_vars)
+    } else {
+        String::new()
+    };
     if s.domain_before.is_empty() {
         // Pruning was skipped (nothing to prune, or an early-exiting call
         // with no pinned binding staying lazy).
-        let _ = writeln!(out, "pipeline: order [{}] · prune skipped", order.join(" "));
+        let _ = writeln!(
+            out,
+            "pipeline: order [{}] · prune skipped{}",
+            order.join(" "),
+            eliminated
+        );
     } else {
         let _ = writeln!(
             out,
-            "pipeline: order [{}] · prune {} round(s) via {} · domains {} → {}",
+            "pipeline: order [{}] · prune {} round(s) via {} · domains {} → {}{}",
             order.join(" "),
             s.rounds,
             fills,
             s.total_before(),
-            s.total_after()
+            s.total_after(),
+            eliminated
         );
     }
 }

@@ -115,7 +115,8 @@ impl<'q> CrpqEvaluator<'q> {
         }
         let mut p = self.problem();
         let mut found = false;
-        p.solve_with(db, &HashMap::new(), &[], &SolveOptions::early_exit(), &mut |_| {
+        let opts = SolveOptions::early_exit().projected();
+        p.solve_with(db, &HashMap::new(), &[], &opts, &mut |_| {
             found = true;
             true
         });
@@ -142,9 +143,11 @@ impl<'q> CrpqEvaluator<'q> {
     }
 
     /// The answer relation `q(D)` (projections of matching morphisms onto
-    /// the output tuple).
+    /// the output tuple), computed with projection pushdown: variables
+    /// outside the output tuple are existentially eliminated and each
+    /// projected tuple is emitted once, directly.
     pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
-        self.answers_opts(db, &SolveOptions::default()).0
+        self.answers_opts(db, &SolveOptions::pipeline().projected()).0
     }
 
     /// [`CrpqEvaluator::answers`] under explicit solver options, with the
@@ -152,7 +155,9 @@ impl<'q> CrpqEvaluator<'q> {
     /// the engine's observability use. Exhaustive enumeration defaults to
     /// the full pipeline: the prune phase batch-warms every edge cache over
     /// the shrinking candidate domains (subsuming the old whole-database
-    /// prefill).
+    /// prefill). Pass [`SolveOptions::projected`] to push the output
+    /// projection into the enumerator (the naive reference path without it
+    /// is full-enumerate-then-project).
     pub fn answers_opts(
         &self,
         db: &GraphDb,
@@ -178,7 +183,8 @@ impl<'q> CrpqEvaluator<'q> {
 
     /// The Check problem: `t̄ ∈ q(D)`.
     pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> bool {
-        self.check_opts(db, tuple, &SolveOptions::early_exit()).0
+        self.check_opts(db, tuple, &SolveOptions::early_exit().projected())
+            .0
     }
 
     /// [`CrpqEvaluator::check`] under explicit solver options, with the

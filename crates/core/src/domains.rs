@@ -27,12 +27,20 @@
 //! fills: past [`LONG_DIAMETER_LEVELS`] levels the graph is chain-like and
 //! every fill falls back to per-source [`ReachScratch`] sweeps.
 //!
-//! Groups do not prune (a synchronized product search per candidate would
-//! cost more than it saves); their variables keep full domains and are
-//! filtered during enumeration.
+//! Groups do not run their synchronized product search per candidate (it
+//! would cost more than it saves), but they still prune through *necessary
+//! conditions*: the solver synthesizes one pruning-only [`FreeEdge`] per
+//! group walker whose endpoints must be connected under the walker's own
+//! automaton (for equality groups, under the definition automaton every
+//! equal word must match — see
+//! [`Problem::group_prune_edges`](crate::solve::Problem)). Unselective
+//! (Σ*-like) walker automata are skipped; the synthesized edges join the
+//! semi-join fixpoint here exactly like real edges and are dropped before
+//! enumeration. This is what makes existential leaves sound and cheap for
+//! CXRPQ groups: a group variable's domain is already def-language
+//! consistent when the enumerator asks for a single witness.
 
 use crate::pattern::NodeVar;
-use crate::plan::SolvePlan;
 use crate::solve::FreeEdge;
 use cxrpq_graph::{DenseBitSet, GraphDb, NodeId};
 
@@ -200,14 +208,16 @@ impl Domains {
     }
 
     /// Runs semi-join passes to a fixpoint or `max_rounds`, cheapest edge
-    /// first when a plan is given. Domains of variables in no free edge are
-    /// untouched. `per_source` is the caller's adaptive-probe verdict
+    /// first when per-edge `costs` (index-aligned with `edges`, which may
+    /// include synthesized group-walker edges beyond the plan's real ones)
+    /// are given. Domains of variables in no free edge are untouched.
+    /// `per_source` is the caller's adaptive-probe verdict
     /// ([`probe_long_diameter`]) routing the fills.
     pub fn prune(
         &mut self,
         db: &GraphDb,
         edges: &mut [FreeEdge],
-        plan: Option<&SolvePlan>,
+        costs: Option<&[u64]>,
         max_rounds: usize,
         per_source: bool,
     ) -> PruneOutcome {
@@ -217,8 +227,9 @@ impl Domains {
         }
         out.per_source_sweeps = per_source;
         let mut order: Vec<usize> = (0..edges.len()).collect();
-        if let Some(p) = plan {
-            order.sort_by_key(|&i| (p.edge_cost[i], i));
+        if let Some(c) = costs {
+            debug_assert_eq!(c.len(), edges.len());
+            order.sort_by_key(|&i| (c[i], i));
         }
         for _ in 0..max_rounds {
             out.rounds += 1;

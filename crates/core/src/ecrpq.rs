@@ -11,7 +11,7 @@
 
 use crate::pattern::{GraphPattern, NodeVar};
 use crate::reach::ReachCache;
-use crate::relation::{RegularRelation, RelLabel};
+use crate::relation::RegularRelation;
 use crate::solve::{FreeEdge, Group, PipelineStats, Problem, SolveOptions};
 use crate::sync::SyncSpec;
 use crate::witness::QueryWitness;
@@ -100,14 +100,9 @@ impl Ecrpq {
     }
 
     /// Whether every relation is an equality relation (`ECRPQ^er`),
-    /// detected structurally.
+    /// detected structurally ([`RegularRelation::is_equality`]).
     pub fn is_er(&self) -> bool {
-        self.relations.iter().all(|(rel, _)| {
-            rel.state_count() == 1
-                && rel.is_final(0)
-                && rel.transitions(0).len() == 1
-                && matches!(rel.transitions(0)[0], (RelLabel::AllEqualSym, 0))
-        })
+        self.relations.iter().all(|(rel, _)| rel.is_equality())
     }
 
     /// Query size (nodes + regex sizes + relation states).
@@ -176,7 +171,7 @@ impl<'q> EcrpqEvaluator<'q> {
 
     /// Boolean evaluation `D ⊨ q`.
     pub fn boolean(&self, db: &GraphDb) -> bool {
-        self.boolean_opts(db, &SolveOptions::early_exit()).0
+        self.boolean_opts(db, &SolveOptions::early_exit().projected()).0
     }
 
     /// [`EcrpqEvaluator::boolean`] under explicit solver options, with the
@@ -191,15 +186,21 @@ impl<'q> EcrpqEvaluator<'q> {
         (found, p.pipeline.take())
     }
 
-    /// The answer relation `q(D)`.
+    /// The answer relation `q(D)`, computed with projection pushdown:
+    /// pattern variables outside the output tuple are existentially
+    /// eliminated instead of enumerated.
     pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
-        self.answers_opts(db, &SolveOptions::default()).0
+        self.answers_opts(db, &SolveOptions::pipeline().projected()).0
     }
 
     /// [`EcrpqEvaluator::answers`] under explicit solver options, with the
     /// pipeline stats of the run. The default pipeline's prune phase
     /// batch-warms the relation-free edge caches over the shrinking
-    /// candidate domains (subsuming the old whole-database prefill).
+    /// candidate domains (subsuming the old whole-database prefill), and
+    /// every selective relation walker contributes its own reachability
+    /// semi-join as a necessary condition. Pass [`SolveOptions::projected`]
+    /// for projection pushdown (the naive reference without it is
+    /// full-enumerate-then-project).
     pub fn answers_opts(
         &self,
         db: &GraphDb,
@@ -222,7 +223,8 @@ impl<'q> EcrpqEvaluator<'q> {
 
     /// The Check problem `t̄ ∈ q(D)`.
     pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> bool {
-        self.check_opts(db, tuple, &SolveOptions::early_exit()).0
+        self.check_opts(db, tuple, &SolveOptions::early_exit().projected())
+            .0
     }
 
     /// [`EcrpqEvaluator::check`] under explicit solver options, with the

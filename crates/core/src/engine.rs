@@ -221,16 +221,21 @@ impl<'q> AutoEvaluator<'q> {
     /// Boolean evaluation with provenance.
     pub fn boolean(&self, db: &GraphDb) -> Evaluated<bool> {
         self.timed(|| match &self.engine {
-            EngineImpl::Simple(ev) => ev.boolean_opts(db, &SolveOptions::early_exit()),
+            EngineImpl::Simple(ev) => {
+                ev.boolean_opts(db, &SolveOptions::early_exit().projected())
+            }
             EngineImpl::Vsf(ev) => (ev.boolean(db), None),
             EngineImpl::Bounded(ev) => (ev.boolean(db), None),
         })
     }
 
-    /// The answer relation with provenance.
+    /// The answer relation with provenance (projection pushdown: non-output
+    /// variables are existentially eliminated by the solver).
     pub fn answers(&self, db: &GraphDb) -> Evaluated<BTreeSet<Vec<NodeId>>> {
         self.timed(|| match &self.engine {
-            EngineImpl::Simple(ev) => ev.answers_opts(db, &SolveOptions::default()),
+            EngineImpl::Simple(ev) => {
+                ev.answers_opts(db, &SolveOptions::pipeline().projected())
+            }
             EngineImpl::Vsf(ev) => (ev.answers(db), None),
             EngineImpl::Bounded(ev) => (ev.answers(db), None),
         })
@@ -239,7 +244,9 @@ impl<'q> AutoEvaluator<'q> {
     /// The Check problem with provenance.
     pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> Evaluated<bool> {
         self.timed(|| match &self.engine {
-            EngineImpl::Simple(ev) => ev.check_opts(db, tuple, &SolveOptions::early_exit()),
+            EngineImpl::Simple(ev) => {
+                ev.check_opts(db, tuple, &SolveOptions::early_exit().projected())
+            }
             EngineImpl::Vsf(ev) => (ev.check(db, tuple), None),
             EngineImpl::Bounded(ev) => (ev.check(db, tuple), None),
         })

@@ -15,7 +15,8 @@
 //! - [`PathSemantics::Trail`]: no repeated *edge* — same search over edge
 //!   sets.
 
-use crate::reach::{reach_all, Direction};
+use crate::domains::probe_long_diameter;
+use crate::reach::{reach_all, reach_set_scratch, Direction, ReachScratch};
 use crate::witness::edge_path;
 use cxrpq_automata::{Label, Nfa, StateId};
 use cxrpq_graph::{GraphDb, NodeId, Path, Symbol};
@@ -78,13 +79,26 @@ pub fn rpq_witness(
 
 /// All pairs `(u, v)` connected under the semantics.
 ///
-/// Arbitrary semantics runs one batched multi-source wavefront
-/// ([`reach_all`]) over all nodes — `⌈|V|/64⌉` passes over `D × M` instead
-/// of one BFS per source; the restricted semantics stay a quadratic sweep
-/// (exponential per source in the worst case).
+/// Arbitrary semantics is routed by the same cheap BFS-diameter probe the
+/// solver's prune phase uses ([`probe_long_diameter`]): short-diameter
+/// graphs run one batched multi-source wavefront ([`reach_all`]) over all
+/// nodes — `⌈|V|/64⌉` passes over `D × M` instead of one BFS per source —
+/// while long-diameter (chain-shaped) graphs fall back to per-source
+/// scratch sweeps, where staggered membership arrivals would make the
+/// wavefront re-expand cells level after level. The restricted semantics
+/// stay a quadratic sweep (exponential per source in the worst case).
 pub fn rpq_pairs(db: &GraphDb, nfa: &Nfa, sem: PathSemantics) -> BTreeSet<(NodeId, NodeId)> {
     let mut out = BTreeSet::new();
     match sem {
+        PathSemantics::Arbitrary if probe_long_diameter(db) => {
+            let mut scratch = ReachScratch::default();
+            for u in db.nodes() {
+                for v in reach_set_scratch(db, nfa, u, Direction::Forward, None, &mut scratch)
+                {
+                    out.insert((u, v));
+                }
+            }
+        }
         PathSemantics::Arbitrary => {
             let sources: Vec<NodeId> = db.nodes().collect();
             let sets = reach_all(db, nfa, &sources, Direction::Forward, None);
@@ -281,6 +295,34 @@ mod tests {
         ] {
             assert!(rpq_holds(&db, &m, s, s, sem), "{sem:?}");
         }
+    }
+
+    #[test]
+    fn rpq_pairs_per_source_route_agrees_on_long_chains() {
+        // A 150-node chain trips the long-diameter probe, so rpq_pairs
+        // takes the per-source route; the pair relation must match what
+        // the batched wavefront computes directly.
+        let alpha = Arc::new(Alphabet::from_chars("a"));
+        let mut b = GraphBuilder::new(alpha);
+        let a = b.alphabet().sym("a");
+        let nodes: Vec<NodeId> = (0..150).map(|_| b.add_node()).collect();
+        for w in nodes.windows(2) {
+            b.add_edge(w[0], a, w[1]);
+        }
+        let db = b.freeze();
+        assert!(crate::domains::probe_long_diameter(&db));
+        let m = nfa(&db, "aaa");
+        let routed = rpq_pairs(&db, &m, PathSemantics::Arbitrary);
+        let mut reference = BTreeSet::new();
+        let sources: Vec<NodeId> = db.nodes().collect();
+        let sets = crate::reach::reach_all(&db, &m, &sources, Direction::Forward, None);
+        for (u, set) in sources.into_iter().zip(sets) {
+            for v in set {
+                reference.insert((u, v));
+            }
+        }
+        assert_eq!(routed, reference);
+        assert_eq!(routed.len(), 147); // every node three hops from the end
     }
 
     #[test]

@@ -13,17 +13,30 @@
 //! seeds variables in this order and prefers cheap constraints when several
 //! half-bound extensions compete, so join order follows the data instead of
 //! query-text accident.
+//!
+//! **Projection split.** The plan also records which node variables are in
+//! the query's *output tuple* and where each variable is last used
+//! ([`SolvePlan::last_use`]): the variable order decomposes into an
+//! *enumerate prefix* — everything up to and including the last output
+//! variable (outputs plus the shared variables needed to reach them) — and
+//! an *existential suffix* ([`SolvePlan::prefix_len`]) of non-output
+//! variables that only ever need an existence witness. Under projection
+//! pushdown ([`SolveOptions::projected`](crate::solve::SolveOptions::projected))
+//! the enumerator never backtracks over the suffix: once every output
+//! variable is bound it asks for a single witness of the rest and moves on.
 
 use crate::pattern::NodeVar;
 use crate::solve::{FreeEdge, Group};
-use cxrpq_automata::{Label, Nfa};
+use cxrpq_automata::{Label, Nfa, StateId};
 use cxrpq_graph::GraphDb;
 
 /// Estimated cost of searching the product of `db` with `nfa`: each
 /// `Sym(a)` transition can expand over every `a`-labelled arc, each `Any`
 /// transition over every arc, ε over none. The absolute number is
-/// meaningless; only the ordering between constraints matters.
-fn nfa_cost(nfa: &Nfa, db: &GraphDb) -> u64 {
+/// meaningless; only the ordering between constraints matters (the prune
+/// phase also compares it against the database's total arc count to skip
+/// unselective group semi-joins).
+pub(crate) fn nfa_cost(nfa: &Nfa, db: &GraphDb) -> u64 {
     let mut cost = 0u64;
     for s in nfa.states() {
         for &(l, _) in nfa.transitions(s) {
@@ -35,6 +48,93 @@ fn nfa_cost(nfa: &Nfa, db: &GraphDb) -> u64 {
         }
     }
     cost
+}
+
+/// Cost of `nfa` as a pruning-only semi-join, or `None` when it is
+/// unselective. `nfa_cost` sums over all states, so a selective multi-state
+/// chain (`aa` over an `a`-heavy graph) can out-cost the database even
+/// though each hop filters hard; and raw per-state views misread
+/// Thompson-style alternations, whose branch-entry states each look
+/// selective although the fork as a whole covers the alphabet. The honest
+/// granularity is the *effective state*: a capped subset walk visits the
+/// ε-closed state sets actually reachable while consuming symbols, and the
+/// automaton earns a necessary-condition semi-join as soon as one of them
+/// can step over fewer arcs than the whole database. Σ*-style loops and
+/// whole-alphabet alternations — every effective state of which expands
+/// over everything and keeps everything — are the ones skipped. Def NFAs
+/// are tiny; past [`SUBSET_CAP`] effective states the walk gives up and
+/// assumes the automaton filters.
+pub(crate) fn walker_prune_cost(nfa: &Nfa, db: &GraphDb) -> Option<u64> {
+    const SUBSET_CAP: usize = 32;
+    let full = db.edge_count() as u64;
+    if full == 0 {
+        return Some(nfa_cost(nfa, db));
+    }
+    let closure = |seed: &[StateId]| -> Vec<StateId> {
+        let mut set = vec![false; nfa.state_count()];
+        for s in seed {
+            set[s.index()] = true;
+        }
+        nfa.eps_close(&mut set);
+        (0..nfa.state_count())
+            .filter(|&i| set[i])
+            .map(|i| StateId(i as u32))
+            .collect()
+    };
+    let mut seen: Vec<Vec<StateId>> = Vec::new();
+    let mut queue: Vec<Vec<StateId>> = vec![closure(&[nfa.start()])];
+    while let Some(sub) = queue.pop() {
+        if seen.contains(&sub) {
+            continue;
+        }
+        let mut syms = Vec::new();
+        let mut any_targets: Vec<StateId> = Vec::new();
+        for &s in &sub {
+            for &(l, t) in nfa.transitions(s) {
+                match l {
+                    Label::Eps => {}
+                    Label::Sym(a) => {
+                        if !syms.contains(&a) {
+                            syms.push(a);
+                        }
+                    }
+                    Label::Any => any_targets.push(t),
+                }
+            }
+        }
+        if syms.is_empty() && any_targets.is_empty() {
+            // Final-only effective state: nothing left to filter here.
+            seen.push(sub);
+            continue;
+        }
+        let cost: u64 = if any_targets.is_empty() {
+            syms.iter().map(|&a| db.label_edge_count(a) as u64).sum()
+        } else {
+            full // an Any step alone covers every arc
+        };
+        if cost < full {
+            return Some(nfa_cost(nfa, db));
+        }
+        if seen.len() + queue.len() >= SUBSET_CAP {
+            return Some(nfa_cost(nfa, db));
+        }
+        for &a in &syms {
+            let mut tgts = any_targets.clone();
+            for &s in &sub {
+                for &(l, t) in nfa.transitions(s) {
+                    if l == Label::Sym(a) {
+                        tgts.push(t);
+                    }
+                }
+            }
+            queue.push(closure(&tgts));
+        }
+        if syms.is_empty() {
+            queue.push(closure(&any_targets));
+        }
+        seen.push(sub);
+    }
+    None
 }
 
 /// A constraint of the plan's constraint graph, with its endpoints and
@@ -62,12 +162,38 @@ pub struct SolvePlan {
     /// `seed_rank[v] = position of v in var_order` (`usize::MAX` for
     /// variables in no constraint), for O(1) order lookups.
     pub seed_rank: Vec<usize>,
+    /// Per-variable *last use*: the highest `var_order` position among the
+    /// variables of any constraint mentioning it — the point in the order
+    /// at which its last constraint becomes fully bound and the variable
+    /// stops constraining anything still pending (`usize::MAX` for
+    /// variables in no constraint). The enumerator's existential cutoff is
+    /// deliberately *dynamic* (it watches the live unbound-output count,
+    /// because extension order is constraint-driven, not rank-driven);
+    /// this static view is plan metadata — it justifies `prefix_len`,
+    /// feeds diagnostics/tests, and is the scope boundary a sorted-emission
+    /// mode would need (ROADMAP "Distinct-projection ordering").
+    pub last_use: Vec<usize>,
+    /// Length of the *enumerate prefix* of `var_order`: everything up to
+    /// and including the last output variable. Positions `prefix_len..` are
+    /// the *existential suffix* — non-output variables that projection
+    /// pushdown eliminates with a single existence witness instead of
+    /// backtracking (0 when no output variable occurs in a constraint,
+    /// e.g. Boolean queries, where the whole order is existential).
+    pub prefix_len: usize,
 }
 
 impl SolvePlan {
     /// Plans over the constraint graph of `free` and `groups` against the
-    /// label statistics of `db`.
-    pub fn build(node_count: usize, free: &[FreeEdge], groups: &[Group], db: &GraphDb) -> Self {
+    /// label statistics of `db`. `output` is the query's output tuple
+    /// (empty for Boolean queries); it splits the emitted order into the
+    /// enumerate prefix and the existential suffix.
+    pub fn build(
+        node_count: usize,
+        free: &[FreeEdge],
+        groups: &[Group],
+        output: &[NodeVar],
+        db: &GraphDb,
+    ) -> Self {
         let edge_cost: Vec<u64> = free.iter().map(|e| nfa_cost(e.cache.nfa(), db)).collect();
         let group_cost: Vec<u64> = groups
             .iter()
@@ -131,12 +257,41 @@ impl SolvePlan {
         for (pos, v) in var_order.iter().enumerate() {
             seed_rank[v.index()] = pos;
         }
+        // Last-use positions: a constraint is fully bound once its highest-
+        // ranked variable is; each of its variables is "used" until then.
+        let mut last_use = vec![usize::MAX; node_count];
+        for c in &constraints {
+            let cmax = c
+                .vars
+                .iter()
+                .map(|v| seed_rank[v.index()])
+                .max()
+                .unwrap_or(0);
+            for &v in &c.vars {
+                let e = &mut last_use[v.index()];
+                *e = if *e == usize::MAX { cmax } else { (*e).max(cmax) };
+            }
+        }
+        let mut prefix_len = 0;
+        for (pos, v) in var_order.iter().enumerate() {
+            if output.contains(v) {
+                prefix_len = pos + 1;
+            }
+        }
         Self {
             edge_cost,
             group_cost,
             var_order,
             seed_rank,
+            last_use,
+            prefix_len,
         }
+    }
+
+    /// Number of variables in the existential suffix — never backtracked
+    /// over when projection pushdown is on.
+    pub fn existential_vars(&self) -> usize {
+        self.var_order.len() - self.prefix_len
     }
 }
 
@@ -180,7 +335,7 @@ mod tests {
         // b+ (8 arcs) vs a (1 arc): the a-edge is cheaper and its variables
         // lead the order even though it appears second in query text.
         let free = vec![edge(&db, 0, 1, "b+"), edge(&db, 1, 2, "a")];
-        let plan = SolvePlan::build(3, &free, &[], &db);
+        let plan = SolvePlan::build(3, &free, &[], &[], &db);
         assert!(plan.edge_cost[0] > plan.edge_cost[1]);
         assert_eq!(plan.var_order[0], NodeVar(1));
         assert_eq!(plan.var_order[1], NodeVar(2));
@@ -199,7 +354,7 @@ mod tests {
             edge(&db, 2, 3, "a"),
             edge(&db, 3, 0, "b"),
         ];
-        let plan = SolvePlan::build(4, &free, &[], &db);
+        let plan = SolvePlan::build(4, &free, &[], &[], &db);
         assert_eq!(plan.var_order[0], NodeVar(2));
         assert_eq!(plan.var_order[1], NodeVar(3));
         // Edge 3–0 (connected, cost 8) is taken before the disconnected
@@ -220,10 +375,56 @@ mod tests {
             vec![NodeVar(1), NodeVar(2)],
             SyncSpec::equality_group(Some(def), 2),
         )];
-        let plan = SolvePlan::build(5, &[], &groups, &db);
+        let plan = SolvePlan::build(5, &[], &groups, &[], &db);
         assert_eq!(plan.group_cost.len(), 1);
         assert!(plan.group_cost[0] > 0);
         assert_eq!(plan.var_order.len(), 3); // 0, 1, 2 — not 3, 4
         assert_eq!(plan.seed_rank[4], usize::MAX);
+    }
+
+    #[test]
+    fn walker_prune_cost_classifies_selectivity() {
+        let db = skewed_db(); // 1 a-arc, 8 b-arcs, full = 9
+        let m = |s: &str| {
+            let mut a = db.alphabet().clone();
+            Nfa::from_regex(&parse_regex(s, &mut a).unwrap())
+        };
+        // Chains and single symbols filter even when their summed nfa_cost
+        // is large relative to the database.
+        assert!(walker_prune_cost(&m("a"), &db).is_some());
+        assert!(walker_prune_cost(&m("bb"), &db).is_some());
+        // A whole-alphabet alternation loop keeps everything: every
+        // effective state steps over all 9 arcs (the Thompson branch-entry
+        // states alone would look selective — the subset walk must not).
+        assert!(walker_prune_cost(&m("(a|b|c)+"), &db).is_none());
+        // Σ* (an Any self-loop) likewise.
+        assert!(walker_prune_cost(&crate::sync::sigma_star_nfa(), &db).is_none());
+        // (ab|ba): the start set covers a∪b but the successor sets are
+        // single-symbol — selective.
+        assert!(walker_prune_cost(&m("(ab|ba)"), &db).is_some());
+    }
+
+    #[test]
+    fn projection_split_and_last_use() {
+        let db = skewed_db();
+        // a-edge (cheap) leads: order [1, 2, 0]. Output {2}: prefix [1, 2],
+        // suffix [0] — variable 0 is existential.
+        let free = vec![edge(&db, 0, 1, "b+"), edge(&db, 1, 2, "a")];
+        let plan = SolvePlan::build(4, &free, &[], &[NodeVar(2)], &db);
+        assert_eq!(plan.var_order, vec![NodeVar(1), NodeVar(2), NodeVar(0)]);
+        assert_eq!(plan.prefix_len, 2);
+        assert_eq!(plan.existential_vars(), 1);
+        // Variable 1 is used by both edges; its last use is the position at
+        // which the later-ordered edge (0–1) becomes fully bound, i.e. the
+        // rank of variable 0.
+        assert_eq!(plan.last_use[1], plan.seed_rank[0]);
+        assert_eq!(plan.last_use[2], plan.seed_rank[2]);
+        assert_eq!(plan.last_use[3], usize::MAX); // in no constraint
+
+        // Boolean (empty output): the whole order is existential.
+        let free2 = vec![edge(&db, 0, 1, "b+")];
+        let plan2 = SolvePlan::build(2, &free2, &[], &[], &db);
+        assert_eq!(plan2.prefix_len, 0);
+        assert_eq!(plan2.existential_vars(), 2);
     }
 }

@@ -116,6 +116,18 @@ impl RegularRelation {
         r
     }
 
+    /// Whether this is structurally the all-words-equal relation (one final
+    /// state whose only transition is an `AllEqualSym` self-loop) —
+    /// detected so equality groups can share one member automaton as a
+    /// necessary condition during pruning, and so `ECRPQ^er` membership is
+    /// recognisable.
+    pub fn is_equality(&self) -> bool {
+        self.state_count() == 1
+            && self.is_final(0)
+            && self.transitions(0).len() == 1
+            && matches!(self.transitions(0)[0], (RelLabel::AllEqualSym, 0))
+    }
+
     /// The equal-length relation `{(u₁, …, u_s) : |u₁| = … = |u_s|}` — used
     /// by the paper's separation query `q_{aⁿbⁿ}` (Figure 6).
     pub fn equal_length(arity: usize) -> Self {

@@ -300,7 +300,8 @@ impl<'q> SimpleEvaluator<'q> {
     pub fn boolean_with_stats(&self, db: &GraphDb) -> (bool, usize) {
         let mut p = self.problem();
         let mut found = false;
-        p.solve_with(db, &HashMap::new(), &[], &SolveOptions::early_exit(), &mut |_| {
+        let opts = SolveOptions::early_exit().projected();
+        p.solve_with(db, &HashMap::new(), &[], &opts, &mut |_| {
             found = true;
             true
         });
@@ -323,15 +324,20 @@ impl<'q> SimpleEvaluator<'q> {
         (found, p.pipeline.take())
     }
 
-    /// The answer relation `q(D)`.
+    /// The answer relation `q(D)`, computed with projection pushdown: the
+    /// subdivision's fresh middle variables (and any non-output pattern
+    /// variables) are existentially eliminated instead of enumerated.
     pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
-        self.answers_opts(db, &SolveOptions::default()).0
+        self.answers_opts(db, &SolveOptions::pipeline().projected()).0
     }
 
     /// [`SimpleEvaluator::answers`] under explicit solver options, with the
     /// pipeline stats of the run. The default pipeline's prune phase
     /// batch-warms the classical-factor caches over the shrinking candidate
-    /// domains (subsuming the old whole-database prefill).
+    /// domains (subsuming the old whole-database prefill); equality groups
+    /// with a selective definition contribute def-language semi-joins. Pass
+    /// [`SolveOptions::projected`] for projection pushdown (the naive
+    /// reference without it is full-enumerate-then-project).
     pub fn answers_opts(
         &self,
         db: &GraphDb,
@@ -354,7 +360,8 @@ impl<'q> SimpleEvaluator<'q> {
 
     /// The Check problem `t̄ ∈ q(D)`.
     pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> bool {
-        self.check_opts(db, tuple, &SolveOptions::early_exit()).0
+        self.check_opts(db, tuple, &SolveOptions::early_exit().projected())
+            .0
     }
 
     /// [`SimpleEvaluator::check`] under explicit solver options, with the

@@ -24,11 +24,33 @@
 //!    domain-restricted wavefront fills and an adaptive per-source fallback
 //!    on long-diameter graphs. Pinned bindings collapse their domains to
 //!    singletons first; an emptied domain ends the search without
-//!    enumeration.
+//!    enumeration. Groups contribute necessary conditions: one synthesized
+//!    pruning-only edge per selective group walker (def-language
+//!    reachability for equality groups), joined into the same fixpoint and
+//!    dropped before enumeration.
 //! 3. **Enumerate** — backtrack over the pruned domains in plan order,
 //!    checking fully bound constraints eagerly and extending along the
 //!    cheapest half-bound constraint; early-exit semantics (`on_solution`
 //!    returning `true`) are unchanged.
+//!
+//! **Projection pushdown** ([`SolveOptions::projected`]): when on, the
+//! `required` tuple is treated as an *output projection*. Variables outside
+//! it are *existential* — the moment every output variable is bound, the
+//! projected tuple of the whole subtree below is fixed, so the enumerator
+//! asks for a single witness of the remaining constraints (an early-exiting
+//! sub-search) instead of backtracking over every completion, and emits
+//! each distinct projected tuple exactly once (deduplicated at the
+//! enumerator with packed-key sets, never by materializing full morphisms).
+//! When the last output variable is bound by the final pending constraint,
+//! the semi-joined candidate set itself is the witness: candidates are
+//! emitted leaf-positioned with no sub-search at all. Boolean calls (empty
+//! output) are the degenerate case where *every* variable is existential —
+//! on satisfiable arc-consistent instances the enumerator then performs
+//! zero backtracking steps ([`PipelineStats::backtrack_steps`]).
+//!
+//! Under projection, `on_solution` observes bindings in which all
+//! *required* variables are bound; existential variables may be `None`
+//! (they are restored by the witness sub-search on its way out).
 
 use crate::domains::Domains;
 use crate::pattern::NodeVar;
@@ -36,7 +58,8 @@ use crate::plan::SolvePlan;
 use crate::reach::{ReachCache, ReachStats};
 use crate::sync::{sync_sources, sync_targets, SyncSearch, SyncSpec};
 use cxrpq_graph::{GraphDb, NodeId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hasher};
 
 /// A single-walker constraint `(src) -L(M)-> (dst)`.
 pub struct FreeEdge {
@@ -101,6 +124,14 @@ pub struct SolveOptions {
     /// Exhaustive enumeration leaves it off (it sweeps most sources
     /// anyway, so the fills are never wasted).
     pub lazy_unpinned: bool,
+    /// Projection pushdown: treat `required` as the output projection,
+    /// existentially eliminate every other variable (one witness instead
+    /// of full backtracking once all outputs are bound) and report each
+    /// distinct projected tuple exactly once. Off in every preset —
+    /// callers that only read the required variables opt in via
+    /// [`SolveOptions::projected`]; callers that read the full morphism
+    /// (witness extraction, raw `solve` uses) must leave it off.
+    pub project: bool,
 }
 
 impl SolveOptions {
@@ -111,6 +142,7 @@ impl SolveOptions {
             prune: true,
             max_prune_rounds: 8,
             lazy_unpinned: false,
+            project: false,
         }
     }
 
@@ -124,6 +156,7 @@ impl SolveOptions {
             prune: true,
             max_prune_rounds: 2,
             lazy_unpinned: true,
+            project: false,
         }
     }
 
@@ -136,7 +169,16 @@ impl SolveOptions {
             prune: false,
             max_prune_rounds: 0,
             lazy_unpinned: false,
+            project: false,
         }
+    }
+
+    /// Turns on projection pushdown (see [`SolveOptions::project`]);
+    /// composes with any preset, e.g.
+    /// `SolveOptions::pipeline().projected()`.
+    pub fn projected(mut self) -> Self {
+        self.project = true;
+        self
     }
 }
 
@@ -165,6 +207,18 @@ pub struct PipelineStats {
     pub domain_before: Vec<usize>,
     /// Domain size per node variable after pruning.
     pub domain_after: Vec<usize>,
+    /// Variables in the plan's existential suffix, eliminated by
+    /// projection pushdown instead of being backtracked over (0 when
+    /// [`SolveOptions::project`] is off; the whole variable order for
+    /// Boolean calls).
+    pub eliminated_vars: usize,
+    /// Enumeration-phase backtracking steps: candidate bindings retracted
+    /// after their subtree was exhausted without reporting any solution
+    /// (a candidate whose subtree emitted tuples and then continued is
+    /// productive, not a backtrack). Zero on satisfiable arc-consistent
+    /// Boolean instances (the existential fast path takes the first
+    /// supported candidate at every level).
+    pub backtrack_steps: usize,
 }
 
 impl PipelineStats {
@@ -215,6 +269,196 @@ impl EnumCtx<'_> {
     }
 }
 
+/// A multiply–rotate hasher for the projection dedup sets: keys are either
+/// exact packed integers (arity ≤ 4) or short node-id slices, probed once
+/// per enumeration leaf, so a few-ns mix beats SipHash by an order of
+/// magnitude on the hot shapes.
+struct ProjHasher(u64);
+
+impl ProjHasher {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for ProjHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^ (h >> 33)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.mix(v as u64);
+        self.mix((v >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+#[derive(Clone, Default)]
+struct BuildProjHasher;
+
+impl BuildHasher for BuildProjHasher {
+    type Hasher = ProjHasher;
+    fn build_hasher(&self) -> ProjHasher {
+        ProjHasher(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+/// Projected tuples already emitted, keyed exactly: arities ≤ 4 pack the
+/// `u32` node ids into one `u128` (collision-free), wider tuples fall back
+/// to boxed slices (probed without allocating via `Borrow<[NodeId]>`).
+enum ProjSeen {
+    Small(HashSet<u128, BuildProjHasher>),
+    Wide(HashSet<Box<[NodeId]>, BuildProjHasher>),
+}
+
+impl ProjSeen {
+    fn new(arity: usize) -> Self {
+        if arity <= 4 {
+            Self::Small(HashSet::with_hasher(BuildProjHasher))
+        } else {
+            Self::Wide(HashSet::with_hasher(BuildProjHasher))
+        }
+    }
+}
+
+/// Mutable enumeration state threaded through the recursion.
+struct EnumState {
+    bindings: Vec<Option<NodeId>>,
+    edge_done: Vec<bool>,
+    group_done: Vec<bool>,
+    /// The required (output) tuple, in projection order.
+    required: Vec<NodeVar>,
+    /// `is_output[v]` — whether variable `v` occurs in `required`.
+    is_output: Vec<bool>,
+    /// Distinct required variables currently unbound; the existential
+    /// cutoff fires when this reaches zero under projection.
+    unbound_outputs: usize,
+    /// Projection pushdown on for this run.
+    project: bool,
+    /// Inside a one-witness sub-search (suppresses nested cutoffs).
+    existential: bool,
+    /// Whether duplicate projections are possible at all: false when every
+    /// constrained variable is an output variable (distinct full
+    /// assignments then project to distinct tuples), letting hot loops
+    /// skip the seen-set entirely.
+    dedup_needed: bool,
+    seen: ProjSeen,
+    /// Reusable projection buffer for wide-arity probes.
+    proj_buf: Vec<NodeId>,
+    /// Solutions reported plus duplicates suppressed so far; loops compare
+    /// it across a recursion to tell a fruitless subtree from one that
+    /// either emitted and continued or was pruned as pure redundancy.
+    progress: u64,
+    /// Candidate bindings retracted after a fruitless subtree.
+    backtracks: usize,
+}
+
+impl EnumState {
+    #[inline]
+    fn bind(&mut self, v: NodeVar, n: NodeId) {
+        debug_assert!(self.bindings[v.index()].is_none());
+        self.bindings[v.index()] = Some(n);
+        if self.is_output[v.index()] {
+            self.unbound_outputs -= 1;
+        }
+    }
+
+    #[inline]
+    fn unbind(&mut self, v: NodeVar) {
+        debug_assert!(self.bindings[v.index()].is_some());
+        if self.is_output[v.index()] {
+            self.unbound_outputs += 1;
+        }
+        self.bindings[v.index()] = None;
+    }
+
+    /// Packs the current projection (all required variables are bound when
+    /// this is called) into the small-arity key. The leading 1 bit
+    /// distinguishes shorter tuples from zero-padded longer ones at
+    /// arities ≤ 3; at arity 4 the four 32-bit ids fill the `u128` exactly
+    /// and the sentinel shifts out, which is still collision-free because
+    /// every key of one run has the same arity — the seen-set never mixes
+    /// arities. (Raising the small-arity bound past 4 would truncate ids;
+    /// `ProjSeen::new` gates on it.)
+    #[inline]
+    fn proj_key(&self) -> u128 {
+        let mut key = 1u128;
+        for v in &self.required {
+            let n = self.bindings[v.index()].expect("projection variable bound");
+            key = (key << 32) | n.0 as u128;
+        }
+        key
+    }
+
+    /// Fills the wide-arity probe buffer with the current projection.
+    fn fill_proj_buf(&mut self) {
+        self.proj_buf.clear();
+        for i in 0..self.required.len() {
+            let v = self.required[i];
+            self.proj_buf
+                .push(self.bindings[v.index()].expect("projection variable bound"));
+        }
+    }
+
+    /// Whether the current projection was already emitted.
+    fn seen_contains(&mut self) -> bool {
+        match &self.seen {
+            ProjSeen::Small(_) => {
+                let key = self.proj_key();
+                let ProjSeen::Small(s) = &self.seen else { unreachable!() };
+                s.contains(&key)
+            }
+            ProjSeen::Wide(_) => {
+                self.fill_proj_buf();
+                let ProjSeen::Wide(s) = &self.seen else { unreachable!() };
+                s.contains(self.proj_buf.as_slice())
+            }
+        }
+    }
+
+    /// Marks the current projection emitted; returns `true` when it was
+    /// new.
+    fn seen_insert(&mut self) -> bool {
+        match &self.seen {
+            ProjSeen::Small(_) => {
+                let key = self.proj_key();
+                let ProjSeen::Small(s) = &mut self.seen else { unreachable!() };
+                s.insert(key)
+            }
+            ProjSeen::Wide(_) => {
+                self.fill_proj_buf();
+                let ProjSeen::Wide(s) = &mut self.seen else { unreachable!() };
+                if s.contains(self.proj_buf.as_slice()) {
+                    false
+                } else {
+                    s.insert(self.proj_buf.clone().into_boxed_slice())
+                }
+            }
+        }
+    }
+}
+
 impl Problem {
     /// An empty problem over `node_count` node variables.
     pub fn new(node_count: usize) -> Self {
@@ -225,6 +469,60 @@ impl Problem {
             stats: ReachStats::default(),
             pipeline: None,
         }
+    }
+
+    /// Synthesized pruning-only edges from the groups' necessary
+    /// conditions: every walker `i` of a group must connect `srcs[i]` to
+    /// `dsts[i]` under its own automaton `nfas[i]`; for equality relations
+    /// the shared word lies in *every* member language, so each member
+    /// automaton is a necessary condition for every walker and the most
+    /// selective one serves all endpoint pairs (an undefined equality
+    /// group's Σ* members therefore borrow the definition, and a Σ*-first
+    /// member list still benefits from a selective reference). Unselective
+    /// automata ([`walker_prune_cost`](crate::plan) returns `None`) are
+    /// skipped: their semi-join would sweep everything and keep everything.
+    ///
+    /// Each walker gets its own [`ReachCache`] even when several share one
+    /// automaton: fills are domain-restricted to each walker's own
+    /// endpoint domain, so the overlap a shared memo would save is
+    /// partial, and group arities are small. Revisit if wide groups show
+    /// up in profiles.
+    fn group_prune_edges(&self, db: &GraphDb) -> (Vec<FreeEdge>, Vec<u64>) {
+        let mut edges = Vec::new();
+        let mut costs = Vec::new();
+        for g in &self.groups {
+            if g.spec.relation.is_equality() {
+                let best = (0..g.spec.arity())
+                    .filter_map(|j| {
+                        crate::plan::walker_prune_cost(&g.spec.nfas[j], db).map(|c| (c, j))
+                    })
+                    .min();
+                if let Some((cost, j)) = best {
+                    for i in 0..g.spec.arity() {
+                        edges.push(FreeEdge {
+                            src: g.srcs[i],
+                            dst: g.dsts[i],
+                            cache: ReachCache::new(g.spec.nfas[j].clone()),
+                        });
+                        costs.push(cost);
+                    }
+                }
+            } else {
+                for i in 0..g.spec.arity() {
+                    let Some(cost) = crate::plan::walker_prune_cost(&g.spec.nfas[i], db)
+                    else {
+                        continue;
+                    };
+                    edges.push(FreeEdge {
+                        src: g.srcs[i],
+                        dst: g.dsts[i],
+                        cache: ReachCache::new(g.spec.nfas[i].clone()),
+                    });
+                    costs.push(cost);
+                }
+            }
+        }
+        (edges, costs)
     }
 
     /// Runs the solver with the default (full) pipeline. `pinned` pre-binds
@@ -261,24 +559,51 @@ impl Problem {
             bindings[v.index()] = Some(n);
         }
 
-        // Phase 1: plan.
-        let plan = (opts.plan || opts.prune)
-            .then(|| SolvePlan::build(self.node_count, &self.free_edges, &self.groups, db));
+        // Phase 1: plan (output-aware: the order splits into the enumerate
+        // prefix and the existential suffix).
+        let plan = (opts.plan || opts.prune).then(|| {
+            SolvePlan::build(self.node_count, &self.free_edges, &self.groups, required, db)
+        });
+        let eliminated_vars = match (&plan, opts.project) {
+            (Some(p), true) => p.existential_vars(),
+            _ => 0,
+        };
 
-        // Phase 2: prune. Group-only problems have no free edges to
-        // semi-join, so domains would never shrink below the universe —
-        // skip construction entirely. Early-exiting unpinned calls stay
-        // lazy (see `SolveOptions::lazy_unpinned`). The adaptive probe's
-        // verdict — memoized on the frozen database — routes the prune
-        // fills and the seed-sweep prewarms in every pipeline mode; the
-        // naive reference path never consults it.
-        let has_edges = !self.free_edges.is_empty();
+        // Phase 2: prune. Groups contribute synthesized necessary-condition
+        // edges (def-language reachability per walker); with neither real
+        // nor synthesized edges the domains could never shrink below the
+        // universe, so construction is skipped entirely. Early-exiting
+        // unpinned calls stay lazy (see `SolveOptions::lazy_unpinned`).
+        // The adaptive probe's verdict — memoized on the frozen database —
+        // routes the prune fills and the seed-sweep prewarms in every
+        // pipeline mode; the naive reference path never consults it.
+        let want_prune = opts.prune && !(opts.lazy_unpinned && pinned.is_empty());
+        let (aux_edges, aux_costs) = if want_prune && !self.groups.is_empty() {
+            self.group_prune_edges(db)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let real_edges = self.free_edges.len();
+        let has_prunable = real_edges > 0 || !aux_edges.is_empty();
         let probe = (opts.plan || opts.prune)
-            && has_edges
+            && has_prunable
             && crate::domains::probe_long_diameter(db);
-        let prune_now =
-            opts.prune && has_edges && !(opts.lazy_unpinned && pinned.is_empty());
+        let prune_now = want_prune && has_prunable;
         let mut per_source_sweeps = probe;
+        // One base stats value per plan; the prune branch patches in the
+        // fixpoint outcome (including its per-source verdict — the `move`
+        // capture of the probe value only feeds the prune-skipped branch).
+        let base_stats = move |p: &SolvePlan| PipelineStats {
+            var_order: if opts.plan { p.var_order.clone() } else { Vec::new() },
+            edge_cost: p.edge_cost.clone(),
+            group_cost: p.group_cost.clone(),
+            rounds: 0,
+            per_source_sweeps,
+            domain_before: Vec::new(),
+            domain_after: Vec::new(),
+            eliminated_vars,
+            backtrack_steps: 0,
+        };
         let domains = if prune_now {
             let mut doms = Domains::full(self.node_count, db.node_count());
             for (&v, &n) in pinned {
@@ -287,40 +612,35 @@ impl Problem {
                 doms.pin(v, n);
             }
             let before = doms.sizes().to_vec();
+            let p = plan.as_ref().expect("prune implies plan construction");
+            // Real edges first (plan costs), then the synthesized group
+            // walkers; the fixpoint visits all of them cheapest-first and
+            // the synthesized tail is dropped again before enumeration.
+            let mut costs = p.edge_cost.clone();
+            costs.extend(aux_costs);
+            self.free_edges.extend(aux_edges);
             let outcome = doms.prune(
                 db,
                 &mut self.free_edges,
-                plan.as_ref(),
+                Some(&costs),
                 opts.max_prune_rounds,
                 probe,
             );
+            self.free_edges.truncate(real_edges);
             per_source_sweeps = outcome.per_source_sweeps;
-            let p = plan.as_ref().expect("prune implies plan construction");
             self.pipeline = Some(PipelineStats {
-                var_order: if opts.plan { p.var_order.clone() } else { Vec::new() },
-                edge_cost: p.edge_cost.clone(),
-                group_cost: p.group_cost.clone(),
                 rounds: outcome.rounds,
                 per_source_sweeps: outcome.per_source_sweeps,
                 domain_before: before,
                 domain_after: doms.sizes().to_vec(),
+                ..base_stats(p)
             });
             if outcome.emptied {
                 return false;
             }
             Some(doms)
         } else {
-            if let Some(p) = plan.as_ref() {
-                self.pipeline = Some(PipelineStats {
-                    var_order: if opts.plan { p.var_order.clone() } else { Vec::new() },
-                    edge_cost: p.edge_cost.clone(),
-                    group_cost: p.group_cost.clone(),
-                    rounds: 0,
-                    per_source_sweeps,
-                    domain_before: Vec::new(),
-                    domain_after: Vec::new(),
-                });
-            }
+            self.pipeline = plan.as_ref().map(base_stats);
             None
         };
 
@@ -330,66 +650,119 @@ impl Problem {
             domains: domains.as_ref(),
             per_source_sweeps,
         };
-        let mut edge_done = vec![false; self.free_edges.len()];
-        let mut group_done = vec![false; self.groups.len()];
-        self.recurse(
-            db,
-            &ctx,
-            &mut bindings,
-            &mut edge_done,
-            &mut group_done,
-            required,
-            on_solution,
-        )
+        let mut is_output = vec![false; self.node_count];
+        for v in required {
+            is_output[v.index()] = true;
+        }
+        let unbound_outputs = (0..self.node_count)
+            .filter(|&i| is_output[i] && bindings[i].is_none())
+            .count();
+        // Duplicates are impossible when every constrained variable is an
+        // output variable: distinct full assignments then project to
+        // distinct tuples, so the hot loops skip the seen-set.
+        let dedup_needed = self
+            .free_edges
+            .iter()
+            .flat_map(|e| [e.src, e.dst])
+            .chain(
+                self.groups
+                    .iter()
+                    .flat_map(|g| g.srcs.iter().chain(g.dsts.iter()).copied()),
+            )
+            .any(|v| !is_output[v.index()]);
+        let mut st = EnumState {
+            bindings,
+            edge_done: vec![false; self.free_edges.len()],
+            group_done: vec![false; self.groups.len()],
+            required: required.to_vec(),
+            is_output,
+            unbound_outputs,
+            project: opts.project,
+            existential: false,
+            dedup_needed,
+            seen: ProjSeen::new(required.len()),
+            proj_buf: Vec::with_capacity(required.len()),
+            progress: 0,
+            backtracks: 0,
+        };
+        let r = self.recurse(db, &ctx, &mut st, on_solution);
+        if let Some(ps) = &mut self.pipeline {
+            ps.backtrack_steps = st.backtracks;
+        }
+        r
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn recurse(
         &mut self,
         db: &GraphDb,
         ctx: &EnumCtx<'_>,
-        bindings: &mut Vec<Option<NodeId>>,
-        edge_done: &mut Vec<bool>,
-        group_done: &mut Vec<bool>,
-        required: &[NodeVar],
+        st: &mut EnumState,
         on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
     ) -> bool {
+        // 0. Projection cutoff: every output variable is bound, so the
+        // projection of everything below is already decided. A previously
+        // emitted tuple makes the whole subtree redundant; a fresh one
+        // needs exactly one witness of the remaining (existential)
+        // variables and constraints — an early-exiting sub-search, after
+        // which the prefix backtracks without enumerating further
+        // completions.
+        if st.project && !st.existential && st.unbound_outputs == 0 {
+            if st.dedup_needed && st.seen_contains() {
+                // Redundancy pruned in O(1), not wasted search: the parent
+                // loops must not book this retraction as a backtrack.
+                st.progress += 1;
+                return false;
+            }
+            st.existential = true;
+            let witnessed = self.recurse(db, ctx, st, &mut |_| true);
+            st.existential = false;
+            if witnessed {
+                if st.dedup_needed {
+                    st.seen_insert();
+                }
+                st.progress += 1;
+                return on_solution(&st.bindings);
+            }
+            return false;
+        }
         // 1. Check any fully bound free edge.
         for i in 0..self.free_edges.len() {
-            if edge_done[i] {
+            if st.edge_done[i] {
                 continue;
             }
             let e = &mut self.free_edges[i];
-            if let (Some(u), Some(v)) = (bindings[e.src.index()], bindings[e.dst.index()]) {
+            if let (Some(u), Some(v)) =
+                (st.bindings[e.src.index()], st.bindings[e.dst.index()])
+            {
                 if !e.cache.connects(db, u, v) {
                     return false;
                 }
-                edge_done[i] = true;
-                let r = self.recurse(db, ctx, bindings, edge_done, group_done, required, on_solution);
-                edge_done[i] = false;
+                st.edge_done[i] = true;
+                let r = self.recurse(db, ctx, st, on_solution);
+                st.edge_done[i] = false;
                 return r;
             }
         }
         // 2. Check any fully bound group.
         for i in 0..self.groups.len() {
-            if group_done[i] {
+            if st.group_done[i] {
                 continue;
             }
             let all_bound = self.groups[i]
                 .srcs
                 .iter()
                 .chain(self.groups[i].dsts.iter())
-                .all(|v| bindings[v.index()].is_some());
+                .all(|v| st.bindings[v.index()].is_some());
             if all_bound {
                 let starts: Vec<NodeId> = self.groups[i]
                     .srcs
                     .iter()
-                    .map(|v| bindings[v.index()].unwrap())
+                    .map(|v| st.bindings[v.index()].unwrap())
                     .collect();
                 let ends: Vec<NodeId> = self.groups[i]
                     .dsts
                     .iter()
-                    .map(|v| bindings[v.index()].unwrap())
+                    .map(|v| st.bindings[v.index()].unwrap())
                     .collect();
                 let ok = !SyncSearch::forward(db, &self.groups[i].spec)
                     .run(&starts, Some(&ends), Some(&self.stats))
@@ -397,9 +770,9 @@ impl Problem {
                 if !ok {
                     return false;
                 }
-                group_done[i] = true;
-                let r = self.recurse(db, ctx, bindings, edge_done, group_done, required, on_solution);
-                group_done[i] = false;
+                st.group_done[i] = true;
+                let r = self.recurse(db, ctx, st, on_solution);
+                st.group_done[i] = false;
                 return r;
             }
         }
@@ -407,11 +780,11 @@ impl Problem {
         // plan is present, the first in query-text order otherwise (the
         // naive reference path).
         let mut half: Option<usize> = None;
-        for (i, (e, done)) in self.free_edges.iter().zip(edge_done.iter()).enumerate() {
+        for (i, (e, done)) in self.free_edges.iter().zip(st.edge_done.iter()).enumerate() {
             if *done {
                 continue;
             }
-            if bindings[e.src.index()].is_some() || bindings[e.dst.index()].is_some() {
+            if st.bindings[e.src.index()].is_some() || st.bindings[e.dst.index()].is_some() {
                 match (half, ctx.plan) {
                     (None, _) => half = Some(i),
                     (Some(j), Some(p)) if p.edge_cost[i] < p.edge_cost[j] => half = Some(i),
@@ -424,49 +797,129 @@ impl Problem {
         }
         if let Some(i) = half {
             let (src, dst) = (self.free_edges[i].src, self.free_edges[i].dst);
-            let (bs, bd) = (bindings[src.index()], bindings[dst.index()]);
-            edge_done[i] = true;
+            let (bs, bd) = (st.bindings[src.index()], st.bindings[dst.index()]);
+            let var = if bs.is_some() { dst } else { src };
+            // Terminal projection leaf: binding `var` completes the output
+            // tuple and nothing else is pending, so every admitted
+            // candidate is its own existential witness — the semi-joined
+            // candidate set is emitted directly, with no sub-search and no
+            // sorting (the answer set is order-free).
+            let terminal = st.project
+                && !st.existential
+                && st.unbound_outputs == 1
+                && st.is_output[var.index()]
+                && st.group_done.iter().all(|d| *d)
+                && st
+                    .edge_done
+                    .iter()
+                    .enumerate()
+                    .all(|(j, d)| j == i || *d);
+            if terminal {
+                let from = bs.or(bd).unwrap();
+                let set = if bs.is_some() {
+                    self.free_edges[i].cache.targets(db, from)
+                } else {
+                    self.free_edges[i].cache.sources(db, from)
+                };
+                // Small-arity tuples with `var` at a single position pack
+                // against a hoisted key template: the per-candidate dedup
+                // probe is one shift-or plus a hash insert, and duplicate
+                // candidates never even bind.
+                let template = (st.dedup_needed
+                    && matches!(st.seen, ProjSeen::Small(_))
+                    && st.required.iter().filter(|v| **v == var).count() == 1)
+                    .then(|| {
+                        let pos = st.required.iter().position(|v| *v == var).unwrap();
+                        let shift = 32 * (st.required.len() - 1 - pos) as u32;
+                        let mut key = 1u128;
+                        for v in &st.required {
+                            let part = if *v == var {
+                                0
+                            } else {
+                                st.bindings[v.index()].expect("output bound").0 as u128
+                            };
+                            key = (key << 32) | part;
+                        }
+                        (key, shift)
+                    });
+                for &c in set.iter() {
+                    if !ctx.admits(var, c) {
+                        continue;
+                    }
+                    let fresh = match (&template, st.dedup_needed) {
+                        (Some((key, shift)), _) => {
+                            let ProjSeen::Small(s) = &mut st.seen else {
+                                unreachable!("template implies small keys")
+                            };
+                            s.insert(key | ((c.0 as u128) << shift))
+                        }
+                        (None, true) => {
+                            st.bind(var, c);
+                            let fresh = st.seen_insert();
+                            st.unbind(var);
+                            fresh
+                        }
+                        (None, false) => true,
+                    };
+                    if fresh {
+                        st.bind(var, c);
+                        st.progress += 1;
+                        let stop = on_solution(&st.bindings);
+                        st.unbind(var);
+                        if stop {
+                            return true;
+                        }
+                    } else {
+                        st.progress += 1; // duplicate pruned, not wasted
+                    }
+                }
+                return false;
+            }
+            st.edge_done[i] = true;
             let candidates: Vec<NodeId> = if let Some(u) = bs {
                 self.free_edges[i].targets_sorted(db, u, true)
             } else {
                 self.free_edges[i].targets_sorted(db, bd.unwrap(), false)
             };
-            let var = if bs.is_some() { dst } else { src };
             for c in candidates {
                 if !ctx.admits(var, c) {
                     continue;
                 }
-                bindings[var.index()] = Some(c);
-                if self.recurse(db, ctx, bindings, edge_done, group_done, required, on_solution) {
-                    bindings[var.index()] = None;
-                    edge_done[i] = false;
+                st.bind(var, c);
+                let before = st.progress;
+                if self.recurse(db, ctx, st, on_solution) {
+                    st.unbind(var);
+                    st.edge_done[i] = false;
                     return true;
                 }
-                bindings[var.index()] = None;
+                if st.progress == before {
+                    st.backtracks += 1;
+                }
+                st.unbind(var);
             }
-            edge_done[i] = false;
+            st.edge_done[i] = false;
             return false;
         }
         // 4. Extend along a group with one side fully bound.
         for i in 0..self.groups.len() {
-            if group_done[i] {
+            if st.group_done[i] {
                 continue;
             }
             let srcs_bound = self.groups[i]
                 .srcs
                 .iter()
-                .all(|v| bindings[v.index()].is_some());
+                .all(|v| st.bindings[v.index()].is_some());
             let dsts_bound = self.groups[i]
                 .dsts
                 .iter()
-                .all(|v| bindings[v.index()].is_some());
+                .all(|v| st.bindings[v.index()].is_some());
             if srcs_bound || dsts_bound {
-                group_done[i] = true;
+                st.group_done[i] = true;
                 let (open_vars, tuples) = if srcs_bound {
                     let starts: Vec<NodeId> = self.groups[i]
                         .srcs
                         .iter()
-                        .map(|v| bindings[v.index()].unwrap())
+                        .map(|v| st.bindings[v.index()].unwrap())
                         .collect();
                     let tuples =
                         sync_targets(db, &self.groups[i].spec, &starts, Some(&self.stats));
@@ -475,7 +928,7 @@ impl Problem {
                     let ends: Vec<NodeId> = self.groups[i]
                         .dsts
                         .iter()
-                        .map(|v| bindings[v.index()].unwrap())
+                        .map(|v| st.bindings[v.index()].unwrap())
                         .collect();
                     // Walk the database *backwards* under the reversed spec
                     // to enumerate source tuples; the walk borrows the
@@ -492,10 +945,10 @@ impl Problem {
                     // may already be bound), respecting pruned domains.
                     let mut newly: Vec<NodeVar> = Vec::new();
                     for (var, node) in open_vars.iter().zip(tup.iter()) {
-                        match bindings[var.index()] {
+                        match st.bindings[var.index()] {
                             Some(b) if b != *node => {
                                 for v in newly.drain(..) {
-                                    bindings[v.index()] = None;
+                                    st.unbind(v);
                                 }
                                 continue 'tuple;
                             }
@@ -503,26 +956,29 @@ impl Problem {
                             None => {
                                 if !ctx.admits(*var, *node) {
                                     for v in newly.drain(..) {
-                                        bindings[v.index()] = None;
+                                        st.unbind(v);
                                     }
                                     continue 'tuple;
                                 }
-                                bindings[var.index()] = Some(*node);
+                                st.bind(*var, *node);
                                 newly.push(*var);
                             }
                         }
                     }
-                    let hit =
-                        self.recurse(db, ctx, bindings, edge_done, group_done, required, on_solution);
+                    let before = st.progress;
+                    let hit = self.recurse(db, ctx, st, on_solution);
+                    if !hit && !newly.is_empty() && st.progress == before {
+                        st.backtracks += 1;
+                    }
                     for v in newly {
-                        bindings[v.index()] = None;
+                        st.unbind(v);
                     }
                     if hit {
-                        group_done[i] = false;
+                        st.group_done[i] = false;
                         return true;
                     }
                 }
-                group_done[i] = false;
+                st.group_done[i] = false;
                 return false;
             }
         }
@@ -532,7 +988,9 @@ impl Problem {
         // (naive) the first source variable of a pending constraint.
         let seed_var = if let Some(p) = ctx.plan {
             let mut best: Option<(usize, NodeVar)> = None;
-            let consider = |v: NodeVar, best: &mut Option<(usize, NodeVar)>| {
+            let consider = |v: NodeVar,
+                            bindings: &[Option<NodeId>],
+                            best: &mut Option<(usize, NodeVar)>| {
                 if bindings[v.index()].is_none() {
                     let rank = p.seed_rank[v.index()];
                     if best.is_none_or(|(r, _)| rank < r) {
@@ -540,16 +998,16 @@ impl Problem {
                     }
                 }
             };
-            for (e, done) in self.free_edges.iter().zip(edge_done.iter()) {
+            for (e, done) in self.free_edges.iter().zip(st.edge_done.iter()) {
                 if !*done {
-                    consider(e.src, &mut best);
-                    consider(e.dst, &mut best);
+                    consider(e.src, &st.bindings, &mut best);
+                    consider(e.dst, &st.bindings, &mut best);
                 }
             }
-            for (g, done) in self.groups.iter().zip(group_done.iter()) {
+            for (g, done) in self.groups.iter().zip(st.group_done.iter()) {
                 if !*done {
                     for &v in g.srcs.iter().chain(g.dsts.iter()) {
-                        consider(v, &mut best);
+                        consider(v, &st.bindings, &mut best);
                     }
                 }
             }
@@ -557,17 +1015,17 @@ impl Problem {
         } else {
             self.free_edges
                 .iter()
-                .zip(edge_done.iter())
+                .zip(st.edge_done.iter())
                 .filter(|(_, d)| !**d)
                 .map(|(e, _)| e.src)
                 .chain(
                     self.groups
                         .iter()
-                        .zip(group_done.iter())
+                        .zip(st.group_done.iter())
                         .filter(|(_, d)| !**d)
                         .flat_map(|(g, _)| g.srcs.iter().copied()),
                 )
-                .find(|v| bindings[v.index()].is_none())
+                .find(|v| st.bindings[v.index()].is_none())
         };
         if let Some(var) = seed_var {
             // Sweep the candidate nodes (the pruned domain when phase 2
@@ -597,7 +1055,7 @@ impl Problem {
                 }
                 if chunk_idx > 0 && !ctx.per_source_sweeps {
                     for (i, e) in self.free_edges.iter_mut().enumerate() {
-                        if edge_done[i] {
+                        if st.edge_done[i] {
                             continue;
                         }
                         if e.src == var {
@@ -609,31 +1067,44 @@ impl Problem {
                     }
                 }
                 for &node in &chunk {
-                    bindings[var.index()] = Some(node);
-                    if self.recurse(db, ctx, bindings, edge_done, group_done, required, on_solution)
-                    {
-                        bindings[var.index()] = None;
+                    st.bind(var, node);
+                    let before = st.progress;
+                    if self.recurse(db, ctx, st, on_solution) {
+                        st.unbind(var);
                         return true;
                     }
-                    bindings[var.index()] = None;
+                    if st.progress == before {
+                        st.backtracks += 1;
+                    }
+                    st.unbind(var);
                 }
                 chunk_idx += 1;
             }
             return false;
         }
         // All constraints satisfied: bind required-but-unbound variables.
-        if let Some(&var) = required.iter().find(|v| bindings[v.index()].is_none()) {
+        let unbound_required = st
+            .required
+            .iter()
+            .find(|v| st.bindings[v.index()].is_none())
+            .copied();
+        if let Some(var) = unbound_required {
             for node in db.nodes() {
-                bindings[var.index()] = Some(node);
-                if self.recurse(db, ctx, bindings, edge_done, group_done, required, on_solution) {
-                    bindings[var.index()] = None;
+                st.bind(var, node);
+                let before = st.progress;
+                if self.recurse(db, ctx, st, on_solution) {
+                    st.unbind(var);
                     return true;
                 }
-                bindings[var.index()] = None;
+                if st.progress == before {
+                    st.backtracks += 1;
+                }
+                st.unbind(var);
             }
             return false;
         }
-        on_solution(bindings)
+        st.progress += 1;
+        on_solution(&st.bindings)
     }
 }
 
@@ -895,6 +1366,209 @@ mod tests {
             false
         });
         assert_eq!(count, 2); // both cycle nodes
+    }
+
+    #[test]
+    fn projection_emits_each_tuple_once_with_one_witness() {
+        // x -a-> {m1, m2} -b-> t: two full morphisms that project onto the
+        // same (x, t). Pushdown emits the tuple once (the middle variable
+        // is deduplicated at the enumerator); the unprojected reference
+        // reports both morphisms.
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let mut b = GraphBuilder::new(alpha);
+        let a = b.alphabet().sym("a");
+        let bb = b.alphabet().sym("b");
+        let s = b.add_node();
+        let m1 = b.add_node();
+        let m2 = b.add_node();
+        let t = b.add_node();
+        b.add_edge(s, a, m1);
+        b.add_edge(s, a, m2);
+        b.add_edge(m1, bb, t);
+        b.add_edge(m2, bb, t);
+        let db = b.freeze();
+        let build = || {
+            let mut p = Problem::new(3);
+            p.free_edges.push(FreeEdge {
+                src: NodeVar(0),
+                dst: NodeVar(1),
+                cache: ReachCache::new(nfa(&db, "a")),
+            });
+            p.free_edges.push(FreeEdge {
+                src: NodeVar(1),
+                dst: NodeVar(2),
+                cache: ReachCache::new(nfa(&db, "b")),
+            });
+            p
+        };
+        let run = |opts: SolveOptions| {
+            let mut p = build();
+            let mut calls = 0usize;
+            let mut tuples: Vec<(NodeId, NodeId)> = Vec::new();
+            p.solve_with(
+                &db,
+                &HashMap::new(),
+                &[NodeVar(0), NodeVar(2)],
+                &opts,
+                &mut |b| {
+                    calls += 1;
+                    tuples.push((b[0].unwrap(), b[2].unwrap()));
+                    false
+                },
+            );
+            tuples.sort();
+            tuples.dedup();
+            (calls, tuples, p.pipeline)
+        };
+        let (calls_proj, tuples_proj, stats) = run(SolveOptions::pipeline().projected());
+        let (calls_full, tuples_full, _) = run(SolveOptions::naive());
+        assert_eq!(tuples_proj, tuples_full);
+        assert_eq!(tuples_proj, vec![(s, t)]);
+        assert_eq!(calls_proj, 1, "pushdown must emit the projection once");
+        assert_eq!(calls_full, 2, "the reference enumerates both morphisms");
+        // Productive candidates (subtrees that emitted and continued) are
+        // not backtracks; this enumeration wastes no search at all.
+        assert_eq!(stats.expect("stats recorded").backtrack_steps, 0);
+    }
+
+    #[test]
+    fn boolean_fast_path_is_backtrack_free_when_arc_consistent() {
+        // Chain x -a-> y -b-> z on the path a·b: satisfiable, and the prune
+        // phase reaches arc consistency, so the Boolean call (empty output
+        // under projection = every variable existential) takes the first
+        // supported candidate at every level: zero backtracking steps.
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let mut b = GraphBuilder::new(alpha);
+        let a = b.alphabet().sym("a");
+        let bb = b.alphabet().sym("b");
+        let n0 = b.add_node();
+        let n1 = b.add_node();
+        let n2 = b.add_node();
+        b.add_edge(n0, a, n1);
+        b.add_edge(n1, bb, n2);
+        let db = b.freeze();
+        let mut p = Problem::new(3);
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(0),
+            dst: NodeVar(1),
+            cache: ReachCache::new(nfa(&db, "a")),
+        });
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(1),
+            dst: NodeVar(2),
+            cache: ReachCache::new(nfa(&db, "b")),
+        });
+        let mut found = false;
+        let hit = p.solve_with(
+            &db,
+            &HashMap::new(),
+            &[],
+            &SolveOptions::pipeline().projected(),
+            &mut |_| {
+                found = true;
+                true
+            },
+        );
+        assert!(hit && found);
+        let stats = p.pipeline.expect("pipeline stats recorded");
+        assert_eq!(
+            stats.backtrack_steps, 0,
+            "arc-consistent satisfiable Boolean must not backtrack"
+        );
+        // Every variable of the order is existential for a Boolean call.
+        assert_eq!(stats.eliminated_vars, stats.var_order.len());
+        assert_eq!(stats.eliminated_vars, 3);
+    }
+
+    #[test]
+    fn group_def_language_semi_join_prunes_domains() {
+        // A group-only problem used to skip pruning entirely; with the
+        // def-language necessary condition, every member's endpoints
+        // collapse to the ab-path before the synchronized search runs.
+        let alpha = Arc::new(Alphabet::from_chars("abc"));
+        let mut b = GraphBuilder::new(alpha);
+        let a = b.alphabet().sym("a");
+        let bb = b.alphabet().sym("b");
+        let c = b.alphabet().sym("c");
+        let s = b.add_node();
+        let m = b.add_node();
+        let t = b.add_node();
+        b.add_edge(s, a, m);
+        b.add_edge(m, bb, t);
+        // Noise the def language rejects.
+        let x = b.add_node();
+        let y = b.add_node();
+        b.add_edge(x, c, y);
+        let db = b.freeze();
+        let mut p = Problem::new(4);
+        let def = nfa(&db, "ab");
+        p.groups.push(Group::new(
+            vec![NodeVar(0), NodeVar(2)],
+            vec![NodeVar(1), NodeVar(3)],
+            SyncSpec::equality_group(Some(def), 2),
+        ));
+        let mut sols = Vec::new();
+        p.solve_with(
+            &db,
+            &HashMap::new(),
+            &[],
+            &SolveOptions::pipeline(),
+            &mut |b| {
+                sols.push((b[0].unwrap(), b[1].unwrap(), b[2].unwrap(), b[3].unwrap()));
+                false
+            },
+        );
+        assert_eq!(sols, vec![(s, t, s, t)]);
+        let stats = p.pipeline.expect("group semi-joins record stats");
+        assert!(stats.rounds >= 1, "group walkers must drive prune rounds");
+        // 4 variables × 5 nodes before; singletons after.
+        assert_eq!(stats.total_before(), 20);
+        assert_eq!(stats.total_after(), 4);
+    }
+
+    #[test]
+    fn equality_group_borrows_most_selective_member_for_pruning() {
+        // Equality relation with members [Σ⁺-like, "ab"]: the first member
+        // is unselective, but the shared word must also match the second,
+        // so *both* walkers prune under "ab" — a group-only problem still
+        // collapses its domains.
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let mut b = GraphBuilder::new(alpha);
+        let a = b.alphabet().sym("a");
+        let bb = b.alphabet().sym("b");
+        let s = b.add_node();
+        let m = b.add_node();
+        let t = b.add_node();
+        b.add_edge(s, a, m);
+        b.add_edge(m, bb, t);
+        b.add_edge(t, a, s); // extra arcs so (a|b)+ stays unselective
+        let db = b.freeze();
+        let mut p = Problem::new(4);
+        p.groups.push(Group::new(
+            vec![NodeVar(0), NodeVar(2)],
+            vec![NodeVar(1), NodeVar(3)],
+            SyncSpec {
+                nfas: vec![nfa(&db, "(a|b)+"), nfa(&db, "ab")],
+                relation: crate::relation::RegularRelation::equality(2),
+            },
+        ));
+        let mut sols = Vec::new();
+        p.solve_with(
+            &db,
+            &HashMap::new(),
+            &[],
+            &SolveOptions::pipeline(),
+            &mut |b| {
+                sols.push((b[0].unwrap(), b[1].unwrap(), b[2].unwrap(), b[3].unwrap()));
+                false
+            },
+        );
+        assert_eq!(sols, vec![(s, t, s, t)]);
+        let stats = p.pipeline.expect("selective member drives pruning");
+        assert!(stats.rounds >= 1);
+        // 4 variables × 3 nodes before; ab-path endpoints only after.
+        assert_eq!(stats.total_before(), 12);
+        assert_eq!(stats.total_after(), 4);
     }
 
     #[test]

@@ -11,11 +11,16 @@
 //! - random **ECRPQs** (regular-relation groups),
 //!
 //! over random multigraphs, comparing `answers()` byte-for-byte and
-//! `boolean()`/`check()` across the naive, full-pipeline and
-//! early-exit-capped configurations — including `check` on out-of-range
-//! node ids (which must be quietly empty, never a panic). A dedicated case
-//! drives the adversarial long-chain shape where the adaptive probe must
-//! route prune fills to per-source sweeps instead of batched wavefronts.
+//! `boolean()`/`check()` across the naive, full-pipeline,
+//! early-exit-capped and **projection-pushdown** configurations — the
+//! pushdown-projected answer relation must equal the naive
+//! full-enumerate-then-project reference on every family (with and without
+//! plan/prune, so the dynamic existential cutoff is exercised on both
+//! paths) — including `check` on out-of-range node ids (which must be
+//! quietly empty, never a panic). Dedicated cases drive the adversarial
+//! long-chain shape where the adaptive probe must route prune fills to
+//! per-source sweeps, and the dedup-correctness edge case where an output
+//! variable is also the last shared variable of the plan order.
 
 use cxrpq::core::{
     Crpq, CrpqEvaluator, Cxrpq, Ecrpq, EcrpqEvaluator, GraphPattern, PipelineStats,
@@ -100,10 +105,29 @@ fn assert_agreement(
     assert!(no_stats.is_none(), "naive runs must not report pipeline stats");
     let (ans_piped, stats) = ev.answers(db, &piped);
     assert_eq!(ans_naive, ans_piped, "pipeline changed the answer relation");
+    // Projection pushdown (existential elimination + enumerator dedup) must
+    // reproduce the full-enumerate-then-project reference — both on top of
+    // the pipeline and on the bare naive path (no plan, no domains), which
+    // isolates the dynamic cutoff logic.
+    let (ans_proj, _) = ev.answers(db, &piped.projected());
+    assert_eq!(
+        ans_naive, ans_proj,
+        "projection pushdown changed the answer relation"
+    );
+    let (ans_proj_naive, _) = ev.answers(db, &naive.projected());
+    assert_eq!(
+        ans_naive, ans_proj_naive,
+        "unplanned projection pushdown changed the answer relation"
+    );
 
     let b_naive = ev.boolean(db, &naive);
     assert_eq!(b_naive, ev.boolean(db, &piped), "pipeline changed boolean()");
     assert_eq!(b_naive, ev.boolean(db, &early), "early-exit cap changed boolean()");
+    assert_eq!(
+        b_naive,
+        ev.boolean(db, &early.projected()),
+        "all-existential boolean fast path changed boolean()"
+    );
 
     // check() on up to three real answers, one random tuple, and one tuple
     // with an out-of-range node id (must be false everywhere, no panic —
@@ -120,6 +144,11 @@ fn assert_agreement(
         assert_eq!(ev.check(db, t, &naive), expected, "naive check disagrees on {t:?}");
         assert_eq!(ev.check(db, t, &piped), expected, "piped check disagrees on {t:?}");
         assert_eq!(ev.check(db, t, &early), expected, "early check disagrees on {t:?}");
+        assert_eq!(
+            ev.check(db, t, &early.projected()),
+            expected,
+            "projected check disagrees on {t:?}"
+        );
     }
     stats
 }
@@ -230,4 +259,51 @@ fn long_chain_routes_per_source_sweeps_and_agrees() {
         "long-diameter chain must route prune fills to per-source sweeps"
     );
     assert!(stats.rounds >= 1);
+}
+
+/// The dedup-correctness edge case called out in the plan's projection
+/// split: the output variable `z` is also the *last shared variable* — it
+/// closes two constraints at the end of the plan order, and the non-output
+/// middle variable `y` is bound before it. Distinct `y`-branches then reach
+/// identical `(x, z)` projections, which the enumerator must emit exactly
+/// once while still reporting every distinct tuple.
+#[test]
+fn output_as_last_shared_variable_dedups_correctly() {
+    // Diamond fan: s -a-> {m1, m2} -b-> {t1, t2}, plus s -c-> t1 so the
+    // join edge (x, c, z) shares z with the chain's last hop.
+    let alpha = Arc::new(Alphabet::from_chars("abc"));
+    let (db, names) = {
+        let mut b = cxrpq::graph::GraphBuilder::new(alpha);
+        let a = b.alphabet().sym("a");
+        let bb = b.alphabet().sym("b");
+        let c = b.alphabet().sym("c");
+        let s = b.add_node();
+        let m1 = b.add_node();
+        let m2 = b.add_node();
+        let t1 = b.add_node();
+        let t2 = b.add_node();
+        b.add_edge(s, a, m1);
+        b.add_edge(s, a, m2);
+        b.add_edge(m1, bb, t1);
+        b.add_edge(m2, bb, t1);
+        b.add_edge(m2, bb, t2);
+        b.add_edge(s, c, t1);
+        (b.freeze(), (s, t1, t2))
+    };
+    let mut alpha2 = db.alphabet().clone();
+    let q = Crpq::build(
+        &[("x", "a", "y"), ("y", "b", "z"), ("x", "c", "z")],
+        &["x", "z"],
+        &mut alpha2,
+    )
+    .unwrap();
+    let ev = CrpqEvaluator::new(&q);
+    let (naive, _) = ev.answers_opts(&db, &SolveOptions::naive());
+    let (projected, _) = ev.answers_opts(&db, &SolveOptions::pipeline().projected());
+    assert_eq!(naive, projected);
+    // Both a-branches reach t1, but only via the c-edge-consistent pair.
+    let (s, t1, _) = names;
+    assert_eq!(naive, BTreeSet::from([vec![s, t1]]));
+    let mut rng = StdRng::seed_from_u64(11);
+    assert_agreement(&ev, &db, &mut rng, 2);
 }
