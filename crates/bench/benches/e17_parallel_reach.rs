@@ -288,7 +288,14 @@ fn main() {
         p.sync_t1_ms / p.sync_tn_ms
     );
     if p.threads == 1 {
-        println!("  (single-core host: parallel speedup not measurable here)");
+        println!();
+        println!("  ============================= WARNING =============================");
+        println!("  Only ONE worker thread was detected on this host. The \"parallel\"");
+        println!("  numbers above are PLACEHOLDERS: both configurations ran the same");
+        println!("  single-threaded code path, so the speedup column says nothing");
+        println!("  about the frontier parallelism. Re-run on a multi-core host before");
+        println!("  quoting any parallel figure from this bench or its JSON record.");
+        println!("  ===================================================================");
     }
 
     // JSON record at the workspace root, same conventions as e16.
@@ -302,7 +309,11 @@ fn main() {
     });
     let mut json = String::from("{\n  \"bench\": \"e17_parallel_reach\",\n  \"mode\": ");
     json.push_str(if fast { "\"fast\"" } else { "\"full\"" });
-    json.push_str(&format!(",\n  \"threads_detected\": {},\n  \"shapes\": [\n", threads));
+    json.push_str(&format!(
+        ",\n  \"threads_detected\": {},\n  \"parallel_numbers_are_placeholder\": {},\n  \"shapes\": [\n",
+        threads,
+        threads == 1
+    ));
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"shape\": \"{}\", \"nodes\": {}, \"edges\": {}, \"sources\": {}, \

@@ -193,6 +193,30 @@ fn main() {
             iters,
         ));
     }
+    // Chain projected onto its tail: the planner's output-biased
+    // tie-breaking places x5 first within the cheap c-atom, so every other
+    // variable falls into the existential suffix (1-of-N output).
+    {
+        let n = 480 / scale;
+        let db = random_ab_rare_c(n, 4 * n, n / 40, 0xc4a1);
+        let r = run_shape(
+            "chain_tail",
+            &db,
+            &[
+                ("x1", "ab", "x2"),
+                ("x2", "ab", "x3"),
+                ("x3", "ba", "x4"),
+                ("x4", "c", "x5"),
+            ],
+            &["x5"],
+            iters,
+        );
+        assert_eq!(
+            r.eliminated_vars, 4,
+            "chain_tail: output bias must leave only x5 in the prefix"
+        );
+        results.push(r);
+    }
     // Diamond: two branches re-joining on a rare atom.
     {
         let n = 480 / scale;

@@ -1,0 +1,547 @@
+//! E19: streaming ingest over the layered delta-CSR storage.
+//!
+//! Two questions, measured instead of guessed:
+//!
+//! 1. **Static overhead** — after the merged-iteration refactor, what do
+//!    the e16 reach searches cost on fully-compacted (delta-free) graphs?
+//!    The same four shapes as `e16_reach_csr` are rebuilt and re-timed;
+//!    against the committed `BENCH_reach.json` the ratio must stay within
+//!    a few percent of the pre-refactor slice path (the acceptance bar for
+//!    the layered-storage PR is ~5%).
+//!
+//! 2. **Ingest strategy crossover** — an interleaved insert/query workload
+//!    (batches of appended arcs, a fixed query mix after every batch) run
+//!    under three maintenance strategies:
+//!    - `refreeze`: rebuild the whole CSR from scratch after every batch
+//!      (the only option before this PR);
+//!    - `delta`: append into the overlay, queries iterate merged runs;
+//!    - `compact`: append into the overlay, then fold touched rows back
+//!      into the base before querying (incremental freeze).
+//!
+//!    The workload runs over a growing random multigraph at several delta
+//!    sizes (small overlays favour `delta`; large overlays amortize the
+//!    row merges) plus streaming variants of the e16 line and grid shapes.
+//!    All three strategies must produce identical answer sets.
+//!
+//! Run: `cargo bench -p cxrpq-bench --bench e19_streaming_ingest` (add
+//! `-- --fast` for the CI smoke configuration). Full runs record
+//! `BENCH_streaming.json` at the workspace root; override the path (and
+//! enable recording in fast mode) with `BENCH_STREAMING_OUT`.
+
+use cxrpq_automata::{parse_regex, Nfa};
+use cxrpq_core::reach::{reach_set, Direction};
+use cxrpq_graph::{Alphabet, GraphBuilder, GraphDb, NodeId, Symbol};
+use cxrpq_workloads::graphs;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64() * 1e3
+}
+
+fn nfa_of(alpha: &Alphabet, pattern: &str) -> Nfa {
+    let mut a = alpha.clone();
+    Nfa::from_regex(&parse_regex(pattern, &mut a).unwrap())
+}
+
+/// Deterministic splitmix-style stream (no RNG dependency).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> usize {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as usize
+    }
+}
+
+// ---------------------------------------------------------------------
+// Part 1: static overhead on the e16 shapes.
+// ---------------------------------------------------------------------
+
+struct StaticResult {
+    shape: &'static str,
+    nodes: usize,
+    edges: usize,
+    reach_ms: f64,
+    /// `reach_csr_ms` of the committed pre-refactor record, if available.
+    baseline_ms: Option<f64>,
+}
+
+impl StaticResult {
+    fn overhead(&self) -> Option<f64> {
+        self.baseline_ms.map(|b| self.reach_ms / b)
+    }
+}
+
+/// Minimal extraction of `"reach_csr_ms"` for one shape from the committed
+/// `BENCH_reach.json` (hand-rolled like the writers; no JSON dependency).
+fn baseline_reach_ms(record: Option<&str>, shape: &str) -> Option<f64> {
+    let text = record?;
+    let line = text
+        .lines()
+        .find(|l| l.contains(&format!("\"shape\": \"{shape}\"")))?;
+    let key = "\"reach_csr_ms\": ";
+    let at = line.find(key)? + key.len();
+    line[at..]
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn static_shapes(iters: usize, scale: usize, record: Option<&str>) -> Vec<StaticResult> {
+    let mut out = Vec::new();
+    let mut push = |shape: &'static str, db: &GraphDb, nfa: &Nfa, from: NodeId| {
+        assert!(db.is_compacted(), "{shape}: static shapes carry no overlay");
+        // Warm up before timing — the e16 record was taken on a hot cache
+        // (its CSR pass runs after the legacy baseline), so a cold first
+        // pass here would overstate the merged-iteration overhead.
+        for _ in 0..iters {
+            std::hint::black_box(reach_set(db, nfa, from, Direction::Forward, None));
+        }
+        let reach_ms = median_ms(iters, || {
+            std::hint::black_box(reach_set(db, nfa, from, Direction::Forward, None));
+        });
+        out.push(StaticResult {
+            shape,
+            nodes: db.node_count(),
+            edges: db.edge_count(),
+            reach_ms,
+            baseline_ms: baseline_reach_ms(record, shape),
+        });
+    };
+
+    // Same construction parameters as e16_reach_csr's full mode (scaled
+    // down only in fast mode, where the record comparison is skipped).
+    {
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let n = 1200 / scale;
+        let word: Vec<Symbol> = alpha.parse_word(&"ab".repeat(n)).unwrap();
+        let (db, (s1, _), _) = graphs::two_paths(alpha, &word, &word);
+        push("line", &db, &nfa_of(db.alphabet(), "(ab)*"), s1);
+    }
+    {
+        let alpha = Arc::new(Alphabet::from_chars("ab"));
+        let side = 28 / scale.min(2);
+        let db = graphs::grid_labeled(alpha, side, side, 7);
+        push("grid", &db, &nfa_of(db.alphabet(), "(a|b)*a"), NodeId(0));
+    }
+    {
+        let alpha = Arc::new(Alphabet::from_chars("abc"));
+        let n = 200 / scale.min(2);
+        let db = graphs::random_labeled(alpha, n, 4 * n, 99);
+        let a = db.alphabet().sym("a");
+        let s1 = db
+            .nodes()
+            .find(|&m| !db.successors_with(m, a).is_empty())
+            .expect("an a-source");
+        push("random", &db, &nfa_of(db.alphabet(), "a(a|b)*c"), s1);
+    }
+    {
+        let alpha = Arc::new(Alphabet::from_chars("abcdefghijklmnop"));
+        let n = 96 / scale.min(2);
+        let db = graphs::random_labeled(alpha, n, 24 * n, 41);
+        let a = db.alphabet().sym("a");
+        let s1 = db
+            .nodes()
+            .find(|&m| !db.successors_with(m, a).is_empty())
+            .expect("an a-source");
+        push("label-dense", &db, &nfa_of(db.alphabet(), "(a|b)(a|b|c|d)*"), s1);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Part 2: interleaved insert/query under three maintenance strategies.
+// ---------------------------------------------------------------------
+
+/// One streaming scenario: a frozen seed graph, a stream of arc batches,
+/// and a query mix to run after every batch.
+struct Scenario {
+    shape: &'static str,
+    seed_db: GraphDb,
+    stream: Vec<Vec<(NodeId, Symbol, NodeId)>>,
+    nfa: Nfa,
+    sources: Vec<NodeId>,
+}
+
+impl Scenario {
+    fn query(&self, db: &GraphDb) -> usize {
+        let mut total = 0;
+        for &s in &self.sources {
+            total += reach_set(db, &self.nfa, s, Direction::Forward, None).len();
+        }
+        total
+    }
+
+    fn final_answers(&self, db: &GraphDb) -> Vec<HashSet<NodeId>> {
+        self.sources
+            .iter()
+            .map(|&s| reach_set(db, &self.nfa, s, Direction::Forward, None))
+            .collect()
+    }
+}
+
+struct StrategyRun {
+    ingest_ms: f64,
+    query_ms: f64,
+}
+
+impl StrategyRun {
+    fn total_ms(&self) -> f64 {
+        self.ingest_ms + self.query_ms
+    }
+}
+
+/// Runs the interleaved workload once per strategy, asserting all three
+/// converge on the same final answers. Per-phase times are medians over
+/// `iters` full workload replays.
+fn run_scenario(sc: &Scenario, iters: usize) -> (StrategyRun, StrategyRun, StrategyRun, usize) {
+    // Answer agreement on the final graph, once.
+    let final_db = {
+        let mut db = sc.seed_db.clone();
+        for batch in &sc.stream {
+            db.append_batch(batch);
+        }
+        db
+    };
+    let reference = sc.final_answers(&final_db);
+    {
+        let mut compacted = sc.seed_db.clone();
+        for batch in &sc.stream {
+            compacted.append_batch(batch);
+            compacted.compact();
+        }
+        assert_eq!(sc.final_answers(&compacted), reference, "{}: compact diverged", sc.shape);
+        let refrozen = final_db.to_builder().freeze();
+        assert_eq!(sc.final_answers(&refrozen), reference, "{}: refreeze diverged", sc.shape);
+    }
+
+    type IngestFn = Box<dyn FnMut(&[(NodeId, Symbol, NodeId)]) -> GraphDb>;
+    let timed = |mut ingest: IngestFn| {
+        let mut ingest_ms = 0.0;
+        let mut query_ms = 0.0;
+        let run = median_ms(iters, || {
+            let mut i_acc = Duration::ZERO;
+            let mut q_acc = Duration::ZERO;
+            for batch in &sc.stream {
+                let t0 = Instant::now();
+                let db = ingest(batch);
+                i_acc += t0.elapsed();
+                let t1 = Instant::now();
+                std::hint::black_box(sc.query(&db));
+                q_acc += t1.elapsed();
+            }
+            ingest_ms = i_acc.as_secs_f64() * 1e3;
+            query_ms = q_acc.as_secs_f64() * 1e3;
+        });
+        let _ = run;
+        StrategyRun { ingest_ms, query_ms }
+    };
+
+    // refreeze: accumulate arcs, rebuild the whole CSR every batch.
+    let refreeze = {
+        let mut acc: Vec<(NodeId, Symbol, NodeId)> = Vec::new();
+        let seed = sc.seed_db.clone();
+        timed(Box::new(move |batch| {
+            acc.extend_from_slice(batch);
+            let mut b = seed.to_builder();
+            for &(u, a, v) in &acc {
+                b.add_edge(u, a, v);
+            }
+            b.freeze()
+        }))
+    };
+    // delta: append into the overlay, query merged runs. The overlay is
+    // carried across batches (worst case for merged iteration).
+    let delta = {
+        let mut db = sc.seed_db.clone();
+        timed(Box::new(move |batch| {
+            db.append_batch(batch);
+            db.clone()
+        }))
+    };
+    // compact: append, then fold touched rows back before querying.
+    let compact = {
+        let mut db = sc.seed_db.clone();
+        timed(Box::new(move |batch| {
+            db.append_batch(batch);
+            db.compact();
+            db.clone()
+        }))
+    };
+    (refreeze, delta, compact, sc.stream.len())
+}
+
+/// A growing random multigraph: `n` nodes, `base` frozen arcs, `extra`
+/// streamed arcs in `batches` equal batches.
+fn random_scenario(
+    shape: &'static str,
+    n: usize,
+    base: usize,
+    extra: usize,
+    batches: usize,
+    seed: u64,
+) -> Scenario {
+    let alpha = Arc::new(Alphabet::from_chars("abc"));
+    let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| alpha.sym(s)).collect();
+    let mut mix = Mix(seed);
+    let mut b = GraphBuilder::new(alpha);
+    for _ in 0..n {
+        b.add_node();
+    }
+    for _ in 0..base {
+        let (u, v) = (mix.next() % n, mix.next() % n);
+        b.add_edge(NodeId(u as u32), syms[mix.next() % 3], NodeId(v as u32));
+    }
+    let seed_db = b.freeze();
+    let per = extra.div_ceil(batches);
+    let stream: Vec<Vec<(NodeId, Symbol, NodeId)>> = (0..batches)
+        .map(|_| {
+            (0..per)
+                .map(|_| {
+                    (
+                        NodeId((mix.next() % n) as u32),
+                        syms[mix.next() % 3],
+                        NodeId((mix.next() % n) as u32),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let nfa = nfa_of(seed_db.alphabet(), "a(a|b)*c");
+    let sources: Vec<NodeId> = (0..4).map(|i| NodeId((i * (n / 4)) as u32)).collect();
+    Scenario {
+        shape,
+        seed_db,
+        stream,
+        nfa,
+        sources,
+    }
+}
+
+/// The e16 line shape, streamed: the second `(ab)^m` path is appended arc
+/// by arc onto a frozen first path.
+fn line_scenario(m: usize, batches: usize) -> Scenario {
+    let alpha = Arc::new(Alphabet::from_chars("ab"));
+    let word: Vec<Symbol> = alpha.parse_word(&"ab".repeat(m)).unwrap();
+    let mut b = GraphBuilder::new(alpha);
+    let s1 = b.add_node();
+    let mut prev = s1;
+    for &a in &word {
+        let next = b.add_node();
+        b.add_edge(prev, a, next);
+        prev = next;
+    }
+    // Pre-allocate the second path's nodes; its arcs arrive as the stream.
+    let s2 = b.add_node();
+    let mut arcs = Vec::with_capacity(word.len());
+    let mut p = s2;
+    for &a in &word {
+        let next = b.add_node();
+        arcs.push((p, a, next));
+        p = next;
+    }
+    let seed_db = b.freeze();
+    let per = arcs.len().div_ceil(batches);
+    let stream = arcs.chunks(per).map(<[_]>::to_vec).collect();
+    let nfa = nfa_of(seed_db.alphabet(), "(ab)*");
+    Scenario {
+        shape: "line",
+        seed_db,
+        stream,
+        nfa,
+        sources: vec![s1, s2],
+    }
+}
+
+/// The e16 grid shape, streamed: a frozen `rows × cols` grid gains random
+/// labelled shortcut arcs.
+fn grid_scenario(side: usize, extra: usize, batches: usize, seed: u64) -> Scenario {
+    let alpha = Arc::new(Alphabet::from_chars("ab"));
+    let seed_db = graphs::grid_labeled(alpha, side, side, 7);
+    let n = seed_db.node_count();
+    let syms: Vec<Symbol> = ["a", "b"].iter().map(|s| seed_db.alphabet().sym(s)).collect();
+    let mut mix = Mix(seed);
+    let per = extra.div_ceil(batches);
+    let stream: Vec<Vec<(NodeId, Symbol, NodeId)>> = (0..batches)
+        .map(|_| {
+            (0..per)
+                .map(|_| {
+                    (
+                        NodeId((mix.next() % n) as u32),
+                        syms[mix.next() % 2],
+                        NodeId((mix.next() % n) as u32),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let nfa = nfa_of(seed_db.alphabet(), "(a|b)*a");
+    Scenario {
+        shape: "grid",
+        seed_db,
+        stream,
+        nfa,
+        sources: vec![NodeId(0), NodeId((n / 2) as u32)],
+    }
+}
+
+struct StreamResult {
+    shape: String,
+    nodes: usize,
+    base_edges: usize,
+    delta_edges: usize,
+    batches: usize,
+    refreeze: StrategyRun,
+    delta: StrategyRun,
+    compact: StrategyRun,
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let iters = if fast { 3 } else { 9 };
+    let scale = if fast { 4 } else { 1 };
+
+    // Part 1: static merged-iteration overhead on the e16 shapes.
+    let record = if fast {
+        None // scaled-down shapes are not comparable to the full record
+    } else {
+        std::fs::read_to_string(format!(
+            "{}/../../BENCH_reach.json",
+            env!("CARGO_MANIFEST_DIR")
+        ))
+        .ok()
+    };
+    let statics = static_shapes(iters, scale, record.as_deref());
+    println!(
+        "{:<12} {:>7} {:>7} | {:>10} {:>10} {:>9}",
+        "static", "nodes", "edges", "reach now", "recorded", "overhead"
+    );
+    for s in &statics {
+        match (s.baseline_ms, s.overhead()) {
+            (Some(b), Some(x)) => println!(
+                "{:<12} {:>7} {:>7} | {:>8.3}ms {:>8.3}ms {:>8.2}x",
+                s.shape, s.nodes, s.edges, s.reach_ms, b, x
+            ),
+            _ => println!(
+                "{:<12} {:>7} {:>7} | {:>8.3}ms {:>10} {:>9}",
+                s.shape, s.nodes, s.edges, s.reach_ms, "-", "-"
+            ),
+        }
+    }
+
+    // Part 2: ingest strategies over growing graphs. The random family
+    // sweeps the overlay size to expose the delta-vs-compact crossover.
+    let scenarios: Vec<Scenario> = vec![
+        random_scenario("random-small-delta", 512 / scale, 2048 / scale, 128 / scale, 8, 0xe19),
+        random_scenario("random-mid-delta", 512 / scale, 2048 / scale, 1024 / scale, 8, 0xe19),
+        random_scenario("random-large-delta", 512 / scale, 2048 / scale, 4096 / scale, 8, 0xe19),
+        line_scenario(600 / scale, 6),
+        grid_scenario(24 / scale.min(2), 256 / scale, 8, 0x61d),
+    ];
+    let mut results = Vec::new();
+    for sc in &scenarios {
+        let (refreeze, delta, compact, batches) = run_scenario(sc, iters);
+        results.push(StreamResult {
+            shape: sc.shape.to_string(),
+            nodes: sc.seed_db.node_count(),
+            base_edges: sc.seed_db.edge_count(),
+            delta_edges: sc.stream.iter().map(Vec::len).sum(),
+            batches,
+            refreeze,
+            delta,
+            compact,
+        });
+    }
+
+    println!(
+        "\n{:<20} {:>6} {:>6} {:>6} | {:>9} {:>9} {:>9} | best",
+        "stream", "nodes", "base", "delta", "refreeze", "delta", "compact"
+    );
+    for r in &results {
+        let (rf, dl, cp) = (
+            r.refreeze.total_ms(),
+            r.delta.total_ms(),
+            r.compact.total_ms(),
+        );
+        let best = if dl <= rf && dl <= cp {
+            "delta"
+        } else if cp <= rf {
+            "compact"
+        } else {
+            "refreeze"
+        };
+        println!(
+            "{:<20} {:>6} {:>6} {:>6} | {:>7.2}ms {:>7.2}ms {:>7.2}ms | {}",
+            r.shape, r.nodes, r.base_edges, r.delta_edges, rf, dl, cp, best
+        );
+    }
+
+    let explicit = std::env::var("BENCH_STREAMING_OUT").ok();
+    if fast && explicit.is_none() {
+        println!("\nfast mode: BENCH_streaming.json not rewritten (set BENCH_STREAMING_OUT to record)");
+        return;
+    }
+    let out_path = explicit.unwrap_or_else(|| {
+        format!("{}/../../BENCH_streaming.json", env!("CARGO_MANIFEST_DIR"))
+    });
+    let mut json = String::from("{\n  \"bench\": \"e19_streaming_ingest\",\n  \"mode\": ");
+    json.push_str(if fast { "\"fast\"" } else { "\"full\"" });
+    json.push_str(",\n  \"static_overhead\": [\n");
+    for (i, s) in statics.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"nodes\": {}, \"edges\": {}, \"reach_ms\": {:.4}, \
+             \"recorded_reach_csr_ms\": {}, \"overhead\": {}}}{}\n",
+            s.shape,
+            s.nodes,
+            s.edges,
+            s.reach_ms,
+            s.baseline_ms
+                .map_or("null".into(), |b| format!("{b:.4}")),
+            s.overhead().map_or("null".into(), |x| format!("{x:.3}")),
+            if i + 1 < statics.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"streaming\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shape\": \"{}\", \"nodes\": {}, \"base_edges\": {}, \"delta_edges\": {}, \
+             \"batches\": {}, \
+             \"refreeze_ingest_ms\": {:.4}, \"refreeze_query_ms\": {:.4}, \
+             \"delta_ingest_ms\": {:.4}, \"delta_query_ms\": {:.4}, \
+             \"compact_ingest_ms\": {:.4}, \"compact_query_ms\": {:.4}}}{}\n",
+            r.shape,
+            r.nodes,
+            r.base_edges,
+            r.delta_edges,
+            r.batches,
+            r.refreeze.ingest_ms,
+            r.refreeze.query_ms,
+            r.delta.ingest_ms,
+            r.delta.query_ms,
+            r.compact.ingest_ms,
+            r.compact.query_ms,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("warning: could not write {out_path}: {e}");
+    } else {
+        println!("\nrecorded {out_path}");
+    }
+}

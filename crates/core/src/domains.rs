@@ -18,7 +18,10 @@
 //! other edges then fill over. Fills are *domain-restricted*:
 //! [`ReachCache::fill_targets`] stripes cover only the current domain,
 //! never all of `db.nodes()`, so every later round costs traffic
-//! proportional to what pruning has already achieved.
+//! proportional to what pruning has already achieved. Under streaming
+//! appends the caches invalidate per label ([`GraphDb::delta_since`]): an
+//! edge automaton whose alphabet misses every appended label keeps its
+//! fills across generations.
 //!
 //! **Adaptive probe.** Batched wavefront fills win ~3–4× on random and
 //! label-dense shapes but lose to per-source sweeps on long-diameter chains

@@ -152,14 +152,14 @@ impl RestrictedSearch<'_> {
             }
         }
         for (l, t) in moves {
-            // Sym moves expand over the contiguous per-label CSR range;
-            // Any moves take the whole (label-sorted) row.
+            // Sym moves expand over the merged per-label run (base CSR
+            // range + delta overlay); Any moves take the whole merged row.
             let range = match l {
                 Label::Sym(a) => self.db.successors_with(node, a),
                 Label::Any => self.db.out_edges(node),
                 Label::Eps => unreachable!("ε filtered above"),
             };
-            for &(b, next) in range {
+            for (b, next) in range {
                 match self.sem {
                     PathSemantics::SimplePath => {
                         if self.visited_nodes[next.index()] {

@@ -3,8 +3,9 @@
 //! The [`Problem`](crate::solve::Problem)'s free edges and groups induce a
 //! *constraint graph* over node variables: every constraint connects the
 //! variables it mentions. Before any search runs, [`SolvePlan::build`]
-//! estimates a traversal cost for each constraint from the database's CSR
-//! label statistics ([`GraphDb::label_edge_count`]) — an automaton whose
+//! estimates a traversal cost for each constraint from the database's
+//! label statistics ([`GraphDb::label_edge_count`], maintained across
+//! streaming appends, so plans stay delta-aware) — an automaton whose
 //! transition symbols label few database arcs explores a small product
 //! region and filters hard — and emits a *connected, cheapest-first*
 //! variable order: start at the cheapest constraint, then repeatedly take
@@ -220,36 +221,52 @@ impl SolvePlan {
         // Prim-style greedy: repeatedly take the cheapest unused constraint
         // touching the ordered prefix; when no constraint connects (a new
         // component of the constraint graph), take the cheapest remaining.
+        // Ties break toward constraints that place an output variable, and
+        // within a constraint output variables are placed first: the last
+        // output lands as early as the data allows, which shortens the
+        // enumerate prefix and widens the existential suffix that
+        // projection pushdown never backtracks over.
+        let mut is_output = vec![false; node_count];
+        for v in output {
+            is_output[v.index()] = true;
+        }
         let mut in_order = vec![false; node_count];
         let mut used = vec![false; constraints.len()];
         let mut var_order: Vec<NodeVar> = Vec::new();
         loop {
-            let mut best: Option<(u64, usize, bool)> = None; // (cost, idx, connected)
+            // (cost, places-no-output, idx) per candidate; connectivity
+            // dominates, cost breaks ties, output bias breaks cost ties.
+            let mut best: Option<((u64, bool, usize), bool)> = None;
             for (i, c) in constraints.iter().enumerate() {
                 if used[i] {
                     continue;
                 }
                 let connected = c.vars.iter().any(|v| in_order[v.index()]);
-                let key = (c.cost, i, connected);
+                let places_output = c
+                    .vars
+                    .iter()
+                    .any(|v| !in_order[v.index()] && is_output[v.index()]);
+                let key = (c.cost, !places_output, i);
                 let better = match best {
                     None => true,
-                    // Connectivity dominates; cost breaks ties, then index.
-                    Some((bc, bi, bconn)) => match (connected, bconn) {
+                    Some((bkey, bconn)) => match (connected, bconn) {
                         (true, false) => true,
                         (false, true) => false,
-                        _ => (key.0, key.1) < (bc, bi),
+                        _ => key < bkey,
                     },
                 };
                 if better {
-                    best = Some((c.cost, i, connected));
+                    best = Some((key, connected));
                 }
             }
-            let Some((_, idx, _)) = best else { break };
+            let Some(((_, _, idx), _)) = best else { break };
             used[idx] = true;
-            for &v in &constraints[idx].vars {
-                if !in_order[v.index()] {
-                    in_order[v.index()] = true;
-                    var_order.push(v);
+            for pass in 0..2 {
+                for &v in &constraints[idx].vars {
+                    if !in_order[v.index()] && (is_output[v.index()] == (pass == 0)) {
+                        in_order[v.index()] = true;
+                        var_order.push(v);
+                    }
                 }
             }
         }
@@ -407,18 +424,20 @@ mod tests {
     #[test]
     fn projection_split_and_last_use() {
         let db = skewed_db();
-        // a-edge (cheap) leads: order [1, 2, 0]. Output {2}: prefix [1, 2],
-        // suffix [0] — variable 0 is existential.
+        // a-edge (cheap) leads and places its output variable first:
+        // order [2, 1, 0]. Output {2}: prefix [2], suffix [1, 0].
         let free = vec![edge(&db, 0, 1, "b+"), edge(&db, 1, 2, "a")];
         let plan = SolvePlan::build(4, &free, &[], &[NodeVar(2)], &db);
-        assert_eq!(plan.var_order, vec![NodeVar(1), NodeVar(2), NodeVar(0)]);
-        assert_eq!(plan.prefix_len, 2);
-        assert_eq!(plan.existential_vars(), 1);
+        assert_eq!(plan.var_order, vec![NodeVar(2), NodeVar(1), NodeVar(0)]);
+        assert_eq!(plan.prefix_len, 1);
+        assert_eq!(plan.existential_vars(), 2);
         // Variable 1 is used by both edges; its last use is the position at
         // which the later-ordered edge (0–1) becomes fully bound, i.e. the
         // rank of variable 0.
         assert_eq!(plan.last_use[1], plan.seed_rank[0]);
-        assert_eq!(plan.last_use[2], plan.seed_rank[2]);
+        // The a-edge is fully bound once variable 1 (its higher-ranked
+        // endpoint) is.
+        assert_eq!(plan.last_use[2], plan.seed_rank[1]);
         assert_eq!(plan.last_use[3], usize::MAX); // in no constraint
 
         // Boolean (empty output): the whole order is existential.
@@ -426,5 +445,28 @@ mod tests {
         let plan2 = SolvePlan::build(2, &free2, &[], &[], &db);
         assert_eq!(plan2.prefix_len, 0);
         assert_eq!(plan2.existential_vars(), 2);
+    }
+
+    #[test]
+    fn output_bias_breaks_cost_ties_only() {
+        let db = skewed_db();
+        // Two disconnected b-edges with identical cost: the one whose
+        // variables include an output wins the tie, regardless of index.
+        let free = vec![edge(&db, 0, 1, "b"), edge(&db, 2, 3, "b")];
+        let plan = SolvePlan::build(4, &free, &[], &[NodeVar(3)], &db);
+        assert_eq!(plan.edge_cost[0], plan.edge_cost[1]);
+        assert_eq!(plan.var_order[0], NodeVar(3), "output placed first");
+        assert_eq!(plan.var_order[1], NodeVar(2));
+        assert_eq!(plan.prefix_len, 1);
+        assert_eq!(plan.existential_vars(), 3);
+        // But cost still dominates the bias: a cheaper non-output edge
+        // leads over a pricier output-touching one.
+        let free2 = vec![edge(&db, 0, 1, "b+"), edge(&db, 1, 2, "a")];
+        let plan2 = SolvePlan::build(3, &free2, &[], &[NodeVar(0)], &db);
+        assert_eq!(plan2.var_order[0], NodeVar(1));
+        assert_eq!(plan2.var_order[1], NodeVar(2));
+        // The b+ edge then places the output variable 0 last; the prefix
+        // spans the whole order.
+        assert_eq!(plan2.prefix_len, 3);
     }
 }

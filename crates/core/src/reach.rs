@@ -5,8 +5,9 @@
 //! visits each `(node, state)` pair at most once. The pair space is a dense
 //! rectangle `|V_D| × |Q|`, so the visited set is a [`DenseBitSet`] indexed
 //! by `node · |Q| + state` — no hashing — and each `Sym(a)` transition
-//! expands over the contiguous per-`(node, a)` CSR range
-//! ([`GraphDb::successors_with`] / [`GraphDb::predecessors_with`]) instead
+//! expands over the merged per-`(node, a)` run (contiguous base-CSR range
+//! chained with the delta-overlay range;
+//! [`GraphDb::successors_with`] / [`GraphDb::predecessors_with`]) instead
 //! of filtering the whole adjacency row.
 //!
 //! **Batched multi-source** ([`reach_all`]): the wavefront form. The solver's
@@ -32,7 +33,7 @@
 
 use crate::frontier::{expand_sharded, FrontierConfig};
 use cxrpq_automata::{Label, Nfa, StateId};
-use cxrpq_graph::{DenseBitSet, GraphDb, NodeId};
+use cxrpq_graph::{DenseBitSet, GraphDb, NodeId, Symbol};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -175,7 +176,7 @@ pub fn reach_set_scratch(
                         Direction::Forward => db.successors_with(node, a),
                         Direction::Backward => db.predecessors_with(node, a),
                     };
-                    for &(_, next) in adj {
+                    for (_, next) in adj {
                         push(&mut queue, visited, touched, next, t);
                     }
                 }
@@ -184,7 +185,7 @@ pub fn reach_set_scratch(
                         Direction::Forward => db.out_edges(node),
                         Direction::Backward => db.in_edges(node),
                     };
-                    for &(_, next) in adj {
+                    for (_, next) in adj {
                         push(&mut queue, visited, touched, next, t);
                     }
                 }
@@ -340,7 +341,7 @@ pub fn reach_all_scratch(
                             Direction::Forward => db.successors_with(node, a),
                             Direction::Backward => db.predecessors_with(node, a),
                         };
-                        for &(_, next) in adj {
+                        for (_, next) in adj {
                             visits += propagate(next.index() * q + t.index(), bits, mark, born);
                         }
                     }
@@ -349,7 +350,7 @@ pub fn reach_all_scratch(
                             Direction::Forward => db.out_edges(node),
                             Direction::Backward => db.in_edges(node),
                         };
-                        for &(_, next) in adj {
+                        for (_, next) in adj {
                             visits += propagate(next.index() * q + t.index(), bits, mark, born);
                         }
                     }
@@ -464,11 +465,24 @@ pub fn reach_all_scratch(
 /// Entries are keyed by [`NodeId`] alone, so the cache is only meaningful
 /// against one database: on first use it binds to that database's
 /// [`GraphDb::generation`], and any later call against a database with a
-/// different generation invalidates every memoized entry and rebinds
-/// (stale node-keyed answers are never served).
+/// different generation rebinds (stale node-keyed answers are never
+/// served).
+///
+/// Invalidation is *label-aware*: on a generation change the cache asks
+/// [`GraphDb::delta_since`] which labels were appended since the bound
+/// generation. When the answer is known and disjoint from the automaton's
+/// symbol footprint (its `Sym` labels; an automaton with any `Any`
+/// transition touches every label), the memoized fills are provably still
+/// correct and are kept. Unknown ancestry — a different database, a
+/// divergent clone, or truncated append history — drops everything
+/// wholesale, as before.
 pub struct ReachCache {
     nfa: Nfa,
     rev: Nfa,
+    /// Sorted distinct `Sym` labels of `nfa` (the automaton's footprint).
+    syms: Vec<Symbol>,
+    /// Whether `nfa` has an `Any` transition (footprint = whole alphabet).
+    uses_any: bool,
     generation: Option<u64>,
     fwd: HashMap<NodeId, std::rc::Rc<HashSet<NodeId>>>,
     bwd: HashMap<NodeId, std::rc::Rc<HashSet<NodeId>>>,
@@ -482,9 +496,24 @@ impl ReachCache {
     /// Builds the cache for an edge automaton.
     pub fn new(nfa: Nfa) -> Self {
         let rev = reverse_nfa(&nfa);
+        let mut syms = Vec::new();
+        let mut uses_any = false;
+        for s in 0..nfa.state_count() {
+            for &(l, _) in nfa.transitions(StateId(s as u32)) {
+                match l {
+                    Label::Sym(a) => syms.push(a),
+                    Label::Any => uses_any = true,
+                    Label::Eps => {}
+                }
+            }
+        }
+        syms.sort_unstable();
+        syms.dedup();
         Self {
             nfa,
             rev,
+            syms,
+            uses_any,
             generation: None,
             fwd: HashMap::new(),
             bwd: HashMap::new(),
@@ -505,14 +534,30 @@ impl ReachCache {
         self.generation
     }
 
-    /// Binds the cache to `db`, dropping all memoized entries when `db` is
-    /// not the database they were computed against.
+    /// Binds the cache to `db`, dropping memoized entries when they may
+    /// have been computed against different adjacency.
+    ///
+    /// Fills survive a rebind when `db` proves (via
+    /// [`GraphDb::delta_since`]) that every label appended since the bound
+    /// generation lies outside the automaton's symbol footprint — those
+    /// arcs can never appear in this automaton's product searches, so the
+    /// cached reach sets are unchanged.
     fn bind(&mut self, db: &GraphDb) {
         match self.generation {
             Some(g) if g == db.generation() => {}
-            Some(_) => {
-                self.fwd.clear();
-                self.bwd.clear();
+            Some(g) => {
+                let keep = match db.delta_since(g) {
+                    Some(changed) => {
+                        changed.is_empty()
+                            || (!self.uses_any
+                                && changed.iter().all(|a| self.syms.binary_search(a).is_err()))
+                    }
+                    None => false,
+                };
+                if !keep {
+                    self.fwd.clear();
+                    self.bwd.clear();
+                }
                 self.generation = Some(db.generation());
             }
             None => self.generation = Some(db.generation()),
@@ -900,5 +945,76 @@ mod tests {
         assert!(!cache.connects(&db2, n2[0], n2[2]));
         // And back: recomputed, still correct.
         assert!(cache.connects(&db1, n1[0], n1[2]));
+    }
+
+    #[test]
+    fn cache_survives_appends_outside_its_footprint() {
+        let (mut db, n) = line_db("aa");
+        let c = db.alphabet().sym("c");
+        let m = nfa_of(&db, "aa");
+        let mut cache = ReachCache::new(m);
+        let before = cache.targets(&db, n[0]);
+        assert!(before.contains(&n[2]));
+        let explored = cache.stats.states();
+        // A `c`-labelled arc can never participate in an `aa` product
+        // search: the fill must survive the rebind as a memo hit.
+        assert!(db.append(n[2], c, n[0]));
+        let after = cache.targets(&db, n[0]);
+        assert_eq!(before, after);
+        assert_eq!(
+            cache.stats.states(),
+            explored,
+            "unrelated-label append must not trigger recomputation"
+        );
+        assert_eq!(cache.bound_generation(), Some(db.generation()));
+        // Node-only appends are label-free and also keep the fills.
+        db.append_node();
+        cache.targets(&db, n[0]);
+        assert_eq!(cache.stats.states(), explored);
+    }
+
+    #[test]
+    fn cache_invalidates_on_footprint_overlap() {
+        let (mut db, n) = line_db("aa");
+        let a = db.alphabet().sym("a");
+        let m = nfa_of(&db, "aa");
+        let mut cache = ReachCache::new(m);
+        assert!(cache.targets(&db, n[1]).is_empty());
+        let explored = cache.stats.states();
+        // Close the a-cycle: n1 -a-> n2 -a-> n0 now spells `aa`. The cached
+        // answer is stale and must be recomputed, not served.
+        assert!(db.append(n[2], a, n[0]));
+        assert!(cache.targets(&db, n[1]).contains(&n[0]));
+        assert!(cache.stats.states() > explored);
+    }
+
+    #[test]
+    fn any_automaton_invalidates_on_every_label() {
+        let (mut db, n) = line_db("aa");
+        let c = db.alphabet().sym("c");
+        // Σ-step automaton: reads exactly one arc of any label.
+        let mut m = Nfa::with_states(2);
+        m.add_transition(StateId(0), Label::Any, StateId(1));
+        m.set_final(StateId(1), true);
+        let mut cache = ReachCache::new(m);
+        assert!(!cache.targets(&db, n[2]).contains(&n[0]));
+        // `c` is outside the automaton's Sym set, but `Any` reads it.
+        assert!(db.append(n[2], c, n[0]));
+        assert!(cache.targets(&db, n[2]).contains(&n[0]));
+    }
+
+    #[test]
+    fn divergent_clone_drops_the_cache() {
+        let (db1, n) = line_db("aa");
+        let b_sym = db1.alphabet().sym("b");
+        let mut db2 = db1.clone();
+        let m = nfa_of(&db1, "b");
+        let mut cache = ReachCache::new(m);
+        assert!(cache.targets(&db1, n[0]).is_empty());
+        // db2 diverged: its generation is unknown to db1's history and
+        // vice versa, so the cache must not trust label reasoning.
+        assert!(db2.append(n[0], b_sym, n[1]));
+        assert!(cache.targets(&db2, n[0]).contains(&n[1]));
+        assert!(cache.targets(&db1, n[0]).is_empty());
     }
 }

@@ -15,8 +15,9 @@
 //!
 //! Representation: per-walker state sets are [`MaskSim`] bitmasks
 //! (`⌈|Qᵢ|/64⌉` words each, concatenated into one flat `Vec<u64>` per
-//! configuration), adjacency is expanded over contiguous per-label CSR
-//! ranges, and — whenever positions, masks, relation state and finished
+//! configuration), adjacency is expanded over merged per-label runs (base
+//! CSR range + delta overlay, [`cxrpq_graph::EdgeRun`]), and — whenever
+//! positions, masks, relation state and finished
 //! bits together fit in 128 bits — the visited set is keyed by a packed
 //! `u128` instead of hashing whole configurations.
 //!
@@ -263,8 +264,8 @@ impl<'a> SyncSearch<'a> {
         &st.statesets[self.offsets[i]..self.offsets[i] + self.sims[i].words()]
     }
 
-    /// Contiguous `a`-labelled range of `p`'s row in search direction.
-    fn adj_with(&self, p: NodeId, a: Symbol) -> &'a [(Symbol, NodeId)] {
+    /// Merged `a`-labelled run of `p`'s row in search direction.
+    fn adj_with(&self, p: NodeId, a: Symbol) -> cxrpq_graph::EdgeRun<'a> {
         match self.dir {
             Direction::Forward => self.db.successors_with(p, a),
             Direction::Backward => self.db.predecessors_with(p, a),
@@ -411,10 +412,10 @@ impl<'a> SyncSearch<'a> {
                         continue;
                     };
                     // Candidate symbols: walker 0's distinct labels (the
-                    // label runs of its label-sorted row), kept only when
-                    // every other walker has a matching contiguous range.
+                    // merged label runs across both storage layers), kept
+                    // only when every other walker has a matching run.
                     'sym: for (a, run0) in self.label_runs(p0) {
-                        let mut succs: Vec<&[(Symbol, NodeId)]> = Vec::with_capacity(s);
+                        let mut succs: Vec<cxrpq_graph::EdgeRun<'a>> = Vec::with_capacity(s);
                         succs.push(run0);
                         for i in 1..s {
                             let range = self.adj_with(st.positions[i], a);
@@ -462,10 +463,39 @@ impl<'a> SyncSearch<'a> {
                             TupComp::Pad => {
                                 if already {
                                     opts.push((st.positions[i], cur.into(), true, None));
-                                } else if self.sims[i].any_final(cur) {
-                                    // Freeze now; with a known end, prune.
-                                    if ends.map(|e| e[i] == st.positions[i]).unwrap_or(true) {
-                                        opts.push((st.positions[i], cur.into(), true, None));
+                                } else {
+                                    match self.dir {
+                                        // Left-to-right reading pads after
+                                        // the word *ends*: freeze, and the
+                                        // frozen mask must accept. With a
+                                        // known end, prune.
+                                        Direction::Forward => {
+                                            if self.sims[i].any_final(cur)
+                                                && ends
+                                                    .map(|e| e[i] == st.positions[i])
+                                                    .unwrap_or(true)
+                                            {
+                                                opts.push((
+                                                    st.positions[i],
+                                                    cur.into(),
+                                                    true,
+                                                    None,
+                                                ));
+                                            }
+                                        }
+                                        // Right-to-left reading pads before
+                                        // the word *starts* (reversal moves
+                                        // padding to the front): stay put,
+                                        // unfrozen, and begin reading on a
+                                        // later level.
+                                        Direction::Backward => {
+                                            opts.push((
+                                                st.positions[i],
+                                                cur.into(),
+                                                false,
+                                                None,
+                                            ));
+                                        }
                                     }
                                 }
                             }
@@ -474,7 +504,7 @@ impl<'a> SyncSearch<'a> {
                                     let ns = self.sims[i].step(cur, a);
                                     if ns.iter().any(|&b| b != 0) {
                                         let ns: std::rc::Rc<[u64]> = ns.into();
-                                        for &(_, v) in self.adj_with(st.positions[i], a) {
+                                        for (_, v) in self.adj_with(st.positions[i], a) {
                                             opts.push((v, ns.clone(), false, Some(a)));
                                         }
                                     }
@@ -486,7 +516,7 @@ impl<'a> SyncSearch<'a> {
                                         let ns = self.sims[i].step(cur, b);
                                         if ns.iter().any(|&x| x != 0) {
                                             let ns: std::rc::Rc<[u64]> = ns.into();
-                                            for &(_, v) in run {
+                                            for (_, v) in run {
                                                 opts.push((v, ns.clone(), false, Some(b)));
                                             }
                                         }
@@ -539,7 +569,7 @@ impl<'a> SyncSearch<'a> {
 
     fn emit_combos(
         &self,
-        succs: &[&[(Symbol, NodeId)]],
+        succs: &[cxrpq_graph::EdgeRun<'_>],
         next_states: &[u64],
         finished: u64,
         rnext: u32,
@@ -553,7 +583,7 @@ impl<'a> SyncSearch<'a> {
         let moves: Vec<Option<Symbol>> = vec![Some(shared_sym); s];
         let mut combo = vec![0usize; s];
         loop {
-            let positions: Vec<NodeId> = (0..s).map(|i| succs[i][combo[i]].1).collect();
+            let positions: Vec<NodeId> = (0..s).map(|i| succs[i].get(combo[i]).1).collect();
             emit(
                 SyncState {
                     positions,
@@ -649,7 +679,7 @@ mod tests {
             if n == to {
                 return Some(dist[n.index()]);
             }
-            for &(_, t) in db.out_edges(n) {
+            for (_, t) in db.out_edges(n) {
                 if dist[t.index()] == usize::MAX {
                     dist[t.index()] = dist[n.index()] + 1;
                     queue.push_back(t);
@@ -819,5 +849,29 @@ mod tests {
         let b = sync_targets(&db, &spec_big, &[s1, s2], None);
         assert_eq!(a, b);
         assert!(a.contains(&vec![t1, t2]));
+    }
+
+    #[test]
+    fn backward_walk_handles_padded_relations() {
+        // Prefix relation over words of different lengths: reversal moves
+        // the padding to the *front* of the tuple word, so the backward
+        // walk must let the shorter walker idle unfrozen before it starts
+        // reading — freezing it (forward Pad semantics) loses the answer.
+        let (db, [s1, t1, s2, t2]) = two_path_db("ab", "abba");
+        let mut alpha = db.alphabet().clone();
+        let sigma = |a: &mut _| Nfa::from_regex(&parse_regex("(a|b)+", a).unwrap());
+        let spec = SyncSpec {
+            nfas: vec![sigma(&mut alpha), sigma(&mut alpha)],
+            relation: crate::relation::RegularRelation::prefix(),
+        };
+        let fwd = sync_targets(&db, &spec, &[s1, s2], None);
+        assert!(fwd.contains(&vec![t1, t2]), "ab prefix of abba (forward)");
+        let bwd = sync_sources(&db, &spec.reversed(), &[t1, t2], None);
+        assert!(bwd.contains(&vec![s1, s2]), "ab prefix of abba (backward)");
+        // And the non-prefix direction stays rejected both ways.
+        let fwd_rev = sync_targets(&db, &spec, &[s2, s1], None);
+        assert!(!fwd_rev.contains(&vec![t2, t1]));
+        let bwd_rev = sync_sources(&db, &spec.reversed(), &[t2, t1], None);
+        assert!(!bwd_rev.contains(&vec![s2, s1]));
     }
 }

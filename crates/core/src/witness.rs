@@ -132,7 +132,7 @@ pub fn edge_path(db: &GraphDb, nfa: &Nfa, from: NodeId, to: NodeId) -> Option<Pa
             break 'bfs;
         }
         for &(l, t) in nfa.transitions(st) {
-            let range: &[(Symbol, NodeId)] = match l {
+            let range: cxrpq_graph::EdgeRun<'_> = match l {
                 Label::Eps => {
                     let next = key(node, t);
                     if visited.insert(next) {
@@ -144,7 +144,7 @@ pub fn edge_path(db: &GraphDb, nfa: &Nfa, from: NodeId, to: NodeId) -> Option<Pa
                 Label::Sym(a) => db.successors_with(node, a),
                 Label::Any => db.out_edges(node),
             };
-            for &(b, v) in range {
+            for (b, v) in range {
                 let next = key(v, t);
                 if visited.insert(next) {
                     parent.insert(next, (cur, b.0));

@@ -10,11 +10,15 @@
 //! - [`Symbol`] / [`Alphabet`]: interned alphabet symbols (labels may be
 //!   arbitrary strings, e.g. `<z17>` in the Hitting-Set reduction of the
 //!   paper's Theorem 7);
-//! - [`GraphBuilder`]: the mutable construction side of a database;
-//! - [`GraphDb`]: the frozen multigraph, with label-sorted CSR adjacency in
-//!   both directions ([`GraphDb::successors_with`] and
-//!   [`GraphDb::predecessors_with`] return contiguous slices) and a
-//!   monotonically increasing [`GraphDb::generation`] id for cache binding;
+//! - [`GraphBuilder`]: the bulk construction side of a database;
+//! - [`GraphDb`]: a layered snapshot — an immutable label-sorted CSR base
+//!   plus a small mutable [`DeltaOverlay`] fed by [`GraphDb::append`], with
+//!   [`GraphDb::successors_with`] and [`GraphDb::predecessors_with`]
+//!   returning merged [`EdgeRun`] iterators over both layers,
+//!   [`GraphDb::compact`] to fold the overlay back into the base, and
+//!   monotonically increasing [`GraphDb::generation`] /
+//!   [`GraphDb::label_generation`] ids for cache binding and label-aware
+//!   invalidation;
 //! - [`DenseBitSet`]: the flat visited-set representation the product
 //!   searches in `cxrpq-core` use instead of hashed `(node, state)` pairs;
 //! - [`Path`]: materialized paths with their labels;
@@ -32,6 +36,6 @@ pub mod path;
 
 pub use alphabet::{Alphabet, Symbol};
 pub use bitset::DenseBitSet;
-pub use db::{GraphBuilder, GraphDb, LabelRuns, NodeId};
+pub use db::{DeltaOverlay, EdgeRun, GraphBuilder, GraphDb, LabelRuns, NodeId};
 pub use io::{read_graph, write_graph, GraphIoError};
 pub use path::Path;

@@ -110,7 +110,6 @@ mod tests {
                 let parents = g
                     .db
                     .in_edges(person)
-                    .iter()
                     .filter(|(l, _)| *l == p)
                     .count();
                 assert_eq!(parents, 1);
