@@ -167,11 +167,7 @@ impl Dfa {
             }
         }
         // Initial partition: finals / non-finals.
-        let mut block_of: Vec<u32> = self
-            .finals
-            .iter()
-            .map(|&f| if f { 0 } else { 1 })
-            .collect();
+        let mut block_of: Vec<u32> = self.finals.iter().map(|&f| if f { 0 } else { 1 }).collect();
         let mut blocks: Vec<Vec<u32>> = vec![Vec::new(), Vec::new()];
         for s in 0..n {
             blocks[block_of[s] as usize].push(s as u32);
@@ -204,7 +200,8 @@ impl Dfa {
             x.sort_unstable();
             x.dedup();
             // Split every block Y into Y ∩ X and Y \ X.
-            let mut touched: Vec<usize> = x.iter().map(|&s| block_of[s as usize] as usize).collect();
+            let mut touched: Vec<usize> =
+                x.iter().map(|&s| block_of[s as usize] as usize).collect();
             touched.sort_unstable();
             touched.dedup();
             for y in touched {

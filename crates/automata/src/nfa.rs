@@ -314,10 +314,10 @@ impl Nfa {
             let pid = ids[&(p, q)];
             out.finals[pid.index()] = a.is_final(p) && b.is_final(q);
             let push = |out: &mut Nfa,
-                            ids: &mut HashMap<(StateId, StateId), StateId>,
-                            queue: &mut VecDeque<(StateId, StateId)>,
-                            label: Label,
-                            tgt: (StateId, StateId)| {
+                        ids: &mut HashMap<(StateId, StateId), StateId>,
+                        queue: &mut VecDeque<(StateId, StateId)>,
+                        label: Label,
+                        tgt: (StateId, StateId)| {
                 let tid = *ids.entry(tgt).or_insert_with(|| {
                     queue.push_back(tgt);
                     out.add_state()
@@ -377,16 +377,96 @@ impl Nfa {
             }
             for s in m.states() {
                 for &(l, t) in m.transitions(s) {
-                    out.add_transition(
-                        StateId(s.0 + offset),
-                        l,
-                        StateId(t.0 + offset),
-                    );
+                    out.add_transition(StateId(s.0 + offset), l, StateId(t.0 + offset));
                 }
             }
             out.add_transition(StateId(0), Label::Eps, StateId(m.start.0 + offset));
         }
         out
+    }
+
+    /// Whether `ε ∈ L(self)` (some start-closure state is final).
+    pub fn accepts_epsilon(&self) -> bool {
+        self.any_final(&self.start_set())
+    }
+
+    /// Whether `L(self) = {ε}`: the automaton accepts the empty word and
+    /// nothing else. Decided structurally — after trimming, every remaining
+    /// transition lies on some accepting path, so a single non-ε label
+    /// witnesses a non-empty accepted word.
+    pub fn is_epsilon_only(&self) -> bool {
+        if !self.accepts_epsilon() {
+            return false;
+        }
+        let t = self.trim();
+        let eps_only = t
+            .states()
+            .all(|s| t.transitions(s).iter().all(|&(l, _)| l == Label::Eps));
+        eps_only
+    }
+
+    /// Bounded language-inclusion test `L(self) ⊆ L(other)` over the
+    /// alphabet `Σ = {0, …, sigma_size-1}`.
+    ///
+    /// Explores the product of `self`'s states with determinized subsets of
+    /// `other` on the fly; a `self`-final state paired with a subset
+    /// containing no `other`-final state is a counterexample word. `Any`
+    /// transitions on the `self` side expand over every symbol of Σ.
+    /// Returns `None` when the number of visited product states exceeds
+    /// `budget` — the check is abandoned, not answered.
+    pub fn included_in(&self, other: &Nfa, sigma_size: usize, budget: usize) -> Option<bool> {
+        fn pack(set: &[bool]) -> Vec<u64> {
+            let mut out = vec![0u64; set.len().div_ceil(64)];
+            for (i, &b) in set.iter().enumerate() {
+                if b {
+                    out[i / 64] |= 1 << (i % 64);
+                }
+            }
+            out
+        }
+        let q0 = other.start_set();
+        let mut visited: std::collections::HashSet<(StateId, Vec<u64>)> =
+            std::collections::HashSet::new();
+        visited.insert((self.start, pack(&q0)));
+        let mut stack = vec![(self.start, q0)];
+        while let Some((p, q)) = stack.pop() {
+            if visited.len() > budget {
+                return None;
+            }
+            if self.is_final(p) && !other.any_final(&q) {
+                return Some(false);
+            }
+            let push = |t: StateId,
+                        nq: Vec<bool>,
+                        visited: &mut std::collections::HashSet<_>,
+                        stack: &mut Vec<_>| {
+                if visited.insert((t, pack(&nq))) {
+                    stack.push((t, nq));
+                }
+            };
+            for &(l, t) in self.transitions(p) {
+                match l {
+                    Label::Eps => push(t, q.clone(), &mut visited, &mut stack),
+                    Label::Sym(a) => push(t, other.step(&q, a), &mut visited, &mut stack),
+                    Label::Any => {
+                        for i in 0..sigma_size as u32 {
+                            push(t, other.step(&q, Symbol(i)), &mut visited, &mut stack);
+                        }
+                    }
+                }
+            }
+        }
+        Some(true)
+    }
+
+    /// Bounded universality test `L(self) = Σ*` over `Σ = {0, …,
+    /// sigma_size-1}`: inclusion of the one-state Σ* automaton in `self`.
+    /// `None` means the `budget` on visited product states was exceeded.
+    pub fn is_universal(&self, sigma_size: usize, budget: usize) -> Option<bool> {
+        let mut all = Nfa::with_states(1);
+        all.set_final(StateId(0), true);
+        all.add_transition(StateId(0), Label::Any, StateId(0));
+        all.included_in(self, sigma_size, budget)
     }
 
     /// Whether `L(self) = ∅` (no final state reachable).
@@ -689,6 +769,67 @@ mod tests {
         assert!(m.accepts(&[a]));
         assert!(!m.accepts(&[a, a]));
         assert!(m.accepts(&[a, a, a]));
+    }
+
+    #[test]
+    fn epsilon_only_classification() {
+        let (eps, _) = nfa_of("_");
+        assert!(eps.is_epsilon_only());
+        let (alt, _) = nfa_of("_|!"); // still {ε} after trimming the ∅ branch
+        assert!(alt.is_epsilon_only());
+        let (opt, _) = nfa_of("a*");
+        assert!(opt.accepts_epsilon());
+        assert!(!opt.is_epsilon_only());
+        let (empty, _) = nfa_of("!");
+        assert!(!empty.is_epsilon_only());
+        let (sym, _) = nfa_of("a");
+        assert!(!sym.is_epsilon_only());
+    }
+
+    #[test]
+    fn inclusion_basic() {
+        let (sub, _) = nfa_of("ab");
+        let (sup, _) = nfa_of("a(b|c)");
+        assert_eq!(sub.included_in(&sup, 3, 1 << 12), Some(true));
+        assert_eq!(sup.included_in(&sub, 3, 1 << 12), Some(false));
+        // Equal languages include both ways.
+        let (x, _) = nfa_of("(a|b)+");
+        let (y, _) = nfa_of("(a|b)(a|b)*");
+        assert_eq!(x.included_in(&y, 3, 1 << 12), Some(true));
+        assert_eq!(y.included_in(&x, 3, 1 << 12), Some(true));
+        // ∅ ⊆ anything; anything non-empty ⊄ ∅.
+        let (e, _) = nfa_of("!");
+        assert_eq!(e.included_in(&x, 3, 1 << 12), Some(true));
+        assert_eq!(x.included_in(&e, 3, 1 << 12), Some(false));
+    }
+
+    #[test]
+    fn inclusion_with_any() {
+        let (sub, _) = nfa_of("a.c");
+        let (sup, _) = nfa_of(".*");
+        assert_eq!(sub.included_in(&sup, 3, 1 << 12), Some(true));
+        assert_eq!(sup.included_in(&sub, 3, 1 << 12), Some(false));
+    }
+
+    #[test]
+    fn inclusion_budget_exceeded_is_none() {
+        let (sub, _) = nfa_of("(a|b)*c");
+        let (sup, _) = nfa_of("(a|b|c)*");
+        assert_eq!(sub.included_in(&sup, 3, 1), None);
+        assert_eq!(sub.included_in(&sup, 3, 1 << 12), Some(true));
+    }
+
+    #[test]
+    fn universality() {
+        let (u, _) = nfa_of(".*");
+        assert_eq!(u.is_universal(3, 1 << 12), Some(true));
+        let (u2, _) = nfa_of("(a|b|c)*");
+        assert_eq!(u2.is_universal(3, 1 << 12), Some(true));
+        let (not, _) = nfa_of("(a|b)*");
+        assert_eq!(not.is_universal(3, 1 << 12), Some(false));
+        let (plus, _) = nfa_of(".+"); // misses ε
+        assert_eq!(plus.is_universal(3, 1 << 12), Some(false));
+        assert_eq!(u.is_universal(3, 0), None);
     }
 
     #[test]

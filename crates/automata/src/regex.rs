@@ -424,8 +424,14 @@ mod tests {
     fn smart_star_plus() {
         assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
         assert_eq!(Regex::plus(Regex::Empty), Regex::Empty);
-        assert_eq!(Regex::star(Regex::plus(sy(0))), Regex::Star(Box::new(sy(0))));
-        assert_eq!(Regex::plus(Regex::star(sy(0))), Regex::Star(Box::new(sy(0))));
+        assert_eq!(
+            Regex::star(Regex::plus(sy(0))),
+            Regex::Star(Box::new(sy(0)))
+        );
+        assert_eq!(
+            Regex::plus(Regex::star(sy(0))),
+            Regex::Star(Box::new(sy(0)))
+        );
     }
 
     #[test]
@@ -511,8 +517,7 @@ mod tests {
         // Exhaustive cross-check over all words up to length 3.
         for n in 0..=3usize {
             for mask in 0..(1usize << n) {
-                let w: Vec<Symbol> =
-                    (0..n).map(|i| Symbol(((mask >> i) & 1) as u32)).collect();
+                let w: Vec<Symbol> = (0..n).map(|i| Symbol(((mask >> i) & 1) as u32)).collect();
                 let enumerated = r.enumerate_upto(3, 2).contains(&w);
                 assert_eq!(enumerated, r.matches(&w), "mismatch on {w:?}");
             }
@@ -531,10 +536,7 @@ mod tests {
         let alpha = Alphabet::from_chars("ab");
         let a = Regex::Sym(alpha.sym("a"));
         let b = Regex::Sym(alpha.sym("b"));
-        let r = Regex::concat(vec![
-            Regex::alt(vec![a.clone(), b.clone()]),
-            Regex::star(a.clone()),
-        ]);
+        let r = Regex::concat(vec![Regex::alt(vec![a.clone(), b]), Regex::star(a)]);
         assert_eq!(r.render(&alpha), "(a|b)a*");
     }
 }

@@ -65,12 +65,7 @@ pub fn nfa_to_regex(nfa: &Nfa) -> Regex {
         let (pos, &r) = alive
             .iter()
             .enumerate()
-            .min_by_key(|(_, &s)| {
-                edges
-                    .keys()
-                    .filter(|&&(f, t)| f == s || t == s)
-                    .count()
-            })
+            .min_by_key(|(_, &s)| edges.keys().filter(|&&(f, t)| f == s || t == s).count())
             .unwrap();
         alive.swap_remove(pos);
 
@@ -123,7 +118,9 @@ mod tests {
 
     #[test]
     fn round_trips_preserve_language() {
-        for s in ["a", "ab", "a|b", "a*", "(ab|c)+", "a(b|c)*a", "_", "(a|ε)b*"] {
+        for s in [
+            "a", "ab", "a|b", "a*", "(ab|c)+", "a(b|c)*a", "_", "(a|ε)b*",
+        ] {
             round_trip(s);
         }
     }

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let alpha = Arc::new(Alphabet::from_chars("abc"));
-    let db = graphs::random_labeled(alpha.clone(), 64, 160, 9);
+    let db = graphs::random_labeled(alpha, 64, 160, 9);
     let mut a2 = db.alphabet().clone();
     // Two dependent variables make the mapping space worth splitting.
     let q = CxrpqBuilder::new(&mut a2)

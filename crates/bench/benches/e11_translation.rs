@@ -13,7 +13,7 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let alpha = Arc::new(Alphabet::from_chars("abc"));
-    let db = graphs::random_labeled(alpha.clone(), 48, 96, 5);
+    let db = graphs::random_labeled(alpha, 48, 96, 5);
     let mut a2 = db.alphabet().clone();
     let q = CxrpqBuilder::new(&mut a2)
         .edge("x", "z{(a|b)+}cz", "y")

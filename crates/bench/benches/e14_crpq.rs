@@ -18,12 +18,7 @@ fn bench(c: &mut Criterion) {
         let n = 1usize << exp;
         let db = graphs::random_labeled(alpha.clone(), n, 2 * n, 21);
         let mut a2 = db.alphabet().clone();
-        let q = Crpq::build(
-            &[("x", "a(a|b)*", "y"), ("y", "(b|c)+", "z")],
-            &[],
-            &mut a2,
-        )
-        .unwrap();
+        let q = Crpq::build(&[("x", "a(a|b)*", "y"), ("y", "(b|c)+", "z")], &[], &mut a2).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(db.size()), &db, |b, db| {
             let ev = CrpqEvaluator::new(&q);
             b.iter(|| std::hint::black_box(ev.boolean(db)));

@@ -3,10 +3,10 @@
 //! `ECRPQ^er` against its `CXRPQ^{vsf,fl}` translation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cxrpq_core::translate::ecrpq_er_to_cxrpq;
-use cxrpq_core::{EcrpqEvaluator, GraphPattern, RegularRelation, VsfEvaluator};
-use cxrpq_core::Ecrpq;
 use cxrpq_automata::parse_regex;
+use cxrpq_core::translate::ecrpq_er_to_cxrpq;
+use cxrpq_core::Ecrpq;
+use cxrpq_core::{EcrpqEvaluator, GraphPattern, RegularRelation, VsfEvaluator};
 use cxrpq_graph::Alphabet;
 use cxrpq_workloads::graphs::d_anbm;
 use cxrpq_workloads::witnesses::q_anbn;

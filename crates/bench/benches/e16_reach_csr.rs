@@ -97,19 +97,13 @@ struct LegacySyncState {
 /// The old equality-group search (the relation the Lemma 3 evaluator uses):
 /// per-step symbol intersection via `HashSet<Symbol>`, `Vec<bool>` stepping,
 /// hashed whole-configuration visited set.
-fn legacy_sync_targets(
-    g: &LegacyGraph,
-    nfas: &[Nfa],
-    starts: &[NodeId],
-) -> HashSet<Vec<NodeId>> {
+fn legacy_sync_targets(g: &LegacyGraph, nfas: &[Nfa], starts: &[NodeId]) -> HashSet<Vec<NodeId>> {
     let s = nfas.len();
     let init = LegacySyncState {
         positions: starts.to_vec(),
         statesets: nfas.iter().map(Nfa::start_set).collect(),
     };
-    let accepting = |st: &LegacySyncState| {
-        (0..s).all(|i| nfas[i].any_final(&st.statesets[i]))
-    };
+    let accepting = |st: &LegacySyncState| (0..s).all(|i| nfas[i].any_final(&st.statesets[i]));
     let mut out = HashSet::new();
     let mut visited: HashSet<LegacySyncState> = HashSet::new();
     let mut queue = VecDeque::new();
@@ -251,7 +245,13 @@ fn run_shape(
         std::hint::black_box(legacy_reach_set(&legacy, reach_nfa, reach_from));
     });
     let reach_csr_ms = median_ms(iters, || {
-        std::hint::black_box(reach_set(db, reach_nfa, reach_from, Direction::Forward, None));
+        std::hint::black_box(reach_set(
+            db,
+            reach_nfa,
+            reach_from,
+            Direction::Forward,
+            None,
+        ));
     });
     let sync_legacy_ms = median_ms(iters, || {
         std::hint::black_box(legacy_sync_targets(&legacy, &spec.nfas, &sync_starts));
@@ -386,9 +386,8 @@ fn main() {
         println!("\nfast mode: BENCH_reach.json not rewritten (set BENCH_REACH_OUT to record)");
         return;
     }
-    let out_path = explicit.unwrap_or_else(|| {
-        format!("{}/../../BENCH_reach.json", env!("CARGO_MANIFEST_DIR"))
-    });
+    let out_path = explicit
+        .unwrap_or_else(|| format!("{}/../../BENCH_reach.json", env!("CARGO_MANIFEST_DIR")));
     let mut json = String::from("{\n  \"bench\": \"e16_reach_csr\",\n  \"mode\": ");
     json.push_str(if fast { "\"fast\"" } else { "\"full\"" });
     json.push_str(",\n  \"shapes\": [\n");

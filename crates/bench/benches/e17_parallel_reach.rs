@@ -25,9 +25,7 @@
 
 use cxrpq_automata::{parse_regex, Nfa};
 use cxrpq_core::frontier::FrontierConfig;
-use cxrpq_core::reach::{
-    reach_all_with, reach_set, reach_set_scratch, Direction, ReachScratch,
-};
+use cxrpq_core::reach::{reach_all_with, reach_set, reach_set_scratch, Direction, ReachScratch};
 use cxrpq_core::sync::{SyncSearch, SyncSpec};
 use cxrpq_graph::{Alphabet, GraphDb, NodeId, Symbol};
 use cxrpq_workloads::graphs;
@@ -85,8 +83,7 @@ fn run_batch_shape(
     let batched = reach_all_with(db, reach_nfa, &sources, Direction::Forward, None, &serial);
     let mut scratch = ReachScratch::default();
     for (i, &u) in sources.iter().enumerate() {
-        let single =
-            reach_set_scratch(db, reach_nfa, u, Direction::Forward, None, &mut scratch);
+        let single = reach_set_scratch(db, reach_nfa, u, Direction::Forward, None, &mut scratch);
         assert_eq!(batched[i], single, "{shape}: source {i} mismatch");
     }
 
@@ -159,14 +156,28 @@ fn main() {
         let side = 28 / scale.min(2);
         let db = graphs::grid_labeled(alpha, side, side, 7);
         let reach_nfa = nfa_of(db.alphabet(), "(a|b)*a");
-        results.push(run_batch_shape("grid", &db, &reach_nfa, NodeId(0), 128, iters));
+        results.push(run_batch_shape(
+            "grid",
+            &db,
+            &reach_nfa,
+            NodeId(0),
+            128,
+            iters,
+        ));
     }
     {
         let alpha = Arc::new(Alphabet::from_chars("abc"));
         let n = 200 / scale.min(2);
         let db = graphs::random_labeled(alpha, n, 4 * n, 99);
         let reach_nfa = nfa_of(db.alphabet(), "a(a|b)*c");
-        results.push(run_batch_shape("random", &db, &reach_nfa, NodeId(0), 128, iters));
+        results.push(run_batch_shape(
+            "random",
+            &db,
+            &reach_nfa,
+            NodeId(0),
+            128,
+            iters,
+        ));
     }
     {
         let alpha = Arc::new(Alphabet::from_chars("abcdefghijklmnop"));
@@ -199,12 +210,22 @@ fn main() {
         assert_eq!(r1, rn, "random-xl: thread count changed reach_all");
         let reach_t1_ms = median_ms(iters, || {
             std::hint::black_box(reach_all_with(
-                &db, &reach_nfa, &sources, Direction::Forward, None, &t1,
+                &db,
+                &reach_nfa,
+                &sources,
+                Direction::Forward,
+                None,
+                &t1,
             ));
         });
         let reach_tn_ms = median_ms(iters, || {
             std::hint::black_box(reach_all_with(
-                &db, &reach_nfa, &sources, Direction::Forward, None, &tn,
+                &db,
+                &reach_nfa,
+                &sources,
+                Direction::Forward,
+                None,
+                &tn,
             ));
         });
 
@@ -301,12 +322,13 @@ fn main() {
     // JSON record at the workspace root, same conventions as e16.
     let explicit = std::env::var("BENCH_PARALLEL_OUT").ok();
     if fast && explicit.is_none() {
-        println!("\nfast mode: BENCH_parallel.json not rewritten (set BENCH_PARALLEL_OUT to record)");
+        println!(
+            "\nfast mode: BENCH_parallel.json not rewritten (set BENCH_PARALLEL_OUT to record)"
+        );
         return;
     }
-    let out_path = explicit.unwrap_or_else(|| {
-        format!("{}/../../BENCH_parallel.json", env!("CARGO_MANIFEST_DIR"))
-    });
+    let out_path = explicit
+        .unwrap_or_else(|| format!("{}/../../BENCH_parallel.json", env!("CARGO_MANIFEST_DIR")));
     let mut json = String::from("{\n  \"bench\": \"e17_parallel_reach\",\n  \"mode\": ");
     json.push_str(if fast { "\"fast\"" } else { "\"full\"" });
     json.push_str(&format!(

@@ -58,7 +58,10 @@ fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
 fn random_ab_rare_c(nodes: usize, edges: usize, rare: usize, seed: u64) -> GraphDb {
     let alpha = Arc::new(Alphabet::from_chars("abc"));
     let mut b = GraphBuilder::new(alpha);
-    let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| b.alphabet().sym(s)).collect();
+    let syms: Vec<Symbol> = ["a", "b", "c"]
+        .iter()
+        .map(|s| b.alphabet().sym(s))
+        .collect();
     for _ in 0..nodes {
         b.add_node();
     }
@@ -113,7 +116,10 @@ fn run_shape(
     // full-enumerate-then-project answers.
     let (ans_naive, _) = ev.answers_opts(db, &naive);
     let (ans_piped, stats) = ev.answers_opts(db, &piped);
-    assert_eq!(ans_naive, ans_piped, "{shape}: pipeline changed the answers");
+    assert_eq!(
+        ans_naive, ans_piped,
+        "{shape}: pipeline changed the answers"
+    );
     let stats = stats.as_ref();
     let per_source_sweeps = stats.map(|s| s.per_source_sweeps).unwrap_or(false);
     let eliminated_vars = stats.map(|s| s.eliminated_vars).unwrap_or(0);
@@ -294,7 +300,11 @@ fn main() {
             r.naive_ms,
             r.pipeline_ms,
             r.naive_ms / r.pipeline_ms,
-            if r.per_source_sweeps { "per-source" } else { "wavefront" },
+            if r.per_source_sweeps {
+                "per-source"
+            } else {
+                "wavefront"
+            },
         );
     }
 

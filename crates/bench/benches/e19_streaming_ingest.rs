@@ -94,12 +94,7 @@ fn baseline_reach_ms(record: Option<&str>, shape: &str) -> Option<f64> {
         .find(|l| l.contains(&format!("\"shape\": \"{shape}\"")))?;
     let key = "\"reach_csr_ms\": ";
     let at = line.find(key)? + key.len();
-    line[at..]
-        .split([',', '}'])
-        .next()?
-        .trim()
-        .parse()
-        .ok()
+    line[at..].split([',', '}']).next()?.trim().parse().ok()
 }
 
 fn static_shapes(iters: usize, scale: usize, record: Option<&str>) -> Vec<StaticResult> {
@@ -159,7 +154,12 @@ fn static_shapes(iters: usize, scale: usize, record: Option<&str>) -> Vec<Static
             .nodes()
             .find(|&m| !db.successors_with(m, a).is_empty())
             .expect("an a-source");
-        push("label-dense", &db, &nfa_of(db.alphabet(), "(a|b)(a|b|c|d)*"), s1);
+        push(
+            "label-dense",
+            &db,
+            &nfa_of(db.alphabet(), "(a|b)(a|b|c|d)*"),
+            s1,
+        );
     }
     out
 }
@@ -225,9 +225,19 @@ fn run_scenario(sc: &Scenario, iters: usize) -> (StrategyRun, StrategyRun, Strat
             compacted.append_batch(batch);
             compacted.compact();
         }
-        assert_eq!(sc.final_answers(&compacted), reference, "{}: compact diverged", sc.shape);
+        assert_eq!(
+            sc.final_answers(&compacted),
+            reference,
+            "{}: compact diverged",
+            sc.shape
+        );
         let refrozen = final_db.to_builder().freeze();
-        assert_eq!(sc.final_answers(&refrozen), reference, "{}: refreeze diverged", sc.shape);
+        assert_eq!(
+            sc.final_answers(&refrozen),
+            reference,
+            "{}: refreeze diverged",
+            sc.shape
+        );
     }
 
     type IngestFn = Box<dyn FnMut(&[(NodeId, Symbol, NodeId)]) -> GraphDb>;
@@ -249,7 +259,10 @@ fn run_scenario(sc: &Scenario, iters: usize) -> (StrategyRun, StrategyRun, Strat
             query_ms = q_acc.as_secs_f64() * 1e3;
         });
         let _ = run;
-        StrategyRun { ingest_ms, query_ms }
+        StrategyRun {
+            ingest_ms,
+            query_ms,
+        }
     };
 
     // refreeze: accumulate arcs, rebuild the whole CSR every batch.
@@ -374,7 +387,10 @@ fn grid_scenario(side: usize, extra: usize, batches: usize, seed: u64) -> Scenar
     let alpha = Arc::new(Alphabet::from_chars("ab"));
     let seed_db = graphs::grid_labeled(alpha, side, side, 7);
     let n = seed_db.node_count();
-    let syms: Vec<Symbol> = ["a", "b"].iter().map(|s| seed_db.alphabet().sym(s)).collect();
+    let syms: Vec<Symbol> = ["a", "b"]
+        .iter()
+        .map(|s| seed_db.alphabet().sym(s))
+        .collect();
     let mut mix = Mix(seed);
     let per = extra.div_ceil(batches);
     let stream: Vec<Vec<(NodeId, Symbol, NodeId)>> = (0..batches)
@@ -447,9 +463,30 @@ fn main() {
     // Part 2: ingest strategies over growing graphs. The random family
     // sweeps the overlay size to expose the delta-vs-compact crossover.
     let scenarios: Vec<Scenario> = vec![
-        random_scenario("random-small-delta", 512 / scale, 2048 / scale, 128 / scale, 8, 0xe19),
-        random_scenario("random-mid-delta", 512 / scale, 2048 / scale, 1024 / scale, 8, 0xe19),
-        random_scenario("random-large-delta", 512 / scale, 2048 / scale, 4096 / scale, 8, 0xe19),
+        random_scenario(
+            "random-small-delta",
+            512 / scale,
+            2048 / scale,
+            128 / scale,
+            8,
+            0xe19,
+        ),
+        random_scenario(
+            "random-mid-delta",
+            512 / scale,
+            2048 / scale,
+            1024 / scale,
+            8,
+            0xe19,
+        ),
+        random_scenario(
+            "random-large-delta",
+            512 / scale,
+            2048 / scale,
+            4096 / scale,
+            8,
+            0xe19,
+        ),
         line_scenario(600 / scale, 6),
         grid_scenario(24 / scale.min(2), 256 / scale, 8, 0x61d),
     ];
@@ -493,12 +530,13 @@ fn main() {
 
     let explicit = std::env::var("BENCH_STREAMING_OUT").ok();
     if fast && explicit.is_none() {
-        println!("\nfast mode: BENCH_streaming.json not rewritten (set BENCH_STREAMING_OUT to record)");
+        println!(
+            "\nfast mode: BENCH_streaming.json not rewritten (set BENCH_STREAMING_OUT to record)"
+        );
         return;
     }
-    let out_path = explicit.unwrap_or_else(|| {
-        format!("{}/../../BENCH_streaming.json", env!("CARGO_MANIFEST_DIR"))
-    });
+    let out_path = explicit
+        .unwrap_or_else(|| format!("{}/../../BENCH_streaming.json", env!("CARGO_MANIFEST_DIR")));
     let mut json = String::from("{\n  \"bench\": \"e19_streaming_ingest\",\n  \"mode\": ");
     json.push_str(if fast { "\"fast\"" } else { "\"full\"" });
     json.push_str(",\n  \"static_overhead\": [\n");
@@ -510,8 +548,7 @@ fn main() {
             s.nodes,
             s.edges,
             s.reach_ms,
-            s.baseline_ms
-                .map_or("null".into(), |b| format!("{b:.4}")),
+            s.baseline_ms.map_or("null".into(), |b| format!("{b:.4}")),
             s.overhead().map_or("null".into(), |x| format!("{x:.3}")),
             if i + 1 < statics.len() { "," } else { "" }
         ));

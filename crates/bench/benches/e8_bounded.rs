@@ -24,13 +24,17 @@ fn bench(c: &mut Criterion) {
             .edge("x", "z{(a|b)+}cz", "y")
             .build()
             .unwrap();
-        group.bench_with_input(BenchmarkId::new("data_sweep_k2", db.size()), &db, |b, db| {
-            let ev = BoundedEvaluator::new(&q, 2);
-            b.iter(|| std::hint::black_box(ev.boolean(db)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("data_sweep_k2", db.size()),
+            &db,
+            |b, db| {
+                let ev = BoundedEvaluator::new(&q, 2);
+                b.iter(|| std::hint::black_box(ev.boolean(db)));
+            },
+        );
     }
     // (b) k sweep, pruned vs blind.
-    let db = graphs::random_labeled(alpha.clone(), 64, 128, 4);
+    let db = graphs::random_labeled(alpha, 64, 128, 4);
     let mut a2 = db.alphabet().clone();
     let q = CxrpqBuilder::new(&mut a2)
         .edge("x", "z{ab*}cz", "y")

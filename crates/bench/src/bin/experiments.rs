@@ -12,8 +12,8 @@
 
 use cxrpq_bench::{median_ms, table, time_ms};
 use cxrpq_core::{
-    translate, BoundedEvaluator, CrpqEvaluator, EcrpqEvaluator, GenericEvaluator,
-    GenericOutcome, LogEvaluator, SimpleEvaluator, VsfEvaluator,
+    translate, BoundedEvaluator, CrpqEvaluator, EcrpqEvaluator, GenericEvaluator, GenericOutcome,
+    LogEvaluator, SimpleEvaluator, VsfEvaluator,
 };
 use cxrpq_graph::Alphabet;
 use cxrpq_workloads::{genealogy, graphs, messages, reductions, witnesses};
@@ -23,9 +23,7 @@ use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |name: &str| {
-        args.is_empty() || args.iter().any(|a| a == name || a == "all")
-    };
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
     println!("# EXPERIMENTS — paper vs. measured");
     println!();
     println!(
@@ -168,7 +166,14 @@ fn e2_fig2() {
     println!(
         "{}",
         table(
-            &["people", "‖D‖", "planted", "recalled", "answers", "time (ms)"],
+            &[
+                "people",
+                "‖D‖",
+                "planted",
+                "recalled",
+                "answers",
+                "time (ms)"
+            ],
             &rows
         )
     );
@@ -198,11 +203,7 @@ fn e3_theorem1() {
             let mut alpha = db.alphabet().clone();
             let q = reductions::alpha_ni(&mut alpha);
             let expected = inst.intersection_nonempty();
-            let cap = inst
-                .shortest_witness()
-                .map(|w| w.len())
-                .unwrap_or(5)
-                .max(1);
+            let cap = inst.shortest_witness().map(|w| w.len()).unwrap_or(5).max(1);
             let ev = GenericEvaluator::new(&q, cap);
             let (outcome, ms) = time_ms(|| ev.check(&db, &[s, t]));
             let got = matches!(outcome, GenericOutcome::Match { .. });
@@ -422,7 +423,7 @@ fn e8_bounded() {
         table(&["‖V‖", "‖D‖", "matched", "mappings", "time (ms)"], &rows)
     );
 
-    let db = graphs::random_labeled(alpha.clone(), 64, 128, 4);
+    let db = graphs::random_labeled(alpha, 64, 128, 4);
     let mut a2 = db.alphabet().clone();
     let q = cxrpq_core::CxrpqBuilder::new(&mut a2)
         .edge("x", "z{ab*}cz", "y")
@@ -430,9 +431,7 @@ fn e8_bounded() {
         .expect("static");
     let mut rows = Vec::new();
     for k in 1..=4usize {
-        let (r1, ms1) = time_ms(|| {
-            BoundedEvaluator::new(&q, k).boolean_with_stats(&db)
-        });
+        let (r1, ms1) = time_ms(|| BoundedEvaluator::new(&q, k).boolean_with_stats(&db));
         let (r2, ms2) = time_ms(|| {
             BoundedEvaluator::new(&q, k)
                 .without_pruning()
@@ -475,7 +474,13 @@ fn e9_hitting_set() {
     );
     println!();
     let mut rows = Vec::new();
-    for (n, m, k) in [(2usize, 2usize, 1usize), (3, 2, 1), (4, 2, 1), (3, 3, 1), (2, 2, 2)] {
+    for (n, m, k) in [
+        (2usize, 2usize, 1usize),
+        (3, 2, 1),
+        (4, 2, 1),
+        (3, 3, 1),
+        (2, 2, 2),
+    ] {
         let mut agree = 0;
         let mut total = 0;
         let mut ms_sum = 0.0;
@@ -555,7 +560,7 @@ fn e11_union_crpq() {
     );
     println!();
     let alpha = Arc::new(Alphabet::from_chars("ab"));
-    let db = graphs::random_labeled(alpha.clone(), 48, 96, 13);
+    let db = graphs::random_labeled(alpha, 48, 96, 13);
     let mut a2 = db.alphabet().clone();
     let q = cxrpq_core::CxrpqBuilder::new(&mut a2)
         .edge("x", "z{(a|b)*}az", "y")
@@ -563,8 +568,7 @@ fn e11_union_crpq() {
         .expect("static");
     let mut rows = Vec::new();
     for k in 0..=4usize {
-        let (union, ms_build) =
-            time_ms(|| translate::cxrpq_bounded_to_union_crpq(&q, k, 2));
+        let (union, ms_build) = time_ms(|| translate::cxrpq_bounded_to_union_crpq(&q, k, 2));
         let direct = median_ms(3, || {
             let _ = BoundedEvaluator::new(&q, k).boolean(&db);
         });
@@ -693,7 +697,7 @@ fn e12_expressiveness() {
     let mut rows = Vec::new();
     {
         let alpha = Arc::new(Alphabet::from_chars("ab"));
-        let db = graphs::random_labeled(alpha.clone(), 24, 48, 5);
+        let db = graphs::random_labeled(alpha, 24, 48, 5);
         let mut a2 = db.alphabet().clone();
         let mut pattern = cxrpq_core::GraphPattern::new();
         let x = pattern.node("x");
@@ -753,8 +757,14 @@ fn e13_walkthrough() {
     let (nf, stats) = normal_form(&cx).unwrap();
     let rows = vec![
         vec!["input ‖ᾱ‖".to_string(), stats.input_size.to_string()],
-        vec!["after Step 1 (Lemma 4)".to_string(), stats.after_step1.to_string()],
-        vec!["after Step 2 (Lemma 5)".to_string(), stats.after_step2.to_string()],
+        vec![
+            "after Step 1 (Lemma 4)".to_string(),
+            stats.after_step1.to_string(),
+        ],
+        vec![
+            "after Step 2 (Lemma 5)".to_string(),
+            stats.after_step2.to_string(),
+        ],
         vec!["normal form ‖β̄‖".to_string(), stats.output_size.to_string()],
         vec![
             "branches per component".to_string(),
@@ -786,12 +796,9 @@ fn e14_crpq() {
         let n = 1usize << exp;
         let db = graphs::random_labeled(alpha.clone(), n, 2 * n, 21);
         let mut a2 = db.alphabet().clone();
-        let q = cxrpq_core::Crpq::build(
-            &[("x", "a(a|b)*", "y"), ("y", "(b|c)+", "z")],
-            &[],
-            &mut a2,
-        )
-        .unwrap();
+        let q =
+            cxrpq_core::Crpq::build(&[("x", "a(a|b)*", "y"), ("y", "(b|c)+", "z")], &[], &mut a2)
+                .unwrap();
         let ev = CrpqEvaluator::new(&q);
         let ((found, states), ms) = time_ms(|| ev.boolean_with_stats(&db));
         rows.push(vec![
@@ -849,8 +856,7 @@ fn e15_ecrpq_er() {
         let translated = median_ms(3, || {
             let _ = vsf.boolean(&db);
         });
-        let agree =
-            EcrpqEvaluator::new(&er).boolean(&db) == vsf.boolean(&db);
+        let agree = EcrpqEvaluator::new(&er).boolean(&db) == vsf.boolean(&db);
         rows.push(vec![
             db.size().to_string(),
             format!("{native:.2}"),
@@ -891,8 +897,16 @@ fn e16_witnesses_and_semantics() {
     /// query pattern, and whether a witness must exist.
     type WitnessCase = (&'static [(&'static str, &'static str)], &'static str, bool);
     let cases: &[WitnessCase] = &[
-        (&[("u>m", "ab"), ("m>v", "c"), ("v>w", "ab")], "z{ab|ba}cz", true),
-        (&[("u>m", "ab"), ("m>v", "c"), ("v>w", "ba")], "z{ab|ba}cz", false),
+        (
+            &[("u>m", "ab"), ("m>v", "c"), ("v>w", "ab")],
+            "z{ab|ba}cz",
+            true,
+        ),
+        (
+            &[("u>m", "ab"), ("m>v", "c"), ("v>w", "ba")],
+            "z{ab|ba}cz",
+            false,
+        ),
         (&[("u>v", "abab")], "z{ab}z", true),
         (&[("u>v", "abba")], "z{ab}z", false),
         (&[("u>v", "aacaa")], "y{a+}cy", true),
@@ -902,14 +916,10 @@ fn e16_witnesses_and_semantics() {
         let mut db = cxrpq_graph::GraphBuilder::new(alpha);
         let mut names: std::collections::HashMap<String, cxrpq_graph::NodeId> =
             std::collections::HashMap::new();
-        for (pair, w) in edges.iter() {
+        for (pair, w) in *edges {
             let (s, t) = pair.split_once('>').unwrap();
-            let sn = *names
-                .entry(s.to_string())
-                .or_insert_with(|| db.add_node());
-            let tn = *names
-                .entry(t.to_string())
-                .or_insert_with(|| db.add_node());
+            let sn = *names.entry(s.to_string()).or_insert_with(|| db.add_node());
+            let tn = *names.entry(t.to_string()).or_insert_with(|| db.add_node());
             let word = db.alphabet().parse_word(w).unwrap();
             db.add_word_path(sn, &word, tn);
         }
@@ -938,7 +948,10 @@ fn e16_witnesses_and_semantics() {
     }
     println!(
         "{}",
-        table(&["query", "expected match", "witness found", "certified"], &rows)
+        table(
+            &["query", "expected match", "witness found", "certified"],
+            &rows
+        )
     );
     // (b) path-semantics separation on the lollipop family.
     let mut rows2 = Vec::new();
@@ -956,9 +969,8 @@ fn e16_witnesses_and_semantics() {
         let word = "a".repeat(2 * loops + 1);
         let mut a2 = db.alphabet().clone();
         let db = db.freeze();
-        let nfa = cxrpq_automata::Nfa::from_regex(
-            &cxrpq_automata::parse_regex(&word, &mut a2).unwrap(),
-        );
+        let nfa =
+            cxrpq_automata::Nfa::from_regex(&cxrpq_automata::parse_regex(&word, &mut a2).unwrap());
         rows2.push(vec![
             format!("a^{}", 2 * loops + 1),
             rpq_holds(&db, &nfa, s, t, PathSemantics::Arbitrary).to_string(),
@@ -998,7 +1010,7 @@ fn e17_parallel() {
     // thread does its whole share — the shape NP-hard instances take when
     // no early exit fires.
     let alpha = Arc::new(Alphabet::from_chars("abc"));
-    let db = graphs::random_labeled(alpha.clone(), 512, 1536, 9);
+    let db = graphs::random_labeled(alpha, 512, 1536, 9);
     let mut a2 = db.alphabet().clone();
     let q = CxrpqBuilder::new(&mut a2)
         .edge("x", "y{(a|b)+}c", "m")

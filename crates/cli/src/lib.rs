@@ -21,9 +21,9 @@ use cxrpq_core::query_text::parse_query;
 use cxrpq_core::translate;
 use cxrpq_core::Cxrpq;
 use cxrpq_graph::{read_graph, Alphabet, GraphDb, NodeId};
+use cxrpq_xregex::classification;
 use cxrpq_xregex::normal_form::normal_form;
 use cxrpq_xregex::sample::{sample_conjunctive_match, SampleConfig};
-use cxrpq_xregex::classification;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -98,6 +98,29 @@ pub fn classify(query_text: &str) -> Result<String, CmdError> {
     Ok(out)
 }
 
+/// Renders the static analyzer's report (phase 0 of the solver pipeline):
+/// a one-line summary of the rewrite, then each diagnostic as
+/// `severity [lint] atom: explanation`.
+fn render_analysis(out: &mut String, stats: Option<&cxrpq_core::PipelineStats>) {
+    let Some(report) = stats.and_then(|s| s.analysis.as_ref()) else {
+        return;
+    };
+    let st = &report.stats;
+    let verdict = if st.unsat {
+        "statically unsatisfiable"
+    } else {
+        "rewritten query kept"
+    };
+    let _ = writeln!(
+        out,
+        "analysis: {} atom(s) dropped · {} var(s) merged · {} universal · {}",
+        st.atoms_dropped, st.vars_merged, st.universal_atoms, verdict
+    );
+    for d in report.diagnostics.iter() {
+        let _ = writeln!(out, "  {d}");
+    }
+}
+
 /// Renders the solver pipeline's per-phase stats (plan order, prune rounds,
 /// domain shrinkage) when the chosen engine reports them.
 fn render_pipeline(out: &mut String, stats: Option<&cxrpq_core::PipelineStats>) {
@@ -152,11 +175,7 @@ pub struct EvalCmdOptions {
 }
 
 /// `eval <graph> <query>`: answers (or Boolean verdict) plus provenance.
-pub fn eval(
-    graph_text: &str,
-    query_text: &str,
-    opts: EvalCmdOptions,
-) -> Result<String, CmdError> {
+pub fn eval(graph_text: &str, query_text: &str, opts: EvalCmdOptions) -> Result<String, CmdError> {
     let (db, _) = parse_graph(graph_text)?;
     let (q, _) = parse_query_for(&db, query_text)?;
     let auto = AutoEvaluator::with_options(
@@ -184,6 +203,7 @@ pub fn eval(
             "match: {}  (eval {:?} + plan {:?})",
             r.value, r.elapsed, r.plan_elapsed
         );
+        render_analysis(&mut out, r.pipeline.as_ref());
         render_pipeline(&mut out, r.pipeline.as_ref());
     } else {
         let r = auto.answers(&db);
@@ -194,6 +214,7 @@ pub fn eval(
             r.elapsed,
             r.plan_elapsed
         );
+        render_analysis(&mut out, r.pipeline.as_ref());
         render_pipeline(&mut out, r.pipeline.as_ref());
         let limit = opts.limit.unwrap_or(usize::MAX);
         for tuple in r.value.iter().take(limit) {
@@ -221,11 +242,7 @@ pub fn eval(
 }
 
 /// `check <graph> <query> <node>…`: the Check problem for named nodes.
-pub fn check(
-    graph_text: &str,
-    query_text: &str,
-    node_names: &[&str],
-) -> Result<String, CmdError> {
+pub fn check(graph_text: &str, query_text: &str, node_names: &[&str]) -> Result<String, CmdError> {
     let (db, names) = parse_graph(graph_text)?;
     let (q, _) = parse_query_for(&db, query_text)?;
     if node_names.len() != q.output().len() {
@@ -259,8 +276,7 @@ pub fn check(
 pub fn normal_form_report(query_text: &str) -> Result<String, CmdError> {
     let mut alphabet = Alphabet::new();
     let q = parse_query(query_text, &mut alphabet).map_err(|e| format!("query: {e}"))?;
-    let (nf, stats) =
-        normal_form(q.conjunctive()).map_err(|e| format!("normal form: {e}"))?;
+    let (nf, stats) = normal_form(q.conjunctive()).map_err(|e| format!("normal form: {e}"))?;
     let mut out = String::new();
     let _ = writeln!(out, "input size |ᾱ|:    {}", stats.input_size);
     let _ = writeln!(out, "after Step 1:      {} (Lemma 4)", stats.after_step1);
@@ -299,8 +315,7 @@ pub fn translate_cmd(query_text: &str, target: TranslateTarget) -> Result<String
             let _ = writeln!(out, "input size: {}", q.size());
         }
         TranslateTarget::UnionEcrpq => {
-            let union =
-                translate::cxrpq_vsf_to_union(&q).map_err(|e| format!("translate: {e}"))?;
+            let union = translate::cxrpq_vsf_to_union(&q).map_err(|e| format!("translate: {e}"))?;
             let _ = writeln!(out, "Lemma 13: CXRPQ^vsf → ∪-ECRPQ^er");
             let _ = writeln!(out, "members:    {}", union.len());
             let _ = writeln!(out, "total size: {}", union.size());
@@ -328,7 +343,8 @@ pub fn sample(query_text: &str, count: usize, seed: u64) -> Result<String, CmdEr
         if produced == count {
             break;
         }
-        if let Some((words, vmap)) = sample_conjunctive_match(q.conjunctive(), sigma, &cfg, &mut rng)
+        if let Some((words, vmap)) =
+            sample_conjunctive_match(q.conjunctive(), sigma, &cfg, &mut rng)
         {
             let rendered: Vec<String> = words
                 .iter()
@@ -411,6 +427,27 @@ edge m4 b v
         // The simple engine reports the solver pipeline's per-phase stats.
         assert!(out.contains("pipeline: order ["), "{out}");
         assert!(out.contains("domains"), "{out}");
+    }
+
+    #[test]
+    fn eval_renders_analyzer_diagnostics() {
+        // The second atom's language contains the first's, so the analyzer
+        // drops it and the CLI surfaces the lint.
+        let query = "ans(x, y) <- (x) -[ ab ]-> (y), (x) -[ a(b|c) ]-> (y)";
+        let out = eval(GRAPH, query, EvalCmdOptions::default()).unwrap();
+        assert!(out.contains("analysis: 1 atom(s) dropped"), "{out}");
+        assert!(out.contains("[subsumed-atom]"), "{out}");
+        assert!(out.contains("warning"), "{out}");
+        assert!(out.contains("(u, m2)"), "{out}");
+    }
+
+    #[test]
+    fn eval_reports_static_unsat() {
+        let query = "ans(x, y) <- (x) -[ ab ]-> (y), (x) -[ ! ]-> (y)";
+        let out = eval(GRAPH, query, EvalCmdOptions::default()).unwrap();
+        assert!(out.contains("answers: 0"), "{out}");
+        assert!(out.contains("statically unsatisfiable"), "{out}");
+        assert!(out.contains("[empty-atom]"), "{out}");
     }
 
     #[test]

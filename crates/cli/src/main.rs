@@ -127,7 +127,11 @@ fn run(args: &[String]) -> Result<String, String> {
                     k: k.ok_or("union-crpq needs --k")?,
                 },
                 Some("union-ecrpq") => TranslateTarget::UnionEcrpq,
-                other => return Err(format!("--to must be union-crpq|union-ecrpq, got {other:?}")),
+                other => {
+                    return Err(format!(
+                        "--to must be union-crpq|union-ecrpq, got {other:?}"
+                    ))
+                }
             };
             translate_cmd(&read(path)?, target)
         }

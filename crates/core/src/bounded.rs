@@ -40,11 +40,7 @@ pub struct BoundedEvaluator<'q> {
 impl<'q> BoundedEvaluator<'q> {
     /// Evaluator for `q^{≤k}` with candidate pruning enabled.
     pub fn new(q: &'q Cxrpq, k: usize) -> Self {
-        Self {
-            q,
-            k,
-            prune: true,
-        }
+        Self { q, k, prune: true }
     }
 
     /// Disables candidate pruning (blind `(Σ^{≤k})ⁿ` enumeration) — the
@@ -347,9 +343,9 @@ impl<'q> BoundedEvaluator<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxrpq_graph::GraphBuilder;
     use crate::cxrpq::CxrpqBuilder;
     use cxrpq_graph::Alphabet;
+    use cxrpq_graph::GraphBuilder;
     use std::sync::Arc;
 
     fn path_db(words: &[&str]) -> (GraphDb, Vec<(NodeId, NodeId)>) {

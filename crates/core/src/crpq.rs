@@ -75,7 +75,10 @@ impl Crpq {
 
     /// Quick syntactic emptiness: some edge label denotes ∅.
     pub fn has_empty_edge(&self) -> bool {
-        self.pattern.edges().iter().any(|(_, r, _)| r.is_empty_lang())
+        self.pattern
+            .edges()
+            .iter()
+            .any(|(_, r, _)| r.is_empty_lang())
     }
 }
 
@@ -110,9 +113,6 @@ impl<'q> CrpqEvaluator<'q> {
     /// Boolean evaluation plus the number of product states explored (the
     /// measured proxy for the NL space bound).
     pub fn boolean_with_stats(&self, db: &GraphDb) -> (bool, usize) {
-        if self.q.has_empty_edge() {
-            return (false, 0);
-        }
         let mut p = self.problem();
         let mut found = false;
         let opts = SolveOptions::early_exit().projected();
@@ -130,9 +130,6 @@ impl<'q> CrpqEvaluator<'q> {
     /// [`CrpqEvaluator::boolean`] under explicit solver options, with the
     /// pipeline stats of the run.
     pub fn boolean_opts(&self, db: &GraphDb, opts: &SolveOptions) -> (bool, Option<PipelineStats>) {
-        if self.q.has_empty_edge() {
-            return (false, None);
-        }
         let mut p = self.problem();
         let mut found = false;
         p.solve_with(db, &HashMap::new(), &[], opts, &mut |_| {
@@ -147,7 +144,8 @@ impl<'q> CrpqEvaluator<'q> {
     /// outside the output tuple are existentially eliminated and each
     /// projected tuple is emitted once, directly.
     pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
-        self.answers_opts(db, &SolveOptions::pipeline().projected()).0
+        self.answers_opts(db, &SolveOptions::pipeline().projected())
+            .0
     }
 
     /// [`CrpqEvaluator::answers`] under explicit solver options, with the
@@ -164,9 +162,6 @@ impl<'q> CrpqEvaluator<'q> {
         opts: &SolveOptions,
     ) -> (BTreeSet<Vec<NodeId>>, Option<PipelineStats>) {
         let mut out = BTreeSet::new();
-        if self.q.has_empty_edge() {
-            return (out, None);
-        }
         let mut p = self.problem();
         let output = self.q.output.clone();
         p.solve_with(db, &HashMap::new(), &output, opts, &mut |bindings| {
@@ -196,9 +191,6 @@ impl<'q> CrpqEvaluator<'q> {
         opts: &SolveOptions,
     ) -> (bool, Option<PipelineStats>) {
         assert_eq!(tuple.len(), self.q.output.len(), "arity mismatch");
-        if self.q.has_empty_edge() {
-            return (false, None);
-        }
         let mut pinned = HashMap::new();
         for (v, n) in self.q.output.iter().zip(tuple) {
             // Repeated output variables must agree.
@@ -236,16 +228,19 @@ impl<'q> CrpqEvaluator<'q> {
         db: &GraphDb,
         pinned: &HashMap<NodeVar, NodeId>,
     ) -> Option<QueryWitness> {
-        if self.q.has_empty_edge() {
-            return None;
-        }
         let mut p = self.problem();
         let required: Vec<NodeVar> = self.q.pattern.node_vars().collect();
         let mut sol: Option<Vec<Option<NodeId>>> = None;
-        p.solve_with(db, pinned, &required, &SolveOptions::early_exit(), &mut |b| {
-            sol = Some(b.to_vec());
-            true
-        });
+        p.solve_with(
+            db,
+            pinned,
+            &required,
+            &SolveOptions::early_exit(),
+            &mut |b| {
+                sol = Some(b.to_vec());
+                true
+            },
+        );
         let b = sol?;
         let node = |v: NodeVar| b[v.index()].expect("required variables are bound");
         let mut paths = Vec::with_capacity(self.q.pattern.edge_count());
@@ -346,12 +341,7 @@ mod tests {
         // shape on a small graph where it fails).
         let (db, _) = family_db();
         let mut alpha = db.alphabet().clone();
-        let q = Crpq::build(
-            &[("v1", "p+", "m"), ("v1", "s+", "m")],
-            &[],
-            &mut alpha,
-        )
-        .unwrap();
+        let q = Crpq::build(&[("v1", "p+", "m"), ("v1", "s+", "m")], &[], &mut alpha).unwrap();
         assert!(!CrpqEvaluator::new(&q).boolean(&db));
     }
 

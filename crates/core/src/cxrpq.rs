@@ -201,12 +201,9 @@ impl<'a> CxrpqBuilder<'a> {
     pub fn build(self) -> Result<Cxrpq, CxrpqError> {
         let labels: Vec<&str> = self.edges.iter().map(|(_, l, _)| l.as_str()).collect();
         let declared: Vec<&str> = self.declared_vars.iter().map(String::as_str).collect();
-        let (comps, vars) = cxrpq_xregex::parser::parse_conjunctive_with_vars(
-            &labels,
-            &declared,
-            self.alphabet,
-        )
-        .map_err(CxrpqError::Parse)?;
+        let (comps, vars) =
+            cxrpq_xregex::parser::parse_conjunctive_with_vars(&labels, &declared, self.alphabet)
+                .map_err(CxrpqError::Parse)?;
         let cxre = ConjunctiveXregex::new(comps, vars).map_err(CxrpqError::Conjunctive)?;
         let mut pattern = GraphPattern::new();
         for (i, (src, _, dst)) in self.edges.iter().enumerate() {

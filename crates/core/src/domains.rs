@@ -84,7 +84,9 @@ impl Domains {
     /// Full domains: every variable may take any of `db_nodes` nodes.
     pub fn full(node_vars: usize, db_nodes: usize) -> Self {
         Self {
-            doms: (0..node_vars).map(|_| DenseBitSet::full(db_nodes)).collect(),
+            doms: (0..node_vars)
+                .map(|_| DenseBitSet::full(db_nodes))
+                .collect(),
             sizes: vec![db_nodes; node_vars],
             universe: db_nodes,
         }
@@ -159,9 +161,13 @@ impl Domains {
                 continue;
             }
             if forward {
-                edges[i].cache.fill_targets_with(db, &near_members, per_source);
+                edges[i]
+                    .cache
+                    .fill_targets_with(db, &near_members, per_source);
             } else {
-                edges[i].cache.fill_sources_with(db, &near_members, per_source);
+                edges[i]
+                    .cache
+                    .fill_sources_with(db, &near_members, per_source);
             }
             let mut new_far = DenseBitSet::new(self.universe);
             let mut new_far_size = 0usize;
@@ -237,9 +243,9 @@ impl Domains {
         for _ in 0..max_rounds {
             out.rounds += 1;
             let changed = self.pass(db, edges, &order, out.per_source_sweeps);
-            let emptied = edges.iter().any(|e| {
-                self.sizes[e.src.index()] == 0 || self.sizes[e.dst.index()] == 0
-            });
+            let emptied = edges
+                .iter()
+                .any(|e| self.sizes[e.src.index()] == 0 || self.sizes[e.dst.index()] == 0);
             if emptied {
                 out.emptied = true;
                 return out;

@@ -144,10 +144,8 @@ impl<'q> EcrpqEvaluator<'q> {
                 .iter()
                 .map(|&e| Nfa::from_regex(&self.q.pattern.edges()[e].1))
                 .collect();
-            let srcs: Vec<NodeVar> =
-                edges.iter().map(|&e| self.q.pattern.edges()[e].0).collect();
-            let dsts: Vec<NodeVar> =
-                edges.iter().map(|&e| self.q.pattern.edges()[e].2).collect();
+            let srcs: Vec<NodeVar> = edges.iter().map(|&e| self.q.pattern.edges()[e].0).collect();
+            let dsts: Vec<NodeVar> = edges.iter().map(|&e| self.q.pattern.edges()[e].2).collect();
             p.groups.push(Group::new(
                 srcs,
                 dsts,
@@ -171,7 +169,8 @@ impl<'q> EcrpqEvaluator<'q> {
 
     /// Boolean evaluation `D ⊨ q`.
     pub fn boolean(&self, db: &GraphDb) -> bool {
-        self.boolean_opts(db, &SolveOptions::early_exit().projected()).0
+        self.boolean_opts(db, &SolveOptions::early_exit().projected())
+            .0
     }
 
     /// [`EcrpqEvaluator::boolean`] under explicit solver options, with the
@@ -190,7 +189,8 @@ impl<'q> EcrpqEvaluator<'q> {
     /// pattern variables outside the output tuple are existentially
     /// eliminated instead of enumerated.
     pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
-        self.answers_opts(db, &SolveOptions::pipeline().projected()).0
+        self.answers_opts(db, &SolveOptions::pipeline().projected())
+            .0
     }
 
     /// [`EcrpqEvaluator::answers`] under explicit solver options, with the
@@ -275,10 +275,16 @@ impl<'q> EcrpqEvaluator<'q> {
         let mut p = self.problem();
         let required: Vec<NodeVar> = self.q.pattern.node_vars().collect();
         let mut sol: Option<Vec<Option<NodeId>>> = None;
-        p.solve_with(db, pinned, &required, &SolveOptions::early_exit(), &mut |b| {
-            sol = Some(b.to_vec());
-            true
-        });
+        p.solve_with(
+            db,
+            pinned,
+            &required,
+            &SolveOptions::early_exit(),
+            &mut |b| {
+                sol = Some(b.to_vec());
+                true
+            },
+        );
         let b = sol?;
         let node = |v: NodeVar| b[v.index()].expect("required variables are bound");
         let m = self.q.pattern.edge_count();
@@ -321,9 +327,9 @@ impl<'q> EcrpqEvaluator<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxrpq_graph::GraphBuilder;
     use cxrpq_automata::parse_regex;
     use cxrpq_graph::Alphabet;
+    use cxrpq_graph::GraphBuilder;
     use std::sync::Arc;
 
     /// Builds the Figure 6 query q_{aⁿbⁿ}: x -c-> y1 -a*-> y2 -c-> z and
@@ -524,7 +530,7 @@ mod tests {
         let x = pattern.node("x");
         let y = pattern.node("y");
         let r = parse_regex("a", &mut alpha).unwrap();
-        pattern.add_edge(x, r.clone(), y);
+        pattern.add_edge(x, r, y);
         assert!(matches!(
             Ecrpq::new(
                 pattern.clone(),

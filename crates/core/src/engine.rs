@@ -174,9 +174,7 @@ impl<'q> AutoEvaluator<'q> {
         let engine = match choice {
             EngineKind::Simple => EngineImpl::Simple(SimpleEvaluator::new(q).expect("planned")),
             EngineKind::Vsf => EngineImpl::Vsf(VsfEvaluator::new(q).expect("planned")),
-            EngineKind::Bounded => {
-                EngineImpl::Bounded(BoundedEvaluator::new(q, opts.bounded_k))
-            }
+            EngineKind::Bounded => EngineImpl::Bounded(BoundedEvaluator::new(q, opts.bounded_k)),
         };
         // Bounded evaluation is exact only under the `≤k` reading; the other
         // engines decide the unrestricted semantics of their fragments.
@@ -221,9 +219,7 @@ impl<'q> AutoEvaluator<'q> {
     /// Boolean evaluation with provenance.
     pub fn boolean(&self, db: &GraphDb) -> Evaluated<bool> {
         self.timed(|| match &self.engine {
-            EngineImpl::Simple(ev) => {
-                ev.boolean_opts(db, &SolveOptions::early_exit().projected())
-            }
+            EngineImpl::Simple(ev) => ev.boolean_opts(db, &SolveOptions::early_exit().projected()),
             EngineImpl::Vsf(ev) => (ev.boolean(db), None),
             EngineImpl::Bounded(ev) => (ev.boolean(db), None),
         })
@@ -233,9 +229,7 @@ impl<'q> AutoEvaluator<'q> {
     /// variables are existentially eliminated by the solver).
     pub fn answers(&self, db: &GraphDb) -> Evaluated<BTreeSet<Vec<NodeId>>> {
         self.timed(|| match &self.engine {
-            EngineImpl::Simple(ev) => {
-                ev.answers_opts(db, &SolveOptions::pipeline().projected())
-            }
+            EngineImpl::Simple(ev) => ev.answers_opts(db, &SolveOptions::pipeline().projected()),
             EngineImpl::Vsf(ev) => (ev.answers(db), None),
             EngineImpl::Bounded(ev) => (ev.answers(db), None),
         })
@@ -265,9 +259,9 @@ impl<'q> AutoEvaluator<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxrpq_graph::GraphBuilder;
     use crate::cxrpq::CxrpqBuilder;
     use cxrpq_graph::Alphabet;
+    use cxrpq_graph::GraphBuilder;
     use std::sync::Arc;
 
     fn db_word(word: &str) -> (GraphDb, NodeId, NodeId) {
@@ -397,7 +391,10 @@ mod tests {
         let auto = AutoEvaluator::new(&q);
         assert_eq!(auto.plan(), EngineKind::Simple);
         let r = auto.answers(&db);
-        let stats = r.pipeline.as_ref().expect("simple engine reports pipeline stats");
+        let stats = r
+            .pipeline
+            .as_ref()
+            .expect("simple engine reports pipeline stats");
         assert!(!stats.var_order.is_empty());
         assert!(stats.total_after() <= stats.total_before());
         assert!(r.value.contains(&vec![s, t]));

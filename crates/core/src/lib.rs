@@ -26,9 +26,11 @@
 //! [`translate::cxrpq_vsf_to_union_ecrpq_er`] (Lemma 13),
 //! [`translate::cxrpq_bounded_to_union_crpq`] (Lemma 14).
 
+pub mod analyze;
 pub mod bounded;
 pub mod crpq;
 pub mod cxrpq;
+pub mod diagnostics;
 pub mod domains;
 pub mod ecrpq;
 pub mod engine;
@@ -49,22 +51,24 @@ pub mod union_query;
 pub mod vsf_eval;
 pub mod witness;
 
+pub use analyze::{AnalysisReport, AnalysisStats};
 pub use bounded::{BoundedEvaluator, BoundedStats};
 pub use crpq::{Crpq, CrpqEvaluator};
 pub use cxrpq::{Cxrpq, CxrpqBuilder, CxrpqError};
+pub use diagnostics::{AtomRef, Diagnostic, Diagnostics, Lint, Severity};
 pub use domains::Domains;
-pub use plan::SolvePlan;
-pub use solve::{PipelineStats, SolveOptions};
 pub use ecrpq::{Ecrpq, EcrpqEvaluator};
-pub use engine::{AutoEvaluator, Evaluated, EngineKind, EvalOptions};
+pub use engine::{AutoEvaluator, EngineKind, EvalOptions, Evaluated};
 pub use frontier::FrontierConfig;
 pub use generic::{GenericEvaluator, GenericOutcome};
 pub use log_eval::LogEvaluator;
 pub use path_semantics::{rpq_holds, rpq_pairs, rpq_witness, PathSemantics};
 pub use pattern::{GraphPattern, NodeVar};
+pub use plan::SolvePlan;
 pub use query_text::{parse_query, render_query, QueryTextError};
 pub use relation::{RegularRelation, RelLabel, TupComp};
 pub use simple_eval::SimpleEvaluator;
+pub use solve::{PipelineStats, SolveOptions};
 pub use union_query::{UnionCrpq, UnionEcrpq};
 pub use vsf_eval::VsfEvaluator;
 pub use witness::{edge_path, QueryWitness};

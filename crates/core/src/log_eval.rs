@@ -54,9 +54,9 @@ impl<'q> LogEvaluator<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxrpq_graph::GraphBuilder;
     use crate::cxrpq::CxrpqBuilder;
     use cxrpq_graph::Alphabet;
+    use cxrpq_graph::GraphBuilder;
     use std::sync::Arc;
 
     #[test]

@@ -35,13 +35,7 @@ pub enum PathSemantics {
 
 /// Is there a path `from →* to` labelled by a word of `L(nfa)` under the
 /// given semantics?
-pub fn rpq_holds(
-    db: &GraphDb,
-    nfa: &Nfa,
-    from: NodeId,
-    to: NodeId,
-    sem: PathSemantics,
-) -> bool {
+pub fn rpq_holds(db: &GraphDb, nfa: &Nfa, from: NodeId, to: NodeId, sem: PathSemantics) -> bool {
     rpq_witness(db, nfa, from, to, sem).is_some()
 }
 
@@ -93,8 +87,7 @@ pub fn rpq_pairs(db: &GraphDb, nfa: &Nfa, sem: PathSemantics) -> BTreeSet<(NodeI
         PathSemantics::Arbitrary if probe_long_diameter(db) => {
             let mut scratch = ReachScratch::default();
             for u in db.nodes() {
-                for v in reach_set_scratch(db, nfa, u, Direction::Forward, None, &mut scratch)
-                {
+                for v in reach_set_scratch(db, nfa, u, Direction::Forward, None, &mut scratch) {
                     out.insert((u, v));
                 }
             }
@@ -197,9 +190,9 @@ impl RestrictedSearch<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxrpq_graph::GraphBuilder;
     use cxrpq_automata::parse_regex;
     use cxrpq_graph::Alphabet;
+    use cxrpq_graph::GraphBuilder;
     use std::sync::Arc;
 
     fn nfa(db: &GraphDb, pattern: &str) -> Nfa {
@@ -272,12 +265,22 @@ mod tests {
         let mut nodes = w_simple.nodes().to_vec();
         nodes.sort();
         nodes.dedup();
-        assert_eq!(nodes.len(), w_simple.nodes().len(), "nodes must be distinct");
+        assert_eq!(
+            nodes.len(),
+            w_simple.nodes().len(),
+            "nodes must be distinct"
+        );
         let m3 = nfa(&db, "aaa");
         let w_trail = rpq_witness(&db, &m3, s, t, PathSemantics::Trail).unwrap();
         assert!(w_trail.is_valid_in(&db));
         let mut edges: Vec<_> = (0..w_trail.len())
-            .map(|i| (w_trail.nodes()[i], w_trail.label()[i], w_trail.nodes()[i + 1]))
+            .map(|i| {
+                (
+                    w_trail.nodes()[i],
+                    w_trail.label()[i],
+                    w_trail.nodes()[i + 1],
+                )
+            })
             .collect();
         edges.sort();
         edges.dedup();
@@ -310,12 +313,12 @@ mod tests {
             b.add_edge(w[0], a, w[1]);
         }
         let db = b.freeze();
-        assert!(crate::domains::probe_long_diameter(&db));
+        assert!(probe_long_diameter(&db));
         let m = nfa(&db, "aaa");
         let routed = rpq_pairs(&db, &m, PathSemantics::Arbitrary);
         let mut reference = BTreeSet::new();
         let sources: Vec<NodeId> = db.nodes().collect();
-        let sets = crate::reach::reach_all(&db, &m, &sources, Direction::Forward, None);
+        let sets = reach_all(&db, &m, &sources, Direction::Forward, None);
         for (u, set) in sources.into_iter().zip(sets) {
             for v in set {
                 reference.insert((u, v));

@@ -188,14 +188,33 @@ impl SolvePlan {
     /// label statistics of `db`. `output` is the query's output tuple
     /// (empty for Boolean queries); it splits the emitted order into the
     /// enumerate prefix and the existential suffix.
+    ///
+    /// `universal` flags free edges whose language the static analyzer
+    /// proved `Σ*`-universal (pass `&[]` when no analysis ran): such an
+    /// edge filters nothing, so its cost is forced to `u64::MAX` and every
+    /// cost comparison — seeding, extension choice, prune visit order —
+    /// defers it behind all genuinely selective constraints. Costs are
+    /// only ever compared, never summed, so the sentinel cannot overflow
+    /// into neighbouring estimates.
     pub fn build(
         node_count: usize,
         free: &[FreeEdge],
         groups: &[Group],
         output: &[NodeVar],
+        universal: &[bool],
         db: &GraphDb,
     ) -> Self {
-        let edge_cost: Vec<u64> = free.iter().map(|e| nfa_cost(e.cache.nfa(), db)).collect();
+        let edge_cost: Vec<u64> = free
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                if universal.get(i).copied().unwrap_or(false) {
+                    u64::MAX
+                } else {
+                    nfa_cost(e.cache.nfa(), db)
+                }
+            })
+            .collect();
         let group_cost: Vec<u64> = groups
             .iter()
             .map(|g| {
@@ -286,7 +305,11 @@ impl SolvePlan {
                 .unwrap_or(0);
             for &v in &c.vars {
                 let e = &mut last_use[v.index()];
-                *e = if *e == usize::MAX { cmax } else { (*e).max(cmax) };
+                *e = if *e == usize::MAX {
+                    cmax
+                } else {
+                    (*e).max(cmax)
+                };
             }
         }
         let mut prefix_len = 0;
@@ -352,7 +375,7 @@ mod tests {
         // b+ (8 arcs) vs a (1 arc): the a-edge is cheaper and its variables
         // lead the order even though it appears second in query text.
         let free = vec![edge(&db, 0, 1, "b+"), edge(&db, 1, 2, "a")];
-        let plan = SolvePlan::build(3, &free, &[], &[], &db);
+        let plan = SolvePlan::build(3, &free, &[], &[], &[], &db);
         assert!(plan.edge_cost[0] > plan.edge_cost[1]);
         assert_eq!(plan.var_order[0], NodeVar(1));
         assert_eq!(plan.var_order[1], NodeVar(2));
@@ -371,7 +394,7 @@ mod tests {
             edge(&db, 2, 3, "a"),
             edge(&db, 3, 0, "b"),
         ];
-        let plan = SolvePlan::build(4, &free, &[], &[], &db);
+        let plan = SolvePlan::build(4, &free, &[], &[], &[], &db);
         assert_eq!(plan.var_order[0], NodeVar(2));
         assert_eq!(plan.var_order[1], NodeVar(3));
         // Edge 3–0 (connected, cost 8) is taken before the disconnected
@@ -392,7 +415,7 @@ mod tests {
             vec![NodeVar(1), NodeVar(2)],
             SyncSpec::equality_group(Some(def), 2),
         )];
-        let plan = SolvePlan::build(5, &[], &groups, &[], &db);
+        let plan = SolvePlan::build(5, &[], &groups, &[], &[], &db);
         assert_eq!(plan.group_cost.len(), 1);
         assert!(plan.group_cost[0] > 0);
         assert_eq!(plan.var_order.len(), 3); // 0, 1, 2 — not 3, 4
@@ -427,7 +450,7 @@ mod tests {
         // a-edge (cheap) leads and places its output variable first:
         // order [2, 1, 0]. Output {2}: prefix [2], suffix [1, 0].
         let free = vec![edge(&db, 0, 1, "b+"), edge(&db, 1, 2, "a")];
-        let plan = SolvePlan::build(4, &free, &[], &[NodeVar(2)], &db);
+        let plan = SolvePlan::build(4, &free, &[], &[NodeVar(2)], &[], &db);
         assert_eq!(plan.var_order, vec![NodeVar(2), NodeVar(1), NodeVar(0)]);
         assert_eq!(plan.prefix_len, 1);
         assert_eq!(plan.existential_vars(), 2);
@@ -442,7 +465,7 @@ mod tests {
 
         // Boolean (empty output): the whole order is existential.
         let free2 = vec![edge(&db, 0, 1, "b+")];
-        let plan2 = SolvePlan::build(2, &free2, &[], &[], &db);
+        let plan2 = SolvePlan::build(2, &free2, &[], &[], &[], &db);
         assert_eq!(plan2.prefix_len, 0);
         assert_eq!(plan2.existential_vars(), 2);
     }
@@ -453,7 +476,7 @@ mod tests {
         // Two disconnected b-edges with identical cost: the one whose
         // variables include an output wins the tie, regardless of index.
         let free = vec![edge(&db, 0, 1, "b"), edge(&db, 2, 3, "b")];
-        let plan = SolvePlan::build(4, &free, &[], &[NodeVar(3)], &db);
+        let plan = SolvePlan::build(4, &free, &[], &[NodeVar(3)], &[], &db);
         assert_eq!(plan.edge_cost[0], plan.edge_cost[1]);
         assert_eq!(plan.var_order[0], NodeVar(3), "output placed first");
         assert_eq!(plan.var_order[1], NodeVar(2));
@@ -462,7 +485,7 @@ mod tests {
         // But cost still dominates the bias: a cheaper non-output edge
         // leads over a pricier output-touching one.
         let free2 = vec![edge(&db, 0, 1, "b+"), edge(&db, 1, 2, "a")];
-        let plan2 = SolvePlan::build(3, &free2, &[], &[NodeVar(0)], &db);
+        let plan2 = SolvePlan::build(3, &free2, &[], &[NodeVar(0)], &[], &db);
         assert_eq!(plan2.var_order[0], NodeVar(1));
         assert_eq!(plan2.var_order[1], NodeVar(2));
         // The b+ edge then places the output variable 0 last; the prefix

@@ -317,7 +317,10 @@ mod tests {
         assert!(matches!(e, QueryTextError::Build(_)));
         // Unknown output variable.
         let e2 = parse_query("ans(zz) <- (x) -[ a ]-> (y)", &mut alpha).unwrap_err();
-        assert!(matches!(e2, QueryTextError::Build(CxrpqError::UnknownOutput(_))));
+        assert!(matches!(
+            e2,
+            QueryTextError::Build(CxrpqError::UnknownOutput(_))
+        ));
     }
 
     #[test]

@@ -150,10 +150,10 @@ pub fn reach_set_scratch(
     let mut out = HashSet::new();
     let mut queue: VecDeque<(NodeId, StateId)> = VecDeque::new();
     let push = |queue: &mut VecDeque<(NodeId, StateId)>,
-                    visited: &mut DenseBitSet,
-                    touched: &mut Vec<usize>,
-                    node: NodeId,
-                    st: StateId| {
+                visited: &mut DenseBitSet,
+                touched: &mut Vec<usize>,
+                node: NodeId,
+                st: StateId| {
         let cell = node.index() * q + st.index();
         if visited.insert(cell) {
             touched.push(cell);
@@ -231,7 +231,15 @@ pub fn reach_all_with(
     stats: Option<&ReachStats>,
     cfg: &FrontierConfig,
 ) -> Vec<HashSet<NodeId>> {
-    reach_all_scratch(db, nfa, sources, dir, stats, cfg, &mut WaveScratch::default())
+    reach_all_scratch(
+        db,
+        nfa,
+        sources,
+        dir,
+        stats,
+        cfg,
+        &mut WaveScratch::default(),
+    )
 }
 
 /// Reusable membership storage for repeated [`reach_all_scratch`] calls
@@ -290,10 +298,7 @@ pub fn reach_all_scratch(
         is_final[f.index()] = true;
     }
     scratch.ensure(cells);
-    let WaveScratch {
-        member,
-        dirty_seen,
-    } = scratch;
+    let WaveScratch { member, dirty_seen } = scratch;
     let member = &member[..cells];
     // Cells whose membership went 0 → nonzero this stripe — exactly the
     // explored region, recorded so the harvest and the clearing pass never
@@ -414,8 +419,7 @@ pub fn reach_all_scratch(
                     let mut born: Vec<usize> = Vec::new();
                     let mut shard_visits = 0usize;
                     for &cell in slice {
-                        shard_visits +=
-                            expand_cell(cell, &mut |c| dirty.push(c), &mut born);
+                        shard_visits += expand_cell(cell, &mut |c| dirty.push(c), &mut born);
                     }
                     (dirty, born, shard_visits)
                 });
@@ -824,8 +828,7 @@ mod tests {
         let mut scratch = ReachScratch::default();
         for &n in &nodes {
             let fresh = reach_set(&db, &m, n, Direction::Forward, None);
-            let reused =
-                reach_set_scratch(&db, &m, n, Direction::Forward, None, &mut scratch);
+            let reused = reach_set_scratch(&db, &m, n, Direction::Forward, None, &mut scratch);
             assert_eq!(fresh, reused);
         }
     }
@@ -867,14 +870,17 @@ mod tests {
         let dup = [nodes[0], nodes[0], nodes[3]];
         let sets = reach_all(&db, &m, &dup, Direction::Forward, None);
         assert_eq!(sets[0], sets[1]);
-        assert_eq!(sets[2], reach_set(&db, &m, nodes[3], Direction::Forward, None));
+        assert_eq!(
+            sets[2],
+            reach_set(&db, &m, nodes[3], Direction::Forward, None)
+        );
     }
 
     #[test]
     fn reach_all_forced_parallel_matches_serial() {
         let (db, nodes) = line_db(&"ab".repeat(40));
         let m = nfa_of(&db, "(ab)*(a|_)");
-        let parallel = crate::frontier::FrontierConfig::with_threads(4).with_serial_threshold(0);
+        let parallel = FrontierConfig::with_threads(4).with_serial_threshold(0);
         let fast = reach_all_with(&db, &m, &nodes, Direction::Forward, None, &parallel);
         let slow = reach_all_with(
             &db,
@@ -882,7 +888,7 @@ mod tests {
             &nodes,
             Direction::Forward,
             None,
-            &crate::frontier::FrontierConfig::serial(),
+            &FrontierConfig::serial(),
         );
         assert_eq!(fast, slow);
     }

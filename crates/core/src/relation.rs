@@ -44,8 +44,7 @@ impl RelLabel {
                     })
             }
             RelLabel::AllEqualSym => {
-                tuple.iter().all(Option::is_some)
-                    && tuple.windows(2).all(|w| w[0] == w[1])
+                tuple.iter().all(Option::is_some) && tuple.windows(2).all(|w| w[0] == w[1])
             }
         }
     }
@@ -186,12 +185,17 @@ impl RegularRelation {
         r.add_transition(0, RelLabel::Tuple(vec![TupComp::Any, TupComp::Any]), 0);
         for i in 0..d {
             let (from_r, to_r) = (if i == 0 { 0 } else { i as u32 }, (i + 1) as u32);
-            r.add_transition(from_r, RelLabel::Tuple(vec![TupComp::Pad, TupComp::Any]), to_r);
-            let (from_l, to_l) = (
-                if i == 0 { 0 } else { (d + i) as u32 },
-                (d + i + 1) as u32,
+            r.add_transition(
+                from_r,
+                RelLabel::Tuple(vec![TupComp::Pad, TupComp::Any]),
+                to_r,
             );
-            r.add_transition(from_l, RelLabel::Tuple(vec![TupComp::Any, TupComp::Pad]), to_l);
+            let (from_l, to_l) = (if i == 0 { 0 } else { (d + i) as u32 }, (d + i + 1) as u32);
+            r.add_transition(
+                from_l,
+                RelLabel::Tuple(vec![TupComp::Any, TupComp::Pad]),
+                to_l,
+            );
         }
         r
     }
@@ -203,8 +207,7 @@ impl RegularRelation {
         let max = words.iter().map(Vec::len).max().unwrap_or(0);
         let mut states = vec![self.start];
         for i in 0..max {
-            let tuple: Vec<Option<Symbol>> =
-                words.iter().map(|w| w.get(i).copied()).collect();
+            let tuple: Vec<Option<Symbol>> = words.iter().map(|w| w.get(i).copied()).collect();
             let mut next = Vec::new();
             for &s in &states {
                 for (l, t) in self.transitions(s) {

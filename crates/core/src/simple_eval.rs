@@ -76,6 +76,9 @@ struct Plan {
     /// Basic-definition chains `x{y}` eliminated up front: `(x, y)` means
     /// `ψ(x) = ψ(y)` in every witness.
     chains: Vec<(Var, Var)>,
+    /// Variables with ε-only definition bodies, erased before subdivision:
+    /// `ψ(x) = ε` in every witness, and no group is synchronized for them.
+    eps_vars: Vec<Var>,
 }
 
 /// The Lemma 3 engine.
@@ -116,16 +119,47 @@ pub(crate) fn deref_basic_chains(comps: &mut [Xregex]) -> Vec<(Var, Var)> {
     chains
 }
 
+/// Erases every variable whose definition body is ε-only (`x{_}`,
+/// `x{ε*}`, …): such a variable is bound to ε on every match, so its
+/// definition and references contribute nothing to the subdivided pattern
+/// — without this rewrite each would still cost a synchronized equality
+/// group (or a Σ*-NFA walker for the references). Returns the erased
+/// variables so witness extraction reports `ψ(x) = ε` for them.
+pub(crate) fn eliminate_epsilon_vars(comps: &mut [Xregex]) -> Vec<Var> {
+    let mut eps: Vec<Var> = Vec::new();
+    for c in comps.iter() {
+        c.walk(&mut |n| {
+            if let Xregex::VarDef(x, body) = n {
+                if body.is_epsilon_only() && !eps.contains(x) {
+                    eps.push(*x);
+                }
+            }
+        });
+    }
+    for &x in &eps {
+        for c in comps.iter_mut() {
+            *c = c.erase_var(x);
+        }
+    }
+    eps
+}
+
 fn replace_def_by(r: &Xregex, x: Var, replacement: &Xregex) -> Xregex {
     match r {
         Xregex::VarDef(y, _) if *y == x => replacement.clone(),
-        Xregex::VarDef(y, body) => Xregex::VarDef(*y, Box::new(replace_def_by(body, x, replacement))),
-        Xregex::Concat(ps) => {
-            Xregex::Concat(ps.iter().map(|p| replace_def_by(p, x, replacement)).collect())
+        Xregex::VarDef(y, body) => {
+            Xregex::VarDef(*y, Box::new(replace_def_by(body, x, replacement)))
         }
-        Xregex::Alt(ps) => {
-            Xregex::Alt(ps.iter().map(|p| replace_def_by(p, x, replacement)).collect())
-        }
+        Xregex::Concat(ps) => Xregex::Concat(
+            ps.iter()
+                .map(|p| replace_def_by(p, x, replacement))
+                .collect(),
+        ),
+        Xregex::Alt(ps) => Xregex::Alt(
+            ps.iter()
+                .map(|p| replace_def_by(p, x, replacement))
+                .collect(),
+        ),
         Xregex::Plus(p) => Xregex::Plus(Box::new(replace_def_by(p, x, replacement))),
         Xregex::Star(p) => Xregex::Star(Box::new(replace_def_by(p, x, replacement))),
         other => other.clone(),
@@ -175,6 +209,7 @@ impl<'q> SimpleEvaluator<'q> {
         }
         let mut comps: Vec<Xregex> = q.conjunctive().components().to_vec();
         let chains = deref_basic_chains(&mut comps);
+        let eps_vars = eliminate_epsilon_vars(&mut comps);
 
         let mut node_count = q.pattern().node_count();
         let mut free: Vec<PlanFree> = Vec::new();
@@ -213,12 +248,14 @@ impl<'q> SimpleEvaluator<'q> {
                         image_var: None,
                     }),
                     Factor::Ref(x) => {
-                        members.entry(x).or_default().push((prev, next, None, prov))
+                        members.entry(x).or_default().push((prev, next, None, prov));
                     }
-                    Factor::Def(x, re) => members
-                        .entry(x)
-                        .or_default()
-                        .push((prev, next, Some(re), prov)),
+                    Factor::Def(x, re) => {
+                        members
+                            .entry(x)
+                            .or_default()
+                            .push((prev, next, Some(re), prov));
+                    }
                 }
                 prev = next;
             }
@@ -262,6 +299,7 @@ impl<'q> SimpleEvaluator<'q> {
                 free,
                 groups,
                 chains,
+                eps_vars,
             },
         })
     }
@@ -285,8 +323,11 @@ impl<'q> SimpleEvaluator<'q> {
             let srcs: Vec<NodeVar> = g.members.iter().map(|m| m.src).collect();
             let dsts: Vec<NodeVar> = g.members.iter().map(|m| m.dst).collect();
             let arity = srcs.len();
-            p.groups
-                .push(Group::new(srcs, dsts, SyncSpec::equality_group(def_nfa, arity)));
+            p.groups.push(Group::new(
+                srcs,
+                dsts,
+                SyncSpec::equality_group(def_nfa, arity),
+            ));
         }
         p
     }
@@ -328,7 +369,8 @@ impl<'q> SimpleEvaluator<'q> {
     /// subdivision's fresh middle variables (and any non-output pattern
     /// variables) are existentially eliminated instead of enumerated.
     pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
-        self.answers_opts(db, &SolveOptions::pipeline().projected()).0
+        self.answers_opts(db, &SolveOptions::pipeline().projected())
+            .0
     }
 
     /// [`SimpleEvaluator::answers`] under explicit solver options, with the
@@ -413,10 +455,16 @@ impl<'q> SimpleEvaluator<'q> {
         // endpoints are pinned down in the solution.
         let required: Vec<NodeVar> = (0..self.plan.node_count as u32).map(NodeVar).collect();
         let mut sol: Option<Vec<Option<NodeId>>> = None;
-        p.solve_with(db, pinned, &required, &SolveOptions::early_exit(), &mut |b| {
-            sol = Some(b.to_vec());
-            true
-        });
+        p.solve_with(
+            db,
+            pinned,
+            &required,
+            &SolveOptions::early_exit(),
+            &mut |b| {
+                sol = Some(b.to_vec());
+                true
+            },
+        );
         let b = sol?;
         let node = |v: NodeVar| b[v.index()].expect("required variables are bound");
         let vars = self.q.conjunctive().vars();
@@ -440,6 +488,10 @@ impl<'q> SimpleEvaluator<'q> {
             for (m, path) in g.members.iter().zip(paths) {
                 factor_paths.insert(m.prov, path);
             }
+        }
+        // ε-erased variables are bound to the empty word on every match.
+        for &x in &self.plan.eps_vars {
+            image_map.insert(x, Vec::new());
         }
         // Eliminated chain variables x{y}: ψ(x) = ψ(y). Resolve in reverse
         // elimination order so transitive chains land on concrete images.
@@ -475,9 +527,9 @@ impl<'q> SimpleEvaluator<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxrpq_graph::GraphBuilder;
     use crate::cxrpq::CxrpqBuilder;
     use cxrpq_graph::Alphabet;
+    use cxrpq_graph::GraphBuilder;
     use std::sync::Arc;
 
     fn db_with_words(words: &[(&str, &str)]) -> (GraphDb, HashMap<String, NodeId>) {
@@ -488,12 +540,8 @@ mod tests {
         let mut names: HashMap<String, NodeId> = HashMap::new();
         for (pair, w) in words {
             let (s, t) = pair.split_once('>').unwrap();
-            let sn = *names
-                .entry(s.to_string())
-                .or_insert_with(|| db.add_node());
-            let tn = *names
-                .entry(t.to_string())
-                .or_insert_with(|| db.add_node());
+            let sn = *names.entry(s.to_string()).or_insert_with(|| db.add_node());
+            let tn = *names.entry(t.to_string()).or_insert_with(|| db.add_node());
             let word = db.alphabet().parse_word(w).unwrap();
             db.add_word_path(sn, &word, tn);
         }
@@ -516,8 +564,7 @@ mod tests {
         assert!(ans.contains(&vec![names["u"], names["v"]]));
 
         // Unequal halves: no match from u to v.
-        let (db2, names2) =
-            db_with_words(&[("u>m1", "ab"), ("m1>m2", "c"), ("m2>v", "ba")]);
+        let (db2, names2) = db_with_words(&[("u>m1", "ab"), ("m1>m2", "c"), ("m2>v", "ba")]);
         let ev2 = SimpleEvaluator::new(&q).unwrap();
         assert!(!ev2.check(&db2, &[names2["u"], names2["v"]]));
     }
@@ -620,5 +667,31 @@ mod tests {
         // ε-paths exist only from a node to itself.
         assert!(ans.contains(&vec![names["u"], names["u"]]));
         assert!(!ans.contains(&vec![names["u"], names["v"]]));
+    }
+
+    #[test]
+    fn epsilon_definitions_are_eliminated() {
+        // z can only capture ε, so the analyzer-style rewrite erases it:
+        // no synchronized group is needed and the witness reports ψ(z) = ε.
+        let (db, names) = db_with_words(&[("u>v", "a")]);
+        let mut alpha = db.alphabet().clone();
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "z{_}az", "y")
+            .output(&["x", "y"])
+            .build()
+            .unwrap();
+        let ev = SimpleEvaluator::new(&q).unwrap();
+        assert_eq!(ev.group_count(), 0);
+        let ans = ev.answers(&db);
+        assert!(ans.contains(&vec![names["u"], names["v"]]));
+        let w = ev
+            .witness_for(&db, &[names["u"], names["v"]])
+            .expect("witness");
+        let z = w
+            .images
+            .iter()
+            .find(|(name, _)| name == "z")
+            .expect("z image reported");
+        assert!(z.1.is_empty(), "ψ(z) must be ε");
     }
 }

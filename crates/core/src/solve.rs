@@ -132,9 +132,24 @@ pub struct SolveOptions {
     /// [`SolveOptions::projected`]; callers that read the full morphism
     /// (witness extraction, raw `solve` uses) must leave it off.
     pub project: bool,
+    /// Phase 0: static query analysis ([`crate::analyze`]) before
+    /// planning — emptiness/footprint refutation (empty answers with zero
+    /// search steps), ε-only variable unification, containment-based atom
+    /// subsumption and Σ*-universality flagging, with a
+    /// [`Diagnostics`](crate::diagnostics::Diagnostics) report in
+    /// [`PipelineStats::analysis`]. On in the pipeline presets; the naive
+    /// preset stays unanalyzed as the differential reference.
+    pub analyze: bool,
+    /// State budget per bounded inclusion/universality check in the
+    /// analyzer; checks that exceed it are abandoned (both atoms kept,
+    /// `containment-capped` diagnostic).
+    pub containment_budget: usize,
 }
 
 impl SolveOptions {
+    /// Default state budget for the analyzer's bounded containment checks.
+    pub const DEFAULT_CONTAINMENT_BUDGET: usize = 512;
+
     /// The full pipeline for exhaustive enumeration (`answers`-style calls).
     pub fn pipeline() -> Self {
         Self {
@@ -143,6 +158,8 @@ impl SolveOptions {
             max_prune_rounds: 8,
             lazy_unpinned: false,
             project: false,
+            analyze: true,
+            containment_budget: Self::DEFAULT_CONTAINMENT_BUDGET,
         }
     }
 
@@ -157,12 +174,14 @@ impl SolveOptions {
             max_prune_rounds: 2,
             lazy_unpinned: true,
             project: false,
+            analyze: true,
+            containment_budget: Self::DEFAULT_CONTAINMENT_BUDGET,
         }
     }
 
-    /// The historical behavior: no planning, no pruning, query-text order.
-    /// Retained as the reference path for differential tests and the
-    /// `e18_solver_pipeline` baseline.
+    /// The historical behavior: no planning, no pruning, no analysis,
+    /// query-text order. Retained as the reference path for differential
+    /// tests and the `e18_solver_pipeline` baseline.
     pub fn naive() -> Self {
         Self {
             plan: false,
@@ -170,6 +189,8 @@ impl SolveOptions {
             max_prune_rounds: 0,
             lazy_unpinned: false,
             project: false,
+            analyze: false,
+            containment_budget: Self::DEFAULT_CONTAINMENT_BUDGET,
         }
     }
 
@@ -178,6 +199,14 @@ impl SolveOptions {
     /// `SolveOptions::pipeline().projected()`.
     pub fn projected(mut self) -> Self {
         self.project = true;
+        self
+    }
+
+    /// Turns off the static analyzer (see [`SolveOptions::analyze`]);
+    /// composes with any preset. The differential property suite runs
+    /// every preset both analyzed and unanalyzed.
+    pub fn unanalyzed(mut self) -> Self {
+        self.analyze = false;
         self
     }
 }
@@ -189,7 +218,7 @@ impl Default for SolveOptions {
 }
 
 /// Per-phase observability for one [`Problem::solve_with`] run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct PipelineStats {
     /// The plan's variable order (empty when planning was off).
     pub var_order: Vec<NodeVar>,
@@ -219,6 +248,11 @@ pub struct PipelineStats {
     /// Boolean instances (the existential fast path takes the first
     /// supported candidate at every level).
     pub backtrack_steps: usize,
+    /// The static analyzer's report (`None` when [`SolveOptions::analyze`]
+    /// was off). A statically refuted query records `analysis` with
+    /// `stats.unsat == true` and all other fields empty: no plan, no
+    /// prune, `backtrack_steps == 0`.
+    pub analysis: Option<crate::analyze::AnalysisReport>,
 }
 
 impl PipelineStats {
@@ -426,12 +460,16 @@ impl EnumState {
         match &self.seen {
             ProjSeen::Small(_) => {
                 let key = self.proj_key();
-                let ProjSeen::Small(s) = &self.seen else { unreachable!() };
+                let ProjSeen::Small(s) = &self.seen else {
+                    unreachable!()
+                };
                 s.contains(&key)
             }
             ProjSeen::Wide(_) => {
                 self.fill_proj_buf();
-                let ProjSeen::Wide(s) = &self.seen else { unreachable!() };
+                let ProjSeen::Wide(s) = &self.seen else {
+                    unreachable!()
+                };
                 s.contains(self.proj_buf.as_slice())
             }
         }
@@ -443,12 +481,16 @@ impl EnumState {
         match &self.seen {
             ProjSeen::Small(_) => {
                 let key = self.proj_key();
-                let ProjSeen::Small(s) = &mut self.seen else { unreachable!() };
+                let ProjSeen::Small(s) = &mut self.seen else {
+                    unreachable!()
+                };
                 s.insert(key)
             }
             ProjSeen::Wide(_) => {
                 self.fill_proj_buf();
-                let ProjSeen::Wide(s) = &mut self.seen else { unreachable!() };
+                let ProjSeen::Wide(s) = &mut self.seen else {
+                    unreachable!()
+                };
                 if s.contains(self.proj_buf.as_slice()) {
                     false
                 } else {
@@ -509,8 +551,7 @@ impl Problem {
                 }
             } else {
                 for i in 0..g.spec.arity() {
-                    let Some(cost) = crate::plan::walker_prune_cost(&g.spec.nfas[i], db)
-                    else {
+                    let Some(cost) = crate::plan::walker_prune_cost(&g.spec.nfas[i], db) else {
                         continue;
                     };
                     edges.push(FreeEdge {
@@ -540,6 +581,17 @@ impl Problem {
     }
 
     /// [`Problem::solve`] with explicit pipeline knobs.
+    ///
+    /// When [`SolveOptions::analyze`] is on, phase 0 runs the static
+    /// analyzer ([`crate::analyze`]) first: a statically refuted query
+    /// (empty-language atom, footprint miss, conflicting pins on unified
+    /// variables) returns `false` with no search at all; ε-only atoms
+    /// unify their endpoint variables; subsumed parallel atoms are
+    /// dropped. The rewrite is applied for the duration of this call only
+    /// — the problem's constraints are restored on the way out, so
+    /// repeated `solve_with` calls observe the original query, and
+    /// `on_solution` still sees every original variable bound (merged-away
+    /// variables inherit their representative's image).
     pub fn solve_with(
         &mut self,
         db: &GraphDb,
@@ -554,6 +606,150 @@ impl Problem {
         if pinned.values().any(|n| n.index() >= db.node_count()) {
             return false;
         }
+        if !opts.analyze {
+            return self.solve_core(db, pinned, required, opts, &[], on_solution);
+        }
+
+        // Phase 0: static analysis.
+        let crate::analyze::Analysis {
+            mut report,
+            var_rep,
+            drop_edges,
+            universal,
+        } = crate::analyze::analyze(
+            self.node_count,
+            &self.free_edges,
+            &self.groups,
+            db,
+            &crate::analyze::AnalyzeOptions {
+                containment_budget: opts.containment_budget,
+            },
+        );
+
+        // Pins on ε-unified variables must agree on one image; a conflict
+        // is as unsatisfiable as an empty atom.
+        let mut pinned_rep: HashMap<NodeVar, NodeId> = HashMap::with_capacity(pinned.len());
+        for (&v, &n) in pinned {
+            let rep = NodeVar(var_rep[v.index()] as u32);
+            if *pinned_rep.entry(rep).or_insert(n) != n {
+                report.stats.unsat = true;
+            }
+        }
+        if report.stats.unsat {
+            // Statically refuted: empty answers, zero search steps, no
+            // plan/prune/enumerate at all.
+            self.pipeline = Some(PipelineStats {
+                analysis: Some(report),
+                ..PipelineStats::default()
+            });
+            return false;
+        }
+
+        // Apply the rewrite: park dropped atoms, remap surviving endpoints
+        // onto their union-find representatives, and remember enough to
+        // restore the original query afterwards.
+        let merged: Vec<(usize, usize)> = (0..self.node_count)
+            .map(|v| (v, var_rep[v]))
+            .filter(|&(v, r)| v != r)
+            .collect();
+        let mut parked: Vec<(usize, FreeEdge)> = Vec::new();
+        for i in (0..drop_edges.len()).rev() {
+            if drop_edges[i] {
+                parked.push((i, self.free_edges.remove(i)));
+            }
+        }
+        let universal_kept: Vec<bool> = universal
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !drop_edges[i])
+            .map(|(_, &u)| u)
+            .collect();
+        let mut saved_edge_ends: Vec<(NodeVar, NodeVar)> = Vec::new();
+        let mut saved_group_ends: Vec<(Vec<NodeVar>, Vec<NodeVar>)> = Vec::new();
+        let required_rep: Vec<NodeVar>;
+        let mut required_eff = required;
+        if !merged.is_empty() {
+            for e in &mut self.free_edges {
+                saved_edge_ends.push((e.src, e.dst));
+                e.src = NodeVar(var_rep[e.src.index()] as u32);
+                e.dst = NodeVar(var_rep[e.dst.index()] as u32);
+            }
+            for g in &mut self.groups {
+                saved_group_ends.push((g.srcs.clone(), g.dsts.clone()));
+                for v in g.srcs.iter_mut().chain(g.dsts.iter_mut()) {
+                    *v = NodeVar(var_rep[v.index()] as u32);
+                }
+            }
+            required_rep = required
+                .iter()
+                .map(|v| NodeVar(var_rep[v.index()] as u32))
+                .collect();
+            required_eff = &required_rep;
+        }
+
+        let result = if merged.is_empty() {
+            self.solve_core(db, pinned, required_eff, opts, &universal_kept, on_solution)
+        } else {
+            // Merged-away variables inherit their representative's image
+            // before the caller observes the solution.
+            let mut buf: Vec<Option<NodeId>> = Vec::with_capacity(self.node_count);
+            let mut wrapped = |b: &[Option<NodeId>]| {
+                buf.clear();
+                buf.extend_from_slice(b);
+                for &(v, r) in &merged {
+                    buf[v] = buf[r];
+                }
+                on_solution(&buf)
+            };
+            self.solve_core(
+                db,
+                &pinned_rep,
+                required_eff,
+                opts,
+                &universal_kept,
+                &mut wrapped,
+            )
+        };
+
+        // Restore the original query shape.
+        for (e, (s, d)) in self.free_edges.iter_mut().zip(saved_edge_ends) {
+            e.src = s;
+            e.dst = d;
+        }
+        for (g, (ss, ds)) in self.groups.iter_mut().zip(saved_group_ends) {
+            g.srcs = ss;
+            g.dsts = ds;
+        }
+        for (i, e) in parked.into_iter().rev() {
+            self.free_edges.insert(i, e);
+        }
+
+        // Attach the analyzer's report to whatever the core recorded (a
+        // bare stats shell when the plan/prune phases were off).
+        match &mut self.pipeline {
+            Some(ps) => ps.analysis = Some(report),
+            none => {
+                *none = Some(PipelineStats {
+                    analysis: Some(report),
+                    ..PipelineStats::default()
+                });
+            }
+        }
+        result
+    }
+
+    /// Phases 1–3 (plan / prune / enumerate) over the problem as stored.
+    /// `universal` flags Σ*-universal free edges the planner orders last
+    /// (`&[]` when no analysis ran).
+    fn solve_core(
+        &mut self,
+        db: &GraphDb,
+        pinned: &HashMap<NodeVar, NodeId>,
+        required: &[NodeVar],
+        opts: &SolveOptions,
+        universal: &[bool],
+        on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
+    ) -> bool {
         let mut bindings: Vec<Option<NodeId>> = vec![None; self.node_count];
         for (&v, &n) in pinned {
             bindings[v.index()] = Some(n);
@@ -562,7 +758,14 @@ impl Problem {
         // Phase 1: plan (output-aware: the order splits into the enumerate
         // prefix and the existential suffix).
         let plan = (opts.plan || opts.prune).then(|| {
-            SolvePlan::build(self.node_count, &self.free_edges, &self.groups, required, db)
+            SolvePlan::build(
+                self.node_count,
+                &self.free_edges,
+                &self.groups,
+                required,
+                universal,
+                db,
+            )
         });
         let eliminated_vars = match (&plan, opts.project) {
             (Some(p), true) => p.existential_vars(),
@@ -585,16 +788,19 @@ impl Problem {
         };
         let real_edges = self.free_edges.len();
         let has_prunable = real_edges > 0 || !aux_edges.is_empty();
-        let probe = (opts.plan || opts.prune)
-            && has_prunable
-            && crate::domains::probe_long_diameter(db);
+        let probe =
+            (opts.plan || opts.prune) && has_prunable && crate::domains::probe_long_diameter(db);
         let prune_now = want_prune && has_prunable;
         let mut per_source_sweeps = probe;
         // One base stats value per plan; the prune branch patches in the
         // fixpoint outcome (including its per-source verdict — the `move`
         // capture of the probe value only feeds the prune-skipped branch).
         let base_stats = move |p: &SolvePlan| PipelineStats {
-            var_order: if opts.plan { p.var_order.clone() } else { Vec::new() },
+            var_order: if opts.plan {
+                p.var_order.clone()
+            } else {
+                Vec::new()
+            },
             edge_cost: p.edge_cost.clone(),
             group_cost: p.group_cost.clone(),
             rounds: 0,
@@ -603,6 +809,7 @@ impl Problem {
             domain_after: Vec::new(),
             eliminated_vars,
             backtrack_steps: 0,
+            analysis: None,
         };
         let domains = if prune_now {
             let mut doms = Domains::full(self.node_count, db.node_count());
@@ -731,9 +938,7 @@ impl Problem {
                 continue;
             }
             let e = &mut self.free_edges[i];
-            if let (Some(u), Some(v)) =
-                (st.bindings[e.src.index()], st.bindings[e.dst.index()])
-            {
+            if let (Some(u), Some(v)) = (st.bindings[e.src.index()], st.bindings[e.dst.index()]) {
                 if !e.cache.connects(db, u, v) {
                     return false;
                 }
@@ -809,11 +1014,7 @@ impl Problem {
                 && st.unbound_outputs == 1
                 && st.is_output[var.index()]
                 && st.group_done.iter().all(|d| *d)
-                && st
-                    .edge_done
-                    .iter()
-                    .enumerate()
-                    .all(|(j, d)| j == i || *d);
+                && st.edge_done.iter().enumerate().all(|(j, d)| j == i || *d);
             if terminal {
                 let from = bs.or(bd).unwrap();
                 let set = if bs.is_some() {
@@ -921,8 +1122,7 @@ impl Problem {
                         .iter()
                         .map(|v| st.bindings[v.index()].unwrap())
                         .collect();
-                    let tuples =
-                        sync_targets(db, &self.groups[i].spec, &starts, Some(&self.stats));
+                    let tuples = sync_targets(db, &self.groups[i].spec, &starts, Some(&self.stats));
                     (self.groups[i].dsts.clone(), tuples)
                 } else {
                     let ends: Vec<NodeId> = self.groups[i]
@@ -988,16 +1188,15 @@ impl Problem {
         // (naive) the first source variable of a pending constraint.
         let seed_var = if let Some(p) = ctx.plan {
             let mut best: Option<(usize, NodeVar)> = None;
-            let consider = |v: NodeVar,
-                            bindings: &[Option<NodeId>],
-                            best: &mut Option<(usize, NodeVar)>| {
-                if bindings[v.index()].is_none() {
-                    let rank = p.seed_rank[v.index()];
-                    if best.is_none_or(|(r, _)| rank < r) {
-                        *best = Some((rank, v));
+            let consider =
+                |v: NodeVar, bindings: &[Option<NodeId>], best: &mut Option<(usize, NodeVar)>| {
+                    if bindings[v.index()].is_none() {
+                        let rank = p.seed_rank[v.index()];
+                        if best.is_none_or(|(r, _)| rank < r) {
+                            *best = Some((rank, v));
+                        }
                     }
-                }
-            };
+                };
             for (e, done) in self.free_edges.iter().zip(st.edge_done.iter()) {
                 if !*done {
                     consider(e.src, &st.bindings, &mut best);
@@ -1606,5 +1805,174 @@ mod tests {
         assert_eq!(stats.var_order.len(), 3);
         assert!(stats.rounds >= 1);
         assert!(stats.total_after() <= stats.total_before());
+    }
+
+    #[test]
+    fn statically_unsat_short_circuits_with_zero_search() {
+        let (db, _) = db_cycle("abcabc");
+        let mut p = Problem::new(2);
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(0),
+            dst: NodeVar(1),
+            cache: ReachCache::new(nfa(&db, "ab")),
+        });
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(0),
+            dst: NodeVar(1),
+            cache: ReachCache::new(nfa(&db, "!")),
+        });
+        let mut found = false;
+        let hit = p.solve(&db, &HashMap::new(), &[], &mut |_| {
+            found = true;
+            true
+        });
+        assert!(!hit && !found);
+        // The refutation is purely static: no reach or sync search ran.
+        assert_eq!(p.stats.states(), 0);
+        for e in &p.free_edges {
+            assert_eq!(e.cache.stats.states(), 0);
+        }
+        let ps = p.pipeline.as_ref().unwrap();
+        assert_eq!(ps.backtrack_steps, 0);
+        assert!(ps.var_order.is_empty());
+        let report = ps.analysis.as_ref().unwrap();
+        assert!(report.stats.unsat);
+        assert!(report.diagnostics.has(crate::diagnostics::Lint::EmptyAtom));
+    }
+
+    #[test]
+    fn footprint_miss_short_circuits_with_zero_search() {
+        // Alphabet is "abc" but the graph only has a/b arcs: any atom that
+        // *must* read a `c` is refuted without searching.
+        let (db, _) = db_cycle("abab");
+        let mut p = Problem::new(2);
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(0),
+            dst: NodeVar(1),
+            cache: ReachCache::new(nfa(&db, "a*cb*")),
+        });
+        let hit = p.solve(&db, &HashMap::new(), &[], &mut |_| true);
+        assert!(!hit);
+        assert_eq!(p.stats.states(), 0);
+        assert_eq!(p.free_edges[0].cache.stats.states(), 0);
+        let ps = p.pipeline.as_ref().unwrap();
+        assert_eq!(ps.backtrack_steps, 0);
+        let report = ps.analysis.as_ref().unwrap();
+        assert!(report.stats.unsat);
+        assert!(report
+            .diagnostics
+            .has(crate::diagnostics::Lint::FootprintMiss));
+    }
+
+    #[test]
+    fn epsilon_atom_merges_vars_and_restores_problem() {
+        let (db, nodes) = db_cycle("abcabc");
+        let mut p = Problem::new(3);
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(0),
+            dst: NodeVar(1),
+            cache: ReachCache::new(nfa(&db, "ab")),
+        });
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(1),
+            dst: NodeVar(2),
+            cache: ReachCache::new(nfa(&db, "_")),
+        });
+        let required = [NodeVar(0), NodeVar(1), NodeVar(2)];
+        let mut sols: Vec<(NodeId, NodeId, NodeId)> = Vec::new();
+        p.solve(&db, &HashMap::new(), &required, &mut |b| {
+            sols.push((b[0].unwrap(), b[1].unwrap(), b[2].unwrap()));
+            false
+        });
+        assert!(!sols.is_empty());
+        // The merged-away variable is bound to its representative's node.
+        for &(_, y, z) in &sols {
+            assert_eq!(y, z);
+        }
+        assert!(sols.contains(&(nodes[0], nodes[2], nodes[2])));
+        let report = p.pipeline.as_ref().unwrap().analysis.as_ref().unwrap();
+        assert_eq!(report.stats.vars_merged, 1);
+        assert_eq!(report.stats.atoms_dropped, 1);
+        // The ε atom was parked during the rewrite and restored afterwards,
+        // endpoints intact, so the problem can be solved again.
+        assert_eq!(p.free_edges.len(), 2);
+        assert_eq!(p.free_edges[1].src, NodeVar(1));
+        assert_eq!(p.free_edges[1].dst, NodeVar(2));
+        let mut again: Vec<(NodeId, NodeId, NodeId)> = Vec::new();
+        p.solve(&db, &HashMap::new(), &required, &mut |b| {
+            again.push((b[0].unwrap(), b[1].unwrap(), b[2].unwrap()));
+            false
+        });
+        assert_eq!(sols, again);
+    }
+
+    #[test]
+    fn conflicting_pins_on_unified_vars_are_unsat() {
+        let (db, nodes) = db_cycle("abcabc");
+        let mut p = Problem::new(2);
+        p.free_edges.push(FreeEdge {
+            src: NodeVar(0),
+            dst: NodeVar(1),
+            cache: ReachCache::new(nfa(&db, "_")),
+        });
+        let mut pins = HashMap::new();
+        pins.insert(NodeVar(0), nodes[0]);
+        pins.insert(NodeVar(1), nodes[1]);
+        let hit = p.solve(&db, &pins, &[], &mut |_| true);
+        assert!(!hit);
+        let report = p.pipeline.as_ref().unwrap().analysis.as_ref().unwrap();
+        assert!(report.stats.unsat);
+        // Agreeing pins on the unified pair still match.
+        pins.insert(NodeVar(1), nodes[0]);
+        let hit2 = p.solve(&db, &pins, &[], &mut |_| true);
+        assert!(hit2);
+    }
+
+    #[test]
+    fn subsumed_atom_dropped_without_changing_answers() {
+        let (db, _) = db_cycle("abcabc");
+        let build = || {
+            let mut p = Problem::new(2);
+            // L(ab) ⊆ L(a(b|c)): the wider atom is redundant and dropped.
+            p.free_edges.push(FreeEdge {
+                src: NodeVar(0),
+                dst: NodeVar(1),
+                cache: ReachCache::new(nfa(&db, "ab")),
+            });
+            p.free_edges.push(FreeEdge {
+                src: NodeVar(0),
+                dst: NodeVar(1),
+                cache: ReachCache::new(nfa(&db, "a(b|c)")),
+            });
+            p
+        };
+        let required = [NodeVar(0), NodeVar(1)];
+        let mut analyzed: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut p = build();
+        p.solve(&db, &HashMap::new(), &required, &mut |b| {
+            analyzed.push((b[0].unwrap(), b[1].unwrap()));
+            false
+        });
+        let report = p.pipeline.as_ref().unwrap().analysis.as_ref().unwrap();
+        assert_eq!(report.stats.atoms_dropped, 1);
+        assert!(report
+            .diagnostics
+            .has(crate::diagnostics::Lint::SubsumedAtom));
+        assert_eq!(p.free_edges.len(), 2, "dropped atom restored after solve");
+        let mut plain: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut p2 = build();
+        p2.solve_with(
+            &db,
+            &HashMap::new(),
+            &required,
+            &SolveOptions::default().unanalyzed(),
+            &mut |b| {
+                plain.push((b[0].unwrap(), b[1].unwrap()));
+                false
+            },
+        );
+        analyzed.sort_unstable();
+        plain.sort_unstable();
+        assert_eq!(analyzed, plain);
     }
 }

@@ -50,11 +50,11 @@ impl SyncSpec {
     /// A spec requiring all walkers to read the same word, with walker 0
     /// additionally constrained by `def_nfa` (the CXRPQ variable-group
     /// shape: one definition edge + references).
-    pub fn equality_group(def_nfa: Option<Nfa>, arity: usize) -> Self {
+    pub fn equality_group(mut def_nfa: Option<Nfa>, arity: usize) -> Self {
         let mut nfas = Vec::with_capacity(arity);
         for i in 0..arity {
-            match (&def_nfa, i) {
-                (Some(m), 0) => nfas.push(m.clone()),
+            match (i, def_nfa.take()) {
+                (0, Some(m)) => nfas.push(m),
                 _ => nfas.push(sigma_star_nfa()),
             }
         }
@@ -297,9 +297,8 @@ impl<'a> SyncSearch<'a> {
         if !self.spec.relation.is_final(st.rstate) {
             return false;
         }
-        (0..self.spec.arity()).all(|i| {
-            st.finished & (1 << i) != 0 || self.sims[i].any_final(self.mask_of(st, i))
-        })
+        (0..self.spec.arity())
+            .all(|i| st.finished & (1 << i) != 0 || self.sims[i].any_final(self.mask_of(st, i)))
     }
 
     /// All end-position tuples reachable from `starts` under the spec.
@@ -489,12 +488,7 @@ impl<'a> SyncSearch<'a> {
                                         // unfrozen, and begin reading on a
                                         // later level.
                                         Direction::Backward => {
-                                            opts.push((
-                                                st.positions[i],
-                                                cur.into(),
-                                                false,
-                                                None,
-                                            ));
+                                            opts.push((st.positions[i], cur.into(), false, None));
                                         }
                                     }
                                 }
@@ -820,14 +814,17 @@ mod tests {
         let serial_tuples = SyncSearch::forward(&db, &spec)
             .with_config(FrontierConfig::serial())
             .run(&[s1, s2], None, None);
-        let parallel_tuples = SyncSearch::forward(&db, &spec)
-            .with_config(parallel)
-            .run(&[s1, s2], None, None);
+        let parallel_tuples =
+            SyncSearch::forward(&db, &spec)
+                .with_config(parallel)
+                .run(&[s1, s2], None, None);
         assert_eq!(serial_tuples, parallel_tuples);
         assert!(parallel_tuples.contains(&vec![t1, t2]));
-        let hit = SyncSearch::forward(&db, &spec)
-            .with_config(parallel)
-            .run(&[s1, s2], Some(&[t1, t2]), None);
+        let hit = SyncSearch::forward(&db, &spec).with_config(parallel).run(
+            &[s1, s2],
+            Some(&[t1, t2]),
+            None,
+        );
         assert_eq!(hit, HashSet::from([vec![t1, t2]]));
     }
 
@@ -862,7 +859,7 @@ mod tests {
         let sigma = |a: &mut _| Nfa::from_regex(&parse_regex("(a|b)+", a).unwrap());
         let spec = SyncSpec {
             nfas: vec![sigma(&mut alpha), sigma(&mut alpha)],
-            relation: crate::relation::RegularRelation::prefix(),
+            relation: RegularRelation::prefix(),
         };
         let fwd = sync_targets(&db, &spec, &[s1, s2], None);
         assert!(fwd.contains(&vec![t1, t2]), "ab prefix of abba (forward)");

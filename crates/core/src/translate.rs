@@ -67,8 +67,8 @@ pub fn ecrpq_er_to_cxrpq(q: &Ecrpq) -> Result<Cxrpq, NotEr> {
     }
     let comps: Vec<Xregex> = comps.into_iter().map(Option::unwrap).collect();
     debug_assert_eq!(comps.len(), m);
-    let cxre = ConjunctiveXregex::new(comps, vars)
-        .expect("translation yields a valid conjunctive xregex");
+    let cxre =
+        ConjunctiveXregex::new(comps, vars).expect("translation yields a valid conjunctive xregex");
     let pattern = q.pattern().map_labels(|i, _| i);
     Ok(Cxrpq::from_parts(pattern, cxre, q.output().to_vec()))
 }
@@ -85,10 +85,8 @@ pub fn cxrpq_vsf_to_union_ecrpq_er(q: &Cxrpq) -> Result<Vec<Ecrpq>, NormalFormEr
         for v in q.pattern().node_vars() {
             pattern.node(q.pattern().node_name(v));
         }
-        let mut var_members: std::collections::BTreeMap<
-            cxrpq_xregex::Var,
-            Vec<(usize, bool)>,
-        > = std::collections::BTreeMap::new();
+        let mut var_members: std::collections::BTreeMap<cxrpq_xregex::Var, Vec<(usize, bool)>> =
+            std::collections::BTreeMap::new();
         let mut fresh = 0usize;
         for (edge_idx, (src, _, dst)) in q.pattern().edges().iter().enumerate() {
             let factors = factorize(&comps[edge_idx]);
@@ -151,12 +149,7 @@ pub fn cxrpq_bounded_to_union_crpq(q: &Cxrpq, k: usize, sigma: usize) -> Vec<Crp
 
 /// Enumerates the pruned candidate mappings of [`BoundedEvaluator`] (shared
 /// with Lemma 14).
-fn for_each_pruned_mapping(
-    q: &Cxrpq,
-    k: usize,
-    sigma: usize,
-    f: &mut dyn FnMut(&VarMapping),
-) {
+fn for_each_pruned_mapping(q: &Cxrpq, k: usize, sigma: usize, f: &mut dyn FnMut(&VarMapping)) {
     // Reuse the evaluator's enumeration via its public fixed-mapping probe:
     // re-derive candidates exactly as BoundedEvaluator does.
     let _ = BoundedEvaluator::new(q, k); // sanity: constructible
@@ -266,7 +259,7 @@ mod tests {
     use crate::ecrpq::EcrpqEvaluator;
     use crate::vsf_eval::VsfEvaluator;
     use cxrpq_automata::parse_regex;
-    use cxrpq_graph::{GraphBuilder, Alphabet, GraphDb, NodeId};
+    use cxrpq_graph::{Alphabet, GraphBuilder, GraphDb, NodeId};
     use std::sync::Arc;
 
     fn db_words(words: &[&str]) -> (GraphDb, Vec<(NodeId, NodeId)>) {

@@ -174,11 +174,11 @@ impl From<Vec<Ecrpq>> for UnionEcrpq {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxrpq_graph::GraphBuilder;
     use crate::pattern::GraphPattern;
     use crate::relation::RegularRelation;
     use cxrpq_automata::parse_regex;
     use cxrpq_graph::Alphabet;
+    use cxrpq_graph::GraphBuilder;
     use std::sync::Arc;
 
     fn db_word(word: &str) -> (GraphDb, NodeId, NodeId) {
@@ -199,10 +199,7 @@ mod tests {
     fn union_crpq_is_a_disjunction() {
         let (db, s, t) = db_word("abba");
         let mut alpha = db.alphabet().clone();
-        let u = UnionCrpq::new(vec![
-            single(&mut alpha, "aa"),
-            single(&mut alpha, "abba"),
-        ]);
+        let u = UnionCrpq::new(vec![single(&mut alpha, "aa"), single(&mut alpha, "abba")]);
         assert!(u.boolean(&db));
         assert!(u.check(&db, &[s, t]));
         assert!(u.answers(&db).contains(&vec![s, t]));

@@ -101,8 +101,8 @@ impl<'q> VsfEvaluator<'q> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxrpq_graph::GraphBuilder;
     use crate::cxrpq::CxrpqBuilder;
+    use cxrpq_graph::GraphBuilder;
     use cxrpq_graph::{Alphabet, GraphDb};
     use std::sync::Arc;
 
@@ -230,9 +230,7 @@ mod tests {
         let ev = VsfEvaluator::new(&q).unwrap();
         assert!(ev.check(
             &db,
-            &[
-                ends[0].0, ends[0].1, ends[1].0, ends[1].1, ends[2].0, ends[2].1
-            ]
+            &[ends[0].0, ends[0].1, ends[1].0, ends[1].1, ends[2].0, ends[2].1]
         ));
         // y-path must be "c": a "d" path for r>s fails.
         let (db2, e2) = db_words(&["acd", "d", "acd"]);

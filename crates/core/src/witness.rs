@@ -62,7 +62,10 @@ impl QueryWitness {
             let (sn, dn) = (pattern.node_name(*src), pattern.node_name(*dst));
             match (h.get(sn), h.get(dn)) {
                 (Some(&s), _) if p.start() != s => {
-                    return Err(format!("path {i} starts at {:?}, h({sn}) = {s:?}", p.start()))
+                    return Err(format!(
+                        "path {i} starts at {:?}, h({sn}) = {s:?}",
+                        p.start()
+                    ))
                 }
                 (_, Some(&d)) if p.end() != d => {
                     return Err(format!("path {i} ends at {:?}, h({dn}) = {d:?}", p.end()))
@@ -234,9 +237,7 @@ pub(crate) fn morphism_of<L>(
 ) -> Vec<(String, NodeId)> {
     pattern
         .node_vars()
-        .filter_map(|v| {
-            bindings[v.index()].map(|n| (pattern.node_name(v).to_string(), n))
-        })
+        .filter_map(|v| bindings[v.index()].map(|n| (pattern.node_name(v).to_string(), n)))
         .collect()
 }
 
@@ -255,10 +256,7 @@ pub(crate) fn concat_paths(segments: Vec<Path>) -> Path {
 }
 
 /// Pins output variables to a tuple (shared by the engines' `witness_for`).
-pub(crate) fn pin_tuple(
-    output: &[NodeVar],
-    tuple: &[NodeId],
-) -> Option<HashMap<NodeVar, NodeId>> {
+pub(crate) fn pin_tuple(output: &[NodeVar], tuple: &[NodeId]) -> Option<HashMap<NodeVar, NodeId>> {
     assert_eq!(tuple.len(), output.len(), "tuple arity mismatch");
     let mut pinned = HashMap::new();
     for (v, n) in output.iter().zip(tuple) {
@@ -275,9 +273,9 @@ pub(crate) fn pin_tuple(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxrpq_graph::GraphBuilder;
     use cxrpq_automata::parse_regex;
     use cxrpq_graph::Alphabet;
+    use cxrpq_graph::GraphBuilder;
     use std::sync::Arc;
 
     fn line_db(word: &str) -> (GraphDb, Vec<NodeId>) {

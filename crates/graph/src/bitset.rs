@@ -27,7 +27,7 @@ impl DenseBitSet {
     /// `ones` remain exact).
     pub fn full(len: usize) -> Self {
         let mut s = Self::new(len);
-        for w in s.words.iter_mut() {
+        for w in &mut s.words {
             *w = !0;
         }
         let tail = len % 64;

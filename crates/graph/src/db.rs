@@ -137,7 +137,11 @@ impl GraphBuilder {
         assert!(!word.is_empty(), "cannot add an ε-labelled arc");
         let mut cur = u;
         for (i, &a) in word.iter().enumerate() {
-            let next = if i + 1 == word.len() { v } else { self.add_node() };
+            let next = if i + 1 == word.len() {
+                v
+            } else {
+                self.add_node()
+            };
             self.add_edge(cur, a, next);
             cur = next;
         }
@@ -258,6 +262,10 @@ impl DeltaOverlay {
             Ok(_) => false,
             Err(pos) => {
                 row.insert(pos, val);
+                debug_assert!(
+                    row.windows(2).all(|w| w[0] < w[1]),
+                    "delta row must stay strictly (label, neighbour)-sorted"
+                );
                 true
             }
         }
@@ -774,6 +782,15 @@ impl GraphDb {
         let n = self.node_names.len();
         merge_side(n, &mut self.out_off, &mut self.out_adj, &delta.out);
         merge_side(n, &mut self.in_off, &mut self.in_adj, &delta.inn);
+        debug_assert!(
+            self.delta.is_empty() && self.delta.touched_rows() == 0,
+            "compact must leave no touched delta rows behind"
+        );
+        debug_assert_eq!(
+            self.out_adj.len(),
+            self.in_adj.len(),
+            "both directions must hold the same arc multiset after compaction"
+        );
     }
 
     /// Checks whether there is a path from `u` to `v` labelled exactly `word`.
@@ -909,9 +926,22 @@ fn merge_side(
     new_off.push(0);
     for i in 0..n {
         let base = &adj[off[i] as usize..off[i + 1] as usize];
+        debug_assert!(
+            base.windows(2).all(|w| w[0] < w[1]),
+            "base CSR row must be strictly (label, neighbour)-sorted"
+        );
+        let row_start = new_adj.len();
         match delta_rows.get(&(i as u32)) {
             None => new_adj.extend_from_slice(base),
             Some(d) => {
+                debug_assert!(
+                    d.windows(2).all(|w| w[0] < w[1]),
+                    "delta row must be strictly (label, neighbour)-sorted"
+                );
+                debug_assert!(
+                    d.iter().all(|v| base.binary_search(v).is_err()),
+                    "delta row must be disjoint from its base row"
+                );
                 let (mut bi, mut di) = (0usize, 0usize);
                 while bi < base.len() && di < d.len() {
                     if base[bi] <= d[di] {
@@ -926,6 +956,10 @@ fn merge_side(
                 new_adj.extend_from_slice(&d[di..]);
             }
         }
+        debug_assert!(
+            new_adj[row_start..].windows(2).all(|w| w[0] < w[1]),
+            "merged row must come out strictly (label, neighbour)-sorted"
+        );
         new_off.push(new_adj.len() as u32);
     }
     *off = new_off;
@@ -1052,8 +1086,7 @@ mod tests {
         assert!(row.windows(2).all(|w| w[0] <= w[1]), "row sorted");
         assert_eq!(d.successors_with(u, a).len(), 2);
         assert_eq!(d.successors_with(u, b).to_vec(), vec![(b, xs[2])]);
-        let runs: Vec<(Symbol, usize)> =
-            d.out_label_runs(u).map(|(s, r)| (s, r.len())).collect();
+        let runs: Vec<(Symbol, usize)> = d.out_label_runs(u).map(|(s, r)| (s, r.len())).collect();
         assert_eq!(runs, vec![(a, 2), (b, 1), (c, 1)]);
     }
 
@@ -1127,8 +1160,7 @@ mod tests {
         assert_eq!(d.delta_since(g0), Some(vec![a, b]));
         // The a-run now spans both layers: base (a, n1) + delta (a, n2).
         assert_eq!(d.successors_with(n0, a).to_vec(), vec![(a, n1), (a, n2)]);
-        let runs: Vec<(Symbol, usize)> =
-            d.out_label_runs(n0).map(|(s, r)| (s, r.len())).collect();
+        let runs: Vec<(Symbol, usize)> = d.out_label_runs(n0).map(|(s, r)| (s, r.len())).collect();
         assert_eq!(runs, vec![(a, 2), (b, 1)]);
     }
 

@@ -83,9 +83,7 @@ pub fn read_graph(text: &str) -> Result<(GraphDb, HashMap<String, NodeId>), Grap
         match head {
             "alphabet" => {}
             "node" => {
-                let name = it
-                    .next()
-                    .ok_or_else(|| err(i + 1, "node needs a name"))?;
+                let name = it.next().ok_or_else(|| err(i + 1, "node needs a name"))?;
                 if names.contains_key(name) {
                     return Err(err(i + 1, format!("duplicate node {name:?}")));
                 }
@@ -97,9 +95,7 @@ pub fn read_graph(text: &str) -> Result<(GraphDb, HashMap<String, NodeId>), Grap
                     .next()
                     .ok_or_else(|| err(i + 1, "edge needs 3 fields"))?
                     .to_string();
-                let label = it
-                    .next()
-                    .ok_or_else(|| err(i + 1, "edge needs 3 fields"))?;
+                let label = it.next().ok_or_else(|| err(i + 1, "edge needs 3 fields"))?;
                 let dst = it
                     .next()
                     .ok_or_else(|| err(i + 1, "edge needs 3 fields"))?

@@ -84,7 +84,11 @@ impl Path {
     pub fn render(&self, db: &GraphDb, alphabet: &Alphabet) -> String {
         let mut s = db.node_name(self.nodes[0]);
         for (i, &a) in self.label.iter().enumerate() {
-            s.push_str(&format!(" -{}-> {}", alphabet.name(a), db.node_name(self.nodes[i + 1])));
+            s.push_str(&format!(
+                " -{}-> {}",
+                alphabet.name(a),
+                db.node_name(self.nodes[i + 1])
+            ));
         }
         s
     }

@@ -4,7 +4,7 @@
 //! introduction.
 
 use cxrpq_core::Crpq;
-use cxrpq_graph::{GraphBuilder, Alphabet, GraphDb, NodeId};
+use cxrpq_graph::{Alphabet, GraphBuilder, GraphDb, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -45,7 +45,10 @@ pub fn generate(gens: usize, width: usize, supervised: f64, seed: u64) -> Geneal
         }
         generations.push(layer);
     }
-    Genealogy { db: db.freeze(), generations }
+    Genealogy {
+        db: db.freeze(),
+        generations,
+    }
 }
 
 /// Figure 1 G1: pairs `(v1, v2)` where v1's child has been supervised by
@@ -69,12 +72,7 @@ pub fn fig1_g2(alphabet: &mut Alphabet) -> Crpq {
 /// Figure 1 G3: persons with a biological ancestor that is also their
 /// academical ancestor: `m -p+-> v1` and `v1 -s+-> m`.
 pub fn fig1_g3(alphabet: &mut Alphabet) -> Crpq {
-    Crpq::build(
-        &[("m", "p+", "v1"), ("v1", "s+", "m")],
-        &["v1"],
-        alphabet,
-    )
-    .expect("static query")
+    Crpq::build(&[("m", "p+", "v1"), ("v1", "s+", "m")], &["v1"], alphabet).expect("static query")
 }
 
 /// Figure 1 G4: pairs `(v1, v2)` biologically and academically related:
@@ -107,11 +105,7 @@ mod tests {
         let p = g.db.alphabet().sym("p");
         for layer in &g.generations[1..] {
             for &person in layer {
-                let parents = g
-                    .db
-                    .in_edges(person)
-                    .filter(|(l, _)| *l == p)
-                    .count();
+                let parents = g.db.in_edges(person).filter(|(l, _)| *l == p).count();
                 assert_eq!(parents, 1);
             }
         }

@@ -1,6 +1,6 @@
 //! Generic graph-database generators.
 
-use cxrpq_graph::{GraphBuilder, Alphabet, GraphDb, NodeId, Symbol};
+use cxrpq_graph::{Alphabet, GraphBuilder, GraphDb, NodeId, Symbol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;

@@ -3,7 +3,7 @@
 //! of simple text messages relayed via intermediaries (Figure 2, G3).
 
 use cxrpq_core::{Cxrpq, CxrpqBuilder};
-use cxrpq_graph::{GraphBuilder, Alphabet, GraphDb, NodeId, Symbol};
+use cxrpq_graph::{Alphabet, GraphBuilder, GraphDb, NodeId, Symbol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;

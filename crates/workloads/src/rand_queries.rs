@@ -64,10 +64,7 @@ pub fn random_classical<R: Rng + ?Sized>(rng: &mut R, sigma: usize, depth: usize
 /// definition bodies are variable-simple over earlier variables; extra
 /// references are sprinkled across components (possibly under
 /// variable-containing alternations, exercising Step 1 of the normal form).
-pub fn random_vstar_free<R: Rng + ?Sized>(
-    rng: &mut R,
-    shape: &QueryShape,
-) -> ConjunctiveXregex {
+pub fn random_vstar_free<R: Rng + ?Sized>(rng: &mut R, shape: &QueryShape) -> ConjunctiveXregex {
     let mut vars = VarTable::new();
     let xs: Vec<Var> = (0..shape.vars)
         .map(|i| vars.intern(&format!("x{i}")))
@@ -110,7 +107,7 @@ pub fn random_vstar_free<R: Rng + ?Sized>(
         slots[comp].push(item);
     }
     // Classical glue.
-    for slot in slots.iter_mut() {
+    for slot in &mut slots {
         slot.push(Xregex::from_regex(&random_classical(rng, shape.sigma, 1)));
     }
     let comps: Vec<Xregex> = slots.into_iter().map(Xregex::concat).collect();
@@ -170,7 +167,7 @@ pub fn random_simple<R: Rng + ?Sized>(rng: &mut R, shape: &QueryShape) -> Conjun
         }
     }
     // Classical glue (repetitions allowed outside variables).
-    for slot in slots.iter_mut() {
+    for slot in &mut slots {
         slot.push(Xregex::from_regex(&random_classical(rng, shape.sigma, 1)));
     }
     let comps: Vec<Xregex> = slots.into_iter().map(Xregex::concat).collect();

@@ -12,7 +12,7 @@
 
 use cxrpq_automata::{Label, Nfa, StateId};
 use cxrpq_core::{Crpq, Cxrpq, CxrpqBuilder};
-use cxrpq_graph::{GraphBuilder, Alphabet, GraphDb, NodeId, Symbol};
+use cxrpq_graph::{Alphabet, GraphBuilder, GraphDb, NodeId, Symbol};
 use cxrpq_xregex::{ConjunctiveXregex, VarTable, Xregex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -101,11 +101,7 @@ pub fn theorem1_database(inst: &NfaIntersection) -> (GraphDb, NodeId, NodeId) {
     for i in 0..inst.nfas.len() - 1 {
         db.add_word_path(finals[i], &[hash, hash], starts[i + 1]);
     }
-    db.add_word_path(
-        finals[inst.nfas.len() - 1],
-        &[hash, hash, hash],
-        t,
-    );
+    db.add_word_path(finals[inst.nfas.len() - 1], &[hash, hash, hash], t);
     (db.freeze(), s, t)
 }
 
@@ -161,11 +157,7 @@ impl HittingSet {
     /// Brute force: does a hitting set of size ≤ k exist?
     pub fn brute_force(&self) -> bool {
         fn rec(hs: &HittingSet, chosen: &mut Vec<usize>, next: usize) -> bool {
-            if hs
-                .sets
-                .iter()
-                .all(|s| s.iter().any(|z| chosen.contains(z)))
-            {
+            if hs.sets.iter().all(|s| s.iter().any(|z| chosen.contains(z))) {
                 return true;
             }
             if chosen.len() == hs.k || next == hs.universe {
@@ -185,7 +177,13 @@ impl HittingSet {
 }
 
 /// Generates a random Hitting Set instance.
-pub fn random_hitting_set(universe: usize, sets: usize, set_size: usize, k: usize, seed: u64) -> HittingSet {
+pub fn random_hitting_set(
+    universe: usize,
+    sets: usize,
+    set_size: usize,
+    k: usize,
+    seed: u64,
+) -> HittingSet {
     let mut rng = StdRng::seed_from_u64(seed);
     let sets = (0..sets)
         .map(|_| {
@@ -217,7 +215,7 @@ pub fn theorem7_reduction(inst: &HittingSet) -> (GraphDb, Cxrpq) {
         w.push(b);
         w
     };
-    let mut db = GraphBuilder::new(alphabet.clone());
+    let mut db = GraphBuilder::new(alphabet);
     let s = db.add_named_node("s");
     let u: Vec<NodeId> = (0..=inst.k)
         .map(|i| db.add_named_node(&format!("u{i}")))
@@ -248,14 +246,8 @@ pub fn theorem7_reduction(inst: &HittingSet) -> (GraphDb, Cxrpq) {
     // α = # Π xᵢ{a|b|ε} # (Π xᵢ)^m #  with (n+2)·k variables.
     let nvars = (inst.universe + 2) * inst.k;
     let mut vars = VarTable::new();
-    let xs: Vec<_> = (0..nvars)
-        .map(|i| vars.intern(&format!("x{i}")))
-        .collect();
-    let abeps = Xregex::alt(vec![
-        Xregex::Sym(a),
-        Xregex::Sym(b),
-        Xregex::Epsilon,
-    ]);
+    let xs: Vec<_> = (0..nvars).map(|i| vars.intern(&format!("x{i}"))).collect();
+    let abeps = Xregex::alt(vec![Xregex::Sym(a), Xregex::Sym(b), Xregex::Epsilon]);
     let mut parts = vec![Xregex::Sym(hash)];
     for &x in &xs {
         parts.push(Xregex::def(x, abeps.clone()));
@@ -312,7 +304,9 @@ pub fn reachability_reduction(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cxrpq_core::{BoundedEvaluator, CrpqEvaluator, GenericEvaluator, GenericOutcome, VsfEvaluator};
+    use cxrpq_core::{
+        BoundedEvaluator, CrpqEvaluator, GenericEvaluator, GenericOutcome, VsfEvaluator,
+    };
 
     #[test]
     fn theorem1_reduction_correct_on_random_instances() {
@@ -323,11 +317,7 @@ mod tests {
             let q = alpha_ni(&mut alpha);
             let expected = inst.intersection_nonempty();
             // Witness length bounds the needed image size.
-            let cap = inst
-                .shortest_witness()
-                .map(|w| w.len())
-                .unwrap_or(6)
-                .max(1);
+            let cap = inst.shortest_witness().map(|w| w.len()).unwrap_or(6).max(1);
             let outcome = GenericEvaluator::new(&q, cap).check(&db, &[s, t]);
             let got = matches!(outcome, GenericOutcome::Match { .. });
             assert_eq!(got, expected, "seed {seed}");
@@ -390,12 +380,10 @@ mod tests {
     fn reachability_reduction_correct() {
         let mut alpha = Alphabet::new();
         // 0 → 1 → 2, 3 isolated.
-        let (db, q) =
-            reachability_reduction(4, &[(0, 1), (1, 2)], 0, 2, &mut alpha);
+        let (db, q) = reachability_reduction(4, &[(0, 1), (1, 2)], 0, 2, &mut alpha);
         assert!(CrpqEvaluator::new(&q).boolean(&db));
         let mut alpha2 = Alphabet::new();
-        let (db2, q2) =
-            reachability_reduction(4, &[(0, 1), (1, 2)], 3, 0, &mut alpha2);
+        let (db2, q2) = reachability_reduction(4, &[(0, 1), (1, 2)], 3, 0, &mut alpha2);
         assert!(!CrpqEvaluator::new(&q2).boolean(&db2));
     }
 

@@ -3,7 +3,7 @@
 
 use cxrpq_automata::parse_regex;
 use cxrpq_core::{Cxrpq, CxrpqBuilder, Ecrpq, GraphPattern, RegularRelation};
-use cxrpq_graph::{GraphBuilder, Alphabet, GraphDb, NodeId, Symbol};
+use cxrpq_graph::{Alphabet, GraphBuilder, GraphDb, NodeId, Symbol};
 use std::sync::Arc;
 
 /// Figure 6: `q_{aⁿbⁿ}` — an ECRPQ (equal-length relation) matching
@@ -135,7 +135,13 @@ mod tests {
     fn q_anbn_separates_lengths() {
         let mut alpha = Alphabet::from_chars("abcd");
         let q = q_anbn(&mut alpha);
-        for (n, m, expect) in [(0, 0, true), (2, 2, true), (4, 4, true), (2, 3, false), (5, 1, false)] {
+        for (n, m, expect) in [
+            (0, 0, true),
+            (2, 2, true),
+            (4, 4, true),
+            (2, 3, false),
+            (5, 1, false),
+        ] {
             let (db, _, _) = d_anbm(n, m);
             assert_eq!(EcrpqEvaluator::new(&q).boolean(&db), expect, "n={n} m={m}");
         }

@@ -143,9 +143,7 @@ impl Xregex {
             Xregex::Concat(ps) => {
                 Regex::Concat(ps.iter().map(Xregex::to_regex).collect::<Option<_>>()?)
             }
-            Xregex::Alt(ps) => {
-                Regex::Alt(ps.iter().map(Xregex::to_regex).collect::<Option<_>>()?)
-            }
+            Xregex::Alt(ps) => Regex::Alt(ps.iter().map(Xregex::to_regex).collect::<Option<_>>()?),
             Xregex::Plus(p) => Regex::Plus(Box::new(p.to_regex()?)),
             Xregex::Star(p) => Regex::Star(Box::new(p.to_regex()?)),
             Xregex::VarRef(_) | Xregex::VarDef(..) => return None,
@@ -227,14 +225,8 @@ impl Xregex {
     /// Size |α| — number of AST nodes (the measure of the blow-up bounds).
     pub fn size(&self) -> usize {
         match self {
-            Xregex::Empty
-            | Xregex::Epsilon
-            | Xregex::Sym(_)
-            | Xregex::Any
-            | Xregex::VarRef(_) => 1,
-            Xregex::Concat(ps) | Xregex::Alt(ps) => {
-                1 + ps.iter().map(Xregex::size).sum::<usize>()
-            }
+            Xregex::Empty | Xregex::Epsilon | Xregex::Sym(_) | Xregex::Any | Xregex::VarRef(_) => 1,
+            Xregex::Concat(ps) | Xregex::Alt(ps) => 1 + ps.iter().map(Xregex::size).sum::<usize>(),
             Xregex::Plus(p) | Xregex::Star(p) => 1 + p.size(),
             Xregex::VarDef(_, p) => 1 + p.size(),
         }
@@ -251,7 +243,7 @@ impl Xregex {
         match self {
             Xregex::Empty | Xregex::Epsilon | Xregex::Sym(_) | Xregex::Any => {}
             Xregex::Concat(ps) | Xregex::Alt(ps) => {
-                ps.iter().for_each(|p| p.collect_vars(out))
+                ps.iter().for_each(|p| p.collect_vars(out));
             }
             Xregex::Plus(p) | Xregex::Star(p) => p.collect_vars(out),
             Xregex::VarRef(x) => {
@@ -308,6 +300,43 @@ impl Xregex {
         n
     }
 
+    /// Whether the term denotes exactly `{ε}` — it matches the empty word
+    /// and nothing else, with every variable it defines bound to ε.
+    ///
+    /// Decided syntactically, so the check is conservative on references:
+    /// a `VarRef` could denote ε at runtime, but here it reports `false`.
+    /// Used by the static analyzer's ε-variable elimination: a definition
+    /// `x{α}` with `α.is_epsilon_only()` pins `ψ(x) = ε` on every match,
+    /// so the definition and all references of `x` can be erased
+    /// ([`Xregex::erase_var`]).
+    pub fn is_epsilon_only(&self) -> bool {
+        match self {
+            Xregex::Epsilon => true,
+            Xregex::Empty | Xregex::Sym(_) | Xregex::Any | Xregex::VarRef(_) => false,
+            Xregex::Concat(ps) => ps.iter().all(Xregex::is_epsilon_only),
+            Xregex::Alt(ps) => !ps.is_empty() && ps.iter().all(Xregex::is_epsilon_only),
+            Xregex::Plus(p) | Xregex::Star(p) => p.is_epsilon_only(),
+            Xregex::VarDef(_, p) => p.is_epsilon_only(),
+        }
+    }
+
+    /// Erases variable `x`: every definition `x{α}` and every reference of
+    /// `x` is replaced by ε. Only semantics-preserving when `ψ(x) = ε` on
+    /// every match — i.e. the definition body `α` satisfies
+    /// [`Xregex::is_epsilon_only`]; the caller checks that.
+    pub fn erase_var(&self, x: Var) -> Xregex {
+        match self {
+            Xregex::VarRef(y) if *y == x => Xregex::Epsilon,
+            Xregex::VarDef(y, _) if *y == x => Xregex::Epsilon,
+            Xregex::Concat(ps) => Xregex::Concat(ps.iter().map(|p| p.erase_var(x)).collect()),
+            Xregex::Alt(ps) => Xregex::Alt(ps.iter().map(|p| p.erase_var(x)).collect()),
+            Xregex::Plus(p) => Xregex::Plus(Box::new(p.erase_var(x))),
+            Xregex::Star(p) => Xregex::Star(Box::new(p.erase_var(x))),
+            Xregex::VarDef(y, p) => Xregex::VarDef(*y, Box::new(p.erase_var(x))),
+            other => other.clone(),
+        }
+    }
+
     /// Pre-order traversal visiting every node.
     pub fn walk(&self, f: &mut impl FnMut(&Xregex)) {
         f(self);
@@ -332,9 +361,7 @@ impl Xregex {
             }
             Xregex::Plus(p) => Xregex::Plus(Box::new(p.replace_refs(x, replacement))),
             Xregex::Star(p) => Xregex::Star(Box::new(p.replace_refs(x, replacement))),
-            Xregex::VarDef(y, p) => {
-                Xregex::VarDef(*y, Box::new(p.replace_refs(x, replacement)))
-            }
+            Xregex::VarDef(y, p) => Xregex::VarDef(*y, Box::new(p.replace_refs(x, replacement))),
             other => other.clone(),
         }
     }
@@ -514,5 +541,48 @@ mod tests {
         assert_eq!(Xregex::concat(vec![sy(0), Xregex::Empty]), Xregex::Empty);
         assert_eq!(Xregex::star(Xregex::Epsilon), Xregex::Epsilon);
         assert_eq!(Xregex::plus(Xregex::Empty), Xregex::Empty);
+    }
+
+    #[test]
+    fn epsilon_only_classification() {
+        assert!(Xregex::Epsilon.is_epsilon_only());
+        // ε* and (ε|ε)+ denote {ε}; the raw variants dodge the smart ctors.
+        assert!(Xregex::Star(Box::new(Xregex::Epsilon)).is_epsilon_only());
+        assert!(Xregex::Plus(Box::new(Xregex::Alt(vec![
+            Xregex::Epsilon,
+            Xregex::Epsilon
+        ])))
+        .is_epsilon_only());
+        assert!(!sy(0).is_epsilon_only());
+        assert!(!Xregex::Empty.is_epsilon_only());
+        assert!(!Xregex::Star(Box::new(sy(0))).is_epsilon_only());
+        assert!(!Xregex::VarRef(Var(0)).is_epsilon_only());
+    }
+
+    #[test]
+    fn erase_var_removes_defs_and_refs() {
+        let mut vt = VarTable::new();
+        let x = vt.intern("x");
+        let y = vt.intern("y");
+        // x{ε} a x y — erasing x leaves ε a ε y.
+        let r = Xregex::Concat(vec![
+            Xregex::def(x, Xregex::Epsilon),
+            sy(0),
+            Xregex::VarRef(x),
+            Xregex::VarRef(y),
+        ]);
+        let erased = r.erase_var(x);
+        assert_eq!(erased.def_count(x), 0);
+        assert_eq!(erased.ref_count(x), 0);
+        assert_eq!(erased.ref_count(y), 1);
+        assert_eq!(
+            erased,
+            Xregex::Concat(vec![
+                Xregex::Epsilon,
+                sy(0),
+                Xregex::Epsilon,
+                Xregex::VarRef(y)
+            ])
+        );
     }
 }

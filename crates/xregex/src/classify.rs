@@ -174,8 +174,7 @@ mod tests {
         // "x{a*}y((bx)|(ca))b*y is vstar-free, but not valt-free."
         let mut a = Alphabet::from_chars("abc");
         let (r2, _) =
-            crate::parser::parse_xregex_with_vars("x{a*}y((bx)|(ca))b*y", &["y"], &mut a)
-                .unwrap();
+            crate::parser::parse_xregex_with_vars("x{a*}y((bx)|(ca))b*y", &["y"], &mut a).unwrap();
         assert!(is_vstar_free(&r2));
         assert!(!is_valt_free(&r2));
         // "ax{(b|c)*by{dxa*}}bxa*z{d*}zy is variable-simple, but not simple"
@@ -184,7 +183,7 @@ mod tests {
         let r3 = x("a u{(b|c)*b y{dca*}}bua*z{d*}zy");
         assert!(is_variable_simple(&r3));
         assert!(!is_simple(&r3)); // u's body is not basic
-        // "ax{(b|c)*da}bxa*y{z}xy is simple."
+                                  // "ax{(b|c)*da}bxa*y{z}xy is simple."
         let r4 = x("a x{(b|c)*da}bxa* y{z{d}} x y");
         assert!(is_variable_simple(&r4));
         // y{z} is basic; z{d} is basic; x{(b|c)*da} is basic.
@@ -195,8 +194,7 @@ mod tests {
     fn figure_2_classifications() {
         let mut a = Alphabet::from_chars("abcd");
         // G1: x{a|b} and (x|c)+ — references under + make it non-vstar-free.
-        let (comps, vt) =
-            parse_conjunctive(&["x{a|b}", "(x|c)+"], &mut a).unwrap();
+        let (comps, vt) = parse_conjunctive(&["x{a|b}", "(x|c)+"], &mut a).unwrap();
         let g1 = ConjunctiveXregex::new(comps, vt).unwrap();
         let c1 = classification(&g1);
         assert!(!c1.vstar_free);
@@ -205,8 +203,7 @@ mod tests {
         // G2: x{aa|b}, y{(c|d)*}, x|y — vstar-free; x|y is a variable
         // alternation so not valt-free; all variables flat.
         let mut a2 = Alphabet::from_chars("abcd");
-        let (comps, vt) =
-            parse_conjunctive(&["x{aa|b}", "y{(c|d)*}", "x|y"], &mut a2).unwrap();
+        let (comps, vt) = parse_conjunctive(&["x{aa|b}", "y{(c|d)*}", "x|y"], &mut a2).unwrap();
         let g2 = ConjunctiveXregex::new(comps, vt).unwrap();
         let c2 = classification(&g2);
         assert!(c2.vstar_free);
@@ -239,11 +236,8 @@ mod tests {
         // inside another definition; x non-basic def, no refs in other defs;
         // y, z basic defs.)
         let mut a = Alphabet::from_chars("abc");
-        let (comps, vt) = parse_conjunctive(
-            &["ub* x{y{a*}(a|b)*zy}", "u{cb z{a*(b|ca)}}ax"],
-            &mut a,
-        )
-        .unwrap();
+        let (comps, vt) =
+            parse_conjunctive(&["ub* x{y{a*}(a|b)*zy}", "u{cb z{a*(b|ca)}}ax"], &mut a).unwrap();
         let cx = ConjunctiveXregex::new(comps, vt).unwrap();
         let joint = cx.joint();
         for v in joint.vars() {

@@ -24,7 +24,10 @@ impl fmt::Display for ConjunctiveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConjunctiveError::NotSequential => {
-                write!(f, "α₁…α_m is not sequential (duplicate instantiable definitions)")
+                write!(
+                    f,
+                    "α₁…α_m is not sequential (duplicate instantiable definitions)"
+                )
             }
             ConjunctiveError::Cyclic => write!(f, "variable relation ≺ is cyclic"),
             ConjunctiveError::Empty => write!(f, "a conjunctive xregex needs ≥ 1 component"),
@@ -142,9 +145,8 @@ impl ConjunctiveXregex {
         words: &[Vec<Symbol>],
         cfg: &MatchConfig,
     ) -> Option<Option<BTreeMap<Var, Vec<Symbol>>>> {
-        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.is_match(words, cfg)
-        }));
+        let attempt =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.is_match(words, cfg)));
         match attempt {
             Ok(result) => Some(result),
             Err(payload) => {
@@ -230,8 +232,7 @@ mod tests {
     #[test]
     fn cyclic_rejected() {
         let mut a = Alphabet::from_chars("ab");
-        let (comps, vt) =
-            crate::parser::parse_conjunctive(&["x{y}a", "y{x}b"], &mut a).unwrap();
+        let (comps, vt) = parse_conjunctive(&["x{y}a", "y{x}b"], &mut a).unwrap();
         assert!(matches!(
             ConjunctiveXregex::new(comps, vt),
             Err(ConjunctiveError::Cyclic)

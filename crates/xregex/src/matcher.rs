@@ -406,7 +406,10 @@ mod tests {
         let p = "(x{a}|b)x";
         assert!(single(p, "aa").is_some());
         assert!(single(p, "b").is_some());
-        assert!(single(p, "ba").is_none(), "x must be ε when not instantiated");
+        assert!(
+            single(p, "ba").is_none(),
+            "x must be ε when not instantiated"
+        );
     }
 
     #[test]
@@ -463,16 +466,9 @@ mod tests {
         // α = a*x1{a* x2{(a|b)*} b*a*} x2*(a|b)* x1 over {a,b};
         // w = a^4 (ba)^2 (ab)^3 (ba)^3 a ∈ L(α)  (Example 2).
         let mut a = Alphabet::from_chars("ab");
-        let (r, vt) =
-            parse_xregex("a*x1{a*x2{(a|b)*}b*a*}x2*(a|b)*x1", &mut a).unwrap();
+        let (r, vt) = parse_xregex("a*x1{a*x2{(a|b)*}b*a*}x2*(a|b)*x1", &mut a).unwrap();
         let w = a
-            .parse_word(&format!(
-                "{}{}{}{}a",
-                "aaaa",
-                "baba",
-                "ababab",
-                "bababa"
-            ))
+            .parse_word(&format!("{}{}{}{}a", "aaaa", "baba", "ababab", "bababa"))
             .unwrap();
         assert!(match_single(&r, &w, vt.len(), &MatchConfig::default()).is_some());
     }
@@ -494,8 +490,7 @@ mod tests {
     fn conjunctive_shared_variables() {
         // γ1 = (x{a*}|b*) y, γ2 = y{xaxb} b y* — §3.1's worked example.
         let mut a = Alphabet::from_chars("ab#");
-        let (comps, vt) =
-            parse_conjunctive(&["(x{a*}|b*)y", "y{xaxb}by*"], &mut a).unwrap();
+        let (comps, vt) = parse_conjunctive(&["(x{a*}|b*)y", "y{xaxb}by*"], &mut a).unwrap();
         // (aa·a⁵b, a⁵bb(a⁵b)²) with x = aa, y = a⁵b... the paper's example:
         // w1 = aa a^5 b? Actually w1 = x-image + y-image = aa·a⁵b.
         let w1 = a.parse_word("aaaaaaab").unwrap(); // aa · a⁵b
@@ -512,14 +507,11 @@ mod tests {
         // From §3.1: (a#aa, a#a³bba³b) is NOT a conjunctive match for
         // ((x{a*}|b*)y, y{xaxb}by*) because the y images differ.
         let mut a = Alphabet::from_chars("ab#");
-        let (comps, vt) =
-            parse_conjunctive(&["(x{a*}|b*)y", "y{xaxb}by*"], &mut a).unwrap();
+        let (comps, vt) = parse_conjunctive(&["(x{a*}|b*)y", "y{xaxb}by*"], &mut a).unwrap();
         let w1 = a.parse_word("aa").unwrap(); // x = a, y = a would need w1 = a·a
         let w2 = a.parse_word("aabbaab").unwrap(); // y = aab = x a x b with x = a
-        // w1 = aa: x-branch gives x-image a then y must be a; but y = aab. Fail.
-        assert!(
-            conjunctive_match(&comps, &[w1, w2], vt.len(), &MatchConfig::default()).is_none()
-        );
+                                                   // w1 = aa: x-branch gives x-image a then y must be a; but y = aab. Fail.
+        assert!(conjunctive_match(&comps, &[w1, w2], vt.len(), &MatchConfig::default()).is_none());
     }
 
     #[test]
@@ -534,15 +526,11 @@ mod tests {
         let w1 = a.parse_word("abab").unwrap();
         let w2 = a.parse_word("abab").unwrap();
         let w3 = a.parse_word("abba").unwrap();
-        assert!(conjunctive_match(
-            &comps,
-            &[w1.clone(), w2],
-            vt.len(),
-            &MatchConfig::default()
-        )
-        .is_some());
-        assert!(conjunctive_match(&comps, &[w1, w3], vt.len(), &MatchConfig::default())
-            .is_none());
+        assert!(
+            conjunctive_match(&comps, &[w1.clone(), w2], vt.len(), &MatchConfig::default())
+                .is_some()
+        );
+        assert!(conjunctive_match(&comps, &[w1, w3], vt.len(), &MatchConfig::default()).is_none());
         let _ = &mut vt;
     }
 
@@ -552,26 +540,20 @@ mod tests {
         // match for (α1, α2, α3); (abb, abccbcc, ababaaab) IS, with
         // ψ = (ab, ab, cc).
         let mut a = Alphabet::from_chars("abc");
-        let (comps, vt) = parse_conjunctive(
-            &["x2{x1|a*}b", "x1{(a|b)*}x3{c*}bx3", "x2*a*x1"],
-            &mut a,
-        )
-        .unwrap();
+        let (comps, vt) =
+            parse_conjunctive(&["x2{x1|a*}b", "x1{(a|b)*}x3{c*}bx3", "x2*a*x1"], &mut a).unwrap();
         let neg = [
             a.parse_word("aab").unwrap(),
             a.parse_word("bbacbc").unwrap(),
             a.parse_word("aa").unwrap(),
         ];
-        assert!(
-            conjunctive_match(&comps, &neg, vt.len(), &MatchConfig::default()).is_none()
-        );
+        assert!(conjunctive_match(&comps, &neg, vt.len(), &MatchConfig::default()).is_none());
         let pos = [
             a.parse_word("abb").unwrap(),
             a.parse_word("abccbcc").unwrap(),
             a.parse_word("ababaaab").unwrap(),
         ];
-        let vmap =
-            conjunctive_match(&comps, &pos, vt.len(), &MatchConfig::default()).unwrap();
+        let vmap = conjunctive_match(&comps, &pos, vt.len(), &MatchConfig::default()).unwrap();
         assert_eq!(vmap[&vt.var("x1").unwrap()], a.parse_word("ab").unwrap());
         assert_eq!(vmap[&vt.var("x2").unwrap()], a.parse_word("ab").unwrap());
         assert_eq!(vmap[&vt.var("x3").unwrap()], a.parse_word("cc").unwrap());
@@ -585,8 +567,7 @@ mod tests {
         let nfa = Nfa::from_regex(&r.to_regex().unwrap());
         for n in 0..=4usize {
             for mask in 0..(1u32 << n) {
-                let w: Vec<Symbol> =
-                    (0..n).map(|i| Symbol((mask >> i) & 1)).collect();
+                let w: Vec<Symbol> = (0..n).map(|i| Symbol((mask >> i) & 1)).collect();
                 assert_eq!(
                     match_single(&r, &w, vt.len(), &MatchConfig::default()).is_some(),
                     nfa.accepts(&w),

@@ -124,11 +124,7 @@ fn expand(r: &Xregex) -> Vec<Xregex> {
 /// of branch lists. Definitions of `x` in branches `j₁ < … < j_t` of its
 /// defining component become fresh variables; every reference of `x`
 /// anywhere becomes the concatenation of references of the fresh variables.
-fn relabel_unique_defs(
-    comps: &mut [Vec<Xregex>],
-    vars: &mut VarTable,
-    fresh_count: &mut usize,
-) {
+fn relabel_unique_defs(comps: &mut [Vec<Xregex>], vars: &mut VarTable, fresh_count: &mut usize) {
     let all_vars: Vec<Var> = {
         let joint = Xregex::concat(comps.iter().flatten().cloned().collect());
         joint.defined_vars().into_iter().collect()
@@ -158,8 +154,7 @@ fn relabel_unique_defs(
             comps[ci][bi] = rename_defs(&comps[ci][bi], x, fresh[slot]);
         }
         // Replace all references of x by x⁽¹⁾…x⁽ᵗ⁾.
-        let replacement =
-            Xregex::concat(fresh.iter().map(|&f| Xregex::VarRef(f)).collect());
+        let replacement = Xregex::concat(fresh.iter().map(|&f| Xregex::VarRef(f)).collect());
         for branches in comps.iter_mut() {
             for b in branches.iter_mut() {
                 *b = b.replace_refs(x, &replacement);
@@ -175,9 +170,7 @@ fn rename_defs(r: &Xregex, x: Var, nx: Var) -> Xregex {
             let nb = Box::new(rename_defs(body, x, nx));
             Xregex::VarDef(if *y == x { nx } else { *y }, nb)
         }
-        Xregex::Concat(ps) => {
-            Xregex::Concat(ps.iter().map(|p| rename_defs(p, x, nx)).collect())
-        }
+        Xregex::Concat(ps) => Xregex::Concat(ps.iter().map(|p| rename_defs(p, x, nx)).collect()),
         Xregex::Alt(ps) => Xregex::Alt(ps.iter().map(|p| rename_defs(p, x, nx)).collect()),
         Xregex::Plus(p) => Xregex::Plus(Box::new(rename_defs(p, x, nx))),
         Xregex::Star(p) => Xregex::Star(Box::new(rename_defs(p, x, nx))),
@@ -193,15 +186,11 @@ fn rename_defs(r: &Xregex, x: Var, nx: Var) -> Xregex {
 fn replace_def(r: &Xregex, x: Var, replacement: &Xregex) -> Xregex {
     match r {
         Xregex::VarDef(y, _) if *y == x => replacement.clone(),
-        Xregex::VarDef(y, body) => {
-            Xregex::VarDef(*y, Box::new(replace_def(body, x, replacement)))
-        }
+        Xregex::VarDef(y, body) => Xregex::VarDef(*y, Box::new(replace_def(body, x, replacement))),
         Xregex::Concat(ps) => {
             Xregex::Concat(ps.iter().map(|p| replace_def(p, x, replacement)).collect())
         }
-        Xregex::Alt(ps) => {
-            Xregex::Alt(ps.iter().map(|p| replace_def(p, x, replacement)).collect())
-        }
+        Xregex::Alt(ps) => Xregex::Alt(ps.iter().map(|p| replace_def(p, x, replacement)).collect()),
         Xregex::Plus(p) => Xregex::Plus(Box::new(replace_def(p, x, replacement))),
         Xregex::Star(p) => Xregex::Star(Box::new(replace_def(p, x, replacement))),
         other => other.clone(),
@@ -239,14 +228,10 @@ fn body_factors(body: &Xregex) -> Vec<Xregex> {
 }
 
 /// The main modification step of Lemma 6, applied in ≺-topological order.
-fn flatten_defs(
-    comps: &mut [Vec<Xregex>],
-    vars: &mut VarTable,
-    fresh_count: &mut usize,
-) {
+fn flatten_defs(comps: &mut [Vec<Xregex>], vars: &mut VarTable, fresh_count: &mut usize) {
     let joint = Xregex::concat(comps.iter().flatten().cloned().collect());
-    let order = crate::validate::topological_vars(&joint)
-        .expect("validated conjunctive xregex is acyclic");
+    let order =
+        crate::validate::topological_vars(&joint).expect("validated conjunctive xregex is acyclic");
     for x in order {
         // Locate the (unique) current definition of x, if any.
         let mut body: Option<Xregex> = None;
@@ -277,8 +262,7 @@ fn flatten_defs(
             }
         }
         let def_replacement = Xregex::concat(new_defs);
-        let ref_replacement =
-            Xregex::concat(ref_vars.iter().map(|&v| Xregex::VarRef(v)).collect());
+        let ref_replacement = Xregex::concat(ref_vars.iter().map(|&v| Xregex::VarRef(v)).collect());
         for branches in comps.iter_mut() {
             for b in branches.iter_mut() {
                 *b = replace_def(b, x, &def_replacement);
@@ -297,7 +281,7 @@ fn find_def_body(r: &Xregex, x: Var, out: &mut Option<Xregex>) {
             find_def_body(body, x, out);
         }
         Xregex::Concat(ps) | Xregex::Alt(ps) => {
-            ps.iter().for_each(|p| find_def_body(p, x, out))
+            ps.iter().for_each(|p| find_def_body(p, x, out));
         }
         Xregex::Plus(p) | Xregex::Star(p) => find_def_body(p, x, out),
         _ => {}
@@ -351,8 +335,7 @@ pub fn normal_form(
             }
         })
         .collect();
-    let nf = ConjunctiveXregex::new(components, vars)
-        .expect("normal form preserves validity");
+    let nf = ConjunctiveXregex::new(components, vars).expect("normal form preserves validity");
     Ok((
         nf,
         NormalFormStats {
@@ -370,9 +353,7 @@ pub fn normal_form(
 /// variable-simple branch per component (the derandomized nondeterministic
 /// choices of Lemma 7) and flattening. The union of their conjunctive-match
 /// sets equals `L(ᾱ)`.
-pub fn simple_choices(
-    cx: &ConjunctiveXregex,
-) -> Result<SimpleChoiceIter, NormalFormError> {
+pub fn simple_choices(cx: &ConjunctiveXregex) -> Result<SimpleChoiceIter, NormalFormError> {
     let expanded: Vec<Vec<Xregex>> = cx
         .components()
         .iter()
@@ -442,8 +423,7 @@ impl Iterator for SimpleChoiceIter {
         let mut vars = self.vars.clone();
         let mut fresh = 0usize;
         flatten_defs(&mut comps, &mut vars, &mut fresh);
-        let components: Vec<Xregex> =
-            comps.into_iter().map(|mut bs| bs.pop().unwrap()).collect();
+        let components: Vec<Xregex> = comps.into_iter().map(|mut bs| bs.pop().unwrap()).collect();
         Some(
             ConjunctiveXregex::new(components, vars)
                 .expect("choice of a valid conjunctive xregex stays valid"),
@@ -506,7 +486,10 @@ mod tests {
     #[test]
     fn step1_produces_variable_simple_branches() {
         let mut a = Alphabet::from_chars("abc");
-        let cx = conj(&["x{a*y{b*}az}|(x{b*}(z|y{c*}))", "(a*|x)z{y(a|b)}"], &mut a);
+        let cx = conj(
+            &["x{a*y{b*}az}|(x{b*}(z|y{c*}))", "(a*|x)z{y(a|b)}"],
+            &mut a,
+        );
         for comp in cx.components() {
             for b in expand_variable_simple(comp).unwrap() {
                 assert!(is_variable_simple(&b), "branch not variable-simple");
@@ -518,7 +501,10 @@ mod tests {
     fn step1_example_from_section_5_1() {
         // γ1 = x{a*y{b*}az} ∨ (x{b*}·(z ∨ y{c*})) expands to 3 branches.
         let mut a = Alphabet::from_chars("abc");
-        let cx = conj(&["x{a*y{b*}az}|(x{b*}(z|y{c*}))", "(a*|x)z{y(a|b)}"], &mut a);
+        let cx = conj(
+            &["x{a*y{b*}az}|(x{b*}(z|y{c*}))", "(a*|x)z{y(a|b)}"],
+            &mut a,
+        );
         let b0 = expand_variable_simple(cx.component(0)).unwrap();
         assert_eq!(b0.len(), 3);
         let b1 = expand_variable_simple(cx.component(1)).unwrap();
@@ -528,7 +514,10 @@ mod tests {
     #[test]
     fn normal_form_is_normal_form() {
         let mut a = Alphabet::from_chars("abc");
-        let cx = conj(&["x{a*y{b*}az}|(x{b*}(z|y{c*}))", "(a*|x)z{y(a|b)}"], &mut a);
+        let cx = conj(
+            &["x{a*y{b*}az}|(x{b*}(z|y{c*}))", "(a*|x)z{y(a|b)}"],
+            &mut a,
+        );
         let (nf, stats) = normal_form(&cx).unwrap();
         for comp in nf.components() {
             assert!(is_normal_form(comp), "component not in normal form");
@@ -548,20 +537,15 @@ mod tests {
         // Enumerate all word pairs up to length 4/4 and compare membership.
         let words: Vec<Vec<Symbol>> = (0..=4usize)
             .flat_map(|n| {
-                (0..(1u32 << n)).map(move |mask| {
-                    (0..n).map(|i| Symbol((mask >> i) & 1)).collect::<Vec<_>>()
-                })
+                (0..(1u32 << n))
+                    .map(move |mask| (0..n).map(|i| Symbol((mask >> i) & 1)).collect::<Vec<_>>())
             })
             .collect();
         let mut checked = 0;
         for w1 in &words {
             for w2 in &words {
-                let lhs = cx
-                    .is_match(&[w1.clone(), w2.clone()], &cfg)
-                    .is_some();
-                let rhs = nf
-                    .is_match(&[w1.clone(), w2.clone()], &cfg)
-                    .is_some();
+                let lhs = cx.is_match(&[w1.clone(), w2.clone()], &cfg).is_some();
+                let rhs = nf.is_match(&[w1.clone(), w2.clone()], &cfg).is_some();
                 assert_eq!(lhs, rhs, "mismatch on ({w1:?}, {w2:?})");
                 if lhs {
                     checked += 1;
@@ -623,9 +607,8 @@ mod tests {
         let cfg = MatchConfig::default();
         let words: Vec<Vec<Symbol>> = (0..=3usize)
             .flat_map(|n| {
-                (0..(1u32 << n)).map(move |mask| {
-                    (0..n).map(|i| Symbol((mask >> i) & 1)).collect::<Vec<_>>()
-                })
+                (0..(1u32 << n))
+                    .map(move |mask| (0..n).map(|i| Symbol((mask >> i) & 1)).collect::<Vec<_>>())
             })
             .collect();
         for w1 in &words {
@@ -651,7 +634,10 @@ mod tests {
         // The paper's γ̄: γ1 = x{a*y{b*}az} ∨ (x{b*}·(z ∨ y{c*})),
         //                γ2 = (a* ∨ x)·z{y·(a|b)}.
         let mut a = Alphabet::from_chars("abc");
-        let cx = conj(&["x{a*y{b*}az}|(x{b*}(z|y{c*}))", "(a*|x)z{y(a|b)}"], &mut a);
+        let cx = conj(
+            &["x{a*y{b*}az}|(x{b*}(z|y{c*}))", "(a*|x)z{y(a|b)}"],
+            &mut a,
+        );
         let (nf, stats) = normal_form(&cx).unwrap();
         // Step 2 must split x (defs in 3 branches of component 0) and z
         // (defs in 2 branches of component 1)… z has one def per branch of

@@ -285,7 +285,10 @@ impl<'a> P<'a> {
     }
 
     fn atom(&mut self) -> Result<Xregex, XregexParseError> {
-        let tok = self.peek().cloned().ok_or_else(|| self.err("unexpected end"))?;
+        let tok = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| self.err("unexpected end"))?;
         self.i += 1;
         match tok {
             Tok::LParen => {
@@ -520,10 +523,7 @@ mod tests {
         assert!(vt.is_empty());
         assert_eq!(
             r,
-            Xregex::Concat(vec![
-                Xregex::Sym(a.sym("z")),
-                Xregex::Sym(a.sym("z"))
-            ])
+            Xregex::Concat(vec![Xregex::Sym(a.sym("z")), Xregex::Sym(a.sym("z"))])
         );
     }
 

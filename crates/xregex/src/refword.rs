@@ -164,8 +164,7 @@ impl RefWord {
     /// (returned implicitly: absent from the map).
     pub fn deref(&self) -> (Vec<Symbol>, BTreeMap<Var, Vec<Symbol>>) {
         // Step 1: delete references of variables without a definition.
-        let defined: std::collections::BTreeSet<Var> =
-            self.defined_vars().into_iter().collect();
+        let defined: std::collections::BTreeSet<Var> = self.defined_vars().into_iter().collect();
         let mut toks: Vec<RefTok> = self
             .toks
             .iter()

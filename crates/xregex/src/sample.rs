@@ -234,17 +234,12 @@ mod tests {
     #[test]
     fn sampled_conjunctive_matches_pass_oracle() {
         let mut a = Alphabet::from_chars("abc");
-        let (comps, vt) = parse_conjunctive(
-            &["x{a|bb}(a|x)y", "y{b*}x", "c*xc*"],
-            &mut a,
-        )
-        .unwrap();
+        let (comps, vt) = parse_conjunctive(&["x{a|bb}(a|x)y", "y{b*}x", "c*xc*"], &mut a).unwrap();
         let cx = ConjunctiveXregex::new(comps, vt).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..60 {
             let (words, psi) =
-                sample_conjunctive_match(&cx, a.len(), &SampleConfig::default(), &mut rng)
-                    .unwrap();
+                sample_conjunctive_match(&cx, a.len(), &SampleConfig::default(), &mut rng).unwrap();
             // The sampled mapping must be accepted by the pinned oracle.
             let got = cx.is_match(&words, &MatchConfig::pinned(psi.clone()));
             assert!(
@@ -268,8 +263,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..30 {
             let (words, psi) =
-                sample_conjunctive_match(&cx, a.len(), &SampleConfig::default(), &mut rng)
-                    .unwrap();
+                sample_conjunctive_match(&cx, a.len(), &SampleConfig::default(), &mut rng).unwrap();
             let zv = &psi[&z];
             assert!(words[0].ends_with(zv));
             assert!(words[1].starts_with(zv));

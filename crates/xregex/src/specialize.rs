@@ -119,10 +119,9 @@ impl SNode {
         match (self, path.split_first()) {
             (SNode::Def { checked, .. }, None) => *checked = true,
             (SNode::Concat(ps) | SNode::Alt(ps), Some((&i, rest))) => ps[i].mark_checked(rest),
-            (
-                SNode::Plus(p) | SNode::Star(p) | SNode::Def { body: p, .. },
-                Some((_, rest)),
-            ) => p.mark_checked(rest),
+            (SNode::Plus(p) | SNode::Star(p) | SNode::Def { body: p, .. }, Some((_, rest))) => {
+                p.mark_checked(rest);
+            }
             _ => unreachable!("bad path"),
         }
     }
@@ -167,8 +166,7 @@ impl SNode {
                 any
             }
             SNode::Alt(ps) => {
-                let flags: Vec<bool> =
-                    ps.iter_mut().map(|p| p.force_instantiation(x)).collect();
+                let flags: Vec<bool> = ps.iter_mut().map(|p| p.force_instantiation(x)).collect();
                 if flags.iter().any(|&f| f) {
                     let mut keep = flags.iter();
                     ps.retain(|_| *keep.next().unwrap());
@@ -198,9 +196,8 @@ impl SNode {
 
     /// Step C: replaces definitions and references by image words.
     fn to_regex(&self, psi: &VarMapping) -> Regex {
-        let image = |x: &Var| -> Regex {
-            Regex::word(psi.get(x).map(Vec::as_slice).unwrap_or(&[]))
-        };
+        let image =
+            |x: &Var| -> Regex { Regex::word(psi.get(x).map(Vec::as_slice).unwrap_or(&[])) };
         match self {
             SNode::Empty => Regex::Empty,
             SNode::Eps => Regex::Epsilon,
@@ -220,17 +217,13 @@ impl SNode {
 /// `psi`, yielding the classical `γ′` of Lemma 10's membership check. Also
 /// used by the CXRPQ^{≤k} candidate enumerator.
 pub fn substituted_body(body: &Xregex, psi: &VarMapping) -> Regex {
-    let image = |x: &Var| -> Regex {
-        Regex::word(psi.get(x).map(Vec::as_slice).unwrap_or(&[]))
-    };
+    let image = |x: &Var| -> Regex { Regex::word(psi.get(x).map(Vec::as_slice).unwrap_or(&[])) };
     match body {
         Xregex::Empty => Regex::Empty,
         Xregex::Epsilon => Regex::Epsilon,
         Xregex::Sym(a) => Regex::Sym(*a),
         Xregex::Any => Regex::Any,
-        Xregex::Concat(ps) => {
-            Regex::concat(ps.iter().map(|p| substituted_body(p, psi)).collect())
-        }
+        Xregex::Concat(ps) => Regex::concat(ps.iter().map(|p| substituted_body(p, psi)).collect()),
         Xregex::Alt(ps) => Regex::alt(ps.iter().map(|p| substituted_body(p, psi)).collect()),
         Xregex::Plus(p) => Regex::plus(substituted_body(p, psi)),
         Xregex::Star(p) => Regex::star(substituted_body(p, psi)),
@@ -253,7 +246,7 @@ pub fn specialize(cx: &ConjunctiveXregex, psi: &VarMapping) -> Option<Vec<Regex>
         .collect();
 
     // Step A: mark / cut definitions, innermost first.
-    for slot in trees.iter_mut() {
+    for slot in &mut trees {
         while let Some(tree) = slot.as_mut() {
             let mut path = Vec::new();
             if !tree.find_unchecked_innermost(&mut path) {
@@ -281,7 +274,7 @@ pub fn specialize(cx: &ConjunctiveXregex, psi: &VarMapping) -> Option<Vec<Regex>
             continue;
         }
         let mut survives = false;
-        for slot in trees.iter_mut() {
+        for slot in &mut trees {
             if let Some(tree) = slot.as_mut() {
                 if tree.has_def_of(x) {
                     tree.force_instantiation(x);
@@ -312,17 +305,13 @@ pub fn specialize(cx: &ConjunctiveXregex, psi: &VarMapping) -> Option<Vec<Regex>
 }
 
 fn snode_substitute(body: &SNode, psi: &VarMapping) -> Regex {
-    let image = |x: &Var| -> Regex {
-        Regex::word(psi.get(x).map(Vec::as_slice).unwrap_or(&[]))
-    };
+    let image = |x: &Var| -> Regex { Regex::word(psi.get(x).map(Vec::as_slice).unwrap_or(&[])) };
     match body {
         SNode::Empty => Regex::Empty,
         SNode::Eps => Regex::Epsilon,
         SNode::Sym(a) => Regex::Sym(*a),
         SNode::Any => Regex::Any,
-        SNode::Concat(ps) => {
-            Regex::concat(ps.iter().map(|p| snode_substitute(p, psi)).collect())
-        }
+        SNode::Concat(ps) => Regex::concat(ps.iter().map(|p| snode_substitute(p, psi)).collect()),
         SNode::Alt(ps) => Regex::alt(ps.iter().map(|p| snode_substitute(p, psi)).collect()),
         SNode::Plus(p) => Regex::plus(snode_substitute(p, psi)),
         SNode::Star(p) => Regex::star(snode_substitute(p, psi)),
@@ -338,10 +327,7 @@ mod tests {
     use crate::parser::parse_conjunctive;
     use cxrpq_graph::Alphabet;
 
-    fn setup(
-        inputs: &[&str],
-        alpha: &mut Alphabet,
-    ) -> ConjunctiveXregex {
+    fn setup(inputs: &[&str], alpha: &mut Alphabet) -> ConjunctiveXregex {
         let (comps, vt) = parse_conjunctive(inputs, alpha).unwrap();
         ConjunctiveXregex::new(comps, vt).unwrap()
     }
@@ -349,12 +335,7 @@ mod tests {
     fn psi_of(pairs: &[(&str, &str)], cx: &ConjunctiveXregex, a: &Alphabet) -> VarMapping {
         pairs
             .iter()
-            .map(|(v, w)| {
-                (
-                    cx.vars().var(v).unwrap(),
-                    a.parse_word(w).unwrap(),
-                )
-            })
+            .map(|(v, w)| (cx.vars().var(v).unwrap(), a.parse_word(w).unwrap()))
             .collect()
     }
 
@@ -400,24 +381,21 @@ mod tests {
         let cx = setup(&["x{a|bb}(a|x)y", "y{b*}x"], &mut a);
         let words: Vec<Vec<Symbol>> = (0..=4usize)
             .flat_map(|n| {
-                (0..(1u32 << n)).map(move |mask| {
-                    (0..n).map(|i| Symbol((mask >> i) & 1)).collect::<Vec<_>>()
-                })
+                (0..(1u32 << n))
+                    .map(move |mask| (0..n).map(|i| Symbol((mask >> i) & 1)).collect::<Vec<_>>())
             })
             .collect();
         let images: Vec<Vec<Symbol>> = (0..=2usize)
             .flat_map(|n| {
-                (0..(1u32 << n)).map(move |mask| {
-                    (0..n).map(|i| Symbol((mask >> i) & 1)).collect::<Vec<_>>()
-                })
+                (0..(1u32 << n))
+                    .map(move |mask| (0..n).map(|i| Symbol((mask >> i) & 1)).collect::<Vec<_>>())
             })
             .collect();
         let x = cx.vars().var("x").unwrap();
         let y = cx.vars().var("y").unwrap();
         for ix in &images {
             for iy in &images {
-                let psi: VarMapping =
-                    [(x, ix.clone()), (y, iy.clone())].into_iter().collect();
+                let psi: VarMapping = [(x, ix.clone()), (y, iy.clone())].into_iter().collect();
                 let beta = specialize(&cx, &psi);
                 let nfas: Option<Vec<Nfa>> =
                     beta.map(|bs| bs.iter().map(Nfa::from_regex).collect());
@@ -425,15 +403,10 @@ mod tests {
                     for w2 in &words {
                         let via_beta = nfas
                             .as_ref()
-                            .map(|ms| {
-                                ms[0].accepts(w1) && ms[1].accepts(w2)
-                            })
+                            .map(|ms| ms[0].accepts(w1) && ms[1].accepts(w2))
                             .unwrap_or(false);
                         let via_oracle = cx
-                            .is_match(
-                                &[w1.clone(), w2.clone()],
-                                &MatchConfig::pinned(psi.clone()),
-                            )
+                            .is_match(&[w1.clone(), w2.clone()], &MatchConfig::pinned(psi.clone()))
                             .is_some();
                         assert_eq!(
                             via_beta, via_oracle,

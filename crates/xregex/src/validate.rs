@@ -186,11 +186,9 @@ mod tests {
         assert!(!is_sequential(&x("x{a}x{b}")));
         // The paper's non-example (α2, α4): x1 defined in both.
         let mut a = Alphabet::new();
-        let (comps, _) = crate::parser::parse_conjunctive(
-            &["x1{(a|b)*}x3{c*}bx3", "x4{a*}bx4 x1{x2a}"],
-            &mut a,
-        )
-        .unwrap();
+        let (comps, _) =
+            crate::parser::parse_conjunctive(&["x1{(a|b)*}x3{c*}bx3", "x4{a*}bx4 x1{x2a}"], &mut a)
+                .unwrap();
         let joint = Xregex::concat(comps);
         assert!(!is_sequential(&joint));
     }
@@ -206,8 +204,7 @@ mod tests {
     #[test]
     fn var_relation_edges() {
         let mut a = Alphabet::new();
-        let (r, vt) =
-            crate::parser::parse_xregex_with_vars("z{y{a}x}b", &["x"], &mut a).unwrap();
+        let (r, vt) = crate::parser::parse_xregex_with_vars("z{y{a}x}b", &["x"], &mut a).unwrap();
         let (xv, yv, zv) = (
             vt.var("x").unwrap(),
             vt.var("y").unwrap(),
@@ -224,12 +221,7 @@ mod tests {
         let mut a = Alphabet::new();
         let (r, vt) = parse_xregex("x{a}y{xx}z{yy}", &mut a).unwrap();
         let order = topological_vars(&r).unwrap();
-        let pos = |v: &str| {
-            order
-                .iter()
-                .position(|&o| o == vt.var(v).unwrap())
-                .unwrap()
-        };
+        let pos = |v: &str| order.iter().position(|&o| o == vt.var(v).unwrap()).unwrap();
         assert!(pos("x") < pos("y"));
         assert!(pos("y") < pos("z"));
     }

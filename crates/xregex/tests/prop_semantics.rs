@@ -1,12 +1,12 @@
 //! Property tests for the xregex semantics stack: ref-word sampling,
 //! deref, the matcher oracles and the Lemma 10 specialization.
 
+use cxrpq_automata::Nfa;
 use cxrpq_graph::{Alphabet, Symbol};
 use cxrpq_xregex::matcher::{match_single, MatchConfig};
 use cxrpq_xregex::sample::{sample_ref_word, sample_word, SampleConfig};
 use cxrpq_xregex::specialize::{specialize, VarMapping};
 use cxrpq_xregex::{parse_conjunctive, parse_xregex, ConjunctiveXregex};
-use cxrpq_automata::Nfa;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,8 +86,7 @@ proptest! {
 #[test]
 fn specialization_exhaustive_small() {
     let mut alpha = Alphabet::from_chars("ab");
-    let (comps, vt) =
-        parse_conjunctive(&["(x{a+}|b)y", "y{x|bb}a"], &mut alpha).unwrap();
+    let (comps, vt) = parse_conjunctive(&["(x{a+}|b)y", "y{x|bb}a"], &mut alpha).unwrap();
     let cx = ConjunctiveXregex::new(comps, vt).unwrap();
     let x = cx.vars().var("x").unwrap();
     let y = cx.vars().var("y").unwrap();
@@ -95,7 +94,9 @@ fn specialization_exhaustive_small() {
         (0..=n)
             .flat_map(|len| {
                 (0..(1u32 << len)).map(move |mask| {
-                    (0..len).map(|i| Symbol((mask >> i) & 1)).collect::<Vec<_>>()
+                    (0..len)
+                        .map(|i| Symbol((mask >> i) & 1))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect()
@@ -104,8 +105,7 @@ fn specialization_exhaustive_small() {
         for iy in words(2) {
             let psi: VarMapping = [(x, ix.clone()), (y, iy.clone())].into_iter().collect();
             let beta = specialize(&cx, &psi);
-            let nfas: Option<Vec<Nfa>> =
-                beta.map(|b| b.iter().map(Nfa::from_regex).collect());
+            let nfas: Option<Vec<Nfa>> = beta.map(|b| b.iter().map(Nfa::from_regex).collect());
             for w1 in words(3) {
                 for w2 in words(3) {
                     let via_beta = nfas
@@ -113,10 +113,7 @@ fn specialization_exhaustive_small() {
                         .map(|m| m[0].accepts(&w1) && m[1].accepts(&w2))
                         .unwrap_or(false);
                     let via_oracle = cx
-                        .is_match(
-                            &[w1.clone(), w2.clone()],
-                            &MatchConfig::pinned(psi.clone()),
-                        )
+                        .is_match(&[w1.clone(), w2.clone()], &MatchConfig::pinned(psi.clone()))
                         .is_some();
                     assert_eq!(
                         via_beta, via_oracle,

@@ -23,10 +23,10 @@ fn main() {
     // One sender s with four outgoing message streams.
     let s = db.add_named_node("sender");
     let streams = [
-        ("exact", "abab"),  // reference stream
-        ("noisy", "abbb"),  // one flipped message
-        ("burst", "bbbb"),  // two flips
-        ("short", "aba"),   // different length
+        ("exact", "abab"), // reference stream
+        ("noisy", "abbb"), // one flipped message
+        ("burst", "bbbb"), // two flips
+        ("short", "aba"),  // different length
     ];
     let mut sinks = Vec::new();
     for (name, word) in streams {

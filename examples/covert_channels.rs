@@ -44,7 +44,11 @@ fn main() {
             if found { "FOUND" } else { "missed" }
         );
     }
-    assert_eq!(hits, net.planted.len(), "all planted channels must be found");
+    assert_eq!(
+        hits,
+        net.planted.len(),
+        "all planted channels must be found"
+    );
     let extra = answers
         .iter()
         .filter(|t| !net.planted.iter().any(|(a, b, _)| vec![*a, *b] == **t))

@@ -5,8 +5,7 @@
 //! Run with: `cargo run --example expressiveness`
 
 use cxrpq::core::{
-    translate, BoundedEvaluator, EcrpqEvaluator, GenericEvaluator, GenericOutcome,
-    VsfEvaluator,
+    translate, BoundedEvaluator, EcrpqEvaluator, GenericEvaluator, GenericOutcome, VsfEvaluator,
 };
 use cxrpq::graph::Alphabet;
 use cxrpq::workloads::{graphs, witnesses};

@@ -33,7 +33,11 @@ fn main() {
     println!("\nStep 1 (Lemma 4) — multiply out alternations with variables:");
     for (i, comp) in cx.components().iter().enumerate() {
         let branches = expand_variable_simple(comp).unwrap();
-        println!("  γ{} expands into {} variable-simple branches:", i + 1, branches.len());
+        println!(
+            "  γ{} expands into {} variable-simple branches:",
+            i + 1,
+            branches.len()
+        );
         for b in &branches {
             println!("    {}", b.render(&alpha, cx.vars()));
         }
@@ -41,8 +45,10 @@ fn main() {
 
     let (nf, stats) = normal_form(&cx).unwrap();
     println!("\nSteps 2+3 (Lemmas 5, 6) — unique definitions, then flattening:");
-    println!("  sizes: input {} → step1 {} → step2 {} → normal form {}",
-        stats.input_size, stats.after_step1, stats.after_step2, stats.output_size);
+    println!(
+        "  sizes: input {} → step1 {} → step2 {} → normal form {}",
+        stats.input_size, stats.after_step1, stats.after_step2, stats.output_size
+    );
     println!("  fresh variables introduced: {}", stats.fresh_vars);
     println!("\nnormal form β̄ (every branch simple):");
     for (i, line) in nf.render(&alpha).iter().enumerate() {

@@ -45,7 +45,11 @@ fn main() {
     db.add_word_path(d1, &c, d2);
     db.add_word_path(d2, &ba, v2);
     let db = db.freeze();
-    println!("database: {} nodes, {} arcs", db.node_count(), db.edge_count());
+    println!(
+        "database: {} nodes, {} arcs",
+        db.node_count(),
+        db.edge_count()
+    );
 
     // Engine 1 — the simple-fragment engine (Lemma 3): this query is
     // "simple" (one definition, classical body, references on the spine).

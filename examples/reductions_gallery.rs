@@ -13,9 +13,7 @@ fn main() {
     println!("=== Theorem 1: NFA intersection as a fixed graph query ===\n");
     let inst = reductions::random_nfa_intersection(3, 3, 7);
     let expected = inst.intersection_nonempty();
-    println!(
-        "3 random NFAs over {{a,b}}; ⋂L(Mᵢ) non-empty (ground truth): {expected}"
-    );
+    println!("3 random NFAs over {{a,b}}; ⋂L(Mᵢ) non-empty (ground truth): {expected}");
     if let Some(w) = inst.shortest_witness() {
         println!("shortest common word length: {}", w.len());
     }
@@ -31,10 +29,10 @@ fn main() {
     let cap = inst.shortest_witness().map(|w| w.len()).unwrap_or(5).max(1);
     match GenericEvaluator::new(&q, cap).check(&db, &[s, t]) {
         GenericOutcome::Match { k } => {
-            println!("query matches with image bound {k} → intersection non-empty ✓")
+            println!("query matches with image bound {k} → intersection non-empty ✓");
         }
         GenericOutcome::NoMatchUpTo { cap } => {
-            println!("no match up to image bound {cap} → intersection empty ✓")
+            println!("no match up to image bound {cap} → intersection empty ✓");
         }
     }
 

@@ -42,10 +42,17 @@ fn main() {
 
     let mut alphabet = db.alphabet().clone();
     let q = parse_query(QUERY, &mut alphabet).expect("valid query text");
-    println!("\nparsed query (re-rendered):\n{}", render_query(&q, &alphabet));
+    println!(
+        "\nparsed query (re-rendered):\n{}",
+        render_query(&q, &alphabet)
+    );
 
     let auto = AutoEvaluator::new(&q);
-    println!("planner chose: {} (exact: {})", auto.plan(), auto.is_exact());
+    println!(
+        "planner chose: {} (exact: {})",
+        auto.plan(),
+        auto.is_exact()
+    );
 
     let result = auto.answers(&db);
     println!(
@@ -62,7 +69,11 @@ fn main() {
     // the witness.
     let witness = auto.witness(&db).value.expect("a match exists");
     println!("\nwitness:\n{}", witness.render(&db));
-    q.certifies(&db, &witness, &cxrpq::xregex::matcher::MatchConfig::default())
-        .expect("the witness certifies the match");
+    q.certifies(
+        &db,
+        &witness,
+        &cxrpq::xregex::matcher::MatchConfig::default(),
+    )
+    .expect("the witness certifies the match");
     println!("witness verified (structure + conjunctive-match oracle) ✓");
 }

@@ -195,12 +195,14 @@ pub fn black_box<T>(x: T) -> T {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        #[allow(unreachable_pub)]
         pub fn $name() {
             let mut criterion: $crate::Criterion = $cfg;
             $( $target(&mut criterion); )+
         }
     };
     ($name:ident, $($target:path),+ $(,)?) => {
+        #[allow(unreachable_pub)]
         pub fn $name() {
             let mut criterion = $crate::Criterion::default().configure_from_args();
             $( $target(&mut criterion); )+

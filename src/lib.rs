@@ -105,8 +105,7 @@ pub mod prelude {
         UnionEcrpq, VsfEvaluator,
     };
     pub use cxrpq_graph::{
-        read_graph, write_graph, Alphabet, DenseBitSet, GraphBuilder, GraphDb, NodeId, Path,
-        Symbol,
+        read_graph, write_graph, Alphabet, DenseBitSet, GraphBuilder, GraphDb, NodeId, Path, Symbol,
     };
     pub use cxrpq_xregex::{parse_xregex, ConjunctiveXregex, Fragment, Xregex};
 }

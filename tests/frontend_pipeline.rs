@@ -26,11 +26,7 @@ edge q4 a w
 fn pipeline_text_to_certified_witness() {
     let (db, names) = read_graph(GRAPH).unwrap();
     let mut alphabet = db.alphabet().clone();
-    let q = parse_query(
-        "ans(x, y) <- (x) -[ z{(a|b)(a|b)}cz ]-> (y)",
-        &mut alphabet,
-    )
-    .unwrap();
+    let q = parse_query("ans(x, y) <- (x) -[ z{(a|b)(a|b)}cz ]-> (y)", &mut alphabet).unwrap();
     let auto = AutoEvaluator::new(&q);
     assert_eq!(auto.plan(), EngineKind::Simple);
     let answers = auto.answers(&db).value;
@@ -48,7 +44,11 @@ fn graph_round_trip_preserves_query_results() {
     let mut alphabet = db.alphabet().clone();
     let q = parse_query("ans(x, y) <- (x) -[ z{(a|b)(a|b)}cz ]-> (y)", &mut alphabet).unwrap();
     let mut alphabet2 = db2.alphabet().clone();
-    let q2 = parse_query("ans(x, y) <- (x) -[ z{(a|b)(a|b)}cz ]-> (y)", &mut alphabet2).unwrap();
+    let q2 = parse_query(
+        "ans(x, y) <- (x) -[ z{(a|b)(a|b)}cz ]-> (y)",
+        &mut alphabet2,
+    )
+    .unwrap();
     let a1 = SimpleEvaluator::new(&q).unwrap().answers(&db);
     let a2 = SimpleEvaluator::new(&q2).unwrap().answers(&db2);
     // Compare through node names (ids may differ across parses).

@@ -176,8 +176,7 @@ fn xregex_matcher_agrees_with_bounded_engine_on_paths() {
                 .output(&["u", "v"])
                 .build()
                 .unwrap();
-            let via_engine =
-                BoundedEvaluator::new(&q, 3).check(&db, &[ends[0].0, ends[0].1]);
+            let via_engine = BoundedEvaluator::new(&q, 3).check(&db, &[ends[0].0, ends[0].1]);
             let (xr, vt) = parse_xregex(p, &mut db.alphabet().clone()).unwrap();
             let word = db.alphabet().parse_word(w).unwrap();
             let via_oracle = cxrpq::xregex::matcher::match_single(

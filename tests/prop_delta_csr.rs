@@ -56,10 +56,7 @@ fn random_edges(
 /// Grows a database via a random interleaving of appends and compactions
 /// (watched by `watch` between steps), alongside the freeze-from-scratch
 /// reference over the same nodes and edges.
-fn build_pair(
-    seed: u64,
-    mut watch: impl FnMut(&GraphDb),
-) -> (GraphDb, GraphDb) {
+fn build_pair(seed: u64, mut watch: impl FnMut(&GraphDb)) -> (GraphDb, GraphDb) {
     let mut rng = StdRng::seed_from_u64(seed);
     let alpha = alphabet();
     let syms: Vec<Symbol> = ["a", "b", "c"].iter().map(|s| alpha.sym(s)).collect();
@@ -151,8 +148,14 @@ fn assert_same_adjacency(layered: &GraphDb, oneshot: &GraphDb) {
                 "predecessors_with({u:?}, {a:?})"
             );
         }
-        let runs_l: Vec<_> = layered.out_label_runs(u).map(|(s, r)| (s, sorted(r))).collect();
-        let runs_o: Vec<_> = oneshot.out_label_runs(u).map(|(s, r)| (s, sorted(r))).collect();
+        let runs_l: Vec<_> = layered
+            .out_label_runs(u)
+            .map(|(s, r)| (s, sorted(r)))
+            .collect();
+        let runs_o: Vec<_> = oneshot
+            .out_label_runs(u)
+            .map(|(s, r)| (s, sorted(r)))
+            .collect();
         assert_eq!(runs_l, runs_o, "out_label_runs({u:?})");
     }
 }

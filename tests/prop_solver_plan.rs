@@ -42,15 +42,21 @@ const CASES: u32 = if cfg!(debug_assertions) { 10 } else { 48 };
 /// One evaluator façade: `answers`/`boolean`/`check` under explicit solver
 /// options, so the three query families share the comparison harness.
 trait Differential {
-    fn answers(&self, db: &GraphDb, opts: &SolveOptions)
-        -> (BTreeSet<Vec<NodeId>>, Option<PipelineStats>);
+    fn answers(
+        &self,
+        db: &GraphDb,
+        opts: &SolveOptions,
+    ) -> (BTreeSet<Vec<NodeId>>, Option<PipelineStats>);
     fn boolean(&self, db: &GraphDb, opts: &SolveOptions) -> bool;
     fn check(&self, db: &GraphDb, tuple: &[NodeId], opts: &SolveOptions) -> bool;
 }
 
 impl Differential for CrpqEvaluator<'_> {
-    fn answers(&self, db: &GraphDb, o: &SolveOptions)
-        -> (BTreeSet<Vec<NodeId>>, Option<PipelineStats>) {
+    fn answers(
+        &self,
+        db: &GraphDb,
+        o: &SolveOptions,
+    ) -> (BTreeSet<Vec<NodeId>>, Option<PipelineStats>) {
         self.answers_opts(db, o)
     }
     fn boolean(&self, db: &GraphDb, o: &SolveOptions) -> bool {
@@ -62,8 +68,11 @@ impl Differential for CrpqEvaluator<'_> {
 }
 
 impl Differential for SimpleEvaluator<'_> {
-    fn answers(&self, db: &GraphDb, o: &SolveOptions)
-        -> (BTreeSet<Vec<NodeId>>, Option<PipelineStats>) {
+    fn answers(
+        &self,
+        db: &GraphDb,
+        o: &SolveOptions,
+    ) -> (BTreeSet<Vec<NodeId>>, Option<PipelineStats>) {
         self.answers_opts(db, o)
     }
     fn boolean(&self, db: &GraphDb, o: &SolveOptions) -> bool {
@@ -75,8 +84,11 @@ impl Differential for SimpleEvaluator<'_> {
 }
 
 impl Differential for EcrpqEvaluator<'_> {
-    fn answers(&self, db: &GraphDb, o: &SolveOptions)
-        -> (BTreeSet<Vec<NodeId>>, Option<PipelineStats>) {
+    fn answers(
+        &self,
+        db: &GraphDb,
+        o: &SolveOptions,
+    ) -> (BTreeSet<Vec<NodeId>>, Option<PipelineStats>) {
         self.answers_opts(db, o)
     }
     fn boolean(&self, db: &GraphDb, o: &SolveOptions) -> bool {
@@ -102,7 +114,10 @@ fn assert_agreement(
     let early = SolveOptions::early_exit();
 
     let (ans_naive, no_stats) = ev.answers(db, &naive);
-    assert!(no_stats.is_none(), "naive runs must not report pipeline stats");
+    assert!(
+        no_stats.is_none(),
+        "naive runs must not report pipeline stats"
+    );
     let (ans_piped, stats) = ev.answers(db, &piped);
     assert_eq!(ans_naive, ans_piped, "pipeline changed the answer relation");
     // Projection pushdown (existential elimination + enumerator dedup) must
@@ -121,8 +136,16 @@ fn assert_agreement(
     );
 
     let b_naive = ev.boolean(db, &naive);
-    assert_eq!(b_naive, ev.boolean(db, &piped), "pipeline changed boolean()");
-    assert_eq!(b_naive, ev.boolean(db, &early), "early-exit cap changed boolean()");
+    assert_eq!(
+        b_naive,
+        ev.boolean(db, &piped),
+        "pipeline changed boolean()"
+    );
+    assert_eq!(
+        b_naive,
+        ev.boolean(db, &early),
+        "early-exit cap changed boolean()"
+    );
     assert_eq!(
         b_naive,
         ev.boolean(db, &early.projected()),
@@ -141,9 +164,21 @@ fn assert_agreement(
     probes.push(vec![NodeId(db.node_count() as u32 + 7); arity]);
     for t in &probes {
         let expected = ans_naive.contains(t);
-        assert_eq!(ev.check(db, t, &naive), expected, "naive check disagrees on {t:?}");
-        assert_eq!(ev.check(db, t, &piped), expected, "piped check disagrees on {t:?}");
-        assert_eq!(ev.check(db, t, &early), expected, "early check disagrees on {t:?}");
+        assert_eq!(
+            ev.check(db, t, &naive),
+            expected,
+            "naive check disagrees on {t:?}"
+        );
+        assert_eq!(
+            ev.check(db, t, &piped),
+            expected,
+            "piped check disagrees on {t:?}"
+        );
+        assert_eq!(
+            ev.check(db, t, &early),
+            expected,
+            "early check disagrees on {t:?}"
+        );
         assert_eq!(
             ev.check(db, t, &early.projected()),
             expected,
@@ -244,16 +279,14 @@ fn long_chain_routes_per_source_sweeps_and_agrees() {
     pattern.add_edge(x, 0usize, y);
     pattern.add_edge(y, 1usize, z);
     let mut a2 = db.alphabet().clone();
-    let re = |a: &mut Alphabet, s: &str| {
-        cxrpq::automata::parse_regex(s, a).unwrap()
-    };
+    let re = |a: &mut Alphabet, s: &str| cxrpq::automata::parse_regex(s, a).unwrap();
     let labels = [re(&mut a2, "(ab)+"), re(&mut a2, "a(ba)*b")];
     let pattern = pattern.map_labels(|i, _| labels[i].clone());
     let q = Crpq::new(pattern, vec![x, z]);
     let ev = CrpqEvaluator::new(&q);
 
-    let stats = assert_agreement(&ev, &db, &mut rng, 2)
-        .expect("free-edge query records pipeline stats");
+    let stats =
+        assert_agreement(&ev, &db, &mut rng, 2).expect("free-edge query records pipeline stats");
     assert!(
         stats.per_source_sweeps,
         "long-diameter chain must route prune fills to per-source sweeps"

@@ -2,8 +2,8 @@
 //! the §7 translations against direct evaluation.
 
 use cxrpq::core::{
-    translate, BoundedEvaluator, CrpqEvaluator, EcrpqEvaluator, GenericEvaluator,
-    GenericOutcome, VsfEvaluator,
+    translate, BoundedEvaluator, CrpqEvaluator, EcrpqEvaluator, GenericEvaluator, GenericOutcome,
+    VsfEvaluator,
 };
 use cxrpq::graph::Alphabet;
 use cxrpq::workloads::{graphs, reductions, witnesses};
@@ -18,11 +18,7 @@ fn theorem1_reduction_agreement_sweep() {
             let mut alpha = db.alphabet().clone();
             let q = reductions::alpha_ni(&mut alpha);
             let expected = inst.intersection_nonempty();
-            let cap = inst
-                .shortest_witness()
-                .map(|w| w.len())
-                .unwrap_or(5)
-                .max(1);
+            let cap = inst.shortest_witness().map(|w| w.len()).unwrap_or(5).max(1);
             let got = matches!(
                 GenericEvaluator::new(&q, cap).check(&db, &[s, t]),
                 GenericOutcome::Match { .. }
@@ -128,7 +124,7 @@ fn lemma12_translation_on_random_graphs() {
 #[test]
 fn lemma13_translation_round_trip() {
     let alpha = Arc::new(Alphabet::from_chars("ab"));
-    let db = graphs::random_labeled(alpha.clone(), 16, 32, 9);
+    let db = graphs::random_labeled(alpha, 16, 32, 9);
     let mut a2 = db.alphabet().clone();
     let q = cxrpq::core::CxrpqBuilder::new(&mut a2)
         .edge("x", "z{ab|ba}z", "y")

@@ -68,7 +68,10 @@ fn facade_pipeline_end_to_end() {
     assert_eq!(boolean.engine, EngineKind::Simple);
 
     // The planner's witness certifies against the independent match oracle.
-    let witness = ev.witness(&db).value.expect("nonempty answer has a witness");
+    let witness = ev
+        .witness(&db)
+        .value
+        .expect("nonempty answer has a witness");
     assert!(q.certifies(&db, &witness, &MatchConfig::default()).is_ok());
 
     // Forcing the bounded-image engine (k ≥ the only image length, 2) must

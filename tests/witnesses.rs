@@ -135,7 +135,9 @@ fn vsf_witness_on_figure_2_g2_triangle() {
         .build()
         .unwrap();
     let ev = VsfEvaluator::new(&q).unwrap();
-    let w = ev.witness_for(&db, &[v1, v2, v3]).expect("triangle matches");
+    let w = ev
+        .witness_for(&db, &[v1, v2, v3])
+        .expect("triangle matches");
     // Structural validity against the original pattern.
     w.verify(&db, q.pattern()).unwrap();
     // Semantic: the words form a conjunctive match of the original query.
@@ -236,15 +238,26 @@ fn witness_existence_matches_boolean_across_engines() {
     // Queries are unanchored, so counterexamples must exclude *every*
     // sub-path — two-letter images pinned by the definition do that.
     let cases = [
-        (vec![("u>m", "ab"), ("m>v", "d"), ("v>w", "ab")], "z{ab|ba}dz", true),
-        (vec![("u>m", "ab"), ("m>v", "d"), ("v>w", "ba")], "z{ab|ba}dz", false),
+        (
+            vec![("u>m", "ab"), ("m>v", "d"), ("v>w", "ab")],
+            "z{ab|ba}dz",
+            true,
+        ),
+        (
+            vec![("u>m", "ab"), ("m>v", "d"), ("v>w", "ba")],
+            "z{ab|ba}dz",
+            false,
+        ),
         (vec![("u>v", "abab")], "z{ab}z", true),
         (vec![("u>v", "abba")], "z{ab}z", false),
     ];
     for (edges, pat, expect) in cases {
         let (db, _) = db_with_words(&edges);
         let mut alpha = db.alphabet().clone();
-        let q = CxrpqBuilder::new(&mut alpha).edge("x", pat, "y").build().unwrap();
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", pat, "y")
+            .build()
+            .unwrap();
         let simple = SimpleEvaluator::new(&q).unwrap();
         assert_eq!(simple.boolean(&db), expect, "simple bool {pat}");
         let w = simple.witness(&db);
