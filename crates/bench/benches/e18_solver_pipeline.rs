@@ -32,8 +32,14 @@
 //! `-- --fast` for the CI smoke configuration). Full runs record
 //! `BENCH_solver.json` at the workspace root; override the path (and
 //! enable recording in fast mode) with `BENCH_SOLVER_OUT`.
+//!
+//! Setting `CXRPQ_SMOKE_MAX_STEPS=<fuel>` additionally re-runs every shape
+//! under a resource governor with that step budget and asserts bounded,
+//! panic-free termination with a clean verdict: an aborted run must report
+//! `Aborted` and return a subset of the complete answers, an untripped run
+//! must return them all — the CI guard for the governed abort paths.
 
-use cxrpq_core::{Crpq, CrpqEvaluator, SolveOptions};
+use cxrpq_core::{Crpq, CrpqEvaluator, Governor, SolveOptions};
 use cxrpq_graph::{Alphabet, GraphBuilder, GraphDb, NodeId, Symbol};
 use cxrpq_workloads::graphs;
 use std::sync::Arc;
@@ -97,6 +103,16 @@ struct ShapeResult {
     pipeline_ms: f64,
     per_source_sweeps: bool,
     eliminated_vars: usize,
+    /// Governed smoke outcome when `CXRPQ_SMOKE_MAX_STEPS` is set:
+    /// (aborted?, partial answer count).
+    governed: Option<(bool, usize)>,
+}
+
+/// The governed-smoke fuel budget, when the env var is set.
+fn smoke_budget() -> Option<u64> {
+    std::env::var("CXRPQ_SMOKE_MAX_STEPS")
+        .ok()
+        .map(|v| v.parse().expect("CXRPQ_SMOKE_MAX_STEPS must be a number"))
 }
 
 fn run_shape(
@@ -124,6 +140,30 @@ fn run_shape(
     let per_source_sweeps = stats.map(|s| s.per_source_sweeps).unwrap_or(false);
     let eliminated_vars = stats.map(|s| s.eliminated_vars).unwrap_or(0);
 
+    // Governed smoke: the same solve under an aggressive fuel budget must
+    // terminate (bounded by the budget), never panic, and only ever
+    // under-approximate; an untripped governor must change nothing.
+    let governed = smoke_budget().map(|budget| {
+        let gov = Arc::new(Governor::unlimited().with_max_steps(budget));
+        let (partial, _) = ev.answers_opts(db, &piped.clone().governed(gov.clone()));
+        assert!(
+            partial.is_subset(&ans_naive),
+            "{shape}: governed smoke produced tuples outside the complete relation"
+        );
+        if gov.is_aborted() {
+            assert!(
+                gov.verdict().to_string().contains("aborted"),
+                "{shape}: tripped governor must report an Aborted verdict"
+            );
+        } else {
+            assert_eq!(
+                partial, ans_naive,
+                "{shape}: untripped governor changed the answers"
+            );
+        }
+        (gov.is_aborted(), partial.len())
+    });
+
     let naive_ms = median_ms(iters, || {
         std::hint::black_box(ev.answers_opts(db, &naive));
     });
@@ -140,6 +180,7 @@ fn run_shape(
         pipeline_ms,
         per_source_sweeps,
         eliminated_vars,
+        governed,
     }
 }
 
@@ -305,6 +346,22 @@ fn main() {
             } else {
                 "wavefront"
             },
+        );
+    }
+
+    if let Some(budget) = smoke_budget() {
+        let aborted = results
+            .iter()
+            .filter(|r| matches!(r.governed, Some((true, _))))
+            .count();
+        println!(
+            "\ngoverned smoke (max-steps {budget}): {aborted}/{} shapes aborted cleanly, \
+             every partial relation ⊆ complete",
+            results.len()
+        );
+        assert!(
+            aborted > 0,
+            "governed smoke budget {budget} too generous: no shape aborted"
         );
     }
 

@@ -19,7 +19,7 @@
 use cxrpq_core::engine::{AutoEvaluator, EngineKind, EvalOptions};
 use cxrpq_core::query_text::parse_query;
 use cxrpq_core::translate;
-use cxrpq_core::Cxrpq;
+use cxrpq_core::{AbortReason, AtomRef, Cxrpq, Diagnostic, Governor, Lint, Severity, Verdict};
 use cxrpq_graph::{read_graph, Alphabet, GraphDb, NodeId};
 use cxrpq_xregex::classification;
 use cxrpq_xregex::normal_form::normal_form;
@@ -28,6 +28,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt::Write;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A command failure, rendered to stderr by `main`.
 pub type CmdError = String;
@@ -172,6 +174,59 @@ pub struct EvalCmdOptions {
     pub limit: Option<usize>,
     /// Also extract and print a witness.
     pub witness: bool,
+    /// Wall-clock deadline for evaluation, in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Solver step (fuel) budget.
+    pub max_steps: Option<u64>,
+    /// Approximate memory ceiling for solver allocations, in MiB.
+    pub max_mem_mb: Option<u64>,
+}
+
+impl EvalCmdOptions {
+    /// The governor implied by the resource flags, if any was given.
+    fn governor(&self) -> Option<Arc<Governor>> {
+        if self.timeout_ms.is_none() && self.max_steps.is_none() && self.max_mem_mb.is_none() {
+            return None;
+        }
+        let mut gov = Governor::unlimited();
+        if let Some(ms) = self.timeout_ms {
+            gov = gov.with_deadline(Duration::from_millis(ms));
+        }
+        if let Some(steps) = self.max_steps {
+            gov = gov.with_max_steps(steps);
+        }
+        if let Some(mb) = self.max_mem_mb {
+            gov = gov.with_mem_limit((mb as usize).saturating_mul(1024 * 1024));
+        }
+        Some(Arc::new(gov))
+    }
+}
+
+/// The human-readable diagnostic for an aborted evaluation, rendered with
+/// the same `severity [lint] atom: message` shape as the analyzer's lints.
+pub fn abort_diagnostic(reason: AbortReason) -> Diagnostic {
+    let cause = match reason {
+        AbortReason::Deadline => "the wall-clock deadline (--timeout-ms) expired",
+        AbortReason::Fuel => "the step budget (--max-steps) ran out",
+        AbortReason::Memory => "the memory ceiling (--max-mem-mb) was reached",
+        AbortReason::Cancelled => "evaluation was cancelled",
+        AbortReason::Injected => "a fault-injection checkpoint fired",
+    };
+    Diagnostic {
+        lint: Lint::ResourceAbort,
+        severity: Severity::Warning,
+        atom: AtomRef::Pattern,
+        message: format!(
+            "evaluation aborted early: {cause}; results are a sound partial under-approximation"
+        ),
+    }
+}
+
+/// Appends the abort diagnostic when the run did not complete.
+fn render_verdict(out: &mut String, verdict: Verdict) {
+    if let Verdict::Aborted(reason) = verdict {
+        let _ = writeln!(out, "{}", abort_diagnostic(reason));
+    }
 }
 
 /// `eval <graph> <query>`: answers (or Boolean verdict) plus provenance.
@@ -183,6 +238,7 @@ pub fn eval(graph_text: &str, query_text: &str, opts: EvalCmdOptions) -> Result<
         EvalOptions {
             bounded_k: opts.k.unwrap_or(3),
             force: opts.engine,
+            governor: opts.governor(),
         },
     )
     .map_err(|e| e.to_string())?;
@@ -205,6 +261,7 @@ pub fn eval(graph_text: &str, query_text: &str, opts: EvalCmdOptions) -> Result<
         );
         render_analysis(&mut out, r.pipeline.as_ref());
         render_pipeline(&mut out, r.pipeline.as_ref());
+        render_verdict(&mut out, r.verdict);
     } else {
         let r = auto.answers(&db);
         let _ = writeln!(
@@ -216,6 +273,7 @@ pub fn eval(graph_text: &str, query_text: &str, opts: EvalCmdOptions) -> Result<
         );
         render_analysis(&mut out, r.pipeline.as_ref());
         render_pipeline(&mut out, r.pipeline.as_ref());
+        render_verdict(&mut out, r.verdict);
         let limit = opts.limit.unwrap_or(usize::MAX);
         for tuple in r.value.iter().take(limit) {
             let names: Vec<String> = tuple.iter().map(|&n| db.node_name(n)).collect();
@@ -460,6 +518,7 @@ edge m4 b v
                 k: Some(2),
                 witness: true,
                 limit: Some(10),
+                ..EvalCmdOptions::default()
             },
         )
         .unwrap();
@@ -506,6 +565,58 @@ edge m4 b v
         // Every line shows the component word and the z-image.
         assert!(out.lines().count() >= 1);
         assert!(out.contains("z="), "{out}");
+    }
+
+    #[test]
+    fn abort_diagnostic_renders_like_a_lint() {
+        let d = abort_diagnostic(AbortReason::Fuel);
+        assert_eq!(
+            d.to_string(),
+            "warning [resource-abort] pattern: evaluation aborted early: \
+             the step budget (--max-steps) ran out; results are a sound \
+             partial under-approximation"
+        );
+        assert!(abort_diagnostic(AbortReason::Deadline)
+            .to_string()
+            .contains("--timeout-ms"));
+        assert!(abort_diagnostic(AbortReason::Memory)
+            .to_string()
+            .contains("--max-mem-mb"));
+    }
+
+    #[test]
+    fn eval_reports_resource_abort() {
+        let out = eval(
+            GRAPH,
+            QUERY,
+            EvalCmdOptions {
+                max_steps: Some(1),
+                ..EvalCmdOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(out.contains("warning [resource-abort] pattern:"), "{out}");
+        assert!(out.contains("--max-steps"), "{out}");
+    }
+
+    #[test]
+    fn eval_without_limits_stays_complete() {
+        let out = eval(GRAPH, QUERY, EvalCmdOptions::default()).unwrap();
+        assert!(!out.contains("resource-abort"), "{out}");
+        // Generous limits don't trip either.
+        let out2 = eval(
+            GRAPH,
+            QUERY,
+            EvalCmdOptions {
+                timeout_ms: Some(60_000),
+                max_steps: Some(u64::MAX),
+                max_mem_mb: Some(4096),
+                ..EvalCmdOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!out2.contains("resource-abort"), "{out2}");
+        assert!(out2.contains("answers: 1"), "{out2}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! cxrpq-cli classify    <query-file>
 //! cxrpq-cli eval        <graph-file> <query-file> [--engine simple|vsf|bounded]
 //!                       [--k N] [--limit N] [--witness]
+//!                       [--timeout-ms N] [--max-steps N] [--max-mem-mb N]
 //! cxrpq-cli check       <graph-file> <query-file> <node>...
 //! cxrpq-cli normal-form <query-file>
 //! cxrpq-cli translate   <query-file> --to union-crpq --k N
@@ -26,6 +27,7 @@ usage: cxrpq-cli <command> ...
   classify    <query-file>
   eval        <graph-file> <query-file> [--engine simple|vsf|bounded] [--k N]
               [--limit N] [--witness]
+              [--timeout-ms N] [--max-steps N] [--max-mem-mb N]
   check       <graph-file> <query-file> <node>...
   normal-form <query-file>
   translate   <query-file> --to union-crpq --k N | --to union-ecrpq
@@ -79,6 +81,33 @@ fn run(args: &[String]) -> Result<String, String> {
                                 .ok_or("--limit needs a value")?
                                 .parse()
                                 .map_err(|e| format!("--limit: {e}"))?,
+                        );
+                    }
+                    "--timeout-ms" => {
+                        i += 1;
+                        opts.timeout_ms = Some(
+                            args.get(i)
+                                .ok_or("--timeout-ms needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--timeout-ms: {e}"))?,
+                        );
+                    }
+                    "--max-steps" => {
+                        i += 1;
+                        opts.max_steps = Some(
+                            args.get(i)
+                                .ok_or("--max-steps needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--max-steps: {e}"))?,
+                        );
+                    }
+                    "--max-mem-mb" => {
+                        i += 1;
+                        opts.max_mem_mb = Some(
+                            args.get(i)
+                                .ok_or("--max-mem-mb needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--max-mem-mb: {e}"))?,
                         );
                     }
                     "--witness" => opts.witness = true,
@@ -228,6 +257,10 @@ mod tests {
         assert!(e2.contains("--k"));
         let e3 = run(&argv(&["eval", "/g", "/q", "--engine", "warp"])).unwrap_err();
         assert!(e3.contains("unknown engine"));
+        let e4 = run(&argv(&["eval", "/g", "/q", "--max-steps", "many"])).unwrap_err();
+        assert!(e4.contains("--max-steps"));
+        let e5 = run(&argv(&["eval", "/g", "/q", "--timeout-ms"])).unwrap_err();
+        assert!(e5.contains("--timeout-ms needs a value"));
     }
 
     #[test]

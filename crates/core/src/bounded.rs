@@ -12,12 +12,15 @@
 
 use crate::crpq::CrpqEvaluator;
 use crate::cxrpq::Cxrpq;
+use crate::governor::Governor;
+use crate::solve::SolveOptions;
 use crate::witness::QueryWitness;
 use cxrpq_automata::Nfa;
 use cxrpq_graph::{GraphDb, NodeId, Symbol};
 use cxrpq_xregex::specialize::{specialize, substituted_body, VarMapping};
 use cxrpq_xregex::{Var, Xregex};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Counters from one evaluation run (experiment E8's measurable content).
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
@@ -35,12 +38,18 @@ pub struct BoundedEvaluator<'q> {
     q: &'q Cxrpq,
     k: usize,
     prune: bool,
+    gov: Option<Arc<Governor>>,
 }
 
 impl<'q> BoundedEvaluator<'q> {
     /// Evaluator for `q^{≤k}` with candidate pruning enabled.
     pub fn new(q: &'q Cxrpq, k: usize) -> Self {
-        Self { q, k, prune: true }
+        Self {
+            q,
+            k,
+            prune: true,
+            gov: None,
+        }
     }
 
     /// Disables candidate pruning (blind `(Σ^{≤k})ⁿ` enumeration) — the
@@ -48,6 +57,27 @@ impl<'q> BoundedEvaluator<'q> {
     pub fn without_pruning(mut self) -> Self {
         self.prune = false;
         self
+    }
+
+    /// Runs the mapping enumeration *and* every specialized-CRPQ solve
+    /// under `gov`: one checkpoint per enumeration node, governed solver
+    /// options on the inner evaluations. An abort truncates the mapping
+    /// enumeration — the result is a sound under-approximation.
+    pub fn governed(mut self, gov: Arc<Governor>) -> Self {
+        self.gov = Some(gov);
+        self
+    }
+
+    fn gov_ref(&self) -> &Governor {
+        self.gov.as_deref().unwrap_or(Governor::disabled())
+    }
+
+    /// Attaches the evaluator's governor (if any) to inner solver options.
+    fn opts(&self, base: SolveOptions) -> SolveOptions {
+        match &self.gov {
+            Some(g) => base.governed(g.clone()),
+            None => base,
+        }
     }
 
     /// The image bound k.
@@ -130,12 +160,20 @@ impl<'q> BoundedEvaluator<'q> {
         stats: &mut BoundedStats,
         f: &mut dyn FnMut(&VarMapping, &mut BoundedStats) -> bool,
     ) -> bool {
+        // One checkpoint per enumeration node; an abort reports "no hit"
+        // for the whole subtree (sound under-approximation).
+        if !self.gov_ref().checkpoint() {
+            return false;
+        }
         if idx == order.len() {
             stats.mappings += 1;
             return f(psi, stats);
         }
         let x = order[idx];
         for c in self.candidates_for(x, psi, sigma) {
+            if self.gov_ref().is_aborted() {
+                break;
+            }
             psi.insert(x, c);
             if self.rec(order, idx + 1, sigma, psi, stats, f) {
                 psi.remove(&x);
@@ -161,7 +199,8 @@ impl<'q> BoundedEvaluator<'q> {
             };
             stats.crpqs_evaluated += 1;
             let crpq = self.q.to_crpq(&regexes);
-            let (found, states) = CrpqEvaluator::new(&crpq).boolean_with_stats(db);
+            let (found, states) = CrpqEvaluator::new(&crpq)
+                .boolean_with_stats_opts(db, &self.opts(SolveOptions::early_exit().projected()));
             stats.product_states += states;
             found
         });
@@ -177,7 +216,11 @@ impl<'q> BoundedEvaluator<'q> {
         self.for_each_mapping(sigma, &mut stats, &mut |psi, _| {
             if let Some(regexes) = specialize(self.q.conjunctive(), psi) {
                 let crpq = self.q.to_crpq(&regexes);
-                out.extend(CrpqEvaluator::new(&crpq).answers(db));
+                out.extend(
+                    CrpqEvaluator::new(&crpq)
+                        .answers_opts(db, &self.opts(SolveOptions::pipeline().projected()))
+                        .0,
+                );
             }
             false
         });
@@ -191,7 +234,14 @@ impl<'q> BoundedEvaluator<'q> {
         self.for_each_mapping(sigma, &mut stats, &mut |psi, _| {
             if let Some(regexes) = specialize(self.q.conjunctive(), psi) {
                 let crpq = self.q.to_crpq(&regexes);
-                if CrpqEvaluator::new(&crpq).check(db, tuple) {
+                if CrpqEvaluator::new(&crpq)
+                    .check_opts(
+                        db,
+                        tuple,
+                        &self.opts(SolveOptions::early_exit().projected()),
+                    )
+                    .0
+                {
                     return true;
                 }
             }
@@ -233,7 +283,7 @@ impl<'q> BoundedEvaluator<'q> {
                 let order = &order;
                 scope.spawn(move || {
                     for c in chunk {
-                        if found.load(Ordering::Relaxed) {
+                        if found.load(Ordering::Relaxed) || self.gov_ref().is_aborted() {
                             return;
                         }
                         let mut psi = VarMapping::new();
@@ -281,6 +331,9 @@ impl<'q> BoundedEvaluator<'q> {
                 scope.spawn(move || {
                     let mut local: BTreeSet<Vec<NodeId>> = BTreeSet::new();
                     for c in chunk {
+                        if self.gov_ref().is_aborted() {
+                            break;
+                        }
                         let mut psi = VarMapping::new();
                         psi.insert(x, c.clone());
                         let mut stats = BoundedStats::default();
@@ -501,6 +554,35 @@ mod tests {
         assert!(ev
             .answers_parallel(&db, 4)
             .contains(&vec![ends[0].0, ends[0].1]));
+    }
+
+    #[test]
+    fn governed_answers_are_sound_partial_subsets() {
+        let (db, _) = path_db(&["aca", "bcb", "acb"]);
+        let mut alpha = db.alphabet().clone();
+        let q = CxrpqBuilder::new(&mut alpha)
+            .edge("x", "z{a|b}cz", "y")
+            .output(&["x", "y"])
+            .build()
+            .unwrap();
+        let complete = BoundedEvaluator::new(&q, 1).answers(&db);
+        for fuel in 0..24 {
+            let gov = Arc::new(Governor::unlimited().with_max_steps(fuel));
+            let partial = BoundedEvaluator::new(&q, 1)
+                .governed(gov.clone())
+                .answers(&db);
+            assert!(
+                partial.is_subset(&complete),
+                "fuel {fuel}: partial must under-approximate"
+            );
+        }
+        // Enough fuel: identical relation, governor never trips.
+        let gov = Arc::new(Governor::unlimited().with_max_steps(u64::MAX));
+        let full = BoundedEvaluator::new(&q, 1)
+            .governed(gov.clone())
+            .answers(&db);
+        assert_eq!(full, complete);
+        assert!(!gov.is_aborted());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Conjunctive regular path queries (CRPQ) — the paper's baseline class
 //! (§2.3, Lemma 1: NP-complete combined / NL-complete data complexity).
 
+use crate::governor::Outcome;
 use crate::pattern::{GraphPattern, NodeVar};
 use crate::reach::ReachCache;
 use crate::solve::{FreeEdge, PipelineStats, Problem, SolveOptions};
@@ -113,10 +114,15 @@ impl<'q> CrpqEvaluator<'q> {
     /// Boolean evaluation plus the number of product states explored (the
     /// measured proxy for the NL space bound).
     pub fn boolean_with_stats(&self, db: &GraphDb) -> (bool, usize) {
+        self.boolean_with_stats_opts(db, &SolveOptions::early_exit().projected())
+    }
+
+    /// [`CrpqEvaluator::boolean_with_stats`] under explicit solver options
+    /// (the bounded engine passes governed options through here).
+    pub fn boolean_with_stats_opts(&self, db: &GraphDb, opts: &SolveOptions) -> (bool, usize) {
         let mut p = self.problem();
         let mut found = false;
-        let opts = SolveOptions::early_exit().projected();
-        p.solve_with(db, &HashMap::new(), &[], &opts, &mut |_| {
+        p.solve_with(db, &HashMap::new(), &[], opts, &mut |_| {
             found = true;
             true
         });
@@ -208,6 +214,48 @@ impl<'q> CrpqEvaluator<'q> {
             true
         });
         (found, p.pipeline.take())
+    }
+
+    /// [`CrpqEvaluator::boolean_opts`] with the run's [`Verdict`]: an
+    /// aborted run may report `false` where a complete run would say `true`
+    /// (sound under-approximation) and tags the result
+    /// [`crate::governor::Verdict::Aborted`].
+    pub fn boolean_outcome(
+        &self,
+        db: &GraphDb,
+        opts: &SolveOptions,
+    ) -> (Outcome<bool>, Option<PipelineStats>) {
+        let (found, stats) = self.boolean_opts(db, opts);
+        (
+            Outcome::from_governor(found, opts.governor.as_deref()),
+            stats,
+        )
+    }
+
+    /// [`CrpqEvaluator::answers_opts`] with the run's [`Verdict`]: an
+    /// aborted run returns the partial answers accumulated before the trip
+    /// (always a subset of the complete relation).
+    pub fn answers_outcome(
+        &self,
+        db: &GraphDb,
+        opts: &SolveOptions,
+    ) -> (Outcome<BTreeSet<Vec<NodeId>>>, Option<PipelineStats>) {
+        let (ans, stats) = self.answers_opts(db, opts);
+        (Outcome::from_governor(ans, opts.governor.as_deref()), stats)
+    }
+
+    /// [`CrpqEvaluator::check_opts`] with the run's [`Verdict`].
+    pub fn check_outcome(
+        &self,
+        db: &GraphDb,
+        tuple: &[NodeId],
+        opts: &SolveOptions,
+    ) -> (Outcome<bool>, Option<PipelineStats>) {
+        let (found, stats) = self.check_opts(db, tuple, opts);
+        (
+            Outcome::from_governor(found, opts.governor.as_deref()),
+            stats,
+        )
     }
 
     /// A certificate for *some* matching morphism: the morphism plus one

@@ -132,10 +132,11 @@ impl Cxrpq {
     ) -> Result<(), String> {
         w.verify(db, &self.pattern)?;
         let words = w.matching_words();
-        if self.cxre.is_match(&words, cfg).is_none() {
-            return Err("matching words are not a conjunctive match".into());
+        match self.cxre.is_match(&words, cfg) {
+            Ok(Some(_)) => Ok(()),
+            Ok(None) => Err("matching words are not a conjunctive match".into()),
+            Err(e) => Err(format!("oracle could not certify: {e}")),
         }
-        Ok(())
     }
 
     /// Renders the query edges for display.

@@ -35,7 +35,8 @@ impl fmt::Display for Severity {
     }
 }
 
-/// The closed set of lints the analyzer can raise.
+/// The closed set of lints the analyzer (and, for [`Lint::ResourceAbort`],
+/// the evaluation runtime) can raise.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Lint {
     /// An atom's language is `∅`: no path can ever witness it.
@@ -58,6 +59,10 @@ pub enum Lint {
     /// Some connected component of the constraint graph is cyclic (at
     /// least as many atoms as variables) — the backtracker's worst shape.
     CyclicPattern,
+    /// Evaluation stopped early because a resource limit tripped (deadline,
+    /// fuel, memory, or cancellation); reported answers are a sound partial
+    /// under-approximation.
+    ResourceAbort,
 }
 
 impl Lint {
@@ -71,6 +76,7 @@ impl Lint {
             Lint::SubsumedAtom => "subsumed-atom",
             Lint::ContainmentCapped => "containment-capped",
             Lint::CyclicPattern => "cyclic-pattern",
+            Lint::ResourceAbort => "resource-abort",
         }
     }
 }

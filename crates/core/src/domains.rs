@@ -43,6 +43,7 @@
 //! CXRPQ groups: a group variable's domain is already def-language
 //! consistent when the enumerator asks for a single witness.
 
+use crate::governor::Governor;
 use crate::pattern::NodeVar;
 use crate::solve::FreeEdge;
 use cxrpq_graph::{DenseBitSet, GraphDb, NodeId};
@@ -148,9 +149,13 @@ impl Domains {
         edges: &mut [FreeEdge],
         order: &[usize],
         per_source: bool,
+        gov: &Governor,
     ) -> bool {
         let mut changed = false;
         for &i in order {
+            if !gov.checkpoint() {
+                break; // drain: an aborted pass only ever shrank domains
+            }
             let (src, dst) = (edges[i].src, edges[i].dst);
             let forward = self.sizes[src.index()] <= self.sizes[dst.index()];
             // The joined-from side (`near`) and the derived side (`far`).
@@ -169,6 +174,7 @@ impl Domains {
                     .cache
                     .fill_sources_with(db, &near_members, per_source);
             }
+            gov.charge_mem(self.universe.div_ceil(8));
             let mut new_far = DenseBitSet::new(self.universe);
             let mut new_far_size = 0usize;
             let mut kept_near = 0usize;
@@ -229,6 +235,7 @@ impl Domains {
         costs: Option<&[u64]>,
         max_rounds: usize,
         per_source: bool,
+        gov: &Governor,
     ) -> PruneOutcome {
         let mut out = PruneOutcome::default();
         if edges.is_empty() || max_rounds == 0 {
@@ -241,8 +248,11 @@ impl Domains {
             order.sort_by_key(|&i| (c[i], i));
         }
         for _ in 0..max_rounds {
+            if gov.is_aborted() {
+                break; // fixpoint abandoned; domains only ever shrank
+            }
             out.rounds += 1;
-            let changed = self.pass(db, edges, &order, out.per_source_sweeps);
+            let changed = self.pass(db, edges, &order, out.per_source_sweeps, gov);
             let emptied = edges
                 .iter()
                 .any(|e| self.sizes[e.src.index()] == 0 || self.sizes[e.dst.index()] == 0);
@@ -292,7 +302,7 @@ mod tests {
         // x -ab-> y: only x = n0 (reads ab to n2), only y = n2.
         let mut edges = vec![edge(&db, 0, 1, "ab")];
         let mut doms = Domains::full(2, db.node_count());
-        let out = doms.prune(&db, &mut edges, None, 8, false);
+        let out = doms.prune(&db, &mut edges, None, 8, false, Governor::disabled());
         assert!(!out.emptied);
         assert_eq!(doms.members(NodeVar(0)), vec![nodes[0]]);
         assert_eq!(doms.members(NodeVar(1)), vec![nodes[2]]);
@@ -307,7 +317,7 @@ mod tests {
         // forces x = n1 and z = n3.
         let mut edges = vec![edge(&db, 0, 1, "a"), edge(&db, 1, 2, "b")];
         let mut doms = Domains::full(3, db.node_count());
-        let out = doms.prune(&db, &mut edges, None, 8, false);
+        let out = doms.prune(&db, &mut edges, None, 8, false, Governor::disabled());
         assert!(!out.emptied);
         assert!(out.rounds >= 2);
         assert_eq!(doms.members(NodeVar(0)), vec![nodes[1]]);
@@ -320,7 +330,7 @@ mod tests {
         let (db, _) = line_db("ab");
         let mut edges = vec![edge(&db, 0, 1, "cc")];
         let mut doms = Domains::full(2, db.node_count());
-        let out = doms.prune(&db, &mut edges, None, 8, false);
+        let out = doms.prune(&db, &mut edges, None, 8, false, Governor::disabled());
         assert!(out.emptied);
     }
 
@@ -346,13 +356,13 @@ mod tests {
         let db = b.freeze();
         let mut edges = vec![edge(&db, 0, 0, "aa")];
         let mut doms = Domains::full(1, db.node_count());
-        let out = doms.prune(&db, &mut edges, None, 8, false);
+        let out = doms.prune(&db, &mut edges, None, 8, false, Governor::disabled());
         assert!(!out.emptied);
         assert_eq!(doms.members(NodeVar(0)), vec![n0, n1]);
 
         let mut edges2 = vec![edge(&db, 0, 0, "ab")];
         let mut doms2 = Domains::full(1, db.node_count());
-        let out2 = doms2.prune(&db, &mut edges2, None, 8, false);
+        let out2 = doms2.prune(&db, &mut edges2, None, 8, false, Governor::disabled());
         assert!(out2.emptied);
     }
 

@@ -9,6 +9,7 @@
 //! `ECRPQ^er` — only equality relations — is the fragment CXRPQ subsumes
 //! (Lemma 12).
 
+use crate::governor::Outcome;
 use crate::pattern::{GraphPattern, NodeVar};
 use crate::reach::ReachCache;
 use crate::relation::RegularRelation;
@@ -252,6 +253,48 @@ impl<'q> EcrpqEvaluator<'q> {
             true
         });
         (found, p.pipeline.take())
+    }
+
+    /// [`EcrpqEvaluator::boolean_opts`] with the run's [`Verdict`]: an
+    /// aborted run may report `false` where a complete run would say `true`
+    /// (sound under-approximation) and tags the result
+    /// [`crate::governor::Verdict::Aborted`].
+    pub fn boolean_outcome(
+        &self,
+        db: &GraphDb,
+        opts: &SolveOptions,
+    ) -> (Outcome<bool>, Option<PipelineStats>) {
+        let (found, stats) = self.boolean_opts(db, opts);
+        (
+            Outcome::from_governor(found, opts.governor.as_deref()),
+            stats,
+        )
+    }
+
+    /// [`EcrpqEvaluator::answers_opts`] with the run's [`Verdict`]: an
+    /// aborted run returns the partial answers accumulated before the trip
+    /// (always a subset of the complete relation).
+    pub fn answers_outcome(
+        &self,
+        db: &GraphDb,
+        opts: &SolveOptions,
+    ) -> (Outcome<BTreeSet<Vec<NodeId>>>, Option<PipelineStats>) {
+        let (ans, stats) = self.answers_opts(db, opts);
+        (Outcome::from_governor(ans, opts.governor.as_deref()), stats)
+    }
+
+    /// [`EcrpqEvaluator::check_opts`] with the run's [`Verdict`].
+    pub fn check_outcome(
+        &self,
+        db: &GraphDb,
+        tuple: &[NodeId],
+        opts: &SolveOptions,
+    ) -> (Outcome<bool>, Option<PipelineStats>) {
+        let (found, stats) = self.check_opts(db, tuple, opts);
+        (
+            Outcome::from_governor(found, opts.governor.as_deref()),
+            stats,
+        )
     }
 
     /// A certificate for some matching morphism: one path per edge, with

@@ -14,6 +14,7 @@
 
 use crate::bounded::BoundedEvaluator;
 use crate::cxrpq::Cxrpq;
+use crate::governor::{Governor, Verdict};
 use crate::simple_eval::SimpleEvaluator;
 use crate::solve::{PipelineStats, SolveOptions};
 use crate::vsf_eval::VsfEvaluator;
@@ -22,6 +23,7 @@ use cxrpq_graph::{GraphDb, NodeId};
 use cxrpq_xregex::Fragment;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which evaluation engine the planner chose (or was forced to use).
@@ -46,13 +48,19 @@ impl fmt::Display for EngineKind {
 }
 
 /// Planner options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EvalOptions {
     /// Image bound used when falling back to `⊨_{≤k}` on `General` queries.
     pub bounded_k: usize,
     /// Force a specific engine instead of planning by fragment. Forcing an
     /// engine onto a query outside its fragment is an error at `plan` time.
     pub force: Option<EngineKind>,
+    /// Resource governor threaded through every evaluation this planner
+    /// dispatches (deadline, fuel, memory ceiling, cooperative cancel).
+    /// `None` runs ungoverned; an aborted run reports
+    /// [`Verdict::Aborted`] on the [`Evaluated`] and returns a sound
+    /// partial result.
+    pub governor: Option<Arc<Governor>>,
 }
 
 impl Default for EvalOptions {
@@ -60,6 +68,7 @@ impl Default for EvalOptions {
         Self {
             bounded_k: 3,
             force: None,
+            governor: None,
         }
     }
 }
@@ -89,6 +98,10 @@ pub struct Evaluated<T> {
     /// `witness` calls (witness assembly runs several searches beyond the
     /// solver).
     pub pipeline: Option<PipelineStats>,
+    /// Whether the evaluation ran to completion or the governor aborted it
+    /// mid-flight ([`Verdict::Aborted`] ⇒ `value` is a sound partial
+    /// result). Always [`Verdict::Complete`] when no governor was set.
+    pub verdict: Verdict,
 }
 
 impl<T> Evaluated<T> {
@@ -139,6 +152,7 @@ pub struct AutoEvaluator<'q> {
     exact: bool,
     engine: EngineImpl<'q>,
     plan_elapsed: Duration,
+    gov: Option<Arc<Governor>>,
 }
 
 impl<'q> AutoEvaluator<'q> {
@@ -174,7 +188,13 @@ impl<'q> AutoEvaluator<'q> {
         let engine = match choice {
             EngineKind::Simple => EngineImpl::Simple(SimpleEvaluator::new(q).expect("planned")),
             EngineKind::Vsf => EngineImpl::Vsf(VsfEvaluator::new(q).expect("planned")),
-            EngineKind::Bounded => EngineImpl::Bounded(BoundedEvaluator::new(q, opts.bounded_k)),
+            EngineKind::Bounded => {
+                let mut ev = BoundedEvaluator::new(q, opts.bounded_k);
+                if let Some(g) = &opts.governor {
+                    ev = ev.governed(g.clone());
+                }
+                EngineImpl::Bounded(ev)
+            }
         };
         // Bounded evaluation is exact only under the `≤k` reading; the other
         // engines decide the unrestricted semantics of their fragments.
@@ -184,6 +204,7 @@ impl<'q> AutoEvaluator<'q> {
             exact,
             engine,
             plan_elapsed: t0.elapsed(),
+            gov: opts.governor,
         })
     }
 
@@ -213,14 +234,27 @@ impl<'q> AutoEvaluator<'q> {
             elapsed: t0.elapsed(),
             plan_elapsed: self.plan_elapsed,
             pipeline,
+            verdict: self
+                .gov
+                .as_deref()
+                .map_or(Verdict::Complete, Governor::verdict),
+        }
+    }
+
+    /// Attaches this planner's governor (if any) to solver options.
+    fn solve_opts(&self, base: SolveOptions) -> SolveOptions {
+        match &self.gov {
+            Some(g) => base.governed(g.clone()),
+            None => base,
         }
     }
 
     /// Boolean evaluation with provenance.
     pub fn boolean(&self, db: &GraphDb) -> Evaluated<bool> {
+        let opts = self.solve_opts(SolveOptions::early_exit().projected());
         self.timed(|| match &self.engine {
-            EngineImpl::Simple(ev) => ev.boolean_opts(db, &SolveOptions::early_exit().projected()),
-            EngineImpl::Vsf(ev) => (ev.boolean(db), None),
+            EngineImpl::Simple(ev) => ev.boolean_opts(db, &opts),
+            EngineImpl::Vsf(ev) => (ev.boolean_opts(db, &opts), None),
             EngineImpl::Bounded(ev) => (ev.boolean(db), None),
         })
     }
@@ -228,20 +262,20 @@ impl<'q> AutoEvaluator<'q> {
     /// The answer relation with provenance (projection pushdown: non-output
     /// variables are existentially eliminated by the solver).
     pub fn answers(&self, db: &GraphDb) -> Evaluated<BTreeSet<Vec<NodeId>>> {
+        let opts = self.solve_opts(SolveOptions::pipeline().projected());
         self.timed(|| match &self.engine {
-            EngineImpl::Simple(ev) => ev.answers_opts(db, &SolveOptions::pipeline().projected()),
-            EngineImpl::Vsf(ev) => (ev.answers(db), None),
+            EngineImpl::Simple(ev) => ev.answers_opts(db, &opts),
+            EngineImpl::Vsf(ev) => (ev.answers_opts(db, &opts), None),
             EngineImpl::Bounded(ev) => (ev.answers(db), None),
         })
     }
 
     /// The Check problem with provenance.
     pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> Evaluated<bool> {
+        let opts = self.solve_opts(SolveOptions::early_exit().projected());
         self.timed(|| match &self.engine {
-            EngineImpl::Simple(ev) => {
-                ev.check_opts(db, tuple, &SolveOptions::early_exit().projected())
-            }
-            EngineImpl::Vsf(ev) => (ev.check(db, tuple), None),
+            EngineImpl::Simple(ev) => ev.check_opts(db, tuple, &opts),
+            EngineImpl::Vsf(ev) => (ev.check_opts(db, tuple, &opts), None),
             EngineImpl::Bounded(ev) => (ev.check(db, tuple), None),
         })
     }
@@ -334,6 +368,7 @@ mod tests {
                 EvalOptions {
                     bounded_k: 2,
                     force: Some(force),
+                    governor: None,
                 },
             )
             .unwrap();
@@ -353,6 +388,7 @@ mod tests {
                 EvalOptions {
                     bounded_k: 2,
                     force: Some(EngineKind::Simple),
+                    governor: None,
                 },
             ),
             Err(PlanError::ForcedEngineInapplicable(..))
@@ -408,6 +444,7 @@ mod tests {
             EvalOptions {
                 bounded_k: 4,
                 force: Some(EngineKind::Bounded),
+                governor: None,
             },
         )
         .unwrap();

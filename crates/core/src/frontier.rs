@@ -15,6 +15,7 @@
 //! threshold so levels too small to amortize thread spawns — and therefore
 //! entire tiny graphs — run on the calling thread exactly as before.
 
+use crate::governor::Governor;
 use std::num::NonZeroUsize;
 
 /// Tuning knobs of the level-synchronous frontier engine.
@@ -140,6 +141,33 @@ where
         .collect()
 }
 
+/// [`expand_sharded`] under a [`Governor`]: each worker observes the abort
+/// flag at the level barrier before expanding its chunk and, when the
+/// governor has tripped, *drains* — it runs on an empty slice, producing a
+/// neutral result for the merge instead of expanding work that will be
+/// thrown away. (Finer-grained mid-chunk draining is the worker closure's
+/// job; this wrapper guarantees the barrier-level check even for closures
+/// that never look at the governor.)
+pub fn expand_sharded_governed<T, R, F>(
+    items: &[T],
+    shards: usize,
+    gov: &Governor,
+    worker: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    expand_sharded(items, shards, |i, chunk| {
+        if gov.is_aborted() {
+            worker(i, &chunk[..0])
+        } else {
+            worker(i, chunk)
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +200,22 @@ mod tests {
         let items: Vec<u8> = vec![0; 64];
         let parts = expand_sharded(&items, 4, |i, _| i);
         assert_eq!(parts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn governed_workers_drain_on_abort() {
+        let items: Vec<usize> = (0..64).collect();
+        let gov = Governor::unlimited();
+        let live = expand_sharded_governed(&items, 4, &gov, |_, chunk| chunk.len());
+        assert_eq!(live.iter().sum::<usize>(), 64, "untripped: full expansion");
+        gov.cancel();
+        let _ = gov.checkpoint();
+        let drained = expand_sharded_governed(&items, 4, &gov, |_, chunk| chunk.len());
+        assert_eq!(
+            drained.iter().sum::<usize>(),
+            0,
+            "tripped: every worker drains to the empty slice"
+        );
+        assert_eq!(drained.len(), 4, "merge still sees one result per shard");
     }
 }

@@ -36,6 +36,7 @@ pub mod ecrpq;
 pub mod engine;
 pub mod frontier;
 pub mod generic;
+pub mod governor;
 pub mod log_eval;
 pub mod path_semantics;
 pub mod pattern;
@@ -61,6 +62,7 @@ pub use ecrpq::{Ecrpq, EcrpqEvaluator};
 pub use engine::{AutoEvaluator, EngineKind, EvalOptions, Evaluated};
 pub use frontier::FrontierConfig;
 pub use generic::{GenericEvaluator, GenericOutcome};
+pub use governor::{AbortReason, Governor, Outcome, Verdict};
 pub use log_eval::LogEvaluator;
 pub use path_semantics::{rpq_holds, rpq_pairs, rpq_witness, PathSemantics};
 pub use pattern::{GraphPattern, NodeVar};

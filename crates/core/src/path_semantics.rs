@@ -16,8 +16,10 @@
 //!   sets.
 
 use crate::domains::probe_long_diameter;
-use crate::reach::{reach_all, reach_set_scratch, Direction, ReachScratch};
-use crate::witness::edge_path;
+use crate::frontier::FrontierConfig;
+use crate::governor::Governor;
+use crate::reach::{reach_all_governed, reach_set_governed, Direction, ReachScratch, WaveScratch};
+use crate::witness::edge_path_governed;
 use cxrpq_automata::{Label, Nfa, StateId};
 use cxrpq_graph::{GraphDb, NodeId, Path, Symbol};
 use std::collections::BTreeSet;
@@ -47,14 +49,30 @@ pub fn rpq_witness(
     to: NodeId,
     sem: PathSemantics,
 ) -> Option<Path> {
+    rpq_witness_governed(db, nfa, from, to, sem, Governor::disabled())
+}
+
+/// [`rpq_witness`] under a [`Governor`]: the arbitrary-semantics BFS and
+/// the restricted backtracking search both checkpoint per expanded node;
+/// an abort yields `None` (sound failure — the search never fabricates a
+/// path) and the reason is readable from the governor's verdict.
+pub fn rpq_witness_governed(
+    db: &GraphDb,
+    nfa: &Nfa,
+    from: NodeId,
+    to: NodeId,
+    sem: PathSemantics,
+    gov: &Governor,
+) -> Option<Path> {
     match sem {
-        PathSemantics::Arbitrary => edge_path(db, nfa, from, to),
+        PathSemantics::Arbitrary => edge_path_governed(db, nfa, from, to, gov),
         PathSemantics::SimplePath | PathSemantics::Trail => {
             let mut search = RestrictedSearch {
                 db,
                 nfa,
                 to,
                 sem,
+                gov,
                 visited_nodes: vec![false; db.node_count()],
                 used_edges: BTreeSet::new(),
                 path: Path::trivial(from),
@@ -82,19 +100,44 @@ pub fn rpq_witness(
 /// wavefront re-expand cells level after level. The restricted semantics
 /// stay a quadratic sweep (exponential per source in the worst case).
 pub fn rpq_pairs(db: &GraphDb, nfa: &Nfa, sem: PathSemantics) -> BTreeSet<(NodeId, NodeId)> {
+    rpq_pairs_governed(db, nfa, sem, Governor::disabled())
+}
+
+/// [`rpq_pairs`] under a [`Governor`]: per-source sweeps stop at the first
+/// aborted source and the batched wavefront drains mid-stripe, so the
+/// returned relation is always a sound subset of the complete one.
+pub fn rpq_pairs_governed(
+    db: &GraphDb,
+    nfa: &Nfa,
+    sem: PathSemantics,
+    gov: &Governor,
+) -> BTreeSet<(NodeId, NodeId)> {
     let mut out = BTreeSet::new();
     match sem {
         PathSemantics::Arbitrary if probe_long_diameter(db) => {
             let mut scratch = ReachScratch::default();
             for u in db.nodes() {
-                for v in reach_set_scratch(db, nfa, u, Direction::Forward, None, &mut scratch) {
+                if gov.is_aborted() {
+                    break;
+                }
+                for v in reach_set_governed(db, nfa, u, Direction::Forward, None, &mut scratch, gov)
+                {
                     out.insert((u, v));
                 }
             }
         }
         PathSemantics::Arbitrary => {
             let sources: Vec<NodeId> = db.nodes().collect();
-            let sets = reach_all(db, nfa, &sources, Direction::Forward, None);
+            let sets = reach_all_governed(
+                db,
+                nfa,
+                &sources,
+                Direction::Forward,
+                None,
+                &FrontierConfig::auto(),
+                &mut WaveScratch::default(),
+                gov,
+            );
             for (u, set) in sources.into_iter().zip(sets) {
                 for v in set {
                     out.insert((u, v));
@@ -103,8 +146,14 @@ pub fn rpq_pairs(db: &GraphDb, nfa: &Nfa, sem: PathSemantics) -> BTreeSet<(NodeI
         }
         PathSemantics::SimplePath | PathSemantics::Trail => {
             for u in db.nodes() {
+                if gov.is_aborted() {
+                    break;
+                }
                 for v in db.nodes() {
-                    if rpq_holds(db, nfa, u, v, sem) {
+                    if gov.is_aborted() {
+                        break;
+                    }
+                    if rpq_witness_governed(db, nfa, u, v, sem, gov).is_some() {
                         out.insert((u, v));
                     }
                 }
@@ -119,6 +168,7 @@ struct RestrictedSearch<'a> {
     nfa: &'a Nfa,
     to: NodeId,
     sem: PathSemantics,
+    gov: &'a Governor,
     visited_nodes: Vec<bool>,
     used_edges: BTreeSet<(NodeId, Symbol, NodeId)>,
     path: Path,
@@ -127,7 +177,12 @@ struct RestrictedSearch<'a> {
 impl RestrictedSearch<'_> {
     /// Extends the current path from `node` in NFA state `st` (already
     /// ε-closed on entry by the caller's iteration over closures).
+    /// A governor abort reports "no path" up the whole stack — a sound
+    /// under-approximation, mirroring the solver's enumeration.
     fn dfs(&mut self, node: NodeId, st: StateId) -> bool {
+        if !self.gov.checkpoint() {
+            return false;
+        }
         if node == self.to && self.nfa.is_final(st) {
             return true;
         }
@@ -190,6 +245,7 @@ impl RestrictedSearch<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reach::reach_all;
     use cxrpq_automata::parse_regex;
     use cxrpq_graph::Alphabet;
     use cxrpq_graph::GraphBuilder;
@@ -326,6 +382,27 @@ mod tests {
         }
         assert_eq!(routed, reference);
         assert_eq!(routed.len(), 147); // every node three hops from the end
+    }
+
+    #[test]
+    fn governed_pairs_are_sound_partial_subsets() {
+        let (db, _, _, _) = lollipop();
+        let m = nfa(&db, "a+");
+        for sem in [
+            PathSemantics::Arbitrary,
+            PathSemantics::SimplePath,
+            PathSemantics::Trail,
+        ] {
+            let complete = rpq_pairs(&db, &m, sem);
+            for fuel in 0..12 {
+                let gov = Governor::unlimited().with_max_steps(fuel);
+                let partial = rpq_pairs_governed(&db, &m, sem, &gov);
+                assert!(
+                    partial.is_subset(&complete),
+                    "{sem:?} fuel {fuel}: partial must under-approximate"
+                );
+            }
+        }
     }
 
     #[test]

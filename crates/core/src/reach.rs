@@ -31,11 +31,13 @@
 //! reused bitset otherwise, so per-level cost stays proportional to the
 //! frontier, never to the whole `|V| · |Q|` rectangle.
 
-use crate::frontier::{expand_sharded, FrontierConfig};
+use crate::frontier::{expand_sharded_governed, FrontierConfig};
+use crate::governor::Governor;
 use cxrpq_automata::{Label, Nfa, StateId};
 use cxrpq_graph::{DenseBitSet, GraphDb, NodeId, Symbol};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Walk direction through the database.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -144,8 +146,29 @@ pub fn reach_set_scratch(
     stats: Option<&ReachStats>,
     scratch: &mut ReachScratch,
 ) -> HashSet<NodeId> {
+    reach_set_governed(db, nfa, u, dir, stats, scratch, Governor::disabled())
+}
+
+/// [`reach_set_scratch`] under a [`Governor`]: the BFS checkpoints once per
+/// popped product state and, when the governor trips, drains immediately —
+/// returning the (sound, partial) subset of targets settled so far. The
+/// scratch invariant (all-clear visited set) is restored on every exit
+/// path, abort included.
+pub fn reach_set_governed(
+    db: &GraphDb,
+    nfa: &Nfa,
+    u: NodeId,
+    dir: Direction,
+    stats: Option<&ReachStats>,
+    scratch: &mut ReachScratch,
+    gov: &Governor,
+) -> HashSet<NodeId> {
     let q = nfa.state_count();
-    scratch.ensure(db.node_count() * q);
+    let cells = db.node_count() * q;
+    if scratch.visited.capacity() < cells {
+        gov.charge_mem(cells.div_ceil(8));
+    }
+    scratch.ensure(cells);
     let ReachScratch { visited, touched } = scratch;
     let mut out = HashSet::new();
     let mut queue: VecDeque<(NodeId, StateId)> = VecDeque::new();
@@ -162,6 +185,9 @@ pub fn reach_set_scratch(
     };
     push(&mut queue, visited, touched, u, nfa.start());
     while let Some((node, st)) = queue.pop_front() {
+        if !gov.checkpoint() {
+            break; // drain: partial `out` is a sound subset
+        }
         if let Some(s) = stats {
             s.bump(1);
         }
@@ -286,6 +312,35 @@ pub fn reach_all_scratch(
     cfg: &FrontierConfig,
     scratch: &mut WaveScratch,
 ) -> Vec<HashSet<NodeId>> {
+    reach_all_governed(
+        db,
+        nfa,
+        sources,
+        dir,
+        stats,
+        cfg,
+        scratch,
+        Governor::disabled(),
+    )
+}
+
+/// [`reach_all_scratch`] under a [`Governor`]: one checkpoint per wavefront
+/// level (fuel proportional to the level's size), with sharded workers
+/// observing the abort flag mid-slice and draining. An aborted stripe still
+/// harvests what it settled — a sound partial subset per source — and the
+/// scratch invariant (all-clear membership words) is restored on every exit
+/// path, abort included.
+#[allow(clippy::too_many_arguments)]
+pub fn reach_all_governed(
+    db: &GraphDb,
+    nfa: &Nfa,
+    sources: &[NodeId],
+    dir: Direction,
+    stats: Option<&ReachStats>,
+    cfg: &FrontierConfig,
+    scratch: &mut WaveScratch,
+    gov: &Governor,
+) -> Vec<HashSet<NodeId>> {
     let q = nfa.state_count();
     let n = db.node_count();
     let cells = n * q;
@@ -297,6 +352,12 @@ pub fn reach_all_scratch(
     for f in nfa.final_states() {
         is_final[f.index()] = true;
     }
+    if scratch.member.len() < cells {
+        gov.charge_mem((cells - scratch.member.len()) * 8);
+    }
+    if scratch.dirty_seen.capacity() < cells {
+        gov.charge_mem(cells.div_ceil(8));
+    }
     scratch.ensure(cells);
     let WaveScratch { member, dirty_seen } = scratch;
     let member = &member[..cells];
@@ -306,6 +367,9 @@ pub fn reach_all_scratch(
     // zero, so each cell is recorded once even under sharding.
     let mut touched: Vec<usize> = Vec::new();
     for (stripe, chunk) in sources.chunks(64).enumerate() {
+        if gov.is_aborted() {
+            break; // later stripes stay empty (sound) — nothing to zero yet
+        }
         // OR `bits` into a cell's membership; a cell whose membership
         // grows is marked dirty and re-enters the frontier at the next
         // level, and a cell alive for the first time lands in `born`.
@@ -379,16 +443,23 @@ pub fn reach_all_scratch(
             dirty_seen.remove(cell);
         }
         while !frontier.is_empty() {
+            if !gov.checkpoint_n(frontier.len() as u64) {
+                break; // drain: harvest what this stripe settled so far
+            }
             let shards = cfg.shards_for(frontier.len());
             if frontier.len() >= cells / 8 {
                 // Fat frontier: private dense next-frontier bitsets whose
                 // words are OR-merged at the level barrier — O(cells/64)
                 // words per shard, amortized by the frontier itself.
-                let shard_results = expand_sharded(&frontier, shards, |_, slice| {
+                let shard_results = expand_sharded_governed(&frontier, shards, gov, |_, slice| {
+                    gov.charge_mem(cells.div_ceil(8));
                     let mut dirty = DenseBitSet::new(cells);
                     let mut born: Vec<usize> = Vec::new();
                     let mut shard_visits = 0usize;
-                    for &cell in slice {
+                    for (i, &cell) in slice.iter().enumerate() {
+                        if i & 63 == 0 && gov.is_aborted() {
+                            break; // worker observes the flag and drains
+                        }
                         shard_visits += expand_cell(
                             cell,
                             &mut |c| {
@@ -414,11 +485,14 @@ pub fn reach_all_scratch(
                 // duplicates), deduped through the reused scratch bitset —
                 // per-level cost proportional to the frontier, never to
                 // the whole `|V| · |Q|` rectangle.
-                let shard_results = expand_sharded(&frontier, shards, |_, slice| {
+                let shard_results = expand_sharded_governed(&frontier, shards, gov, |_, slice| {
                     let mut dirty: Vec<usize> = Vec::with_capacity(slice.len());
                     let mut born: Vec<usize> = Vec::new();
                     let mut shard_visits = 0usize;
-                    for &cell in slice {
+                    for (i, &cell) in slice.iter().enumerate() {
+                        if i & 63 == 0 && gov.is_aborted() {
+                            break; // worker observes the flag and drains
+                        }
                         shard_visits += expand_cell(cell, &mut |c| dirty.push(c), &mut born);
                     }
                     (dirty, born, shard_visits)
@@ -492,6 +566,7 @@ pub struct ReachCache {
     bwd: HashMap<NodeId, std::rc::Rc<HashSet<NodeId>>>,
     scratch: ReachScratch,
     wave: WaveScratch,
+    gov: Option<Arc<Governor>>,
     /// Exploration statistics shared by both directions.
     pub stats: ReachStats,
 }
@@ -523,8 +598,22 @@ impl ReachCache {
             bwd: HashMap::new(),
             scratch: ReachScratch::default(),
             wave: WaveScratch::default(),
+            gov: None,
             stats: ReachStats::default(),
         }
+    }
+
+    /// Attaches (or detaches, with `None`) a [`Governor`]: every search the
+    /// cache runs checkpoints against it, and a fill interrupted by a trip
+    /// is **never memoized** — no partially-filled stripe survives an
+    /// abort, so a query repeated after an abort recomputes from a
+    /// consistent cache instead of serving truncated reach sets.
+    pub fn govern(&mut self, gov: Option<Arc<Governor>>) {
+        self.gov = gov;
+    }
+
+    fn governor(&self) -> &Governor {
+        self.gov.as_deref().unwrap_or(Governor::disabled())
     }
 
     /// The underlying forward automaton.
@@ -574,15 +663,19 @@ impl ReachCache {
         if let Some(r) = self.fwd.get(&u) {
             return r.clone();
         }
-        let r = std::rc::Rc::new(reach_set_scratch(
+        let r = std::rc::Rc::new(reach_set_governed(
             db,
             &self.nfa,
             u,
             Direction::Forward,
             Some(&self.stats),
             &mut self.scratch,
+            self.gov.as_deref().unwrap_or(Governor::disabled()),
         ));
-        self.fwd.insert(u, r.clone());
+        if !self.governor().is_aborted() {
+            self.governor().charge_mem(r.len() * 8 + 48);
+            self.fwd.insert(u, r.clone());
+        }
         r
     }
 
@@ -598,6 +691,9 @@ impl ReachCache {
         if per_source {
             self.bind(db);
             for u in self.missing(sources, true) {
+                if self.governor().is_aborted() {
+                    break;
+                }
                 self.targets(db, u);
             }
         } else {
@@ -610,6 +706,9 @@ impl ReachCache {
         if per_source {
             self.bind(db);
             for v in self.missing(sinks, false) {
+                if self.governor().is_aborted() {
+                    break;
+                }
                 self.sources(db, v);
             }
         } else {
@@ -635,7 +734,7 @@ impl ReachCache {
                 self.targets(db, missing[0]);
             }
             _ => {
-                let sets = reach_all_scratch(
+                let sets = reach_all_governed(
                     db,
                     &self.nfa,
                     &missing,
@@ -643,8 +742,13 @@ impl ReachCache {
                     Some(&self.stats),
                     &FrontierConfig::auto(),
                     &mut self.wave,
+                    self.gov.as_deref().unwrap_or(Governor::disabled()),
                 );
+                if self.governor().is_aborted() {
+                    return; // abort hygiene: never retain a partial stripe
+                }
                 for (src, set) in missing.into_iter().zip(sets) {
+                    self.governor().charge_mem(set.len() * 8 + 48);
                     self.fwd.insert(src, std::rc::Rc::new(set));
                 }
             }
@@ -663,7 +767,7 @@ impl ReachCache {
                 self.sources(db, missing[0]);
             }
             _ => {
-                let sets = reach_all_scratch(
+                let sets = reach_all_governed(
                     db,
                     &self.rev,
                     &missing,
@@ -671,8 +775,13 @@ impl ReachCache {
                     Some(&self.stats),
                     &FrontierConfig::auto(),
                     &mut self.wave,
+                    self.gov.as_deref().unwrap_or(Governor::disabled()),
                 );
+                if self.governor().is_aborted() {
+                    return; // abort hygiene: never retain a partial stripe
+                }
                 for (v, set) in missing.into_iter().zip(sets) {
+                    self.governor().charge_mem(set.len() * 8 + 48);
                     self.bwd.insert(v, std::rc::Rc::new(set));
                 }
             }
@@ -696,15 +805,19 @@ impl ReachCache {
         if let Some(r) = self.bwd.get(&v) {
             return r.clone();
         }
-        let r = std::rc::Rc::new(reach_set_scratch(
+        let r = std::rc::Rc::new(reach_set_governed(
             db,
             &self.rev,
             v,
             Direction::Backward,
             Some(&self.stats),
             &mut self.scratch,
+            self.gov.as_deref().unwrap_or(Governor::disabled()),
         ));
-        self.bwd.insert(v, r.clone());
+        if !self.governor().is_aborted() {
+            self.governor().charge_mem(r.len() * 8 + 48);
+            self.bwd.insert(v, r.clone());
+        }
         r
     }
 
@@ -1022,5 +1135,155 @@ mod tests {
         assert!(db2.append(n[0], b_sym, n[1]));
         assert!(cache.targets(&db2, n[0]).contains(&n[1]));
         assert!(cache.targets(&db1, n[0]).is_empty());
+    }
+
+    #[test]
+    fn governed_reach_set_returns_sound_subset() {
+        let (db, nodes) = line_db("aabbaacab");
+        let m = nfa_of(&db, "(a|b|c)*");
+        let full = reach_set(&db, &m, nodes[0], Direction::Forward, None);
+        let mut scratch = ReachScratch::default();
+        for fuel in 0..20u64 {
+            let gov = Governor::unlimited().with_max_steps(fuel);
+            let partial = reach_set_governed(
+                &db,
+                &m,
+                nodes[0],
+                Direction::Forward,
+                None,
+                &mut scratch,
+                &gov,
+            );
+            assert!(
+                partial.is_subset(&full),
+                "fuel {fuel}: partial must under-approximate"
+            );
+            // The scratch invariant survives the abort: an ungoverned rerun
+            // through the same scratch still computes the full answer.
+            let again =
+                reach_set_scratch(&db, &m, nodes[0], Direction::Forward, None, &mut scratch);
+            assert_eq!(again, full, "fuel {fuel}: scratch left dirty by abort");
+        }
+    }
+
+    #[test]
+    fn aborted_fill_targets_leaves_no_partial_stripe() {
+        // Regression (abort hygiene): a fill_targets batch interrupted at
+        // ANY checkpoint must memoize nothing — every later `connects`
+        // answer must match a never-aborted cache exactly.
+        let (db, nodes) = line_db(&"abc".repeat(27)); // >64 sources: 2 stripes
+        let m = nfa_of(&db, "(a|b|c)+");
+        let mut reference = ReachCache::new(m.clone());
+        reference.fill_targets(&db, &nodes);
+        // Learn the checkpoint span of one ungoverned fill via a dry run.
+        let counting = Arc::new(Governor::unlimited());
+        let mut dry = ReachCache::new(m.clone());
+        dry.govern(Some(counting.clone()));
+        dry.fill_targets(&db, &nodes);
+        let span = counting.checkpoints_seen();
+        assert!(span > 0);
+        for k in 1..=span {
+            let gov = Arc::new(Governor::unlimited().with_injection(k));
+            let mut cache = ReachCache::new(m.clone());
+            cache.govern(Some(gov.clone()));
+            cache.fill_targets(&db, &nodes);
+            assert!(gov.is_aborted(), "injection at {k} must trip");
+            // Detach the governor: the cache must now answer from scratch,
+            // identically to the never-aborted reference.
+            cache.govern(None);
+            for &u in &nodes {
+                for &v in &nodes {
+                    assert_eq!(
+                        cache.connects(&db, u, v),
+                        reference.connects(&db, u, v),
+                        "inject k={k}: partial stripe retained for ({u:?}, {v:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aborted_fill_sources_leaves_no_partial_stripe() {
+        let (db, nodes) = line_db(&"abc".repeat(27));
+        let m = nfa_of(&db, "(abc)*");
+        let mut reference = ReachCache::new(m.clone());
+        reference.fill_sources(&db, &nodes);
+        let counting = Arc::new(Governor::unlimited());
+        let mut dry = ReachCache::new(m.clone());
+        dry.govern(Some(counting.clone()));
+        dry.fill_sources(&db, &nodes);
+        let span = counting.checkpoints_seen();
+        // Sample the span (every k would be quadratic in test time).
+        for k in (1..=span).step_by((span as usize / 16).max(1)) {
+            let gov = Arc::new(Governor::unlimited().with_injection(k));
+            let mut cache = ReachCache::new(m.clone());
+            cache.govern(Some(gov.clone()));
+            cache.fill_sources(&db, &nodes);
+            assert!(gov.is_aborted());
+            cache.govern(None);
+            for &v in &nodes {
+                assert_eq!(
+                    *cache.sources(&db, v),
+                    *reference.sources(&db, v),
+                    "inject k={k}: partial backward stripe retained at {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aborted_single_source_search_is_not_memoized() {
+        let (db, nodes) = line_db("aabbaacab");
+        let m = nfa_of(&db, "(a|b|c)*");
+        let mut cache = ReachCache::new(m.clone());
+        let gov = Arc::new(Governor::unlimited().with_max_steps(2));
+        cache.govern(Some(gov.clone()));
+        let partial = cache.targets(&db, nodes[0]);
+        assert!(gov.is_aborted());
+        cache.govern(None);
+        let full = cache.targets(&db, nodes[0]);
+        assert_eq!(
+            *full,
+            reach_set(&db, &m, nodes[0], Direction::Forward, None),
+            "truncated reach set was memoized"
+        );
+        assert!(partial.is_subset(&full));
+    }
+
+    #[test]
+    fn cancelled_wavefront_drains_and_zeroes_scratch() {
+        let (db, nodes) = line_db(&"ab".repeat(40));
+        let m = nfa_of(&db, "(ab)*(a|_)");
+        let gov = Governor::unlimited();
+        gov.cancel();
+        let mut wave = WaveScratch::default();
+        let parallel = FrontierConfig::with_threads(4).with_serial_threshold(0);
+        let partial = reach_all_governed(
+            &db,
+            &m,
+            &nodes,
+            Direction::Forward,
+            None,
+            &parallel,
+            &mut wave,
+            &gov,
+        );
+        let full = reach_all(&db, &m, &nodes, Direction::Forward, None);
+        for (p, f) in partial.iter().zip(&full) {
+            assert!(p.is_subset(f));
+        }
+        // Scratch must be all-clear again: an ungoverned rerun through the
+        // same scratch reproduces the full answer.
+        let again = reach_all_scratch(
+            &db,
+            &m,
+            &nodes,
+            Direction::Forward,
+            None,
+            &parallel,
+            &mut wave,
+        );
+        assert_eq!(again, full);
     }
 }

@@ -12,6 +12,7 @@
 //! explicit `G_{q′,D}` of the proof.
 
 use crate::cxrpq::Cxrpq;
+use crate::governor::Outcome;
 use crate::pattern::NodeVar;
 use crate::reach::ReachCache;
 use crate::solve::{FreeEdge, Group, PipelineStats, Problem, SolveOptions};
@@ -431,6 +432,48 @@ impl<'q> SimpleEvaluator<'q> {
             true
         });
         (found, p.pipeline.take())
+    }
+
+    /// [`SimpleEvaluator::boolean_opts`] with the run's [`Verdict`]: an
+    /// aborted run may report `false` where a complete run would say `true`
+    /// (sound under-approximation) and tags the result
+    /// [`crate::governor::Verdict::Aborted`].
+    pub fn boolean_outcome(
+        &self,
+        db: &GraphDb,
+        opts: &SolveOptions,
+    ) -> (Outcome<bool>, Option<PipelineStats>) {
+        let (found, stats) = self.boolean_opts(db, opts);
+        (
+            Outcome::from_governor(found, opts.governor.as_deref()),
+            stats,
+        )
+    }
+
+    /// [`SimpleEvaluator::answers_opts`] with the run's [`Verdict`]: an
+    /// aborted run returns the partial answers accumulated before the trip
+    /// (always a subset of the complete relation).
+    pub fn answers_outcome(
+        &self,
+        db: &GraphDb,
+        opts: &SolveOptions,
+    ) -> (Outcome<BTreeSet<Vec<NodeId>>>, Option<PipelineStats>) {
+        let (ans, stats) = self.answers_opts(db, opts);
+        (Outcome::from_governor(ans, opts.governor.as_deref()), stats)
+    }
+
+    /// [`SimpleEvaluator::check_opts`] with the run's [`Verdict`].
+    pub fn check_outcome(
+        &self,
+        db: &GraphDb,
+        tuple: &[NodeId],
+        opts: &SolveOptions,
+    ) -> (Outcome<bool>, Option<PipelineStats>) {
+        let (found, stats) = self.check_opts(db, tuple, opts);
+        (
+            Outcome::from_governor(found, opts.governor.as_deref()),
+            stats,
+        )
     }
 
     /// A certificate for some matching morphism: paths per pattern edge

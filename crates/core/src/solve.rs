@@ -53,13 +53,15 @@
 //! (they are restored by the witness sub-search on its way out).
 
 use crate::domains::Domains;
+use crate::governor::Governor;
 use crate::pattern::NodeVar;
 use crate::plan::SolvePlan;
 use crate::reach::{ReachCache, ReachStats};
-use crate::sync::{sync_sources, sync_targets, SyncSearch, SyncSpec};
+use crate::sync::{sync_sources_governed, sync_targets_governed, SyncSearch, SyncSpec};
 use cxrpq_graph::{GraphDb, NodeId};
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, Hasher};
+use std::sync::Arc;
 
 /// A single-walker constraint `(src) -L(M)-> (dst)`.
 pub struct FreeEdge {
@@ -105,7 +107,7 @@ impl Group {
 }
 
 /// Knobs for [`Problem::solve_with`]: which pipeline phases run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SolveOptions {
     /// Phase 1: order variables and constraints by estimated cost (off =
     /// query-text order).
@@ -144,6 +146,13 @@ pub struct SolveOptions {
     /// analyzer; checks that exceed it are abandoned (both atoms kept,
     /// `containment-capped` diagnostic).
     pub containment_budget: usize,
+    /// Resource governor for this run (`None` = ungoverned): every search
+    /// phase checkpoints against it, and a trip drains the whole pipeline
+    /// cooperatively — `solve_with` then returns having reported only a
+    /// (sound, partial) subset of solutions, with every [`ReachCache`]
+    /// guaranteed free of partially-filled entries. Read the verdict from
+    /// the governor afterwards ([`Governor::verdict`]).
+    pub governor: Option<Arc<Governor>>,
 }
 
 impl SolveOptions {
@@ -160,6 +169,7 @@ impl SolveOptions {
             project: false,
             analyze: true,
             containment_budget: Self::DEFAULT_CONTAINMENT_BUDGET,
+            governor: None,
         }
     }
 
@@ -176,6 +186,7 @@ impl SolveOptions {
             project: false,
             analyze: true,
             containment_budget: Self::DEFAULT_CONTAINMENT_BUDGET,
+            governor: None,
         }
     }
 
@@ -191,6 +202,7 @@ impl SolveOptions {
             project: false,
             analyze: false,
             containment_budget: Self::DEFAULT_CONTAINMENT_BUDGET,
+            governor: None,
         }
     }
 
@@ -207,6 +219,14 @@ impl SolveOptions {
     /// every preset both analyzed and unanalyzed.
     pub fn unanalyzed(mut self) -> Self {
         self.analyze = false;
+        self
+    }
+
+    /// Attaches a resource governor (see [`SolveOptions::governor`]);
+    /// composes with any preset, e.g.
+    /// `SolveOptions::pipeline().governed(gov)`.
+    pub fn governed(mut self, gov: Arc<Governor>) -> Self {
+        self.governor = Some(gov);
         self
     }
 }
@@ -294,6 +314,9 @@ struct EnumCtx<'a> {
     domains: Option<&'a Domains>,
     /// The prune phase's probe decision, reused by seed-sweep prewarms.
     per_source_sweeps: bool,
+    /// The run's governor (the shared disabled one when ungoverned): one
+    /// checkpoint per recursion node, candidate loops drain on a trip.
+    gov: &'a Governor,
 }
 
 impl EnumCtx<'_> {
@@ -741,6 +764,11 @@ impl Problem {
     /// Phases 1–3 (plan / prune / enumerate) over the problem as stored.
     /// `universal` flags Σ*-universal free edges the planner orders last
     /// (`&[]` when no analysis ran).
+    ///
+    /// The run's governor (if any) is attached to every free-edge cache for
+    /// the duration of the call and detached afterwards, so a tripped
+    /// governor from an aborted run can never silently empty the searches
+    /// of a later, ungoverned call against the same problem.
     fn solve_core(
         &mut self,
         db: &GraphDb,
@@ -750,6 +778,27 @@ impl Problem {
         universal: &[bool],
         on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
     ) -> bool {
+        for e in &mut self.free_edges {
+            e.cache.govern(opts.governor.clone());
+        }
+        let r = self.solve_phases(db, pinned, required, opts, universal, on_solution);
+        for e in &mut self.free_edges {
+            e.cache.govern(None);
+        }
+        r
+    }
+
+    fn solve_phases(
+        &mut self,
+        db: &GraphDb,
+        pinned: &HashMap<NodeVar, NodeId>,
+        required: &[NodeVar],
+        opts: &SolveOptions,
+        universal: &[bool],
+        on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
+    ) -> bool {
+        let govh = opts.governor.clone();
+        let gov: &Governor = govh.as_deref().unwrap_or(Governor::disabled());
         let mut bindings: Vec<Option<NodeId>> = vec![None; self.node_count];
         for (&v, &n) in pinned {
             bindings[v.index()] = Some(n);
@@ -812,6 +861,7 @@ impl Problem {
             analysis: None,
         };
         let domains = if prune_now {
+            gov.charge_mem(self.node_count * db.node_count().div_ceil(8));
             let mut doms = Domains::full(self.node_count, db.node_count());
             for (&v, &n) in pinned {
                 // In range per the check above; collapse to a singleton so
@@ -826,12 +876,19 @@ impl Problem {
             let mut costs = p.edge_cost.clone();
             costs.extend(aux_costs);
             self.free_edges.extend(aux_edges);
+            // Synthesized group-walker edges run their fills under the same
+            // governor as the real ones (they are truncated right after, so
+            // no detach is needed for the tail).
+            for e in &mut self.free_edges[real_edges..] {
+                e.cache.govern(govh.clone());
+            }
             let outcome = doms.prune(
                 db,
                 &mut self.free_edges,
                 Some(&costs),
                 opts.max_prune_rounds,
                 probe,
+                gov,
             );
             self.free_edges.truncate(real_edges);
             per_source_sweeps = outcome.per_source_sweeps;
@@ -856,6 +913,7 @@ impl Problem {
             plan: if opts.plan { plan.as_ref() } else { None },
             domains: domains.as_ref(),
             per_source_sweeps,
+            gov,
         };
         let mut is_output = vec![false; self.node_count];
         for v in required {
@@ -906,6 +964,13 @@ impl Problem {
         st: &mut EnumState,
         on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
     ) -> bool {
+        // Governor checkpoint, one per recursion node. An abort reports
+        // "no hit" so every caller treats the subtree as exhausted — an
+        // under-approximation (never a spurious witness: the existential
+        // sub-search of the projection cutoff must see `false` here).
+        if !ctx.gov.checkpoint() {
+            return false;
+        }
         // 0. Projection cutoff: every output variable is bound, so the
         // projection of everything below is already decided. A previously
         // emitted tuple makes the whole subtree redundant; a fresh one
@@ -926,6 +991,7 @@ impl Problem {
             if witnessed {
                 if st.dedup_needed {
                     st.seen_insert();
+                    ctx.gov.charge_mem(32); // dedup-table growth (approx.)
                 }
                 st.progress += 1;
                 return on_solution(&st.bindings);
@@ -970,6 +1036,7 @@ impl Problem {
                     .map(|v| st.bindings[v.index()].unwrap())
                     .collect();
                 let ok = !SyncSearch::forward(db, &self.groups[i].spec)
+                    .with_governor(ctx.gov)
                     .run(&starts, Some(&ends), Some(&self.stats))
                     .is_empty();
                 if !ok {
@@ -1044,6 +1111,9 @@ impl Problem {
                         (key, shift)
                     });
                 for &c in set.iter() {
+                    if ctx.gov.is_aborted() {
+                        return false; // drain: emitted tuples stand
+                    }
                     if !ctx.admits(var, c) {
                         continue;
                     }
@@ -1063,6 +1133,9 @@ impl Problem {
                         (None, false) => true,
                     };
                     if fresh {
+                        if st.dedup_needed {
+                            ctx.gov.charge_mem(32); // dedup-table growth
+                        }
                         st.bind(var, c);
                         st.progress += 1;
                         let stop = on_solution(&st.bindings);
@@ -1083,6 +1156,9 @@ impl Problem {
                 self.free_edges[i].targets_sorted(db, bd.unwrap(), false)
             };
             for c in candidates {
+                if ctx.gov.is_aborted() {
+                    break; // drain the candidate sweep
+                }
                 if !ctx.admits(var, c) {
                     continue;
                 }
@@ -1122,7 +1198,13 @@ impl Problem {
                         .iter()
                         .map(|v| st.bindings[v.index()].unwrap())
                         .collect();
-                    let tuples = sync_targets(db, &self.groups[i].spec, &starts, Some(&self.stats));
+                    let tuples = sync_targets_governed(
+                        db,
+                        &self.groups[i].spec,
+                        &starts,
+                        Some(&self.stats),
+                        ctx.gov,
+                    );
                     (self.groups[i].dsts.clone(), tuples)
                 } else {
                     let ends: Vec<NodeId> = self.groups[i]
@@ -1136,11 +1218,14 @@ impl Problem {
                     self.groups[i].ensure_reversed();
                     let tuples = {
                         let rev = self.groups[i].reversed.as_ref().expect("just ensured");
-                        sync_sources(db, rev, &ends, Some(&self.stats))
+                        sync_sources_governed(db, rev, &ends, Some(&self.stats), ctx.gov)
                     };
                     (self.groups[i].srcs.clone(), tuples)
                 };
                 'tuple: for tup in tuples {
+                    if ctx.gov.is_aborted() {
+                        break;
+                    }
                     // Bind open vars consistently (a variable may repeat and
                     // may already be bound), respecting pruned domains.
                     let mut newly: Vec<NodeVar> = Vec::new();
@@ -1266,6 +1351,9 @@ impl Problem {
                     }
                 }
                 for &node in &chunk {
+                    if ctx.gov.is_aborted() {
+                        return false;
+                    }
                     st.bind(var, node);
                     let before = st.progress;
                     if self.recurse(db, ctx, st, on_solution) {
@@ -1289,6 +1377,9 @@ impl Problem {
             .copied();
         if let Some(var) = unbound_required {
             for node in db.nodes() {
+                if ctx.gov.is_aborted() {
+                    return false;
+                }
                 st.bind(var, node);
                 let before = st.progress;
                 if self.recurse(db, ctx, st, on_solution) {

@@ -29,7 +29,8 @@
 //! set, so results are identical to the serial walk regardless of thread
 //! count.
 
-use crate::frontier::{expand_sharded, FrontierConfig};
+use crate::frontier::{expand_sharded_governed, FrontierConfig};
+use crate::governor::Governor;
 use crate::reach::{reverse_nfa, Direction, ReachStats};
 use crate::relation::{RegularRelation, RelLabel, TupComp};
 use cxrpq_automata::{MaskSim, Nfa};
@@ -214,6 +215,7 @@ pub struct SyncSearch<'a> {
     offsets: Vec<usize>,
     total_words: usize,
     cfg: FrontierConfig,
+    gov: &'a Governor,
 }
 
 impl<'a> SyncSearch<'a> {
@@ -234,6 +236,7 @@ impl<'a> SyncSearch<'a> {
             total_words,
             cfg: FrontierConfig::auto()
                 .with_serial_threshold(FrontierConfig::SYNC_SERIAL_THRESHOLD),
+            gov: Governor::disabled(),
         }
     }
 
@@ -241,6 +244,16 @@ impl<'a> SyncSearch<'a> {
     /// threshold) for this search.
     pub fn with_config(mut self, cfg: FrontierConfig) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Runs the search under a [`Governor`]: the level loop checkpoints
+    /// with fuel proportional to each level, sharded workers observe the
+    /// abort flag and drain, and an aborted run returns the (sound,
+    /// partial) tuples settled so far — for a membership check that means
+    /// "not found", an under-approximation.
+    pub fn with_governor(mut self, gov: &'a Governor) -> Self {
+        self.gov = gov;
         self
     }
 
@@ -326,6 +339,9 @@ impl<'a> SyncSearch<'a> {
         visited.insert(&init);
         let mut level = vec![init];
         while !level.is_empty() {
+            if !self.gov.checkpoint_n(level.len() as u64) {
+                return out; // drain: partial tuples are a sound subset
+            }
             for st in &level {
                 if let Some(stats) = stats {
                     stats.bump(1);
@@ -351,6 +367,9 @@ impl<'a> SyncSearch<'a> {
                 // visited set, exactly like the pre-level-synchronous
                 // queue walk (no per-level shadow set, no re-cloning).
                 for st in &level {
+                    if self.gov.is_aborted() {
+                        break;
+                    }
                     self.expand_moves(st, ends, &mut |nxt, _| {
                         if visited.insert(&nxt) {
                             next.push(nxt);
@@ -358,10 +377,13 @@ impl<'a> SyncSearch<'a> {
                     });
                 }
             } else {
-                let discovered = expand_sharded(&level, shards, |_, slice| {
+                let discovered = expand_sharded_governed(&level, shards, self.gov, |_, slice| {
                     let mut seen = visited.level_seen();
                     let mut found: Vec<SyncState> = Vec::new();
-                    for st in slice {
+                    for (i, st) in slice.iter().enumerate() {
+                        if i & 15 == 0 && self.gov.is_aborted() {
+                            break; // worker observes the flag and drains
+                        }
                         self.expand_moves(st, ends, &mut |nxt, _| {
                             // Read-only pre-filter against earlier levels,
                             // then private intra-level dedup.
@@ -639,6 +661,34 @@ pub fn sync_check(
     !SyncSearch::forward(db, spec)
         .run(starts, Some(ends), stats)
         .is_empty()
+}
+
+/// [`sync_targets`] under a [`Governor`] (see
+/// [`SyncSearch::with_governor`]).
+pub fn sync_targets_governed(
+    db: &GraphDb,
+    spec: &SyncSpec,
+    starts: &[NodeId],
+    stats: Option<&ReachStats>,
+    gov: &Governor,
+) -> HashSet<Vec<NodeId>> {
+    SyncSearch::forward(db, spec)
+        .with_governor(gov)
+        .run(starts, None, stats)
+}
+
+/// [`sync_sources`] under a [`Governor`] (see
+/// [`SyncSearch::with_governor`]).
+pub fn sync_sources_governed(
+    db: &GraphDb,
+    reversed_spec: &SyncSpec,
+    ends: &[NodeId],
+    stats: Option<&ReachStats>,
+    gov: &Governor,
+) -> HashSet<Vec<NodeId>> {
+    SyncSearch::backward(db, reversed_spec)
+        .with_governor(gov)
+        .run(ends, None, stats)
 }
 
 #[cfg(test)]

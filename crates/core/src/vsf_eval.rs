@@ -9,11 +9,18 @@
 //! intermediate queries.
 
 use crate::cxrpq::Cxrpq;
+use crate::governor::Governor;
 use crate::simple_eval::SimpleEvaluator;
+use crate::solve::SolveOptions;
 use crate::witness::QueryWitness;
 use cxrpq_graph::{GraphDb, NodeId};
 use cxrpq_xregex::normal_form::{simple_choices, NormalFormError};
 use std::collections::BTreeSet;
+
+/// The governor attached to `opts`, or the shared disabled one.
+fn gov_of(opts: &SolveOptions) -> &Governor {
+    opts.governor.as_deref().unwrap_or(Governor::disabled())
+}
 
 /// The `CXRPQ^{vsf}` engine.
 pub struct VsfEvaluator<'q> {
@@ -38,10 +45,20 @@ impl<'q> VsfEvaluator<'q> {
     /// Boolean evaluation `D ⊨ q`, with early exit on the first matching
     /// branch combination.
     pub fn boolean(&self, db: &GraphDb) -> bool {
+        self.boolean_opts(db, &SolveOptions::early_exit().projected())
+    }
+
+    /// [`VsfEvaluator::boolean`] under explicit solver options. A governor
+    /// abort stops the branch-combination sweep (sound: `false` may stand
+    /// for an unexplored `true`).
+    pub fn boolean_opts(&self, db: &GraphDb, opts: &SolveOptions) -> bool {
         for choice in simple_choices(self.q.conjunctive()).expect("validated") {
+            if gov_of(opts).is_aborted() {
+                break;
+            }
             let q2 = self.q.with_conjunctive(choice);
             let ev = SimpleEvaluator::new(&q2).expect("choices are simple");
-            if ev.boolean(db) {
+            if ev.boolean_opts(db, opts).0 {
                 return true;
             }
         }
@@ -50,21 +67,38 @@ impl<'q> VsfEvaluator<'q> {
 
     /// The answer relation `q(D)` — the union over branch combinations.
     pub fn answers(&self, db: &GraphDb) -> BTreeSet<Vec<NodeId>> {
+        self.answers_opts(db, &SolveOptions::pipeline().projected())
+    }
+
+    /// [`VsfEvaluator::answers`] under explicit solver options. A governor
+    /// abort truncates the union at a sound partial subset.
+    pub fn answers_opts(&self, db: &GraphDb, opts: &SolveOptions) -> BTreeSet<Vec<NodeId>> {
         let mut out = BTreeSet::new();
         for choice in simple_choices(self.q.conjunctive()).expect("validated") {
+            if gov_of(opts).is_aborted() {
+                break;
+            }
             let q2 = self.q.with_conjunctive(choice);
             let ev = SimpleEvaluator::new(&q2).expect("choices are simple");
-            out.extend(ev.answers(db));
+            out.extend(ev.answers_opts(db, opts).0);
         }
         out
     }
 
     /// The Check problem `t̄ ∈ q(D)`.
     pub fn check(&self, db: &GraphDb, tuple: &[NodeId]) -> bool {
+        self.check_opts(db, tuple, &SolveOptions::early_exit().projected())
+    }
+
+    /// [`VsfEvaluator::check`] under explicit solver options.
+    pub fn check_opts(&self, db: &GraphDb, tuple: &[NodeId], opts: &SolveOptions) -> bool {
         for choice in simple_choices(self.q.conjunctive()).expect("validated") {
+            if gov_of(opts).is_aborted() {
+                break;
+            }
             let q2 = self.q.with_conjunctive(choice);
             let ev = SimpleEvaluator::new(&q2).expect("choices are simple");
-            if ev.check(db, tuple) {
+            if ev.check_opts(db, tuple, opts).0 {
                 return true;
             }
         }

@@ -8,6 +8,7 @@
 //! the paths back off the BFS forest. The cost stays within the same
 //! product-space bounds as the decision procedures.
 
+use crate::governor::Governor;
 use crate::pattern::{GraphPattern, NodeVar};
 use crate::sync::{SyncSearch, SyncSpec, SyncState};
 use cxrpq_automata::{Label, Nfa, StateId};
@@ -116,10 +117,25 @@ impl QueryWitness {
 /// memory proportional to the explored region — and transitions expand
 /// over contiguous per-label CSR ranges.
 pub fn edge_path(db: &GraphDb, nfa: &Nfa, from: NodeId, to: NodeId) -> Option<Path> {
+    edge_path_governed(db, nfa, from, to, Governor::disabled())
+}
+
+/// [`edge_path`] under a [`Governor`]: one checkpoint per popped product
+/// cell. An abort returns `None` — the caller's witness extraction fails
+/// soundly (no spurious path is ever produced) and the top level reports
+/// the abort from the governor's verdict.
+pub fn edge_path_governed(
+    db: &GraphDb,
+    nfa: &Nfa,
+    from: NodeId,
+    to: NodeId,
+    gov: &Governor,
+) -> Option<Path> {
     let q = nfa.state_count();
     let key = |node: NodeId, st: StateId| node.index() * q + st.index();
     let start = key(from, nfa.start());
     const NO_SYM: u32 = u32::MAX;
+    gov.charge_mem((db.node_count() * q).div_ceil(8));
     let mut visited = DenseBitSet::new(db.node_count() * q);
     // Per visited cell: parent product-index and the symbol consumed on
     // the step into the cell (NO_SYM = ε). The root has no entry.
@@ -129,6 +145,9 @@ pub fn edge_path(db: &GraphDb, nfa: &Nfa, from: NodeId, to: NodeId) -> Option<Pa
     queue.push_back((from, nfa.start()));
     let mut goal: Option<usize> = None;
     'bfs: while let Some((node, st)) = queue.pop_front() {
+        if !gov.checkpoint() {
+            return None;
+        }
         let cur = key(node, st);
         if node == to && nfa.is_final(st) {
             goal = Some(cur);
@@ -185,6 +204,19 @@ pub(crate) fn group_paths(
     starts: &[NodeId],
     ends: &[NodeId],
 ) -> Option<Vec<Path>> {
+    group_paths_governed(db, spec, starts, ends, Governor::disabled())
+}
+
+/// [`group_paths`] under a [`Governor`]: one checkpoint per popped product
+/// configuration; an abort returns `None` (sound failure, never a spurious
+/// tuple of paths).
+pub(crate) fn group_paths_governed(
+    db: &GraphDb,
+    spec: &SyncSpec,
+    starts: &[NodeId],
+    ends: &[NodeId],
+    gov: &Governor,
+) -> Option<Vec<Path>> {
     let search = SyncSearch::forward(db, spec);
     let init = search.initial(starts);
     let mut parent: HashMap<SyncState, (SyncState, Vec<Option<Symbol>>)> = HashMap::new();
@@ -194,6 +226,9 @@ pub(crate) fn group_paths(
     queue.push_back(init.clone());
     let mut goal: Option<SyncState> = None;
     while let Some(st) = queue.pop_front() {
+        if !gov.checkpoint() {
+            return None;
+        }
         if st.positions == ends && search.accepting(&st) {
             goal = Some(st);
             break;
@@ -386,6 +421,18 @@ mod tests {
         assert_eq!(db.alphabet().render_word(joined.label()), "abc");
         assert_eq!(joined.start(), nodes[0]);
         assert_eq!(joined.end(), nodes[3]);
+    }
+
+    #[test]
+    fn governed_edge_path_aborts_to_none() {
+        let (db, nodes) = line_db("abcab");
+        let mut alpha = db.alphabet().clone();
+        let nfa = Nfa::from_regex(&parse_regex("a(b|c)c*ab", &mut alpha).unwrap());
+        let gov = Governor::unlimited().with_max_steps(1);
+        assert!(edge_path_governed(&db, &nfa, nodes[0], nodes[5], &gov).is_none());
+        assert!(gov.is_aborted());
+        // Ungoverned, the same instance yields a witness.
+        assert!(edge_path(&db, &nfa, nodes[0], nodes[5]).is_some());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! generate tuples of words sharing one variable mapping.
 
 use crate::ast::{Var, VarTable, Xregex};
-use crate::matcher::{conjunctive_match, MatchConfig};
+use crate::matcher::{conjunctive_match, FuelExhausted, MatchConfig};
 use crate::validate::{is_sequential, topological_vars};
 use cxrpq_graph::{Alphabet, Symbol};
 use std::collections::BTreeMap;
@@ -127,41 +127,25 @@ impl ConjunctiveXregex {
     }
 
     /// Conjunctive-match oracle: is `w̄ ∈ L(ᾱ)` (per `cfg`)? Returns the
-    /// witnessing variable mapping ψ.
+    /// witnessing variable mapping ψ, or [`FuelExhausted`] when the
+    /// backtracking oracle ran out of fuel before covering the search space.
     pub fn is_match(
         &self,
         words: &[Vec<Symbol>],
         cfg: &MatchConfig,
-    ) -> Option<BTreeMap<Var, Vec<Symbol>>> {
+    ) -> Result<Option<BTreeMap<Var, Vec<Symbol>>>, FuelExhausted> {
         conjunctive_match(&self.components, words, self.vars.len(), cfg)
     }
 
-    /// [`Self::is_match`], but yielding `None` when the backtracking oracle
-    /// runs out of fuel instead of panicking; any other panic is re-raised.
+    /// [`Self::is_match`] with fuel exhaustion flattened to the outer `None`.
     /// Callers feeding the oracle random instances use this to skip the
-    /// ones that are too large without masking genuine matcher bugs.
+    /// ones that are too large.
     pub fn try_is_match(
         &self,
         words: &[Vec<Symbol>],
         cfg: &MatchConfig,
     ) -> Option<Option<BTreeMap<Var, Vec<Symbol>>>> {
-        let attempt =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.is_match(words, cfg)));
-        match attempt {
-            Ok(result) => Some(result),
-            Err(payload) => {
-                let fuel = payload
-                    .downcast_ref::<&str>()
-                    .copied()
-                    .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-                    .is_some_and(|msg| msg.contains("fuel exhausted"));
-                if fuel {
-                    None
-                } else {
-                    std::panic::resume_unwind(payload)
-                }
-            }
-        }
+        self.is_match(words, cfg).ok()
     }
 
     /// Renders all components.

@@ -36,7 +36,7 @@ pub mod validate;
 pub use ast::{Var, VarTable, Xregex};
 pub use classify::{classification, Fragment};
 pub use conjunctive::ConjunctiveXregex;
-pub use matcher::{conjunctive_match, match_single, MatchConfig};
+pub use matcher::{conjunctive_match, match_single, FuelExhausted, MatchConfig};
 pub use normal_form::{normal_form, simple_choices, NormalFormStats};
 pub use parser::{parse_conjunctive, parse_xregex, XregexParseError};
 pub use refword::{RefTok, RefWord};

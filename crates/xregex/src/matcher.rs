@@ -19,6 +19,21 @@
 use crate::ast::{Var, Xregex};
 use cxrpq_graph::Symbol;
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// The backtracking oracle ran out of fuel before finding a match or
+/// exhausting the search space. Returned instead of an unsound "no match":
+/// the instance was too large for the oracle, not a non-member.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FuelExhausted;
+
+impl fmt::Display for FuelExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "match oracle fuel exhausted — instance too large")
+    }
+}
+
+impl std::error::Error for FuelExhausted {}
 
 /// Configuration for the match oracles.
 #[derive(Clone, Debug)]
@@ -28,8 +43,8 @@ pub struct MatchConfig {
     /// Pinned variable images (the `v̄` of `L^{v̄}`); unmentioned variables
     /// are free. Pinned values are exempt from `image_bound`.
     pub pinned: BTreeMap<Var, Vec<Symbol>>,
-    /// Backtracking fuel. The oracle panics when exhausted rather than
-    /// returning an unsound "no match".
+    /// Backtracking fuel. The oracle reports [`FuelExhausted`] when it runs
+    /// out rather than returning an unsound "no match".
     pub max_steps: u64,
 }
 
@@ -257,7 +272,8 @@ fn finalize_uninstantiated(vars: &[Var], cx: &mut Ctx, t0: usize) -> bool {
 
 /// Membership oracle for the (1-dimensional) xregex semantics of §3:
 /// `w ∈ L(α)` (or `L^{≤k}`/`L^{v̄}` per `cfg`). Returns a witnessing variable
-/// mapping.
+/// mapping, or [`FuelExhausted`] if the fuel budget ran out before the
+/// search space was covered (a definitive "no match" needs full coverage).
 ///
 /// References of variables that end up without an instantiated definition
 /// deref to ε (Definition 2, step 1) — this differs from the 1-dimensional
@@ -267,7 +283,7 @@ pub fn match_single(
     w: &[Symbol],
     nvars: usize,
     cfg: &MatchConfig,
-) -> Option<BTreeMap<Var, Vec<Symbol>>> {
+) -> Result<Option<BTreeMap<Var, Vec<Symbol>>>, FuelExhausted> {
     let mut cx = Ctx::new(nvars, cfg);
     let all_vars: Vec<Var> = (0..nvars as u32).map(Var).collect();
     let mut result = None;
@@ -283,13 +299,14 @@ pub fn match_single(
         true
     });
     if !found && cx.exhausted {
-        panic!("match oracle fuel exhausted — instance too large for the oracle");
+        return Err(FuelExhausted);
     }
-    result
+    Ok(result)
 }
 
 /// Conjunctive-match oracle (§3.1): is `w̄ ∈ L(ᾱ)`, and if so with which
-/// shared variable mapping ψ?
+/// shared variable mapping ψ? [`FuelExhausted`] means the fuel budget ran
+/// out before the search space was covered.
 ///
 /// `components`/`words` must have the same length; `nvars` is the size of
 /// the shared variable table. Semantics faithfully implemented:
@@ -304,7 +321,7 @@ pub fn conjunctive_match(
     words: &[Vec<Symbol>],
     nvars: usize,
     cfg: &MatchConfig,
-) -> Option<BTreeMap<Var, Vec<Symbol>>> {
+) -> Result<Option<BTreeMap<Var, Vec<Symbol>>>, FuelExhausted> {
     assert_eq!(components.len(), words.len(), "dimension mismatch");
     let defs_in: Vec<Vec<Var>> = components
         .iter()
@@ -314,9 +331,9 @@ pub fn conjunctive_match(
     let mut result = None;
     let found = comp_rec(components, words, &defs_in, 0, &mut cx, &mut result);
     if !found && cx.exhausted {
-        panic!("conjunctive match oracle fuel exhausted — instance too large");
+        return Err(FuelExhausted);
     }
-    result
+    Ok(result)
 }
 
 fn comp_rec(
@@ -369,7 +386,7 @@ mod tests {
         let mut a = Alphabet::from_chars("abcd#");
         let (r, vt) = parse_xregex(pattern, &mut a).unwrap();
         let w = a.parse_word(word).unwrap();
-        match_single(&r, &w, vt.len(), cfg)
+        match_single(&r, &w, vt.len(), cfg).unwrap()
     }
 
     #[test]
@@ -385,7 +402,9 @@ mod tests {
         let mut a = Alphabet::from_chars("abc");
         let (r, vt) = parse_xregex("x{a+}bx", &mut a).unwrap();
         let w = a.parse_word("aabaa").unwrap();
-        let vmap = match_single(&r, &w, vt.len(), &MatchConfig::default()).unwrap();
+        let vmap = match_single(&r, &w, vt.len(), &MatchConfig::default())
+            .unwrap()
+            .unwrap();
         let x = vt.var("x").unwrap();
         assert_eq!(vmap[&x], a.parse_word("aa").unwrap());
     }
@@ -426,9 +445,13 @@ mod tests {
         // α = x (a lone reference, never defined): L(α) = {ε}.
         let mut a = Alphabet::from_chars("ab");
         let (r, vt) = parse_xregex_decl("x", &["x"], &mut a);
-        assert!(match_single(&r, &[], vt.len(), &MatchConfig::default()).is_some());
+        assert!(match_single(&r, &[], vt.len(), &MatchConfig::default())
+            .unwrap()
+            .is_some());
         let w = a.parse_word("a").unwrap();
-        assert!(match_single(&r, &w, vt.len(), &MatchConfig::default()).is_none());
+        assert!(match_single(&r, &w, vt.len(), &MatchConfig::default())
+            .unwrap()
+            .is_none());
     }
 
     fn parse_xregex_decl(
@@ -455,10 +478,10 @@ mod tests {
         let w = a.parse_word("abab").unwrap();
         // Pin x = ab: match.
         let cfg = MatchConfig::pinned(BTreeMap::from([(x, a.parse_word("ab").unwrap())]));
-        assert!(match_single(&r, &w, vt.len(), &cfg).is_some());
+        assert!(match_single(&r, &w, vt.len(), &cfg).unwrap().is_some());
         // Pin x = ba: no match.
         let cfg2 = MatchConfig::pinned(BTreeMap::from([(x, a.parse_word("ba").unwrap())]));
-        assert!(match_single(&r, &w, vt.len(), &cfg2).is_none());
+        assert!(match_single(&r, &w, vt.len(), &cfg2).unwrap().is_none());
     }
 
     #[test]
@@ -470,7 +493,9 @@ mod tests {
         let w = a
             .parse_word(&format!("{}{}{}{}a", "aaaa", "baba", "ababab", "bababa"))
             .unwrap();
-        assert!(match_single(&r, &w, vt.len(), &MatchConfig::default()).is_some());
+        assert!(match_single(&r, &w, vt.len(), &MatchConfig::default())
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -480,7 +505,9 @@ mod tests {
         let mut a = Alphabet::from_chars("abc");
         let (r, vt) = parse_xregex("x1{c*(x2{a*}|x3{b*})}cx2cx3bx1", &mut a).unwrap();
         let w = a.parse_word("ccaacaacbccaa").unwrap();
-        let vmap = match_single(&r, &w, vt.len(), &MatchConfig::default()).unwrap();
+        let vmap = match_single(&r, &w, vt.len(), &MatchConfig::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(vmap[&vt.var("x1").unwrap()], a.parse_word("ccaa").unwrap());
         assert_eq!(vmap[&vt.var("x2").unwrap()], a.parse_word("aa").unwrap());
         assert_eq!(vmap[&vt.var("x3").unwrap()], Vec::<Symbol>::new());
@@ -495,7 +522,7 @@ mod tests {
         // w1 = aa a^5 b? Actually w1 = x-image + y-image = aa·a⁵b.
         let w1 = a.parse_word("aaaaaaab").unwrap(); // aa · a⁵b
         let w2 = a.parse_word("aaaaabbaaaaabaaaaab").unwrap(); // (a⁵b) b (a⁵b)(a⁵b)
-        let vmap = conjunctive_match(&comps, &[w1, w2], vt.len(), &MatchConfig::default());
+        let vmap = conjunctive_match(&comps, &[w1, w2], vt.len(), &MatchConfig::default()).unwrap();
         // y{xaxb} with x = aa gives y = aaaaab = a⁵b... wait: x a x b = aa·a·aa·b = a⁵b. ✓
         let vmap = vmap.expect("conjunctive match should exist");
         assert_eq!(vmap[&vt.var("x").unwrap()], a.parse_word("aa").unwrap());
@@ -511,7 +538,11 @@ mod tests {
         let w1 = a.parse_word("aa").unwrap(); // x = a, y = a would need w1 = a·a
         let w2 = a.parse_word("aabbaab").unwrap(); // y = aab = x a x b with x = a
                                                    // w1 = aa: x-branch gives x-image a then y must be a; but y = aab. Fail.
-        assert!(conjunctive_match(&comps, &[w1, w2], vt.len(), &MatchConfig::default()).is_none());
+        assert!(
+            conjunctive_match(&comps, &[w1, w2], vt.len(), &MatchConfig::default())
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -528,9 +559,14 @@ mod tests {
         let w3 = a.parse_word("abba").unwrap();
         assert!(
             conjunctive_match(&comps, &[w1.clone(), w2], vt.len(), &MatchConfig::default())
+                .unwrap()
                 .is_some()
         );
-        assert!(conjunctive_match(&comps, &[w1, w3], vt.len(), &MatchConfig::default()).is_none());
+        assert!(
+            conjunctive_match(&comps, &[w1, w3], vt.len(), &MatchConfig::default())
+                .unwrap()
+                .is_none()
+        );
         let _ = &mut vt;
     }
 
@@ -547,13 +583,19 @@ mod tests {
             a.parse_word("bbacbc").unwrap(),
             a.parse_word("aa").unwrap(),
         ];
-        assert!(conjunctive_match(&comps, &neg, vt.len(), &MatchConfig::default()).is_none());
+        assert!(
+            conjunctive_match(&comps, &neg, vt.len(), &MatchConfig::default())
+                .unwrap()
+                .is_none()
+        );
         let pos = [
             a.parse_word("abb").unwrap(),
             a.parse_word("abccbcc").unwrap(),
             a.parse_word("ababaaab").unwrap(),
         ];
-        let vmap = conjunctive_match(&comps, &pos, vt.len(), &MatchConfig::default()).unwrap();
+        let vmap = conjunctive_match(&comps, &pos, vt.len(), &MatchConfig::default())
+            .unwrap()
+            .unwrap();
         assert_eq!(vmap[&vt.var("x1").unwrap()], a.parse_word("ab").unwrap());
         assert_eq!(vmap[&vt.var("x2").unwrap()], a.parse_word("ab").unwrap());
         assert_eq!(vmap[&vt.var("x3").unwrap()], a.parse_word("cc").unwrap());
@@ -569,7 +611,9 @@ mod tests {
             for mask in 0..(1u32 << n) {
                 let w: Vec<Symbol> = (0..n).map(|i| Symbol((mask >> i) & 1)).collect();
                 assert_eq!(
-                    match_single(&r, &w, vt.len(), &MatchConfig::default()).is_some(),
+                    match_single(&r, &w, vt.len(), &MatchConfig::default())
+                        .unwrap()
+                        .is_some(),
                     nfa.accepts(&w),
                     "mismatch on {w:?}"
                 );

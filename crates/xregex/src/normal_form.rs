@@ -544,8 +544,14 @@ mod tests {
         let mut checked = 0;
         for w1 in &words {
             for w2 in &words {
-                let lhs = cx.is_match(&[w1.clone(), w2.clone()], &cfg).is_some();
-                let rhs = nf.is_match(&[w1.clone(), w2.clone()], &cfg).is_some();
+                let lhs = cx
+                    .is_match(&[w1.clone(), w2.clone()], &cfg)
+                    .unwrap()
+                    .is_some();
+                let rhs = nf
+                    .is_match(&[w1.clone(), w2.clone()], &cfg)
+                    .unwrap()
+                    .is_some();
                 assert_eq!(lhs, rhs, "mismatch on ({w1:?}, {w2:?})");
                 if lhs {
                     checked += 1;
@@ -613,10 +619,15 @@ mod tests {
             .collect();
         for w1 in &words {
             for w2 in &words {
-                let direct = cx.is_match(&[w1.clone(), w2.clone()], &cfg).is_some();
-                let via_choices = choices
-                    .iter()
-                    .any(|ch| ch.is_match(&[w1.clone(), w2.clone()], &cfg).is_some());
+                let direct = cx
+                    .is_match(&[w1.clone(), w2.clone()], &cfg)
+                    .unwrap()
+                    .is_some();
+                let via_choices = choices.iter().any(|ch| {
+                    ch.is_match(&[w1.clone(), w2.clone()], &cfg)
+                        .unwrap()
+                        .is_some()
+                });
                 assert_eq!(direct, via_choices, "mismatch on ({w1:?}, {w2:?})");
             }
         }

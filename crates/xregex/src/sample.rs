@@ -223,7 +223,9 @@ mod tests {
                 let w = sample_word(&r, a.len(), &SampleConfig::default(), &mut rng)
                     .expect("derivable");
                 assert!(
-                    match_single(&r, &w, vt.len(), &MatchConfig::default()).is_some(),
+                    match_single(&r, &w, vt.len(), &MatchConfig::default())
+                        .unwrap()
+                        .is_some(),
                     "sampled word {:?} does not match {s}",
                     a.render_word(&w)
                 );
@@ -241,7 +243,9 @@ mod tests {
             let (words, psi) =
                 sample_conjunctive_match(&cx, a.len(), &SampleConfig::default(), &mut rng).unwrap();
             // The sampled mapping must be accepted by the pinned oracle.
-            let got = cx.is_match(&words, &MatchConfig::pinned(psi.clone()));
+            let got = cx
+                .is_match(&words, &MatchConfig::pinned(psi.clone()))
+                .unwrap();
             assert!(
                 got.is_some(),
                 "sampled match rejected: words={words:?} psi={psi:?}"

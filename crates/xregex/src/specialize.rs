@@ -407,6 +407,7 @@ mod tests {
                             .unwrap_or(false);
                         let via_oracle = cx
                             .is_match(&[w1.clone(), w2.clone()], &MatchConfig::pinned(psi.clone()))
+                            .unwrap()
                             .is_some();
                         assert_eq!(
                             via_beta, via_oracle,

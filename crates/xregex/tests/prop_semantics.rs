@@ -37,7 +37,7 @@ proptest! {
         let cfg = SampleConfig { rep_continue: 0.4, max_reps: 3, free_image_max: 2 };
         if let Some(w) = sample_word(&r, alpha.len(), &cfg, &mut rng) {
             prop_assert!(
-                match_single(&r, &w, vt.len(), &MatchConfig::default()).is_some(),
+                match_single(&r, &w, vt.len(), &MatchConfig::default()).unwrap().is_some(),
                 "sampled word {:?} rejected for {}",
                 alpha.render_word(&w),
                 PATTERNS[pat_idx]
@@ -53,9 +53,9 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = SampleConfig { rep_continue: 0.4, max_reps: 2, free_image_max: 2 };
         if let Some(w) = sample_word(&r, alpha.len(), &cfg, &mut rng) {
-            if let Some(vmap) = match_single(&r, &w, vt.len(), &MatchConfig::default()) {
+            if let Some(vmap) = match_single(&r, &w, vt.len(), &MatchConfig::default()).unwrap() {
                 let pinned = MatchConfig::pinned(vmap);
-                prop_assert!(match_single(&r, &w, vt.len(), &pinned).is_some());
+                prop_assert!(match_single(&r, &w, vt.len(), &pinned).unwrap().is_some());
             }
         }
     }
@@ -74,7 +74,7 @@ proptest! {
             // pinned (restricted to defined variables).
             let psi: std::collections::BTreeMap<_, _> = vmap.into_iter().collect();
             let pinned = MatchConfig::pinned(psi);
-            prop_assert!(match_single(&r, &word, vt.len(), &pinned).is_some());
+            prop_assert!(match_single(&r, &word, vt.len(), &pinned).unwrap().is_some());
         }
         let _ = vt;
     }
@@ -114,6 +114,7 @@ fn specialization_exhaustive_small() {
                         .unwrap_or(false);
                     let via_oracle = cx
                         .is_match(&[w1.clone(), w2.clone()], &MatchConfig::pinned(psi.clone()))
+                        .unwrap()
                         .is_some();
                     assert_eq!(
                         via_beta, via_oracle,

@@ -98,6 +98,7 @@ fn planner_matches_forced_engines_on_shared_fragment() {
             EvalOptions {
                 bounded_k: 2,
                 force: Some(force),
+                governor: None,
             },
         )
         .unwrap();

@@ -185,6 +185,7 @@ fn xregex_matcher_agrees_with_bounded_engine_on_paths() {
                 vt.len(),
                 &cxrpq::xregex::matcher::MatchConfig::bounded(3),
             )
+            .unwrap()
             .is_some();
             assert_eq!(via_engine, via_oracle, "pattern {p} on {w}");
         }

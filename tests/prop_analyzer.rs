@@ -114,7 +114,7 @@ fn assert_analyzer_agreement(
         ans_ref, ans_analyzed,
         "analyzer changed the answer relation"
     );
-    let (ans_plain, _) = ev.answers(db, &piped.unanalyzed());
+    let (ans_plain, _) = ev.answers(db, &piped.clone().unanalyzed());
     assert_eq!(
         ans_ref, ans_plain,
         "unanalyzed pipeline disagrees with naive"
@@ -124,12 +124,12 @@ fn assert_analyzer_agreement(
         ans_ref, ans_naive_an,
         "analyzer changed the naive answer relation"
     );
-    let (ans_proj, _) = ev.answers(db, &piped.projected());
+    let (ans_proj, _) = ev.answers(db, &piped.clone().projected());
     assert_eq!(
         ans_ref, ans_proj,
         "analyzer + projection pushdown changed the answer relation"
     );
-    let (ans_proj_plain, _) = ev.answers(db, &piped.projected().unanalyzed());
+    let (ans_proj_plain, _) = ev.answers(db, &piped.clone().projected().unanalyzed());
     assert_eq!(
         ans_ref, ans_proj_plain,
         "unanalyzed projection pushdown changed the answer relation"
@@ -165,7 +165,7 @@ fn assert_analyzer_agreement(
             "analyzed check disagrees on {t:?}"
         );
         assert_eq!(
-            ev.check(db, t, &piped.unanalyzed()),
+            ev.check(db, t, &piped.clone().unanalyzed()),
             expected,
             "unanalyzed check disagrees on {t:?}"
         );

@@ -67,6 +67,7 @@ proptest! {
                 EvalOptions {
                     bounded_k: GENEROUS_K,
                     force: Some(force),
+                    governor: None,
                 },
             )
             .expect("simple queries admit every engine");

@@ -124,12 +124,12 @@ fn assert_agreement(
     // reproduce the full-enumerate-then-project reference — both on top of
     // the pipeline and on the bare naive path (no plan, no domains), which
     // isolates the dynamic cutoff logic.
-    let (ans_proj, _) = ev.answers(db, &piped.projected());
+    let (ans_proj, _) = ev.answers(db, &piped.clone().projected());
     assert_eq!(
         ans_naive, ans_proj,
         "projection pushdown changed the answer relation"
     );
-    let (ans_proj_naive, _) = ev.answers(db, &naive.projected());
+    let (ans_proj_naive, _) = ev.answers(db, &naive.clone().projected());
     assert_eq!(
         ans_naive, ans_proj_naive,
         "unplanned projection pushdown changed the answer relation"
@@ -148,7 +148,7 @@ fn assert_agreement(
     );
     assert_eq!(
         b_naive,
-        ev.boolean(db, &early.projected()),
+        ev.boolean(db, &early.clone().projected()),
         "all-existential boolean fast path changed boolean()"
     );
 
@@ -180,7 +180,7 @@ fn assert_agreement(
             "early check disagrees on {t:?}"
         );
         assert_eq!(
-            ev.check(db, t, &early.projected()),
+            ev.check(db, t, &early.clone().projected()),
             expected,
             "projected check disagrees on {t:?}"
         );

@@ -81,6 +81,7 @@ fn facade_pipeline_end_to_end() {
         EvalOptions {
             bounded_k: 3,
             force: Some(EngineKind::Bounded),
+            governor: None,
         },
     )
     .expect("the bounded engine covers every fragment");

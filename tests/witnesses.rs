@@ -145,6 +145,7 @@ fn vsf_witness_on_figure_2_g2_triangle() {
     assert!(q
         .conjunctive()
         .is_match(&words, &MatchConfig::default())
+        .unwrap()
         .is_some());
     // The return path must equal the x-word (aa).
     assert_eq!(db.alphabet().render_word(w.paths[2].label()), "aa");
