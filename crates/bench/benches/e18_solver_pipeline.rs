@@ -39,7 +39,7 @@
 //! `Aborted` and return a subset of the complete answers, an untripped run
 //! must return them all — the CI guard for the governed abort paths.
 
-use cxrpq_core::{Crpq, CrpqEvaluator, Governor, SolveOptions};
+use cxrpq_core::{Crpq, CrpqEvaluator, Governor, SolveOptions, Strategy};
 use cxrpq_graph::{Alphabet, GraphBuilder, GraphDb, NodeId, Symbol};
 use cxrpq_workloads::graphs;
 use std::sync::Arc;
@@ -93,6 +93,34 @@ fn random_ab_rare_c(nodes: usize, edges: usize, rare: usize, seed: u64) -> Graph
     b.freeze()
 }
 
+/// The AGM worst-case triangle instance over three m-node blocks X, Y, Z:
+/// each relation is a double star (`x_0` reaches every `y`, every `x`
+/// reaches `y_0`, and likewise Y→Z via `b` and Z→X via `a`). Every
+/// pairwise join has Θ(m²) tuples while the triangle output is Θ(m) — the
+/// regime where any join-at-a-time plan is provably suboptimal and the
+/// multiway intersection skips the dead hub bindings in one seek.
+fn spoke_triangle(m: usize) -> GraphDb {
+    let alpha = Arc::new(Alphabet::from_chars("ab"));
+    let mut bld = GraphBuilder::new(alpha);
+    let a = bld.alphabet().sym("a");
+    let b = bld.alphabet().sym("b");
+    for _ in 0..3 * m {
+        bld.add_node();
+    }
+    let x = |i: usize| NodeId(i as u32);
+    let y = |i: usize| NodeId((m + i) as u32);
+    let z = |i: usize| NodeId((2 * m + i) as u32);
+    for i in 0..m {
+        bld.add_edge(x(0), a, y(i));
+        bld.add_edge(x(i), a, y(0));
+        bld.add_edge(y(0), b, z(i));
+        bld.add_edge(y(i), b, z(0));
+        bld.add_edge(z(0), a, x(i));
+        bld.add_edge(z(i), a, x(0));
+    }
+    bld.freeze()
+}
+
 struct ShapeResult {
     shape: &'static str,
     nodes: usize,
@@ -103,6 +131,13 @@ struct ShapeResult {
     pipeline_ms: f64,
     per_source_sweeps: bool,
     eliminated_vars: usize,
+    /// Cyclic cores routed to the leapfrog intersection by the Auto
+    /// strategy (0 on tree shapes).
+    leapfrog_components: usize,
+    /// Median of the same pipeline run with the leapfrog intersection
+    /// disabled (`Strategy::Backtrack`) — only measured on cyclic shapes,
+    /// where `pipeline_ms` is the leapfrog lane.
+    backtrack_ms: Option<f64>,
     /// Governed smoke outcome when `CXRPQ_SMOKE_MAX_STEPS` is set:
     /// (aborted?, partial answer count).
     governed: Option<(bool, usize)>,
@@ -139,6 +174,7 @@ fn run_shape(
     let stats = stats.as_ref();
     let per_source_sweeps = stats.map(|s| s.per_source_sweeps).unwrap_or(false);
     let eliminated_vars = stats.map(|s| s.eliminated_vars).unwrap_or(0);
+    let leapfrog_components = stats.map(|s| s.leapfrog_components).unwrap_or(0);
 
     // Governed smoke: the same solve under an aggressive fuel budget must
     // terminate (bounded by the budget), never panic, and only ever
@@ -180,8 +216,43 @@ fn run_shape(
         pipeline_ms,
         per_source_sweeps,
         eliminated_vars,
+        leapfrog_components,
+        backtrack_ms: None,
         governed,
     }
+}
+
+/// A cyclic shape measured under three enumeration lanes: the naive
+/// reference, the pipeline with the leapfrog intersection (the Auto
+/// routing — asserted), and the same pipeline with leapfrog disabled.
+fn run_cyclic_shape(
+    shape: &'static str,
+    db: &GraphDb,
+    query_edges: &[(&str, &str, &str)],
+    output: &[&str],
+    iters: usize,
+) -> ShapeResult {
+    let mut r = run_shape(shape, db, query_edges, output, iters);
+    assert!(
+        r.leapfrog_components >= 1,
+        "{shape}: a cyclic core must route to leapfrog under Auto"
+    );
+    let mut alpha = db.alphabet().clone();
+    let q = Crpq::build(query_edges, output, &mut alpha).unwrap();
+    let ev = CrpqEvaluator::new(&q);
+    let back = SolveOptions::pipeline()
+        .projected()
+        .with_strategy(Strategy::Backtrack);
+    let (ans_back, _) = ev.answers_opts(db, &back);
+    let (ans_leap, _) = ev.answers_opts(db, &SolveOptions::pipeline().projected());
+    assert_eq!(
+        ans_back, ans_leap,
+        "{shape}: forced backtrack disagrees with leapfrog"
+    );
+    r.backtrack_ms = Some(median_ms(iters, || {
+        std::hint::black_box(ev.answers_opts(db, &back));
+    }));
+    r
 }
 
 fn main() {
@@ -324,6 +395,64 @@ fn main() {
         assert_eq!(r2.eliminated_vars, 2, "line_proj: y and z existential");
         results.push(r2);
     }
+    // Cyclic cores: the worst-case-optimal leapfrog lane vs the forced
+    // backtracker vs naive.
+    //
+    // The triangle runs on the AGM worst-case "spoke" instance, where any
+    // join-at-a-time plan is provably Θ(m²) while the output (and the
+    // leapfrog run) is near-linear; the dense diamond and 4-clique run on
+    // a uniform random multigraph, where candidate sets are wide but the
+    // multiway intersections are narrow.
+    {
+        let m = 400 / scale.min(2);
+        let db = spoke_triangle(m);
+        results.push(run_cyclic_shape(
+            "triangle",
+            &db,
+            &[("x", "a", "y"), ("y", "b", "z"), ("z", "a", "x")],
+            &["x", "y", "z"],
+            iters,
+        ));
+    }
+    let dense = |seed: u64| {
+        let n = 480 / scale;
+        random_ab_rare_c(n, 16 * n, 0, seed)
+    };
+    // Dense diamond: a 4-cycle with both joins on common labels (unlike
+    // the tree-narrowed "diamond" shape above, nothing is rare here).
+    {
+        let db = dense(0xdd);
+        results.push(run_cyclic_shape(
+            "diamond_dense",
+            &db,
+            &[
+                ("x", "a", "y"),
+                ("y", "b", "w"),
+                ("x", "b", "z"),
+                ("z", "a", "w"),
+            ],
+            &["x", "w"],
+            iters,
+        ));
+    }
+    // 4-clique: six atoms, every variable in three cycles.
+    {
+        let db = dense(0xc14);
+        results.push(run_cyclic_shape(
+            "clique4",
+            &db,
+            &[
+                ("x", "a", "y"),
+                ("x", "b", "z"),
+                ("x", "a", "w"),
+                ("y", "b", "z"),
+                ("y", "a", "w"),
+                ("z", "b", "w"),
+            ],
+            &["x", "w"],
+            iters,
+        ));
+    }
 
     println!(
         "{:<10} {:>6} {:>6} {:>5} {:>8} {:>5} | {:>10} {:>11} {:>7} | fills",
@@ -347,6 +476,25 @@ fn main() {
                 "wavefront"
             },
         );
+    }
+
+    // The strategy comparison on cyclic shapes: pipeline_ms above is the
+    // leapfrog lane; this table adds the forced-backtrack lane.
+    if results.iter().any(|r| r.backtrack_ms.is_some()) {
+        println!(
+            "\n{:<14} {:>11} {:>11} {:>7}",
+            "cyclic shape", "backtrack", "leapfrog", "x"
+        );
+        for r in results.iter().filter(|r| r.backtrack_ms.is_some()) {
+            let back = r.backtrack_ms.unwrap();
+            println!(
+                "{:<14} {:>9.3}ms {:>9.3}ms {:>6.2}x",
+                r.shape,
+                back,
+                r.pipeline_ms,
+                back / r.pipeline_ms,
+            );
+        }
     }
 
     if let Some(budget) = smoke_budget() {
@@ -376,11 +524,21 @@ fn main() {
     json.push_str(if fast { "\"fast\"" } else { "\"full\"" });
     json.push_str(",\n  \"shapes\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let strategy = match r.backtrack_ms {
+            Some(back) => format!(
+                ", \"leapfrog_components\": {}, \"backtrack_ms\": {:.4}, \
+                 \"leapfrog_speedup\": {:.2}",
+                r.leapfrog_components,
+                back,
+                back / r.pipeline_ms
+            ),
+            None => String::new(),
+        };
         json.push_str(&format!(
             "    {{\"shape\": \"{}\", \"nodes\": {}, \"edges\": {}, \"atoms\": {}, \
              \"answers\": {}, \"eliminated_vars\": {}, \"naive_ms\": {:.4}, \
              \"pipeline_ms\": {:.4}, \"pipeline_speedup\": {:.2}, \
-             \"per_source_sweeps\": {}}}{}\n",
+             \"per_source_sweeps\": {}{}}}{}\n",
             r.shape,
             r.nodes,
             r.edges,
@@ -391,6 +549,7 @@ fn main() {
             r.pipeline_ms,
             r.naive_ms / r.pipeline_ms,
             r.per_source_sweeps,
+            strategy,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

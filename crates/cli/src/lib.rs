@@ -161,6 +161,29 @@ fn render_pipeline(out: &mut String, stats: Option<&cxrpq_core::PipelineStats>) 
             eliminated
         );
     }
+    render_strategy(out, s);
+}
+
+/// Renders the enumeration strategy line: which connected components of the
+/// query core were routed to worst-case-optimal leapfrog intersection versus
+/// the tree backtracker, and how many multiway seeks the run performed.
+fn render_strategy(out: &mut String, s: &cxrpq_core::PipelineStats) {
+    if s.leapfrog_components == 0 && s.tree_components == 0 {
+        return;
+    }
+    if s.leapfrog_components > 0 {
+        let _ = writeln!(
+            out,
+            "strategy: leapfrog ({} cyclic component(s), {} tree) · {} seek(s)",
+            s.leapfrog_components, s.tree_components, s.intersection_seeks
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "strategy: backtrack ({} tree component(s))",
+            s.tree_components
+        );
+    }
 }
 
 /// Options for [`eval`].
@@ -485,6 +508,30 @@ edge m4 b v
         // The simple engine reports the solver pipeline's per-phase stats.
         assert!(out.contains("pipeline: order ["), "{out}");
         assert!(out.contains("domains"), "{out}");
+        // A single-atom core is a tree, so the backtracker handles it.
+        assert!(
+            out.contains("strategy: backtrack (1 tree component(s))"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn eval_reports_leapfrog_strategy_on_cyclic_cores() {
+        let graph = "\
+alphabet a b c
+edge n0 a n1
+edge n1 b n2
+edge n2 c n0
+edge n0 a n3
+";
+        let query = "ans(x, y, z) <- (x) -[ a ]-> (y), (y) -[ b ]-> (z), (z) -[ c ]-> (x)";
+        let out = eval(graph, query, EvalCmdOptions::default()).unwrap();
+        assert!(
+            out.contains("strategy: leapfrog (1 cyclic component(s), 0 tree)"),
+            "{out}"
+        );
+        assert!(out.contains("seek(s)"), "{out}");
+        assert!(out.contains("(n0, n1, n2)"), "{out}");
     }
 
     #[test]

@@ -128,6 +128,14 @@ impl Domains {
         self.iter(v).collect()
     }
 
+    /// The raw domain bitset of `v` — a sorted ascending candidate set with
+    /// `seek_ge`, which lets the leapfrog enumerator join the semi-joined
+    /// domain into its multiway intersection as one more sorted iterator.
+    #[inline]
+    pub fn bits(&self, v: NodeVar) -> &DenseBitSet {
+        &self.doms[v.index()]
+    }
+
     /// Iterates the candidates of `v` in ascending node order without
     /// materializing them (the solver's seed sweeps consume this chunkwise).
     pub fn iter(&self, v: NodeVar) -> impl Iterator<Item = NodeId> + '_ {

@@ -70,7 +70,7 @@ pub use plan::SolvePlan;
 pub use query_text::{parse_query, render_query, QueryTextError};
 pub use relation::{RegularRelation, RelLabel, TupComp};
 pub use simple_eval::SimpleEvaluator;
-pub use solve::{PipelineStats, SolveOptions};
+pub use solve::{PipelineStats, SolveOptions, Strategy};
 pub use union_query::{UnionCrpq, UnionEcrpq};
 pub use vsf_eval::VsfEvaluator;
 pub use witness::{edge_path, QueryWitness};

@@ -15,6 +15,24 @@
 //! half-bound extensions compete, so join order follows the data instead of
 //! query-text accident.
 //!
+//! **Cyclic cores.** The plan classifies query cores by the *cycle rank*
+//! of the free-edge subgraph: over the variables and free-edge constraints
+//! of each edge-connected component, a component is a tree iff
+//! `incidences = vars + edges − 1`, and any excess incidence closes a
+//! cycle — two parallel atoms over the same variable pair count, exactly
+//! because a multiway intersection can exploit them. Only free edges enter
+//! the rank: the leapfrog intersection operates on per-edge candidate
+//! sets, so a variable group overlapping an edge in two variables (the
+//! shape every simple-CXRPQ atom compiles to) is a Berge cycle it cannot
+//! exploit and must not trigger on — groups merge components for
+//! connectivity but never add rank. Cyclic cores are where binary
+//! semi-join backtracking is provably suboptimal (triangles, dense
+//! diamonds), so the enumerator routes their variables to the
+//! worst-case-optimal leapfrog intersection ([`SolvePlan::cyclic_var`])
+//! while trees keep the plain backtracker. The classification runs after
+//! the analyzer's subsumption pass has dropped redundant parallel atoms,
+//! so minimizable pseudo-cycles don't trigger it.
+//!
 //! **Projection split.** The plan also records which node variables are in
 //! the query's *output tuple* and where each variable is last used
 //! ([`SolvePlan::last_use`]): the variable order decomposes into an
@@ -29,7 +47,7 @@
 use crate::pattern::NodeVar;
 use crate::solve::{FreeEdge, Group};
 use cxrpq_automata::{Label, Nfa, StateId};
-use cxrpq_graph::GraphDb;
+use cxrpq_graph::{GraphDb, Symbol};
 
 /// Estimated cost of searching the product of `db` with `nfa`: each
 /// `Sym(a)` transition can expand over every `a`-labelled arc, each `Any`
@@ -138,6 +156,64 @@ pub(crate) fn walker_prune_cost(nfa: &Nfa, db: &GraphDb) -> Option<u64> {
     None
 }
 
+/// The accepted symbols of `nfa` when its language is a non-empty set of
+/// single-symbol words, else `None`. For such an atom the database's own
+/// label-sorted CSR rows *are* its reach adjacency — `successors_with` /
+/// `predecessors_with` runs can feed a leapfrog intersection directly, with
+/// no product search and no materialization. The check is conservative:
+/// ε must not be accepted (a final state in the start closure), every
+/// `Sym` step from the start closure must land in a closure that is final
+/// and has no further non-ε transitions (so no longer word — and no dead
+/// branch that would make the run a strict over-approximation), and `Any`
+/// steps are left to the general reach path.
+pub(crate) fn single_step_symbols(nfa: &Nfa) -> Option<Vec<Symbol>> {
+    let n = nfa.state_count();
+    let closure = |seed: StateId| -> Vec<bool> {
+        let mut set = vec![false; n];
+        set[seed.index()] = true;
+        nfa.eps_close(&mut set);
+        set
+    };
+    let start = closure(nfa.start());
+    if (0..n).any(|i| start[i] && nfa.is_final(StateId(i as u32))) {
+        return None; // accepts ε
+    }
+    let mut syms: Vec<Symbol> = Vec::new();
+    for (i, _) in start.iter().enumerate().filter(|&(_, &s)| s) {
+        for &(l, t) in nfa.transitions(StateId(i as u32)) {
+            match l {
+                Label::Eps => {}
+                Label::Any => return None,
+                Label::Sym(a) => {
+                    let tc = closure(t);
+                    let mut has_final = false;
+                    for (j, &inside) in tc.iter().enumerate() {
+                        if !inside {
+                            continue;
+                        }
+                        let sj = StateId(j as u32);
+                        has_final |= nfa.is_final(sj);
+                        if nfa.transitions(sj).iter().any(|&(l2, _)| l2 != Label::Eps) {
+                            return None; // a second step is possible
+                        }
+                    }
+                    if !has_final {
+                        return None; // dead branch: runs would over-approximate
+                    }
+                    if !syms.contains(&a) {
+                        syms.push(a);
+                    }
+                }
+            }
+        }
+    }
+    if syms.is_empty() {
+        return None; // empty language — nothing for a run scan to yield
+    }
+    syms.sort_unstable();
+    Some(syms)
+}
+
 /// A constraint of the plan's constraint graph, with its endpoints and
 /// estimated cost.
 struct PlanConstraint {
@@ -181,6 +257,16 @@ pub struct SolvePlan {
     /// backtracking (0 when no output variable occurs in a constraint,
     /// e.g. Boolean queries, where the whole order is existential).
     pub prefix_len: usize,
+    /// Per-variable: whether the variable lies in a *cyclic* core of the
+    /// free-edge subgraph (see the module docs' cycle-rank criterion).
+    /// The enumerator routes these variables to the leapfrog multiway
+    /// intersection under [`Strategy::Auto`](crate::solve::Strategy).
+    pub cyclic_var: Vec<bool>,
+    /// Number of cyclic edge-connected cores of the free-edge subgraph.
+    pub cyclic_components: usize,
+    /// Number of connected components of the full constraint graph
+    /// (groups included) whose free edges close no cycle.
+    pub tree_components: usize,
 }
 
 impl SolvePlan {
@@ -318,6 +404,84 @@ impl SolvePlan {
                 prefix_len = pos + 1;
             }
         }
+
+        // Cyclic-core detection. Connectivity uses every constraint (groups
+        // merge the variables they touch), but cycle rank is measured over
+        // the free-edge subgraph only: the leapfrog intersection operates on
+        // per-edge candidate sets, so a core is routed to it exactly when
+        // its *edges* close a cycle. A group overlapping an edge in two
+        // variables is a Berge cycle the intersection cannot exploit and
+        // must not trigger on. Per edge-connected component, a tree has
+        // incidences = vars + edges − 1; any excess closes a cycle.
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]]; // path halving
+                x = parent[x];
+            }
+            x
+        }
+        let mut parent: Vec<usize> = (0..node_count).collect();
+        for c in &constraints {
+            let mut vars = c.vars.iter().map(|v| v.index());
+            if let Some(first) = vars.next() {
+                let r = find(&mut parent, first);
+                for v in vars {
+                    let rv = find(&mut parent, v);
+                    parent[rv] = r;
+                }
+            }
+        }
+        let mut eparent: Vec<usize> = (0..node_count).collect();
+        for e in free {
+            let r = find(&mut eparent, e.src.index());
+            let rv = find(&mut eparent, e.dst.index());
+            eparent[rv] = r;
+        }
+        // Per edge-component tallies: (vars, edges, incidences).
+        let mut tally: std::collections::HashMap<usize, (usize, usize, usize)> =
+            std::collections::HashMap::new();
+        let mut touched = vec![false; node_count];
+        for e in free {
+            let (s, d) = (e.src.index(), e.dst.index());
+            for v in [s, d] {
+                if !touched[v] {
+                    touched[v] = true;
+                    tally.entry(find(&mut eparent, v)).or_default().0 += 1;
+                }
+            }
+            let t = tally.entry(find(&mut eparent, s)).or_default();
+            t.1 += 1;
+            t.2 += if s == d { 1 } else { 2 };
+        }
+        let mut cyclic_var = vec![false; node_count];
+        let mut cyclic_components = 0usize;
+        let mut cyclic_roots: Vec<usize> = Vec::new();
+        for (&root, &(vars, edges, inc)) in &tally {
+            if inc > vars + edges - 1 {
+                cyclic_components += 1;
+                cyclic_roots.push(root);
+            }
+        }
+        for v in &var_order {
+            if touched[v.index()] && cyclic_roots.contains(&find(&mut eparent, v.index())) {
+                cyclic_var[v.index()] = true;
+            }
+        }
+        // Tree components: full constraint-graph components (groups
+        // included) whose edges close no cycle.
+        let mut comp_roots: Vec<usize> = Vec::new();
+        let mut cyclic_full: Vec<usize> = Vec::new();
+        for v in &var_order {
+            let r = find(&mut parent, v.index());
+            if !comp_roots.contains(&r) {
+                comp_roots.push(r);
+            }
+            if cyclic_var[v.index()] && !cyclic_full.contains(&r) {
+                cyclic_full.push(r);
+            }
+        }
+        let tree_components = comp_roots.len() - cyclic_full.len();
+
         Self {
             edge_cost,
             group_cost,
@@ -325,6 +489,9 @@ impl SolvePlan {
             seed_rank,
             last_use,
             prefix_len,
+            cyclic_var,
+            cyclic_components,
+            tree_components,
         }
     }
 
@@ -468,6 +635,67 @@ mod tests {
         let plan2 = SolvePlan::build(2, &free2, &[], &[], &[], &db);
         assert_eq!(plan2.prefix_len, 0);
         assert_eq!(plan2.existential_vars(), 2);
+    }
+
+    #[test]
+    fn cycle_rank_classifies_components() {
+        let db = skewed_db();
+        // Triangle {0,1,2} + pendant chain 2–3: one cyclic component.
+        let free = vec![
+            edge(&db, 0, 1, "a"),
+            edge(&db, 1, 2, "b"),
+            edge(&db, 2, 0, "b"),
+            edge(&db, 2, 3, "a"),
+        ];
+        let plan = SolvePlan::build(4, &free, &[], &[], &[], &db);
+        assert_eq!(plan.cyclic_components, 1);
+        assert_eq!(plan.tree_components, 0);
+        assert!(plan.cyclic_var.iter().take(4).all(|&c| c));
+
+        // Pure chain: a tree.
+        let free = vec![edge(&db, 0, 1, "a"), edge(&db, 1, 2, "b")];
+        let plan = SolvePlan::build(3, &free, &[], &[], &[], &db);
+        assert_eq!((plan.cyclic_components, plan.tree_components), (0, 1));
+        assert!(plan.cyclic_var.iter().all(|&c| !c));
+
+        // Parallel atoms over the same pair close an incidence cycle.
+        let free = vec![edge(&db, 0, 1, "a"), edge(&db, 0, 1, "b")];
+        let plan = SolvePlan::build(2, &free, &[], &[], &[], &db);
+        assert_eq!(plan.cyclic_components, 1);
+        assert!(plan.cyclic_var[0] && plan.cyclic_var[1]);
+
+        // A self-loop atom alone is not a cycle of the incidence graph.
+        let free = vec![edge(&db, 0, 0, "a")];
+        let plan = SolvePlan::build(1, &free, &[], &[], &[], &db);
+        assert_eq!((plan.cyclic_components, plan.tree_components), (0, 1));
+
+        // Mixed: triangle {0,1,2} plus a disjoint chain {3,4}.
+        let free = vec![
+            edge(&db, 0, 1, "a"),
+            edge(&db, 1, 2, "b"),
+            edge(&db, 2, 0, "b"),
+            edge(&db, 3, 4, "a"),
+        ];
+        let plan = SolvePlan::build(5, &free, &[], &[], &[], &db);
+        assert_eq!((plan.cyclic_components, plan.tree_components), (1, 1));
+        assert!(plan.cyclic_var[0] && !plan.cyclic_var[3] && !plan.cyclic_var[4]);
+    }
+
+    #[test]
+    fn single_step_symbols_accepts_only_length_one_languages() {
+        let mut a = Alphabet::from_chars("abc");
+        let m = |a: &mut Alphabet, s: &str| Nfa::from_regex(&parse_regex(s, a).unwrap());
+        let sym = |a: &mut Alphabet, c: &str| a.sym(c);
+        let (sa, sb) = (sym(&mut a, "a"), sym(&mut a, "b"));
+        assert_eq!(single_step_symbols(&m(&mut a, "a")), Some(vec![sa]));
+        let alt = single_step_symbols(&m(&mut a, "a|b")).unwrap();
+        assert_eq!(alt, vec![sa, sb]);
+        // Longer words, ε-accepting loops, Σ-steps: all general.
+        assert!(single_step_symbols(&m(&mut a, "ab")).is_none());
+        assert!(single_step_symbols(&m(&mut a, "a*")).is_none());
+        assert!(single_step_symbols(&m(&mut a, "a+")).is_none());
+        assert!(single_step_symbols(&m(&mut a, "a|bc")).is_none());
+        assert!(single_step_symbols(&crate::sync::sigma_star_nfa()).is_none());
     }
 
     #[test]

@@ -564,6 +564,12 @@ pub struct ReachCache {
     generation: Option<u64>,
     fwd: HashMap<NodeId, std::rc::Rc<HashSet<NodeId>>>,
     bwd: HashMap<NodeId, std::rc::Rc<HashSet<NodeId>>>,
+    /// Sorted ascending views of `fwd`/`bwd` entries, materialized lazily
+    /// once per `(source, direction)` for the leapfrog enumerator's
+    /// multiway intersections and the solver's sorted candidate sweeps.
+    /// Invalidation rides the same label-aware `bind` as the sets.
+    fwd_sorted: HashMap<NodeId, std::rc::Rc<[NodeId]>>,
+    bwd_sorted: HashMap<NodeId, std::rc::Rc<[NodeId]>>,
     scratch: ReachScratch,
     wave: WaveScratch,
     gov: Option<Arc<Governor>>,
@@ -596,6 +602,8 @@ impl ReachCache {
             generation: None,
             fwd: HashMap::new(),
             bwd: HashMap::new(),
+            fwd_sorted: HashMap::new(),
+            bwd_sorted: HashMap::new(),
             scratch: ReachScratch::default(),
             wave: WaveScratch::default(),
             gov: None,
@@ -650,6 +658,8 @@ impl ReachCache {
                 if !keep {
                     self.fwd.clear();
                     self.bwd.clear();
+                    self.fwd_sorted.clear();
+                    self.bwd_sorted.clear();
                 }
                 self.generation = Some(db.generation());
             }
@@ -786,6 +796,44 @@ impl ReachCache {
                 }
             }
         }
+    }
+
+    /// [`ReachCache::targets`] as a sorted ascending row, materialized once
+    /// per source and memoized alongside the set (shared via `Rc`, so
+    /// repeat visits and concurrent leapfrog sets cost one clone). An
+    /// aborted fill returns its (sound, partial) row unmemoized — the same
+    /// abort hygiene as the sets.
+    pub fn targets_sorted(&mut self, db: &GraphDb, u: NodeId) -> std::rc::Rc<[NodeId]> {
+        self.bind(db);
+        if let Some(r) = self.fwd_sorted.get(&u) {
+            return r.clone();
+        }
+        let set = self.targets(db, u);
+        let mut row: Vec<NodeId> = set.iter().copied().collect();
+        row.sort_unstable();
+        let row: std::rc::Rc<[NodeId]> = row.into();
+        if !self.governor().is_aborted() {
+            self.governor().charge_mem(row.len() * 4 + 48);
+            self.fwd_sorted.insert(u, row.clone());
+        }
+        row
+    }
+
+    /// The backward counterpart of [`ReachCache::targets_sorted`].
+    pub fn sources_sorted(&mut self, db: &GraphDb, v: NodeId) -> std::rc::Rc<[NodeId]> {
+        self.bind(db);
+        if let Some(r) = self.bwd_sorted.get(&v) {
+            return r.clone();
+        }
+        let set = self.sources(db, v);
+        let mut row: Vec<NodeId> = set.iter().copied().collect();
+        row.sort_unstable();
+        let row: std::rc::Rc<[NodeId]> = row.into();
+        if !self.governor().is_aborted() {
+            self.governor().charge_mem(row.len() * 4 + 48);
+            self.bwd_sorted.insert(v, row.clone());
+        }
+        row
     }
 
     /// The distinct nodes of `keys` with no memoized entry in the given

@@ -33,6 +33,28 @@
 //!    cheapest half-bound constraint; early-exit semantics (`on_solution`
 //!    returning `true`) are unchanged.
 //!
+//! **Worst-case-optimal leapfrog intersection.** On *cyclic* constraint
+//! components (detected by the planner's cycle-rank classification — see
+//! [`crate::plan`]) binary extension is provably suboptimal: extending a
+//! triangle `x -a-> y -b-> z -c-> x` along one edge materializes every
+//! `(x, y, z)` wedge before the closing atom filters it. The enumerator
+//! therefore switches to a multiway sorted-set intersection when several
+//! pending constraints have already bound their other endpoint on the
+//! variable being extended: every such constraint contributes a sorted
+//! candidate set, the pruned domain joins as one more sorted set, and a
+//! leapfrog (seek-to-max) sweep with binary-search `seek_ge` emits exactly
+//! the common members — the candidates that *every* incident constraint
+//! supports — binding each and marking all participating constraints
+//! satisfied at once. Two iterator kinds feed the intersection: direct
+//! merged CSR [`EdgeRun`]s for atoms whose language is a set of
+//! single-symbol words (the database rows *are* their reach adjacency), and
+//! sorted reach-adjacency rows materialized once per `(source, atom)` from
+//! the [`ReachCache`] for general regular-path atoms. [`Strategy`] selects
+//! the routing: `Auto` (cyclic components leapfrog, trees keep the plain
+//! backtracker), or a forced `Leapfrog`/`Backtrack` override for the
+//! differential suites. Governor checkpoints and projection-pushdown dedup
+//! carry over unchanged — a leapfrog binding is a binding like any other.
+//!
 //! **Projection pushdown** ([`SolveOptions::projected`]): when on, the
 //! `required` tuple is treated as an *output projection*. Variables outside
 //! it are *existential* — the moment every output variable is bound, the
@@ -55,12 +77,13 @@
 use crate::domains::Domains;
 use crate::governor::Governor;
 use crate::pattern::NodeVar;
-use crate::plan::SolvePlan;
+use crate::plan::{single_step_symbols, SolvePlan};
 use crate::reach::{ReachCache, ReachStats};
 use crate::sync::{sync_sources_governed, sync_targets_governed, SyncSearch, SyncSpec};
-use cxrpq_graph::{GraphDb, NodeId};
+use cxrpq_graph::{DenseBitSet, EdgeRun, GraphDb, NodeId, Symbol};
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasher, Hasher};
+use std::rc::Rc;
 use std::sync::Arc;
 
 /// A single-walker constraint `(src) -L(M)-> (dst)`.
@@ -71,6 +94,21 @@ pub struct FreeEdge {
     pub dst: NodeVar,
     /// Reachability cache for the edge automaton.
     pub cache: ReachCache,
+}
+
+impl FreeEdge {
+    /// The edge's candidate targets (or sources, `forward: false`) of
+    /// `from`, sorted ascending for deterministic extension order.
+    fn targets_sorted(&mut self, db: &GraphDb, from: NodeId, forward: bool) -> Vec<NodeId> {
+        let set = if forward {
+            self.cache.targets(db, from)
+        } else {
+            self.cache.sources(db, from)
+        };
+        let mut v: Vec<NodeId> = set.iter().copied().collect();
+        v.sort();
+        v
+    }
 }
 
 /// A synchronized multi-walker constraint.
@@ -104,6 +142,22 @@ impl Group {
             self.reversed = Some(self.spec.reversed());
         }
     }
+}
+
+/// Enumeration strategy for phase 3 (see the module docs' leapfrog
+/// section).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Strategy {
+    /// Route cyclic constraint components to the leapfrog multiway
+    /// intersection, keep trees on the plain backtracker.
+    #[default]
+    Auto,
+    /// Force the leapfrog intersection wherever several bound constraints
+    /// meet an unbound variable, cyclic or not (differential testing).
+    Leapfrog,
+    /// Never intersect multiway — the PR 5 binary-extension backtracker
+    /// (differential testing and the bench baseline).
+    Backtrack,
 }
 
 /// Knobs for [`Problem::solve_with`]: which pipeline phases run.
@@ -153,6 +207,10 @@ pub struct SolveOptions {
     /// guaranteed free of partially-filled entries. Read the verdict from
     /// the governor afterwards ([`Governor::verdict`]).
     pub governor: Option<Arc<Governor>>,
+    /// Enumeration strategy (see [`Strategy`]). Leapfrog routing needs the
+    /// plan's component classification, so under `plan: false` every
+    /// strategy degrades to the backtracker.
+    pub strategy: Strategy,
 }
 
 impl SolveOptions {
@@ -170,6 +228,7 @@ impl SolveOptions {
             analyze: true,
             containment_budget: Self::DEFAULT_CONTAINMENT_BUDGET,
             governor: None,
+            strategy: Strategy::Auto,
         }
     }
 
@@ -187,6 +246,7 @@ impl SolveOptions {
             analyze: true,
             containment_budget: Self::DEFAULT_CONTAINMENT_BUDGET,
             governor: None,
+            strategy: Strategy::Auto,
         }
     }
 
@@ -203,6 +263,7 @@ impl SolveOptions {
             analyze: false,
             containment_budget: Self::DEFAULT_CONTAINMENT_BUDGET,
             governor: None,
+            strategy: Strategy::Backtrack,
         }
     }
 
@@ -227,6 +288,14 @@ impl SolveOptions {
     /// `SolveOptions::pipeline().governed(gov)`.
     pub fn governed(mut self, gov: Arc<Governor>) -> Self {
         self.governor = Some(gov);
+        self
+    }
+
+    /// Overrides the enumeration strategy (see [`Strategy`]); composes with
+    /// any preset, e.g.
+    /// `SolveOptions::pipeline().with_strategy(Strategy::Backtrack)`.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
         self
     }
 }
@@ -268,6 +337,15 @@ pub struct PipelineStats {
     /// Boolean instances (the existential fast path takes the first
     /// supported candidate at every level).
     pub backtrack_steps: usize,
+    /// Constraint components routed to the leapfrog multiway intersection
+    /// ([`Strategy`]): the cyclic components under `Auto`, every component
+    /// under `Leapfrog`, zero under `Backtrack` or without a plan.
+    pub leapfrog_components: usize,
+    /// Constraint components kept on the plain backtracker.
+    pub tree_components: usize,
+    /// `seek_ge` probes issued by leapfrog intersections during
+    /// enumeration (0 when no variable took the leapfrog path).
+    pub intersection_seeks: usize,
     /// The static analyzer's report (`None` when [`SolveOptions::analyze`]
     /// was off). A statically refuted query records `analysis` with
     /// `stats.unsat == true` and all other fields empty: no plan, no
@@ -317,12 +395,59 @@ struct EnumCtx<'a> {
     /// The run's governor (the shared disabled one when ungoverned): one
     /// checkpoint per recursion node, candidate loops drain on a trip.
     gov: &'a Governor,
+    /// Per-variable: extend by leapfrog multiway intersection instead of
+    /// binary extension (empty = all backtrack, e.g. naive runs).
+    lf_vars: Vec<bool>,
+    /// Per free edge: the accepted symbols when the atom's language is a
+    /// set of single-symbol words, so its candidate sets are direct CSR
+    /// runs ([`single_step_symbols`]); `None` routes through materialized
+    /// sorted reach rows. Only populated when some variable leapfrogs.
+    single_step: Vec<Option<Vec<Symbol>>>,
 }
 
 impl EnumCtx<'_> {
     #[inline]
     fn admits(&self, v: NodeVar, n: NodeId) -> bool {
         self.domains.is_none_or(|d| d.contains(v, n))
+    }
+
+    #[inline]
+    fn leapfrogs(&self, v: NodeVar) -> bool {
+        self.lf_vars.get(v.index()).copied().unwrap_or(false)
+    }
+}
+
+/// One sorted ascending candidate set of a leapfrog intersection, with a
+/// monotone `seek_ge` cursor (see the module docs' leapfrog section).
+enum SortedSet<'a> {
+    /// A single-step atom's candidates straight off the CSR: one merged
+    /// base+delta run per accepted symbol, each `(label, neighbour)`-sorted
+    /// — the union view seeks every run and takes the minimum.
+    Runs(Vec<(Symbol, EdgeRun<'a>)>),
+    /// A materialized sorted reach-adjacency row (general regular-path
+    /// atom), shared with the [`ReachCache`]'s per-source memo.
+    Row(Rc<[NodeId]>, usize),
+    /// The variable's pruned domain.
+    Bits(&'a DenseBitSet),
+}
+
+impl SortedSet<'_> {
+    /// The smallest member `≥ n`, or `None` when the set is exhausted
+    /// above it. Callers seek with non-decreasing `n` (the leapfrog
+    /// frontier), which lets the row cursor advance monotonically.
+    #[inline]
+    fn seek_ge(&mut self, n: NodeId) -> Option<NodeId> {
+        match self {
+            SortedSet::Runs(runs) => runs
+                .iter()
+                .filter_map(|&(a, r)| r.seek_ge((a, n)).map(|(_, v)| v))
+                .min(),
+            SortedSet::Row(row, pos) => {
+                *pos += row[*pos..].partition_point(|&v| v < n);
+                row.get(*pos).copied()
+            }
+            SortedSet::Bits(b) => b.seek_ge(n.index()).map(|i| NodeId(i as u32)),
+        }
     }
 }
 
@@ -429,6 +554,8 @@ struct EnumState {
     progress: u64,
     /// Candidate bindings retracted after a fruitless subtree.
     backtracks: usize,
+    /// `seek_ge` probes issued by leapfrog intersections.
+    seeks: usize,
 }
 
 impl EnumState {
@@ -844,6 +971,30 @@ impl Problem {
         // One base stats value per plan; the prune branch patches in the
         // fixpoint outcome (including its per-source verdict — the `move`
         // capture of the probe value only feeds the prune-skipped branch).
+        // Strategy routing: which variables extend by leapfrog multiway
+        // intersection. `Auto` follows the plan's cycle-rank verdict;
+        // forced overrides flip every constrained variable one way. The
+        // naive path (no plan) has no component map and always backtracks.
+        let (lf_vars, leapfrog_components, tree_components) = match (&plan, opts.strategy) {
+            (Some(p), Strategy::Auto) if opts.plan => {
+                (p.cyclic_var.clone(), p.cyclic_components, p.tree_components)
+            }
+            (Some(p), Strategy::Leapfrog) if opts.plan => (
+                p.seed_rank.iter().map(|&r| r != usize::MAX).collect(),
+                p.cyclic_components + p.tree_components,
+                0,
+            ),
+            (Some(p), _) => (Vec::new(), 0, p.cyclic_components + p.tree_components),
+            (None, _) => (Vec::new(), 0, 0),
+        };
+        let single_step: Vec<Option<Vec<Symbol>>> = if lf_vars.contains(&true) {
+            self.free_edges
+                .iter()
+                .map(|e| single_step_symbols(e.cache.nfa()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let base_stats = move |p: &SolvePlan| PipelineStats {
             var_order: if opts.plan {
                 p.var_order.clone()
@@ -858,6 +1009,9 @@ impl Problem {
             domain_after: Vec::new(),
             eliminated_vars,
             backtrack_steps: 0,
+            leapfrog_components,
+            tree_components,
+            intersection_seeks: 0,
             analysis: None,
         };
         let domains = if prune_now {
@@ -914,6 +1068,8 @@ impl Problem {
             domains: domains.as_ref(),
             per_source_sweeps,
             gov,
+            lf_vars,
+            single_step,
         };
         let mut is_output = vec![false; self.node_count];
         for v in required {
@@ -949,10 +1105,12 @@ impl Problem {
             proj_buf: Vec::with_capacity(required.len()),
             progress: 0,
             backtracks: 0,
+            seeks: 0,
         };
         let r = self.recurse(db, &ctx, &mut st, on_solution);
         if let Some(ps) = &mut self.pipeline {
             ps.backtrack_steps = st.backtracks;
+            ps.intersection_seeks = st.seeks;
         }
         r
     }
@@ -1071,6 +1229,33 @@ impl Problem {
             let (src, dst) = (self.free_edges[i].src, self.free_edges[i].dst);
             let (bs, bd) = (st.bindings[src.index()], st.bindings[dst.index()]);
             let var = if bs.is_some() { dst } else { src };
+            // Worst-case-optimal routing: when `var` lies in a leapfrog
+            // component and two or more pending constraints have already
+            // bound their other endpoint on it, intersect all their sorted
+            // candidate sets at once instead of extending along one edge
+            // and filtering with the rest (which materializes every wedge
+            // of a cyclic core). With a single incident bound constraint
+            // the intersection degenerates to the plain extension below.
+            if ctx.leapfrogs(var) {
+                let mut parts: Vec<(usize, bool, NodeId)> = Vec::new();
+                for (j, (e, done)) in self.free_edges.iter().zip(st.edge_done.iter()).enumerate() {
+                    if *done || e.src == e.dst {
+                        continue;
+                    }
+                    if e.dst == var {
+                        if let Some(u) = st.bindings[e.src.index()] {
+                            parts.push((j, true, u));
+                        }
+                    } else if e.src == var {
+                        if let Some(u) = st.bindings[e.dst.index()] {
+                            parts.push((j, false, u));
+                        }
+                    }
+                }
+                if parts.len() >= 2 {
+                    return self.leapfrog_extend(db, ctx, st, var, &parts, on_solution);
+                }
+            }
             // Terminal projection leaf: binding `var` completes the output
             // tuple and nothing else is pending, so every admitted
             // candidate is its own existential witness — the semi-joined
@@ -1150,6 +1335,10 @@ impl Problem {
                 return false;
             }
             st.edge_done[i] = true;
+            // Per-call sort, not the memoized sorted rows: binary extension
+            // visits most sources once, so the row memo's hash-and-share
+            // overhead never amortizes here (the leapfrog intersection, with
+            // its repeated per-(source, atom) seeks, is where it pays).
             let candidates: Vec<NodeId> = if let Some(u) = bs {
                 self.free_edges[i].targets_sorted(db, u, true)
             } else {
@@ -1396,18 +1585,111 @@ impl Problem {
         st.progress += 1;
         on_solution(&st.bindings)
     }
-}
 
-impl FreeEdge {
-    fn targets_sorted(&mut self, db: &GraphDb, from: NodeId, forward: bool) -> Vec<NodeId> {
-        let set = if forward {
-            self.cache.targets(db, from)
-        } else {
-            self.cache.sources(db, from)
-        };
-        let mut v: Vec<NodeId> = set.iter().copied().collect();
-        v.sort();
-        v
+    /// Extends `var` by leapfrog multiway intersection. Each `parts` entry
+    /// `(edge, forward, from)` is a pending constraint whose other endpoint
+    /// is bound to `from`; it contributes the sorted set of `var`-candidates
+    /// it supports — a direct CSR run union for single-step atoms, a
+    /// materialized sorted reach row otherwise — and the pruned domain
+    /// joins as one more set. The sweep seeks every set to the running
+    /// maximum (binary-search `seek_ge`, counted in
+    /// [`PipelineStats::intersection_seeks`]); a value all `k` sets agree
+    /// on is a candidate every incident constraint supports, so binding it
+    /// discharges all participating edges at once — they are marked done
+    /// for the subtree and restored on the way out. Early-exit, progress
+    /// accounting and governor drains mirror the binary extension path.
+    fn leapfrog_extend(
+        &mut self,
+        db: &GraphDb,
+        ctx: &EnumCtx<'_>,
+        st: &mut EnumState,
+        var: NodeVar,
+        parts: &[(usize, bool, NodeId)],
+        on_solution: &mut dyn FnMut(&[Option<NodeId>]) -> bool,
+    ) -> bool {
+        let mut sets: Vec<SortedSet<'_>> = Vec::with_capacity(parts.len() + 1);
+        for &(j, forward, from) in parts {
+            match ctx.single_step.get(j).and_then(|o| o.as_ref()) {
+                Some(syms) => {
+                    let runs = syms
+                        .iter()
+                        .map(|&a| {
+                            let run = if forward {
+                                db.successors_with(from, a)
+                            } else {
+                                db.predecessors_with(from, a)
+                            };
+                            (a, run)
+                        })
+                        .collect();
+                    sets.push(SortedSet::Runs(runs));
+                }
+                None => {
+                    let row = if forward {
+                        self.free_edges[j].cache.targets_sorted(db, from)
+                    } else {
+                        self.free_edges[j].cache.sources_sorted(db, from)
+                    };
+                    sets.push(SortedSet::Row(row, 0));
+                }
+            }
+        }
+        if let Some(d) = ctx.domains {
+            sets.push(SortedSet::Bits(d.bits(var)));
+        }
+        for &(j, ..) in parts {
+            st.edge_done[j] = true;
+        }
+        let k = sets.len();
+        let mut hi = NodeId(0);
+        let mut matched = 0usize;
+        let mut idx = 0usize;
+        let mut hit = false;
+        loop {
+            // Seeks are cheap but unbounded in count: checkpoint one per
+            // stripe so governed runs drain mid-intersection too.
+            if st.seeks.is_multiple_of(64) && !ctx.gov.checkpoint() {
+                break;
+            }
+            st.seeks += 1;
+            let Some(n) = sets[idx].seek_ge(hi) else {
+                break;
+            };
+            if n == hi {
+                matched += 1;
+            } else {
+                hi = n;
+                matched = 1;
+            }
+            idx = (idx + 1) % k;
+            if matched < k {
+                continue;
+            }
+            // `hi` is in every candidate set (and the pruned domain).
+            if ctx.gov.is_aborted() {
+                break; // drain: emitted tuples stand
+            }
+            st.bind(var, hi);
+            let before = st.progress;
+            let stop = self.recurse(db, ctx, st, on_solution);
+            if !stop && st.progress == before {
+                st.backtracks += 1;
+            }
+            st.unbind(var);
+            if stop {
+                hit = true;
+                break;
+            }
+            matched = 0;
+            let Some(next) = hi.0.checked_add(1) else {
+                break;
+            };
+            hi = NodeId(next);
+        }
+        for &(j, ..) in parts {
+            st.edge_done[j] = false;
+        }
+        hit
     }
 }
 

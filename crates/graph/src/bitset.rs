@@ -112,6 +112,27 @@ impl DenseBitSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// The smallest present index `≥ i`, or `None` when no such element
+    /// exists. One mask plus a word scan, so a leapfrog intersection can
+    /// treat the set as a sorted ascending iterator with random seeks
+    /// (resuming from wherever the previous probe landed costs nothing:
+    /// the scan always starts at `i`'s word).
+    #[inline]
+    pub fn seek_ge(&self, i: usize) -> Option<usize> {
+        if i >= self.len {
+            return None;
+        }
+        let mut w = i / 64;
+        let mut word = self.words[w] & (!0u64 << (i % 64));
+        loop {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            w += 1;
+            word = *self.words.get(w)?;
+        }
+    }
+
     /// Iterates over the present indices in increasing order.
     pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -193,6 +214,27 @@ mod tests {
             let s = DenseBitSet::full(len);
             assert_eq!(s.count(), len, "len {len}");
             assert_eq!(s.ones().collect::<Vec<_>>(), (0..len).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn seek_ge_finds_next_member() {
+        let mut s = DenseBitSet::new(200);
+        for i in [0, 63, 64, 129, 199] {
+            s.insert(i);
+        }
+        assert_eq!(s.seek_ge(0), Some(0));
+        assert_eq!(s.seek_ge(1), Some(63));
+        assert_eq!(s.seek_ge(63), Some(63));
+        assert_eq!(s.seek_ge(65), Some(129), "crosses an all-zero word");
+        assert_eq!(s.seek_ge(130), Some(199));
+        assert_eq!(s.seek_ge(199), Some(199));
+        assert_eq!(s.seek_ge(200), None, "past the universe");
+        let empty = DenseBitSet::new(100);
+        assert_eq!(empty.seek_ge(0), None);
+        // seek_ge agrees with the ascending iterator on every start point.
+        for i in 0..200 {
+            assert_eq!(s.seek_ge(i), s.ones().find(|&x| x >= i), "start {i}");
         }
     }
 

@@ -324,6 +324,24 @@ impl<'a> EdgeRun<'a> {
         self.base.binary_search(&pair).is_ok() || self.delta.binary_search(&pair).is_ok()
     }
 
+    /// The smallest pair `≥ pair` in `(label, neighbour)` order, by binary
+    /// search of both layers (the minimum of the two per-layer successors).
+    /// On a single-label run this seeks through neighbours in ascending
+    /// `NodeId` order — the sorted-set view a leapfrog intersection needs.
+    #[inline]
+    pub fn seek_ge(&self, pair: (Symbol, NodeId)) -> Option<(Symbol, NodeId)> {
+        let b = self.base[self.base.partition_point(|&e| e < pair)..]
+            .first()
+            .copied();
+        let d = self.delta[self.delta.partition_point(|&e| e < pair)..]
+            .first()
+            .copied();
+        match (b, d) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        }
+    }
+
     /// The run materialized as a vector (tests and diagnostics).
     pub fn to_vec(self) -> Vec<(Symbol, NodeId)> {
         self.collect()
@@ -1041,6 +1059,57 @@ mod tests {
         assert!(d.reachable(u, v));
         assert!(!d.reachable(u, w));
         assert!(d.reachable(u, u));
+    }
+
+    #[test]
+    fn seek_ge_over_base_delta_and_straddling_runs() {
+        let mut bld = abc_builder();
+        let (a, b) = (bld.alphabet().sym("a"), bld.alphabet().sym("b"));
+        let base = bld.add_node(); // 0: base-layer arcs only
+        let fresh = bld.add_node(); // 1: delta-layer arcs only
+        let mixed = bld.add_node(); // 2: arcs in both layers
+        for _ in 0..8 {
+            bld.add_node(); // targets 3..=10
+        }
+        for t in [4, 6, 8] {
+            bld.add_edge(base, a, NodeId(t));
+            bld.add_edge(mixed, a, NodeId(t));
+        }
+        let mut d = bld.freeze();
+        for (s, t) in [(fresh, 5), (fresh, 7), (mixed, 5), (mixed, 9)] {
+            assert!(d.append(s, a, NodeId(t)));
+        }
+
+        let base_only = d.successors_with(base, a); // {4, 6, 8}, all base
+        assert_eq!(base_only.seek_ge((a, NodeId(0))), Some((a, NodeId(4))));
+        assert_eq!(base_only.seek_ge((a, NodeId(5))), Some((a, NodeId(6))));
+        assert_eq!(base_only.seek_ge((a, NodeId(8))), Some((a, NodeId(8))));
+        assert_eq!(base_only.seek_ge((a, NodeId(9))), None);
+        assert!(base_only.contains((a, NodeId(6))));
+        assert!(!base_only.contains((a, NodeId(5))));
+
+        let delta_only = d.successors_with(fresh, a); // {5, 7}, all delta
+        assert_eq!(delta_only.seek_ge((a, NodeId(0))), Some((a, NodeId(5))));
+        assert_eq!(delta_only.seek_ge((a, NodeId(6))), Some((a, NodeId(7))));
+        assert_eq!(delta_only.seek_ge((a, NodeId(8))), None);
+        assert!(delta_only.contains((a, NodeId(7))));
+
+        // Straddling: {4, 6, 8} base ∪ {5, 9} delta — the successor is the
+        // minimum across both layers, whichever holds it.
+        let both = d.successors_with(mixed, a);
+        assert_eq!(both.seek_ge((a, NodeId(0))), Some((a, NodeId(4)))); // base
+        assert_eq!(both.seek_ge((a, NodeId(5))), Some((a, NodeId(5)))); // delta
+        assert_eq!(both.seek_ge((a, NodeId(7))), Some((a, NodeId(8)))); // base
+        assert_eq!(both.seek_ge((a, NodeId(9))), Some((a, NodeId(9)))); // delta
+        assert_eq!(both.seek_ge((a, NodeId(10))), None);
+        assert!(both.contains((a, NodeId(9))) && both.contains((a, NodeId(8))));
+        // An empty run seeks to nothing.
+        assert_eq!(d.successors_with(base, b).seek_ge((b, NodeId(0))), None);
+        // Compacting merges the layers without changing the answers.
+        d.compact();
+        let merged = d.successors_with(mixed, a);
+        assert_eq!(merged.seek_ge((a, NodeId(5))), Some((a, NodeId(5))));
+        assert_eq!(merged.seek_ge((a, NodeId(10))), None);
     }
 
     #[test]

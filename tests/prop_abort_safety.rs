@@ -17,7 +17,11 @@
 //!
 //! The abort points are exact: a dry governed run counts the checkpoints
 //! the instance passes, then fault injection trips the governor at sampled
-//! 1-based checkpoint indices across that range.
+//! 1-based checkpoint indices across that range. Checkpoint totals are not
+//! reproducible for projected solves (witness searches early-exit out of
+//! hash-ordered reach sets), so an injection index beyond what a given run
+//! reaches legitimately leaves the governor untripped — such runs must be
+//! indistinguishable from ungoverned ones.
 
 use cxrpq::core::{
     AbortReason, Crpq, CrpqEvaluator, Cxrpq, Ecrpq, EcrpqEvaluator, Governor, GraphPattern,
@@ -81,6 +85,22 @@ fn assert_abort_safety(
             };
             let gov = Arc::new(Governor::unlimited().with_injection(k));
             let partial = solve(&base.clone().governed(gov.clone()));
+            if gov.abort_reason().is_none() {
+                // Projected witness searches early-exit out of hash-ordered
+                // reach sets, so the amount of governed work varies run to
+                // run and a high injection index can overshoot this run's
+                // checkpoint count. The governor then never trips and the
+                // run must be indistinguishable from an ungoverned solve.
+                prop_assert_eq!(gov.verdict(), Verdict::Complete);
+                prop_assert_eq!(
+                    &partial,
+                    &complete,
+                    "untripped injection at {}/{} changed the answers",
+                    k,
+                    seen
+                );
+                continue;
+            }
             prop_assert_eq!(gov.abort_reason(), Some(AbortReason::Injected));
             prop_assert!(
                 partial.is_subset(&complete),
