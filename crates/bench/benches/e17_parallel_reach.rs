@@ -24,9 +24,11 @@
 //! enable recording in fast mode) with `BENCH_PARALLEL_OUT`.
 
 use cxrpq_automata::{parse_regex, Nfa};
-use cxrpq_core::frontier::FrontierConfig;
+use cxrpq_bench::scoped_spawn_sharded;
+use cxrpq_core::frontier::{expand_sharded, FrontierConfig};
 use cxrpq_core::reach::{reach_all_with, reach_set, reach_set_scratch, Direction, ReachScratch};
 use cxrpq_core::sync::{SyncSearch, SyncSpec};
+use cxrpq_core::WorkerPool;
 use cxrpq_graph::{Alphabet, GraphDb, NodeId, Symbol};
 use cxrpq_workloads::graphs;
 use std::sync::Arc;
@@ -271,6 +273,43 @@ fn main() {
         }
     };
 
+    // Dispatch A/B: the persistent pool's `expand_sharded` (what the
+    // frontier engine calls per level since the pool PR) against the old
+    // per-level scoped-spawn dispatch it replaced, on an identical
+    // frontier-expansion workload. The old numbers in BENCH_parallel.json
+    // history were measured through scoped spawns; this section keeps
+    // both paths side by side.
+    let dispatch = {
+        let alpha = Arc::new(Alphabet::from_chars("abc"));
+        let n = 8_000 / scale;
+        let db = graphs::random_labeled(alpha, n, 6 * n, 77);
+        let frontier: Vec<NodeId> = (0..db.node_count() as u32).map(NodeId).collect();
+        let levels = if fast { 40 } else { 160 };
+        let shards = threads.max(2);
+        let pool = WorkerPool::global();
+        let expand = |_: usize, slice: &[NodeId]| -> usize {
+            slice.iter().map(|&u| db.out_edges(u).count()).sum()
+        };
+        let pooled: usize = expand_sharded(&frontier, shards, pool, expand)
+            .into_iter()
+            .sum();
+        let scoped: usize = scoped_spawn_sharded(&frontier, shards, expand)
+            .into_iter()
+            .sum();
+        assert_eq!(pooled, scoped, "dispatch paths disagree on the workload");
+        let scoped_ms = median_ms(iters, || {
+            for _ in 0..levels {
+                std::hint::black_box(scoped_spawn_sharded(&frontier, shards, expand));
+            }
+        });
+        let pool_ms = median_ms(iters, || {
+            for _ in 0..levels {
+                std::hint::black_box(expand_sharded(&frontier, shards, pool, expand));
+            }
+        });
+        (levels, shards, scoped_ms, pool_ms)
+    };
+
     // Report.
     println!(
         "{:<12} {:>7} {:>7} {:>5} | {:>11} {:>10} {:>7} | {:>10}",
@@ -307,6 +346,13 @@ fn main() {
         p.threads,
         p.sync_tn_ms,
         p.sync_t1_ms / p.sync_tn_ms
+    );
+    let (d_levels, d_shards, d_scoped_ms, d_pool_ms) = dispatch;
+    println!(
+        "\ndispatch ({d_levels} levels x {d_shards} shards):\n  \
+         scoped spawns {d_scoped_ms:>9.3}ms\n  \
+         worker pool   {d_pool_ms:>9.3}ms  {:>5.2}x",
+        d_scoped_ms / d_pool_ms
     );
     if p.threads == 1 {
         println!();
@@ -355,7 +401,16 @@ fn main() {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"parallel\": {{\"shape\": \"{}\", \"nodes\": {}, \"edges\": {}, \"threads\": {}, \
+        "  ],\n  \"dispatch\": {{\"levels\": {}, \"shards\": {}, \"scoped_spawn_ms\": {:.4}, \
+         \"pool_ms\": {:.4}, \"pool_speedup\": {:.2}}},\n",
+        d_levels,
+        d_shards,
+        d_scoped_ms,
+        d_pool_ms,
+        d_scoped_ms / d_pool_ms,
+    ));
+    json.push_str(&format!(
+        "  \"parallel\": {{\"shape\": \"{}\", \"nodes\": {}, \"edges\": {}, \"threads\": {}, \
          \"parallel_numbers_are_placeholder\": {placeholder}, \
          \"reach_t1_ms\": {:.4}, \"reach_tn_ms\": {:.4}, \"reach_parallel_speedup\": {:.2}, \
          \"sync_t1_ms\": {:.4}, \"sync_tn_ms\": {:.4}, \"sync_parallel_speedup\": {:.2}}}\n}}\n",

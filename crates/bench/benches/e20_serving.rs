@@ -1,0 +1,259 @@
+//! E20: serving throughput — the shared `QueryCache` + persistent worker
+//! pool behind the CLI `serve` subcommand.
+//!
+//! Three questions on one random labeled graph:
+//!
+//! 1. **Cold vs warm** — a repeated-query workload through a fresh cache
+//!    (every request pays parse + analyze + plan + solve) vs a primed one
+//!    (answer hits replay the stored relation). Answers on the cached path
+//!    are asserted identical to the cold path, and the warm path is
+//!    asserted ≥ 5x faster (acceptance criterion; in practice it is
+//!    orders of magnitude). A third pass with the answer budget forced to
+//!    zero isolates the plan-hit path (cached parse + plan, fresh solve).
+//! 2. **Mixed throughput** — queries/sec over epochs of 80% hot-set /
+//!    20% always-fresh requests through one shared cache: epoch 0 is the
+//!    cold qps, later epochs the steady-state warm qps.
+//! 3. **Pool vs scoped spawns** — `WorkerPool::run_sharded` against the
+//!    old per-level `std::thread::scope` dispatch on an identical sharded
+//!    workload, isolating the dispatch overhead the pool removes.
+//!
+//! Run: `cargo bench -p cxrpq-bench --bench e20_serving` (add `-- --fast`
+//! for the CI smoke configuration). Full runs record `BENCH_serving.json`
+//! at the workspace root; override the path (and enable recording in fast
+//! mode) with `BENCH_SERVING_OUT`.
+
+use cxrpq_bench::{median_ms, scoped_spawn_sharded};
+use cxrpq_core::{CacheConfig, CacheOutcome, EvalOptions, QueryCache, WorkerPool};
+use cxrpq_graph::{Alphabet, GraphDb};
+use cxrpq_workloads::graphs;
+use std::sync::Arc;
+
+/// The hot set: repeated queries a serving workload keeps asking.
+/// Selective patterns, so their answer relations fit the byte budget and
+/// the warm path is the answer-hit path.
+const HOT: &[&str] = &[
+    "ans(x, y) <- (x) -[ abc ]-> (y)",
+    "ans(x) <- (x) -[ z{ab}z ]-> (y), (y) -[ c ]-> (x)",
+    "ans(x, y) <- (x) -[ a(b|c)a ]-> (y)",
+    "ans(x, y) <- (x) -[ ca(a|b) ]-> (y)",
+    "ans(y) <- (x) -[ z{ca}z ]-> (y), (y) -[ b ]-> (x)",
+    "ans(x, y) <- (x) -[ ab ]-> (y), (y) -[ c ]-> (x)",
+    "ans(x) <- (x) -[ abca ]-> (y)",
+    "ans(x, y) <- (x) -[ bca|cab ]-> (y)",
+];
+
+/// A deterministic, never-repeating fresh query: index `i` encoded as a
+/// base-3 word over {a,b,c}, long enough to stay selective.
+fn fresh_query(i: usize) -> String {
+    let mut w = String::new();
+    let mut v = i;
+    for _ in 0..5 {
+        w.push(['a', 'b', 'c'][v % 3]);
+        v /= 3;
+    }
+    format!("ans(x, y) <- (x) -[ {w}|{w}c ]-> (y)")
+}
+
+fn serving_db(scale: usize) -> GraphDb {
+    let alpha = Arc::new(Alphabet::from_chars("abc"));
+    let n = 300 / scale;
+    graphs::random_labeled(alpha, n, 4 * n, 7)
+}
+
+fn cache_cfg(answer_budget_bytes: usize) -> CacheConfig {
+    CacheConfig {
+        shards: 8,
+        capacity_per_shard: 256,
+        answer_budget_bytes,
+    }
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let iters = if fast { 3 } else { 9 };
+    let scale = if fast { 3 } else { 1 };
+    let threads = WorkerPool::global().worker_count();
+    let db = serving_db(scale);
+    let opts = EvalOptions::default();
+    let budget = 256 * 1024;
+
+    // --- 1. Cold vs warm on the repeated workload ------------------------
+    // Correctness first: a primed cache must replay exactly the cold
+    // answers, and every hot query must actually be served from the
+    // answer path once warm.
+    let warm_cache = QueryCache::new(cache_cfg(budget));
+    let mut cold_answers = Vec::new();
+    for q in HOT {
+        let cold = warm_cache.answers(&db, q, &opts).unwrap();
+        assert_eq!(cold.outcome, CacheOutcome::Miss, "{q}");
+        cold_answers.push(cold.answers);
+    }
+    for (q, cold) in HOT.iter().zip(&cold_answers) {
+        let warm = warm_cache.answers(&db, q, &opts).unwrap();
+        assert_eq!(
+            warm.outcome,
+            CacheOutcome::AnswerHit,
+            "{q}: hot-set answers must fit the byte budget"
+        );
+        assert_eq!(&warm.answers, cold, "{q}: cached path diverged from cold");
+    }
+
+    let cold_ms = median_ms(iters, || {
+        let fresh = QueryCache::new(cache_cfg(budget));
+        for q in HOT {
+            std::hint::black_box(fresh.answers(&db, q, &opts).unwrap());
+        }
+    });
+    let warm_ms = median_ms(iters, || {
+        for q in HOT {
+            std::hint::black_box(warm_cache.answers(&db, q, &opts).unwrap());
+        }
+    });
+    let warm_speedup = cold_ms / warm_ms;
+    assert!(
+        warm_speedup >= 5.0,
+        "acceptance: warm hit path must be >= 5x faster than cold \
+         (cold {cold_ms:.3}ms, warm {warm_ms:.3}ms, {warm_speedup:.1}x)"
+    );
+
+    // Plan-hit path: zero answer budget keeps the parse + plan but
+    // re-solves every request.
+    let plan_cache = QueryCache::new(cache_cfg(0));
+    for q in HOT {
+        plan_cache.answers(&db, q, &opts).unwrap();
+    }
+    for (q, cold) in HOT.iter().zip(&cold_answers) {
+        let r = plan_cache.answers(&db, q, &opts).unwrap();
+        assert_eq!(r.outcome, CacheOutcome::PlanHit, "{q}");
+        assert_eq!(&r.answers, cold, "{q}: plan-hit path diverged from cold");
+    }
+    let plan_hit_ms = median_ms(iters, || {
+        for q in HOT {
+            std::hint::black_box(plan_cache.answers(&db, q, &opts).unwrap());
+        }
+    });
+
+    // --- 2. Mixed repeated/fresh throughput ------------------------------
+    let per_epoch = if fast { 40 } else { 200 };
+    let warm_epochs = if fast { 1 } else { 3 };
+    let mixed = QueryCache::new(cache_cfg(budget));
+    let mut fresh_counter = 0usize;
+    let mut epoch_qps = Vec::new();
+    for _ in 0..=warm_epochs {
+        let requests: Vec<String> = (0..per_epoch)
+            .map(|i| {
+                if i % 5 == 4 {
+                    fresh_counter += 1;
+                    fresh_query(fresh_counter)
+                } else {
+                    HOT[i % HOT.len()].to_string()
+                }
+            })
+            .collect();
+        let t0 = std::time::Instant::now();
+        for q in &requests {
+            std::hint::black_box(mixed.answers(&db, q, &opts).unwrap());
+        }
+        epoch_qps.push(per_epoch as f64 / t0.elapsed().as_secs_f64());
+    }
+    let cold_qps = epoch_qps[0];
+    let warm_qps = {
+        let mut w: Vec<f64> = epoch_qps[1..].to_vec();
+        w.sort_by(f64::total_cmp);
+        w[w.len() / 2]
+    };
+    let mixed_stats = mixed.stats();
+    let hit_rate = mixed_stats.answer_hits as f64 / mixed_stats.lookups as f64;
+
+    // --- 3. Pool dispatch vs per-level scoped spawns ----------------------
+    let levels = if fast { 50 } else { 200 };
+    let items: Vec<u64> = (0..2048).collect();
+    let shards = threads.max(2);
+    let pool = WorkerPool::global();
+    let expected: u64 = items.iter().sum();
+    let pooled: u64 = pool
+        .run_sharded(&items, shards, |_, s| s.iter().sum::<u64>())
+        .into_iter()
+        .sum();
+    let scoped: u64 = scoped_spawn_sharded(&items, shards, |_, s| s.iter().sum::<u64>())
+        .into_iter()
+        .sum();
+    assert_eq!(pooled, expected);
+    assert_eq!(scoped, expected);
+    let scoped_ms = median_ms(iters, || {
+        for _ in 0..levels {
+            std::hint::black_box(scoped_spawn_sharded(&items, shards, |_, s| {
+                s.iter().sum::<u64>()
+            }));
+        }
+    });
+    let pool_ms = median_ms(iters, || {
+        for _ in 0..levels {
+            std::hint::black_box(pool.run_sharded(&items, shards, |_, s| s.iter().sum::<u64>()));
+        }
+    });
+
+    // --- Report -----------------------------------------------------------
+    println!(
+        "repeated workload ({} queries, {} nodes, {} edges):",
+        HOT.len(),
+        db.node_count(),
+        db.edge_count()
+    );
+    println!("  cold (fresh cache)   {cold_ms:>9.3}ms");
+    println!("  warm (answer hits)   {warm_ms:>9.3}ms   {warm_speedup:>7.1}x");
+    println!(
+        "  warm (plan hits)     {plan_hit_ms:>9.3}ms   {:>7.1}x",
+        cold_ms / plan_hit_ms
+    );
+    println!("\nmixed workload ({per_epoch} requests/epoch, 80% hot / 20% fresh):");
+    println!("  cold epoch {cold_qps:>10.0} q/s");
+    println!("  warm epoch {warm_qps:>10.0} q/s   (answer-hit rate {hit_rate:.2})");
+    println!("\ndispatch ({levels} levels x {shards} shards, {threads} worker thread(s)):");
+    println!("  scoped spawns        {scoped_ms:>9.3}ms");
+    println!(
+        "  worker pool          {pool_ms:>9.3}ms   {:>7.2}x",
+        scoped_ms / pool_ms
+    );
+    if threads == 1 {
+        println!();
+        println!("  note: only ONE worker thread detected; dispatch numbers measure");
+        println!("  spawn overhead, not parallel speedup (placeholder for scaling).");
+    }
+
+    // --- JSON record -------------------------------------------------------
+    let explicit = std::env::var("BENCH_SERVING_OUT").ok();
+    if fast && explicit.is_none() {
+        println!("\nfast mode: BENCH_serving.json not rewritten (set BENCH_SERVING_OUT to record)");
+        return;
+    }
+    let out_path = explicit
+        .unwrap_or_else(|| format!("{}/../../BENCH_serving.json", env!("CARGO_MANIFEST_DIR")));
+    let placeholder = threads == 1;
+    let json = format!(
+        "{{\n  \"bench\": \"e20_serving\",\n  \"mode\": \"{mode}\",\n  \
+         \"threads_detected\": {threads},\n  \
+         \"parallel_numbers_are_placeholder\": {placeholder},\n  \
+         \"repeated_workload\": {{\"queries\": {hot}, \"nodes\": {nodes}, \"edges\": {edges}, \
+         \"cold_ms\": {cold_ms:.4}, \"warm_answer_hit_ms\": {warm_ms:.4}, \
+         \"warm_speedup\": {warm_speedup:.1}, \"warm_plan_hit_ms\": {plan_hit_ms:.4}, \
+         \"plan_hit_speedup\": {plan_speedup:.2}, \"answers_identical\": true}},\n  \
+         \"mixed_throughput\": {{\"requests_per_epoch\": {per_epoch}, \"hot_fraction\": 0.8, \
+         \"cold_qps\": {cold_qps:.0}, \"warm_qps\": {warm_qps:.0}, \
+         \"answer_hit_rate\": {hit_rate:.3}}},\n  \
+         \"dispatch\": {{\"levels\": {levels}, \"shards\": {shards}, \
+         \"scoped_spawn_ms\": {scoped_ms:.4}, \"pool_ms\": {pool_ms:.4}, \
+         \"pool_speedup\": {pool_speedup:.2}}}\n}}\n",
+        mode = if fast { "fast" } else { "full" },
+        hot = HOT.len(),
+        nodes = db.node_count(),
+        edges = db.edge_count(),
+        plan_speedup = cold_ms / plan_hit_ms,
+        pool_speedup = scoped_ms / pool_ms,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("warning: could not write {out_path}: {e}");
+    } else {
+        println!("\nrecorded {out_path}");
+    }
+}

@@ -22,6 +22,31 @@ pub fn median_ms(n: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// The pre-pool dispatch baseline: per-level scoped thread spawns, shaped
+/// exactly like `frontier.rs`'s sharded expansion before the persistent
+/// worker pool replaced it. Kept here so the pool benches (e17, e20) can
+/// A/B the old dispatch path against `WorkerPool::run_sharded` on the
+/// same workload.
+pub fn scoped_spawn_sharded<T: Sync, R: Send>(
+    items: &[T],
+    shards: usize,
+    worker: impl Fn(usize, &[T]) -> R + Sync,
+) -> Vec<R> {
+    if shards <= 1 || items.len() <= 1 {
+        return vec![worker(0, items)];
+    }
+    let chunk = items.len().div_ceil(shards.min(items.len()));
+    let worker = &worker;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, slice)| s.spawn(move || worker(i, slice)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
 /// Renders a markdown table.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
@@ -57,5 +82,15 @@ mod tests {
             std::hint::black_box((0..1000).sum::<u64>());
         });
         assert!(m >= 0.0 && m.is_finite());
+    }
+
+    #[test]
+    fn scoped_baseline_matches_chunked_results() {
+        let items: Vec<u64> = (0..100).collect();
+        let sums = scoped_spawn_sharded(&items, 4, |_, s| s.iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), items.iter().sum::<u64>());
+        assert_eq!(sums.len(), 4);
+        let inline = scoped_spawn_sharded(&items, 1, |_, s| s.len());
+        assert_eq!(inline, vec![100]);
     }
 }

@@ -16,6 +16,10 @@
 //! | `translate`  | Lemma 13/14 union translations with size reports           |
 //! | `sample`     | sample conjunctive matches of the query's xregex           |
 
+pub mod serve;
+
+pub use serve::{run_serve, ServeConfig};
+
 use cxrpq_core::engine::{AutoEvaluator, EngineKind, EvalOptions};
 use cxrpq_core::query_text::parse_query;
 use cxrpq_core::translate;
@@ -207,7 +211,7 @@ pub struct EvalCmdOptions {
 
 impl EvalCmdOptions {
     /// The governor implied by the resource flags, if any was given.
-    fn governor(&self) -> Option<Arc<Governor>> {
+    pub(crate) fn governor(&self) -> Option<Arc<Governor>> {
         if self.timeout_ms.is_none() && self.max_steps.is_none() && self.max_mem_mb.is_none() {
             return None;
         }
@@ -262,6 +266,7 @@ pub fn eval(graph_text: &str, query_text: &str, opts: EvalCmdOptions) -> Result<
             bounded_k: opts.k.unwrap_or(3),
             force: opts.engine,
             governor: opts.governor(),
+            plan_seed: None,
         },
     )
     .map_err(|e| e.to_string())?;

@@ -15,8 +15,8 @@
 //! ```
 
 use cxrpq_cli::{
-    check, classify, eval, graph_dot, graph_info, normal_form_report, parse_engine, sample,
-    translate_cmd, EvalCmdOptions, TranslateTarget,
+    check, classify, eval, graph_dot, graph_info, normal_form_report, parse_engine, run_serve,
+    sample, translate_cmd, EvalCmdOptions, ServeConfig, TranslateTarget,
 };
 use std::process::ExitCode;
 
@@ -32,6 +32,8 @@ usage: cxrpq-cli <command> ...
   normal-form <query-file>
   translate   <query-file> --to union-crpq --k N | --to union-ecrpq
   sample      <query-file> [--count N] [--seed N]
+  serve       <graph-file> [--addr HOST:PORT] [--k N] [--limit N]
+              [--timeout-ms N] [--max-steps N] [--max-mem-mb N]
 ";
 
 fn read(path: &str) -> Result<String, String> {
@@ -192,6 +194,71 @@ fn run(args: &[String]) -> Result<String, String> {
                 i += 1;
             }
             sample(&read(path)?, count, seed)
+        }
+        "serve" => {
+            let graph = args.get(1).ok_or("serve needs a graph file")?;
+            let mut cfg = ServeConfig::default();
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--addr" => {
+                        i += 1;
+                        cfg.addr = args.get(i).ok_or("--addr needs a value")?.clone();
+                    }
+                    "--k" => {
+                        i += 1;
+                        cfg.defaults.k = Some(
+                            args.get(i)
+                                .ok_or("--k needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--k: {e}"))?,
+                        );
+                    }
+                    "--limit" => {
+                        i += 1;
+                        cfg.defaults.limit = Some(
+                            args.get(i)
+                                .ok_or("--limit needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--limit: {e}"))?,
+                        );
+                    }
+                    "--timeout-ms" => {
+                        i += 1;
+                        cfg.defaults.timeout_ms = Some(
+                            args.get(i)
+                                .ok_or("--timeout-ms needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--timeout-ms: {e}"))?,
+                        );
+                    }
+                    "--max-steps" => {
+                        i += 1;
+                        cfg.defaults.max_steps = Some(
+                            args.get(i)
+                                .ok_or("--max-steps needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--max-steps: {e}"))?,
+                        );
+                    }
+                    "--max-mem-mb" => {
+                        i += 1;
+                        cfg.defaults.max_mem_mb = Some(
+                            args.get(i)
+                                .ok_or("--max-mem-mb needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--max-mem-mb: {e}"))?,
+                        );
+                    }
+                    other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+                }
+                i += 1;
+            }
+            run_serve(&read(graph)?, cfg, |addr| {
+                println!("listening on {addr}");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+            })
         }
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),

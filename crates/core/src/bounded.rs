@@ -276,33 +276,33 @@ impl<'q> BoundedEvaluator<'q> {
             return false;
         }
         let found = AtomicBool::new(false);
-        let chunk_size = candidates.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for chunk in candidates.chunks(chunk_size) {
-                let found = &found;
-                let order = &order;
-                scope.spawn(move || {
-                    for c in chunk {
-                        if found.load(Ordering::Relaxed) || self.gov_ref().is_aborted() {
-                            return;
-                        }
-                        let mut psi = VarMapping::new();
-                        psi.insert(x, c.clone());
-                        let mut stats = BoundedStats::default();
-                        let hit = self.rec(order, 1, sigma, &mut psi, &mut stats, &mut |psi, _| {
-                            match specialize(self.q.conjunctive(), psi) {
-                                Some(regexes) => {
-                                    CrpqEvaluator::new(&self.q.to_crpq(&regexes)).boolean(db)
-                                }
-                                None => false,
+        let order = &order;
+        crate::pool::WorkerPool::global().run_sharded(&candidates, threads, |_, chunk| {
+            for c in chunk {
+                if found.load(Ordering::Relaxed) || self.gov_ref().is_aborted() {
+                    return;
+                }
+                let mut psi = VarMapping::new();
+                psi.insert(x, c.clone());
+                let mut stats = BoundedStats::default();
+                let hit =
+                    self.rec(
+                        order,
+                        1,
+                        sigma,
+                        &mut psi,
+                        &mut stats,
+                        &mut |psi, _| match specialize(self.q.conjunctive(), psi) {
+                            Some(regexes) => {
+                                CrpqEvaluator::new(&self.q.to_crpq(&regexes)).boolean(db)
                             }
-                        });
-                        if hit {
-                            found.store(true, Ordering::Relaxed);
-                            return;
-                        }
-                    }
-                });
+                            None => false,
+                        },
+                    );
+                if hit {
+                    found.store(true, Ordering::Relaxed);
+                    return;
+                }
             }
         });
         found.load(Ordering::Relaxed)
@@ -311,7 +311,6 @@ impl<'q> BoundedEvaluator<'q> {
     /// The answer relation computed in parallel (same split as
     /// [`Self::boolean_parallel`]; per-thread partial answers are merged).
     pub fn answers_parallel(&self, db: &GraphDb, threads: usize) -> BTreeSet<Vec<NodeId>> {
-        use std::sync::Mutex;
         let sigma = db.alphabet().len();
         let order = self.q.conjunctive().topological_vars();
         if order.is_empty() || threads <= 1 {
@@ -322,34 +321,32 @@ impl<'q> BoundedEvaluator<'q> {
         if candidates.is_empty() {
             return BTreeSet::new();
         }
-        let merged: Mutex<BTreeSet<Vec<NodeId>>> = Mutex::new(BTreeSet::new());
-        let chunk_size = candidates.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            for chunk in candidates.chunks(chunk_size) {
-                let merged = &merged;
-                let order = &order;
-                scope.spawn(move || {
-                    let mut local: BTreeSet<Vec<NodeId>> = BTreeSet::new();
-                    for c in chunk {
-                        if self.gov_ref().is_aborted() {
-                            break;
-                        }
-                        let mut psi = VarMapping::new();
-                        psi.insert(x, c.clone());
-                        let mut stats = BoundedStats::default();
-                        self.rec(order, 1, sigma, &mut psi, &mut stats, &mut |psi, _| {
-                            if let Some(regexes) = specialize(self.q.conjunctive(), psi) {
-                                let crpq = self.q.to_crpq(&regexes);
-                                local.extend(CrpqEvaluator::new(&crpq).answers(db));
-                            }
-                            false
-                        });
+        let order = &order;
+        let partials =
+            crate::pool::WorkerPool::global().run_sharded(&candidates, threads, |_, chunk| {
+                let mut local: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+                for c in chunk {
+                    if self.gov_ref().is_aborted() {
+                        break;
                     }
-                    merged.lock().expect("poisoned").extend(local);
-                });
-            }
-        });
-        merged.into_inner().expect("poisoned")
+                    let mut psi = VarMapping::new();
+                    psi.insert(x, c.clone());
+                    let mut stats = BoundedStats::default();
+                    self.rec(order, 1, sigma, &mut psi, &mut stats, &mut |psi, _| {
+                        if let Some(regexes) = specialize(self.q.conjunctive(), psi) {
+                            let crpq = self.q.to_crpq(&regexes);
+                            local.extend(CrpqEvaluator::new(&crpq).answers(db));
+                        }
+                        false
+                    });
+                }
+                local
+            });
+        let mut merged: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+        for local in partials {
+            merged.extend(local);
+        }
+        merged
     }
 
     /// A certificate for some matching morphism under the `≤k` semantics:

@@ -61,6 +61,11 @@ pub struct EvalOptions {
     /// [`Verdict::Aborted`] on the [`Evaluated`] and returns a sound
     /// partial result.
     pub governor: Option<Arc<Governor>>,
+    /// A cached [`crate::SolvePlan`] to seed the solver's phase 1 with
+    /// (see [`SolveOptions::plan_seed`]); threaded into every solver call
+    /// this planner dispatches. Plans only order the search, so an
+    /// incompatible seed is ignored, never wrong.
+    pub plan_seed: Option<Arc<crate::plan::SolvePlan>>,
 }
 
 impl Default for EvalOptions {
@@ -69,6 +74,7 @@ impl Default for EvalOptions {
             bounded_k: 3,
             force: None,
             governor: None,
+            plan_seed: None,
         }
     }
 }
@@ -153,6 +159,7 @@ pub struct AutoEvaluator<'q> {
     engine: EngineImpl<'q>,
     plan_elapsed: Duration,
     gov: Option<Arc<Governor>>,
+    plan_seed: Option<Arc<crate::plan::SolvePlan>>,
 }
 
 impl<'q> AutoEvaluator<'q> {
@@ -205,6 +212,7 @@ impl<'q> AutoEvaluator<'q> {
             engine,
             plan_elapsed: t0.elapsed(),
             gov: opts.governor,
+            plan_seed: opts.plan_seed,
         })
     }
 
@@ -241,10 +249,15 @@ impl<'q> AutoEvaluator<'q> {
         }
     }
 
-    /// Attaches this planner's governor (if any) to solver options.
+    /// Attaches this planner's governor and plan seed (if any) to solver
+    /// options.
     fn solve_opts(&self, base: SolveOptions) -> SolveOptions {
-        match &self.gov {
+        let base = match &self.gov {
             Some(g) => base.governed(g.clone()),
+            None => base,
+        };
+        match &self.plan_seed {
+            Some(seed) => base.with_plan_seed(seed.clone()),
             None => base,
         }
     }
@@ -369,6 +382,7 @@ mod tests {
                     bounded_k: 2,
                     force: Some(force),
                     governor: None,
+                    plan_seed: None,
                 },
             )
             .unwrap();
@@ -389,6 +403,7 @@ mod tests {
                     bounded_k: 2,
                     force: Some(EngineKind::Simple),
                     governor: None,
+                    plan_seed: None,
                 },
             ),
             Err(PlanError::ForcedEngineInapplicable(..))
@@ -445,6 +460,7 @@ mod tests {
                 bounded_k: 4,
                 force: Some(EngineKind::Bounded),
                 governor: None,
+                plan_seed: None,
             },
         )
         .unwrap();

@@ -5,17 +5,21 @@
 //! level-synchronous BFS loops over a frozen [`cxrpq_graph::GraphDb`]: every
 //! level, each frontier item expands over contiguous CSR adjacency slices
 //! and the discoveries become the next frontier. The frozen database is
-//! `Send + Sync`, so a sufficiently large level can be sharded across scoped
-//! worker threads (`std::thread::scope`, no external dependencies): each
-//! worker expands a contiguous range of the frontier into private next-level
-//! storage, and the level barrier merges the private results.
+//! `Send + Sync`, so a sufficiently large level can be sharded across the
+//! long-lived [`WorkerPool`]: each worker expands a contiguous range of the
+//! frontier into private next-level storage, and the level barrier merges
+//! the private results. Routing levels through the shared pool (instead of
+//! the scoped per-level spawns this module used to do) keeps a loaded server
+//! at one thread per core no matter how many queries shard concurrently.
 //!
 //! [`FrontierConfig`] is the shared knob: a worker count (auto-sized from
-//! [`std::thread::available_parallelism`] by default) plus a serial-fallback
-//! threshold so levels too small to amortize thread spawns — and therefore
-//! entire tiny graphs — run on the calling thread exactly as before.
+//! [`std::thread::available_parallelism`] by default), a serial-fallback
+//! threshold so levels too small to amortize shard dispatch — and therefore
+//! entire tiny graphs — run on the calling thread exactly as before, and an
+//! optional pinned pool for tests that need a deterministic width.
 
 use crate::governor::Governor;
+use crate::pool::WorkerPool;
 use std::num::NonZeroUsize;
 
 /// Tuning knobs of the level-synchronous frontier engine.
@@ -25,9 +29,12 @@ pub struct FrontierConfig {
     /// [`std::thread::available_parallelism`].
     pub threads: usize,
     /// Frontier sizes strictly below this expand serially on the calling
-    /// thread (no spawns, no merge), so small levels and small graphs pay
+    /// thread (no dispatch, no merge), so small levels and small graphs pay
     /// nothing for the parallel machinery.
     pub serial_threshold: usize,
+    /// Pool override; `None` routes sharded levels through
+    /// [`WorkerPool::global`]. Tests pin a width by leaking a private pool.
+    pub pool: Option<&'static WorkerPool>,
 }
 
 impl FrontierConfig {
@@ -46,6 +53,7 @@ impl FrontierConfig {
         Self {
             threads: 0,
             serial_threshold: Self::REACH_SERIAL_THRESHOLD,
+            pool: None,
         }
     }
 
@@ -54,6 +62,7 @@ impl FrontierConfig {
         Self {
             threads: 1,
             serial_threshold: usize::MAX,
+            pool: None,
         }
     }
 
@@ -66,17 +75,32 @@ impl FrontierConfig {
         }
     }
 
-    /// Same workers, different serial-fallback threshold.
+    /// Same knobs, different serial-fallback threshold.
     pub fn with_serial_threshold(mut self, threshold: usize) -> Self {
         self.serial_threshold = threshold;
         self
     }
 
-    /// The resolved worker count (`threads`, or the machine's available
-    /// parallelism when auto).
+    /// Route sharded levels through `pool` instead of the global pool, and
+    /// (unless `threads` was pinned) size shards from its worker count.
+    pub fn with_pool(mut self, pool: &'static WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The pool sharded levels run on.
+    pub fn pool(&self) -> &'static WorkerPool {
+        self.pool.unwrap_or_else(WorkerPool::global)
+    }
+
+    /// The resolved worker count: `threads` when pinned, else the override
+    /// pool's width, else the machine's available parallelism.
     pub fn worker_count(&self) -> usize {
         if self.threads > 0 {
             return self.threads;
+        }
+        if let Some(pool) = self.pool {
+            return pool.worker_count();
         }
         std::thread::available_parallelism()
             .map(NonZeroUsize::get)
@@ -100,45 +124,21 @@ impl Default for FrontierConfig {
     }
 }
 
-/// Expands one frontier level across `shards` scoped workers.
+/// Expands one frontier level across `shards` pool workers.
 ///
 /// `items` is split into `shards` contiguous chunks; `worker(shard_index,
-/// chunk)` runs on `shards - 1` spawned threads plus the calling thread,
-/// and the per-shard results come back in shard order for the caller to
-/// merge at the level barrier. With `shards <= 1` the worker runs inline —
-/// the serial fallback costs one indirect call and nothing else.
-pub fn expand_sharded<T, R, F>(items: &[T], shards: usize, worker: F) -> Vec<R>
+/// chunk)` runs on `shards - 1` pool workers plus the calling thread (which
+/// also helps drain the pool queue while it waits), and the per-shard
+/// results come back in shard order for the caller to merge at the level
+/// barrier. With `shards <= 1` the worker runs inline — the serial fallback
+/// costs one indirect call and nothing else.
+pub fn expand_sharded<T, R, F>(items: &[T], shards: usize, pool: &WorkerPool, worker: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
-    if shards <= 1 || items.len() <= 1 {
-        return vec![worker(0, items)];
-    }
-    let chunk = items.len().div_ceil(shards.min(items.len()));
-    let mut chunks: Vec<&[T]> = items.chunks(chunk).collect();
-    // Rounding can leave fewer (never more) chunks than requested shards.
-    let shards = chunks.len();
-    let last = chunks.pop().expect("at least one chunk");
-    let mut results: Vec<Option<R>> = Vec::new();
-    results.resize_with(shards, || None);
-    let (head, tail) = results.split_at_mut(shards - 1);
-    std::thread::scope(|scope| {
-        for ((i, slot), part) in head.iter_mut().enumerate().zip(chunks) {
-            let worker = &worker;
-            scope.spawn(move || {
-                *slot = Some(worker(i, part));
-            });
-        }
-        // The calling thread takes the final chunk instead of idling at the
-        // barrier.
-        tail[0] = Some(worker(shards - 1, last));
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every shard produced a result"))
-        .collect()
+    pool.run_sharded(items, shards, worker)
 }
 
 /// [`expand_sharded`] under a [`Governor`]: each worker observes the abort
@@ -151,6 +151,7 @@ where
 pub fn expand_sharded_governed<T, R, F>(
     items: &[T],
     shards: usize,
+    pool: &WorkerPool,
     gov: &Governor,
     worker: F,
 ) -> Vec<R>
@@ -159,7 +160,7 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
-    expand_sharded(items, shards, |i, chunk| {
+    expand_sharded(items, shards, pool, |i, chunk| {
         if gov.is_aborted() {
             worker(i, &chunk[..0])
         } else {
@@ -177,6 +178,7 @@ mod tests {
         let cfg = FrontierConfig {
             threads: 4,
             serial_threshold: 10,
+            pool: None,
         };
         assert_eq!(cfg.shards_for(9), 1, "below threshold: serial");
         assert_eq!(cfg.shards_for(10), 4);
@@ -186,10 +188,21 @@ mod tests {
     }
 
     #[test]
+    fn pinned_pool_drives_worker_count() {
+        let pool: &'static WorkerPool = Box::leak(Box::new(WorkerPool::new(3)));
+        let cfg = FrontierConfig::auto().with_pool(pool);
+        assert_eq!(cfg.worker_count(), 3);
+        assert!(std::ptr::eq(cfg.pool(), pool));
+        let pinned = FrontierConfig::with_threads(2).with_pool(pool);
+        assert_eq!(pinned.worker_count(), 2, "explicit threads win");
+    }
+
+    #[test]
     fn sharded_expansion_covers_every_item_in_order() {
         let items: Vec<usize> = (0..103).collect();
+        let pool = WorkerPool::global();
         for shards in [1, 2, 3, 8, 103, 200] {
-            let parts = expand_sharded(&items, shards, |_, chunk| chunk.to_vec());
+            let parts = expand_sharded(&items, shards, pool, |_, chunk| chunk.to_vec());
             let flat: Vec<usize> = parts.into_iter().flatten().collect();
             assert_eq!(flat, items, "shards = {shards}");
         }
@@ -198,19 +211,20 @@ mod tests {
     #[test]
     fn shard_indices_are_distinct() {
         let items: Vec<u8> = vec![0; 64];
-        let parts = expand_sharded(&items, 4, |i, _| i);
+        let parts = expand_sharded(&items, 4, WorkerPool::global(), |i, _| i);
         assert_eq!(parts, vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn governed_workers_drain_on_abort() {
         let items: Vec<usize> = (0..64).collect();
+        let pool = WorkerPool::global();
         let gov = Governor::unlimited();
-        let live = expand_sharded_governed(&items, 4, &gov, |_, chunk| chunk.len());
+        let live = expand_sharded_governed(&items, 4, pool, &gov, |_, chunk| chunk.len());
         assert_eq!(live.iter().sum::<usize>(), 64, "untripped: full expansion");
         gov.cancel();
         let _ = gov.checkpoint();
-        let drained = expand_sharded_governed(&items, 4, &gov, |_, chunk| chunk.len());
+        let drained = expand_sharded_governed(&items, 4, pool, &gov, |_, chunk| chunk.len());
         assert_eq!(
             drained.iter().sum::<usize>(),
             0,

@@ -28,6 +28,7 @@
 
 pub mod analyze;
 pub mod bounded;
+pub mod cache;
 pub mod crpq;
 pub mod cxrpq;
 pub mod diagnostics;
@@ -41,6 +42,7 @@ pub mod log_eval;
 pub mod path_semantics;
 pub mod pattern;
 pub mod plan;
+pub mod pool;
 pub mod query_text;
 pub mod reach;
 pub mod relation;
@@ -54,6 +56,9 @@ pub mod witness;
 
 pub use analyze::{AnalysisReport, AnalysisStats};
 pub use bounded::{BoundedEvaluator, BoundedStats};
+pub use cache::{
+    CacheConfig, CacheError, CacheOutcome, CacheStats, Footprint, QueryCache, ServedAnswers,
+};
 pub use crpq::{Crpq, CrpqEvaluator};
 pub use cxrpq::{Cxrpq, CxrpqBuilder, CxrpqError};
 pub use diagnostics::{AtomRef, Diagnostic, Diagnostics, Lint, Severity};
@@ -67,7 +72,8 @@ pub use log_eval::LogEvaluator;
 pub use path_semantics::{rpq_holds, rpq_pairs, rpq_witness, PathSemantics};
 pub use pattern::{GraphPattern, NodeVar};
 pub use plan::SolvePlan;
-pub use query_text::{parse_query, render_query, QueryTextError};
+pub use pool::WorkerPool;
+pub use query_text::{canonical_query, normalize_query, parse_query, render_query, QueryTextError};
 pub use relation::{RegularRelation, RelLabel, TupComp};
 pub use simple_eval::SimpleEvaluator;
 pub use solve::{PipelineStats, SolveOptions, Strategy};

@@ -250,6 +250,76 @@ pub fn render_query(q: &Cxrpq, alphabet: &Alphabet) -> String {
     out
 }
 
+/// Renders a query in *canonical* form: the normalization target behind
+/// [`normalize_query`].
+///
+/// Differences from [`render_query`]: declared pure-equality variables are
+/// sorted by name, and atom lines are sorted lexicographically — conjunction
+/// is unordered, so two queries that differ only in atom order (or in
+/// whitespace/comments, which the parser already discards) canonicalize to
+/// the same text. Variables keep their user-chosen names: output tuples are
+/// reported under those names, so α-renaming would change observable
+/// behavior. The result re-parses to an equivalent query and is a fixpoint:
+/// `canonical_query(parse(canonical_query(q)))` is byte-identical.
+pub fn canonical_query(q: &Cxrpq, alphabet: &Alphabet) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let undefined = q.conjunctive().undefined_vars();
+    if !undefined.is_empty() {
+        let mut names: Vec<&str> = undefined
+            .iter()
+            .map(|x| q.conjunctive().vars().name(*x))
+            .collect();
+        names.sort_unstable();
+        let _ = write!(out, "strvars");
+        for name in names {
+            let _ = write!(out, " {name}");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "ans(");
+    for (i, v) in q.output().iter().enumerate() {
+        if i > 0 {
+            let _ = write!(out, ", ");
+        }
+        let _ = write!(out, "{}", q.pattern().node_name(*v));
+    }
+    let _ = writeln!(out, ") <-");
+    let mut lines: Vec<String> = q
+        .pattern()
+        .edges()
+        .iter()
+        .map(|(src, comp, dst)| {
+            let label = q
+                .conjunctive()
+                .component(*comp)
+                .render(alphabet, q.conjunctive().vars());
+            format!(
+                "    ({}) -[ {} ]-> ({})",
+                q.pattern().node_name(*src),
+                label,
+                q.pattern().node_name(*dst),
+            )
+        })
+        .collect();
+    lines.sort_unstable();
+    let m = lines.len();
+    for (i, line) in lines.into_iter().enumerate() {
+        let sep = if i + 1 < m { "," } else { "" };
+        let _ = writeln!(out, "{line}{sep}");
+    }
+    out
+}
+
+/// Parses `text` and returns its canonical rendering (see
+/// [`canonical_query`]), so formatting variants of the same query — extra
+/// whitespace, comments, reordered atoms, reordered `strvars` — map to one
+/// cache key.
+pub fn normalize_query(text: &str, alphabet: &mut Alphabet) -> Result<String, QueryTextError> {
+    let q = parse_query(text, alphabet)?;
+    Ok(canonical_query(&q, alphabet))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +405,74 @@ mod tests {
         assert_eq!(render_query(&q2, &alpha2), rendered);
         assert_eq!(q2.pattern().edge_count(), q.pattern().edge_count());
         assert_eq!(q2.output().len(), q.output().len());
+    }
+
+    #[test]
+    fn normalization_collapses_formatting_variants() {
+        let variants = [
+            "ans(x, y) <- (x) -[ a+ ]-> (y), (y) -[ b ]-> (x)",
+            "# same query, reordered + noisy\nans(x, y) <-\n\n  (y) -[ b ]-> (x) ,\n  (x) -[ a+ ]-> (y)  # trailing comment\n",
+            "ans( x , y ) <- ( y ) -[ b ]-> ( x ), ( x ) -[ a+ ]-> ( y )",
+        ];
+        let mut alpha = Alphabet::from_chars("ab");
+        let norms: Vec<String> = variants
+            .iter()
+            .map(|t| normalize_query(t, &mut alpha).unwrap())
+            .collect();
+        assert_eq!(norms[0], norms[1]);
+        assert_eq!(norms[0], norms[2]);
+        // Canonical text is a fixpoint of normalization.
+        assert_eq!(normalize_query(&norms[0], &mut alpha).unwrap(), norms[0]);
+    }
+
+    #[test]
+    fn normalization_sorts_strvar_declarations() {
+        let mut alpha = Alphabet::from_chars("ab");
+        let a = normalize_query(
+            "strvars w z\nans() <- (x) -[ w ]-> (y), (u) -[ z ]-> (v), (p) -[ w ]-> (r)",
+            &mut alpha,
+        )
+        .unwrap();
+        let b = normalize_query(
+            "strvars z\nstrvars w\nans() <- (u) -[ z ]-> (v), (p) -[ w ]-> (r), (x) -[ w ]-> (y)",
+            &mut alpha,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert!(a.starts_with("strvars w z\n"), "{a}");
+    }
+
+    #[test]
+    fn normalization_preserves_output_order_and_names() {
+        let mut alpha = Alphabet::from_chars("ab");
+        let xy = normalize_query("ans(x, y) <- (x) -[ a ]-> (y)", &mut alpha).unwrap();
+        let yx = normalize_query("ans(y, x) <- (x) -[ a ]-> (y)", &mut alpha).unwrap();
+        assert_ne!(xy, yx, "output order is observable — must not collapse");
+        let renamed = normalize_query("ans(u, v) <- (u) -[ a ]-> (v)", &mut alpha).unwrap();
+        assert_ne!(xy, renamed, "variable names are observable — no α-renaming");
+    }
+
+    #[test]
+    fn normalized_query_still_evaluates_identically() {
+        use crate::engine::AutoEvaluator;
+        use std::sync::Arc;
+        let mut alpha = Alphabet::from_chars("abc");
+        let text = "ans(x, y) <- (y) -[ c ]-> (x), (x) -[ (a|b)+ ]-> (y)";
+        let norm = normalize_query(text, &mut alpha).unwrap();
+        let q1 = parse_query(text, &mut alpha).unwrap();
+        let q2 = parse_query(&norm, &mut alpha).unwrap();
+        let mut db = cxrpq_graph::GraphBuilder::new(Arc::new(alpha));
+        let s = db.add_node();
+        let t = db.add_node();
+        let w = db.alphabet().parse_word("ab").unwrap();
+        db.add_word_path(s, &w, t);
+        let c = db.alphabet().parse_word("c").unwrap();
+        db.add_word_path(t, &c, s);
+        let db = db.freeze();
+        assert_eq!(
+            AutoEvaluator::new(&q1).answers(&db).value,
+            AutoEvaluator::new(&q2).answers(&db).value
+        );
     }
 
     #[test]

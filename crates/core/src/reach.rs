@@ -451,25 +451,26 @@ pub fn reach_all_governed(
                 // Fat frontier: private dense next-frontier bitsets whose
                 // words are OR-merged at the level barrier — O(cells/64)
                 // words per shard, amortized by the frontier itself.
-                let shard_results = expand_sharded_governed(&frontier, shards, gov, |_, slice| {
-                    gov.charge_mem(cells.div_ceil(8));
-                    let mut dirty = DenseBitSet::new(cells);
-                    let mut born: Vec<usize> = Vec::new();
-                    let mut shard_visits = 0usize;
-                    for (i, &cell) in slice.iter().enumerate() {
-                        if i & 63 == 0 && gov.is_aborted() {
-                            break; // worker observes the flag and drains
+                let shard_results =
+                    expand_sharded_governed(&frontier, shards, cfg.pool(), gov, |_, slice| {
+                        gov.charge_mem(cells.div_ceil(8));
+                        let mut dirty = DenseBitSet::new(cells);
+                        let mut born: Vec<usize> = Vec::new();
+                        let mut shard_visits = 0usize;
+                        for (i, &cell) in slice.iter().enumerate() {
+                            if i & 63 == 0 && gov.is_aborted() {
+                                break; // worker observes the flag and drains
+                            }
+                            shard_visits += expand_cell(
+                                cell,
+                                &mut |c| {
+                                    dirty.insert(c);
+                                },
+                                &mut born,
+                            );
                         }
-                        shard_visits += expand_cell(
-                            cell,
-                            &mut |c| {
-                                dirty.insert(c);
-                            },
-                            &mut born,
-                        );
-                    }
-                    (dirty, born, shard_visits)
-                });
+                        (dirty, born, shard_visits)
+                    });
                 let mut merged: Option<DenseBitSet> = None;
                 for (d, born, v) in shard_results {
                     visits += v;
@@ -485,18 +486,19 @@ pub fn reach_all_governed(
                 // duplicates), deduped through the reused scratch bitset —
                 // per-level cost proportional to the frontier, never to
                 // the whole `|V| · |Q|` rectangle.
-                let shard_results = expand_sharded_governed(&frontier, shards, gov, |_, slice| {
-                    let mut dirty: Vec<usize> = Vec::with_capacity(slice.len());
-                    let mut born: Vec<usize> = Vec::new();
-                    let mut shard_visits = 0usize;
-                    for (i, &cell) in slice.iter().enumerate() {
-                        if i & 63 == 0 && gov.is_aborted() {
-                            break; // worker observes the flag and drains
+                let shard_results =
+                    expand_sharded_governed(&frontier, shards, cfg.pool(), gov, |_, slice| {
+                        let mut dirty: Vec<usize> = Vec::with_capacity(slice.len());
+                        let mut born: Vec<usize> = Vec::new();
+                        let mut shard_visits = 0usize;
+                        for (i, &cell) in slice.iter().enumerate() {
+                            if i & 63 == 0 && gov.is_aborted() {
+                                break; // worker observes the flag and drains
+                            }
+                            shard_visits += expand_cell(cell, &mut |c| dirty.push(c), &mut born);
                         }
-                        shard_visits += expand_cell(cell, &mut |c| dirty.push(c), &mut born);
-                    }
-                    (dirty, born, shard_visits)
-                });
+                        (dirty, born, shard_visits)
+                    });
                 let mut next: Vec<usize> = Vec::new();
                 for (dirty, born, shard_visits) in shard_results {
                     visits += shard_visits;

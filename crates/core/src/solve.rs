@@ -211,6 +211,13 @@ pub struct SolveOptions {
     /// plan's component classification, so under `plan: false` every
     /// strategy degrades to the backtracker.
     pub strategy: Strategy,
+    /// A previously built [`SolvePlan`] to reuse instead of rebuilding in
+    /// phase 1 (the [`crate::cache::QueryCache`] hit path). Only consulted
+    /// on unpinned runs whose problem shape matches the seed (variable,
+    /// edge, and group counts) — a pinned binding or a shape mismatch
+    /// falls back to a fresh build, so a stale seed can cost time but
+    /// never correctness: the plan only orders the search.
+    pub plan_seed: Option<Arc<SolvePlan>>,
 }
 
 impl SolveOptions {
@@ -229,6 +236,7 @@ impl SolveOptions {
             containment_budget: Self::DEFAULT_CONTAINMENT_BUDGET,
             governor: None,
             strategy: Strategy::Auto,
+            plan_seed: None,
         }
     }
 
@@ -247,6 +255,7 @@ impl SolveOptions {
             containment_budget: Self::DEFAULT_CONTAINMENT_BUDGET,
             governor: None,
             strategy: Strategy::Auto,
+            plan_seed: None,
         }
     }
 
@@ -264,6 +273,7 @@ impl SolveOptions {
             containment_budget: Self::DEFAULT_CONTAINMENT_BUDGET,
             governor: None,
             strategy: Strategy::Backtrack,
+            plan_seed: None,
         }
     }
 
@@ -296,6 +306,13 @@ impl SolveOptions {
     /// `SolveOptions::pipeline().with_strategy(Strategy::Backtrack)`.
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Seeds phase 1 with a cached plan (see [`SolveOptions::plan_seed`]);
+    /// composes with any preset.
+    pub fn with_plan_seed(mut self, seed: Arc<SolvePlan>) -> Self {
+        self.plan_seed = Some(seed);
         self
     }
 }
@@ -351,6 +368,11 @@ pub struct PipelineStats {
     /// `stats.unsat == true` and all other fields empty: no plan, no
     /// prune, `backtrack_steps == 0`.
     pub analysis: Option<crate::analyze::AnalysisReport>,
+    /// The phase-1 plan this run used (freshly built or replayed from
+    /// [`SolveOptions::plan_seed`]); `None` when planning and pruning were
+    /// both off. The [`crate::cache::QueryCache`] harvests this to seed
+    /// later runs of the same query.
+    pub plan_artifact: Option<Arc<SolvePlan>>,
 }
 
 impl PipelineStats {
@@ -932,16 +954,29 @@ impl Problem {
         }
 
         // Phase 1: plan (output-aware: the order splits into the enumerate
-        // prefix and the existential suffix).
+        // prefix and the existential suffix). A compatible cached seed
+        // replays instead of rebuilding: seeds are keyed per query by the
+        // cache, so compatibility only needs the unpinned-shape guard (a
+        // pinned binding changes cost estimates, and shape mismatches mean
+        // the seed came from a different rewrite of the query).
         let plan = (opts.plan || opts.prune).then(|| {
-            SolvePlan::build(
-                self.node_count,
-                &self.free_edges,
-                &self.groups,
-                required,
-                universal,
-                db,
-            )
+            let seed = opts.plan_seed.as_deref().filter(|s| {
+                pinned.is_empty()
+                    && s.var_order.len() == self.node_count
+                    && s.edge_cost.len() == self.free_edges.len()
+                    && s.group_cost.len() == self.groups.len()
+            });
+            match seed {
+                Some(s) => s.clone(),
+                None => SolvePlan::build(
+                    self.node_count,
+                    &self.free_edges,
+                    &self.groups,
+                    required,
+                    universal,
+                    db,
+                ),
+            }
         });
         let eliminated_vars = match (&plan, opts.project) {
             (Some(p), true) => p.existential_vars(),
@@ -1013,6 +1048,7 @@ impl Problem {
             tree_components,
             intersection_seeks: 0,
             analysis: None,
+            plan_artifact: Some(Arc::new(p.clone())),
         };
         let domains = if prune_now {
             gov.charge_mem(self.node_count * db.node_count().div_ceil(8));

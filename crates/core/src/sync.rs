@@ -377,23 +377,29 @@ impl<'a> SyncSearch<'a> {
                     });
                 }
             } else {
-                let discovered = expand_sharded_governed(&level, shards, self.gov, |_, slice| {
-                    let mut seen = visited.level_seen();
-                    let mut found: Vec<SyncState> = Vec::new();
-                    for (i, st) in slice.iter().enumerate() {
-                        if i & 15 == 0 && self.gov.is_aborted() {
-                            break; // worker observes the flag and drains
-                        }
-                        self.expand_moves(st, ends, &mut |nxt, _| {
-                            // Read-only pre-filter against earlier levels,
-                            // then private intra-level dedup.
-                            if !visited.contains(&nxt) && seen.insert(&nxt) {
-                                found.push(nxt);
+                let discovered = expand_sharded_governed(
+                    &level,
+                    shards,
+                    self.cfg.pool(),
+                    self.gov,
+                    |_, slice| {
+                        let mut seen = visited.level_seen();
+                        let mut found: Vec<SyncState> = Vec::new();
+                        for (i, st) in slice.iter().enumerate() {
+                            if i & 15 == 0 && self.gov.is_aborted() {
+                                break; // worker observes the flag and drains
                             }
-                        });
-                    }
-                    found
-                });
+                            self.expand_moves(st, ends, &mut |nxt, _| {
+                                // Read-only pre-filter against earlier levels,
+                                // then private intra-level dedup.
+                                if !visited.contains(&nxt) && seen.insert(&nxt) {
+                                    found.push(nxt);
+                                }
+                            });
+                        }
+                        found
+                    },
+                );
                 // Level barrier: global dedup (and cross-worker dedup)
                 // builds the next level.
                 for found in discovered {

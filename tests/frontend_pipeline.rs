@@ -99,6 +99,7 @@ fn planner_matches_forced_engines_on_shared_fragment() {
                 bounded_k: 2,
                 force: Some(force),
                 governor: None,
+                plan_seed: None,
             },
         )
         .unwrap();

@@ -68,6 +68,7 @@ proptest! {
                     bounded_k: GENEROUS_K,
                     force: Some(force),
                     governor: None,
+                    plan_seed: None,
                 },
             )
             .expect("simple queries admit every engine");

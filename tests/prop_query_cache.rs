@@ -1,0 +1,227 @@
+//! Property tests for the shared [`QueryCache`].
+//!
+//! The cache is a pure amortizer: over random interleavings of queries,
+//! single-edge appends, batch appends, node appends, compactions, and
+//! cancelled (governed) requests,
+//!
+//! 1. every completed cache-mediated answer must equal a cold evaluation
+//!    of the same query against the database's current state — served
+//!    from the answer path, the plan path, or a full miss alike;
+//! 2. entries must survive appends that are provably irrelevant to them
+//!    (footprint-disjoint labels, no new nodes) and must never be served
+//!    stale after relevant ones; and
+//! 3. aborted runs never install anything, so an abort can never make a
+//!    later answer wrong (the `ReachCache` abort-hygiene discipline).
+
+use cxrpq::core::query_text::parse_query;
+use cxrpq::core::{
+    AutoEvaluator, CacheConfig, CacheOutcome, EvalOptions, Governor, QueryCache, Verdict,
+};
+use cxrpq::graph::{Alphabet, GraphBuilder, GraphDb, NodeId, Symbol};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Debug builds pay heavily on the product searches; keep CI-debug runs
+/// fast and let release runs explore more of the space.
+const CASES: u32 = if cfg!(debug_assertions) { 12 } else { 32 };
+
+/// A pool of queries with varied shapes: plain RPQ atoms, string
+/// variables, a conjunctive cycle, and an arity-1 projection. All are
+/// cheap on the tiny random databases below.
+const QUERIES: &[&str] = &[
+    "ans(x, y) <- (x) -[ (a|b)+ ]-> (y)",
+    "ans(x, y) <- (x) -[ ab ]-> (y)",
+    "ans(x, y) <- (x) -[ c(a|c)* ]-> (y)",
+    "ans(x) <- (x) -[ z{ab}z ]-> (y)",
+    "ans(x, y) <- (x) -[ ab ]-> (y), (y) -[ c ]-> (x)",
+    "ans(x) <- (x) -[ a+ ]-> (y)",
+];
+
+fn random_db(rng: &mut StdRng) -> GraphDb {
+    let alpha = Arc::new(Alphabet::from_chars("abc"));
+    let mut b = GraphBuilder::new(alpha);
+    let n = rng.random_range(3..10usize);
+    let nodes: Vec<NodeId> = (0..n).map(|_| b.add_node()).collect();
+    let syms: Vec<Symbol> = b.alphabet().symbols().collect();
+    for _ in 0..rng.random_range(0..3 * n) {
+        let u = nodes[rng.random_range(0..n)];
+        let v = nodes[rng.random_range(0..n)];
+        let a = syms[rng.random_range(0..syms.len())];
+        b.add_edge(u, a, v);
+    }
+    b.freeze()
+}
+
+/// The cold oracle: parse fresh, evaluate with a fresh engine, no cache,
+/// no plan seed.
+fn cold_answers(db: &GraphDb, text: &str) -> BTreeSet<Vec<NodeId>> {
+    let mut alphabet = db.alphabet().clone();
+    let q = parse_query(text, &mut alphabet).expect("pool query parses");
+    AutoEvaluator::new(&q).answers(db).value
+}
+
+fn random_node(rng: &mut StdRng, db: &GraphDb) -> NodeId {
+    NodeId(rng.random_range(0..db.node_count()) as u32)
+}
+
+fn symbol(db: &GraphDb, name: &str) -> Symbol {
+    db.alphabet().symbol(name).expect("alphabet has abc")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    #[test]
+    fn cached_answers_equal_cold_under_interleavings(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = random_db(&mut rng);
+        let cache = QueryCache::new(CacheConfig {
+            shards: 2,
+            capacity_per_shard: 16,
+            answer_budget_bytes: 64 * 1024,
+        });
+        let opts = EvalOptions::default();
+        let syms = ["a", "b", "c"];
+        for step in 0..rng.random_range(6..18usize) {
+            match rng.random_range(0..12u32) {
+                // Query through the cache; whatever path served it, the
+                // answers must match a cold evaluation of current state.
+                0..=5 => {
+                    let q = QUERIES[rng.random_range(0..QUERIES.len())];
+                    let served = cache.answers(&db, q, &opts).unwrap();
+                    prop_assert!(
+                        matches!(served.verdict, Verdict::Complete),
+                        "ungoverned run aborted (seed {seed}, step {step})"
+                    );
+                    prop_assert_eq!(
+                        &*served.answers,
+                        &cold_answers(&db, q),
+                        "cached path diverged from cold via {} (seed {}, step {})",
+                        served.outcome, seed, step
+                    );
+                }
+                // Single-edge append.
+                6..=7 => {
+                    let a = symbol(&db, syms[rng.random_range(0..3usize)]);
+                    let (u, v) = (random_node(&mut rng, &db), random_node(&mut rng, &db));
+                    db.append(u, a, v);
+                }
+                // Batch append: one generation, several labels.
+                8 => {
+                    let batch: Vec<(NodeId, Symbol, NodeId)> = (0..rng.random_range(1..4usize))
+                        .map(|_| {
+                            (
+                                random_node(&mut rng, &db),
+                                symbol(&db, syms[rng.random_range(0..3usize)]),
+                                random_node(&mut rng, &db),
+                            )
+                        })
+                        .collect();
+                    db.append_batch(&batch);
+                }
+                // New node (answer-relevant even under disjoint labels).
+                9 => {
+                    db.append_node();
+                }
+                // Compaction keeps the lineage: entries must stay valid.
+                10 => {
+                    db.compact();
+                }
+                // A cancelled governed request. It may still complete —
+                // an answer hit replays the cached relation without ever
+                // running the governed evaluation, and trivial queries
+                // finish before any checkpoint — but a completed result
+                // must be the full answer, and an aborted one must
+                // install nothing (checked by every later query's
+                // cold-equality assertion).
+                _ => {
+                    let q = QUERIES[rng.random_range(0..QUERIES.len())];
+                    let gov = Arc::new(Governor::unlimited());
+                    gov.cancel();
+                    let r = cache.answers_governed(&db, q, &opts, gov).unwrap();
+                    if matches!(r.verdict, Verdict::Complete) {
+                        prop_assert_eq!(
+                            &*r.answers,
+                            &cold_answers(&db, q),
+                            "cancelled-but-complete run diverged (seed {})", seed
+                        );
+                    }
+                }
+            }
+        }
+        // Final sweep: every pool query agrees with cold on the final
+        // database state, whatever mix of hits the history produced.
+        for q in QUERIES {
+            let served = cache.answers(&db, q, &opts).unwrap();
+            prop_assert_eq!(
+                &*served.answers,
+                &cold_answers(&db, q),
+                "final sweep diverged on {:?} (seed {})", q, seed
+            );
+        }
+    }
+
+    #[test]
+    fn entries_survive_disjoint_appends_and_die_on_relevant_ones(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37);
+        let mut db = random_db(&mut rng);
+        let cache = QueryCache::with_defaults();
+        let opts = EvalOptions::default();
+        // Footprint of this query is exactly {a, b}.
+        let q = "ans(x, y) <- (x) -[ (a|b)+ ]-> (y)";
+        cache.answers(&db, q, &opts).unwrap();
+
+        // Any number of c-only appends between existing nodes is provably
+        // irrelevant: the entry must survive and stay correct.
+        let c = symbol(&db, "c");
+        for _ in 0..rng.random_range(1..5usize) {
+            let (u, v) = (random_node(&mut rng, &db), random_node(&mut rng, &db));
+            db.append(u, c, v);
+        }
+        if rng.random_bool(0.5) {
+            db.compact();
+        }
+        let survived = cache.answers(&db, q, &opts).unwrap();
+        prop_assert_eq!(
+            survived.outcome,
+            CacheOutcome::AnswerHit,
+            "footprint-disjoint appends must keep the entry (seed {})", seed
+        );
+        prop_assert_eq!(&*survived.answers, &cold_answers(&db, q));
+
+        // A genuinely new a- or b-labeled arc overlaps the footprint: the
+        // stale answers must be dropped and re-derived, never replayed.
+        let hot = symbol(&db, if rng.random_bool(0.5) { "a" } else { "b" });
+        let mut appended = false;
+        for _ in 0..32 {
+            let (u, v) = (random_node(&mut rng, &db), random_node(&mut rng, &db));
+            if db.append(u, hot, v) {
+                appended = true;
+                break;
+            }
+        }
+        if appended {
+            let refreshed = cache.answers(&db, q, &opts).unwrap();
+            prop_assert_ne!(
+                refreshed.outcome,
+                CacheOutcome::AnswerHit,
+                "overlapping append served stale answers (seed {})", seed
+            );
+            prop_assert_eq!(&*refreshed.answers, &cold_answers(&db, q));
+        }
+
+        // A new node is answer-relevant even with no new arcs at all.
+        cache.answers(&db, q, &opts).unwrap();
+        db.append_node();
+        let after_node = cache.answers(&db, q, &opts).unwrap();
+        prop_assert_ne!(
+            after_node.outcome,
+            CacheOutcome::AnswerHit,
+            "node append served stale answers (seed {})", seed
+        );
+        prop_assert_eq!(&*after_node.answers, &cold_answers(&db, q));
+    }
+}

@@ -8,7 +8,10 @@
 //! 2. `reach_all` pinned to 1 worker must equal a forced-parallel run
 //!    (4 workers, serial threshold 0, so every level shards), and
 //! 3. the sharded `SyncSearch` must return identical tuple sets for 1 and
-//!    4 workers, again with sharding forced on every level.
+//!    4 workers, again with sharding forced on every level, and
+//! 4. routing the same sharded expansions through explicitly pinned
+//!    [`WorkerPool`]s — a 1-worker pool (the submitter does all the
+//!    helping) vs a 4-worker pool — must not change any result.
 //!
 //! Thread counts beyond the machine's cores are deliberate: correctness of
 //! the shard/merge protocol may not depend on physical parallelism.
@@ -17,6 +20,7 @@ use cxrpq::automata::{parse_regex, Nfa};
 use cxrpq::core::frontier::FrontierConfig;
 use cxrpq::core::reach::{reach_all_with, reach_set, reverse_nfa, Direction};
 use cxrpq::core::sync::{SyncSearch, SyncSpec};
+use cxrpq::core::WorkerPool;
 use cxrpq::graph::{Alphabet, GraphDb, NodeId};
 use cxrpq::workloads::graphs::{grid_labeled, random_labeled};
 use proptest::prelude::*;
@@ -76,6 +80,17 @@ fn random_sources(rng: &mut StdRng, db: &GraphDb) -> Vec<NodeId> {
 /// cores, sharding on every level.
 fn forced_parallel() -> FrontierConfig {
     FrontierConfig::with_threads(4).with_serial_threshold(0)
+}
+
+/// A process-lifetime pool of exactly `N` workers, for pinned-pool runs.
+fn pool_of_one() -> &'static WorkerPool {
+    static POOL: std::sync::OnceLock<WorkerPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(1))
+}
+
+fn pool_of_four() -> &'static WorkerPool {
+    static POOL: std::sync::OnceLock<WorkerPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(4))
 }
 
 proptest! {
@@ -150,5 +165,37 @@ proptest! {
             .with_config(forced_parallel())
             .run(&starts, None, None);
         prop_assert_eq!(&serial_b, &parallel_b, "backward sync mismatch (seed {})", seed);
+    }
+
+    #[test]
+    fn pool_size_does_not_change_results(seed in 0u64..1_000_000) {
+        let (db, pat) = db_and_pattern(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4444);
+        let nfa = nfa_of(&db, &pat);
+        let sources = random_sources(&mut rng, &db);
+        // Same sharded expansion (4 shards, shard every level), routed
+        // through explicitly pinned pools of different sizes. With one
+        // worker the submitting thread runs most chunks itself via
+        // help-while-wait; the merged result must be identical.
+        let one = forced_parallel().with_pool(pool_of_one());
+        let four = forced_parallel().with_pool(pool_of_four());
+        let r1 = reach_all_with(&db, &nfa, &sources, Direction::Forward, None, &one);
+        let r4 = reach_all_with(&db, &nfa, &sources, Direction::Forward, None, &four);
+        prop_assert_eq!(r1, r4, "pool size changed reach_all (seed {})", seed);
+
+        let arity = rng.random_range(1..=3usize);
+        let def = (rng.random_range(0..2u32) == 0).then(|| nfa_of(&db, &pat));
+        let spec = SyncSpec::equality_group(def, arity);
+        let n = db.node_count();
+        let starts: Vec<NodeId> = (0..arity)
+            .map(|_| NodeId(rng.random_range(0..n) as u32))
+            .collect();
+        let s1 = SyncSearch::forward(&db, &spec)
+            .with_config(one)
+            .run(&starts, None, None);
+        let s4 = SyncSearch::forward(&db, &spec)
+            .with_config(four)
+            .run(&starts, None, None);
+        prop_assert_eq!(&s1, &s4, "pool size changed SyncSearch (seed {})", seed);
     }
 }

@@ -82,6 +82,7 @@ fn facade_pipeline_end_to_end() {
             bounded_k: 3,
             force: Some(EngineKind::Bounded),
             governor: None,
+            plan_seed: None,
         },
     )
     .expect("the bounded engine covers every fragment");
